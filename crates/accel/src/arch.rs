@@ -1,0 +1,228 @@
+//! Architecture description: the hardware parameters that, together with a
+//! mapping, determine cost.
+//!
+//! The template mirrors the accelerator of Figure 2 / Section 5.1.2: `P`
+//! processing elements with private L1 buffers, a shared banked L2 buffer,
+//! and DRAM, plus datapath and clock parameters. Per-access energies follow
+//! the usual technology-scaling intuition (register-file-sized L1 ≪ SRAM L2 ≪
+//! DRAM), which is all the search-method comparison depends on.
+
+use mm_mapspace::mapping::Level;
+use mm_mapspace::MappingConstraints;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one memory level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemLevelSpec {
+    /// Capacity in data words (`u64::MAX` for DRAM, i.e. effectively
+    /// unbounded).
+    pub capacity_words: u64,
+    /// Number of allocatable banks (1 for DRAM).
+    pub banks: u64,
+    /// Energy per word accessed, in picojoules.
+    pub energy_per_access_pj: f64,
+    /// Sustained bandwidth in words per cycle (aggregate).
+    pub bandwidth_words_per_cycle: f64,
+}
+
+/// A complete accelerator description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of processing elements.
+    pub num_pes: u64,
+    /// Multiply-accumulates each PE can perform per cycle.
+    pub macs_per_pe_per_cycle: u64,
+    /// Energy of a single MAC operation, in picojoules.
+    pub mac_energy_pj: f64,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Word size in bytes (all tensors use the same word size).
+    pub word_bytes: u64,
+    /// Private per-PE buffer (innermost level).
+    pub l1: MemLevelSpec,
+    /// Shared on-chip buffer.
+    pub l2: MemLevelSpec,
+    /// Off-chip DRAM.
+    pub dram: MemLevelSpec,
+}
+
+impl Architecture {
+    /// The accelerator evaluated in Section 5: 256 PEs at 1 GHz, 64 KB private
+    /// L1 per PE, 512 KB shared L2. Energy-per-access values are
+    /// representative 45 nm-class numbers (≈1 pJ register-file word, ≈6 pJ
+    /// large SRAM word, ≈200 pJ DRAM word, ≈1 pJ MAC).
+    pub fn paper_accelerator() -> Self {
+        Architecture {
+            name: "mind-mappings-eval-256pe".to_string(),
+            num_pes: 256,
+            macs_per_pe_per_cycle: 1,
+            mac_energy_pj: 1.0,
+            clock_ghz: 1.0,
+            word_bytes: 4,
+            l1: MemLevelSpec {
+                capacity_words: 64 * 1024 / 4,
+                banks: 16,
+                energy_per_access_pj: 1.2,
+                bandwidth_words_per_cycle: 2.0 * 256.0,
+            },
+            l2: MemLevelSpec {
+                capacity_words: 512 * 1024 / 4,
+                banks: 32,
+                energy_per_access_pj: 6.0,
+                bandwidth_words_per_cycle: 64.0,
+            },
+            dram: MemLevelSpec {
+                capacity_words: u64::MAX,
+                banks: 1,
+                energy_per_access_pj: 200.0,
+                bandwidth_words_per_cycle: 16.0,
+            },
+        }
+    }
+
+    /// A small accelerator for unit tests and doc examples (16 PEs, small
+    /// buffers) so that exhaustive-ish checks stay fast.
+    pub fn example() -> Self {
+        Architecture {
+            name: "example-16pe".to_string(),
+            num_pes: 16,
+            macs_per_pe_per_cycle: 1,
+            mac_energy_pj: 1.0,
+            clock_ghz: 1.0,
+            word_bytes: 4,
+            l1: MemLevelSpec {
+                capacity_words: 1024,
+                banks: 8,
+                energy_per_access_pj: 1.0,
+                bandwidth_words_per_cycle: 32.0,
+            },
+            l2: MemLevelSpec {
+                capacity_words: 16 * 1024,
+                banks: 16,
+                energy_per_access_pj: 5.0,
+                bandwidth_words_per_cycle: 16.0,
+            },
+            dram: MemLevelSpec {
+                capacity_words: u64::MAX,
+                banks: 1,
+                energy_per_access_pj: 200.0,
+                bandwidth_words_per_cycle: 8.0,
+            },
+        }
+    }
+
+    /// The memory level spec for a [`Level`].
+    pub fn level(&self, level: Level) -> &MemLevelSpec {
+        match level {
+            Level::L1 => &self.l1,
+            Level::L2 => &self.l2,
+            Level::Dram => &self.dram,
+        }
+    }
+
+    /// Energy, in picojoules, to move one word through every level of the
+    /// (inclusive) hierarchy once: the per-word cost used by the algorithmic
+    /// minimum (Section 4.1.3 / Appendix A).
+    pub fn energy_per_word_through_hierarchy_pj(&self) -> f64 {
+        self.l1.energy_per_access_pj + self.l2.energy_per_access_pj + self.dram.energy_per_access_pj
+    }
+
+    /// Peak MACs per cycle across the whole accelerator.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.num_pes * self.macs_per_pe_per_cycle
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / (self.clock_ghz * 1e9)
+    }
+
+    /// The subset of parameters that constrain mapping validity, shared with
+    /// `mm-mapspace`.
+    pub fn mapping_constraints(&self) -> MappingConstraints {
+        MappingConstraints {
+            num_pes: self.num_pes,
+            l1_capacity_words: self.l1.capacity_words,
+            l2_capacity_words: self.l2.capacity_words,
+            l1_banks: self.l1.banks,
+            l2_banks: self.l2.banks,
+        }
+    }
+}
+
+impl Default for Architecture {
+    fn default() -> Self {
+        Self::paper_accelerator()
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} PEs @ {} GHz, L1 {} KB/PE, L2 {} KB)",
+            self.name,
+            self.num_pes,
+            self.clock_ghz,
+            self.l1.capacity_words * self.word_bytes / 1024,
+            self.l2.capacity_words * self.word_bytes / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_accelerator_matches_section_5() {
+        let a = Architecture::paper_accelerator();
+        assert_eq!(a.num_pes, 256);
+        assert_eq!(a.clock_ghz, 1.0);
+        // 64 KB L1, 512 KB L2 with 4-byte words.
+        assert_eq!(a.l1.capacity_words * a.word_bytes, 64 * 1024);
+        assert_eq!(a.l2.capacity_words * a.word_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn energy_ordering_is_physical() {
+        for a in [Architecture::paper_accelerator(), Architecture::example()] {
+            assert!(a.l1.energy_per_access_pj < a.l2.energy_per_access_pj);
+            assert!(a.l2.energy_per_access_pj < a.dram.energy_per_access_pj);
+        }
+    }
+
+    #[test]
+    fn mapping_constraints_are_consistent() {
+        let a = Architecture::paper_accelerator();
+        let c = a.mapping_constraints();
+        assert_eq!(c.num_pes, a.num_pes);
+        assert_eq!(c.l1_capacity_words, a.l1.capacity_words);
+        assert_eq!(c.l2_capacity_words, a.l2.capacity_words);
+    }
+
+    #[test]
+    fn hierarchy_energy_is_sum_of_levels() {
+        let a = Architecture::example();
+        assert!(
+            (a.energy_per_word_through_hierarchy_pj() - (1.0 + 5.0 + 200.0)).abs() < f64::EPSILON
+        );
+    }
+
+    #[test]
+    fn display_mentions_pe_count() {
+        let a = Architecture::paper_accelerator();
+        assert!(a.to_string().contains("256"));
+    }
+
+    #[test]
+    fn level_lookup() {
+        let a = Architecture::example();
+        assert_eq!(a.level(Level::L1).capacity_words, 1024);
+        assert_eq!(a.level(Level::Dram).banks, 1);
+        assert_eq!(a.peak_macs_per_cycle(), 16);
+        assert!((a.cycle_time_s() - 1e-9).abs() < 1e-15);
+    }
+}

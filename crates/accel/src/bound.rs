@@ -1,0 +1,103 @@
+//! The *algorithmic minimum*: a possibly-unachievable theoretical lower
+//! bound on energy, delay, and EDP (Appendix A).
+//!
+//! * **Minimum energy** assumes perfect reuse: every input word is read once
+//!   and every output word written once at each level of the (inclusive)
+//!   memory hierarchy, plus the irreducible MAC energy.
+//! * **Minimum cycles** assumes perfect utilization: all PEs busy every
+//!   cycle, i.e. `required_macs / (macs_per_pe × num_pes)`.
+//!
+//! The bound is used (a) as the EDP normalization baseline in Figures 5/6,
+//! and (b) to normalize the surrogate's output meta-statistics
+//! (Section 4.1.3), which reduces output variance across problems.
+
+use mm_mapspace::ProblemSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+
+/// The algorithmic-minimum bound for one (architecture, problem) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmicMinimum {
+    /// Lower bound on energy, in picojoules.
+    pub energy_pj: f64,
+    /// Lower bound on execution cycles.
+    pub cycles: f64,
+    /// Lower bound on EDP, in joule-seconds (product of the two bounds, which
+    /// is generally unachievable simultaneously).
+    pub edp: f64,
+}
+
+impl AlgorithmicMinimum {
+    /// Compute the bound for `problem` on `arch`.
+    pub fn compute(arch: &Architecture, problem: &ProblemSpec) -> Self {
+        let macs = problem.total_macs() as f64;
+        let per_word = arch.energy_per_word_through_hierarchy_pj();
+        let total_words: f64 = (0..problem.num_tensors())
+            .map(|t| problem.tensor_size(t) as f64)
+            .sum();
+        let energy_pj = total_words * per_word + macs * arch.mac_energy_pj;
+        let cycles = (macs / arch.peak_macs_per_cycle() as f64).max(1.0);
+        let edp = energy_pj * 1e-12 * cycles * arch.cycle_time_s();
+        AlgorithmicMinimum {
+            energy_pj,
+            cycles,
+            edp,
+        }
+    }
+
+    /// Per-tensor, per-level lower-bound energy (pJ): each word of tensor `t`
+    /// accessed exactly once at the given level. Used to normalize the
+    /// surrogate's per-tensor output neurons.
+    pub fn tensor_level_energy_pj(
+        arch: &Architecture,
+        problem: &ProblemSpec,
+        level: mm_mapspace::mapping::Level,
+        t: usize,
+    ) -> f64 {
+        problem.tensor_size(t) as f64 * arch.level(level).energy_per_access_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_mapspace::mapping::Level;
+
+    #[test]
+    fn bound_is_positive_and_scales_with_problem() {
+        let arch = Architecture::example();
+        let small = AlgorithmicMinimum::compute(&arch, &ProblemSpec::conv1d(64, 3));
+        let large = AlgorithmicMinimum::compute(&arch, &ProblemSpec::conv1d(4096, 9));
+        assert!(small.energy_pj > 0.0 && small.cycles >= 1.0 && small.edp > 0.0);
+        assert!(large.energy_pj > small.energy_pj);
+        assert!(large.cycles > small.cycles);
+        assert!(large.edp > small.edp);
+    }
+
+    #[test]
+    fn cycles_bound_matches_formula() {
+        let arch = Architecture::example(); // 16 PEs, 1 MAC/PE/cycle
+        let p = ProblemSpec::conv1d(128, 7); // 122 * 7 = 854 MACs
+        let b = AlgorithmicMinimum::compute(&arch, &p);
+        assert!((b.cycles - 854.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_bound_matches_formula() {
+        let arch = Architecture::example();
+        let p = ProblemSpec::conv1d(64, 5);
+        let b = AlgorithmicMinimum::compute(&arch, &p);
+        let words = (64 + 5 + 60) as f64;
+        let expect = words * (1.0 + 5.0 + 200.0) + (60.0 * 5.0) * 1.0;
+        assert!((b.energy_pj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_tensor_level_energy() {
+        let arch = Architecture::example();
+        let p = ProblemSpec::conv1d(64, 5);
+        let e = AlgorithmicMinimum::tensor_level_energy_pj(&arch, &p, Level::Dram, 1);
+        assert!((e - 5.0 * 200.0).abs() < 1e-9);
+    }
+}

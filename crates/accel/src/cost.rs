@@ -1,0 +1,320 @@
+//! The accelerator cost model: energy, cycles, utilization, and EDP for a
+//! mapping (the reference cost function `f(a, m)` of Equation 1).
+
+use mm_mapspace::mapping::Level;
+use mm_mapspace::{Mapping, ProblemSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+use crate::bound::AlgorithmicMinimum;
+use crate::reuse::{count_accesses, AccessCounts};
+
+/// Full cost breakdown for one mapping, matching the "meta-statistics" output
+/// representation of Section 4.1.3: per-level, per-tensor energy plus total
+/// energy, cycles, and compute utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Energy (pJ) spent accessing each memory level for each tensor:
+    /// `energy_pj[level][tensor]` with levels ordered `[L1, L2, DRAM]`.
+    pub energy_pj: Vec<Vec<f64>>,
+    /// Energy (pJ) spent in the MAC datapath.
+    pub compute_energy_pj: f64,
+    /// Total energy in picojoules.
+    pub total_energy_pj: f64,
+    /// Execution time in cycles (max of compute- and bandwidth-limited time).
+    pub cycles: f64,
+    /// Compute utilization in `[0, 1]`: achieved MACs/cycle over peak.
+    pub utilization: f64,
+    /// Energy-delay product in joule-seconds.
+    pub edp: f64,
+    /// Raw access counts backing the energy numbers.
+    pub accesses: AccessCounts,
+}
+
+impl CostBreakdown {
+    /// The meta-statistics vector used to train the surrogate
+    /// (Section 4.1.3): per-level energy for each tensor, followed by compute
+    /// utilization, total cycles, and total energy. Length is
+    /// `3 * num_tensors + 3` — 12 for CNN-Layer (3 tensors), 15 for MTTKRP
+    /// (4 tensors), as reported in Section 5.5.
+    pub fn meta_statistics(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.energy_pj.len() * self.energy_pj[0].len() + 3);
+        for level in &self.energy_pj {
+            for &e in level {
+                v.push(e);
+            }
+        }
+        v.push(self.utilization);
+        v.push(self.cycles);
+        v.push(self.total_energy_pj);
+        v
+    }
+
+    /// Delay in seconds given the architecture's clock.
+    pub fn delay_s(&self, arch: &Architecture) -> f64 {
+        self.cycles * arch.cycle_time_s()
+    }
+}
+
+/// The analytical cost model: an [`Architecture`] bound to a [`ProblemSpec`].
+///
+/// Cloneable and cheap to construct; evaluation is a pure function of the
+/// mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    arch: Architecture,
+    problem: ProblemSpec,
+    lower_bound: AlgorithmicMinimum,
+}
+
+impl CostModel {
+    /// Bind an architecture to a problem.
+    pub fn new(arch: Architecture, problem: ProblemSpec) -> Self {
+        let lower_bound = AlgorithmicMinimum::compute(&arch, &problem);
+        Self {
+            arch,
+            problem,
+            lower_bound,
+        }
+    }
+
+    /// The architecture being modelled.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The problem being mapped.
+    pub fn problem(&self) -> &ProblemSpec {
+        &self.problem
+    }
+
+    /// The (possibly unachievable) theoretical lower bound for this problem
+    /// on this architecture (Appendix A).
+    pub fn lower_bound(&self) -> &AlgorithmicMinimum {
+        &self.lower_bound
+    }
+
+    /// Evaluate the full cost breakdown of a mapping.
+    ///
+    /// The mapping is taken at face value: callers are expected to have
+    /// validated it against the map space (invalid mappings still produce a
+    /// finite cost, which is useful for penalty-based search, but the numbers
+    /// are only meaningful for valid mappings).
+    pub fn evaluate(&self, mapping: &Mapping) -> CostBreakdown {
+        let p = &self.problem;
+        let a = &self.arch;
+        let nt = p.num_tensors();
+        let accesses = count_accesses(p, mapping);
+
+        let mut energy_pj = vec![vec![0.0f64; nt]; 3];
+        for level in Level::ALL {
+            let epa = a.level(level).energy_per_access_pj;
+            for t in 0..nt {
+                energy_pj[level.index()][t] = accesses.tensor_at(level, t) as f64 * epa;
+            }
+        }
+
+        let padded_macs = mapping.padded_macs(p) as f64;
+        let compute_energy_pj = padded_macs * a.mac_energy_pj;
+        let total_energy_pj: f64 =
+            energy_pj.iter().flatten().sum::<f64>() + compute_energy_pj;
+
+        // Compute-limited time.
+        let active_pes = (mapping.active_pes().min(a.num_pes)) as f64;
+        let compute_cycles =
+            padded_macs / (active_pes * a.macs_per_pe_per_cycle as f64).max(1.0);
+        // Bandwidth-limited time per level.
+        let mut cycles = compute_cycles;
+        for level in Level::ALL {
+            let bw = a.level(level).bandwidth_words_per_cycle.max(1e-9);
+            let mem_cycles = accesses.total_at(level) as f64 / bw;
+            if mem_cycles > cycles {
+                cycles = mem_cycles;
+            }
+        }
+
+        let actual_macs = p.total_macs() as f64;
+        let utilization = ((actual_macs / cycles.max(1.0)) / a.peak_macs_per_cycle() as f64)
+            .clamp(0.0, 1.0);
+
+        let energy_j = total_energy_pj * 1e-12;
+        let delay_s = cycles * a.cycle_time_s();
+        let edp = energy_j * delay_s;
+
+        CostBreakdown {
+            energy_pj,
+            compute_energy_pj,
+            total_energy_pj,
+            cycles,
+            utilization,
+            edp,
+            accesses,
+        }
+    }
+
+    /// Convenience: just the EDP (joule-seconds) of a mapping.
+    pub fn edp(&self, mapping: &Mapping) -> f64 {
+        self.evaluate(mapping).edp
+    }
+
+    /// EDP normalized to the algorithmic minimum (≥ 1 for valid mappings,
+    /// barring lower-bound slack). This is the `y`-axis of Figures 5 and 6.
+    pub fn normalized_edp(&self, mapping: &Mapping) -> f64 {
+        self.edp(mapping) / self.lower_bound.edp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_mapspace::MapSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> CostModel {
+        CostModel::new(Architecture::example(), ProblemSpec::conv1d(128, 7))
+    }
+
+    fn space(model: &CostModel) -> MapSpace {
+        MapSpace::new(
+            model.problem().clone(),
+            model.arch().mapping_constraints(),
+        )
+    }
+
+    #[test]
+    fn evaluate_produces_positive_costs() {
+        let m = model();
+        let cost = m.evaluate(&Mapping::minimal(m.problem()));
+        assert!(cost.total_energy_pj > 0.0);
+        assert!(cost.cycles > 0.0);
+        assert!(cost.edp > 0.0);
+        assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+    }
+
+    #[test]
+    fn meta_statistics_length_matches_paper() {
+        // 3 tensors (conv) -> 3*3 + 3 = 12 outputs; 4 tensors -> 15.
+        let m = model();
+        let cost = m.evaluate(&Mapping::minimal(m.problem()));
+        assert_eq!(cost.meta_statistics().len(), 12);
+    }
+
+    #[test]
+    fn edp_equals_energy_times_delay() {
+        let m = model();
+        let cost = m.evaluate(&Mapping::minimal(m.problem()));
+        let expect = cost.total_energy_pj * 1e-12 * cost.delay_s(m.arch());
+        assert!((cost.edp - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn valid_mappings_never_beat_lower_bound_energy() {
+        let m = model();
+        let s = space(&m);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let mapping = s.random_mapping(&mut rng);
+            let cost = m.evaluate(&mapping);
+            assert!(
+                cost.total_energy_pj >= m.lower_bound().energy_pj * 0.999,
+                "energy {} below lower bound {}",
+                cost.total_energy_pj,
+                m.lower_bound().energy_pj
+            );
+            assert!(cost.cycles >= m.lower_bound().cycles * 0.999);
+            assert!(m.normalized_edp(&mapping) >= 0.999);
+        }
+    }
+
+    #[test]
+    fn parallelism_reduces_cycles() {
+        let m = model();
+        let mut serial = Mapping::minimal(m.problem());
+        serial.tiles[0] = vec![4, 7];
+        serial.tiles[1] = vec![16, 7];
+        let mut par = serial.clone();
+        par.parallel = vec![8, 1];
+        par.tiles[1] = vec![32, 7];
+        let cs = m.evaluate(&serial);
+        let cp = m.evaluate(&par);
+        assert!(
+            cp.cycles < cs.cycles,
+            "parallel mapping should be faster: {} vs {}",
+            cp.cycles,
+            cs.cycles
+        );
+    }
+
+    #[test]
+    fn better_reuse_reduces_energy() {
+        let m = model();
+        // Tiny L2 tiles (lots of refetch) vs. large L2 tiles (good reuse).
+        let mut small = Mapping::minimal(m.problem());
+        small.tiles[0] = vec![1, 1];
+        small.tiles[1] = vec![2, 1];
+        let mut large = Mapping::minimal(m.problem());
+        large.tiles[0] = vec![4, 7];
+        large.tiles[1] = vec![61, 7];
+        let cs = m.evaluate(&small);
+        let cl = m.evaluate(&large);
+        assert!(
+            cl.total_energy_pj < cs.total_energy_pj,
+            "better reuse should reduce energy: {} vs {}",
+            cl.total_energy_pj,
+            cs.total_energy_pj
+        );
+    }
+
+    #[test]
+    fn cost_depends_on_loop_order() {
+        let m = model();
+        let mut a = Mapping::minimal(m.problem());
+        a.tiles[0] = vec![1, 1];
+        a.tiles[1] = vec![4, 1];
+        let mut b = a.clone();
+        b.loop_orders[2] = vec![1, 0];
+        let ca = m.evaluate(&a);
+        let cb = m.evaluate(&b);
+        assert_ne!(ca.total_energy_pj, cb.total_energy_pj);
+    }
+
+    #[test]
+    fn cost_surface_is_non_smooth() {
+        // Scanning a tile size produces at least one large relative jump
+        // between adjacent sizes (the "spiky" surface of Figure 3).
+        let m = model();
+        let s = space(&m);
+        let mut prev: Option<f64> = None;
+        let mut max_jump: f64 = 0.0;
+        for t in 1..=61u64 {
+            let mut mapping = Mapping::minimal(m.problem());
+            mapping.tiles[0] = vec![t.min(8), 7];
+            mapping.tiles[1] = vec![t * 2, 7];
+            s.repair(&mut mapping);
+            let edp = m.edp(&mapping);
+            if let Some(p) = prev {
+                let jump = (edp - p).abs() / p.min(edp);
+                if jump > max_jump {
+                    max_jump = jump;
+                }
+            }
+            prev = Some(edp);
+        }
+        assert!(
+            max_jump > 0.05,
+            "expected a non-smooth cost surface, max relative jump {max_jump}"
+        );
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let m = model();
+        let s = space(&m);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mapping = s.random_mapping(&mut rng);
+        let a = m.evaluate(&mapping);
+        let b = m.evaluate(&mapping);
+        assert_eq!(a, b);
+    }
+}

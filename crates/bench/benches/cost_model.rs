@@ -1,0 +1,41 @@
+//! Criterion bench: reference cost-model evaluation throughput (the
+//! per-query cost the black-box baselines pay on every step — experiment
+//! E11's denominator).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mm_accel::CostModel;
+use mm_mapspace::MapSpace;
+use mm_workloads::evaluated_accelerator;
+use mm_workloads::table1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for name in ["ResNet Conv_4", "MTTKRP_0"] {
+        let target = table1::by_name(name).expect("table1 problem");
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, target.problem.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        group.bench_function(format!("evaluate/{name}"), |b| {
+            b.iter_batched(
+                || space.random_mapping(&mut rng),
+                |m| model.evaluate(&m),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+    let arch = evaluated_accelerator();
+    c.bench_function("algorithmic_minimum/ResNet Conv_4", |b| {
+        b.iter(|| mm_accel::AlgorithmicMinimum::compute(&arch, &target.problem))
+    });
+}
+
+criterion_group!(benches, bench_cost_model, bench_lower_bound);
+criterion_main!(benches);

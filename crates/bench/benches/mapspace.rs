@@ -1,0 +1,51 @@
+//! Criterion bench: map-space operations — random sampling (`getMapping`),
+//! validity checking (`isMember`), projection (`getProjection`), and the
+//! flat-vector encoding used by the surrogate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mm_mapspace::{Encoding, MapSpace};
+use mm_workloads::evaluated_accelerator;
+use mm_workloads::table1;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_mapspace_ops(c: &mut Criterion) {
+    let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+    let arch = evaluated_accelerator();
+    let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
+    let enc = Encoding::for_problem(space.problem());
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("mapspace");
+    group.bench_function("random_mapping", |b| {
+        b.iter(|| space.random_mapping(&mut rng))
+    });
+
+    let sample = space.random_mapping(&mut rng);
+    group.bench_function("is_member", |b| b.iter(|| space.is_member(&sample)));
+    group.bench_function("encode", |b| {
+        b.iter(|| enc.encode(space.problem(), &sample))
+    });
+    group.bench_function("project_noise", |b| {
+        b.iter_batched(
+            || {
+                (0..enc.mapping_len())
+                    .map(|_| rng.gen_range(-10.0f32..300.0))
+                    .collect::<Vec<_>>()
+            },
+            |v| space.project(&v).expect("projection"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("neighbor", |b| {
+        b.iter_batched(
+            || sample.clone(),
+            |m| space.neighbor(&m, &mut StdRng::seed_from_u64(7)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapspace_ops);
+criterion_main!(benches);

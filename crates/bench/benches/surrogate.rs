@@ -1,0 +1,48 @@
+//! Criterion bench: surrogate query cost vs. reference cost-model query cost
+//! (experiment E11). The per-step advantage of Mind Mappings comes from the
+//! surrogate forward/backward pass being much cheaper than a full
+//! cost-model/simulator query at paper scale; this bench reports both so the
+//! ratio can be computed for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mm_accel::CostModel;
+use mm_bench::{train_surrogate, ExperimentScale};
+use mm_mapspace::MapSpace;
+use mm_workloads::evaluated_accelerator;
+use mm_workloads::table1::{self, Algorithm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_surrogate_vs_cost_model(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let scale = ExperimentScale::quick();
+    let (surrogate, _) =
+        train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate");
+
+    let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+    let problem = target.problem;
+    let arch = evaluated_accelerator();
+    let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+    let model = CostModel::new(arch, problem.clone());
+    let mapping = space.random_mapping(&mut rng);
+    let x = surrogate.encode_normalized(&problem, &mapping);
+
+    let mut group = c.benchmark_group("surrogate");
+    group.bench_function("predict_normalized_edp", |b| {
+        b.iter(|| surrogate.predict_normalized_edp_from_input(&x))
+    });
+    group.bench_function("edp_gradient", |b| {
+        b.iter(|| surrogate.normalized_edp_gradient(&x))
+    });
+    group.bench_function("reference_cost_model_edp", |b| {
+        b.iter_batched(
+            || space.random_mapping(&mut rng),
+            |m| model.edp(&m),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate_vs_cost_model);
+criterion_main!(benches);

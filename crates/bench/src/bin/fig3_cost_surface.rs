@@ -1,0 +1,66 @@
+//! Experiment E1 — Figure 3: the non-smooth, non-convex cost surface.
+//!
+//! Sweeps two tile-size attributes (the L2 tiles of the `C` and `K`
+//! dimensions) of a mapping for ResNet Conv_4 on the evaluated accelerator
+//! and reports the EDP at every grid point, normalized to the algorithmic
+//! minimum. The paper's Figure 3 plots the same kind of 2-D slice as a heat
+//! map; `results/fig3_cost_surface.csv` contains `(tile_c, tile_k, edp)`
+//! triples ready for plotting.
+
+use mm_accel::CostModel;
+use mm_bench::report::{self, fmt};
+use mm_mapspace::{MapSpace, Mapping};
+use mm_workloads::{evaluated_accelerator, table1};
+
+fn main() {
+    let target = table1::by_name("ResNet Conv_4").expect("table 1 problem");
+    let problem = target.problem;
+    let arch = evaluated_accelerator();
+    let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+    let model = CostModel::new(arch, problem.clone());
+
+    // Base mapping: a reasonable hand-rolled starting point; the sweep
+    // varies the L2 tile sizes of the K and C dimensions.
+    let k = problem.dim_by_name("K").expect("K dim");
+    let c = problem.dim_by_name("C").expect("C dim");
+    let mut base = Mapping::minimal(&problem);
+    base.parallel[k.index()] = 16;
+    base.parallel[c.index()] = 16;
+    for d in problem.dims() {
+        base.tiles[0][d.index()] = 1;
+        base.tiles[1][d.index()] = problem.dim_size(d).min(4);
+    }
+
+    let k_size = problem.dim_size(k);
+    let c_size = problem.dim_size(c);
+    let steps = 24usize;
+    let mut rows = Vec::new();
+    let mut min_edp = f64::INFINITY;
+    let mut max_edp = 0.0f64;
+
+    for i in 1..=steps {
+        for j in 1..=steps {
+            let tile_k = (k_size * i as u64 / steps as u64).max(1);
+            let tile_c = (c_size * j as u64 / steps as u64).max(1);
+            let mut m = base.clone();
+            m.tiles[1][k.index()] = tile_k;
+            m.tiles[1][c.index()] = tile_c;
+            space.repair(&mut m);
+            let edp = model.normalized_edp(&m);
+            min_edp = min_edp.min(edp);
+            max_edp = max_edp.max(edp);
+            rows.push(vec![tile_k.to_string(), tile_c.to_string(), fmt(edp)]);
+        }
+    }
+
+    let path = report::write_csv("fig3_cost_surface.csv", &["tile_k_l2", "tile_c_l2", "normalized_edp"], &rows)
+        .expect("write results");
+    println!("Figure 3 (cost surface) — problem: {problem}");
+    println!("  grid: {steps} x {steps} L2 tile sizes of K and C");
+    println!("  normalized EDP range: {} .. {}", fmt(min_edp), fmt(max_edp));
+    println!(
+        "  surface roughness (max/min ratio): {}",
+        fmt(max_edp / min_edp)
+    );
+    println!("  wrote {}", path.display());
+}

@@ -1,0 +1,42 @@
+//! Experiment E6 — Figure 7a: surrogate train/test loss over epochs.
+//!
+//! Trains the CNN-Layer surrogate and reports the per-epoch training and
+//! held-out test loss; the paper's Figure 7a shows both converging together
+//! (no overfitting). Writes `results/fig7a_loss.csv`.
+
+use mm_bench::report::{self, fmt, format_table};
+use mm_bench::{train_surrogate, ExperimentScale};
+use mm_workloads::table1::Algorithm;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "Figure 7a (training/test loss), scale '{}': {} samples, {} epochs",
+        scale.name, scale.surrogate_samples, scale.surrogate_epochs
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let (_surrogate, history) =
+        train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate training");
+
+    let rows: Vec<Vec<String>> = history
+        .train_loss
+        .iter()
+        .zip(&history.test_loss)
+        .enumerate()
+        .map(|(epoch, (tr, te))| vec![epoch.to_string(), fmt(*tr as f64), fmt(*te as f64)])
+        .collect();
+    let path = report::write_csv("fig7a_loss.csv", &["epoch", "train_loss", "test_loss"], &rows)
+        .expect("write results");
+
+    println!(
+        "{}",
+        format_table(&["epoch", "train", "test"], &rows)
+    );
+    println!(
+        "final train loss {} / test loss {} (test tracks train => no overfitting)",
+        fmt(history.final_train_loss() as f64),
+        fmt(history.final_test_loss() as f64)
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Experiment E7 — Figure 7b: choosing the surrogate loss function.
+//!
+//! Trains three surrogates (MSE, MAE, Huber) on identical data and compares
+//! (a) their regression quality and (b) the quality of Phase-2 search using
+//! each surrogate on a held-out target problem. The paper finds Huber best:
+//! MSE over-punishes outliers in the heavy-tailed cost distribution, MAE
+//! under-punishes small errors. Writes `results/fig7b_loss_functions.csv`.
+
+use mm_accel::CostModel;
+use mm_bench::report::{self, fmt, format_table};
+use mm_bench::{train_surrogate_with_config, ExperimentScale};
+use mm_core::{GradientSearch, Phase2Config};
+use mm_nn::Loss;
+use mm_search::Budget;
+use mm_workloads::table1::{self, Algorithm};
+use mm_workloads::evaluated_accelerator;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!(
+        "Figure 7b (loss-function choice), scale '{}'",
+        scale.name
+    );
+    let target = table1::by_name("ResNet Conv_4").expect("target problem").problem;
+    let model = CostModel::new(evaluated_accelerator(), target.clone());
+
+    let losses = [
+        ("MSE", Loss::Mse),
+        ("MAE", Loss::Mae),
+        ("Huber", Loss::Huber { delta: 1.0 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, loss) in losses {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF17B);
+        let mut config = scale.phase1_config();
+        config.loss = loss;
+        println!("training CNN surrogate with {name} loss…");
+        let (surrogate, history) =
+            train_surrogate_with_config(Algorithm::CnnLayer, &config, &mut rng)
+                .expect("surrogate training");
+        let gs = GradientSearch::new(&surrogate, target.clone(), Phase2Config::default())
+            .expect("family match");
+        let mut search_rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+        let trace = gs.run(
+            Budget::iterations(scale.search_iterations),
+            &model,
+            &mut search_rng,
+        );
+        let normalized = trace.best_cost / model.lower_bound().edp;
+        rows.push(vec![
+            name.to_string(),
+            fmt(history.final_train_loss() as f64),
+            fmt(history.final_test_loss() as f64),
+            fmt(normalized),
+        ]);
+    }
+
+    let path = report::write_csv(
+        "fig7b_loss_functions.csv",
+        &["loss", "final_train_loss", "final_test_loss", "search_best_normalized_edp"],
+        &rows,
+    )
+    .expect("write results");
+    println!(
+        "{}",
+        format_table(
+            &["loss", "train loss", "test loss", "best EDP found (normalized)"],
+            &rows
+        )
+    );
+    println!("(the paper selects Huber; lower search EDP is better)");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Experiment E8 — Figure 7c: sensitivity to training-set size.
+//!
+//! Trains surrogates on nested subsets of one large training set (the paper
+//! uses 1 M / 2 M / 5 M / 10 M samples; we scale the absolute counts down but
+//! keep the 1:2:5:10 ratios) and compares the Phase-2 search quality obtained
+//! with each. The paper's observation — search quality is not very sensitive
+//! to dataset size beyond a modest threshold — should be visible as a
+//! flattening curve. Writes `results/fig7c_dataset_size.csv`.
+
+use mm_accel::CostModel;
+use mm_bench::report::{self, fmt, format_table};
+use mm_bench::ExperimentScale;
+use mm_core::{generate_training_set, GradientSearch, Phase2Config, Surrogate};
+use mm_search::Budget;
+use mm_workloads::cnn::CnnFamily;
+use mm_workloads::evaluated_accelerator;
+use mm_workloads::table1;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let target = table1::by_name("ResNet Conv_3").expect("target problem").problem;
+    let arch = evaluated_accelerator();
+    let model = CostModel::new(arch.clone(), target.clone());
+
+    // The paper's 1M/2M/5M/10M ladder, scaled down to the harness size.
+    let full = scale.surrogate_samples;
+    let sizes = [full / 10, full / 5, full / 2, full];
+    println!(
+        "Figure 7c (dataset-size sensitivity), scale '{}': sizes {:?}",
+        scale.name, sizes
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF17C);
+    println!("generating the full training set ({full} samples)…");
+    let full_dataset = generate_training_set(
+        &arch,
+        &CnnFamily::default(),
+        full,
+        scale.mappings_per_problem,
+        &mut rng,
+    )
+    .expect("dataset generation");
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let subset = full_dataset.truncated(n.max(64));
+        let mut train_rng = rand::rngs::StdRng::seed_from_u64(0x7C);
+        let (surrogate, history) = Surrogate::train(
+            arch.clone(),
+            &subset,
+            &scale.phase1_config(),
+            &mut train_rng,
+        )
+        .expect("surrogate training");
+        let gs = GradientSearch::new(&surrogate, target.clone(), Phase2Config::default())
+            .expect("family match");
+        let mut search_rng = rand::rngs::StdRng::seed_from_u64(0x5EED7C);
+        let trace = gs.run(
+            Budget::iterations(scale.search_iterations),
+            &model,
+            &mut search_rng,
+        );
+        rows.push(vec![
+            subset.len().to_string(),
+            fmt(history.final_test_loss() as f64),
+            fmt(trace.best_cost / model.lower_bound().edp),
+        ]);
+        println!("  {} samples done", subset.len());
+    }
+
+    let path = report::write_csv(
+        "fig7c_dataset_size.csv",
+        &["train_samples", "final_test_loss", "search_best_normalized_edp"],
+        &rows,
+    )
+    .expect("write results");
+    println!(
+        "{}",
+        format_table(
+            &["samples", "test loss", "best EDP found (normalized)"],
+            &rows
+        )
+    );
+    println!("(search quality should flatten once the dataset is 'large enough')");
+    println!("wrote {}", path.display());
+}

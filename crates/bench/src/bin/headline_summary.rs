@@ -1,0 +1,141 @@
+//! Experiment E9 — headline numbers (abstract / Section 5.4.3).
+//!
+//! Runs the iso-iteration and iso-time comparisons on a subset of Table 1
+//! problems and reports the geometric-mean EDP improvement of Mind Mappings
+//! over SA, GA, and RL, its distance from the algorithmic minimum, and its
+//! per-step speedup — the numbers quoted in the abstract
+//! (1.40× / 1.76× / 1.29× iso-iteration, 3.16× / 4.19× / 2.90× iso-time,
+//! 5.32× from the lower bound, 153.7× / 286.8× / 425.5× faster per step).
+//!
+//! Writes `results/headline_summary.csv`.
+
+use std::time::Duration;
+
+use mm_bench::comparison::{run_comparison, MethodSelection};
+use mm_bench::report::{self, fmt, format_table};
+use mm_bench::{geometric_mean, train_surrogate, ExperimentScale};
+use mm_search::Budget;
+use mm_workloads::table1::{self, Algorithm};
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Headline summary, scale '{}'", scale.name);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0EAD);
+    println!("training CNN-Layer surrogate…");
+    let (cnn, _) = train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("CNN surrogate");
+    println!("training MTTKRP surrogate…");
+    let (mttkrp, _) = train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
+
+    // A representative subset keeps the default run short; MM_SCALE=large
+    // covers all eight problems.
+    let problems: Vec<_> = if scale.name == "large" {
+        table1::all_problems()
+    } else {
+        ["ResNet Conv_4", "AlexNet Conv_2", "MTTKRP_0"]
+            .iter()
+            .map(|n| table1::by_name(n).expect("table1 problem"))
+            .collect()
+    };
+
+    let mut iso_iter = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut iso_time = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut mm_gap = Vec::new();
+    let mut step_speedups = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut rows = Vec::new();
+
+    for target in &problems {
+        let surrogate = match target.algorithm {
+            Algorithm::CnnLayer => &cnn,
+            Algorithm::Mttkrp => &mttkrp,
+        };
+        println!("iso-iteration: {}", target.problem.name);
+        let iter_result = run_comparison(
+            &target.problem,
+            Some(surrogate),
+            Budget::iterations(scale.search_iterations),
+            scale.runs,
+            MethodSelection::default(),
+            0xAB ^ target.problem.name.len() as u64,
+        );
+        println!("iso-time: {}", target.problem.name);
+        let time_result = run_comparison(
+            &target.problem,
+            Some(surrogate),
+            Budget::queries_and_time(u64::MAX / 2, Duration::from_millis(scale.time_budget_ms)),
+            scale.runs,
+            MethodSelection::default(),
+            0xCD ^ target.problem.name.len() as u64,
+        );
+
+        for (i, name) in ["SA", "GA", "RL"].iter().enumerate() {
+            if let Some(r) = iter_result.ratio_vs_mm(name) {
+                iso_iter[i].push(r);
+            }
+            if let Some(r) = time_result.ratio_vs_mm(name) {
+                iso_time[i].push(r);
+            }
+            let mm_step = time_result
+                .methods
+                .iter()
+                .find(|m| m.method == "MM")
+                .map(|m| m.seconds_per_query)
+                .unwrap_or(f64::NAN);
+            if let Some(b) = time_result.methods.iter().find(|m| m.method == *name) {
+                step_speedups[i].push(b.seconds_per_query / mm_step.max(1e-12));
+            }
+        }
+        if let Some(v) = iter_result.best_of("MM") {
+            mm_gap.push(v);
+        }
+        rows.push(vec![
+            target.problem.name.clone(),
+            fmt(iter_result.best_of("MM").unwrap_or(f64::NAN)),
+            fmt(iter_result.ratio_vs_mm("SA").unwrap_or(f64::NAN)),
+            fmt(iter_result.ratio_vs_mm("GA").unwrap_or(f64::NAN)),
+            fmt(iter_result.ratio_vs_mm("RL").unwrap_or(f64::NAN)),
+            fmt(time_result.ratio_vs_mm("SA").unwrap_or(f64::NAN)),
+            fmt(time_result.ratio_vs_mm("GA").unwrap_or(f64::NAN)),
+            fmt(time_result.ratio_vs_mm("RL").unwrap_or(f64::NAN)),
+        ]);
+    }
+
+    let header = [
+        "problem",
+        "MM EDP/LB",
+        "iso-iter SA/MM",
+        "iso-iter GA/MM",
+        "iso-iter RL/MM",
+        "iso-time SA/MM",
+        "iso-time GA/MM",
+        "iso-time RL/MM",
+    ];
+    let path = report::write_csv("headline_summary.csv", &header, &rows).expect("write results");
+    println!("{}", format_table(&header, &rows));
+
+    println!("Geometric means (this reproduction vs. paper):");
+    println!(
+        "  iso-iteration improvement vs SA/GA/RL: {} / {} / {}   (paper: 1.40 / 1.76 / 1.29)",
+        fmt(geometric_mean(&iso_iter[0])),
+        fmt(geometric_mean(&iso_iter[1])),
+        fmt(geometric_mean(&iso_iter[2]))
+    );
+    println!(
+        "  iso-time improvement vs SA/GA/RL:     {} / {} / {}   (paper: 3.16 / 4.19 / 2.90)",
+        fmt(geometric_mean(&iso_time[0])),
+        fmt(geometric_mean(&iso_time[1])),
+        fmt(geometric_mean(&iso_time[2]))
+    );
+    println!(
+        "  MM distance to algorithmic minimum: {}x   (paper: 5.32x)",
+        fmt(geometric_mean(&mm_gap))
+    );
+    println!(
+        "  per-step speedup of MM vs SA/GA/RL: {} / {} / {}   (paper: 153.7 / 286.8 / 425.5)",
+        fmt(geometric_mean(&step_speedups[0])),
+        fmt(geometric_mean(&step_speedups[1])),
+        fmt(geometric_mean(&step_speedups[2]))
+    );
+    println!("wrote {}", path.display());
+}

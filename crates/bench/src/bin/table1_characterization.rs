@@ -1,0 +1,73 @@
+//! Experiments E2 + E3 — Table 1 and the map-space characterization of
+//! Section 5.1.3.
+//!
+//! Prints the eight target problems (dimensions, MAC counts, map-space size
+//! estimates) and, for each, the mean and standard deviation of
+//! lower-bound-normalized energy and EDP over uniformly sampled valid
+//! mappings (the paper reports (44.2, 231.4) for CNN-Layer and (48.0, 51.2)
+//! for MTTKRP over 1 M samples). Writes `results/table1_characterization.csv`.
+
+use mm_bench::comparison::random_sampling_statistics;
+use mm_bench::report::{self, fmt, format_table};
+use mm_bench::ExperimentScale;
+use mm_workloads::table1::{self, Algorithm};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let samples_per_problem = (scale.characterization_samples / 8).max(100);
+    println!(
+        "Table 1 + Section 5.1.3 characterization, scale '{}': {} samples per problem",
+        scale.name, samples_per_problem
+    );
+
+    let mut rows = Vec::new();
+    let mut per_algo: std::collections::HashMap<Algorithm, Vec<f64>> = Default::default();
+    for (i, target) in table1::all_problems().into_iter().enumerate() {
+        let p = &target.problem;
+        let arch = mm_workloads::evaluated_accelerator();
+        let space = mm_mapspace::MapSpace::new(p.clone(), arch.mapping_constraints());
+        let (e_mean, e_std, edp_mean, edp_std) =
+            random_sampling_statistics(p, samples_per_problem, 0xCAFE + i as u64);
+        per_algo
+            .entry(target.algorithm)
+            .or_default()
+            .extend([e_mean, e_std]);
+        rows.push(vec![
+            p.name.clone(),
+            target.algorithm.to_string(),
+            p.dim_names
+                .iter()
+                .zip(&p.dim_sizes)
+                .map(|(n, s)| format!("{n}={s}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            format!("{:.1e}", p.total_macs() as f64),
+            format!("1e{:.1}", space.log10_size_estimate()),
+            fmt(e_mean),
+            fmt(e_std),
+            fmt(edp_mean),
+            fmt(edp_std),
+        ]);
+        println!("  {} characterized", p.name);
+    }
+
+    let header = [
+        "problem",
+        "algorithm",
+        "dimensions",
+        "MACs",
+        "map-space size",
+        "energy/LB mean",
+        "energy/LB std",
+        "EDP/LB mean",
+        "EDP/LB std",
+    ];
+    let path =
+        report::write_csv("table1_characterization.csv", &header, &rows).expect("write results");
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "paper reference (1 M samples): CNN-Layer energy/LB (mean, std) = (44.2, 231.4); \
+         MTTKRP = (48.0, 51.2)"
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,167 @@
+//! Experiment scaling: how big each experiment runs.
+//!
+//! The paper's full-scale evaluation (10 M training samples, a 9-layer MLP,
+//! 100-run averages, 10 000+ search iterations) takes many CPU-hours; the
+//! defaults here are sized so that the full harness completes on a laptop in
+//! minutes while preserving the *shape* of every result. Every knob can be
+//! overridden from the environment:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `MM_SCALE` | `quick`, `default`, or `large` preset |
+//! | `MM_SAMPLES` | surrogate training-set size |
+//! | `MM_EPOCHS` | surrogate training epochs |
+//! | `MM_ITERATIONS` | search iterations per method |
+//! | `MM_RUNS` | independent runs averaged per method |
+//! | `MM_TIME_BUDGET_MS` | iso-time wall-clock budget per method (ms) |
+
+use mm_core::Phase1Config;
+use serde::{Deserialize, Serialize};
+
+/// Knobs controlling how large each experiment runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Name of the preset (`quick` / `default` / `large`).
+    pub name: String,
+    /// Surrogate training-set size (paper: 10 M).
+    pub surrogate_samples: usize,
+    /// Mappings per representative problem during dataset generation.
+    pub mappings_per_problem: usize,
+    /// Surrogate training epochs (paper: 100).
+    pub surrogate_epochs: usize,
+    /// Hidden-layer widths of the surrogate MLP (paper: 9-layer, up to 2048).
+    pub hidden_layers: Vec<usize>,
+    /// Search iterations (cost-function queries) per method for
+    /// iso-iteration experiments (paper: until convergence, ~10⁴).
+    pub search_iterations: u64,
+    /// Independent runs averaged per method (paper: 100).
+    pub runs: usize,
+    /// Wall-clock budget per method for iso-time experiments, milliseconds
+    /// (paper: 62.5 s for MM convergence).
+    pub time_budget_ms: u64,
+    /// Number of random samples for the map-space characterization
+    /// (Section 5.1.3; paper: 1 M).
+    pub characterization_samples: usize,
+}
+
+impl ExperimentScale {
+    /// Tiny preset used in unit tests and smoke runs (seconds).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            name: "quick".to_string(),
+            surrogate_samples: 2_000,
+            mappings_per_problem: 50,
+            surrogate_epochs: 12,
+            hidden_layers: vec![64, 64],
+            search_iterations: 300,
+            runs: 2,
+            time_budget_ms: 250,
+            characterization_samples: 2_000,
+        }
+    }
+
+    /// Default preset: every figure regenerates in a few minutes total.
+    pub fn default_scale() -> Self {
+        ExperimentScale {
+            name: "default".to_string(),
+            surrogate_samples: 12_000,
+            mappings_per_problem: 100,
+            surrogate_epochs: 30,
+            hidden_layers: vec![64, 256, 128, 64],
+            search_iterations: 1_000,
+            runs: 3,
+            time_budget_ms: 2_000,
+            characterization_samples: 20_000,
+        }
+    }
+
+    /// Larger preset for overnight runs; still far below paper scale but
+    /// close enough to tighten the averages.
+    pub fn large() -> Self {
+        ExperimentScale {
+            name: "large".to_string(),
+            surrogate_samples: 200_000,
+            mappings_per_problem: 200,
+            surrogate_epochs: 60,
+            hidden_layers: vec![64, 256, 512, 256, 64],
+            search_iterations: 5_000,
+            runs: 10,
+            time_budget_ms: 20_000,
+            characterization_samples: 200_000,
+        }
+    }
+
+    /// Resolve the scale from the environment (`MM_SCALE` plus per-knob
+    /// overrides); defaults to [`ExperimentScale::default_scale`].
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("MM_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("large") => Self::large(),
+            _ => Self::default_scale(),
+        };
+        let getenv = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Some(v) = getenv("MM_SAMPLES") {
+            scale.surrogate_samples = v as usize;
+        }
+        if let Some(v) = getenv("MM_EPOCHS") {
+            scale.surrogate_epochs = v as usize;
+        }
+        if let Some(v) = getenv("MM_ITERATIONS") {
+            scale.search_iterations = v;
+        }
+        if let Some(v) = getenv("MM_RUNS") {
+            scale.runs = v as usize;
+        }
+        if let Some(v) = getenv("MM_TIME_BUDGET_MS") {
+            scale.time_budget_ms = v;
+        }
+        scale
+    }
+
+    /// The Phase-1 configuration corresponding to this scale.
+    pub fn phase1_config(&self) -> Phase1Config {
+        Phase1Config {
+            num_samples: self.surrogate_samples,
+            mappings_per_problem: self.mappings_per_problem,
+            hidden_layers: self.hidden_layers.clone(),
+            epochs: self.surrogate_epochs,
+            ..Phase1Config::default_experiment()
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let q = ExperimentScale::quick();
+        let d = ExperimentScale::default_scale();
+        let l = ExperimentScale::large();
+        assert!(q.surrogate_samples < d.surrogate_samples);
+        assert!(d.surrogate_samples < l.surrogate_samples);
+        assert!(q.search_iterations <= d.search_iterations);
+        assert!(d.runs <= l.runs);
+    }
+
+    #[test]
+    fn phase1_config_reflects_scale() {
+        let s = ExperimentScale::quick();
+        let c = s.phase1_config();
+        assert_eq!(c.num_samples, s.surrogate_samples);
+        assert_eq!(c.epochs, s.surrogate_epochs);
+        assert_eq!(c.hidden_layers, s.hidden_layers);
+    }
+
+    #[test]
+    fn default_trait_matches_default_scale() {
+        assert_eq!(ExperimentScale::default(), ExperimentScale::default_scale());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the map-space invariants on randomly generated
+//! problems and constraints (not just the paper's workloads).
+
+use mm_mapspace::problem::{DimId, ProblemSpec, TensorDim, TensorKind, TensorSpec};
+use mm_mapspace::{Encoding, MapSpace, Mapping, MappingConstraints};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a random matrix-multiply-like problem: O[i,j] = Σ_k A[i,k] · B[k,j].
+fn matmul_problem(i: u64, j: u64, k: u64) -> ProblemSpec {
+    ProblemSpec::new(
+        "prop-matmul",
+        vec![("I", i), ("J", j), ("K", k)],
+        vec![
+            TensorSpec::new(
+                "A",
+                TensorKind::Input,
+                vec![TensorDim::Single(DimId(0)), TensorDim::Single(DimId(2))],
+            ),
+            TensorSpec::new(
+                "B",
+                TensorKind::Input,
+                vec![TensorDim::Single(DimId(2)), TensorDim::Single(DimId(1))],
+            ),
+            TensorSpec::new(
+                "O",
+                TensorKind::Output,
+                vec![TensorDim::Single(DimId(0)), TensorDim::Single(DimId(1))],
+            ),
+        ],
+    )
+}
+
+fn constraints(pes: u64, l1: u64, l2: u64) -> MappingConstraints {
+    MappingConstraints {
+        num_pes: pes,
+        l1_capacity_words: l1,
+        l2_capacity_words: l2,
+        l1_banks: 8,
+        l2_banks: 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sampling always returns a valid member of the map space, for any
+    /// problem shape and any (sane) accelerator constraints.
+    #[test]
+    fn random_mapping_is_always_valid(
+        seed in 0u64..u64::MAX,
+        i in 1u64..512,
+        j in 1u64..512,
+        k in 1u64..512,
+        pes in 1u64..128,
+        l1 in 64u64..4096,
+        l2 in prop::sample::select(vec![1024u64, 8192, 65536]),
+    ) {
+        let problem = matmul_problem(i, j, k);
+        let space = MapSpace::new(problem, constraints(pes, l1, l2));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = space.random_mapping(&mut rng);
+        prop_assert!(space.is_member(&m), "{:?}", space.validate(&m));
+        prop_assert!(m.active_pes() <= pes);
+    }
+
+    /// Projection of arbitrary vectors always lands inside the map space,
+    /// and projecting an already-valid mapping's encoding is idempotent on
+    /// the discrete attributes.
+    #[test]
+    fn projection_is_total_and_idempotent(
+        seed in 0u64..u64::MAX,
+        i in 1u64..300,
+        j in 1u64..300,
+        k in 1u64..300,
+        noise_scale in 1.0f32..500.0,
+    ) {
+        let problem = matmul_problem(i, j, k);
+        let space = MapSpace::new(problem.clone(), MappingConstraints::example());
+        let enc = Encoding::for_problem(&problem);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        use rand::Rng;
+        let noise: Vec<f32> = (0..enc.mapping_len())
+            .map(|_| rng.gen_range(-noise_scale..noise_scale))
+            .collect();
+        let projected = space.project(&noise).unwrap();
+        prop_assert!(space.is_member(&projected));
+
+        let valid = space.random_mapping(&mut rng);
+        let reprojected = space.project(&enc.encode_mapping(&problem, &valid)).unwrap();
+        prop_assert_eq!(&reprojected.tiles[0], &valid.tiles[0]);
+        prop_assert_eq!(&reprojected.parallel, &valid.parallel);
+        prop_assert_eq!(&reprojected.loop_orders, &valid.loop_orders);
+    }
+
+    /// The minimal mapping is valid for every problem/constraint pair whose
+    /// L1 can hold at least one word per tensor.
+    #[test]
+    fn minimal_mapping_is_always_valid(
+        i in 1u64..1000,
+        j in 1u64..1000,
+        k in 1u64..1000,
+        pes in 1u64..512,
+    ) {
+        let problem = matmul_problem(i, j, k);
+        let space = MapSpace::new(problem.clone(), constraints(pes, 256, 4096));
+        let m = Mapping::minimal(&problem);
+        prop_assert!(space.is_member(&m), "{:?}", space.validate(&m));
+    }
+
+    /// Encoding lengths follow the closed-form layout for any problem shape.
+    #[test]
+    fn encoding_length_formula(dims in 1usize..10, tensors in 1usize..6) {
+        let enc = Encoding { num_dims: dims, num_tensors: tensors };
+        prop_assert_eq!(enc.mapping_len(), 7 * dims + 2 * tensors);
+        prop_assert_eq!(enc.total_len(), 8 * dims + 2 * tensors);
+    }
+}

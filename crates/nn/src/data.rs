@@ -1,0 +1,320 @@
+//! Datasets and z-score normalization.
+//!
+//! Section 4.1.2/4.1.3 normalizes every input value and every output value to
+//! zero mean and unit standard deviation over the training set ("input
+//! whitening"); [`Normalizer`] implements exactly that, and [`Dataset`]
+//! bundles normalized examples with shuffled mini-batch iteration and
+//! train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::NnError;
+
+/// Per-feature z-score normalizer: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fit a normalizer to a set of feature vectors.
+    ///
+    /// Features with (near-)zero variance get a standard deviation of 1 so
+    /// that normalization is always well defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a normalizer to no data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "inconsistent feature dimensions");
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; dim];
+        for row in rows {
+            for ((s, &v), m) in var.iter_mut().zip(row).zip(&mean) {
+                let d = v as f64 - m;
+                *s += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&s| {
+                let sd = (s / n).sqrt();
+                if sd < 1e-8 {
+                    1.0
+                } else {
+                    sd as f32
+                }
+            })
+            .collect();
+        Normalizer {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// Identity normalizer for `dim` features (mean 0, std 1).
+    pub fn identity(dim: usize) -> Self {
+        Normalizer {
+            mean: vec![0.0; dim],
+            std: vec![1.0; dim],
+        }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Normalize one vector.
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Invert the normalization of one vector.
+    pub fn inverse(&self, x: &[f32]) -> Vec<f32> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| v * s + m)
+            .collect()
+    }
+
+    /// Invert a single feature.
+    pub fn inverse_feature(&self, index: usize, value: f32) -> f32 {
+        value * self.std[index] + self.mean[index]
+    }
+
+    /// Scale a gradient expressed w.r.t. normalized inputs back to the raw
+    /// input space (`d/dx = d/dx' · 1/std`).
+    pub fn gradient_to_raw(&self, grad_normalized: &[f32]) -> Vec<f32> {
+        grad_normalized
+            .iter()
+            .zip(&self.std)
+            .map(|(&g, &s)| g / s)
+            .collect()
+    }
+}
+
+/// A supervised dataset of `(input, target)` vector pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    inputs: Vec<Vec<f32>>,
+    targets: Vec<Vec<f32>>,
+}
+
+impl Dataset {
+    /// Create a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadDataset`] if the lists are empty, have different
+    /// lengths, or rows have inconsistent dimensions.
+    pub fn new(inputs: Vec<Vec<f32>>, targets: Vec<Vec<f32>>) -> Result<Self, NnError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(NnError::BadDataset {
+                what: format!(
+                    "{} inputs vs {} targets (must be equal and nonzero)",
+                    inputs.len(),
+                    targets.len()
+                ),
+            });
+        }
+        let in_dim = inputs[0].len();
+        let out_dim = targets[0].len();
+        if inputs.iter().any(|r| r.len() != in_dim) || targets.iter().any(|r| r.len() != out_dim) {
+            return Err(NnError::BadDataset {
+                what: "inconsistent row dimensions".to_string(),
+            });
+        }
+        Ok(Dataset { inputs, targets })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty (never true for constructed datasets).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Target dimensionality.
+    pub fn target_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// Borrow the raw inputs.
+    pub fn inputs(&self) -> &[Vec<f32>] {
+        &self.inputs
+    }
+
+    /// Borrow the raw targets.
+    pub fn targets(&self) -> &[Vec<f32>] {
+        &self.targets
+    }
+
+    /// Fit normalizers to the inputs and targets of this dataset.
+    pub fn fit_normalizers(&self) -> (Normalizer, Normalizer) {
+        (Normalizer::fit(&self.inputs), Normalizer::fit(&self.targets))
+    }
+
+    /// Return a new dataset with both inputs and targets normalized.
+    pub fn normalized(&self, input_norm: &Normalizer, target_norm: &Normalizer) -> Dataset {
+        Dataset {
+            inputs: self.inputs.iter().map(|r| input_norm.transform(r)).collect(),
+            targets: self
+                .targets
+                .iter()
+                .map(|r| target_norm.transform(r))
+                .collect(),
+        }
+    }
+
+    /// Split into `(train, test)` with the given test fraction, shuffling
+    /// with `rng` first.
+    pub fn split<R: Rng + ?Sized>(&self, test_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.clamp(1, self.len().saturating_sub(1).max(1));
+        let (test_idx, train_idx) = idx.split_at(n_test.min(self.len()));
+        let pick = |ids: &[usize]| Dataset {
+            inputs: ids.iter().map(|&i| self.inputs[i].clone()).collect(),
+            targets: ids.iter().map(|&i| self.targets[i].clone()).collect(),
+        };
+        (pick(train_idx), pick(test_idx))
+    }
+
+    /// Materialize a batch of examples (by index) as matrices.
+    pub fn batch(&self, indices: &[usize]) -> (Matrix, Matrix) {
+        let xs: Vec<Vec<f32>> = indices.iter().map(|&i| self.inputs[i].clone()).collect();
+        let ys: Vec<Vec<f32>> = indices.iter().map(|&i| self.targets[i].clone()).collect();
+        (Matrix::from_rows(&xs), Matrix::from_rows(&ys))
+    }
+
+    /// The whole dataset as a pair of matrices.
+    pub fn as_matrices(&self) -> (Matrix, Matrix) {
+        (Matrix::from_rows(&self.inputs), Matrix::from_rows(&self.targets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizer_zero_mean_unit_std() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let norm = Normalizer::fit(&rows);
+        let transformed: Vec<Vec<f32>> = rows.iter().map(|r| norm.transform(r)).collect();
+        for j in 0..2 {
+            let mean: f32 = transformed.iter().map(|r| r[j]).sum::<f32>() / 3.0;
+            let var: f32 = transformed.iter().map(|r| (r[j] - mean).powi(2)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalizer_roundtrip() {
+        let rows = vec![vec![1.0, -5.0, 3.0], vec![2.0, 0.0, 9.0], vec![0.5, 5.0, -3.0]];
+        let norm = Normalizer::fit(&rows);
+        for r in &rows {
+            let back = norm.inverse(&norm.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+        assert!((norm.inverse_feature(0, norm.transform(&rows[0])[0]) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalizer_handles_constant_features() {
+        let rows = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let norm = Normalizer::fit(&rows);
+        let t = norm.transform(&[7.0]);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(norm.inverse(&t)[0], 7.0);
+    }
+
+    #[test]
+    fn gradient_to_raw_divides_by_std() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let norm = Normalizer::fit(&rows); // std = 5
+        let g = norm.gradient_to_raw(&[1.0]);
+        assert!((g[0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dataset_construction_and_split() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys: Vec<Vec<f32>> = (0..20).map(|i| vec![2.0 * i as f32]).collect();
+        let ds = Dataset::new(xs, ys).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.input_dim(), 1);
+        assert_eq!(ds.target_dim(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, test) = ds.split(0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), 20);
+        assert_eq!(test.len(), 5);
+    }
+
+    #[test]
+    fn dataset_rejects_mismatched_lengths() {
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![1.0]; 2]).is_err());
+        assert!(Dataset::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn batch_materialization() {
+        let xs: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32, 1.0]).collect();
+        let ys: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 * 3.0]).collect();
+        let ds = Dataset::new(xs, ys).unwrap();
+        let (bx, by) = ds.batch(&[0, 2]);
+        assert_eq!(bx.rows(), 2);
+        assert_eq!(bx.get(1, 0), 2.0);
+        assert_eq!(by.get(1, 0), 6.0);
+        let (ax, ay) = ds.as_matrices();
+        assert_eq!(ax.rows(), 4);
+        assert_eq!(ay.rows(), 4);
+    }
+
+    #[test]
+    fn normalized_dataset_statistics() {
+        let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, 100.0 - i as f32]).collect();
+        let ys: Vec<Vec<f32>> = (0..50).map(|i| vec![(i * i) as f32]).collect();
+        let ds = Dataset::new(xs, ys).unwrap();
+        let (inorm, tnorm) = ds.fit_normalizers();
+        let nds = ds.normalized(&inorm, &tnorm);
+        let mean0: f32 = nds.inputs().iter().map(|r| r[0]).sum::<f32>() / 50.0;
+        assert!(mean0.abs() < 1e-4);
+    }
+}

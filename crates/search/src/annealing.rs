@@ -1,0 +1,196 @@
+//! Simulated Annealing (Kirkpatrick et al.), the `simanneal`-style baseline
+//! of Appendix A.
+//!
+//! The implementation mirrors the library used by the paper: a geometric
+//! cooling schedule between an automatically chosen initial temperature and a
+//! small final temperature, Metropolis acceptance of uphill moves, and the
+//! map space's single-attribute perturbation as the neighbourhood move.
+
+use std::time::Instant;
+
+use mm_mapspace::MapSpace;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{Budget, Objective, Searcher};
+use crate::trace::SearchTrace;
+
+/// Simulated Annealing hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingConfig {
+    /// Initial temperature. When `None`, the temperature is auto-tuned from
+    /// the cost spread of a handful of random mappings (the `simanneal`
+    /// auto-tuning behaviour referenced in Appendix A).
+    pub initial_temperature: Option<f64>,
+    /// Final temperature as a fraction of the initial temperature.
+    pub final_temperature_fraction: f64,
+    /// Number of neighbourhood moves per temperature step.
+    pub moves_per_temperature: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            initial_temperature: None,
+            final_temperature_fraction: 1e-4,
+            moves_per_temperature: 10,
+        }
+    }
+}
+
+/// Simulated Annealing searcher.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    config: AnnealingConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Create a simulated-annealing searcher.
+    pub fn new(config: AnnealingConfig) -> Self {
+        SimulatedAnnealing { config }
+    }
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        Self::new(AnnealingConfig::default())
+    }
+}
+
+impl Searcher for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "SA"
+    }
+
+    fn search(
+        &mut self,
+        space: &MapSpace,
+        objective: &mut dyn Objective,
+        budget: Budget,
+        rng: &mut StdRng,
+    ) -> SearchTrace {
+        let start = Instant::now();
+        let mut trace = SearchTrace::new(self.name());
+
+        let mut current = space.random_mapping(rng);
+        let mut current_cost = objective.cost(&current);
+        trace.record(current_cost, &current, start.elapsed());
+
+        // Auto-tune the initial temperature from a few probe moves so that a
+        // typical uphill move is accepted with ~60% probability initially.
+        let t0 = self.config.initial_temperature.unwrap_or_else(|| {
+            let mut spread = 0.0f64;
+            let probes = 8u64;
+            for _ in 0..probes {
+                if budget.exhausted(objective.queries(), start.elapsed()) {
+                    break;
+                }
+                let n = space.neighbor(&current, rng);
+                let c = objective.cost(&n);
+                trace.record(c, &n, start.elapsed());
+                spread += (c - current_cost).abs();
+            }
+            (spread / probes as f64).max(current_cost.abs() * 1e-3).max(1e-30) / 0.5
+        });
+        let t_final = (t0 * self.config.final_temperature_fraction).max(1e-300);
+
+        // Geometric cooling sized to the remaining query budget.
+        let remaining = budget
+            .max_queries
+            .saturating_sub(objective.queries())
+            .max(1);
+        let steps = (remaining / self.config.moves_per_temperature.max(1)).max(1);
+        let alpha = (t_final / t0).powf(1.0 / steps as f64);
+
+        let mut temperature = t0;
+        'outer: loop {
+            for _ in 0..self.config.moves_per_temperature {
+                if budget.exhausted(objective.queries(), start.elapsed()) {
+                    break 'outer;
+                }
+                let candidate = space.neighbor(&current, rng);
+                let cost = objective.cost(&candidate);
+                trace.record(cost, &candidate, start.elapsed());
+                let delta = cost - current_cost;
+                let accept = delta <= 0.0
+                    || rng.gen_range(0.0..1.0) < (-delta / temperature.max(1e-300)).exp();
+                if accept {
+                    current = candidate;
+                    current_cost = cost;
+                }
+            }
+            temperature = (temperature * alpha).max(t_final);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::{Mapping, ProblemSpec};
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, CostModel) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(512, 7);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        (space, CostModel::new(arch, problem))
+    }
+
+    #[test]
+    fn respects_query_budget() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut sa = SimulatedAnnealing::default();
+        let trace = sa.search(&space, &mut obj, Budget::iterations(100), &mut rng);
+        assert_eq!(obj.queries(), 100);
+        assert_eq!(trace.len(), 100);
+    }
+
+    #[test]
+    fn improves_over_initial_mapping() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut sa = SimulatedAnnealing::default();
+        let trace = sa.search(&space, &mut obj, Budget::iterations(400), &mut rng);
+        assert!(trace.best_cost < trace.points[0].cost);
+        assert!(space.is_member(trace.best_mapping.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut sa = SimulatedAnnealing::new(AnnealingConfig {
+            initial_temperature: Some(1e-3),
+            ..AnnealingConfig::default()
+        });
+        let trace = sa.search(&space, &mut obj, Budget::iterations(200), &mut rng);
+        for w in trace.points.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+    }
+
+    #[test]
+    fn time_budget_terminates_quickly() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut sa = SimulatedAnnealing::default();
+        let start = std::time::Instant::now();
+        let _ = sa.search(
+            &space,
+            &mut obj,
+            Budget::time(std::time::Duration::from_millis(50)),
+            &mut rng,
+        );
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+}

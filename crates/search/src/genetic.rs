@@ -1,0 +1,212 @@
+//! Genetic Algorithm baseline (Appendix A): DEAP-style evolutionary search
+//! with an initial population of 100, crossover probability 0.75, and
+//! per-individual mutation probability 0.05, tournament selection by fitness
+//! (EDP).
+
+use std::time::Instant;
+
+use mm_mapspace::{MapSpace, Mapping};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{Budget, Objective, Searcher};
+use crate::trace::SearchTrace;
+
+/// Genetic Algorithm hyper-parameters (paper defaults from Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneticConfig {
+    /// Population size.
+    pub population: usize,
+    /// Probability that a selected pair is recombined.
+    pub crossover_probability: f64,
+    /// Probability that each attribute of an individual is randomly mutated.
+    pub mutation_probability: f64,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Number of elite individuals carried over unchanged each generation.
+    pub elitism: usize,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig {
+            population: 100,
+            crossover_probability: 0.75,
+            mutation_probability: 0.05,
+            tournament_size: 3,
+            elitism: 2,
+        }
+    }
+}
+
+/// Genetic Algorithm searcher.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    config: GeneticConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Create a GA searcher.
+    pub fn new(config: GeneticConfig) -> Self {
+        GeneticAlgorithm { config }
+    }
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        Self::new(GeneticConfig::default())
+    }
+}
+
+struct Individual {
+    mapping: Mapping,
+    fitness: f64,
+}
+
+impl Searcher for GeneticAlgorithm {
+    fn name(&self) -> &str {
+        "GA"
+    }
+
+    fn search(
+        &mut self,
+        space: &MapSpace,
+        objective: &mut dyn Objective,
+        budget: Budget,
+        rng: &mut StdRng,
+    ) -> SearchTrace {
+        let start = Instant::now();
+        let mut trace = SearchTrace::new(self.name());
+        let popsize = self.config.population.max(2);
+
+        // Initial population.
+        let mut population: Vec<Individual> = Vec::with_capacity(popsize);
+        for _ in 0..popsize {
+            if budget.exhausted(objective.queries(), start.elapsed()) {
+                break;
+            }
+            let mapping = space.random_mapping(rng);
+            let fitness = objective.cost(&mapping);
+            trace.record(fitness, &mapping, start.elapsed());
+            population.push(Individual { mapping, fitness });
+        }
+        if population.is_empty() {
+            return trace;
+        }
+
+        let tournament = |pop: &[Individual], rng: &mut StdRng| -> usize {
+            let mut best = rng.gen_range(0..pop.len());
+            for _ in 1..self.config.tournament_size.max(1) {
+                let other = rng.gen_range(0..pop.len());
+                if pop[other].fitness < pop[best].fitness {
+                    best = other;
+                }
+            }
+            best
+        };
+
+        while !budget.exhausted(objective.queries(), start.elapsed()) {
+            // Sort ascending by fitness (EDP): lower is better.
+            population.sort_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap());
+            let mut next: Vec<Individual> = Vec::with_capacity(popsize);
+            // Elitism: carry over the best individuals without re-evaluation.
+            for elite in population.iter().take(self.config.elitism.min(popsize)) {
+                next.push(Individual {
+                    mapping: elite.mapping.clone(),
+                    fitness: elite.fitness,
+                });
+            }
+            while next.len() < popsize {
+                if budget.exhausted(objective.queries(), start.elapsed()) {
+                    break;
+                }
+                let pa = tournament(&population, rng);
+                let pb = tournament(&population, rng);
+                let mut child = if rng.gen_bool(self.config.crossover_probability) {
+                    space.crossover(&population[pa].mapping, &population[pb].mapping, rng)
+                } else {
+                    population[pa].mapping.clone()
+                };
+                // Per-attribute mutation: apply the map space's mutation
+                // kernel with the configured probability, several times to
+                // approximate "each attribute mutates independently".
+                let attributes = space.problem().num_dims() * 3 + space.problem().num_tensors();
+                for _ in 0..attributes {
+                    if rng.gen_bool(self.config.mutation_probability) {
+                        space.mutate_in_place(&mut child, rng);
+                    }
+                }
+                space.repair(&mut child);
+                let fitness = objective.cost(&child);
+                trace.record(fitness, &child, start.elapsed());
+                next.push(Individual {
+                    mapping: child,
+                    fitness,
+                });
+            }
+            if next.is_empty() {
+                break;
+            }
+            population = next;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::ProblemSpec;
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, CostModel) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(512, 7);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        (space, CostModel::new(arch, problem))
+    }
+
+    #[test]
+    fn respects_query_budget_exactly() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut ga = GeneticAlgorithm::new(GeneticConfig {
+            population: 10,
+            ..GeneticConfig::default()
+        });
+        let trace = ga.search(&space, &mut obj, Budget::iterations(77), &mut rng);
+        assert_eq!(obj.queries(), 77);
+        assert_eq!(trace.len(), 77);
+    }
+
+    #[test]
+    fn population_evolution_improves_over_initial_generation() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut ga = GeneticAlgorithm::new(GeneticConfig {
+            population: 16,
+            ..GeneticConfig::default()
+        });
+        let trace = ga.search(&space, &mut obj, Budget::iterations(400), &mut rng);
+        // Best of the initial random generation vs. final best.
+        let initial_best = trace.points[..16]
+            .iter()
+            .map(|p| p.cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(trace.best_cost <= initial_best);
+        assert!(space.is_member(trace.best_mapping.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn default_config_matches_appendix_a() {
+        let c = GeneticConfig::default();
+        assert_eq!(c.population, 100);
+        assert!((c.crossover_probability - 0.75).abs() < 1e-9);
+        assert!((c.mutation_probability - 0.05).abs() < 1e-9);
+    }
+}

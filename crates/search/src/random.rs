@@ -1,0 +1,69 @@
+//! Uniform random search: repeatedly sample valid mappings and keep the
+//! best. A sanity baseline that any guided method should beat.
+
+use std::time::Instant;
+
+use mm_mapspace::MapSpace;
+use rand::rngs::StdRng;
+
+use crate::objective::{Budget, Objective, Searcher};
+use crate::trace::SearchTrace;
+
+/// Uniform random search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Create a random-search baseline.
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl Searcher for RandomSearch {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn search(
+        &mut self,
+        space: &MapSpace,
+        objective: &mut dyn Objective,
+        budget: Budget,
+        rng: &mut StdRng,
+    ) -> SearchTrace {
+        let start = Instant::now();
+        let mut trace = SearchTrace::new(self.name());
+        while !budget.exhausted(objective.queries(), start.elapsed()) {
+            let mapping = space.random_mapping(rng);
+            let cost = objective.cost(&mapping);
+            trace.record(cost, &mapping, start.elapsed());
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::{Mapping, ProblemSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_search_exhausts_budget_and_finds_finite_cost() {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(256, 5);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut rs = RandomSearch::new();
+        let trace = rs.search(&space, &mut obj, Budget::iterations(50), &mut rng);
+        assert_eq!(trace.len(), 50);
+        assert!(trace.best_cost.is_finite());
+        assert!(trace.best_cost > 0.0);
+        assert_eq!(trace.method, "Random");
+    }
+}

@@ -1,0 +1,390 @@
+//! Reinforcement-learning baseline: a deep-deterministic-policy-gradient
+//! (DDPG) actor–critic agent, following the HAQ-derived setup described in
+//! Appendix A.
+//!
+//! The mapping problem is modelled as an MDP whose states are encoded
+//! mappings. The actor proposes a continuous perturbation of the current
+//! (normalized) mapping vector; the environment projects the perturbed vector
+//! back onto the valid map space, evaluates its cost, and returns
+//! `-log10(cost)` as the reward. The critic learns `Q(s, a)` and the actor is
+//! updated along `∂Q/∂a`, exactly as in DDPG (actor and critic are
+//! fully-connected networks, with soft-updated target copies).
+
+use std::time::Instant;
+
+use mm_mapspace::{Encoding, MapSpace};
+use mm_nn::optim::{Adam, Optimizer};
+use mm_nn::{Activation, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{Budget, Objective, Searcher};
+use crate::trace::SearchTrace;
+
+/// DDPG hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// Hidden width of the actor and critic networks (the paper uses 300).
+    pub hidden: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Soft target-update rate.
+    pub tau: f32,
+    /// Learning rate for the actor.
+    pub actor_lr: f32,
+    /// Learning rate for the critic.
+    pub critic_lr: f32,
+    /// Replay-buffer capacity.
+    pub replay_capacity: usize,
+    /// Mini-batch size for updates.
+    pub batch_size: usize,
+    /// Number of environment steps before learning starts.
+    pub warmup: usize,
+    /// Episode length (steps before resetting to a fresh random mapping).
+    pub episode_len: usize,
+    /// Scale of the actor's action in normalized state units.
+    pub action_scale: f32,
+    /// Initial standard deviation of the exploration noise.
+    pub exploration_noise: f32,
+    /// Multiplicative decay of the exploration noise per episode.
+    pub noise_decay: f32,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            hidden: 64,
+            gamma: 0.95,
+            tau: 0.01,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            replay_capacity: 4096,
+            batch_size: 32,
+            warmup: 64,
+            episode_len: 32,
+            action_scale: 0.25,
+            exploration_noise: 0.4,
+            noise_decay: 0.97,
+        }
+    }
+}
+
+/// One replay-buffer transition.
+#[derive(Debug, Clone)]
+struct Transition {
+    state: Vec<f32>,
+    action: Vec<f32>,
+    reward: f32,
+    next_state: Vec<f32>,
+}
+
+/// DDPG-style actor–critic searcher.
+#[derive(Debug, Clone)]
+pub struct DdpgAgent {
+    config: DdpgConfig,
+}
+
+impl DdpgAgent {
+    /// Create a DDPG agent.
+    pub fn new(config: DdpgConfig) -> Self {
+        DdpgAgent { config }
+    }
+}
+
+impl Default for DdpgAgent {
+    fn default() -> Self {
+        Self::new(DdpgConfig::default())
+    }
+}
+
+/// Per-feature scales mapping raw encoded mapping values into roughly unit
+/// range (and back).
+fn feature_scales(space: &MapSpace, enc: &Encoding) -> Vec<f32> {
+    let p = space.problem();
+    let d = enc.num_dims;
+    let t = enc.num_tensors;
+    let mut scales = Vec::with_capacity(enc.mapping_len());
+    // Tile factors for 3 levels.
+    for _level in 0..3 {
+        for dim in 0..d {
+            scales.push(p.dim_sizes[dim] as f32);
+        }
+    }
+    // Parallelism.
+    for dim in 0..d {
+        scales.push((p.dim_sizes[dim].min(space.constraints().num_pes)) as f32);
+    }
+    // Loop-order positions.
+    for _level in 0..3 {
+        for _dim in 0..d {
+            scales.push(d.max(1) as f32);
+        }
+    }
+    // Buffer allocation fractions are already in [0, 1].
+    for _ in 0..2 * t {
+        scales.push(1.0);
+    }
+    scales.iter().map(|&s| s.max(1.0)).collect()
+}
+
+fn normalize(raw: &[f32], scales: &[f32]) -> Vec<f32> {
+    raw.iter().zip(scales).map(|(&v, &s)| v / s).collect()
+}
+
+fn denormalize(state: &[f32], scales: &[f32]) -> Vec<f32> {
+    state.iter().zip(scales).map(|(&v, &s)| v * s).collect()
+}
+
+/// Soft update: `target ← tau · source + (1 − tau) · target`.
+fn soft_update(target: &mut Mlp, source: &Mlp, tau: f32) {
+    for (tl, sl) in target.layers_mut().iter_mut().zip(source.layers()) {
+        for (t, s) in tl
+            .weight
+            .as_mut_slice()
+            .iter_mut()
+            .zip(sl.weight.as_slice())
+        {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+        for (t, s) in tl.bias.iter_mut().zip(&sl.bias) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+    }
+}
+
+impl Searcher for DdpgAgent {
+    fn name(&self) -> &str {
+        "RL"
+    }
+
+    fn search(
+        &mut self,
+        space: &MapSpace,
+        objective: &mut dyn Objective,
+        budget: Budget,
+        rng: &mut StdRng,
+    ) -> SearchTrace {
+        let cfg = self.config;
+        let start = Instant::now();
+        let mut trace = SearchTrace::new(self.name());
+
+        let enc = Encoding::for_problem(space.problem());
+        let dim = enc.mapping_len();
+        let scales = feature_scales(space, &enc);
+
+        let mut actor = Mlp::with_activations(
+            &[dim, cfg.hidden, cfg.hidden, dim],
+            Activation::Relu,
+            Activation::Tanh,
+            rng,
+        );
+        let mut critic = Mlp::new(&[2 * dim, cfg.hidden, cfg.hidden, 1], rng);
+        let mut actor_target = actor.clone();
+        let mut critic_target = critic.clone();
+        let mut actor_opt = Adam::new(cfg.actor_lr);
+        let mut critic_opt = Adam::new(cfg.critic_lr);
+
+        let mut replay: Vec<Transition> = Vec::with_capacity(cfg.replay_capacity);
+        let mut replay_next = 0usize;
+        let mut noise = cfg.exploration_noise;
+
+        let mut current = space.random_mapping(rng);
+        let mut state = normalize(&enc.encode_mapping(space.problem(), &current), &scales);
+        let mut steps_in_episode = 0usize;
+
+        while !budget.exhausted(objective.queries(), start.elapsed()) {
+            // Actor proposes a perturbation; add exploration noise.
+            let mut action = actor.predict(&state);
+            for a in &mut action {
+                *a = (*a + rng.gen_range(-1.0f32..1.0) * noise).clamp(-1.0, 1.0);
+            }
+
+            // Environment step: apply the action in normalized space and
+            // project back to a valid mapping.
+            let mut next_raw: Vec<f32> = state
+                .iter()
+                .zip(&action)
+                .map(|(&s, &a)| s + a * cfg.action_scale)
+                .collect();
+            next_raw = denormalize(&next_raw, &scales);
+            let next_mapping = match space.project(&next_raw) {
+                Ok(m) => m,
+                Err(_) => space.random_mapping(rng),
+            };
+            let cost = objective.cost(&next_mapping);
+            trace.record(cost, &next_mapping, start.elapsed());
+            let reward = -(cost.max(1e-300)).log10() as f32;
+            let next_state = normalize(&enc.encode_mapping(space.problem(), &next_mapping), &scales);
+
+            // Store the transition.
+            let transition = Transition {
+                state: state.clone(),
+                action: action.clone(),
+                reward,
+                next_state: next_state.clone(),
+            };
+            if replay.len() < cfg.replay_capacity {
+                replay.push(transition);
+            } else {
+                replay[replay_next % cfg.replay_capacity] = transition;
+                replay_next += 1;
+            }
+
+            // Learning step.
+            if replay.len() >= cfg.warmup.max(cfg.batch_size) {
+                let batch: Vec<&Transition> = (0..cfg.batch_size)
+                    .map(|_| &replay[rng.gen_range(0..replay.len())])
+                    .collect();
+
+                // Critic update: y = r + gamma * Q'(s', a'(s')).
+                let next_states =
+                    Matrix::from_rows(&batch.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>());
+                let next_actions = actor_target.forward(&next_states);
+                let mut next_sa_rows = Vec::with_capacity(batch.len());
+                for (i, t) in batch.iter().enumerate() {
+                    let mut row = t.next_state.clone();
+                    row.extend_from_slice(next_actions.row(i));
+                    next_sa_rows.push(row);
+                }
+                let q_next = critic_target.forward(&Matrix::from_rows(&next_sa_rows));
+                let targets: Vec<Vec<f32>> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| vec![t.reward + cfg.gamma * q_next.get(i, 0)])
+                    .collect();
+                let sa_rows: Vec<Vec<f32>> = batch
+                    .iter()
+                    .map(|t| {
+                        let mut row = t.state.clone();
+                        row.extend_from_slice(&t.action);
+                        row
+                    })
+                    .collect();
+                let sa = Matrix::from_rows(&sa_rows);
+                let target_m = Matrix::from_rows(&targets);
+                let cache = critic.forward_cached(&sa);
+                let loss_grad = {
+                    // MSE gradient.
+                    let mut g = cache.output().clone();
+                    for (gv, tv) in g.as_mut_slice().iter_mut().zip(target_m.as_slice()) {
+                        *gv = 2.0 * (*gv - tv) / batch.len() as f32;
+                    }
+                    g
+                };
+                let (critic_grads, _) = critic.backward(&cache, &loss_grad);
+                critic_opt.step(&mut critic, &critic_grads);
+
+                // Actor update: ascend ∂Q(s, π(s))/∂θ_π.
+                let states =
+                    Matrix::from_rows(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
+                let actor_cache = actor.forward_cached(&states);
+                let proposed = actor_cache.output().clone();
+                let mut sa_pi_rows = Vec::with_capacity(batch.len());
+                for (i, t) in batch.iter().enumerate() {
+                    let mut row = t.state.clone();
+                    row.extend_from_slice(proposed.row(i));
+                    sa_pi_rows.push(row);
+                }
+                let sa_pi = Matrix::from_rows(&sa_pi_rows);
+                let critic_cache = critic.forward_cached(&sa_pi);
+                // dQ/d[s;a], we want -dQ/da (gradient ascent on Q).
+                let ones = Matrix::from_vec(
+                    batch.len(),
+                    1,
+                    vec![-1.0 / batch.len() as f32; batch.len()],
+                );
+                let (_, grad_sa) = critic.backward(&critic_cache, &ones);
+                let mut grad_action = Matrix::zeros(batch.len(), dim);
+                for i in 0..batch.len() {
+                    for j in 0..dim {
+                        grad_action.set(i, j, grad_sa.get(i, dim + j));
+                    }
+                }
+                let (actor_grads, _) = actor.backward(&actor_cache, &grad_action);
+                actor_opt.step(&mut actor, &actor_grads);
+
+                // Soft-update the targets.
+                soft_update(&mut actor_target, &actor, cfg.tau);
+                soft_update(&mut critic_target, &critic, cfg.tau);
+            }
+
+            // Advance the episode.
+            state = next_state;
+            current = next_mapping;
+            steps_in_episode += 1;
+            if steps_in_episode >= cfg.episode_len {
+                steps_in_episode = 0;
+                noise *= cfg.noise_decay;
+                current = space.random_mapping(rng);
+                state = normalize(&enc.encode_mapping(space.problem(), &current), &scales);
+            }
+        }
+        let _ = current;
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::{Mapping, ProblemSpec};
+    use rand::SeedableRng;
+
+    fn setup() -> (MapSpace, CostModel) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(512, 7);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        (space, CostModel::new(arch, problem))
+    }
+
+    #[test]
+    fn feature_scales_cover_encoding() {
+        let (space, _) = setup();
+        let enc = Encoding::for_problem(space.problem());
+        let scales = feature_scales(&space, &enc);
+        assert_eq!(scales.len(), enc.mapping_len());
+        assert!(scales.iter().all(|&s| s >= 1.0));
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let raw = vec![10.0, 4.0, 0.5];
+        let scales = vec![10.0, 2.0, 1.0];
+        let n = normalize(&raw, &scales);
+        assert_eq!(n, vec![1.0, 2.0, 0.5]);
+        assert_eq!(denormalize(&n, &scales), raw);
+    }
+
+    #[test]
+    fn soft_update_blends_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Mlp::new(&[2, 3, 1], &mut rng);
+        let b = Mlp::new(&[2, 3, 1], &mut rng);
+        let mut target = b.clone();
+        soft_update(&mut target, &a, 1.0);
+        // tau = 1 copies the source exactly.
+        assert_eq!(target.layers()[0].weight, a.layers()[0].weight);
+        let mut target = b.clone();
+        soft_update(&mut target, &a, 0.0);
+        assert_eq!(target.layers()[0].weight, b.layers()[0].weight);
+    }
+
+    #[test]
+    fn agent_respects_budget_and_returns_valid_best() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let mut agent = DdpgAgent::new(DdpgConfig {
+            warmup: 8,
+            batch_size: 4,
+            ..DdpgConfig::default()
+        });
+        let trace = agent.search(&space, &mut obj, Budget::iterations(60), &mut rng);
+        assert_eq!(trace.len(), 60);
+        assert!(space.is_member(trace.best_mapping.as_ref().unwrap()));
+        assert!(trace.best_cost.is_finite());
+    }
+}

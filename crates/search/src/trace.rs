@@ -1,0 +1,214 @@
+//! Search traces: best-so-far cost after every cost-function query.
+//!
+//! Figures 5 and 6 plot the (run-averaged) best-so-far EDP against the number
+//! of iterations and against wall-clock time respectively; [`SearchTrace`]
+//! records exactly the data needed to regenerate both.
+
+use std::time::Duration;
+
+use mm_mapspace::Mapping;
+use serde::{Deserialize, Serialize};
+
+/// One point of a search trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Number of cost-function queries made so far (1-based).
+    pub queries: u64,
+    /// Cost of the mapping evaluated at this query.
+    pub cost: f64,
+    /// Best cost observed up to and including this query.
+    pub best_cost: f64,
+    /// Wall-clock time elapsed since the start of the search.
+    pub elapsed_s: f64,
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Name of the search method that produced the trace.
+    pub method: String,
+    /// Per-query progress points.
+    pub points: Vec<TracePoint>,
+    /// Best cost found.
+    pub best_cost: f64,
+    /// The mapping achieving [`best_cost`](Self::best_cost).
+    pub best_mapping: Option<Mapping>,
+    /// Total wall-clock duration of the search.
+    pub wall_time_s: f64,
+}
+
+impl SearchTrace {
+    /// Create an empty trace for a method.
+    pub fn new(method: impl Into<String>) -> Self {
+        SearchTrace {
+            method: method.into(),
+            points: Vec::new(),
+            best_cost: f64::INFINITY,
+            best_mapping: None,
+            wall_time_s: 0.0,
+        }
+    }
+
+    /// Record a cost evaluation; updates the best-so-far bookkeeping.
+    pub fn record(&mut self, cost: f64, mapping: &Mapping, elapsed: Duration) {
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_mapping = Some(mapping.clone());
+        }
+        self.points.push(TracePoint {
+            queries: self.points.len() as u64 + 1,
+            cost,
+            best_cost: self.best_cost,
+            elapsed_s: elapsed.as_secs_f64(),
+        });
+        self.wall_time_s = elapsed.as_secs_f64();
+    }
+
+    /// Number of cost evaluations recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Best cost after at most `queries` cost evaluations (∞ if none made).
+    pub fn best_after_queries(&self, queries: u64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.queries <= queries)
+            .last()
+            .map_or(f64::INFINITY, |p| p.best_cost)
+    }
+
+    /// Best cost achieved within the first `seconds` of wall-clock time.
+    pub fn best_after_time(&self, seconds: f64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed_s <= seconds)
+            .last()
+            .map_or(f64::INFINITY, |p| p.best_cost)
+    }
+
+    /// Average wall-clock seconds per cost-function query.
+    pub fn seconds_per_query(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.wall_time_s / self.points.len() as f64
+        }
+    }
+
+    /// Average several traces of the same method point-wise (per query
+    /// index), as done for the 100-run averages in Figures 5 and 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn average(traces: &[SearchTrace]) -> SearchTrace {
+        assert!(!traces.is_empty(), "cannot average zero traces");
+        let method = traces[0].method.clone();
+        let max_len = traces.iter().map(|t| t.points.len()).max().unwrap_or(0);
+        let mut points = Vec::with_capacity(max_len);
+        for i in 0..max_len {
+            let mut best = 0.0f64;
+            let mut cost = 0.0f64;
+            let mut elapsed = 0.0f64;
+            let mut n = 0usize;
+            for t in traces {
+                // Clamp to the last point so shorter traces extend flat.
+                if t.points.is_empty() {
+                    continue;
+                }
+                let p = t.points[i.min(t.points.len() - 1)];
+                best += p.best_cost;
+                cost += p.cost;
+                elapsed += p.elapsed_s;
+                n += 1;
+            }
+            let n = n.max(1) as f64;
+            points.push(TracePoint {
+                queries: i as u64 + 1,
+                cost: cost / n,
+                best_cost: best / n,
+                elapsed_s: elapsed / n,
+            });
+        }
+        let best_cost = traces.iter().map(|t| t.best_cost).sum::<f64>() / traces.len() as f64;
+        SearchTrace {
+            method,
+            points,
+            best_cost,
+            best_mapping: traces
+                .iter()
+                .min_by(|a, b| a.best_cost.partial_cmp(&b.best_cost).unwrap())
+                .and_then(|t| t.best_mapping.clone()),
+            wall_time_s: traces.iter().map(|t| t.wall_time_s).sum::<f64>() / traces.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_mapspace::ProblemSpec;
+
+    fn mapping() -> Mapping {
+        Mapping::minimal(&ProblemSpec::conv1d(32, 3))
+    }
+
+    #[test]
+    fn record_tracks_best_so_far() {
+        let mut t = SearchTrace::new("SA");
+        let m = mapping();
+        t.record(10.0, &m, Duration::from_millis(1));
+        t.record(20.0, &m, Duration::from_millis(2));
+        t.record(5.0, &m, Duration::from_millis(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.best_cost, 5.0);
+        assert_eq!(t.points[1].best_cost, 10.0);
+        assert_eq!(t.points[2].best_cost, 5.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn best_after_queries_and_time() {
+        let mut t = SearchTrace::new("GA");
+        let m = mapping();
+        t.record(10.0, &m, Duration::from_millis(10));
+        t.record(4.0, &m, Duration::from_millis(20));
+        t.record(2.0, &m, Duration::from_millis(30));
+        assert_eq!(t.best_after_queries(1), 10.0);
+        assert_eq!(t.best_after_queries(2), 4.0);
+        assert_eq!(t.best_after_queries(100), 2.0);
+        assert_eq!(t.best_after_time(0.015), 10.0);
+        assert_eq!(t.best_after_time(10.0), 2.0);
+        assert!(t.best_after_time(0.001).is_infinite());
+        assert!(t.seconds_per_query() > 0.0);
+    }
+
+    #[test]
+    fn average_of_traces() {
+        let m = mapping();
+        let mut a = SearchTrace::new("RL");
+        a.record(10.0, &m, Duration::from_millis(1));
+        a.record(6.0, &m, Duration::from_millis(2));
+        let mut b = SearchTrace::new("RL");
+        b.record(20.0, &m, Duration::from_millis(1));
+        let avg = SearchTrace::average(&[a, b]);
+        assert_eq!(avg.points.len(), 2);
+        assert_eq!(avg.points[0].best_cost, 15.0);
+        // Second point: a has 6, b extends flat at 20 -> 13.
+        assert_eq!(avg.points[1].best_cost, 13.0);
+        assert_eq!(avg.best_cost, 13.0);
+        assert_eq!(avg.method, "RL");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero traces")]
+    fn average_rejects_empty_input() {
+        let _ = SearchTrace::average(&[]);
+    }
+}

@@ -1,0 +1,327 @@
+//! CNN-layer problems (Equation 3 of the paper).
+//!
+//! A CNN layer convolves `N` input images of `C` channels and spatial size
+//! `W × H` with `K` filters of size `R × S`, producing `K` output channels of
+//! size `X × Y` where `X = W − R + 1` and `Y = H − S + 1` (stride 1). As a
+//! problem spec this is a 7-dimensional iteration space `(N, K, C, X, Y, R,
+//! S)` with three tensors:
+//!
+//! * input `I[n, c, x + r, y + s]`,
+//! * filter `F[k, c, r, s]`,
+//! * output `O[n, k, x, y]`.
+
+use mm_mapspace::problem::{DimId, ProblemFamily, ProblemSpec, TensorDim, TensorKind, TensorSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Canonical order of the CNN problem dimensions.
+pub const CNN_DIMS: [&str; 7] = ["N", "K", "C", "X", "Y", "R", "S"];
+
+/// A CNN layer shape, following Table 1's columns (`H`, `W` are the *input*
+/// spatial sizes; the output sizes `X`, `Y` are derived).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnLayer {
+    /// Layer name (e.g. `"ResNet Conv_4"`).
+    pub name: &'static str,
+    /// Batch size.
+    pub n: u64,
+    /// Output channels (number of filters).
+    pub k: u64,
+    /// Input channels.
+    pub c: u64,
+    /// Input spatial height = width.
+    pub hw: u64,
+    /// Filter spatial size (R = S).
+    pub rs: u64,
+}
+
+impl CnnLayer {
+    /// Output spatial extent `X = Y = W − R + 1` (stride 1).
+    pub fn output_extent(&self) -> u64 {
+        self.hw.saturating_sub(self.rs) + 1
+    }
+
+    /// Convert to a generic [`ProblemSpec`].
+    pub fn into_problem(self) -> ProblemSpec {
+        let xy = self.output_extent();
+        let d = |i: usize| DimId(i);
+        // Dimension order: N=0, K=1, C=2, X=3, Y=4, R=5, S=6.
+        ProblemSpec::new(
+            self.name,
+            vec![
+                ("N", self.n),
+                ("K", self.k),
+                ("C", self.c),
+                ("X", xy),
+                ("Y", xy),
+                ("R", self.rs),
+                ("S", self.rs),
+            ],
+            vec![
+                TensorSpec::new(
+                    "I",
+                    TensorKind::Input,
+                    vec![
+                        TensorDim::Single(d(0)),
+                        TensorDim::Single(d(2)),
+                        TensorDim::Compound(d(3), d(5)),
+                        TensorDim::Compound(d(4), d(6)),
+                    ],
+                ),
+                TensorSpec::new(
+                    "F",
+                    TensorKind::Input,
+                    vec![
+                        TensorDim::Single(d(1)),
+                        TensorDim::Single(d(2)),
+                        TensorDim::Single(d(5)),
+                        TensorDim::Single(d(6)),
+                    ],
+                ),
+                TensorSpec::new(
+                    "O",
+                    TensorKind::Output,
+                    vec![
+                        TensorDim::Single(d(0)),
+                        TensorDim::Single(d(1)),
+                        TensorDim::Single(d(3)),
+                        TensorDim::Single(d(4)),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    // ---- The six CNN target problems of Table 1. ----
+
+    /// ResNet Conv_3: N=16, K=128, H,W=28, R,S=3, C=128.
+    pub fn resnet_conv3() -> Self {
+        CnnLayer {
+            name: "ResNet Conv_3",
+            n: 16,
+            k: 128,
+            c: 128,
+            hw: 28,
+            rs: 3,
+        }
+    }
+
+    /// ResNet Conv_4: N=16, K=256, H,W=14, R,S=3, C=256.
+    pub fn resnet_conv4() -> Self {
+        CnnLayer {
+            name: "ResNet Conv_4",
+            n: 16,
+            k: 256,
+            c: 256,
+            hw: 14,
+            rs: 3,
+        }
+    }
+
+    /// Inception Conv_2: N=32, K=192, H,W=56, R,S=3, C=192.
+    pub fn inception_conv2() -> Self {
+        CnnLayer {
+            name: "Inception Conv_2",
+            n: 32,
+            k: 192,
+            c: 192,
+            hw: 56,
+            rs: 3,
+        }
+    }
+
+    /// VGG Conv_2: N=16, K=128, H,W=112, R,S=3, C=64.
+    pub fn vgg_conv2() -> Self {
+        CnnLayer {
+            name: "VGG Conv_2",
+            n: 16,
+            k: 128,
+            c: 64,
+            hw: 112,
+            rs: 3,
+        }
+    }
+
+    /// AlexNet Conv_2: N=8, K=256, H,W=27, R,S=5, C=96.
+    pub fn alexnet_conv2() -> Self {
+        CnnLayer {
+            name: "AlexNet Conv_2",
+            n: 8,
+            k: 256,
+            c: 96,
+            hw: 27,
+            rs: 5,
+        }
+    }
+
+    /// AlexNet Conv_4: N=8, K=384, H,W=13, R,S=3, C=384.
+    pub fn alexnet_conv4() -> Self {
+        CnnLayer {
+            name: "AlexNet Conv_4",
+            n: 8,
+            k: 384,
+            c: 384,
+            hw: 13,
+            rs: 3,
+        }
+    }
+
+    /// All six CNN target problems of Table 1, in table order.
+    pub fn table1_layers() -> Vec<CnnLayer> {
+        vec![
+            Self::resnet_conv3(),
+            Self::resnet_conv4(),
+            Self::inception_conv2(),
+            Self::vgg_conv2(),
+            Self::alexnet_conv2(),
+            Self::alexnet_conv4(),
+        ]
+    }
+}
+
+/// The CNN-layer problem family: representative layer shapes sampled from the
+/// typical ranges of modern networks (Section 5.5, "Dataset"), used to build
+/// the Phase-1 training set so the surrogate generalizes across layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnFamily {
+    /// Range of batch sizes sampled (inclusive).
+    pub n_range: (u64, u64),
+    /// Range of output-channel counts sampled (inclusive).
+    pub k_range: (u64, u64),
+    /// Range of input-channel counts sampled (inclusive).
+    pub c_range: (u64, u64),
+    /// Range of input spatial sizes sampled (inclusive).
+    pub hw_range: (u64, u64),
+    /// Filter sizes sampled.
+    pub rs_choices: [u64; 3],
+}
+
+impl Default for CnnFamily {
+    fn default() -> Self {
+        CnnFamily {
+            n_range: (1, 32),
+            k_range: (32, 512),
+            c_range: (16, 512),
+            hw_range: (7, 112),
+            rs_choices: [1, 3, 5],
+        }
+    }
+}
+
+impl ProblemFamily for CnnFamily {
+    fn algorithm(&self) -> &str {
+        "cnn-layer"
+    }
+
+    fn num_dims(&self) -> usize {
+        7
+    }
+
+    fn num_tensors(&self) -> usize {
+        3
+    }
+
+    fn sample_problem(&self, rng: &mut dyn rand::RngCore) -> ProblemSpec {
+        let r = rng;
+        let sample = |r: &mut dyn rand::RngCore, lo: u64, hi: u64| -> u64 {
+            // Log-uniform over the range, matching the spread of real layers.
+            let lo_f = (lo as f64).ln();
+            let hi_f = (hi as f64).ln();
+            let v: f64 = r.gen_range(lo_f..=hi_f);
+            v.exp().round().clamp(lo as f64, hi as f64) as u64
+        };
+        let rs = self.rs_choices[(r.gen_range(0..self.rs_choices.len() as u32)) as usize];
+        let hw = sample(&mut *r, self.hw_range.0.max(rs), self.hw_range.1.max(rs));
+        let layer = CnnLayer {
+            name: "cnn-sampled",
+            n: sample(&mut *r, self.n_range.0, self.n_range.1),
+            k: sample(&mut *r, self.k_range.0, self.k_range.1),
+            c: sample(&mut *r, self.c_range.0, self.c_range.1),
+            hw,
+            rs,
+        };
+        let mut p = layer.into_problem();
+        p.name = format!(
+            "cnn_n{}_k{}_c{}_hw{}_rs{}",
+            layer.n, layer.k, layer.c, layer.hw, layer.rs
+        );
+        p
+    }
+
+    fn canonical_problem(&self) -> ProblemSpec {
+        CnnLayer::resnet_conv4().into_problem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet_conv4_dimensions() {
+        let p = CnnLayer::resnet_conv4().into_problem();
+        assert_eq!(p.num_dims(), 7);
+        assert_eq!(p.num_tensors(), 3);
+        assert_eq!(p.dim_sizes, vec![16, 256, 256, 12, 12, 3, 3]);
+        // MACs = N*K*C*X*Y*R*S
+        assert_eq!(p.total_macs(), 16 * 256 * 256 * 12 * 12 * 3 * 3);
+    }
+
+    #[test]
+    fn tensor_projections_are_correct() {
+        let p = CnnLayer::alexnet_conv2().into_problem();
+        let input = &p.tensors[0];
+        let filter = &p.tensors[1];
+        let output = &p.tensors[2];
+        // Input does not depend on K; filter does not depend on N, X, Y;
+        // output does not depend on C, R, S.
+        assert!(!input.is_relevant(DimId(1)));
+        assert!(!filter.is_relevant(DimId(0)));
+        assert!(!filter.is_relevant(DimId(3)));
+        assert!(!output.is_relevant(DimId(2)));
+        assert!(!output.is_relevant(DimId(5)));
+        assert_eq!(p.reduction_dims(), vec![DimId(2), DimId(5), DimId(6)]);
+    }
+
+    #[test]
+    fn input_tensor_size_accounts_for_halo() {
+        let layer = CnnLayer::alexnet_conv2();
+        let p = layer.into_problem();
+        // I size = N * C * (X + R - 1)^2 = N * C * H * W (since X = H - R + 1).
+        assert_eq!(
+            p.tensor_size(0),
+            layer.n * layer.c * layer.hw * layer.hw,
+        );
+        // F size = K * C * R * S.
+        assert_eq!(p.tensor_size(1), layer.k * layer.c * layer.rs * layer.rs);
+        // O size = N * K * X * Y.
+        let xy = layer.output_extent();
+        assert_eq!(p.tensor_size(2), layer.n * layer.k * xy * xy);
+    }
+
+    #[test]
+    fn table1_contains_six_cnn_layers() {
+        let layers = CnnLayer::table1_layers();
+        assert_eq!(layers.len(), 6);
+        assert!(layers.iter().all(|l| l.output_extent() >= 1));
+    }
+
+    #[test]
+    fn family_samples_have_constant_shape() {
+        let fam = CnnFamily::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let p = fam.sample_problem(&mut rng);
+            assert_eq!(p.num_dims(), fam.num_dims());
+            assert_eq!(p.num_tensors(), fam.num_tensors());
+            assert!(p.dim_sizes.iter().all(|&s| s >= 1));
+            // K sampled within the requested range.
+            let k = p.dim_size(DimId(1));
+            assert!((32..=512).contains(&k));
+        }
+        assert_eq!(fam.algorithm(), "cnn-layer");
+        assert_eq!(fam.canonical_problem().num_dims(), 7);
+    }
+}

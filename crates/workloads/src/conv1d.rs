@@ -1,0 +1,97 @@
+//! The pedagogical 1-D convolution of Section 3, as a problem family.
+//!
+//! `O[x] = Σ_r I[x + r] · F[r]` for input width `W` and filter size `R`.
+//! Small enough to reason about by hand (and to near-exhaustively explore in
+//! tests), but structurally identical to the CNN layer: a compound
+//! sliding-window input index, a reduction dimension, and the same mapping
+//! attributes.
+
+use mm_mapspace::problem::{ProblemFamily, ProblemSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D convolution problem family with configurable width/filter ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv1dFamily {
+    /// Range of input widths `W` (inclusive).
+    pub w_range: (u64, u64),
+    /// Filter sizes `R` to sample from.
+    pub r_choices: [u64; 4],
+}
+
+impl Default for Conv1dFamily {
+    fn default() -> Self {
+        Conv1dFamily {
+            w_range: (64, 4096),
+            r_choices: [3, 5, 7, 9],
+        }
+    }
+}
+
+impl Conv1dFamily {
+    /// Build a specific 1-D convolution problem.
+    pub fn problem(w: u64, r: u64) -> ProblemSpec {
+        ProblemSpec::conv1d(w, r)
+    }
+}
+
+impl ProblemFamily for Conv1dFamily {
+    fn algorithm(&self) -> &str {
+        "conv1d"
+    }
+
+    fn num_dims(&self) -> usize {
+        2
+    }
+
+    fn num_tensors(&self) -> usize {
+        3
+    }
+
+    fn sample_problem(&self, rng: &mut dyn rand::RngCore) -> ProblemSpec {
+        let r = self.r_choices[rng.gen_range(0..self.r_choices.len() as u32) as usize];
+        let lo = (self.w_range.0.max(r) as f64).ln();
+        let hi = (self.w_range.1.max(r + 1) as f64).ln();
+        let w: f64 = rng.gen_range(lo..=hi);
+        ProblemSpec::conv1d(w.exp().round() as u64, r)
+    }
+
+    fn canonical_problem(&self) -> ProblemSpec {
+        ProblemSpec::conv1d(1024, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_shape() {
+        let fam = Conv1dFamily::default();
+        assert_eq!(fam.algorithm(), "conv1d");
+        assert_eq!(fam.num_dims(), 2);
+        assert_eq!(fam.num_tensors(), 3);
+        assert_eq!(fam.canonical_problem().num_dims(), 2);
+    }
+
+    #[test]
+    fn sampled_problems_respect_ranges() {
+        let fam = Conv1dFamily::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let p = fam.sample_problem(&mut rng);
+            assert_eq!(p.num_dims(), 2);
+            let r = p.dim_sizes[1];
+            assert!(fam.r_choices.contains(&r));
+            assert!(p.dim_sizes[0] >= 1);
+        }
+    }
+
+    #[test]
+    fn problem_constructor_delegates() {
+        let p = Conv1dFamily::problem(100, 5);
+        assert_eq!(p.dim_sizes, vec![96, 5]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mm-workloads
+//!
+//! The target algorithms and problems evaluated in *Mind Mappings*
+//! (ASPLOS 2021, Section 5.1):
+//!
+//! * [`cnn`] — convolutional-layer problems (Equation 3) and the
+//!   representative-problem family used to train the CNN surrogate;
+//! * [`mttkrp`] — matricized-tensor-times-Khatri-Rao-product problems
+//!   (Equation 4) and their family;
+//! * [`conv1d`] — the pedagogical 1-D convolution of Section 3;
+//! * [`table1`] — the eight target problems of Table 1;
+//! * [`evaluated_accelerator`] — the 256-PE accelerator of Section 5.1.2.
+//!
+//! ```
+//! use mm_workloads::{cnn::CnnLayer, table1};
+//!
+//! let resnet_conv4 = CnnLayer::resnet_conv4().into_problem();
+//! assert_eq!(resnet_conv4.num_dims(), 7);
+//! assert_eq!(table1::all_problems().len(), 8);
+//! ```
+
+pub mod cnn;
+pub mod conv1d;
+pub mod mttkrp;
+pub mod table1;
+
+use mm_accel::Architecture;
+
+/// The flexible accelerator evaluated in Section 5.1.2: 256 PEs at 1 GHz,
+/// 64 KB private buffer per PE, 512 KB shared buffer.
+pub fn evaluated_accelerator() -> Architecture {
+    Architecture::paper_accelerator()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluated_accelerator_is_the_paper_configuration() {
+        let a = evaluated_accelerator();
+        assert_eq!(a.num_pes, 256);
+        assert_eq!(a.l2.capacity_words * a.word_bytes, 512 * 1024);
+    }
+}

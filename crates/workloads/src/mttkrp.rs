@@ -1,0 +1,217 @@
+//! MTTKRP problems (Equation 4 of the paper).
+//!
+//! The matricized-tensor-times-Khatri-Rao-product contracts a 3-D tensor
+//! `A[i, k, l]` with two matrices `B[k, j]` and `C[l, j]`:
+//!
+//! ```text
+//! O[i, j] = Σ_k Σ_l A[i, k, l] · B[k, j] · C[l, j]
+//! ```
+//!
+//! This is a 4-dimensional iteration space `(I, J, K, L)` with four tensors
+//! (three inputs and the output), hence the 40-value mapping encoding and the
+//! 15-value cost vector reported in Section 5.5.
+
+use mm_mapspace::problem::{DimId, ProblemFamily, ProblemSpec, TensorDim, TensorKind, TensorSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Canonical order of the MTTKRP problem dimensions.
+pub const MTTKRP_DIMS: [&str; 4] = ["I", "J", "K", "L"];
+
+/// An MTTKRP problem shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MttkrpShape {
+    /// Problem name.
+    pub name: &'static str,
+    /// Rows of the output (first mode of `A`).
+    pub i: u64,
+    /// Columns of the output (shared column dimension of `B` and `C`).
+    pub j: u64,
+    /// First contracted dimension.
+    pub k: u64,
+    /// Second contracted dimension.
+    pub l: u64,
+}
+
+impl MttkrpShape {
+    /// MTTKRP_0 of Table 1: I=128, J=1024, K=4096, L=2048.
+    pub fn mttkrp_0() -> Self {
+        MttkrpShape {
+            name: "MTTKRP_0",
+            i: 128,
+            j: 1024,
+            k: 4096,
+            l: 2048,
+        }
+    }
+
+    /// MTTKRP_1 of Table 1: I=2048, J=4096, K=1024, L=128.
+    pub fn mttkrp_1() -> Self {
+        MttkrpShape {
+            name: "MTTKRP_1",
+            i: 2048,
+            j: 4096,
+            k: 1024,
+            l: 128,
+        }
+    }
+
+    /// Both MTTKRP target problems of Table 1.
+    pub fn table1_shapes() -> Vec<MttkrpShape> {
+        vec![Self::mttkrp_0(), Self::mttkrp_1()]
+    }
+
+    /// Convert to a generic [`ProblemSpec`].
+    pub fn into_problem(self) -> ProblemSpec {
+        let d = |i: usize| DimId(i);
+        // Dimension order: I=0, J=1, K=2, L=3.
+        ProblemSpec::new(
+            self.name,
+            vec![("I", self.i), ("J", self.j), ("K", self.k), ("L", self.l)],
+            vec![
+                TensorSpec::new(
+                    "A",
+                    TensorKind::Input,
+                    vec![
+                        TensorDim::Single(d(0)),
+                        TensorDim::Single(d(2)),
+                        TensorDim::Single(d(3)),
+                    ],
+                ),
+                TensorSpec::new(
+                    "B",
+                    TensorKind::Input,
+                    vec![TensorDim::Single(d(2)), TensorDim::Single(d(1))],
+                ),
+                TensorSpec::new(
+                    "C",
+                    TensorKind::Input,
+                    vec![TensorDim::Single(d(3)), TensorDim::Single(d(1))],
+                ),
+                TensorSpec::new(
+                    "O",
+                    TensorKind::Output,
+                    vec![TensorDim::Single(d(0)), TensorDim::Single(d(1))],
+                ),
+            ],
+        )
+    }
+}
+
+/// The MTTKRP problem family used for surrogate training: tall-and-skinny
+/// tensor shapes typical of tensor-decomposition workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MttkrpFamily {
+    /// Range of the `I` dimension (inclusive).
+    pub i_range: (u64, u64),
+    /// Range of the `J` dimension (inclusive).
+    pub j_range: (u64, u64),
+    /// Range of the `K` dimension (inclusive).
+    pub k_range: (u64, u64),
+    /// Range of the `L` dimension (inclusive).
+    pub l_range: (u64, u64),
+}
+
+impl Default for MttkrpFamily {
+    fn default() -> Self {
+        MttkrpFamily {
+            i_range: (64, 4096),
+            j_range: (256, 8192),
+            k_range: (64, 8192),
+            l_range: (64, 4096),
+        }
+    }
+}
+
+impl ProblemFamily for MttkrpFamily {
+    fn algorithm(&self) -> &str {
+        "mttkrp"
+    }
+
+    fn num_dims(&self) -> usize {
+        4
+    }
+
+    fn num_tensors(&self) -> usize {
+        4
+    }
+
+    fn sample_problem(&self, rng: &mut dyn rand::RngCore) -> ProblemSpec {
+        let mut sample = |lo: u64, hi: u64| -> u64 {
+            let v: f64 = rng.gen_range((lo as f64).ln()..=(hi as f64).ln());
+            v.exp().round().clamp(lo as f64, hi as f64) as u64
+        };
+        let shape = MttkrpShape {
+            name: "mttkrp-sampled",
+            i: sample(self.i_range.0, self.i_range.1),
+            j: sample(self.j_range.0, self.j_range.1),
+            k: sample(self.k_range.0, self.k_range.1),
+            l: sample(self.l_range.0, self.l_range.1),
+        };
+        let mut p = shape.into_problem();
+        p.name = format!("mttkrp_i{}_j{}_k{}_l{}", shape.i, shape.j, shape.k, shape.l);
+        p
+    }
+
+    fn canonical_problem(&self) -> ProblemSpec {
+        MttkrpShape::mttkrp_0().into_problem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mttkrp0_dimensions() {
+        let p = MttkrpShape::mttkrp_0().into_problem();
+        assert_eq!(p.num_dims(), 4);
+        assert_eq!(p.num_tensors(), 4);
+        assert_eq!(p.dim_sizes, vec![128, 1024, 4096, 2048]);
+        assert_eq!(
+            p.total_macs(),
+            128u128 * 1024 * 4096 * 2048,
+        );
+    }
+
+    #[test]
+    fn tensor_shapes_match_equation_4() {
+        let s = MttkrpShape::mttkrp_1();
+        let p = s.into_problem();
+        assert_eq!(p.tensor_size(0), s.i * s.k * s.l); // A
+        assert_eq!(p.tensor_size(1), s.k * s.j); // B
+        assert_eq!(p.tensor_size(2), s.l * s.j); // C
+        assert_eq!(p.tensor_size(3), s.i * s.j); // O
+        assert_eq!(p.output_tensor(), 3);
+        assert_eq!(p.reduction_dims(), vec![DimId(2), DimId(3)]);
+    }
+
+    #[test]
+    fn table1_contains_two_shapes() {
+        assert_eq!(MttkrpShape::table1_shapes().len(), 2);
+    }
+
+    #[test]
+    fn family_samples_are_well_formed() {
+        let fam = MttkrpFamily::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = fam.sample_problem(&mut rng);
+            assert_eq!(p.num_dims(), 4);
+            assert_eq!(p.num_tensors(), 4);
+            assert!(p.dim_sizes.iter().all(|&s| s >= 64));
+        }
+        assert_eq!(fam.algorithm(), "mttkrp");
+        assert_eq!(fam.canonical_problem().name, "MTTKRP_0");
+    }
+
+    #[test]
+    fn encoding_length_is_40() {
+        use mm_mapspace::Encoding;
+        let p = MttkrpShape::mttkrp_0().into_problem();
+        let enc = Encoding::for_problem(&p);
+        assert_eq!(enc.total_len(), 40);
+    }
+}

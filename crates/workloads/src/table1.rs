@@ -1,0 +1,124 @@
+//! Table 1: the eight target problems used throughout the evaluation
+//! (six CNN layers and two MTTKRP shapes).
+
+use mm_mapspace::ProblemSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::cnn::CnnLayer;
+use crate::mttkrp::MttkrpShape;
+
+/// Which algorithm a Table 1 problem belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Convolutional neural-network layer (Equation 3).
+    CnnLayer,
+    /// Matricized tensor times Khatri-Rao product (Equation 4).
+    Mttkrp,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::CnnLayer => write!(f, "CNN-Layer"),
+            Algorithm::Mttkrp => write!(f, "MTTKRP"),
+        }
+    }
+}
+
+/// One row of Table 1: a named target problem and its algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetProblem {
+    /// The algorithm family the problem belongs to.
+    pub algorithm: Algorithm,
+    /// The fully parameterized problem.
+    pub problem: ProblemSpec,
+}
+
+/// All eight target problems of Table 1, in table order.
+pub fn all_problems() -> Vec<TargetProblem> {
+    let mut out: Vec<TargetProblem> = CnnLayer::table1_layers()
+        .into_iter()
+        .map(|l| TargetProblem {
+            algorithm: Algorithm::CnnLayer,
+            problem: l.into_problem(),
+        })
+        .collect();
+    out.extend(MttkrpShape::table1_shapes().into_iter().map(|s| TargetProblem {
+        algorithm: Algorithm::Mttkrp,
+        problem: s.into_problem(),
+    }));
+    out
+}
+
+/// The CNN-layer rows of Table 1.
+pub fn cnn_problems() -> Vec<TargetProblem> {
+    all_problems()
+        .into_iter()
+        .filter(|t| t.algorithm == Algorithm::CnnLayer)
+        .collect()
+}
+
+/// The MTTKRP rows of Table 1.
+pub fn mttkrp_problems() -> Vec<TargetProblem> {
+    all_problems()
+        .into_iter()
+        .filter(|t| t.algorithm == Algorithm::Mttkrp)
+        .collect()
+}
+
+/// Look up a Table 1 problem by name (e.g. `"ResNet Conv_4"`, `"MTTKRP_0"`).
+pub fn by_name(name: &str) -> Option<TargetProblem> {
+    all_problems().into_iter().find(|t| t.problem.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_rows() {
+        let all = all_problems();
+        assert_eq!(all.len(), 8);
+        assert_eq!(cnn_problems().len(), 6);
+        assert_eq!(mttkrp_problems().len(), 2);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<String> = all_problems()
+            .iter()
+            .map(|t| t.problem.name.clone())
+            .collect();
+        for expected in [
+            "ResNet Conv_3",
+            "ResNet Conv_4",
+            "Inception Conv_2",
+            "VGG Conv_2",
+            "AlexNet Conv_2",
+            "AlexNet Conv_4",
+            "MTTKRP_0",
+            "MTTKRP_1",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = by_name("ResNet Conv_4").unwrap();
+        assert_eq!(t.algorithm, Algorithm::CnnLayer);
+        assert_eq!(t.problem.dim_sizes[1], 256);
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(Algorithm::Mttkrp.to_string(), "MTTKRP");
+    }
+
+    #[test]
+    fn resnet_conv4_map_space_is_astronomical() {
+        // Section 3.1 quotes roughly 1e25 valid mappings for ResNet Conv_4;
+        // our estimate should be in the same regime (very large).
+        use mm_mapspace::{MapSpace, MappingConstraints};
+        let t = by_name("ResNet Conv_4").unwrap();
+        let space = MapSpace::new(t.problem, MappingConstraints::paper_accelerator());
+        assert!(space.log10_size_estimate() > 15.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Map a real CNN layer (ResNet Conv_4 from Table 1) onto the paper's
+//! 256-PE accelerator with Mind Mappings, and inspect the chosen mapping.
+//!
+//! ```bash
+//! cargo run --release --example cnn_mapping_search
+//! ```
+//!
+//! This is the workload the paper's introduction motivates: a compiler
+//! targeting a flexible DNN accelerator needs a good tiling / loop order /
+//! parallelism / buffer split for each layer of the network, and the map
+//! space (~10^25 points for this layer) is far too large to search naively.
+
+use mind_mappings::prelude::*;
+use mind_mappings::workloads::cnn::CnnFamily;
+use mm_mapspace::mapping::Level;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let arch = evaluated_accelerator();
+    println!("accelerator: {arch}");
+
+    // Phase 1: one surrogate for the whole CNN-layer family. The sample
+    // count here is laptop-scale; raise it (and the epochs) for better
+    // mappings, as in the paper's 10 M-sample configuration.
+    println!("training the CNN-Layer surrogate (this takes a minute)…");
+    let phase1 = Phase1Config {
+        num_samples: 8_000,
+        epochs: 25,
+        hidden_layers: vec![64, 256, 128, 64],
+        ..Phase1Config::default_experiment()
+    };
+    let (mm, _) = MindMappings::train(arch.clone(), &CnnFamily::default(), &phase1, &mut rng)
+        .expect("surrogate training");
+
+    // Phase 2: map ResNet Conv_4.
+    let layer = table1::by_name("ResNet Conv_4").expect("table 1 problem").problem;
+    let space = mm.map_space(&layer);
+    println!(
+        "target layer: {layer} (map space ≈ 10^{:.0} mappings)",
+        space.log10_size_estimate()
+    );
+    let trace = mm.search(&layer, 2_000, &mut rng);
+    let best = trace.best_mapping.clone().expect("mapping found");
+
+    let model = CostModel::new(arch, layer.clone());
+    let cost = model.evaluate(&best);
+    println!("\nbest mapping found (EDP {:.3e} J·s, {:.1}x above the algorithmic minimum):",
+        cost.edp, cost.edp / model.lower_bound().edp);
+    println!("  utilization: {:.1}%", cost.utilization * 100.0);
+    println!("  cycles: {:.3e}", cost.cycles);
+    println!("  energy: {:.3e} pJ", cost.total_energy_pj);
+
+    println!("\nmapping details:");
+    for d in layer.dims() {
+        println!(
+            "  {:<2}  size {:>4}  L1 tile {:>4}  L2 tile {:>4}  spatial x{}",
+            layer.dim_names[d.index()],
+            layer.dim_size(d),
+            best.l1_tile(d),
+            best.l2_tile(d),
+            best.parallelism(d),
+        );
+    }
+    for level in [Level::L1, Level::L2] {
+        let order: Vec<&str> = best
+            .order(level)
+            .iter()
+            .map(|&i| layer.dim_names[i].as_str())
+            .collect();
+        println!("  {level} loop order (outer→inner): {}", order.join(" → "));
+    }
+    let allocs: Vec<String> = layer
+        .tensors
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| format!("{}={:.0}%", spec.name, best.alloc_fraction(Level::L2, t) * 100.0))
+        .collect();
+    println!("  L2 buffer allocation: {}", allocs.join(", "));
+}

@@ -1,0 +1,66 @@
+//! Quickstart: train a small surrogate for the 1-D convolution family and
+//! use Mind Mappings to find a low-EDP mapping for an unseen problem.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks through the whole pipeline at toy scale (a few seconds):
+//!
+//! 1. describe the accelerator and the target algorithm family;
+//! 2. Phase 1 — sample valid mappings, label them with the analytical cost
+//!    model, and train the differentiable surrogate;
+//! 3. Phase 2 — projected gradient descent on the surrogate for a *new*
+//!    problem the surrogate never saw during training;
+//! 4. compare the found mapping against random sampling and the theoretical
+//!    lower bound.
+
+use mind_mappings::prelude::*;
+use mind_mappings::workloads::conv1d::Conv1dFamily;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // 1. The accelerator (a small 16-PE configuration for the example) and
+    //    the algorithm family (1-D convolutions of varying width/filter).
+    let arch = Architecture::example();
+    let family = Conv1dFamily::default();
+    println!("accelerator: {arch}");
+
+    // 2. Phase 1: train the surrogate (offline, once per algorithm family).
+    println!("phase 1: training the surrogate…");
+    let (mm, history) = MindMappings::train(arch.clone(), &family, &Phase1Config::quick(), &mut rng)
+        .expect("surrogate training");
+    println!(
+        "  trained: final train loss {:.4}, test loss {:.4}",
+        history.final_train_loss(),
+        history.final_test_loss()
+    );
+
+    // 3. Phase 2: search for a mapping of an unseen problem.
+    let problem = ProblemSpec::conv1d(2000, 7);
+    println!("phase 2: searching mappings for {problem}");
+    let trace = mm.search(&problem, 1000, &mut rng);
+    let best = trace.best_mapping.as_ref().expect("a mapping was found");
+    assert!(mm.is_member(&problem, best));
+
+    // 4. Compare against random mappings and the algorithmic minimum.
+    let model = CostModel::new(arch, problem.clone());
+    let space = mm.map_space(&problem);
+    let mut random_mean = 0.0;
+    for _ in 0..50 {
+        random_mean += model.edp(&space.random_mapping(&mut rng));
+    }
+    random_mean /= 50.0;
+
+    println!("results (energy-delay product, joule-seconds):");
+    println!("  algorithmic minimum : {:.3e}", model.lower_bound().edp);
+    println!("  Mind Mappings best  : {:.3e}  ({:.1}x above the bound)", trace.best_cost, trace.best_cost / model.lower_bound().edp);
+    println!("  random mapping mean : {:.3e}  ({:.1}x above the bound)", random_mean, random_mean / model.lower_bound().edp);
+    println!(
+        "  improvement over random: {:.1}x",
+        random_mean / trace.best_cost
+    );
+}

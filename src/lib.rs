@@ -1,0 +1,49 @@
+//! # mind-mappings
+//!
+//! Umbrella crate for the Mind Mappings reproduction (ASPLOS 2021): a
+//! gradient-based algorithm-accelerator mapping space search built on a
+//! differentiable surrogate of an analytical accelerator cost model.
+//!
+//! This crate simply re-exports the workspace members so that the examples
+//! and integration tests (and downstream users who want a single dependency)
+//! can reach every component through one crate:
+//!
+//! * [`mapspace`] — problems, mappings, map spaces, encoding, projection;
+//! * [`accel`] — the Timeloop-style analytical cost model;
+//! * [`nn`] — the MLP/backprop substrate;
+//! * [`search`] — SA, GA, RL, and random-search baselines;
+//! * [`core`] — the Mind Mappings framework (surrogate + gradient search);
+//! * [`workloads`] — CNN-Layer, MTTKRP, 1D-Conv, and the Table 1 problems.
+//!
+//! See the repository README for a quickstart and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use mm_accel as accel;
+pub use mm_core as core;
+pub use mm_mapspace as mapspace;
+pub use mm_nn as nn;
+pub use mm_search as search;
+pub use mm_workloads as workloads;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use mm_accel::{Architecture, CostBreakdown, CostModel};
+    pub use mm_core::{CostModelObjective, MindMappings, Phase1Config, Phase2Config, Surrogate};
+    pub use mm_mapspace::{Encoding, MapSpace, Mapping, MappingConstraints, ProblemSpec};
+    pub use mm_search::{
+        Budget, GeneticAlgorithm, Objective, RandomSearch, SearchTrace, Searcher,
+        SimulatedAnnealing,
+    };
+    pub use mm_workloads::{cnn::CnnLayer, evaluated_accelerator, mttkrp::MttkrpShape, table1};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let arch = Architecture::example();
+        assert!(arch.num_pes > 0);
+        assert_eq!(table1::all_problems().len(), 8);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based integration tests over the map-space layer, using the
+//! paper's real workloads (CNN layers and MTTKRP shapes) and accelerator:
+//! every sampled mapping is valid, every projection of arbitrary noise is
+//! valid, encodings round-trip, and the cost model respects its lower bound
+//! on all of them.
+
+use mind_mappings::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cnn_problem(n: u64, k: u64, c: u64, hw: u64, rs: u64) -> ProblemSpec {
+    CnnLayer {
+        name: "prop-cnn",
+        n,
+        k,
+        c,
+        hw,
+        rs,
+    }
+    .into_problem()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random valid mappings of random CNN layers are accepted by
+    /// `is_member`, have costs above the algorithmic minimum, and re-encode
+    /// losslessly enough for projection to be idempotent.
+    #[test]
+    fn sampled_cnn_mappings_are_valid_and_bounded(
+        seed in 0u64..1_000_000,
+        n in 1u64..16,
+        k in 16u64..256,
+        c in 8u64..256,
+        hw in 7u64..56,
+        rs_idx in 0usize..3,
+    ) {
+        let rs = [1u64, 3, 5][rs_idx];
+        prop_assume!(hw >= rs);
+        let problem = cnn_problem(n, k, c, hw, rs);
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mapping = space.random_mapping(&mut rng);
+        prop_assert!(space.is_member(&mapping), "{:?}", space.validate(&mapping));
+
+        let cost = model.evaluate(&mapping);
+        prop_assert!(cost.edp.is_finite() && cost.edp > 0.0);
+        prop_assert!(cost.total_energy_pj >= model.lower_bound().energy_pj * 0.999);
+        prop_assert!(cost.cycles >= model.lower_bound().cycles * 0.999);
+        prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+
+        // Encode -> project round trip keeps the mapping valid and keeps the
+        // discrete attributes intact.
+        let enc = Encoding::for_problem(&problem);
+        let v = enc.encode_mapping(&problem, &mapping);
+        let reprojected = space.project(&v).unwrap();
+        prop_assert!(space.is_member(&reprojected));
+        prop_assert_eq!(&reprojected.tiles[0], &mapping.tiles[0]);
+        prop_assert_eq!(&reprojected.parallel, &mapping.parallel);
+        prop_assert_eq!(&reprojected.loop_orders, &mapping.loop_orders);
+    }
+
+    /// Projection maps arbitrary real vectors into the valid map space for
+    /// MTTKRP problems of arbitrary shape.
+    #[test]
+    fn projection_of_noise_is_always_valid_for_mttkrp(
+        seed in 0u64..1_000_000,
+        i in 16u64..2048,
+        j in 16u64..2048,
+        k in 16u64..2048,
+        l in 16u64..2048,
+        scale in 1.0f32..1000.0,
+    ) {
+        let problem = MttkrpShape { name: "prop-mttkrp", i, j, k, l }.into_problem();
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let enc = Encoding::for_problem(&problem);
+        prop_assert_eq!(enc.total_len(), 40);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let noise: Vec<f32> = (0..enc.mapping_len())
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let mapping = space.project(&noise).unwrap();
+        prop_assert!(space.is_member(&mapping), "{:?}", space.validate(&mapping));
+    }
+
+    /// Mutation (SA/GA neighbourhood moves) and crossover preserve validity
+    /// on the paper's target problems.
+    #[test]
+    fn local_moves_preserve_validity(seed in 0u64..1_000_000, steps in 1usize..30) {
+        let problem = table1::by_name("AlexNet Conv_4").unwrap().problem;
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(problem, arch.mapping_constraints());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = space.random_mapping(&mut rng);
+        let b = space.random_mapping(&mut rng);
+        for _ in 0..steps {
+            a = space.neighbor(&a, &mut rng);
+            prop_assert!(space.is_member(&a));
+        }
+        let child = space.crossover(&a, &b, &mut rng);
+        prop_assert!(space.is_member(&child));
+    }
+}
+
+use mind_mappings::workloads::cnn::CnnLayer;
+use mind_mappings::workloads::mttkrp::MttkrpShape;
+
+#[test]
+fn paper_encoding_lengths_for_table1_problems() {
+    for target in table1::all_problems() {
+        let enc = Encoding::for_problem(&target.problem);
+        match target.algorithm {
+            table1::Algorithm::CnnLayer => assert_eq!(enc.total_len(), 62),
+            table1::Algorithm::Mttkrp => assert_eq!(enc.total_len(), 40),
+        }
+        // Meta-statistics lengths from Section 5.5: 12 and 15.
+        let arch = evaluated_accelerator();
+        let model = CostModel::new(arch, target.problem.clone());
+        let m = Mapping::minimal(&target.problem);
+        let meta = model.evaluate(&m).meta_statistics();
+        match target.algorithm {
+            table1::Algorithm::CnnLayer => assert_eq!(meta.len(), 12),
+            table1::Algorithm::Mttkrp => assert_eq!(meta.len(), 15),
+        }
+    }
+}
