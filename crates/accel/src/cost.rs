@@ -109,20 +109,18 @@ impl CostModel {
         let mut energy_pj = vec![vec![0.0f64; nt]; 3];
         for level in Level::ALL {
             let epa = a.level(level).energy_per_access_pj;
-            for t in 0..nt {
-                energy_pj[level.index()][t] = accesses.tensor_at(level, t) as f64 * epa;
+            for (t, e) in energy_pj[level.index()].iter_mut().enumerate() {
+                *e = accesses.tensor_at(level, t) as f64 * epa;
             }
         }
 
         let padded_macs = mapping.padded_macs(p) as f64;
         let compute_energy_pj = padded_macs * a.mac_energy_pj;
-        let total_energy_pj: f64 =
-            energy_pj.iter().flatten().sum::<f64>() + compute_energy_pj;
+        let total_energy_pj: f64 = energy_pj.iter().flatten().sum::<f64>() + compute_energy_pj;
 
         // Compute-limited time.
         let active_pes = (mapping.active_pes().min(a.num_pes)) as f64;
-        let compute_cycles =
-            padded_macs / (active_pes * a.macs_per_pe_per_cycle as f64).max(1.0);
+        let compute_cycles = padded_macs / (active_pes * a.macs_per_pe_per_cycle as f64).max(1.0);
         // Bandwidth-limited time per level.
         let mut cycles = compute_cycles;
         for level in Level::ALL {
@@ -134,8 +132,8 @@ impl CostModel {
         }
 
         let actual_macs = p.total_macs() as f64;
-        let utilization = ((actual_macs / cycles.max(1.0)) / a.peak_macs_per_cycle() as f64)
-            .clamp(0.0, 1.0);
+        let utilization =
+            ((actual_macs / cycles.max(1.0)) / a.peak_macs_per_cycle() as f64).clamp(0.0, 1.0);
 
         let energy_j = total_energy_pj * 1e-12;
         let delay_s = cycles * a.cycle_time_s();
@@ -176,10 +174,7 @@ mod tests {
     }
 
     fn space(model: &CostModel) -> MapSpace {
-        MapSpace::new(
-            model.problem().clone(),
-            model.arch().mapping_constraints(),
-        )
+        MapSpace::new(model.problem().clone(), model.arch().mapping_constraints())
     }
 
     #[test]

@@ -213,7 +213,8 @@ pub fn count_accesses(problem: &ProblemSpec, mapping: &Mapping) -> AccessCounts 
             counts.l2_reads[t] += inner.reloads.saturating_sub(inner.distinct) * spatial_fp;
             // L1 side of the same transfers.
             counts.l1_reads[t] += inner.reloads * l1_fp * active_pes;
-            counts.l1_writes[t] += inner.reloads.saturating_sub(inner.distinct) * l1_fp * active_pes;
+            counts.l1_writes[t] +=
+                inner.reloads.saturating_sub(inner.distinct) * l1_fp * active_pes;
         } else {
             counts.l2_reads[t] += inner.reloads * spatial_fp;
             // Every PE stores its own copy of the (possibly multicast) tile.

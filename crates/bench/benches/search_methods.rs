@@ -31,8 +31,7 @@ fn bench_search_steps(c: &mut Criterion) {
 
     let mut rng = StdRng::seed_from_u64(11);
     let scale = ExperimentScale::quick();
-    let (surrogate, _) =
-        train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate");
+    let (surrogate, _) = train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate");
 
     let mut group = c.benchmark_group("search_steps_64");
     group.sample_size(10);

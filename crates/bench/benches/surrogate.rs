@@ -16,8 +16,7 @@ use rand::SeedableRng;
 fn bench_surrogate_vs_cost_model(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let scale = ExperimentScale::quick();
-    let (surrogate, _) =
-        train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate");
+    let (surrogate, _) = train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("surrogate");
 
     let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
     let problem = target.problem;

@@ -22,7 +22,10 @@ fn main() {
     println!("Output-representation ablation, scale '{}'", scale.name);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1A);
-    println!("generating training data ({} samples)…", scale.surrogate_samples);
+    println!(
+        "generating training data ({} samples)…",
+        scale.surrogate_samples
+    );
     let meta_dataset = generate_training_set(
         &arch,
         &CnnFamily::default(),
@@ -74,8 +77,8 @@ fn main() {
     for _ in 0..n_eval {
         let m = space.random_mapping(&mut eval_rng);
         let cost = model.evaluate(&m);
-        let true_norm_edp =
-            (cost.total_energy_pj / reference[reference.len() - 1]) * (cost.cycles / reference[reference.len() - 2]);
+        let true_norm_edp = (cost.total_energy_pj / reference[reference.len() - 1])
+            * (cost.cycles / reference[reference.len() - 2]);
         let meta_pred = meta_surrogate.predict_normalized_edp(&problem, &m);
         // The scalar surrogate's single output *is* the normalized EDP; its
         // "cycles" neuron does not exist, so read the raw prediction.
@@ -100,7 +103,10 @@ fn main() {
         &rows,
     )
     .expect("write results");
-    println!("{}", format_table(&["output representation", "EDP MSE"], &rows));
+    println!(
+        "{}",
+        format_table(&["output representation", "EDP MSE"], &rows)
+    );
     println!("(paper: meta-statistics representation gives 32.8x lower EDP MSE)");
     println!("wrote {}", path.display());
 }

@@ -53,11 +53,19 @@ fn main() {
         }
     }
 
-    let path = report::write_csv("fig3_cost_surface.csv", &["tile_k_l2", "tile_c_l2", "normalized_edp"], &rows)
-        .expect("write results");
+    let path = report::write_csv(
+        "fig3_cost_surface.csv",
+        &["tile_k_l2", "tile_c_l2", "normalized_edp"],
+        &rows,
+    )
+    .expect("write results");
     println!("Figure 3 (cost surface) — problem: {problem}");
     println!("  grid: {steps} x {steps} L2 tile sizes of K and C");
-    println!("  normalized EDP range: {} .. {}", fmt(min_edp), fmt(max_edp));
+    println!(
+        "  normalized EDP range: {} .. {}",
+        fmt(min_edp),
+        fmt(max_edp)
+    );
     println!(
         "  surface roughness (max/min ratio): {}",
         fmt(max_edp / min_edp)

@@ -26,10 +26,16 @@ fn main() {
 
     // Phase 1: one surrogate per target algorithm (Section 5.3).
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    println!("training CNN-Layer surrogate ({} samples)…", scale.surrogate_samples);
+    println!(
+        "training CNN-Layer surrogate ({} samples)…",
+        scale.surrogate_samples
+    );
     let (cnn_surrogate, _) =
         train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("CNN surrogate");
-    println!("training MTTKRP surrogate ({} samples)…", scale.surrogate_samples);
+    println!(
+        "training MTTKRP surrogate ({} samples)…",
+        scale.surrogate_samples
+    );
     let (mttkrp_surrogate, _) =
         train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
 
@@ -59,7 +65,12 @@ fn main() {
         for m in &result.methods {
             row.push(format!("{}={}", m.method, fmt(m.best_normalized_edp)));
             // Down-sample the per-iteration trace for the CSV.
-            for p in m.trace.points.iter().step_by(10.max(m.trace.points.len() / 200)) {
+            for p in m
+                .trace
+                .points
+                .iter()
+                .step_by(10.max(m.trace.points.len() / 200))
+            {
                 trace_rows.push(vec![
                     target.problem.name.clone(),
                     m.method.clone(),
@@ -112,12 +123,25 @@ fn main() {
         )
     );
     println!("Average EDP improvement of Mind Mappings (geometric mean across problems):");
-    println!("  vs SA: {}x   (paper: 1.40x)", fmt(geometric_mean(&ratios_sa)));
-    println!("  vs GA: {}x   (paper: 1.76x)", fmt(geometric_mean(&ratios_ga)));
-    println!("  vs RL: {}x   (paper: 1.29x)", fmt(geometric_mean(&ratios_rl)));
+    println!(
+        "  vs SA: {}x   (paper: 1.40x)",
+        fmt(geometric_mean(&ratios_sa))
+    );
+    println!(
+        "  vs GA: {}x   (paper: 1.76x)",
+        fmt(geometric_mean(&ratios_ga))
+    );
+    println!(
+        "  vs RL: {}x   (paper: 1.29x)",
+        fmt(geometric_mean(&ratios_rl))
+    );
     println!(
         "  MM distance to algorithmic minimum: {}x   (paper: 5.32x)",
         fmt(geometric_mean(&mm_norm))
     );
-    println!("wrote {} and {}", traces_path.display(), summary_path.display());
+    println!(
+        "wrote {} and {}",
+        traces_path.display(),
+        summary_path.display()
+    );
 }

@@ -35,7 +35,7 @@ fn main() {
 
     let mut trace_rows = Vec::new();
     let mut summary_rows = Vec::new();
-    let mut ratios = vec![Vec::new(), Vec::new(), Vec::new()]; // SA, GA, RL
+    let mut ratios = [Vec::new(), Vec::new(), Vec::new()]; // SA, GA, RL
     let mut step_cost_rows = Vec::new();
 
     for target in table1::all_problems() {
@@ -125,8 +125,17 @@ fn main() {
         )
     );
     println!("Average iso-time EDP improvement of Mind Mappings (geometric mean):");
-    println!("  vs SA: {}x   (paper: 3.16x)", fmt(geometric_mean(&ratios[0])));
-    println!("  vs GA: {}x   (paper: 4.19x)", fmt(geometric_mean(&ratios[1])));
-    println!("  vs RL: {}x   (paper: 2.90x)", fmt(geometric_mean(&ratios[2])));
+    println!(
+        "  vs SA: {}x   (paper: 3.16x)",
+        fmt(geometric_mean(&ratios[0]))
+    );
+    println!(
+        "  vs GA: {}x   (paper: 4.19x)",
+        fmt(geometric_mean(&ratios[1]))
+    );
+    println!(
+        "  vs RL: {}x   (paper: 2.90x)",
+        fmt(geometric_mean(&ratios[2]))
+    );
     println!("wrote {}", summary_path.display());
 }

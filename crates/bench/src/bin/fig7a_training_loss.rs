@@ -26,13 +26,14 @@ fn main() {
         .enumerate()
         .map(|(epoch, (tr, te))| vec![epoch.to_string(), fmt(*tr as f64), fmt(*te as f64)])
         .collect();
-    let path = report::write_csv("fig7a_loss.csv", &["epoch", "train_loss", "test_loss"], &rows)
-        .expect("write results");
+    let path = report::write_csv(
+        "fig7a_loss.csv",
+        &["epoch", "train_loss", "test_loss"],
+        &rows,
+    )
+    .expect("write results");
 
-    println!(
-        "{}",
-        format_table(&["epoch", "train", "test"], &rows)
-    );
+    println!("{}", format_table(&["epoch", "train", "test"], &rows));
     println!(
         "final train loss {} / test loss {} (test tracks train => no overfitting)",
         fmt(history.final_train_loss() as f64),

@@ -12,17 +12,16 @@ use mm_bench::{train_surrogate_with_config, ExperimentScale};
 use mm_core::{GradientSearch, Phase2Config};
 use mm_nn::Loss;
 use mm_search::Budget;
-use mm_workloads::table1::{self, Algorithm};
 use mm_workloads::evaluated_accelerator;
+use mm_workloads::table1::{self, Algorithm};
 use rand::SeedableRng;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!(
-        "Figure 7b (loss-function choice), scale '{}'",
-        scale.name
-    );
-    let target = table1::by_name("ResNet Conv_4").expect("target problem").problem;
+    println!("Figure 7b (loss-function choice), scale '{}'", scale.name);
+    let target = table1::by_name("ResNet Conv_4")
+        .expect("target problem")
+        .problem;
     let model = CostModel::new(evaluated_accelerator(), target.clone());
 
     let losses = [
@@ -58,14 +57,24 @@ fn main() {
 
     let path = report::write_csv(
         "fig7b_loss_functions.csv",
-        &["loss", "final_train_loss", "final_test_loss", "search_best_normalized_edp"],
+        &[
+            "loss",
+            "final_train_loss",
+            "final_test_loss",
+            "search_best_normalized_edp",
+        ],
         &rows,
     )
     .expect("write results");
     println!(
         "{}",
         format_table(
-            &["loss", "train loss", "test loss", "best EDP found (normalized)"],
+            &[
+                "loss",
+                "train loss",
+                "test loss",
+                "best EDP found (normalized)"
+            ],
             &rows
         )
     );

@@ -19,7 +19,9 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let target = table1::by_name("ResNet Conv_3").expect("target problem").problem;
+    let target = table1::by_name("ResNet Conv_3")
+        .expect("target problem")
+        .problem;
     let arch = evaluated_accelerator();
     let model = CostModel::new(arch.clone(), target.clone());
 
@@ -71,7 +73,11 @@ fn main() {
 
     let path = report::write_csv(
         "fig7c_dataset_size.csv",
-        &["train_samples", "final_test_loss", "search_best_normalized_edp"],
+        &[
+            "train_samples",
+            "final_test_loss",
+            "search_best_normalized_edp",
+        ],
         &rows,
     )
     .expect("write results");

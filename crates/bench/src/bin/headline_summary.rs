@@ -26,7 +26,8 @@ fn main() {
     println!("training CNN-Layer surrogate…");
     let (cnn, _) = train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("CNN surrogate");
     println!("training MTTKRP surrogate…");
-    let (mttkrp, _) = train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
+    let (mttkrp, _) =
+        train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
 
     // A representative subset keeps the default run short; MM_SCALE=large
     // covers all eight problems.
@@ -39,10 +40,10 @@ fn main() {
             .collect()
     };
 
-    let mut iso_iter = vec![Vec::new(), Vec::new(), Vec::new()];
-    let mut iso_time = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut iso_iter = [Vec::new(), Vec::new(), Vec::new()];
+    let mut iso_time = [Vec::new(), Vec::new(), Vec::new()];
     let mut mm_gap = Vec::new();
-    let mut step_speedups = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut step_speedups = [Vec::new(), Vec::new(), Vec::new()];
     let mut rows = Vec::new();
 
     for target in &problems {

@@ -18,10 +18,12 @@
 //! * [`report`] — CSV/table output helpers (results land in `results/`).
 
 pub mod comparison;
+pub mod mapper_scaling;
 pub mod report;
 pub mod scale;
 
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
+pub use mapper_scaling::{run_mapper_scaling, MapperScalingResult, ScalingPoint};
 pub use scale::ExperimentScale;
 
 use mm_core::{MindMappingsError, Phase1Config, Surrogate};

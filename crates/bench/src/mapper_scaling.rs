@@ -1,0 +1,201 @@
+//! Threads-vs-throughput comparison for the parallel mapper: measure
+//! evaluations/second of the classic single-threaded `Searcher` loop, then
+//! of [`Mapper`] runs at increasing thread counts, under iso-per-thread
+//! evaluation budgets.
+//!
+//! The headline question — "does a 4-thread `Mapper` evaluate ≥ 2× as many
+//! mappings per second as the single-threaded loop?" — only has a chance of
+//! a *yes* on hardware with ≥ 2 usable cores; the result records
+//! `available_parallelism` so consumers can interpret the numbers honestly.
+
+use std::sync::Arc;
+
+use mm_accel::CostModel;
+use mm_mapper::{EvaluatorObjective, Mapper, MapperConfig, ModelEvaluator, TerminationPolicy};
+use mm_mapspace::MapSpace;
+use mm_search::{Budget, RandomSearch, Searcher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::results_dir;
+
+/// Throughput of one mapper configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Mapper thread count.
+    pub threads: usize,
+    /// Evaluations performed (threads × per-thread budget).
+    pub total_evaluations: u64,
+    /// Wall-clock seconds.
+    pub wall_time_s: f64,
+    /// Aggregate evaluations per second.
+    pub evals_per_sec: f64,
+    /// Best primary-metric cost found.
+    pub best_cost: f64,
+    /// Throughput relative to the single-threaded `Searcher` baseline.
+    pub speedup_vs_baseline: f64,
+}
+
+/// The full threads-vs-throughput sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapperScalingResult {
+    /// Problem name.
+    pub problem: String,
+    /// Evaluations given to each thread at every point (iso-per-thread).
+    pub evals_per_thread: u64,
+    /// Evaluations/second of the classic single-threaded `Searcher` loop.
+    pub baseline_evals_per_sec: f64,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    /// One entry per measured thread count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl MapperScalingResult {
+    /// The point measured at `threads`, if any.
+    pub fn at_threads(&self, threads: usize) -> Option<&ScalingPoint> {
+        self.points.iter().find(|p| p.threads == threads)
+    }
+
+    /// Serialize as the `BENCH_mapper.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"mapper_throughput\",\n");
+        out.push_str(&format!("  \"problem\": {:?},\n", self.problem));
+        out.push_str(&format!(
+            "  \"evals_per_thread\": {},\n",
+            self.evals_per_thread
+        ));
+        out.push_str(&format!(
+            "  \"baseline_single_thread_searcher_evals_per_sec\": {:.3},\n",
+            self.baseline_evals_per_sec
+        ));
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"total_evaluations\": {}, \"wall_time_s\": {:.6}, \
+                 \"evals_per_sec\": {:.3}, \"best_cost\": {:.6e}, \"speedup_vs_baseline\": {:.3}}}{}\n",
+                p.threads,
+                p.total_evaluations,
+                p.wall_time_s,
+                p.evals_per_sec,
+                p.best_cost,
+                p.speedup_vs_baseline,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_mapper.json` under the results directory, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("BENCH_mapper.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Run the sweep: random search over `problem`'s map space, measuring the
+/// single-threaded `Searcher` loop first and then a [`Mapper`] at each of
+/// `thread_counts`, giving every thread `evals_per_thread` evaluations.
+pub fn run_mapper_scaling(
+    model: &CostModel,
+    space: &MapSpace,
+    thread_counts: &[usize],
+    evals_per_thread: u64,
+    seed: u64,
+) -> MapperScalingResult {
+    let evaluator: Arc<dyn mm_mapper::CostEvaluator> = Arc::new(ModelEvaluator::edp(model.clone()));
+
+    // Baseline: the classic monolithic single-threaded Searcher loop.
+    let mut objective = EvaluatorObjective::new(Arc::clone(&evaluator));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let trace = RandomSearch::new().search(
+        space,
+        &mut objective,
+        Budget::iterations(evals_per_thread),
+        &mut rng,
+    );
+    let baseline_secs = start.elapsed().as_secs_f64();
+    let baseline_evals_per_sec = if baseline_secs > 0.0 {
+        trace.len() as f64 / baseline_secs
+    } else {
+        0.0
+    };
+
+    let points = thread_counts
+        .iter()
+        .map(|&threads| {
+            let mapper = Mapper::new(MapperConfig {
+                threads,
+                seed,
+                termination: TerminationPolicy::search_size(evals_per_thread * threads as u64),
+                ..MapperConfig::default()
+            });
+            let report = mapper.run(space, Arc::clone(&evaluator), |_| {
+                Box::new(RandomSearch::new())
+            });
+            ScalingPoint {
+                threads,
+                total_evaluations: report.total_evaluations,
+                wall_time_s: report.wall_time_s,
+                evals_per_sec: report.evals_per_sec,
+                best_cost: report.best_cost(),
+                speedup_vs_baseline: if baseline_evals_per_sec > 0.0 {
+                    report.evals_per_sec / baseline_evals_per_sec
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    MapperScalingResult {
+        problem: space.problem().name.clone(),
+        evals_per_thread,
+        baseline_evals_per_sec,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_workloads::{evaluated_accelerator, table1};
+
+    #[test]
+    fn sweep_measures_and_serializes() {
+        let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, target.problem.clone());
+        let result = run_mapper_scaling(&model, &space, &[1, 2], 50, 7);
+
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.at_threads(1).unwrap().total_evaluations, 50);
+        assert_eq!(result.at_threads(2).unwrap().total_evaluations, 100);
+        assert!(result.baseline_evals_per_sec > 0.0);
+        assert!(result.points.iter().all(|p| p.evals_per_sec > 0.0));
+        assert!(result.points.iter().all(|p| p.best_cost.is_finite()));
+
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"mapper_throughput\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("available_parallelism"));
+    }
+}

@@ -16,11 +16,7 @@ pub fn results_dir() -> PathBuf {
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(name);
@@ -85,7 +81,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        std::env::set_var("MM_RESULTS_DIR", std::env::temp_dir().join("mm_test_results"));
+        std::env::set_var(
+            "MM_RESULTS_DIR",
+            std::env::temp_dir().join("mm_test_results"),
+        );
         let path = write_csv(
             "unit_test.csv",
             &["a", "b"],
@@ -117,6 +116,6 @@ mod tests {
         assert_eq!(fmt(0.0), "0");
         assert!(fmt(1234567.0).contains('e'));
         assert!(fmt(0.0001).contains('e'));
-        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(12.3456), "12.346");
     }
 }

@@ -192,9 +192,14 @@ mod tests {
             batch_size: 64,
             ..Phase1Config::quick()
         };
-        MindMappings::train(Architecture::example(), &Conv1dFamily::default(), &cfg, &mut rng)
-            .unwrap()
-            .0
+        MindMappings::train(
+            Architecture::example(),
+            &Conv1dFamily::default(),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap()
+        .0
     }
 
     #[test]
@@ -209,7 +214,9 @@ mod tests {
 
         // getProjection of random noise
         let enc = mm.surrogate().encoding();
-        let noise: Vec<f32> = (0..enc.mapping_len()).map(|i| i as f32 * 3.7 - 10.0).collect();
+        let noise: Vec<f32> = (0..enc.mapping_len())
+            .map(|i| i as f32 * 3.7 - 10.0)
+            .collect();
         let projected = mm.get_projection(&problem, &noise).unwrap();
         assert!(mm.is_member(&problem, &projected));
 
@@ -238,8 +245,10 @@ mod tests {
     #[test]
     fn phase2_config_roundtrip() {
         let mut mm = quick_framework(15);
-        let mut cfg = Phase2Config::default();
-        cfg.learning_rate = 0.5;
+        let cfg = Phase2Config {
+            learning_rate: 0.5,
+            ..Phase2Config::default()
+        };
         mm.set_phase2_config(cfg);
         assert!((mm.phase2_config().learning_rate - 0.5).abs() < 1e-9);
         assert_eq!(mm.arch().num_pes, 16);

@@ -77,7 +77,9 @@ pub fn lower_bound_reference(arch: &Architecture, problem: &ProblemSpec) -> Vec<
     let mut denom = Vec::with_capacity(3 * nt + 3);
     for level in Level::ALL {
         for t in 0..nt {
-            denom.push(AlgorithmicMinimum::tensor_level_energy_pj(arch, problem, level, t).max(1e-9));
+            denom.push(
+                AlgorithmicMinimum::tensor_level_energy_pj(arch, problem, level, t).max(1e-9),
+            );
         }
     }
     denom.push(1.0); // utilization is already in [0, 1]

@@ -1,0 +1,271 @@
+//! [`GradientProposer`]: the Phase-2 gradient search as a stepwise
+//! [`ProposalSearch`], for use with `mm-mapper`'s parallel orchestration.
+//!
+//! The monolithic [`GradientSearch`](crate::GradientSearch) owns its loop
+//! and queries only the surrogate; true costs are filled in afterwards. The
+//! proposer inverts that control: every [`propose`](ProposalSearch::propose)
+//! call advances the surrogate-side trajectory (gradient step → projection →
+//! periodic annealed random injection, exactly as Section 4.2 describes) and
+//! emits the visited mappings as proposals for the orchestrator to evaluate
+//! against the reference cost model.
+//!
+//! Crucially, the trajectory *never* depends on the reported true costs —
+//! matching the paper's methodology, where the reference model only scores
+//! visited mappings offline. That makes the gradient proposer the ideal
+//! pipelining citizen: proposals can run arbitrarily far ahead of pending
+//! evaluations ([`ProposalSearch::lookahead`] is large), keeping every
+//! evaluation worker busy.
+
+use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
+use mm_search::ProposalSearch;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::Phase2Config;
+use crate::surrogate::Surrogate;
+use crate::MindMappingsError;
+
+/// The live trajectory state of one run.
+#[derive(Debug, Clone)]
+struct TrajectoryState {
+    /// Whitened input vector at the current point.
+    x: Vec<f32>,
+    /// Current (valid, projected) mapping.
+    current: Mapping,
+    /// Whether the initial mapping has been proposed yet.
+    proposed_initial: bool,
+    temperature: f64,
+    injections: u64,
+    iteration: u64,
+}
+
+/// The Phase-2 gradient search as a stepwise proposal source.
+#[derive(Debug, Clone)]
+pub struct GradientProposer {
+    surrogate: Surrogate,
+    problem: ProblemSpec,
+    config: Phase2Config,
+    state: Option<TrajectoryState>,
+}
+
+impl GradientProposer {
+    /// Create a proposer for `problem` using a trained `surrogate`.
+    ///
+    /// The surrogate is cloned in, so the proposer is `Send` and each mapper
+    /// thread can own one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MindMappingsError::FamilyMismatch`] if the problem's shape
+    /// does not match the family the surrogate was trained on.
+    pub fn new(
+        surrogate: &Surrogate,
+        problem: ProblemSpec,
+        config: Phase2Config,
+    ) -> Result<Self, MindMappingsError> {
+        surrogate.check_problem(&problem)?;
+        Ok(GradientProposer {
+            surrogate: surrogate.clone(),
+            problem,
+            config,
+            state: None,
+        })
+    }
+
+    /// Advance the surrogate trajectory by one iteration and return the
+    /// resulting (projected, valid) mapping.
+    fn step(&mut self, space: &MapSpace, rng: &mut StdRng) -> Mapping {
+        let cfg = &self.config;
+        let state = self.state.as_mut().expect("begin() not called");
+        state.iteration += 1;
+        let mapping_offset = self.surrogate.encoding().mapping_offset();
+
+        // Gradient of the surrogate's predicted cost w.r.t. the mapping.
+        let mut grad = self.surrogate.normalized_edp_gradient(&state.x);
+        // The problem id is held constant (Section 4.2): zero its gradient.
+        for g in grad.iter_mut().take(mapping_offset) {
+            *g = 0.0;
+        }
+        if cfg.normalize_gradient {
+            let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for g in &mut grad {
+                    *g /= norm;
+                }
+            }
+        }
+        // Step in whitened space, then project back onto the map space.
+        for (xi, gi) in state.x.iter_mut().zip(&grad) {
+            *xi -= cfg.learning_rate * gi;
+        }
+        let raw = self.surrogate.decode_normalized(&state.x);
+        state.current = space
+            .project(&raw)
+            .unwrap_or_else(|_| space.random_mapping(rng));
+        state.x = self
+            .surrogate
+            .encode_normalized(&self.problem, &state.current);
+        let projected_pred = self.surrogate.predict_normalized_edp_from_input(&state.x);
+
+        // Periodic random injection with annealed acceptance (Appendix A).
+        if cfg.injection_interval > 0 && state.iteration.is_multiple_of(cfg.injection_interval) {
+            let candidate = space.random_mapping(rng);
+            let cand_x = self.surrogate.encode_normalized(&self.problem, &candidate);
+            let cand_pred = self.surrogate.predict_normalized_edp_from_input(&cand_x);
+            let accept = cand_pred <= projected_pred || {
+                let delta = cand_pred - projected_pred;
+                rng.gen_range(0.0..1.0) < (-delta / state.temperature.max(1e-12)).exp()
+            };
+            if accept {
+                state.current = candidate;
+                state.x = cand_x;
+            }
+            state.injections += 1;
+            if cfg.decay_every_injections > 0
+                && state.injections.is_multiple_of(cfg.decay_every_injections)
+            {
+                state.temperature *= cfg.temperature_decay;
+            }
+        }
+        state.current.clone()
+    }
+}
+
+impl ProposalSearch for GradientProposer {
+    fn name(&self) -> &str {
+        "MM"
+    }
+
+    fn begin(&mut self, space: &MapSpace, _horizon: Option<u64>, rng: &mut StdRng) {
+        assert_eq!(
+            (space.problem().num_dims(), space.problem().num_tensors()),
+            (self.problem.num_dims(), self.problem.num_tensors()),
+            "map space problem shape does not match the proposer's problem"
+        );
+        let current = space.random_mapping(rng);
+        let x = self.surrogate.encode_normalized(&self.problem, &current);
+        self.state = Some(TrajectoryState {
+            x,
+            current,
+            proposed_initial: false,
+            temperature: self.config.initial_temperature,
+            injections: 0,
+            iteration: 0,
+        });
+    }
+
+    /// The trajectory is independent of reported costs, so proposals can run
+    /// far ahead of evaluations.
+    fn lookahead(&self) -> usize {
+        1024
+    }
+
+    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+        {
+            let state = self.state.as_mut().expect("begin() not called");
+            if !state.proposed_initial {
+                state.proposed_initial = true;
+                out.push(state.current.clone());
+            }
+        }
+        // One surrogate iteration per proposal; skip consecutive duplicates
+        // (a rounded-back gradient step) up to a bounded number of retries
+        // so stuck trajectories still emit.
+        let mut retries = 0usize;
+        while out.len() < max.max(1) && retries < 4 * max.max(1) {
+            let before = self
+                .state
+                .as_ref()
+                .expect("begin() not called")
+                .current
+                .clone();
+            let next = self.step(space, rng);
+            if next != before || out.is_empty() {
+                out.push(next);
+            } else {
+                retries += 1;
+            }
+        }
+    }
+
+    /// True costs never steer the surrogate trajectory (paper methodology);
+    /// best-so-far tracking lives in the orchestrator.
+    fn report(&mut self, _mapping: &Mapping, _cost: f64, _rng: &mut StdRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Phase1Config;
+    use crate::dataset::generate_training_set;
+    use mm_accel::{Architecture, CostModel};
+    use mm_search::{drive, Budget, FnObjective};
+    use mm_workloads::conv1d::Conv1dFamily;
+    use rand::SeedableRng;
+
+    fn surrogate(seed: u64) -> Surrogate {
+        let arch = Architecture::example();
+        let fam = Conv1dFamily::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = generate_training_set(&arch, &fam, 1500, 50, &mut rng).unwrap();
+        let cfg = Phase1Config {
+            hidden_layers: vec![48, 48],
+            epochs: 25,
+            batch_size: 64,
+            ..Phase1Config::quick()
+        };
+        Surrogate::train(arch, &ds, &cfg, &mut rng).unwrap().0
+    }
+
+    #[test]
+    fn rejects_problems_from_another_family() {
+        let s = surrogate(0);
+        let cnn = mm_workloads::cnn::CnnLayer::alexnet_conv4().into_problem();
+        assert!(GradientProposer::new(&s, cnn, Phase2Config::default()).is_err());
+    }
+
+    #[test]
+    fn proposals_are_valid_and_batch_ahead() {
+        let s = surrogate(1);
+        let problem = mm_mapspace::ProblemSpec::conv1d(900, 7);
+        let space = MapSpace::new(problem.clone(), s.arch().mapping_constraints());
+        let mut gp = GradientProposer::new(&s, problem, Phase2Config::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        gp.begin(&space, None, &mut rng);
+        let mut buf = Vec::new();
+        gp.propose(&space, &mut rng, 32, &mut buf);
+        assert!(!buf.is_empty(), "gradient proposer always makes progress");
+        assert!(buf.len() <= 32);
+        assert!(buf.iter().all(|m| space.is_member(m)));
+        // No reports were needed to keep proposing: trajectory independence.
+        buf.clear();
+        gp.propose(&space, &mut rng, 32, &mut buf);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn driven_gradient_search_beats_average_random_mapping() {
+        let s = surrogate(3);
+        let problem = mm_mapspace::ProblemSpec::conv1d(1200, 5);
+        let space = MapSpace::new(problem.clone(), s.arch().mapping_constraints());
+        let model = CostModel::new(s.arch().clone(), problem.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mean = 0.0;
+        let n = 30;
+        for _ in 0..n {
+            mean += model.edp(&space.random_mapping(&mut rng));
+        }
+        mean /= n as f64;
+
+        let mut gp = GradientProposer::new(&s, problem, Phase2Config::default()).unwrap();
+        let mut obj = FnObjective::new(|m: &Mapping| model.edp(m));
+        let trace = drive(&mut gp, &space, &mut obj, Budget::iterations(400), &mut rng);
+        assert_eq!(trace.method, "MM");
+        assert!(
+            trace.best_cost < mean,
+            "MM proposer ({}) did not beat the random-mapping mean ({mean})",
+            trace.best_cost
+        );
+        assert!(space.is_member(trace.best_mapping.as_ref().unwrap()));
+    }
+}

@@ -152,7 +152,7 @@ impl<'a> GradientSearch<'a> {
             }
 
             // Step 6: periodic random injection with annealed acceptance.
-            if cfg.injection_interval > 0 && iteration % cfg.injection_interval == 0 {
+            if cfg.injection_interval > 0 && iteration.is_multiple_of(cfg.injection_interval) {
                 let candidate = self.space.random_mapping(rng);
                 let cand_x = self.surrogate.encode_normalized(&self.problem, &candidate);
                 let cand_pred = self.surrogate.predict_normalized_edp_from_input(&cand_x);
@@ -170,7 +170,9 @@ impl<'a> GradientSearch<'a> {
                     }
                 }
                 injections += 1;
-                if cfg.decay_every_injections > 0 && injections % cfg.decay_every_injections == 0 {
+                if cfg.decay_every_injections > 0
+                    && injections.is_multiple_of(cfg.decay_every_injections)
+                {
                     temperature *= cfg.temperature_decay;
                 }
             }

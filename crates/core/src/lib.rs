@@ -38,6 +38,7 @@
 pub mod api;
 pub mod config;
 pub mod dataset;
+pub mod gradient_proposer;
 pub mod gradient_search;
 pub mod objective;
 pub mod surrogate;
@@ -45,6 +46,7 @@ pub mod surrogate;
 pub use api::MindMappings;
 pub use config::{Phase1Config, Phase2Config};
 pub use dataset::{generate_training_set, SurrogateDataset};
+pub use gradient_proposer::GradientProposer;
 pub use gradient_search::GradientSearch;
 pub use objective::CostModelObjective;
 pub use surrogate::Surrogate;

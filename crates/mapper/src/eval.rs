@@ -1,0 +1,398 @@
+//! Mapping evaluation: the [`CostEvaluator`] abstraction and the
+//! [`EvalPool`] worker pool.
+//!
+//! A [`CostEvaluator`] is the thread-safe counterpart of `mm-search`'s
+//! `Objective`: a pure `&self` cost function that many threads can query
+//! concurrently. [`EvalPool`] fans batches of mappings out to a fixed set of
+//! `std::thread` workers over channels — the `AcceleratorPool` pattern from
+//! pytimeloop — returning results tagged with job ids so callers can
+//! pipeline submissions ahead of completions.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mm_accel::CostModel;
+use mm_mapspace::Mapping;
+use mm_search::Objective;
+
+use crate::metrics::{Evaluation, OptMetric};
+
+/// A thread-safe mapping cost function producing prioritized metrics.
+pub trait CostEvaluator: Send + Sync {
+    /// Evaluate one mapping.
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation;
+
+    /// The metric priority list this evaluator produces (for reporting).
+    fn metrics(&self) -> &[OptMetric] {
+        &[OptMetric::Edp]
+    }
+}
+
+/// The reference cost model as a [`CostEvaluator`] with a prioritized
+/// `optimization_metrics` list (Timeloop-mapper style).
+#[derive(Debug, Clone)]
+pub struct ModelEvaluator {
+    model: CostModel,
+    metrics: Vec<OptMetric>,
+}
+
+impl ModelEvaluator {
+    /// Evaluator optimizing EDP only (the paper's objective).
+    pub fn edp(model: CostModel) -> Self {
+        Self::with_metrics(model, vec![OptMetric::Edp])
+    }
+
+    /// Evaluator with an explicit metric priority list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` is empty.
+    pub fn with_metrics(model: CostModel, metrics: Vec<OptMetric>) -> Self {
+        assert!(
+            !metrics.is_empty(),
+            "optimization_metrics must be non-empty"
+        );
+        ModelEvaluator { model, metrics }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+impl CostEvaluator for ModelEvaluator {
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+        let cost = self.model.evaluate(mapping);
+        let arch = self.model.arch();
+        Evaluation {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|m| m.resolve(&cost, arch))
+                .collect(),
+        }
+    }
+
+    fn metrics(&self) -> &[OptMetric] {
+        &self.metrics
+    }
+}
+
+/// Wrap any thread-safe closure as a single-metric [`CostEvaluator`].
+pub struct FnEvaluator<F> {
+    f: F,
+}
+
+impl<F: Fn(&Mapping) -> f64 + Send + Sync> FnEvaluator<F> {
+    /// Wrap `f` as an evaluator.
+    pub fn new(f: F) -> Self {
+        FnEvaluator { f }
+    }
+}
+
+impl<F: Fn(&Mapping) -> f64 + Send + Sync> CostEvaluator for FnEvaluator<F> {
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+        Evaluation::scalar((self.f)(mapping))
+    }
+}
+
+/// Adapter exposing a [`CostEvaluator`] as a classic mutable
+/// [`Objective`], for single-threaded `Searcher` loops.
+pub struct EvaluatorObjective {
+    evaluator: Arc<dyn CostEvaluator>,
+    queries: u64,
+}
+
+impl EvaluatorObjective {
+    /// Wrap `evaluator` with query counting.
+    pub fn new(evaluator: Arc<dyn CostEvaluator>) -> Self {
+        EvaluatorObjective {
+            evaluator,
+            queries: 0,
+        }
+    }
+}
+
+impl Objective for EvaluatorObjective {
+    fn cost(&mut self, mapping: &Mapping) -> f64 {
+        self.queries += 1;
+        self.evaluator.evaluate(mapping).primary()
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// One unit of work for the pool.
+struct Job {
+    id: u64,
+    mapping: Mapping,
+}
+
+/// A fixed pool of evaluation workers fed over channels.
+///
+/// Submissions are tagged with monotonically increasing job ids; results
+/// come back in completion order (use [`EvalPool::evaluate_batch`] for
+/// order-preserving convenience).
+pub struct EvalPool {
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<(u64, Result<Evaluation, String>)>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: u64,
+    in_flight: u64,
+}
+
+/// Human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl EvalPool {
+    /// Spawn `workers` evaluation threads sharing `evaluator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(evaluator: Arc<dyn CostEvaluator>, workers: usize) -> Self {
+        assert!(workers > 0, "EvalPool needs at least one worker");
+        let (job_tx, job_rx) = channel::<Job>();
+        let (result_tx, result_rx) = channel::<(u64, Result<Evaluation, String>)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                let evaluator = Arc::clone(&evaluator);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while popping; evaluate unlocked.
+                    let job = match job_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => {
+                            // A panicking evaluator must not strand the
+                            // job: report the panic as this job's result so
+                            // the consumer fails loudly instead of blocking
+                            // forever on a result that never comes.
+                            let eval =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    evaluator.evaluate(&job.mapping)
+                                }));
+                            match eval {
+                                Ok(eval) => {
+                                    if result_tx.send((job.id, Ok(eval))).is_err() {
+                                        return; // pool dropped
+                                    }
+                                }
+                                Err(payload) => {
+                                    let _ = result_tx.send((job.id, Err(panic_message(payload))));
+                                    return; // die, as an uncaught panic would
+                                }
+                            }
+                        }
+                        Err(_) => return, // job channel closed
+                    }
+                })
+            })
+            .collect();
+        EvalPool {
+            job_tx: Some(job_tx),
+            result_rx,
+            workers: handles,
+            next_id: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted but not yet received.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Submit one mapping; returns its job id.
+    pub fn submit(&mut self, mapping: Mapping) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.in_flight += 1;
+        self.job_tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(Job { id, mapping })
+            .expect("evaluation workers alive");
+        id
+    }
+
+    /// Block until the next result is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight, or if the worker evaluating the
+    /// received job panicked (the panic message is propagated).
+    pub fn recv(&mut self) -> (u64, Evaluation) {
+        assert!(self.in_flight > 0, "recv with no jobs in flight");
+        let (id, result) = self
+            .result_rx
+            .recv()
+            .expect("evaluation workers alive while jobs are in flight");
+        self.in_flight -= 1;
+        match result {
+            Ok(eval) => (id, eval),
+            Err(msg) => panic!("evaluation worker panicked: {msg}"),
+        }
+    }
+
+    /// A result if one is already available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker evaluating the received job panicked.
+    pub fn try_recv(&mut self) -> Option<(u64, Evaluation)> {
+        match self.result_rx.try_recv() {
+            Ok((id, result)) => {
+                self.in_flight -= 1;
+                match result {
+                    Ok(eval) => Some((id, eval)),
+                    Err(msg) => panic!("evaluation worker panicked: {msg}"),
+                }
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Evaluate a batch, preserving input order. Requires nothing else in
+    /// flight (so ids map cleanly back to batch positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs are already in flight.
+    pub fn evaluate_batch(&mut self, mappings: &[Mapping]) -> Vec<Evaluation> {
+        assert_eq!(self.in_flight, 0, "evaluate_batch needs an idle pool");
+        let base = self.next_id;
+        for m in mappings {
+            self.submit(m.clone());
+        }
+        let mut by_id: HashMap<u64, Evaluation> = HashMap::with_capacity(mappings.len());
+        while by_id.len() < mappings.len() {
+            let (id, eval) = self.recv();
+            by_id.insert(id, eval);
+        }
+        (0..mappings.len() as u64)
+            .map(|i| by_id.remove(&(base + i)).expect("every job completed"))
+            .collect()
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        // Closing the job channel lets every worker drain and exit.
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_accel::Architecture;
+    use mm_mapspace::{MapSpace, ProblemSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space_and_evaluator() -> (MapSpace, Arc<dyn CostEvaluator>) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(256, 5);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem);
+        (space, Arc::new(ModelEvaluator::edp(model)))
+    }
+
+    #[test]
+    fn pool_matches_inline_evaluation() {
+        let (space, evaluator) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mappings: Vec<Mapping> = (0..24).map(|_| space.random_mapping(&mut rng)).collect();
+        let inline: Vec<Evaluation> = mappings.iter().map(|m| evaluator.evaluate(m)).collect();
+
+        let mut pool = EvalPool::new(Arc::clone(&evaluator), 4);
+        assert_eq!(pool.workers(), 4);
+        let pooled = pool.evaluate_batch(&mappings);
+        assert_eq!(inline, pooled, "pool preserves order and values");
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn submit_and_recv_pipeline() {
+        let (space, evaluator) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = EvalPool::new(evaluator, 2);
+        let ids: Vec<u64> = (0..8)
+            .map(|_| pool.submit(space.random_mapping(&mut rng)))
+            .collect();
+        assert_eq!(pool.in_flight(), 8);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let (id, eval) = pool.recv();
+            assert!(eval.primary() > 0.0);
+            seen.push(id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, ids);
+        assert!(pool.try_recv().is_none());
+    }
+
+    #[test]
+    fn evaluator_objective_counts_queries() {
+        let (space, evaluator) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = space.random_mapping(&mut rng);
+        let mut obj = EvaluatorObjective::new(evaluator);
+        assert_eq!(obj.queries(), 0);
+        let a = obj.cost(&m);
+        let b = obj.cost(&m);
+        assert_eq!(a, b);
+        assert_eq!(obj.queries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation worker panicked: boom for tile")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let (space, _) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(4);
+        let evaluator = Arc::new(FnEvaluator::new(|m: &Mapping| {
+            assert!(m.tiles[0].is_empty(), "boom for tile {}", m.tiles[0].len());
+            0.0
+        }));
+        let mut pool = EvalPool::new(evaluator, 2);
+        pool.submit(space.random_mapping(&mut rng));
+        // Must panic with the worker's message, not block forever.
+        let _ = pool.recv();
+    }
+
+    #[test]
+    fn fn_evaluator_wraps_closures() {
+        let (space, _) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = space.random_mapping(&mut rng);
+        let eval = FnEvaluator::new(|m: &Mapping| m.active_pes() as f64);
+        assert_eq!(eval.evaluate(&m).primary(), m.active_pes() as f64);
+        assert_eq!(eval.metrics(), &[OptMetric::Edp]);
+    }
+}

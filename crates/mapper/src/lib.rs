@@ -1,0 +1,64 @@
+//! # mm-mapper
+//!
+//! A parallel mapper-orchestration engine for the Mind Mappings
+//! reproduction, following the architecture proven by Timeloop's mapper and
+//! pytimeloop's `AcceleratorPool`: mapping *proposal* is decoupled from
+//! mapping *evaluation*, so both can scale independently.
+//!
+//! The pieces:
+//!
+//! * [`CostEvaluator`] / [`ModelEvaluator`] — a thread-safe (`&self`) cost
+//!   function over mappings, with a prioritized [`OptMetric`] list
+//!   (`energy`, `delay`, `edp`, `last_level_accesses`) resolved against
+//!   `mm-accel`'s `CostBreakdown` and compared lexicographically
+//!   ([`Evaluation`]);
+//! * [`EvalPool`] — a `std::thread` worker pool evaluating batches of
+//!   mappings concurrently over channels;
+//! * [`run_pipelined`] — drives any `ProposalSearch` (the stepwise protocol
+//!   from `mm-search`'s trait split) against an [`EvalPool`] with proposals
+//!   pipelined ahead of pending evaluations;
+//! * [`BridgedSearcher`] — adapts any monolithic `Searcher` (e.g. the DDPG
+//!   agent) to the stepwise protocol by inverting control on a dedicated
+//!   thread;
+//! * [`Mapper`] — the driver: shards the search across N deterministically
+//!   seeded threads, syncs a shared best mapping every
+//!   [`MapperConfig::sync_interval`] evaluations, and terminates on
+//!   Timeloop-style [`TerminationPolicy`] knobs (`search_size`,
+//!   `victory_condition`, `timeout`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mm_accel::{Architecture, CostModel};
+//! use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, TerminationPolicy};
+//! use mm_mapspace::{MapSpace, ProblemSpec};
+//! use mm_search::RandomSearch;
+//!
+//! let arch = Architecture::example();
+//! let problem = ProblemSpec::conv1d(256, 5);
+//! let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+//! let evaluator = Arc::new(ModelEvaluator::edp(CostModel::new(arch, problem)));
+//!
+//! let mapper = Mapper::new(MapperConfig {
+//!     threads: 2,
+//!     seed: 7,
+//!     termination: TerminationPolicy::search_size(200),
+//!     ..MapperConfig::default()
+//! });
+//! let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+//! assert_eq!(report.total_evaluations, 200);
+//! assert!(space.is_member(report.best_mapping.as_ref().unwrap()));
+//! ```
+
+pub mod bridge;
+pub mod eval;
+pub mod mapper;
+pub mod metrics;
+pub mod pipeline;
+pub mod policy;
+
+pub use bridge::{BridgedSearcher, SearcherFactory};
+pub use eval::{CostEvaluator, EvalPool, EvaluatorObjective, FnEvaluator, ModelEvaluator};
+pub use mapper::{Mapper, MapperConfig, MapperReport, ThreadReport};
+pub use metrics::{Evaluation, OptMetric};
+pub use pipeline::run_pipelined;
+pub use policy::{StopReason, TerminationPolicy};

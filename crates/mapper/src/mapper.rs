@@ -1,0 +1,465 @@
+//! The [`Mapper`] driver: multi-threaded, sharded mapping space search.
+//!
+//! Follows the proven Timeloop-mapper architecture: the map space is divvied
+//! across `threads` independent search threads (each running its own
+//! [`ProposalSearch`] instance over a deterministically derived RNG stream),
+//! every thread periodically publishes its best-so-far mapping to a shared
+//! global best, and threads terminate via the configurable
+//! [`TerminationPolicy`] (`search_size` / `victory_condition` / `timeout`).
+//!
+//! # Determinism
+//!
+//! Thread `t` of a run with seed `s` always sees the same RNG stream
+//! (derived as `splitmix(s, t)`) and — under a pure `search_size` policy —
+//! performs exactly the same evaluations, regardless of scheduling. The
+//! final best is merged across threads in thread-index order with strictly-
+//! better-wins comparison, so *same seed + same thread count ⇒ identical
+//! best mapping*. Two things intentionally trade determinism away when
+//! enabled: wall-clock `timeout`, and
+//! [`MapperConfig::adopt_global_best`] (threads steering by each others'
+//! progress).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mm_mapspace::{MapSpace, Mapping};
+use mm_search::{ProposalSearch, SearchTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::eval::CostEvaluator;
+use crate::metrics::Evaluation;
+use crate::policy::{StopReason, TerminationPolicy};
+
+/// Configuration of a [`Mapper`] run.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Number of search threads.
+    pub threads: usize,
+    /// Master seed; per-thread streams are derived deterministically.
+    pub seed: u64,
+    /// Evaluations between a thread publishing its best to the shared
+    /// global best.
+    pub sync_interval: u64,
+    /// Maximum proposals a thread requests per driver iteration (bounded
+    /// further by the searcher's own lookahead).
+    pub batch_size: usize,
+    /// When to stop.
+    pub termination: TerminationPolicy,
+    /// Let searchers observe the shared global best at sync points
+    /// (faster convergence, but multi-thread runs become non-deterministic).
+    pub adopt_global_best: bool,
+    /// Record a full per-thread [`SearchTrace`] (costs mapping clones per
+    /// evaluation; leave off for throughput measurements).
+    pub record_traces: bool,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            threads: 1,
+            seed: 0,
+            sync_interval: 64,
+            batch_size: 16,
+            termination: TerminationPolicy::search_size(10_000),
+            adopt_global_best: false,
+            record_traces: false,
+        }
+    }
+}
+
+/// What one search thread did.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Thread index.
+    pub thread: usize,
+    /// Evaluations performed.
+    pub evaluations: u64,
+    /// Best mapping found by this thread and its metrics.
+    pub best: Option<(Mapping, Evaluation)>,
+    /// Why the thread stopped.
+    pub stop: StopReason,
+    /// Full trace, when [`MapperConfig::record_traces`] is set.
+    pub trace: Option<SearchTrace>,
+}
+
+/// The result of a [`Mapper`] run.
+#[derive(Debug, Clone)]
+pub struct MapperReport {
+    /// Globally best mapping (merged across threads in thread order).
+    pub best_mapping: Option<Mapping>,
+    /// Metrics of the best mapping, in the evaluator's priority order.
+    pub best_metrics: Option<Evaluation>,
+    /// Total evaluations across all threads.
+    pub total_evaluations: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: f64,
+    /// Aggregate evaluation throughput.
+    pub evals_per_sec: f64,
+    /// Per-thread details, indexed by thread.
+    pub threads: Vec<ThreadReport>,
+}
+
+impl MapperReport {
+    /// The best primary-metric value, or ∞ when nothing was evaluated.
+    pub fn best_cost(&self) -> f64 {
+        self.best_metrics
+            .as_ref()
+            .map_or(f64::INFINITY, Evaluation::primary)
+    }
+}
+
+/// Shared best-so-far mapping, updated at sync intervals.
+#[derive(Default)]
+struct GlobalBest {
+    slot: Mutex<Option<(Mapping, Evaluation)>>,
+}
+
+impl GlobalBest {
+    fn offer(&self, mapping: &Mapping, eval: &Evaluation) {
+        let mut slot = self.slot.lock().expect("global best lock");
+        let better = match slot.as_ref() {
+            None => true,
+            Some((_, incumbent)) => eval.better_than(incumbent),
+        };
+        if better {
+            *slot = Some((mapping.clone(), eval.clone()));
+        }
+    }
+
+    fn snapshot(&self) -> Option<(Mapping, Evaluation)> {
+        self.slot.lock().expect("global best lock").clone()
+    }
+}
+
+/// Deterministic per-thread seed derivation (SplitMix64 over seed ⊕ index).
+fn thread_seed(master: u64, thread: usize) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The multi-threaded mapper orchestration engine.
+#[derive(Debug, Clone, Default)]
+pub struct Mapper {
+    config: MapperConfig,
+}
+
+impl Mapper {
+    /// Create a mapper with the given configuration.
+    pub fn new(config: MapperConfig) -> Self {
+        Mapper { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Run the search: `factory(t)` builds the searcher for thread `t`
+    /// (typically identical searchers, diverging only through their derived
+    /// RNG streams), `evaluator` scores proposals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the termination policy is unbounded (no `search_size`,
+    /// `victory_condition`, or `timeout`) — such a run would never end.
+    pub fn run(
+        &self,
+        space: &MapSpace,
+        evaluator: Arc<dyn CostEvaluator>,
+        mut factory: impl FnMut(usize) -> Box<dyn ProposalSearch>,
+    ) -> MapperReport {
+        assert!(
+            self.config.termination.is_bounded(),
+            "unbounded termination policy: set search_size, victory_condition, or timeout"
+        );
+        let threads = self.config.threads.max(1);
+        let searchers: Vec<Box<dyn ProposalSearch>> = (0..threads).map(&mut factory).collect();
+
+        let global = GlobalBest::default();
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+
+        let mut reports: Vec<ThreadReport> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (t, searcher) in searchers.into_iter().enumerate() {
+                let global = &global;
+                let stop = &stop;
+                let evaluator = Arc::clone(&evaluator);
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    run_thread(
+                        t, threads, config, space, evaluator, searcher, global, stop, start,
+                    )
+                }));
+            }
+            for handle in handles {
+                reports.push(handle.join().expect("mapper thread panicked"));
+            }
+        });
+        // Joined in spawn order, so reports are already thread-ordered.
+
+        let wall_time_s = start.elapsed().as_secs_f64();
+        let total_evaluations: u64 = reports.iter().map(|r| r.evaluations).sum();
+        // Deterministic merge: thread order, strictly-better-wins.
+        let mut best: Option<(Mapping, Evaluation)> = None;
+        for report in &reports {
+            if let Some((mapping, eval)) = &report.best {
+                let take = match best.as_ref() {
+                    None => true,
+                    Some((_, incumbent)) => eval.better_than(incumbent),
+                };
+                if take {
+                    best = Some((mapping.clone(), eval.clone()));
+                }
+            }
+        }
+        let (best_mapping, best_metrics) = match best {
+            Some((m, e)) => (Some(m), Some(e)),
+            None => (None, None),
+        };
+        MapperReport {
+            best_mapping,
+            best_metrics,
+            total_evaluations,
+            wall_time_s,
+            evals_per_sec: if wall_time_s > 0.0 {
+                total_evaluations as f64 / wall_time_s
+            } else {
+                0.0
+            },
+            threads: reports,
+        }
+    }
+}
+
+/// One search thread's loop: propose → evaluate inline → report, with
+/// periodic global-best sync and termination checks.
+#[allow(clippy::too_many_arguments)]
+fn run_thread(
+    thread: usize,
+    threads: usize,
+    config: &MapperConfig,
+    space: &MapSpace,
+    evaluator: Arc<dyn CostEvaluator>,
+    mut searcher: Box<dyn ProposalSearch>,
+    global: &GlobalBest,
+    stop: &AtomicBool,
+    start: Instant,
+) -> ThreadReport {
+    let policy = &config.termination;
+    let share = policy.per_thread_search_size(thread, threads);
+    let mut rng = StdRng::seed_from_u64(thread_seed(config.seed, thread));
+    searcher.begin(space, share, &mut rng);
+
+    let mut trace = config
+        .record_traces
+        .then(|| SearchTrace::new(searcher.name()));
+    let mut best: Option<(Mapping, Evaluation)> = None;
+    let mut evaluations = 0u64;
+    let mut since_improvement = 0u64;
+    let mut buf: Vec<Mapping> = Vec::new();
+    let stop_reason;
+
+    'search: loop {
+        if stop.load(Ordering::Relaxed) {
+            stop_reason = StopReason::GlobalStop;
+            break;
+        }
+        if let Some(timeout) = policy.timeout {
+            if start.elapsed() >= timeout {
+                stop.store(true, Ordering::Relaxed);
+                stop_reason = StopReason::Timeout;
+                break;
+            }
+        }
+        if let Some(share) = share {
+            if evaluations >= share {
+                stop_reason = StopReason::SearchSize;
+                break;
+            }
+        }
+
+        let remaining = share.map_or(u64::MAX, |s| s - evaluations);
+        let max = (config.batch_size.max(1) as u64)
+            .min(remaining)
+            .min(searcher.lookahead() as u64) as usize;
+        buf.clear();
+        searcher.propose(space, &mut rng, max.max(1), &mut buf);
+        if buf.is_empty() {
+            stop_reason = StopReason::Exhausted;
+            break;
+        }
+
+        for mapping in &buf {
+            let eval = evaluator.evaluate(mapping);
+            evaluations += 1;
+            if let Some(trace) = trace.as_mut() {
+                trace.record(eval.primary(), mapping, start.elapsed());
+            }
+            let improved = match best.as_ref() {
+                None => true,
+                Some((_, incumbent)) => eval.better_than(incumbent),
+            };
+            if improved {
+                best = Some((mapping.clone(), eval.clone()));
+                since_improvement = 0;
+            } else {
+                since_improvement += 1;
+            }
+            searcher.report(mapping, eval.primary(), &mut rng);
+
+            if config.sync_interval > 0 && evaluations.is_multiple_of(config.sync_interval) {
+                if let Some((m, e)) = best.as_ref() {
+                    global.offer(m, e);
+                }
+                if config.adopt_global_best {
+                    if let Some((m, e)) = global.snapshot() {
+                        searcher.observe_global_best(&m, e.primary());
+                    }
+                }
+            }
+
+            if let Some(victory) = policy.victory_condition {
+                if since_improvement >= victory {
+                    stop_reason = StopReason::Victory;
+                    break 'search;
+                }
+            }
+            if let Some(share) = share {
+                if evaluations >= share {
+                    stop_reason = StopReason::SearchSize;
+                    break 'search;
+                }
+            }
+        }
+    }
+
+    if let Some((m, e)) = best.as_ref() {
+        global.offer(m, e);
+    }
+    ThreadReport {
+        thread,
+        evaluations,
+        best,
+        stop: stop_reason,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ModelEvaluator;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::ProblemSpec;
+    use mm_search::{RandomSearch, SimulatedAnnealing};
+    use std::time::Duration;
+
+    fn setup() -> (MapSpace, Arc<dyn CostEvaluator>) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(512, 7);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem);
+        (space, Arc::new(ModelEvaluator::edp(model)))
+    }
+
+    #[test]
+    fn search_size_is_split_and_respected() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 3,
+            termination: TerminationPolicy::search_size(90),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert_eq!(report.total_evaluations, 90);
+        for t in &report.threads {
+            assert_eq!(t.evaluations, 30);
+            assert_eq!(t.stop, StopReason::SearchSize);
+        }
+        assert!(report.best_mapping.is_some());
+        assert!(space.is_member(report.best_mapping.as_ref().unwrap()));
+        assert!(report.best_cost().is_finite());
+        assert!(report.evals_per_sec > 0.0);
+    }
+
+    #[test]
+    fn victory_condition_stops_stagnant_threads() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            termination: TerminationPolicy::search_size(100_000).with_victory_condition(25),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert!(report.total_evaluations < 100_000);
+        for t in &report.threads {
+            assert_eq!(t.stop, StopReason::Victory);
+        }
+    }
+
+    #[test]
+    fn timeout_stops_the_run() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            termination: TerminationPolicy::default().with_timeout(Duration::from_millis(50)),
+            ..MapperConfig::default()
+        });
+        let start = Instant::now();
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert!(start.elapsed() < Duration::from_secs(10));
+        assert!(report.total_evaluations > 0);
+        assert!(report
+            .threads
+            .iter()
+            .all(|t| matches!(t.stop, StopReason::Timeout | StopReason::GlobalStop)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded termination policy")]
+    fn unbounded_policy_is_rejected() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            termination: TerminationPolicy::default(),
+            ..MapperConfig::default()
+        });
+        let _ = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+    }
+
+    #[test]
+    fn traces_are_recorded_when_requested() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            record_traces: true,
+            termination: TerminationPolicy::search_size(40),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| {
+            Box::new(SimulatedAnnealing::default())
+        });
+        for t in &report.threads {
+            let trace = t.trace.as_ref().expect("trace recorded");
+            assert_eq!(trace.len(), t.evaluations as usize);
+            assert_eq!(trace.best_cost, t.best.as_ref().unwrap().1.primary());
+        }
+    }
+
+    #[test]
+    fn thread_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..8).map(|t| thread_seed(42, t)).collect();
+        let b: Vec<u64> = (0..8).map(|t| thread_seed(42, t)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "distinct streams per thread");
+        assert_ne!(thread_seed(1, 0), thread_seed(2, 0));
+    }
+}

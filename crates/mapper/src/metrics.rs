@@ -1,0 +1,173 @@
+//! Prioritized optimization metrics, Timeloop-mapper style.
+//!
+//! Timeloop's mapper is steered by an `optimization-metrics` list — e.g.
+//! `[edp]` or `[delay, energy]` — compared lexicographically: the first
+//! metric decides, later metrics break (near-)ties. This module provides the
+//! same vocabulary resolved against `mm-accel`'s [`CostBreakdown`]:
+//!
+//! * [`OptMetric::Energy`] — total energy (pJ);
+//! * [`OptMetric::Delay`] — execution time (s);
+//! * [`OptMetric::Edp`] — energy-delay product (J·s), the paper's headline
+//!   objective;
+//! * [`OptMetric::LastLevelAccesses`] — total DRAM accesses, a proxy for
+//!   off-chip bandwidth pressure.
+
+use mm_accel::{Architecture, CostBreakdown};
+use mm_mapspace::mapping::Level;
+use serde::{Deserialize, Serialize};
+
+/// One optimization metric, resolvable against a [`CostBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptMetric {
+    /// Total energy in picojoules.
+    Energy,
+    /// Execution time in seconds.
+    Delay,
+    /// Energy-delay product in joule-seconds.
+    Edp,
+    /// Total accesses to the last (DRAM) level.
+    LastLevelAccesses,
+}
+
+impl OptMetric {
+    /// All metrics, in the order used for documentation and CLIs.
+    pub const ALL: [OptMetric; 4] = [
+        OptMetric::Energy,
+        OptMetric::Delay,
+        OptMetric::Edp,
+        OptMetric::LastLevelAccesses,
+    ];
+
+    /// Parse a Timeloop-style metric name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "energy" => Some(OptMetric::Energy),
+            "delay" => Some(OptMetric::Delay),
+            "edp" => Some(OptMetric::Edp),
+            "last_level_accesses" | "last-level-accesses" => Some(OptMetric::LastLevelAccesses),
+            _ => None,
+        }
+    }
+
+    /// The Timeloop-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptMetric::Energy => "energy",
+            OptMetric::Delay => "delay",
+            OptMetric::Edp => "edp",
+            OptMetric::LastLevelAccesses => "last_level_accesses",
+        }
+    }
+
+    /// Resolve this metric from a cost breakdown (lower is better for all).
+    pub fn resolve(&self, cost: &CostBreakdown, arch: &Architecture) -> f64 {
+        match self {
+            OptMetric::Energy => cost.total_energy_pj,
+            OptMetric::Delay => cost.delay_s(arch),
+            OptMetric::Edp => cost.edp,
+            OptMetric::LastLevelAccesses => cost.accesses.total_at(Level::Dram) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for OptMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Relative tolerance within which two metric values count as tied and the
+/// next metric in the priority list decides.
+const TIE_TOLERANCE: f64 = 1e-9;
+
+/// The result of evaluating one mapping: metric values in priority order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Metric values, ordered by the evaluator's `optimization_metrics`
+    /// priority list. Lower is better for every metric.
+    pub metrics: Vec<f64>,
+}
+
+impl Evaluation {
+    /// An evaluation with a single metric value.
+    pub fn scalar(value: f64) -> Self {
+        Evaluation {
+            metrics: vec![value],
+        }
+    }
+
+    /// The highest-priority metric value (what scalar consumers — e.g. the
+    /// `ProposalSearch::report` channel — see as "the cost").
+    pub fn primary(&self) -> f64 {
+        self.metrics.first().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Lexicographic comparison down the priority list: strictly better on
+    /// the first non-tied metric wins; ties (within a relative tolerance)
+    /// fall through to the next metric. Equal-on-all-metrics is *not*
+    /// better, so first-found wins under deterministic merge orders.
+    pub fn better_than(&self, other: &Evaluation) -> bool {
+        for (a, b) in self.metrics.iter().zip(&other.metrics) {
+            let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+            if (a - b).abs() > TIE_TOLERANCE * scale {
+                return a < b;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::{Mapping, ProblemSpec};
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for m in OptMetric::ALL {
+            assert_eq!(OptMetric::parse(m.name()), Some(m));
+        }
+        assert_eq!(
+            OptMetric::parse("Last-Level-Accesses"),
+            Some(OptMetric::LastLevelAccesses)
+        );
+        assert_eq!(OptMetric::parse("bogus"), None);
+    }
+
+    #[test]
+    fn metrics_resolve_against_cost_breakdown() {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(128, 5);
+        let model = CostModel::new(arch.clone(), problem.clone());
+        let cost = model.evaluate(&Mapping::minimal(&problem));
+        let energy = OptMetric::Energy.resolve(&cost, &arch);
+        let delay = OptMetric::Delay.resolve(&cost, &arch);
+        let edp = OptMetric::Edp.resolve(&cost, &arch);
+        let dram = OptMetric::LastLevelAccesses.resolve(&cost, &arch);
+        assert!(energy > 0.0 && delay > 0.0 && edp > 0.0 && dram > 0.0);
+        // EDP is energy (J) × delay (s).
+        assert!((edp - energy * 1e-12 * delay).abs() / edp < 1e-9);
+    }
+
+    #[test]
+    fn lexicographic_comparison_with_tie_break() {
+        let a = Evaluation {
+            metrics: vec![1.0, 5.0],
+        };
+        let b = Evaluation {
+            metrics: vec![2.0, 1.0],
+        };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+
+        // Primary tied (within tolerance): the secondary decides.
+        let c = Evaluation {
+            metrics: vec![1.0 + 1e-12, 4.0],
+        };
+        assert!(c.better_than(&a));
+        assert!(!a.better_than(&a), "equal is not strictly better");
+        assert_eq!(a.primary(), 1.0);
+        assert_eq!(Evaluation::scalar(3.5).primary(), 3.5);
+    }
+}

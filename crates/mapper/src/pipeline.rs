@@ -1,0 +1,184 @@
+//! [`run_pipelined`]: drive one [`ProposalSearch`] against an [`EvalPool`]
+//! with proposals pipelined ahead of pending evaluations.
+//!
+//! The sequential driver (`mm_search::drive`) alternates propose → evaluate
+//! strictly. Here, up to `lookahead` proposals are in flight at once: while
+//! the pool's workers evaluate earlier candidates, the searcher keeps
+//! proposing (random search and the GA generate whole batches ahead;
+//! gradient search's trajectory is independent of true costs, so it can run
+//! arbitrarily far ahead). Results are re-ordered back into proposal order
+//! before being reported, preserving the `ProposalSearch` contract.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use mm_mapspace::{MapSpace, Mapping};
+use mm_search::{Budget, ProposalSearch, SearchTrace};
+use rand::rngs::StdRng;
+
+use crate::eval::EvalPool;
+use crate::metrics::Evaluation;
+
+/// Drive `search` against `pool`, pipelining proposals ahead of pending
+/// evaluations, until `budget` evaluations complete (or time runs out).
+pub fn run_pipelined(
+    search: &mut dyn ProposalSearch,
+    space: &MapSpace,
+    pool: &mut EvalPool,
+    budget: Budget,
+    rng: &mut StdRng,
+) -> SearchTrace {
+    let start = Instant::now();
+    let mut trace = SearchTrace::new(search.name());
+    let horizon = (budget.max_queries < u64::MAX).then_some(budget.max_queries);
+    search.begin(space, horizon, rng);
+
+    // Proposals submitted to the pool, in proposal order (front = oldest).
+    let mut pending: VecDeque<(u64, Mapping)> = VecDeque::new();
+    // Results that arrived out of order, keyed by job id.
+    let mut arrived: BTreeMap<u64, Evaluation> = BTreeMap::new();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    // Cap in-flight work: the searcher's tolerance, but at least enough to
+    // keep every worker busy with one spare.
+    let max_in_flight = search
+        .lookahead()
+        .clamp(1, (pool.workers() * 2).max(2))
+        .min(
+            usize::try_from(budget.max_queries)
+                .unwrap_or(usize::MAX)
+                .max(1),
+        );
+
+    let mut buf: Vec<Mapping> = Vec::new();
+    loop {
+        let exhausted = budget.exhausted(completed, start.elapsed());
+        // Fill the pipeline while the budget allows new submissions.
+        if !exhausted && submitted < budget.max_queries {
+            let room = max_in_flight.saturating_sub(pending.len());
+            let remaining = budget.max_queries - submitted;
+            let max = (room as u64).min(remaining) as usize;
+            if max > 0 {
+                buf.clear();
+                search.propose(space, rng, max, &mut buf);
+                for mapping in buf.drain(..) {
+                    let id = pool.submit(mapping.clone());
+                    pending.push_back((id, mapping));
+                    submitted += 1;
+                }
+            }
+        }
+        if pending.is_empty() {
+            break; // nothing in flight and nothing proposed: done
+        }
+
+        // Wait for the oldest outstanding proposal's result, reporting every
+        // completion in proposal order.
+        let (oldest_id, _) = *pending.front().expect("pending non-empty");
+        while !arrived.contains_key(&oldest_id) {
+            let (id, eval) = pool.recv();
+            arrived.insert(id, eval);
+        }
+        while let Some((id, mapping)) = pending.front() {
+            let Some(eval) = arrived.remove(id) else {
+                break;
+            };
+            let cost = eval.primary();
+            trace.record(cost, mapping, start.elapsed());
+            search.report(mapping, cost, rng);
+            completed += 1;
+            pending.pop_front();
+        }
+
+        if budget.exhausted(completed, start.elapsed()) && pending.is_empty() {
+            break;
+        }
+        if budget.max_time.is_some() && budget.exhausted(completed, start.elapsed()) {
+            // Time expired: drain what is in flight without proposing more.
+            while !pending.is_empty() {
+                let (id, eval) = pool.recv();
+                arrived.insert(id, eval);
+                while let Some((front_id, mapping)) = pending.front() {
+                    let Some(eval) = arrived.remove(front_id) else {
+                        break;
+                    };
+                    trace.record(eval.primary(), mapping, start.elapsed());
+                    search.report(mapping, eval.primary(), rng);
+                    pending.pop_front();
+                }
+            }
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{CostEvaluator, ModelEvaluator};
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::ProblemSpec;
+    use mm_search::{GeneticAlgorithm, GeneticConfig, RandomSearch};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (MapSpace, Arc<dyn CostEvaluator>) {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(512, 7);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem);
+        (space, Arc::new(ModelEvaluator::edp(model)))
+    }
+
+    #[test]
+    fn pipelined_random_search_completes_exact_budget() {
+        let (space, evaluator) = setup();
+        let mut pool = EvalPool::new(evaluator, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut rs = RandomSearch::new();
+        let trace = run_pipelined(
+            &mut rs,
+            &space,
+            &mut pool,
+            Budget::iterations(100),
+            &mut rng,
+        );
+        assert_eq!(trace.len(), 100);
+        assert!(trace.best_cost.is_finite());
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn pipelined_ga_matches_sequential_semantics() {
+        // The GA's generations must still be complete before evolution: the
+        // reorder buffer guarantees report order, so the pipelined run with
+        // a fixed seed equals the sequential drive with the same seed.
+        let (space, evaluator) = setup();
+        let ga_config = GeneticConfig {
+            population: 12,
+            ..GeneticConfig::default()
+        };
+        let budget = Budget::iterations(120);
+
+        let mut obj = crate::eval::EvaluatorObjective::new(Arc::clone(&evaluator));
+        let sequential = mm_search::drive(
+            &mut GeneticAlgorithm::new(ga_config),
+            &space,
+            &mut obj,
+            budget,
+            &mut StdRng::seed_from_u64(5),
+        );
+
+        let mut pool = EvalPool::new(evaluator, 4);
+        let pipelined = run_pipelined(
+            &mut GeneticAlgorithm::new(ga_config),
+            &space,
+            &mut pool,
+            budget,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(sequential.len(), pipelined.len());
+        assert_eq!(sequential.best_cost, pipelined.best_cost);
+    }
+}

@@ -1,0 +1,111 @@
+//! Termination policies for mapper threads, Timeloop-mapper style.
+//!
+//! Timeloop's mapper terminates each search thread on three knobs:
+//! `search-size` (how many mappings to evaluate), `victory-condition`
+//! (consecutive evaluations without improvement), and `timeout`. This module
+//! provides the same vocabulary; any subset may be active, and a thread
+//! stops on whichever fires first.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a mapper thread stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Its share of the evaluation budget was spent.
+    SearchSize,
+    /// `victory_condition` consecutive evaluations failed to improve its
+    /// best.
+    Victory,
+    /// The wall-clock `timeout` expired.
+    Timeout,
+    /// The searcher stopped proposing (its space or schedule is exhausted).
+    Exhausted,
+    /// Another thread triggered a global stop.
+    GlobalStop,
+}
+
+/// Per-run termination policy.
+///
+/// `search_size` is the *total* evaluation budget, divided evenly across
+/// threads (Timeloop semantics). `victory_condition` counts consecutive
+/// non-improving evaluations against each thread's own best — a
+/// thread-local criterion, so it preserves run determinism.
+/// `timeout` is wall-clock and therefore *not* deterministic; leave it
+/// unset when reproducibility matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TerminationPolicy {
+    /// Total evaluations across all threads.
+    pub search_size: Option<u64>,
+    /// Consecutive non-improving evaluations before a thread declares
+    /// victory.
+    pub victory_condition: Option<u64>,
+    /// Wall-clock limit for the whole run.
+    pub timeout: Option<Duration>,
+}
+
+impl TerminationPolicy {
+    /// Terminate after `total` evaluations across all threads.
+    pub fn search_size(total: u64) -> Self {
+        TerminationPolicy {
+            search_size: Some(total),
+            ..Default::default()
+        }
+    }
+
+    /// Add a victory condition (consecutive non-improving evaluations).
+    pub fn with_victory_condition(mut self, evals: u64) -> Self {
+        self.victory_condition = Some(evals);
+        self
+    }
+
+    /// Add a wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Whether any stopping criterion is configured.
+    pub fn is_bounded(&self) -> bool {
+        self.search_size.is_some() || self.victory_condition.is_some() || self.timeout.is_some()
+    }
+
+    /// This thread's share of the total `search_size` (even split, with the
+    /// remainder going to the lowest-indexed threads).
+    pub fn per_thread_search_size(&self, thread: usize, threads: usize) -> Option<u64> {
+        let total = self.search_size?;
+        let threads = threads.max(1) as u64;
+        let base = total / threads;
+        let extra = u64::from((thread as u64) < total % threads);
+        Some(base + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_size_splits_evenly_with_remainder_first() {
+        let p = TerminationPolicy::search_size(10);
+        let shares: Vec<u64> = (0..4)
+            .map(|t| p.per_thread_search_size(t, 4).unwrap())
+            .collect();
+        assert_eq!(shares, vec![3, 3, 2, 2]);
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        assert_eq!(p.per_thread_search_size(0, 1), Some(10));
+    }
+
+    #[test]
+    fn builder_composes_criteria() {
+        let p = TerminationPolicy::search_size(100)
+            .with_victory_condition(32)
+            .with_timeout(Duration::from_millis(50));
+        assert!(p.is_bounded());
+        assert_eq!(p.search_size, Some(100));
+        assert_eq!(p.victory_condition, Some(32));
+        assert_eq!(p.timeout, Some(Duration::from_millis(50)));
+        assert!(!TerminationPolicy::default().is_bounded());
+    }
+}

@@ -200,7 +200,7 @@ pub fn div_ceil(a: u64, b: u64) -> u64 {
     if b == 0 {
         return a.max(1);
     }
-    ((a + b - 1) / b).max(1)
+    a.div_ceil(b).max(1)
 }
 
 #[cfg(test)]

@@ -144,11 +144,7 @@ impl ProblemSpec {
     ///
     /// Panics when the dimension name/size lists have different lengths, when
     /// a dimension size is zero, or when no output tensor is present.
-    pub fn new(
-        name: impl Into<String>,
-        dims: Vec<(&str, u64)>,
-        tensors: Vec<TensorSpec>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, dims: Vec<(&str, u64)>, tensors: Vec<TensorSpec>) -> Self {
         assert!(
             dims.iter().all(|(_, s)| *s > 0),
             "problem dimensions must be non-zero"

@@ -375,15 +375,14 @@ impl MapSpace {
                         // Redistribute: each tensor gets exactly what it needs
                         // plus a proportional share of the remaining capacity.
                         let slack = (cap - total_fp) as f64;
-                        for ti in 0..t {
+                        for (ti, &fp) in footprints.iter().enumerate().take(t) {
                             let share = if total_fp > 0 {
-                                slack * footprints[ti] as f64 / total_fp as f64
+                                slack * fp as f64 / total_fp as f64
                             } else {
                                 slack / t as f64
                             };
-                            m.buffer_alloc[lv][ti] = ((footprints[ti] as f64 + share)
-                                / cap as f64)
-                                .clamp(1e-6, 1.0);
+                            m.buffer_alloc[lv][ti] =
+                                ((fp as f64 + share) / cap as f64).clamp(1e-6, 1.0);
                         }
                     }
                     break;

@@ -180,13 +180,20 @@ impl Dataset {
 
     /// Fit normalizers to the inputs and targets of this dataset.
     pub fn fit_normalizers(&self) -> (Normalizer, Normalizer) {
-        (Normalizer::fit(&self.inputs), Normalizer::fit(&self.targets))
+        (
+            Normalizer::fit(&self.inputs),
+            Normalizer::fit(&self.targets),
+        )
     }
 
     /// Return a new dataset with both inputs and targets normalized.
     pub fn normalized(&self, input_norm: &Normalizer, target_norm: &Normalizer) -> Dataset {
         Dataset {
-            inputs: self.inputs.iter().map(|r| input_norm.transform(r)).collect(),
+            inputs: self
+                .inputs
+                .iter()
+                .map(|r| input_norm.transform(r))
+                .collect(),
             targets: self
                 .targets
                 .iter()
@@ -219,7 +226,10 @@ impl Dataset {
 
     /// The whole dataset as a pair of matrices.
     pub fn as_matrices(&self) -> (Matrix, Matrix) {
-        (Matrix::from_rows(&self.inputs), Matrix::from_rows(&self.targets))
+        (
+            Matrix::from_rows(&self.inputs),
+            Matrix::from_rows(&self.targets),
+        )
     }
 }
 
@@ -236,7 +246,11 @@ mod tests {
         let transformed: Vec<Vec<f32>> = rows.iter().map(|r| norm.transform(r)).collect();
         for j in 0..2 {
             let mean: f32 = transformed.iter().map(|r| r[j]).sum::<f32>() / 3.0;
-            let var: f32 = transformed.iter().map(|r| (r[j] - mean).powi(2)).sum::<f32>() / 3.0;
+            let var: f32 = transformed
+                .iter()
+                .map(|r| (r[j] - mean).powi(2))
+                .sum::<f32>()
+                / 3.0;
             assert!(mean.abs() < 1e-5);
             assert!((var - 1.0).abs() < 1e-4);
         }
@@ -244,7 +258,11 @@ mod tests {
 
     #[test]
     fn normalizer_roundtrip() {
-        let rows = vec![vec![1.0, -5.0, 3.0], vec![2.0, 0.0, 9.0], vec![0.5, 5.0, -3.0]];
+        let rows = vec![
+            vec![1.0, -5.0, 3.0],
+            vec![2.0, 0.0, 9.0],
+            vec![0.5, 5.0, -3.0],
+        ];
         let norm = Normalizer::fit(&rows);
         for r in &rows {
             let back = norm.inverse(&norm.transform(r));

@@ -22,7 +22,7 @@
 //! use rand::SeedableRng;
 //!
 //! // Learn y = 2x on a handful of points.
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
 //! let xs: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32 / 64.0]).collect();
 //! let ys: Vec<Vec<f32>> = xs.iter().map(|x| vec![2.0 * x[0]]).collect();
 //! let dataset = Dataset::new(xs, ys).unwrap();

@@ -66,8 +66,14 @@ impl Mlp {
         output: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
-        assert!(widths.iter().all(|&w| w > 0), "layer widths must be nonzero");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "layer widths must be nonzero"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))

@@ -203,7 +203,7 @@ impl StepLr {
 
     /// Apply the schedule at the start of `epoch` (0-based).
     pub fn apply(&self, epoch: usize, optimizer: &mut dyn Optimizer) {
-        if epoch > 0 && self.every_epochs > 0 && epoch % self.every_epochs == 0 {
+        if epoch > 0 && self.every_epochs > 0 && epoch.is_multiple_of(self.every_epochs) {
             let lr = optimizer.learning_rate() * self.gamma;
             optimizer.set_learning_rate(lr);
         }

@@ -161,7 +161,11 @@ mod tests {
         let mut opt = Sgd::new(0.05, 0.9);
         let hist = trainer.fit(&mut model, &ds, &mut opt, Loss::Mse, &mut rng);
         assert_eq!(hist.train_loss.len(), 40);
-        assert!(hist.final_train_loss() < 0.02, "{}", hist.final_train_loss());
+        assert!(
+            hist.final_train_loss() < 0.02,
+            "{}",
+            hist.final_train_loss()
+        );
         assert!(hist.final_test_loss() < 0.05, "{}", hist.final_test_loss());
         assert!(hist.train_loss[0] > hist.final_train_loss());
     }
@@ -179,7 +183,11 @@ mod tests {
         });
         let mut opt = Adam::new(0.01);
         let hist = trainer.fit(&mut model, &ds, &mut opt, Loss::default_huber(), &mut rng);
-        assert!(hist.final_train_loss() < 0.02, "{}", hist.final_train_loss());
+        assert!(
+            hist.final_train_loss() < 0.02,
+            "{}",
+            hist.final_train_loss()
+        );
     }
 
     #[test]

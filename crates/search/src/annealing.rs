@@ -5,16 +5,18 @@
 //! cooling schedule between an automatically chosen initial temperature and a
 //! small final temperature, Metropolis acceptance of uphill moves, and the
 //! map space's single-attribute perturbation as the neighbourhood move.
+//!
+//! The searcher is a stepwise state machine implementing [`ProposalSearch`]:
+//! it proposes one neighbour at a time (its trajectory depends on every
+//! acceptance decision, so [`ProposalSearch::lookahead`] is 1) and applies
+//! the Metropolis rule when the evaluated cost is reported back.
 
-use std::time::Instant;
-
-use mm_mapspace::MapSpace;
+use mm_mapspace::{MapSpace, Mapping};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::objective::{Budget, Objective, Searcher};
-use crate::trace::SearchTrace;
+use crate::proposal::ProposalSearch;
 
 /// Simulated Annealing hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,16 +41,66 @@ impl Default for AnnealingConfig {
     }
 }
 
+/// Number of probe moves used to auto-tune the initial temperature.
+const PROBES: u64 = 8;
+
+/// Default schedule horizon when the driver cannot bound the number of
+/// evaluations (e.g. a pure wall-clock budget).
+const DEFAULT_HORIZON: u64 = 10_000;
+
+/// Which part of the annealing run the next report belongs to.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Waiting for the initial random mapping's cost.
+    Init,
+    /// Auto-tuning probes: `done` of [`PROBES`] reported, `spread`
+    /// accumulated.
+    Probe { done: u64, spread: f64 },
+    /// Metropolis walk under the geometric cooling schedule.
+    Anneal,
+}
+
+#[derive(Debug, Clone)]
+struct SaState {
+    phase: Phase,
+    current: Option<(Mapping, f64)>,
+    /// Whether a proposal is in flight (lookahead is 1).
+    outstanding: bool,
+    temperature: f64,
+    t_final: f64,
+    alpha: f64,
+    moves_at_temperature: u64,
+    reports: u64,
+    horizon: u64,
+}
+
 /// Simulated Annealing searcher.
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealing {
     config: AnnealingConfig,
+    state: Option<SaState>,
 }
 
 impl SimulatedAnnealing {
     /// Create a simulated-annealing searcher.
     pub fn new(config: AnnealingConfig) -> Self {
-        SimulatedAnnealing { config }
+        SimulatedAnnealing {
+            config,
+            state: None,
+        }
+    }
+
+    /// Install the cooling schedule once the initial temperature is known.
+    fn install_schedule(&mut self, t0: f64) {
+        let state = self.state.as_mut().expect("begin() not called");
+        let t_final = (t0 * self.config.final_temperature_fraction).max(1e-300);
+        let remaining = state.horizon.saturating_sub(state.reports).max(1);
+        let steps = (remaining / self.config.moves_per_temperature.max(1)).max(1);
+        state.temperature = t0;
+        state.t_final = t_final;
+        state.alpha = (t_final / t0).powf(1.0 / steps as f64);
+        state.moves_at_temperature = 0;
+        state.phase = Phase::Anneal;
     }
 }
 
@@ -58,78 +110,93 @@ impl Default for SimulatedAnnealing {
     }
 }
 
-impl Searcher for SimulatedAnnealing {
+impl ProposalSearch for SimulatedAnnealing {
     fn name(&self) -> &str {
         "SA"
     }
 
-    fn search(
-        &mut self,
-        space: &MapSpace,
-        objective: &mut dyn Objective,
-        budget: Budget,
-        rng: &mut StdRng,
-    ) -> SearchTrace {
-        let start = Instant::now();
-        let mut trace = SearchTrace::new(self.name());
-
-        let mut current = space.random_mapping(rng);
-        let mut current_cost = objective.cost(&current);
-        trace.record(current_cost, &current, start.elapsed());
-
-        // Auto-tune the initial temperature from a few probe moves so that a
-        // typical uphill move is accepted with ~60% probability initially.
-        let t0 = self.config.initial_temperature.unwrap_or_else(|| {
-            let mut spread = 0.0f64;
-            let probes = 8u64;
-            for _ in 0..probes {
-                if budget.exhausted(objective.queries(), start.elapsed()) {
-                    break;
-                }
-                let n = space.neighbor(&current, rng);
-                let c = objective.cost(&n);
-                trace.record(c, &n, start.elapsed());
-                spread += (c - current_cost).abs();
-            }
-            (spread / probes as f64).max(current_cost.abs() * 1e-3).max(1e-30) / 0.5
+    fn begin(&mut self, _space: &MapSpace, horizon: Option<u64>, _rng: &mut StdRng) {
+        self.state = Some(SaState {
+            phase: Phase::Init,
+            current: None,
+            outstanding: false,
+            temperature: 0.0,
+            t_final: 0.0,
+            alpha: 1.0,
+            moves_at_temperature: 0,
+            reports: 0,
+            horizon: horizon.unwrap_or(DEFAULT_HORIZON),
         });
-        let t_final = (t0 * self.config.final_temperature_fraction).max(1e-300);
+    }
 
-        // Geometric cooling sized to the remaining query budget.
-        let remaining = budget
-            .max_queries
-            .saturating_sub(objective.queries())
-            .max(1);
-        let steps = (remaining / self.config.moves_per_temperature.max(1)).max(1);
-        let alpha = (t_final / t0).powf(1.0 / steps as f64);
+    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, _max: usize, out: &mut Vec<Mapping>) {
+        let state = self.state.as_mut().expect("begin() not called");
+        if state.outstanding {
+            return;
+        }
+        let proposal = match &state.current {
+            None => space.random_mapping(rng),
+            Some((current, _)) => space.neighbor(current, rng),
+        };
+        state.outstanding = true;
+        out.push(proposal);
+    }
 
-        let mut temperature = t0;
-        'outer: loop {
-            for _ in 0..self.config.moves_per_temperature {
-                if budget.exhausted(objective.queries(), start.elapsed()) {
-                    break 'outer;
+    fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+        let state = self.state.as_mut().expect("begin() not called");
+        state.outstanding = false;
+        state.reports += 1;
+        match state.phase.clone() {
+            Phase::Init => {
+                state.current = Some((mapping.clone(), cost));
+                match self.config.initial_temperature {
+                    Some(t0) => self.install_schedule(t0),
+                    None => {
+                        state.phase = Phase::Probe {
+                            done: 0,
+                            spread: 0.0,
+                        }
+                    }
                 }
-                let candidate = space.neighbor(&current, rng);
-                let cost = objective.cost(&candidate);
-                trace.record(cost, &candidate, start.elapsed());
+            }
+            Phase::Probe { done, spread } => {
+                let current_cost = state.current.as_ref().map_or(0.0, |(_, c)| *c);
+                let spread = spread + (cost - current_cost).abs();
+                let done = done + 1;
+                if done >= PROBES {
+                    // Aim for ~60% initial acceptance of a typical uphill
+                    // move, exactly as the monolithic implementation did.
+                    let t0 = (spread / PROBES as f64)
+                        .max(current_cost.abs() * 1e-3)
+                        .max(1e-30)
+                        / 0.5;
+                    self.install_schedule(t0);
+                } else {
+                    state.phase = Phase::Probe { done, spread };
+                }
+            }
+            Phase::Anneal => {
+                let current_cost = state.current.as_ref().map_or(f64::INFINITY, |(_, c)| *c);
                 let delta = cost - current_cost;
                 let accept = delta <= 0.0
-                    || rng.gen_range(0.0..1.0) < (-delta / temperature.max(1e-300)).exp();
+                    || rng.gen_range(0.0..1.0) < (-delta / state.temperature.max(1e-300)).exp();
                 if accept {
-                    current = candidate;
-                    current_cost = cost;
+                    state.current = Some((mapping.clone(), cost));
+                }
+                state.moves_at_temperature += 1;
+                if state.moves_at_temperature >= self.config.moves_per_temperature.max(1) {
+                    state.moves_at_temperature = 0;
+                    state.temperature = (state.temperature * state.alpha).max(state.t_final);
                 }
             }
-            temperature = (temperature * alpha).max(t_final);
         }
-        trace
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::FnObjective;
+    use crate::objective::{Budget, FnObjective, Objective, Searcher};
     use mm_accel::{Architecture, CostModel};
     use mm_mapspace::{Mapping, ProblemSpec};
     use rand::SeedableRng;
@@ -192,5 +259,23 @@ mod tests {
             &mut rng,
         );
         assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn proposes_one_at_a_time_until_reported() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sa = SimulatedAnnealing::default();
+        sa.begin(&space, Some(100), &mut rng);
+        let mut buf = Vec::new();
+        sa.propose(&space, &mut rng, 16, &mut buf);
+        assert_eq!(buf.len(), 1, "SA is strictly sequential");
+        let pending = buf[0].clone();
+        buf.clear();
+        sa.propose(&space, &mut rng, 16, &mut buf);
+        assert!(buf.is_empty(), "no new proposal while one is in flight");
+        sa.report(&pending, 1.0, &mut rng);
+        sa.propose(&space, &mut rng, 16, &mut buf);
+        assert_eq!(buf.len(), 1);
     }
 }

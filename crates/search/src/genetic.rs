@@ -2,16 +2,19 @@
 //! with an initial population of 100, crossover probability 0.75, and
 //! per-individual mutation probability 0.05, tournament selection by fitness
 //! (EDP).
-
-use std::time::Instant;
+//!
+//! The GA is a stepwise state machine implementing [`ProposalSearch`]:
+//! children of one generation depend only on the *previous* generation, so a
+//! whole generation of proposals can be in flight at once
+//! ([`ProposalSearch::lookahead`] = population size) — the natural batch for
+//! an evaluation pool.
 
 use mm_mapspace::{MapSpace, Mapping};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::objective::{Budget, Objective, Searcher};
-use crate::trace::SearchTrace;
+use crate::proposal::ProposalSearch;
 
 /// Genetic Algorithm hyper-parameters (paper defaults from Appendix A).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,16 +43,82 @@ impl Default for GeneticConfig {
     }
 }
 
+#[derive(Debug, Clone)]
+struct Individual {
+    mapping: Mapping,
+    fitness: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GaState {
+    /// The completed previous generation (sorted lazily at evolution time).
+    population: Vec<Individual>,
+    /// Reported members of the generation currently being built (starts with
+    /// the elites, which carry their fitness without re-evaluation).
+    incoming: Vec<Individual>,
+    /// Proposals in flight (proposed, not yet reported).
+    outstanding: usize,
+}
+
 /// Genetic Algorithm searcher.
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm {
     config: GeneticConfig,
+    state: GaState,
 }
 
 impl GeneticAlgorithm {
     /// Create a GA searcher.
     pub fn new(config: GeneticConfig) -> Self {
-        GeneticAlgorithm { config }
+        GeneticAlgorithm {
+            config,
+            state: GaState::default(),
+        }
+    }
+
+    fn popsize(&self) -> usize {
+        self.config.population.max(2)
+    }
+
+    /// Elites per generation, always leaving room for at least one child so
+    /// every generation proposes something.
+    fn elites(&self) -> usize {
+        self.config.elitism.min(self.popsize() - 1)
+    }
+
+    fn tournament(&self, rng: &mut StdRng) -> usize {
+        let pop = &self.state.population;
+        let mut best = rng.gen_range(0..pop.len());
+        for _ in 1..self.config.tournament_size.max(1) {
+            let other = rng.gen_range(0..pop.len());
+            if pop[other].fitness < pop[best].fitness {
+                best = other;
+            }
+        }
+        best
+    }
+
+    /// Breed one child from the current population.
+    fn breed(&mut self, space: &MapSpace, rng: &mut StdRng) -> Mapping {
+        let pa = self.tournament(rng);
+        let pb = self.tournament(rng);
+        let pop = &self.state.population;
+        let mut child = if rng.gen_bool(self.config.crossover_probability) {
+            space.crossover(&pop[pa].mapping, &pop[pb].mapping, rng)
+        } else {
+            pop[pa].mapping.clone()
+        };
+        // Per-attribute mutation: apply the map space's mutation kernel with
+        // the configured probability, several times to approximate "each
+        // attribute mutates independently".
+        let attributes = space.problem().num_dims() * 3 + space.problem().num_tensors();
+        for _ in 0..attributes {
+            if rng.gen_bool(self.config.mutation_probability) {
+                space.mutate_in_place(&mut child, rng);
+            }
+        }
+        space.repair(&mut child);
+        child
     }
 }
 
@@ -59,105 +128,66 @@ impl Default for GeneticAlgorithm {
     }
 }
 
-struct Individual {
-    mapping: Mapping,
-    fitness: f64,
-}
-
-impl Searcher for GeneticAlgorithm {
+impl ProposalSearch for GeneticAlgorithm {
     fn name(&self) -> &str {
         "GA"
     }
 
-    fn search(
-        &mut self,
-        space: &MapSpace,
-        objective: &mut dyn Objective,
-        budget: Budget,
-        rng: &mut StdRng,
-    ) -> SearchTrace {
-        let start = Instant::now();
-        let mut trace = SearchTrace::new(self.name());
-        let popsize = self.config.population.max(2);
+    fn begin(&mut self, _space: &MapSpace, _horizon: Option<u64>, _rng: &mut StdRng) {
+        self.state = GaState::default();
+    }
 
-        // Initial population.
-        let mut population: Vec<Individual> = Vec::with_capacity(popsize);
-        for _ in 0..popsize {
-            if budget.exhausted(objective.queries(), start.elapsed()) {
-                break;
-            }
-            let mapping = space.random_mapping(rng);
-            let fitness = objective.cost(&mapping);
-            trace.record(fitness, &mapping, start.elapsed());
-            population.push(Individual { mapping, fitness });
-        }
-        if population.is_empty() {
-            return trace;
-        }
+    fn lookahead(&self) -> usize {
+        self.popsize()
+    }
 
-        let tournament = |pop: &[Individual], rng: &mut StdRng| -> usize {
-            let mut best = rng.gen_range(0..pop.len());
-            for _ in 1..self.config.tournament_size.max(1) {
-                let other = rng.gen_range(0..pop.len());
-                if pop[other].fitness < pop[best].fitness {
-                    best = other;
-                }
-            }
-            best
-        };
-
-        while !budget.exhausted(objective.queries(), start.elapsed()) {
-            // Sort ascending by fitness (EDP): lower is better.
-            population.sort_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap());
-            let mut next: Vec<Individual> = Vec::with_capacity(popsize);
-            // Elitism: carry over the best individuals without re-evaluation.
-            for elite in population.iter().take(self.config.elitism.min(popsize)) {
-                next.push(Individual {
-                    mapping: elite.mapping.clone(),
-                    fitness: elite.fitness,
-                });
-            }
-            while next.len() < popsize {
-                if budget.exhausted(objective.queries(), start.elapsed()) {
-                    break;
-                }
-                let pa = tournament(&population, rng);
-                let pb = tournament(&population, rng);
-                let mut child = if rng.gen_bool(self.config.crossover_probability) {
-                    space.crossover(&population[pa].mapping, &population[pb].mapping, rng)
-                } else {
-                    population[pa].mapping.clone()
-                };
-                // Per-attribute mutation: apply the map space's mutation
-                // kernel with the configured probability, several times to
-                // approximate "each attribute mutates independently".
-                let attributes = space.problem().num_dims() * 3 + space.problem().num_tensors();
-                for _ in 0..attributes {
-                    if rng.gen_bool(self.config.mutation_probability) {
-                        space.mutate_in_place(&mut child, rng);
-                    }
-                }
-                space.repair(&mut child);
-                let fitness = objective.cost(&child);
-                trace.record(fitness, &child, start.elapsed());
-                next.push(Individual {
-                    mapping: child,
-                    fitness,
-                });
-            }
-            if next.is_empty() {
-                break;
-            }
-            population = next;
+    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+        let popsize = self.popsize();
+        // Starting a fresh (non-initial) generation: sort the completed one
+        // and seed the next with elites (no re-evaluation, hence no
+        // proposals for them).
+        if !self.state.population.is_empty()
+            && self.state.incoming.is_empty()
+            && self.state.outstanding == 0
+        {
+            self.state
+                .population
+                .sort_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap());
+            let elites = self.elites();
+            let seed: Vec<Individual> = self.state.population[..elites].to_vec();
+            self.state.incoming = seed;
         }
-        trace
+        for _ in 0..max {
+            if self.state.incoming.len() + self.state.outstanding >= popsize {
+                break; // generation fully proposed; wait for reports
+            }
+            let child = if self.state.population.is_empty() {
+                space.random_mapping(rng) // initial generation
+            } else {
+                self.breed(space, rng)
+            };
+            self.state.outstanding += 1;
+            out.push(child);
+        }
+    }
+
+    fn report(&mut self, mapping: &Mapping, cost: f64, _rng: &mut StdRng) {
+        debug_assert!(self.state.outstanding > 0, "report without proposal");
+        self.state.outstanding = self.state.outstanding.saturating_sub(1);
+        self.state.incoming.push(Individual {
+            mapping: mapping.clone(),
+            fitness: cost,
+        });
+        if self.state.incoming.len() >= self.popsize() && self.state.outstanding == 0 {
+            self.state.population = std::mem::take(&mut self.state.incoming);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::FnObjective;
+    use crate::objective::{Budget, FnObjective, Objective, Searcher};
     use mm_accel::{Architecture, CostModel};
     use mm_mapspace::ProblemSpec;
     use rand::SeedableRng;
@@ -208,5 +238,29 @@ mod tests {
         assert_eq!(c.population, 100);
         assert!((c.crossover_probability - 0.75).abs() < 1e-9);
         assert!((c.mutation_probability - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_generation_can_be_in_flight() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ga = GeneticAlgorithm::new(GeneticConfig {
+            population: 8,
+            ..GeneticConfig::default()
+        });
+        ga.begin(&space, None, &mut rng);
+        let mut buf = Vec::new();
+        ga.propose(&space, &mut rng, 64, &mut buf);
+        assert_eq!(buf.len(), 8, "initial generation batches fully");
+        let pending = std::mem::take(&mut buf);
+        ga.propose(&space, &mut rng, 64, &mut buf);
+        assert!(buf.is_empty(), "waits for the generation's reports");
+        for (i, m) in pending.iter().enumerate() {
+            ga.report(m, i as f64, &mut rng);
+        }
+        // Next generation: elites are carried without proposals, the rest
+        // are bred children.
+        ga.propose(&space, &mut rng, 64, &mut buf);
+        assert_eq!(buf.len(), 8 - 2, "popsize minus elites");
     }
 }

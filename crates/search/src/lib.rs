@@ -15,10 +15,20 @@
 //! produce a [`SearchTrace`]: the best-so-far cost after every cost-function
 //! query plus wall-clock timing, which is exactly what the iso-iteration
 //! (Figure 5) and iso-time (Figure 6) comparisons need.
+//!
+//! Since the introduction of the parallel mapper (`mm-mapper`), the trait is
+//! split in two: the stepwise [`ProposalSearch`] protocol
+//! (`propose`/`report`) is the primitive, and [`Searcher`] — the classic
+//! monolithic loop — is blanket-implemented for every `ProposalSearch` via
+//! [`proposal::drive`]. Random search, SA, and GA are stepwise state
+//! machines; the DDPG agent keeps a direct `Searcher` implementation (its
+//! loop is deeply stateful) and is adapted to the stepwise protocol by
+//! `mm-mapper`'s thread bridge.
 
 pub mod annealing;
 pub mod genetic;
 pub mod objective;
+pub mod proposal;
 pub mod random;
 pub mod rl;
 pub mod trace;
@@ -26,6 +36,7 @@ pub mod trace;
 pub use annealing::{AnnealingConfig, SimulatedAnnealing};
 pub use genetic::{GeneticAlgorithm, GeneticConfig};
 pub use objective::{Budget, FnObjective, Objective, Searcher};
+pub use proposal::{drive, ProposalSearch};
 pub use random::RandomSearch;
 pub use rl::{DdpgAgent, DdpgConfig};
 pub use trace::{SearchTrace, TracePoint};

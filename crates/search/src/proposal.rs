@@ -1,0 +1,207 @@
+//! The stepwise search protocol: [`ProposalSearch`].
+//!
+//! The original [`Searcher`] trait is a monolithic *loop* — it owns control
+//! flow from the first random mapping to budget exhaustion, querying the
+//! objective inline. That shape cannot be parallelized: an orchestrator
+//! (like `mm-mapper`'s `Mapper`) needs to own the loop itself so it can
+//! batch evaluations onto worker pools, interleave many searchers, sync a
+//! globally shared best mapping, and apply termination policies.
+//!
+//! [`ProposalSearch`] is the inverted-control half of the trait split:
+//!
+//! * [`propose`](ProposalSearch::propose) appends candidate mappings to a
+//!   buffer (up to a driver-chosen batch size);
+//! * [`report`](ProposalSearch::report) feeds back the evaluated cost of a
+//!   proposal, in proposal order;
+//! * [`lookahead`](ProposalSearch::lookahead) tells the driver how many
+//!   unreported proposals the searcher tolerates in flight, so proposals can
+//!   pipeline ahead of pending evaluations (1 for strictly sequential
+//!   methods like simulated annealing, a full generation for GA, unbounded
+//!   for random search).
+//!
+//! Every `ProposalSearch` automatically *is* a [`Searcher`] through a
+//! blanket implementation driving the classic sequential loop, so existing
+//! call sites (`Box<dyn Searcher>`, the Figure 5/6 comparison harness, the
+//! examples) keep working unchanged.
+
+use std::time::Instant;
+
+use mm_mapspace::{MapSpace, Mapping};
+use rand::rngs::StdRng;
+
+use crate::objective::{Budget, Objective, Searcher};
+use crate::trace::SearchTrace;
+
+/// A search method driven from outside: it proposes mappings and is told
+/// their cost, while someone else owns the evaluation loop.
+///
+/// # Contract
+///
+/// * [`begin`](Self::begin) is called exactly once before any proposal.
+/// * When the searcher has no outstanding (unreported) proposals,
+///   [`propose`](Self::propose) must append at least one mapping — otherwise
+///   the driver would deadlock. With proposals outstanding it may append
+///   nothing (e.g. a GA waiting for the rest of a generation).
+/// * Reports arrive in proposal order, each exactly once.
+pub trait ProposalSearch: Send {
+    /// Short method name used in reports (e.g. `"SA"`, `"GA"`).
+    fn name(&self) -> &str;
+
+    /// Prepare for a fresh run over `space`. `horizon` is the approximate
+    /// number of evaluations this searcher will receive (`None` if unknown);
+    /// schedule-based methods (SA cooling) size their schedules with it.
+    fn begin(&mut self, space: &MapSpace, horizon: Option<u64>, rng: &mut StdRng);
+
+    /// Maximum number of unreported proposals this searcher tolerates in
+    /// flight. The driver never requests more than this many proposals ahead
+    /// of pending evaluations.
+    fn lookahead(&self) -> usize {
+        1
+    }
+
+    /// Append up to `max` new candidate mappings to `out`.
+    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>);
+
+    /// Report the evaluated cost of a previously proposed mapping.
+    fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng);
+
+    /// Observe the globally best mapping found by a peer shard (multi-thread
+    /// search). Default: ignore. Implementations may adopt it; doing so
+    /// makes multi-threaded runs non-deterministic, so the `Mapper` only
+    /// calls this when explicitly configured to.
+    fn observe_global_best(&mut self, _mapping: &Mapping, _cost: f64) {}
+}
+
+/// Cap on proposals materialized per driver iteration. Searchers with huge
+/// (or unbounded) lookaheads would otherwise be asked to generate their
+/// whole remaining query budget up front — pathological under iso-time
+/// budgets, where `max_queries` is effectively infinite. Evaluation is
+/// sequential here anyway, so small batches lose nothing.
+const DRIVE_BATCH: usize = 64;
+
+/// Drive a [`ProposalSearch`] through the classic sequential evaluate loop,
+/// producing the same [`SearchTrace`] a monolithic [`Searcher`] would.
+pub fn drive(
+    search: &mut dyn ProposalSearch,
+    space: &MapSpace,
+    objective: &mut dyn Objective,
+    budget: Budget,
+    rng: &mut StdRng,
+) -> SearchTrace {
+    let start = Instant::now();
+    let mut trace = SearchTrace::new(search.name());
+    let horizon = (budget.max_queries < u64::MAX).then_some(budget.max_queries);
+    search.begin(space, horizon, rng);
+
+    let mut buf: Vec<Mapping> = Vec::new();
+    while !budget.exhausted(objective.queries(), start.elapsed()) {
+        let remaining = budget.max_queries.saturating_sub(objective.queries());
+        let max = search
+            .lookahead()
+            .min(DRIVE_BATCH)
+            .min(usize::try_from(remaining).unwrap_or(usize::MAX))
+            .max(1);
+        buf.clear();
+        search.propose(space, rng, max, &mut buf);
+        if buf.is_empty() {
+            // No proposals with none outstanding: the searcher is done.
+            break;
+        }
+        for mapping in &buf {
+            if budget.exhausted(objective.queries(), start.elapsed()) {
+                return trace;
+            }
+            let cost = objective.cost(mapping);
+            trace.record(cost, mapping, start.elapsed());
+            search.report(mapping, cost, rng);
+        }
+    }
+    trace
+}
+
+impl<P: ProposalSearch> Searcher for P {
+    fn name(&self) -> &str {
+        ProposalSearch::name(self)
+    }
+
+    fn search(
+        &mut self,
+        space: &MapSpace,
+        objective: &mut dyn Objective,
+        budget: Budget,
+        rng: &mut StdRng,
+    ) -> SearchTrace {
+        drive(self, space, objective, budget, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::random::RandomSearch;
+    use mm_mapspace::ProblemSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drive_respects_budget_and_records_trace() {
+        let problem = ProblemSpec::conv1d(64, 3);
+        let space = MapSpace::new(problem, mm_mapspace::MappingConstraints::example());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obj = FnObjective::new(|m: &Mapping| m.tiles[0].iter().sum::<u64>() as f64);
+        let mut rs = RandomSearch::new();
+        let trace = drive(&mut rs, &space, &mut obj, Budget::iterations(25), &mut rng);
+        assert_eq!(trace.len(), 25);
+        assert_eq!(obj.queries(), 25);
+        assert!(trace.best_cost.is_finite());
+    }
+
+    #[test]
+    fn iso_time_budget_with_unbounded_lookahead_evaluates_promptly() {
+        // Regression: RandomSearch's lookahead is usize::MAX; under an
+        // iso-time budget (huge max_queries) the driver must not ask for
+        // the whole remaining query budget as one proposal batch.
+        let problem = ProblemSpec::conv1d(64, 3);
+        let space = MapSpace::new(problem, mm_mapspace::MappingConstraints::example());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut obj = FnObjective::new(|m: &Mapping| m.tiles[0].iter().sum::<u64>() as f64);
+        let mut rs = RandomSearch::new();
+        let start = std::time::Instant::now();
+        let trace = drive(
+            &mut rs,
+            &space,
+            &mut obj,
+            Budget::time(std::time::Duration::from_millis(20)),
+            &mut rng,
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "driver must stay responsive under a time budget"
+        );
+        assert!(!trace.is_empty(), "evaluations must actually happen");
+    }
+
+    #[test]
+    fn blanket_searcher_impl_matches_drive() {
+        let problem = ProblemSpec::conv1d(64, 3);
+        let space = MapSpace::new(problem, mm_mapspace::MappingConstraints::example());
+        let mut obj_a = FnObjective::new(|m: &Mapping| m.tiles[0].iter().sum::<u64>() as f64);
+        let mut obj_b = FnObjective::new(|m: &Mapping| m.tiles[0].iter().sum::<u64>() as f64);
+        let trace_a = drive(
+            &mut RandomSearch::new(),
+            &space,
+            &mut obj_a,
+            Budget::iterations(10),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let trace_b = Searcher::search(
+            &mut RandomSearch::new(),
+            &space,
+            &mut obj_b,
+            Budget::iterations(10),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(trace_a.best_cost, trace_b.best_cost);
+        assert_eq!(trace_a.len(), trace_b.len());
+    }
+}

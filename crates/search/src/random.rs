@@ -1,13 +1,15 @@
 //! Uniform random search: repeatedly sample valid mappings and keep the
 //! best. A sanity baseline that any guided method should beat.
+//!
+//! Random search is the ideal pipelining citizen: proposals are independent
+//! of evaluation results, so its [`ProposalSearch::lookahead`] is unbounded
+//! and an orchestrator can batch arbitrarily many proposals onto an
+//! evaluation pool without waiting for reports.
 
-use std::time::Instant;
-
-use mm_mapspace::MapSpace;
+use mm_mapspace::{MapSpace, Mapping};
 use rand::rngs::StdRng;
 
-use crate::objective::{Budget, Objective, Searcher};
-use crate::trace::SearchTrace;
+use crate::proposal::ProposalSearch;
 
 /// Uniform random search.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,33 +22,30 @@ impl RandomSearch {
     }
 }
 
-impl Searcher for RandomSearch {
+impl ProposalSearch for RandomSearch {
     fn name(&self) -> &str {
         "Random"
     }
 
-    fn search(
-        &mut self,
-        space: &MapSpace,
-        objective: &mut dyn Objective,
-        budget: Budget,
-        rng: &mut StdRng,
-    ) -> SearchTrace {
-        let start = Instant::now();
-        let mut trace = SearchTrace::new(self.name());
-        while !budget.exhausted(objective.queries(), start.elapsed()) {
-            let mapping = space.random_mapping(rng);
-            let cost = objective.cost(&mapping);
-            trace.record(cost, &mapping, start.elapsed());
-        }
-        trace
+    fn begin(&mut self, _space: &MapSpace, _horizon: Option<u64>, _rng: &mut StdRng) {}
+
+    fn lookahead(&self) -> usize {
+        usize::MAX
     }
+
+    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+        for _ in 0..max.max(1) {
+            out.push(space.random_mapping(rng));
+        }
+    }
+
+    fn report(&mut self, _mapping: &Mapping, _cost: f64, _rng: &mut StdRng) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::FnObjective;
+    use crate::objective::{Budget, FnObjective, Searcher};
     use mm_accel::{Architecture, CostModel};
     use mm_mapspace::{Mapping, ProblemSpec};
     use rand::SeedableRng;
@@ -65,5 +64,19 @@ mod tests {
         assert!(trace.best_cost.is_finite());
         assert!(trace.best_cost > 0.0);
         assert_eq!(trace.method, "Random");
+    }
+
+    #[test]
+    fn proposals_are_valid_and_batchable() {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(128, 3);
+        let space = MapSpace::new(problem, arch.mapping_constraints());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rs = RandomSearch::new();
+        rs.begin(&space, None, &mut rng);
+        let mut buf = Vec::new();
+        rs.propose(&space, &mut rng, 32, &mut buf);
+        assert_eq!(buf.len(), 32);
+        assert!(buf.iter().all(|m| space.is_member(m)));
     }
 }

@@ -122,9 +122,7 @@ fn feature_scales(space: &MapSpace, enc: &Encoding) -> Vec<f32> {
         }
     }
     // Buffer allocation fractions are already in [0, 1].
-    for _ in 0..2 * t {
-        scales.push(1.0);
-    }
+    scales.extend(std::iter::repeat_n(1.0, 2 * t));
     scales.iter().map(|&s| s.max(1.0)).collect()
 }
 
@@ -215,7 +213,8 @@ impl Searcher for DdpgAgent {
             let cost = objective.cost(&next_mapping);
             trace.record(cost, &next_mapping, start.elapsed());
             let reward = -(cost.max(1e-300)).log10() as f32;
-            let next_state = normalize(&enc.encode_mapping(space.problem(), &next_mapping), &scales);
+            let next_state =
+                normalize(&enc.encode_mapping(space.problem(), &next_mapping), &scales);
 
             // Store the transition.
             let transition = Transition {
@@ -238,8 +237,12 @@ impl Searcher for DdpgAgent {
                     .collect();
 
                 // Critic update: y = r + gamma * Q'(s', a'(s')).
-                let next_states =
-                    Matrix::from_rows(&batch.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>());
+                let next_states = Matrix::from_rows(
+                    &batch
+                        .iter()
+                        .map(|t| t.next_state.clone())
+                        .collect::<Vec<_>>(),
+                );
                 let next_actions = actor_target.forward(&next_states);
                 let mut next_sa_rows = Vec::with_capacity(batch.len());
                 for (i, t) in batch.iter().enumerate() {
@@ -289,11 +292,8 @@ impl Searcher for DdpgAgent {
                 let sa_pi = Matrix::from_rows(&sa_pi_rows);
                 let critic_cache = critic.forward_cached(&sa_pi);
                 // dQ/d[s;a], we want -dQ/da (gradient ascent on Q).
-                let ones = Matrix::from_vec(
-                    batch.len(),
-                    1,
-                    vec![-1.0 / batch.len() as f32; batch.len()],
-                );
+                let ones =
+                    Matrix::from_vec(batch.len(), 1, vec![-1.0 / batch.len() as f32; batch.len()]);
                 let (_, grad_sa) = critic.backward(&critic_cache, &ones);
                 let mut grad_action = Matrix::zeros(batch.len(), dim);
                 for i in 0..batch.len() {

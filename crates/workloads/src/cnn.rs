@@ -290,10 +290,7 @@ mod tests {
         let layer = CnnLayer::alexnet_conv2();
         let p = layer.into_problem();
         // I size = N * C * (X + R - 1)^2 = N * C * H * W (since X = H - R + 1).
-        assert_eq!(
-            p.tensor_size(0),
-            layer.n * layer.c * layer.hw * layer.hw,
-        );
+        assert_eq!(p.tensor_size(0), layer.n * layer.c * layer.hw * layer.hw,);
         // F size = K * C * R * S.
         assert_eq!(p.tensor_size(1), layer.k * layer.c * layer.rs * layer.rs);
         // O size = N * K * X * Y.

@@ -170,10 +170,7 @@ mod tests {
         assert_eq!(p.num_dims(), 4);
         assert_eq!(p.num_tensors(), 4);
         assert_eq!(p.dim_sizes, vec![128, 1024, 4096, 2048]);
-        assert_eq!(
-            p.total_macs(),
-            128u128 * 1024 * 4096 * 2048,
-        );
+        assert_eq!(p.total_macs(), 128u128 * 1024 * 4096 * 2048,);
     }
 
     #[test]

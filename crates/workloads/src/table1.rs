@@ -43,10 +43,14 @@ pub fn all_problems() -> Vec<TargetProblem> {
             problem: l.into_problem(),
         })
         .collect();
-    out.extend(MttkrpShape::table1_shapes().into_iter().map(|s| TargetProblem {
-        algorithm: Algorithm::Mttkrp,
-        problem: s.into_problem(),
-    }));
+    out.extend(
+        MttkrpShape::table1_shapes()
+            .into_iter()
+            .map(|s| TargetProblem {
+                algorithm: Algorithm::Mttkrp,
+                problem: s.into_problem(),
+            }),
+    );
     out
 }
 

@@ -35,7 +35,9 @@ fn main() {
         .expect("surrogate training");
 
     // Phase 2: map ResNet Conv_4.
-    let layer = table1::by_name("ResNet Conv_4").expect("table 1 problem").problem;
+    let layer = table1::by_name("ResNet Conv_4")
+        .expect("table 1 problem")
+        .problem;
     let space = mm.map_space(&layer);
     println!(
         "target layer: {layer} (map space ≈ 10^{:.0} mappings)",
@@ -46,8 +48,11 @@ fn main() {
 
     let model = CostModel::new(arch, layer.clone());
     let cost = model.evaluate(&best);
-    println!("\nbest mapping found (EDP {:.3e} J·s, {:.1}x above the algorithmic minimum):",
-        cost.edp, cost.edp / model.lower_bound().edp);
+    println!(
+        "\nbest mapping found (EDP {:.3e} J·s, {:.1}x above the algorithmic minimum):",
+        cost.edp,
+        cost.edp / model.lower_bound().edp
+    );
     println!("  utilization: {:.1}%", cost.utilization * 100.0);
     println!("  cycles: {:.3e}", cost.cycles);
     println!("  energy: {:.3e} pJ", cost.total_energy_pj);
@@ -75,7 +80,13 @@ fn main() {
         .tensors
         .iter()
         .enumerate()
-        .map(|(t, spec)| format!("{}={:.0}%", spec.name, best.alloc_fraction(Level::L2, t) * 100.0))
+        .map(|(t, spec)| {
+            format!(
+                "{}={:.0}%",
+                spec.name,
+                best.alloc_fraction(Level::L2, t) * 100.0
+            )
+        })
         .collect();
     println!("  L2 buffer allocation: {}", allocs.join(", "));
 }

@@ -34,13 +34,13 @@ fn main() {
     let (mm, _) = MindMappings::train(arch.clone(), &CnnFamily::default(), &phase1, &mut rng)
         .expect("surrogate training");
 
-    let layer = table1::by_name("AlexNet Conv_4").expect("table 1 problem").problem;
+    let layer = table1::by_name("AlexNet Conv_4")
+        .expect("table 1 problem")
+        .problem;
     let space = MapSpace::new(layer.clone(), arch.mapping_constraints());
     let model = CostModel::new(arch.clone(), layer.clone());
     let lb = model.lower_bound().edp;
-    println!(
-        "target: {layer}\nbudget: {iterations} cost-function evaluations per method\n"
-    );
+    println!("target: {layer}\nbudget: {iterations} cost-function evaluations per method\n");
 
     let mut results: Vec<(String, f64)> = Vec::new();
 
@@ -53,7 +53,12 @@ fn main() {
     ];
     for searcher in &mut baselines {
         let mut objective = CostModelObjective::new(model.clone());
-        let trace = searcher.search(&space, &mut objective, Budget::iterations(iterations), &mut rng);
+        let trace = searcher.search(
+            &space,
+            &mut objective,
+            Budget::iterations(iterations),
+            &mut rng,
+        );
         results.push((searcher.name().to_string(), trace.best_cost / lb));
     }
 

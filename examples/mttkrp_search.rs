@@ -46,7 +46,10 @@ fn main() {
         let mut objective = CostModelObjective::new(model.clone());
         let sa_trace = sa.search(&space, &mut objective, Budget::iterations(1_500), &mut rng);
 
-        println!("  algorithmic minimum EDP : {:.3e} J·s", model.lower_bound().edp);
+        println!(
+            "  algorithmic minimum EDP : {:.3e} J·s",
+            model.lower_bound().edp
+        );
         println!(
             "  Mind Mappings           : {:.3e} J·s ({:.1}x bound, utilization {:.0}%)",
             cost.edp,

@@ -31,8 +31,9 @@ fn main() {
 
     // 2. Phase 1: train the surrogate (offline, once per algorithm family).
     println!("phase 1: training the surrogate…");
-    let (mm, history) = MindMappings::train(arch.clone(), &family, &Phase1Config::quick(), &mut rng)
-        .expect("surrogate training");
+    let (mm, history) =
+        MindMappings::train(arch.clone(), &family, &Phase1Config::quick(), &mut rng)
+            .expect("surrogate training");
     println!(
         "  trained: final train loss {:.4}, test loss {:.4}",
         history.final_train_loss(),
@@ -57,8 +58,16 @@ fn main() {
 
     println!("results (energy-delay product, joule-seconds):");
     println!("  algorithmic minimum : {:.3e}", model.lower_bound().edp);
-    println!("  Mind Mappings best  : {:.3e}  ({:.1}x above the bound)", trace.best_cost, trace.best_cost / model.lower_bound().edp);
-    println!("  random mapping mean : {:.3e}  ({:.1}x above the bound)", random_mean, random_mean / model.lower_bound().edp);
+    println!(
+        "  Mind Mappings best  : {:.3e}  ({:.1}x above the bound)",
+        trace.best_cost,
+        trace.best_cost / model.lower_bound().edp
+    );
+    println!(
+        "  random mapping mean : {:.3e}  ({:.1}x above the bound)",
+        random_mean,
+        random_mean / model.lower_bound().edp
+    );
     println!(
         "  improvement over random: {:.1}x",
         random_mean / trace.best_cost

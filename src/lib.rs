@@ -11,8 +11,11 @@
 //! * [`mapspace`] — problems, mappings, map spaces, encoding, projection;
 //! * [`accel`] — the Timeloop-style analytical cost model;
 //! * [`nn`] — the MLP/backprop substrate;
-//! * [`search`] — SA, GA, RL, and random-search baselines;
+//! * [`search`] — SA, GA, RL, and random-search baselines, plus the
+//!   stepwise `ProposalSearch` protocol;
 //! * [`core`] — the Mind Mappings framework (surrogate + gradient search);
+//! * [`mapper`] — the parallel mapper-orchestration engine (evaluation
+//!   pool, multi-threaded sharded search, termination policies);
 //! * [`workloads`] — CNN-Layer, MTTKRP, 1D-Conv, and the Table 1 problems.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` /
@@ -20,6 +23,7 @@
 
 pub use mm_accel as accel;
 pub use mm_core as core;
+pub use mm_mapper as mapper;
 pub use mm_mapspace as mapspace;
 pub use mm_nn as nn;
 pub use mm_search as search;
@@ -28,10 +32,16 @@ pub use mm_workloads as workloads;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use mm_accel::{Architecture, CostBreakdown, CostModel};
-    pub use mm_core::{CostModelObjective, MindMappings, Phase1Config, Phase2Config, Surrogate};
+    pub use mm_core::{
+        CostModelObjective, GradientProposer, MindMappings, Phase1Config, Phase2Config, Surrogate,
+    };
+    pub use mm_mapper::{
+        CostEvaluator, EvalPool, Evaluation, Mapper, MapperConfig, MapperReport, ModelEvaluator,
+        OptMetric, TerminationPolicy,
+    };
     pub use mm_mapspace::{Encoding, MapSpace, Mapping, MappingConstraints, ProblemSpec};
     pub use mm_search::{
-        Budget, GeneticAlgorithm, Objective, RandomSearch, SearchTrace, Searcher,
+        Budget, GeneticAlgorithm, Objective, ProposalSearch, RandomSearch, SearchTrace, Searcher,
         SimulatedAnnealing,
     };
     pub use mm_workloads::{cnn::CnnLayer, evaluated_accelerator, mttkrp::MttkrpShape, table1};
@@ -45,5 +55,10 @@ mod tests {
         let arch = Architecture::example();
         assert!(arch.num_pes > 0);
         assert_eq!(table1::all_problems().len(), 8);
+        // The parallel-mapper surface is reachable through the prelude too.
+        let policy = TerminationPolicy::search_size(100).with_victory_condition(10);
+        assert!(policy.is_bounded());
+        assert_eq!(OptMetric::parse("edp"), Some(OptMetric::Edp));
+        assert_eq!(MapperConfig::default().threads, 1);
     }
 }

@@ -97,7 +97,8 @@ fn dram_energy_dominates_for_poor_reuse_mappings() {
     let minimal = Mapping::minimal(&problem);
     let cost = model.evaluate(&minimal);
     let dram_energy: f64 = cost.energy_pj[2].iter().sum();
-    let onchip_energy: f64 = cost.energy_pj[0].iter().sum::<f64>() + cost.energy_pj[1].iter().sum::<f64>();
+    let onchip_energy: f64 =
+        cost.energy_pj[0].iter().sum::<f64>() + cost.energy_pj[1].iter().sum::<f64>();
     assert!(
         dram_energy > onchip_energy,
         "expected DRAM-dominated energy for a unit-tile mapping"

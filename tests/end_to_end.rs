@@ -24,9 +24,13 @@ fn quick_phase1() -> Phase1Config {
 fn full_pipeline_beats_random_and_respects_lower_bound() {
     let mut rng = StdRng::seed_from_u64(0xE2E);
     let arch = Architecture::example();
-    let (mm, history) =
-        MindMappings::train(arch.clone(), &Conv1dFamily::default(), &quick_phase1(), &mut rng)
-            .expect("phase 1");
+    let (mm, history) = MindMappings::train(
+        arch.clone(),
+        &Conv1dFamily::default(),
+        &quick_phase1(),
+        &mut rng,
+    )
+    .expect("phase 1");
     assert!(history.final_train_loss().is_finite());
     assert!(history.final_test_loss().is_finite());
 
@@ -62,9 +66,13 @@ fn full_pipeline_beats_random_and_respects_lower_bound() {
 fn mind_mappings_is_competitive_with_simulated_annealing_iso_iteration() {
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let arch = Architecture::example();
-    let (mm, _) =
-        MindMappings::train(arch.clone(), &Conv1dFamily::default(), &quick_phase1(), &mut rng)
-            .expect("phase 1");
+    let (mm, _) = MindMappings::train(
+        arch.clone(),
+        &Conv1dFamily::default(),
+        &quick_phase1(),
+        &mut rng,
+    )
+    .expect("phase 1");
 
     let problem = ProblemSpec::conv1d(2500, 9);
     let model = CostModel::new(arch.clone(), problem.clone());
@@ -74,7 +82,12 @@ fn mind_mappings_is_competitive_with_simulated_annealing_iso_iteration() {
     // SA queries the true cost model.
     let mut sa = SimulatedAnnealing::new(AnnealingConfig::default());
     let mut objective = CostModelObjective::new(model.clone());
-    let sa_trace = sa.search(&space, &mut objective, Budget::iterations(iterations), &mut rng);
+    let sa_trace = sa.search(
+        &space,
+        &mut objective,
+        Budget::iterations(iterations),
+        &mut rng,
+    );
 
     // MM queries its surrogate.
     let gs = GradientSearch::new(mm.surrogate(), problem.clone(), Phase2Config::default())
@@ -101,9 +114,13 @@ fn surrogate_generalizes_across_unseen_problem_sizes() {
     // requirement).
     let mut rng = StdRng::seed_from_u64(0x6E9);
     let arch = Architecture::example();
-    let (mm, _) =
-        MindMappings::train(arch.clone(), &Conv1dFamily::default(), &quick_phase1(), &mut rng)
-            .expect("phase 1");
+    let (mm, _) = MindMappings::train(
+        arch.clone(),
+        &Conv1dFamily::default(),
+        &quick_phase1(),
+        &mut rng,
+    )
+    .expect("phase 1");
 
     for (w, r) in [(333, 3), (1500, 5), (3000, 9)] {
         let problem = ProblemSpec::conv1d(w, r);

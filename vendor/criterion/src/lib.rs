@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is deliberately simple: an adaptive
+//! warm-up sizes the per-sample iteration count, then `sample_size` samples
+//! are timed and min / mean / max ns-per-iteration are printed in a
+//! criterion-like format.
+//!
+//! Environment knobs: `MM_BENCH_SAMPLE_SIZE` caps samples per benchmark and
+//! `MM_BENCH_TARGET_MS` the per-benchmark time budget (useful in CI smoke
+//! runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the stand-in re-runs setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every iteration.
+    PerIteration,
+}
+
+/// One measured sample: total duration of `iters` iterations.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// The per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    target: Duration,
+    samples: Vec<Sample>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, target: Duration) -> Self {
+        Bencher {
+            sample_size,
+            target,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: estimate the cost of one iteration.
+        let mut one = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..one {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(1) || one >= 1 << 20 {
+                break elapsed.as_secs_f64() / one as f64;
+            }
+            one *= 4;
+        };
+        let per_sample = self.target.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.target;
+        let max_iters = 10_000u64.max(self.sample_size as u64);
+        while Instant::now() < deadline && iters < max_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.samples.push(Sample {
+            iters: iters.max(1),
+            elapsed: measured,
+        });
+    }
+
+    fn report(&self, id: &str) {
+        let (mut min, mut max) = (f64::INFINITY, 0.0f64);
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for s in &self.samples {
+            let ns = s.elapsed.as_nanos() as f64 / s.iters as f64;
+            min = min.min(ns);
+            max = max.max(ns);
+            total_ns += s.elapsed.as_nanos() as f64;
+            total_iters += s.iters;
+        }
+        if total_iters == 0 {
+            println!("{id:<40} time: [no samples]");
+            return;
+        }
+        let mean = total_ns / total_iters as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = env_usize("MM_BENCH_SAMPLE_SIZE").unwrap_or(20);
+        let target_ms = env_usize("MM_BENCH_TARGET_MS").unwrap_or(500) as u64;
+        Criterion {
+            sample_size,
+            target: Duration::from_millis(target_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.target);
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.sample_size)
+            .max(1);
+        let mut b = Bencher::new(sample_size, self.criterion.target);
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing further to do).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` from group entry points.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("MM_BENCH_SAMPLE_SIZE", "3");
+        std::env::set_var("MM_BENCH_TARGET_MS", "20");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+        let mut batched = 0u64;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| 7u64, |v| batched += v, BatchSize::SmallInput)
+        });
+        assert!(batched > 0);
+        std::env::remove_var("MM_BENCH_SAMPLE_SIZE");
+        std::env::remove_var("MM_BENCH_TARGET_MS");
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        std::env::set_var("MM_BENCH_TARGET_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut count = 0u64;
+        group.bench_function("x", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+        std::env::remove_var("MM_BENCH_TARGET_MS");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

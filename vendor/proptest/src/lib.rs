@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! Implements the `proptest!` macro, range / select / collection strategies,
+//! `prop_assert!` / `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//! Inputs are sampled deterministically (seeded per test by case index);
+//! there is no shrinking — a failing case reports its index and seed so it
+//! can be replayed by re-running the test.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{Config, TestRng};
+
+/// Alias used by `#![proptest_config(...)]` blocks.
+pub type ProptestConfig = Config;
+
+/// A property-test failure produced by `prop_assert!` and friends, or a
+/// discarded case produced by `prop_assume!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// Build a rejection (`prop_assume!` miss): the case is skipped, not
+    /// failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether this is a discard rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Assert inside a `proptest!` body, failing the current case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Discard the current case unless `cond` holds (no failure is recorded).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, "assumption failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests: each `fn` runs `config.cases` times over freshly
+/// sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::Config = $cfg;
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut proptest_rng = $crate::TestRng::for_seed(seed);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue; // prop_assume! discarded this case
+                    }
+                    panic!(
+                        "proptest case {}/{} (seed {:#x}) failed: {}",
+                        case + 1,
+                        config.cases,
+                        seed,
+                        e.message()
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u64..u64::MAX,
+            b in 2usize..8,
+            c in -1.5f32..1.5,
+            d in 1u64..=16,
+        ) {
+            prop_assert!(a < u64::MAX);
+            prop_assert!((2..8).contains(&b));
+            prop_assert!((-1.5..1.5).contains(&c));
+            prop_assert!((1..=16).contains(&d));
+        }
+
+        #[test]
+        fn select_and_vec_strategies(
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+            v in prop::collection::vec(-1e3f32..1e3, 2..40),
+            fixed in prop::collection::vec(0u32..5, 3),
+        ) {
+            prop_assert!([10u64, 20, 30].contains(&pick));
+            prop_assert!((2..40).contains(&v.len()));
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(v.iter().all(|x| (-1e3..1e3).contains(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case_and_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

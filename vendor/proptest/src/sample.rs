@@ -1,0 +1,52 @@
+//! `prop::sample` strategies: uniform selection from a fixed set.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Choose uniformly from `options`.
+///
+/// # Panics
+///
+/// Panics if `options` is empty (matching upstream behaviour).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "prop::sample::select of empty list");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_options() {
+        let s = select(vec![1u8, 2, 3]);
+        let mut rng = TestRng::for_seed(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(s.sample(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty list")]
+    fn empty_select_panics() {
+        let _ = select(Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,72 @@
+//! The [`Strategy`] trait and range strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// A way of producing random values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// is simply a sampler.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy producing one constant value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_sample_in_bounds() {
+        let mut rng = TestRng::for_seed(1);
+        for _ in 0..1000 {
+            let v = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=4).sample(&mut rng);
+            assert!((1..=4).contains(&w));
+        }
+        assert_eq!(Just(7u8).sample(&mut rng), 7);
+    }
+}

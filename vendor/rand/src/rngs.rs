@@ -1,0 +1,115 @@
+//! Generator implementations: the seedable [`StdRng`] and the weakly-seeded
+//! [`ThreadRng`].
+
+use crate::{entropy_seed, splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12; the seeded output streams differ,
+/// but every property relied upon here — determinism, cheap cloning,
+/// statistical quality for stochastic search — is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(mut seed_stream: u64) -> Self {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut seed_stream);
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Never allow the all-zero state (a xoshiro fixed point).
+        if s.iter().all(|&w| w == 0) {
+            return StdRng::from_state(0x6A09_E667_F3BC_C909);
+        }
+        StdRng { s }
+    }
+}
+
+/// A fresh weakly-seeded generator, returned by [`crate::thread_rng`].
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        ThreadRng {
+            inner: StdRng::from_state(entropy_seed()),
+        }
+    }
+}
+
+impl Default for ThreadRng {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_rescued() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn from_seed_uses_all_bytes() {
+        let mut a = [1u8; 32];
+        let b = a;
+        a[31] = 2;
+        let mut ra = StdRng::from_seed(a);
+        let mut rb = StdRng::from_seed(b);
+        assert_ne!(
+            (0..4).map(|_| ra.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| rb.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

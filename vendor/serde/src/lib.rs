@@ -1,0 +1,68 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Nothing in the dependency graph actually serializes (there is no format
+//! crate such as `serde_json`); types only *derive* `Serialize` /
+//! `Deserialize`. This stand-in therefore provides the two trait names as
+//! markers with blanket implementations — so `T: Serialize` bounds stay
+//! satisfiable — and re-exports no-op derive macros under the same names,
+//! exactly mirroring how upstream `serde` re-exports `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace stand-in for `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: Vec<f64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum WithVariants {
+        A,
+        B(u8),
+        C { x: f32 },
+    }
+
+    fn requires_serialize<T: crate::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derives_compile_and_bounds_hold() {
+        let p = Plain { a: 1, b: vec![2.0] };
+        requires_serialize(&p);
+        for v in [
+            WithVariants::A,
+            WithVariants::B(3),
+            WithVariants::C { x: 0.5 },
+        ] {
+            requires_serialize(&v);
+            if let WithVariants::B(n) = v {
+                assert_eq!(n, 3);
+            }
+            if let WithVariants::C { x } = v {
+                assert!(x > 0.0);
+            }
+        }
+        assert_eq!(p, Plain { a: 1, b: vec![2.0] });
+    }
+}

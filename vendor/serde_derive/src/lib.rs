@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! serializes anything (there is no `serde_json` or other format crate in the
+//! dependency graph), so the derive macros expand to nothing. The companion
+//! `serde` stand-in blanket-implements the marker traits, keeping any
+//! `T: Serialize` bounds satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
