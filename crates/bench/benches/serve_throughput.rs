@@ -1,0 +1,108 @@
+//! Serve throughput bench: the Table 1 network through one shared
+//! [`MappingService`] vs. per-layer cold starts, the cached replay, and
+//! batched vs. single pool dispatch; plus a criterion micro-benchmark of a
+//! small end-to-end serve call.
+//!
+//! Writes a `BENCH_serve.json` summary under the results directory
+//! (override with `MM_RESULTS_DIR`). Tune with `MM_SERVE_BENCH_EVALS`
+//! (per-layer evaluations, default 1000) and `MM_SERVE_BENCH_WORKERS`
+//! (pool workers, default 4).
+//!
+//! The amortization questions — shared pool vs. cold starts, batch vs.
+//! single dispatch — only show real wins on ≥ 2 usable cores;
+//! `available_parallelism` is recorded in the JSON so single-core CI
+//! numbers aren't misread (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, Criterion};
+use mm_bench::{report, run_serve_bench};
+use mm_serve::{MappingService, ServeConfig};
+use mm_workloads::{evaluated_accelerator, table1_network};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Criterion view: wall-clock of a small fixed serve call.
+fn bench_serve_network(c: &mut Criterion) {
+    let net = table1_network();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let net = net.clone();
+        group.bench_function(
+            format!("table1/{workers}workers/64evals_per_layer"),
+            move |b| {
+                b.iter(|| {
+                    let mut service = MappingService::new(
+                        evaluated_accelerator(),
+                        ServeConfig {
+                            workers,
+                            search_size: 64,
+                            ..ServeConfig::default()
+                        },
+                    );
+                    service.map_network(&net)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_network);
+
+fn main() {
+    benches();
+
+    let evals_per_layer = env_u64("MM_SERVE_BENCH_EVALS", 1000);
+    let workers = env_u64("MM_SERVE_BENCH_WORKERS", 4) as usize;
+    let result = run_serve_bench(evals_per_layer, workers, 7);
+
+    println!();
+    println!(
+        "serving {} ({} layers × {} evals) over {} pool workers ({} core(s) available)",
+        result.network,
+        result.layers,
+        result.evals_per_layer,
+        result.workers,
+        result.available_parallelism
+    );
+    println!(
+        "{}",
+        report::format_table(
+            &["path", "wall_s", "evals", "evals/s"],
+            &[
+                vec![
+                    "cold (fresh service per layer)".into(),
+                    report::fmt(result.cold_wall_s),
+                    result.serve_evaluations.to_string(),
+                    report::fmt(result.serve_evaluations as f64 / result.cold_wall_s.max(1e-12)),
+                ],
+                vec![
+                    "shared service".into(),
+                    report::fmt(result.serve_wall_s),
+                    result.serve_evaluations.to_string(),
+                    report::fmt(result.serve_evals_per_sec),
+                ],
+                vec![
+                    "cached replay".into(),
+                    report::fmt(result.cached_wall_s),
+                    "0".into(),
+                    "-".into(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "pool dispatch: {} evals/s single-job-per-mapping vs {} evals/s one-chunk-job-per-worker",
+        report::fmt(result.single_dispatch_evals_per_sec),
+        report::fmt(result.batch_dispatch_evals_per_sec),
+    );
+    match result.write_json() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}

@@ -1,0 +1,228 @@
+//! Serve-throughput measurement: whole-network mapping through one shared
+//! [`MappingService`] vs. per-layer cold starts, plus the cached replay and
+//! the pool's batched-vs-single evaluation dispatch.
+//!
+//! Three questions, one JSON (`BENCH_serve.json`):
+//!
+//! 1. **Shared pool** — what does serving the Table 1 network through one
+//!    long-lived service cost vs. standing up a fresh service (fresh pool
+//!    threads) for every layer?
+//! 2. **Cache replay** — what does the *second* request for the same
+//!    network cost on the long-lived service?
+//! 3. **Batched dispatch** — how many evaluations/second does the pool
+//!    sustain submitting one chunk job per worker
+//!    ([`EvalPool::evaluate_batch`]) vs. one job per mapping?
+//!
+//! Single-core containers can only show overheads (≈1× shared vs. cold);
+//! run on multi-core hardware for the real amortization numbers — see
+//! EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mm_accel::CostModel;
+use mm_mapper::{CostEvaluator, EvalPool, ModelEvaluator};
+use mm_mapspace::MapSpace;
+use mm_serve::{MappingService, ServeConfig};
+use mm_workloads::{evaluated_accelerator, table1_network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::results_dir;
+
+/// The serve-throughput measurement set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchResult {
+    /// Network served (the Table 1 set).
+    pub network: String,
+    /// Layers in the network.
+    pub layers: usize,
+    /// Evaluations per layer search.
+    pub evals_per_layer: u64,
+    /// Pool workers of the shared service.
+    pub workers: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    /// Wall seconds mapping the network with a fresh service per layer.
+    pub cold_wall_s: f64,
+    /// Wall seconds mapping the network through one shared service.
+    pub serve_wall_s: f64,
+    /// Fresh evaluations the shared serve spent.
+    pub serve_evaluations: u64,
+    /// Aggregate evaluations/second of the shared serve.
+    pub serve_evals_per_sec: f64,
+    /// Wall seconds of the second (fully cached) request.
+    pub cached_wall_s: f64,
+    /// Cache hits of the second request (= layers).
+    pub cached_hits: usize,
+    /// Evaluations/second submitting one mapping per pool job.
+    pub single_dispatch_evals_per_sec: f64,
+    /// Evaluations/second submitting one chunk job per worker.
+    pub batch_dispatch_evals_per_sec: f64,
+}
+
+impl ServeBenchResult {
+    /// Serialize as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"network\": {:?},\n  \
+             \"layers\": {},\n  \"evals_per_layer\": {},\n  \"workers\": {},\n  \
+             \"available_parallelism\": {},\n  \"cold_wall_s\": {:.6},\n  \
+             \"serve_wall_s\": {:.6},\n  \"serve_evaluations\": {},\n  \
+             \"serve_evals_per_sec\": {:.3},\n  \"cached_wall_s\": {:.6},\n  \
+             \"cached_hits\": {},\n  \"single_dispatch_evals_per_sec\": {:.3},\n  \
+             \"batch_dispatch_evals_per_sec\": {:.3}\n}}\n",
+            self.network,
+            self.layers,
+            self.evals_per_layer,
+            self.workers,
+            self.available_parallelism,
+            self.cold_wall_s,
+            self.serve_wall_s,
+            self.serve_evaluations,
+            self.serve_evals_per_sec,
+            self.cached_wall_s,
+            self.cached_hits,
+            self.single_dispatch_evals_per_sec,
+            self.batch_dispatch_evals_per_sec,
+        )
+    }
+
+    /// Write `BENCH_serve.json` under the results directory, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Measure pool dispatch throughput over `mappings`, single-job-per-mapping
+/// vs. one-chunk-job-per-worker.
+fn dispatch_rates(
+    evaluator: &Arc<dyn CostEvaluator>,
+    space: &MapSpace,
+    samples: usize,
+    workers: usize,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mappings: Vec<_> = (0..samples)
+        .map(|_| space.random_mapping(&mut rng))
+        .collect();
+    let mut pool = EvalPool::new(Arc::clone(evaluator), workers);
+
+    let start = Instant::now();
+    for m in &mappings {
+        pool.submit(m.clone());
+    }
+    for _ in 0..mappings.len() {
+        let _ = pool.recv();
+    }
+    let single_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let evals = pool.evaluate_batch(&mappings);
+    let batch_s = start.elapsed().as_secs_f64();
+    assert_eq!(evals.len(), mappings.len());
+
+    let rate = |secs: f64| {
+        if secs > 0.0 {
+            samples as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    (rate(single_s), rate(batch_s))
+}
+
+/// Run the serve-throughput sweep on the Table 1 network.
+pub fn run_serve_bench(evals_per_layer: u64, workers: usize, seed: u64) -> ServeBenchResult {
+    let arch = evaluated_accelerator();
+    let net = table1_network();
+    let config = ServeConfig {
+        workers,
+        max_active_jobs: workers.max(2),
+        seed,
+        search_size: evals_per_layer,
+        ..ServeConfig::default()
+    };
+
+    // Cold: a fresh service (fresh pool threads, empty cache) per layer.
+    let start = Instant::now();
+    for layer in &net.layers {
+        let mut cold = MappingService::new(arch.clone(), config);
+        let report = cold.map_problem(&layer.name, layer.problem.clone());
+        assert_eq!(report.evaluations, evals_per_layer);
+    }
+    let cold_wall_s = start.elapsed().as_secs_f64();
+
+    // Shared: one long-lived service for the whole network…
+    let mut service = MappingService::new(arch.clone(), config);
+    let start = Instant::now();
+    let report = service.map_network(&net);
+    let serve_wall_s = start.elapsed().as_secs_f64();
+
+    // …and the second, fully cached request.
+    let start = Instant::now();
+    let cached = service.map_network(&net);
+    let cached_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(cached.total_evaluations, 0);
+
+    let sample_problem = &net.layers[0].problem;
+    let space = MapSpace::new(sample_problem.clone(), arch.mapping_constraints());
+    let evaluator: Arc<dyn CostEvaluator> = Arc::new(ModelEvaluator::edp(CostModel::new(
+        arch,
+        sample_problem.clone(),
+    )));
+    let (single_rate, batch_rate) = dispatch_rates(
+        &evaluator,
+        &space,
+        (evals_per_layer as usize).clamp(64, 4096),
+        workers,
+    );
+
+    ServeBenchResult {
+        network: net.name.clone(),
+        layers: net.len(),
+        evals_per_layer,
+        workers,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cold_wall_s,
+        serve_wall_s,
+        serve_evaluations: report.total_evaluations,
+        serve_evals_per_sec: report.evals_per_sec,
+        cached_wall_s,
+        cached_hits: cached.cache_hits,
+        single_dispatch_evals_per_sec: single_rate,
+        batch_dispatch_evals_per_sec: batch_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_serializes() {
+        let result = run_serve_bench(40, 2, 5);
+        assert_eq!(result.layers, 8);
+        assert_eq!(result.serve_evaluations, 8 * 40);
+        assert_eq!(result.cached_hits, 8);
+        assert!(result.serve_evals_per_sec > 0.0);
+        assert!(result.single_dispatch_evals_per_sec > 0.0);
+        assert!(result.batch_dispatch_evals_per_sec > 0.0);
+        assert!(result.cached_wall_s < result.serve_wall_s);
+
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"serve_throughput\""));
+        assert!(json.contains("\"layers\": 8"));
+        assert!(json.contains("batch_dispatch_evals_per_sec"));
+    }
+}

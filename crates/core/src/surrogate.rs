@@ -205,11 +205,40 @@ impl Surrogate {
         rel_energy * rel_cycles
     }
 
+    /// Predicted normalized EDP for a whole batch of mappings in **one**
+    /// forward pass ([`Mlp::predict_batch`]) — the surrogate's
+    /// `evaluate_batch` fast path: one matrix traversal of the network
+    /// instead of one per mapping.
+    pub fn predict_normalized_edp_batch(
+        &self,
+        problem: &ProblemSpec,
+        mappings: &[Mapping],
+    ) -> Vec<f64> {
+        let xs: Vec<Vec<f32>> = mappings
+            .iter()
+            .map(|m| self.encode_normalized(problem, m))
+            .collect();
+        self.mlp
+            .predict_batch(&xs)
+            .iter()
+            .map(|z| {
+                let (rel_energy, rel_cycles, _, _) = self.energy_cycles_from_output(z);
+                rel_energy * rel_cycles
+            })
+            .collect()
+    }
+
     /// Predicted lower-bound-relative energy and cycles plus the z-space
     /// standard deviations of the two output neurons (needed by the chain
     /// rule in [`normalized_edp_gradient`](Self::normalized_edp_gradient)).
     fn predict_energy_cycles(&self, x_normalized: &[f32]) -> (f64, f64, f64, f64) {
         let z = self.mlp.predict(x_normalized);
+        self.energy_cycles_from_output(&z)
+    }
+
+    /// Decode one network-output row into lower-bound-relative energy and
+    /// cycles (plus the z-space standard deviations of the two neurons).
+    fn energy_cycles_from_output(&self, z: &[f32]) -> (f64, f64, f64, f64) {
         let ci = self.cycles_index();
         let ei = self.energy_index();
         // Invert z-scoring, then the ln(1 + x) target transform; clamp at a
@@ -328,6 +357,21 @@ mod tests {
         let edp = s.predict_normalized_edp(&problem, &m);
         assert!(edp.is_finite() && edp > 0.0);
         assert!(s.predict_edp(&problem, &m) > 0.0);
+    }
+
+    #[test]
+    fn batch_prediction_matches_singles() {
+        let (s, arch) = quick_surrogate(11);
+        let problem = ProblemSpec::conv1d(640, 5);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let mut rng = StdRng::seed_from_u64(12);
+        let mappings: Vec<_> = (0..16).map(|_| space.random_mapping(&mut rng)).collect();
+        let batched = s.predict_normalized_edp_batch(&problem, &mappings);
+        assert_eq!(batched.len(), 16);
+        for (m, b) in mappings.iter().zip(&batched) {
+            assert_eq!(s.predict_normalized_edp(&problem, m), *b);
+        }
+        assert!(s.predict_normalized_edp_batch(&problem, &[]).is_empty());
     }
 
     #[test]

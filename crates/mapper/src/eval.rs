@@ -24,6 +24,16 @@ pub trait CostEvaluator: Send + Sync {
     /// Evaluate one mapping.
     fn evaluate(&self, mapping: &Mapping) -> Evaluation;
 
+    /// Evaluate a batch of mappings, preserving input order.
+    ///
+    /// The default loops over [`evaluate`](Self::evaluate); evaluators with a
+    /// cheaper amortized path (the surrogate's single batched forward pass,
+    /// or any cost model with per-call setup worth hoisting) override this.
+    /// [`EvalPool`] dispatches whole batches to workers through this method.
+    fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<Evaluation> {
+        mappings.iter().map(|m| self.evaluate(m)).collect()
+    }
+
     /// The metric priority list this evaluator produces (for reporting).
     fn metrics(&self) -> &[OptMetric] {
         &[OptMetric::Edp]
@@ -74,6 +84,25 @@ impl CostEvaluator for ModelEvaluator {
                 .map(|m| m.resolve(&cost, arch))
                 .collect(),
         }
+    }
+
+    fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<Evaluation> {
+        // One pass over the batch with the arch borrow and the metric list
+        // hoisted out of the per-mapping loop.
+        let arch = self.model.arch();
+        mappings
+            .iter()
+            .map(|mapping| {
+                let cost = self.model.evaluate(mapping);
+                Evaluation {
+                    metrics: self
+                        .metrics
+                        .iter()
+                        .map(|m| m.resolve(&cost, arch))
+                        .collect(),
+                }
+            })
+            .collect()
     }
 
     fn metrics(&self) -> &[OptMetric] {
@@ -127,17 +156,31 @@ impl Objective for EvaluatorObjective {
     }
 }
 
-/// One unit of work for the pool.
+/// One unit of work for the pool: a batch of mappings occupying the
+/// contiguous id range `base_id .. base_id + mappings.len()`, evaluated by
+/// `evaluator` (or the pool's default when `None`) in a single
+/// [`CostEvaluator::evaluate_batch`] call on one worker.
 struct Job {
-    id: u64,
-    mapping: Mapping,
+    base_id: u64,
+    mappings: Vec<Mapping>,
+    evaluator: Option<Arc<dyn CostEvaluator>>,
 }
 
 /// A fixed pool of evaluation workers fed over channels.
 ///
-/// Submissions are tagged with monotonically increasing job ids; results
-/// come back in completion order (use [`EvalPool::evaluate_batch`] for
-/// order-preserving convenience).
+/// Work is dispatched in *batch jobs*: each job is a contiguous range of
+/// per-mapping ids evaluated by one worker through a single
+/// [`CostEvaluator::evaluate_batch`] call (amortizing dispatch and enabling
+/// batched evaluators such as the surrogate's single forward pass). Results
+/// still come back per mapping, tagged with monotonically increasing ids, in
+/// completion order — single-mapping [`submit`](EvalPool::submit)/
+/// [`recv`](EvalPool::recv) consumers are unaffected.
+///
+/// Every submission may carry its own evaluator
+/// ([`submit_for`](EvalPool::submit_for) /
+/// [`submit_batch_for`](EvalPool::submit_batch_for)), so one long-lived pool
+/// can serve many problems at once — the substrate of `mm-serve`'s
+/// whole-network mapping service.
 pub struct EvalPool {
     job_tx: Option<Sender<Job>>,
     result_rx: Receiver<(u64, Result<Evaluation, String>)>,
@@ -158,12 +201,29 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl EvalPool {
-    /// Spawn `workers` evaluation threads sharing `evaluator`.
+    /// Spawn `workers` evaluation threads sharing `evaluator` as the default
+    /// for submissions that do not carry their own.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(evaluator: Arc<dyn CostEvaluator>, workers: usize) -> Self {
+        Self::spawn(Some(evaluator), workers)
+    }
+
+    /// Spawn a pool with **no** default evaluator: every submission must use
+    /// [`submit_for`](Self::submit_for) /
+    /// [`submit_batch_for`](Self::submit_batch_for). This is the shape used
+    /// by a long-lived shared pool serving many problems (`mm-serve`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn shared(workers: usize) -> Self {
+        Self::spawn(None, workers)
+    }
+
+    fn spawn(default_evaluator: Option<Arc<dyn CostEvaluator>>, workers: usize) -> Self {
         assert!(workers > 0, "EvalPool needs at least one worker");
         let (job_tx, job_rx) = channel::<Job>();
         let (result_tx, result_rx) = channel::<(u64, Result<Evaluation, String>)>();
@@ -172,7 +232,7 @@ impl EvalPool {
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
-                let evaluator = Arc::clone(&evaluator);
+                let default_evaluator = default_evaluator.clone();
                 std::thread::spawn(move || loop {
                     // Hold the lock only while popping; evaluate unlocked.
                     let job = match job_rx.lock() {
@@ -181,22 +241,53 @@ impl EvalPool {
                     };
                     match job {
                         Ok(job) => {
+                            let n = job.mappings.len() as u64;
+                            let evaluator = job.evaluator.as_ref().or(default_evaluator.as_ref());
+                            let Some(evaluator) = evaluator else {
+                                for i in 0..n {
+                                    let _ = result_tx.send((
+                                        job.base_id + i,
+                                        Err("pool has no default evaluator; use submit_for"
+                                            .to_string()),
+                                    ));
+                                }
+                                continue;
+                            };
                             // A panicking evaluator must not strand the
-                            // job: report the panic as this job's result so
-                            // the consumer fails loudly instead of blocking
-                            // forever on a result that never comes.
-                            let eval =
+                            // job: report the panic as every batch member's
+                            // result so the consumer fails loudly instead of
+                            // blocking forever on results that never come.
+                            let evals =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    evaluator.evaluate(&job.mapping)
+                                    evaluator.evaluate_batch(&job.mappings)
                                 }));
-                            match eval {
-                                Ok(eval) => {
-                                    if result_tx.send((job.id, Ok(eval))).is_err() {
-                                        return; // pool dropped
+                            match evals {
+                                Ok(evals) if evals.len() == job.mappings.len() => {
+                                    for (i, eval) in evals.into_iter().enumerate() {
+                                        if result_tx
+                                            .send((job.base_id + i as u64, Ok(eval)))
+                                            .is_err()
+                                        {
+                                            return; // pool dropped
+                                        }
                                     }
                                 }
+                                Ok(evals) => {
+                                    let msg = format!(
+                                        "evaluate_batch returned {} results for {} mappings",
+                                        evals.len(),
+                                        job.mappings.len()
+                                    );
+                                    for i in 0..n {
+                                        let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
+                                    }
+                                    return;
+                                }
                                 Err(payload) => {
-                                    let _ = result_tx.send((job.id, Err(panic_message(payload))));
+                                    let msg = panic_message(payload);
+                                    for i in 0..n {
+                                        let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
+                                    }
                                     return; // die, as an uncaught panic would
                                 }
                             }
@@ -220,22 +311,74 @@ impl EvalPool {
         self.workers.len()
     }
 
-    /// Jobs submitted but not yet received.
+    /// Mappings submitted but not yet received.
     pub fn in_flight(&self) -> u64 {
         self.in_flight
     }
 
-    /// Submit one mapping; returns its job id.
+    /// Submit one mapping for the pool's default evaluator; returns its id.
     pub fn submit(&mut self, mapping: Mapping) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.in_flight += 1;
+        self.submit_batch_for(None, vec![mapping]).start
+    }
+
+    /// Submit one mapping to be scored by `evaluator`; returns its id.
+    pub fn submit_for(&mut self, evaluator: Arc<dyn CostEvaluator>, mapping: Mapping) -> u64 {
+        self.submit_batch_for(Some(evaluator), vec![mapping]).start
+    }
+
+    /// Submit a batch of mappings as **one job** (one worker, one
+    /// [`CostEvaluator::evaluate_batch`] call) for the default evaluator;
+    /// returns the contiguous id range assigned to the batch members.
+    pub fn submit_batch(&mut self, mappings: Vec<Mapping>) -> std::ops::Range<u64> {
+        self.submit_batch_for(None, mappings)
+    }
+
+    /// Submit a batch of mappings as one job for `evaluator` (`None` = the
+    /// pool default); returns the contiguous id range of the batch members.
+    pub fn submit_batch_for(
+        &mut self,
+        evaluator: Option<Arc<dyn CostEvaluator>>,
+        mappings: Vec<Mapping>,
+    ) -> std::ops::Range<u64> {
+        let base_id = self.next_id;
+        let n = mappings.len() as u64;
+        if n == 0 {
+            return base_id..base_id;
+        }
+        self.next_id += n;
+        self.in_flight += n;
         self.job_tx
             .as_ref()
             .expect("pool not shut down")
-            .send(Job { id, mapping })
+            .send(Job {
+                base_id,
+                mappings,
+                evaluator,
+            })
             .expect("evaluation workers alive");
-        id
+        base_id..base_id + n
+    }
+
+    /// Submit a batch of mappings split into one contiguous chunk job per
+    /// worker (`None` = the pool default evaluator); returns the contiguous
+    /// id range of the batch members. This is the canonical fan-out idiom —
+    /// every worker gets one [`CostEvaluator::evaluate_batch`] call instead
+    /// of one job per mapping — shared by [`evaluate_batch`](Self::evaluate_batch),
+    /// `run_pipelined`, and `mm-serve`'s scheduler.
+    pub fn submit_chunked(
+        &mut self,
+        evaluator: Option<Arc<dyn CostEvaluator>>,
+        mappings: &[Mapping],
+    ) -> std::ops::Range<u64> {
+        let base_id = self.next_id;
+        if mappings.is_empty() {
+            return base_id..base_id;
+        }
+        let chunk = mappings.len().div_ceil(self.workers()).max(1);
+        for c in mappings.chunks(chunk) {
+            self.submit_batch_for(evaluator.clone(), c.to_vec());
+        }
+        base_id..base_id + mappings.len() as u64
     }
 
     /// Block until the next result is ready.
@@ -278,15 +421,19 @@ impl EvalPool {
     /// Evaluate a batch, preserving input order. Requires nothing else in
     /// flight (so ids map cleanly back to batch positions).
     ///
+    /// The batch is split into one contiguous chunk job per worker (not one
+    /// job per mapping), so batched evaluators amortize their whole-batch
+    /// fast path across at most `workers()` calls.
+    ///
     /// # Panics
     ///
     /// Panics if jobs are already in flight.
     pub fn evaluate_batch(&mut self, mappings: &[Mapping]) -> Vec<Evaluation> {
         assert_eq!(self.in_flight, 0, "evaluate_batch needs an idle pool");
-        let base = self.next_id;
-        for m in mappings {
-            self.submit(m.clone());
+        if mappings.is_empty() {
+            return Vec::new();
         }
+        let base = self.submit_chunked(None, mappings).start;
         let mut by_id: HashMap<u64, Evaluation> = HashMap::with_capacity(mappings.len());
         while by_id.len() < mappings.len() {
             let (id, eval) = self.recv();
@@ -383,6 +530,100 @@ mod tests {
         let mut pool = EvalPool::new(evaluator, 2);
         pool.submit(space.random_mapping(&mut rng));
         // Must panic with the worker's message, not block forever.
+        let _ = pool.recv();
+    }
+
+    #[test]
+    fn trait_batch_default_matches_singles() {
+        let (space, evaluator) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mappings: Vec<Mapping> = (0..7).map(|_| space.random_mapping(&mut rng)).collect();
+        let singles: Vec<Evaluation> = mappings.iter().map(|m| evaluator.evaluate(m)).collect();
+        assert_eq!(evaluator.evaluate_batch(&mappings), singles);
+        // FnEvaluator exercises the default (loop) implementation.
+        let f = FnEvaluator::new(|m: &Mapping| m.active_pes() as f64);
+        let batched = f.evaluate_batch(&mappings);
+        for (m, e) in mappings.iter().zip(&batched) {
+            assert_eq!(e.primary(), m.active_pes() as f64);
+        }
+    }
+
+    #[test]
+    fn batch_submission_is_one_job_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Count evaluate_batch calls to prove chunking: 10 mappings on 2
+        // workers must arrive in exactly 2 batch jobs of 5, not 10 singles.
+        struct Counting {
+            calls: AtomicUsize,
+        }
+        impl CostEvaluator for Counting {
+            fn evaluate(&self, m: &Mapping) -> Evaluation {
+                Evaluation::scalar(m.active_pes() as f64)
+            }
+            fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<Evaluation> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(mappings.len(), 5, "chunk size is ceil(10 / 2)");
+                mappings.iter().map(|m| self.evaluate(m)).collect()
+            }
+        }
+
+        let (space, _) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mappings: Vec<Mapping> = (0..10).map(|_| space.random_mapping(&mut rng)).collect();
+        let counting = Arc::new(Counting {
+            calls: AtomicUsize::new(0),
+        });
+        let mut pool = EvalPool::new(Arc::<Counting>::clone(&counting), 2);
+        let evals = pool.evaluate_batch(&mappings);
+        assert_eq!(evals.len(), 10);
+        assert_eq!(counting.calls.load(Ordering::SeqCst), 2);
+        for (m, e) in mappings.iter().zip(&evals) {
+            assert_eq!(e.primary(), m.active_pes() as f64);
+        }
+    }
+
+    #[test]
+    fn shared_pool_routes_per_job_evaluators() {
+        let (space, model_eval) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = space.random_mapping(&mut rng);
+        let pes: Arc<dyn CostEvaluator> =
+            Arc::new(FnEvaluator::new(|m: &Mapping| m.active_pes() as f64));
+
+        let mut pool = EvalPool::shared(2);
+        let a = pool.submit_for(Arc::clone(&model_eval), m.clone());
+        let b = pool.submit_for(Arc::clone(&pes), m.clone());
+        let mut results: HashMap<u64, Evaluation> = HashMap::new();
+        for _ in 0..2 {
+            let (id, eval) = pool.recv();
+            results.insert(id, eval);
+        }
+        assert_eq!(results[&a], model_eval.evaluate(&m));
+        assert_eq!(results[&b].primary(), m.active_pes() as f64);
+
+        // Batch ids are contiguous and in input order.
+        let batch: Vec<Mapping> = (0..4).map(|_| space.random_mapping(&mut rng)).collect();
+        let ids = pool.submit_batch_for(Some(Arc::clone(&model_eval)), batch.clone());
+        assert_eq!(ids.end - ids.start, 4);
+        let mut by_id: HashMap<u64, Evaluation> = HashMap::new();
+        for _ in 0..4 {
+            let (id, eval) = pool.recv();
+            by_id.insert(id, eval);
+        }
+        for (i, m) in batch.iter().enumerate() {
+            assert_eq!(by_id[&(ids.start + i as u64)], model_eval.evaluate(m));
+        }
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no default evaluator")]
+    fn shared_pool_without_evaluator_fails_loudly() {
+        let (space, _) = space_and_evaluator();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut pool = EvalPool::shared(1);
+        pool.submit(space.random_mapping(&mut rng));
         let _ = pool.recv();
     }
 

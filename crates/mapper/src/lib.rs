@@ -58,7 +58,7 @@ pub mod policy;
 
 pub use bridge::{BridgedSearcher, SearcherFactory};
 pub use eval::{CostEvaluator, EvalPool, EvaluatorObjective, FnEvaluator, ModelEvaluator};
-pub use mapper::{Mapper, MapperConfig, MapperReport, ThreadReport};
+pub use mapper::{derive_stream_seed, Mapper, MapperConfig, MapperReport, ThreadReport};
 pub use metrics::{Evaluation, OptMetric};
-pub use pipeline::run_pipelined;
+pub use pipeline::{run_pipelined, MIN_PIPELINE_DEPTH};
 pub use policy::{StopReason, TerminationPolicy};

@@ -133,6 +133,15 @@ impl GlobalBest {
     }
 }
 
+/// Deterministic RNG-stream seed derivation (SplitMix64 over seed ⊕ index):
+/// stream `i` of master seed `s` is always the same, and distinct indices
+/// give decorrelated streams. Used for the mapper's per-thread streams and
+/// exported for any orchestrator needing the same guarantee (e.g.
+/// `mm-serve`'s per-job streams).
+pub fn derive_stream_seed(master: u64, index: usize) -> u64 {
+    thread_seed(master, index)
+}
+
 /// Deterministic per-thread seed derivation (SplitMix64 over seed ⊕ index).
 fn thread_seed(master: u64, thread: usize) -> u64 {
     let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1));

@@ -6,8 +6,12 @@
 //! the pool's workers evaluate earlier candidates, the searcher keeps
 //! proposing (random search and the GA generate whole batches ahead;
 //! gradient search's trajectory is independent of true costs, so it can run
-//! arbitrarily far ahead). Results are re-ordered back into proposal order
-//! before being reported, preserving the `ProposalSearch` contract.
+//! arbitrarily far ahead). Each proposal batch is submitted as one chunk job
+//! per worker, so evaluators overriding
+//! [`CostEvaluator::evaluate_batch`](crate::CostEvaluator::evaluate_batch)
+//! (e.g. the surrogate's batched forward pass) see generation-sized batches
+//! instead of single mappings. Results are re-ordered back into proposal
+//! order before being reported, preserving the `ProposalSearch` contract.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
@@ -18,6 +22,12 @@ use rand::rngs::StdRng;
 
 use crate::eval::EvalPool;
 use crate::metrics::Evaluation;
+
+/// Minimum in-flight proposal depth of pipelined drivers (when the searcher
+/// tolerates it): deep enough that per-worker chunk jobs carry meaningful
+/// batches for `CostEvaluator::evaluate_batch` fast paths (e.g. ≥ 16-row
+/// surrogate forward passes on a 2-worker pool), independent of pool width.
+pub const MIN_PIPELINE_DEPTH: usize = 32;
 
 /// Drive `search` against `pool`, pipelining proposals ahead of pending
 /// evaluations, until `budget` evaluations complete (or time runs out).
@@ -39,11 +49,11 @@ pub fn run_pipelined(
     let mut arrived: BTreeMap<u64, Evaluation> = BTreeMap::new();
     let mut submitted = 0u64;
     let mut completed = 0u64;
-    // Cap in-flight work: the searcher's tolerance, but at least enough to
-    // keep every worker busy with one spare.
+    // Cap in-flight work: the searcher's tolerance, but at least
+    // MIN_PIPELINE_DEPTH so batched evaluators see real batches.
     let max_in_flight = search
         .lookahead()
-        .clamp(1, (pool.workers() * 2).max(2))
+        .clamp(1, (pool.workers() * 2).max(MIN_PIPELINE_DEPTH))
         .min(
             usize::try_from(budget.max_queries)
                 .unwrap_or(usize::MAX)
@@ -61,9 +71,13 @@ pub fn run_pipelined(
             if max > 0 {
                 buf.clear();
                 search.propose(space, rng, max, &mut buf);
-                for mapping in buf.drain(..) {
-                    let id = pool.submit(mapping.clone());
-                    pending.push_back((id, mapping));
+                // Submit the whole proposal batch as one chunk job per
+                // worker (not one job per mapping): batched evaluators get
+                // their amortized fast path, and per-job channel traffic
+                // drops by the chunk size.
+                let ids = pool.submit_chunked(None, &buf);
+                for (off, mapping) in buf.iter().enumerate() {
+                    pending.push_back((ids.start + off as u64, mapping.clone()));
                     submitted += 1;
                 }
             }

@@ -145,6 +145,18 @@ impl Mlp {
         self.forward(&Matrix::row_vector(x)).as_slice().to_vec()
     }
 
+    /// Forward pass on a batch of examples in **one** matrix pass: the whole
+    /// batch goes through each layer as a single matmul instead of one
+    /// network traversal per example. This is the primitive behind batched
+    /// surrogate evaluation (`CostEvaluator::evaluate_batch`).
+    pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let y = self.forward(&Matrix::from_rows(xs));
+        (0..y.rows()).map(|r| y.row(r).to_vec()).collect()
+    }
+
     /// Backpropagate `grad_output` (dL/d output, shape `[batch, out]`)
     /// through the network, returning parameter gradients and the gradient
     /// with respect to the **input** batch.
@@ -272,6 +284,20 @@ mod tests {
                 grad[i]
             );
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_example_predict() {
+        let net = mlp(6);
+        let xs: Vec<Vec<f32>> = (0..9)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f32 * 0.07).cos()).collect())
+            .collect();
+        let batched = net.predict_batch(&xs);
+        assert_eq!(batched.len(), xs.len());
+        for (x, y) in xs.iter().zip(&batched) {
+            assert_eq!(&net.predict(x), y);
+        }
+        assert!(net.predict_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! The serve-side result cache: completed layer searches keyed by a
+//! deterministic `(problem, architecture, search-config)` fingerprint.
+//!
+//! Real networks repeat shapes heavily (every block of a ResNet stage shares
+//! one convolution shape), so the service maps each distinct fingerprint
+//! once and replays the cached result for every other occurrence — within a
+//! network and across `map_network` calls on a long-lived service.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mm_mapper::{Evaluation, OptMetric};
+use mm_mapspace::Mapping;
+
+/// FNV-1a 64-bit over the given parts (with a separator byte between parts,
+/// so `["ab", "c"]` and `["a", "bc"]` differ). Stable across processes —
+/// unlike `DefaultHasher` — which keeps fingerprints usable as on-disk or
+/// cross-run cache keys later.
+pub fn fingerprint_parts(parts: &[&str]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The reusable outcome of one layer search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedLayer {
+    /// Best mapping found (None only if the search evaluated nothing).
+    pub best_mapping: Option<Mapping>,
+    /// Metrics of the best mapping, in the evaluator's priority order.
+    pub best_metrics: Option<Evaluation>,
+    /// The evaluator's metric priority list.
+    pub metric_names: Vec<OptMetric>,
+    /// Evaluations the producing search spent.
+    pub evaluations: u64,
+    /// Searcher name (e.g. `"Random"`, `"SA"`).
+    pub searcher: String,
+    /// Wall-clock seconds of the producing search.
+    pub wall_time_s: f64,
+    /// Whether the searcher exhausted its proposals before the budget.
+    pub exhausted: bool,
+}
+
+/// Fingerprint-keyed store of completed layer searches.
+#[derive(Default)]
+pub(crate) struct ResultCache {
+    map: HashMap<u64, Arc<CachedLayer>>,
+}
+
+impl ResultCache {
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
+        self.map.get(&fingerprint).cloned()
+    }
+
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.map.contains_key(&fingerprint)
+    }
+
+    pub fn insert(&mut self, fingerprint: u64, layer: Arc<CachedLayer>) {
+        self.map.insert(fingerprint, layer);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_separator_aware() {
+        let a = fingerprint_parts(&["problem", "arch", "cfg"]);
+        assert_eq!(a, fingerprint_parts(&["problem", "arch", "cfg"]));
+        assert_ne!(a, fingerprint_parts(&["problem", "archcfg"]));
+        assert_ne!(
+            fingerprint_parts(&["ab", "c"]),
+            fingerprint_parts(&["a", "bc"])
+        );
+        assert_ne!(fingerprint_parts(&[]), fingerprint_parts(&[""]));
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let mut cache = ResultCache::default();
+        let fp = fingerprint_parts(&["x"]);
+        assert!(!cache.contains(fp));
+        assert!(cache.get(fp).is_none());
+        cache.insert(
+            fp,
+            Arc::new(CachedLayer {
+                best_mapping: None,
+                best_metrics: Some(Evaluation::scalar(1.5)),
+                metric_names: vec![OptMetric::Edp],
+                evaluations: 10,
+                searcher: "Random".into(),
+                wall_time_s: 0.0,
+                exhausted: false,
+            }),
+        );
+        assert!(cache.contains(fp));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(fp).unwrap().evaluations, 10);
+    }
+}

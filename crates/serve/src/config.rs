@@ -1,0 +1,72 @@
+//! [`ServeConfig`]: the knobs of a [`MappingService`](crate::MappingService).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a whole-network mapping service.
+///
+/// The service owns one long-lived evaluation pool of `workers` threads; up
+/// to `max_active_jobs` layer searches are multiplexed over it at once, fed
+/// from a job queue bounded at `queue_capacity`. Every layer search gets
+/// `search_size` evaluations and an RNG stream derived deterministically
+/// from `seed` and the layer's fingerprint — so the same seed and the same
+/// network always produce the same report, independent of worker count and
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Evaluation-pool worker threads (shared by all layer jobs).
+    pub workers: usize,
+    /// Layer searches multiplexed over the pool concurrently.
+    pub max_active_jobs: usize,
+    /// Bound on layer jobs waiting between the network and the active set.
+    pub queue_capacity: usize,
+    /// Master seed; per-layer streams are derived from it and the layer
+    /// fingerprint, so a layer's result does not depend on its position.
+    pub seed: u64,
+    /// Evaluations spent searching each distinct layer.
+    pub search_size: u64,
+    /// Reuse results for repeated `(problem, arch, config)` fingerprints —
+    /// across layers of one network and across calls on one service.
+    pub use_cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_active_jobs: 2,
+            queue_capacity: 8,
+            seed: 0,
+            search_size: 2_000,
+            use_cache: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the given per-layer evaluation budget.
+    pub fn with_search_size(mut self, search_size: u64) -> Self {
+        self.search_size = search_size;
+        self
+    }
+
+    /// A config with the given pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_and_builders_compose() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1 && c.max_active_jobs >= 1 && c.queue_capacity >= 1);
+        assert!(c.use_cache);
+        let c = c.with_search_size(64).with_workers(3);
+        assert_eq!(c.search_size, 64);
+        assert_eq!(c.workers, 3);
+    }
+}

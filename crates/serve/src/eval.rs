@@ -1,0 +1,103 @@
+//! [`SurrogateEvaluator`]: the trained Mind Mappings surrogate as a
+//! [`CostEvaluator`], with the batched forward pass as its
+//! `evaluate_batch` fast path.
+//!
+//! The pool dispatches whole proposal batches to workers, so every batch
+//! becomes **one** matrix traversal of the MLP
+//! ([`Surrogate::predict_normalized_edp_batch`]) instead of one network
+//! walk per mapping — the "async/batched surrogate evaluation" path of the
+//! roadmap. Scores are lower-bound-normalized EDPs (the quantity Phase 2
+//! minimizes); they rank mappings like absolute EDP but are not joules ×
+//! seconds, so serve-level energy/delay aggregates are unavailable on this
+//! path.
+
+use mm_core::{MindMappingsError, Surrogate};
+use mm_mapper::{CostEvaluator, Evaluation};
+use mm_mapspace::{Mapping, ProblemSpec};
+
+/// A surrogate bound to one problem, usable as a (batched) pool evaluator.
+#[derive(Debug, Clone)]
+pub struct SurrogateEvaluator {
+    surrogate: Surrogate,
+    problem: ProblemSpec,
+}
+
+impl SurrogateEvaluator {
+    /// Bind `surrogate` to `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MindMappingsError::FamilyMismatch`] when the problem's
+    /// shape differs from the family the surrogate was trained on.
+    pub fn new(surrogate: Surrogate, problem: ProblemSpec) -> Result<Self, MindMappingsError> {
+        surrogate.check_problem(&problem)?;
+        Ok(SurrogateEvaluator { surrogate, problem })
+    }
+
+    /// The bound problem.
+    pub fn problem(&self) -> &ProblemSpec {
+        &self.problem
+    }
+}
+
+impl CostEvaluator for SurrogateEvaluator {
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+        Evaluation::scalar(
+            self.surrogate
+                .predict_normalized_edp(&self.problem, mapping),
+        )
+    }
+
+    fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<Evaluation> {
+        self.surrogate
+            .predict_normalized_edp_batch(&self.problem, mappings)
+            .into_iter()
+            .map(Evaluation::scalar)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_accel::Architecture;
+    use mm_core::Phase1Config;
+    use mm_mapspace::MapSpace;
+    use mm_workloads::conv1d::Conv1dFamily;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_surrogate() -> (Surrogate, Architecture) {
+        let arch = Architecture::example();
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = mm_core::generate_training_set(&arch, &Conv1dFamily::default(), 300, 30, &mut rng)
+            .unwrap();
+        let cfg = Phase1Config {
+            hidden_layers: vec![16, 16],
+            epochs: 4,
+            ..Phase1Config::quick()
+        };
+        let (s, _) = Surrogate::train(arch.clone(), &ds, &cfg, &mut rng).unwrap();
+        (s, arch)
+    }
+
+    #[test]
+    fn batch_path_matches_single_path() {
+        let (s, arch) = tiny_surrogate();
+        let problem = ProblemSpec::conv1d(400, 5);
+        let eval = SurrogateEvaluator::new(s, problem.clone()).unwrap();
+        let space = MapSpace::new(problem, arch.mapping_constraints());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mappings: Vec<Mapping> = (0..12).map(|_| space.random_mapping(&mut rng)).collect();
+        let singles: Vec<Evaluation> = mappings.iter().map(|m| eval.evaluate(m)).collect();
+        assert_eq!(eval.evaluate_batch(&mappings), singles);
+        assert!(singles.iter().all(|e| e.primary() > 0.0));
+    }
+
+    #[test]
+    fn wrong_family_is_rejected() {
+        let (s, _) = tiny_surrogate();
+        let cnn = mm_workloads::cnn::CnnLayer::resnet_conv4().into_problem();
+        assert!(SurrogateEvaluator::new(s, cnn).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! # mm-serve
+//!
+//! A whole-network mapping service over a shared evaluation pool: the
+//! "map this whole model" layer of the Mind Mappings reproduction.
+//!
+//! The paper searches one layer at a time; production workloads are whole
+//! networks whose layers repeat shapes heavily. `mm-serve` accepts a
+//! [`Network`](mm_workloads::Network) (ordered named layers with repeat
+//! counts — e.g. [`table1_network`](mm_workloads::table1_network)), plans
+//! one search job per *distinct* layer shape, and multiplexes those jobs
+//! over one long-lived [`EvalPool`](mm_mapper::EvalPool):
+//!
+//! * [`MappingService`] — the front-end: bounded job queue, deterministic
+//!   first-occurrence job ordering, per-call [`NetworkReport`]s, lifetime
+//!   [`ServeStats`];
+//! * a scheduler that keeps every active layer search's proposals in
+//!   flight on the shared pool at once, so pool threads are spawned once
+//!   per service — not once per layer — and never idle while any job has
+//!   budget;
+//! * a result cache keyed by a `(problem, architecture, search-config)`
+//!   fingerprint: repeated layers are mapped once and replayed, within a
+//!   network and across calls;
+//! * a batched evaluation path: the pool hands whole proposal batches to
+//!   [`CostEvaluator::evaluate_batch`](mm_mapper::CostEvaluator::evaluate_batch),
+//!   which [`SurrogateEvaluator`] answers with a **single** forward pass of
+//!   the surrogate MLP per batch.
+//!
+//! # Determinism
+//!
+//! Same seed + same network ⇒ the same report, byte for byte
+//! ([`NetworkReport::canonical_string`]), independent of worker count,
+//! concurrency, scheduling, and machine speed. Each layer's RNG stream is
+//! derived from the master seed and the layer's fingerprint — not its
+//! position — so cache replay returns exactly what a fresh search would.
+//!
+//! ```
+//! use mm_serve::{MappingService, ServeConfig};
+//! use mm_workloads::Network;
+//! use mm_mapspace::ProblemSpec;
+//! use mm_accel::Architecture;
+//!
+//! let net = Network::new("tiny")
+//!     .with_layer("conv_a", ProblemSpec::conv1d(128, 3), 2)
+//!     .with_layer("conv_b", ProblemSpec::conv1d(256, 5), 1)
+//!     .with_layer("conv_a_again", ProblemSpec::conv1d(128, 3), 1);
+//!
+//! let config = ServeConfig::default().with_search_size(64);
+//! let mut service = MappingService::new(Architecture::example(), config);
+//! let report = service.map_network(&net);
+//!
+//! assert_eq!(report.layers.len(), 3);
+//! assert_eq!(report.unique_searches, 2); // conv_a's shape is searched once
+//! assert_eq!(report.cache_hits, 1);
+//! assert_eq!(report.total_evaluations, 128);
+//! assert!(report.aggregate.total_edp_js.unwrap() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod eval;
+pub mod report;
+mod scheduler;
+pub mod service;
+
+pub use cache::{fingerprint_parts, CachedLayer};
+pub use config::ServeConfig;
+pub use eval::SurrogateEvaluator;
+pub use report::{LayerReport, NetworkAggregate, NetworkReport};
+pub use service::{EvaluatorFactory, MappingService, SearchFactory, ServeStats};

@@ -1,0 +1,313 @@
+//! Per-layer and whole-network serving reports.
+//!
+//! A [`NetworkReport`] is the service's answer for one network: one
+//! [`LayerReport`] per layer (in network order, cache hits included) plus
+//! energy/delay/EDP aggregates weighted by repeat counts and wall-clock
+//! stats. Everything except the wall-clock fields is deterministic for a
+//! fixed seed and network; [`NetworkReport::canonical_string`] renders
+//! exactly that deterministic portion, byte-for-byte reproducibly.
+
+use mm_mapper::{Evaluation, MapperReport, OptMetric, StopReason, ThreadReport};
+use mm_mapspace::Mapping;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CachedLayer;
+
+/// The serving result for one network layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name within the network.
+    pub layer: String,
+    /// Problem name (distinct layers may share one problem).
+    pub problem: String,
+    /// How many times the network executes this layer.
+    pub repeat: u64,
+    /// Whether this layer replayed a cached result instead of searching.
+    pub cache_hit: bool,
+    /// Searcher that produced the result.
+    pub searcher: String,
+    /// Evaluations the producing search spent (also reported on cache hits,
+    /// describing the original search).
+    pub evaluations: u64,
+    /// Best mapping found.
+    pub best_mapping: Option<Mapping>,
+    /// Metrics of the best mapping, in `metric_names` order.
+    pub best_metrics: Option<Evaluation>,
+    /// The evaluator's metric priority list.
+    pub metric_names: Vec<OptMetric>,
+    /// Whether the searcher ran out of proposals before the budget.
+    pub exhausted: bool,
+    /// Wall-clock seconds of the producing search (0 for cache hits).
+    pub wall_time_s: f64,
+}
+
+impl LayerReport {
+    pub(crate) fn from_cached(
+        layer: &str,
+        problem: &str,
+        repeat: u64,
+        cache_hit: bool,
+        cached: &CachedLayer,
+    ) -> Self {
+        LayerReport {
+            layer: layer.to_string(),
+            problem: problem.to_string(),
+            repeat,
+            cache_hit,
+            searcher: cached.searcher.clone(),
+            evaluations: cached.evaluations,
+            best_mapping: cached.best_mapping.clone(),
+            best_metrics: cached.best_metrics.clone(),
+            metric_names: cached.metric_names.clone(),
+            exhausted: cached.exhausted,
+            wall_time_s: if cache_hit { 0.0 } else { cached.wall_time_s },
+        }
+    }
+
+    /// The value of `metric` for the best mapping, if the evaluator produced
+    /// it.
+    pub fn metric(&self, metric: OptMetric) -> Option<f64> {
+        let pos = self.metric_names.iter().position(|m| *m == metric)?;
+        self.best_metrics.as_ref()?.metrics.get(pos).copied()
+    }
+
+    /// The layer's EDP: the `edp` metric when present, otherwise the
+    /// primary metric (e.g. the surrogate's normalized EDP).
+    pub fn edp(&self) -> f64 {
+        self.metric(OptMetric::Edp).unwrap_or_else(|| {
+            self.best_metrics
+                .as_ref()
+                .map_or(f64::INFINITY, Evaluation::primary)
+        })
+    }
+
+    /// Best-mapping energy in picojoules, when the evaluator reported it.
+    pub fn energy_pj(&self) -> Option<f64> {
+        self.metric(OptMetric::Energy)
+    }
+
+    /// Best-mapping delay in seconds, when the evaluator reported it.
+    pub fn delay_s(&self) -> Option<f64> {
+        self.metric(OptMetric::Delay)
+    }
+
+    /// This layer's result in `mm-mapper`'s report vocabulary (a
+    /// single-thread [`MapperReport`]), for consumers of that API.
+    pub fn as_mapper_report(&self) -> MapperReport {
+        let stop = if self.exhausted {
+            StopReason::Exhausted
+        } else {
+            StopReason::SearchSize
+        };
+        let best = match (&self.best_mapping, &self.best_metrics) {
+            (Some(m), Some(e)) => Some((m.clone(), e.clone())),
+            _ => None,
+        };
+        MapperReport {
+            best_mapping: self.best_mapping.clone(),
+            best_metrics: self.best_metrics.clone(),
+            total_evaluations: self.evaluations,
+            wall_time_s: self.wall_time_s,
+            evals_per_sec: if self.wall_time_s > 0.0 {
+                self.evaluations as f64 / self.wall_time_s
+            } else {
+                0.0
+            },
+            threads: vec![ThreadReport {
+                thread: 0,
+                evaluations: self.evaluations,
+                best,
+                stop,
+                trace: None,
+            }],
+        }
+    }
+}
+
+/// Repeat-weighted totals over a network's layers.
+///
+/// Energy and delay sum over layer executions; they are `None` unless every
+/// layer's evaluator reported the metric. Network EDP is the product of
+/// total energy (J) and total delay (s) — the EDP of running the whole
+/// network once — while `sum_layer_edp_js` sums per-layer EDPs (the paper's
+/// per-layer objective, weighted by repeats).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkAggregate {
+    /// Σ repeat × layer energy (pJ), when every layer reported energy.
+    pub total_energy_pj: Option<f64>,
+    /// Σ repeat × layer delay (s), when every layer reported delay.
+    pub total_delay_s: Option<f64>,
+    /// Whole-network EDP in J·s: total energy × total delay.
+    pub total_edp_js: Option<f64>,
+    /// Σ repeat × layer EDP (primary metric when `edp` is absent).
+    pub sum_layer_edp_js: f64,
+}
+
+impl NetworkAggregate {
+    pub(crate) fn from_layers(layers: &[LayerReport]) -> Self {
+        let weighted = |f: &dyn Fn(&LayerReport) -> Option<f64>| -> Option<f64> {
+            layers
+                .iter()
+                .map(|l| f(l).map(|v| v * l.repeat as f64))
+                .sum::<Option<f64>>()
+        };
+        let total_energy_pj = weighted(&|l| l.energy_pj());
+        let total_delay_s = weighted(&|l| l.delay_s());
+        let total_edp_js = match (total_energy_pj, total_delay_s) {
+            (Some(e), Some(d)) => Some(e * 1e-12 * d),
+            _ => None,
+        };
+        NetworkAggregate {
+            total_energy_pj,
+            total_delay_s,
+            total_edp_js,
+            sum_layer_edp_js: layers.iter().map(|l| l.edp() * l.repeat as f64).sum(),
+        }
+    }
+}
+
+/// The service's result for one whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Per-layer results, in network order.
+    pub layers: Vec<LayerReport>,
+    /// Fresh searches this call ran (distinct uncached fingerprints).
+    pub unique_searches: usize,
+    /// Layers answered from cache (earlier in this network or a prior call).
+    pub cache_hits: usize,
+    /// Fresh evaluations this call spent (cache hits cost none).
+    pub total_evaluations: u64,
+    /// Repeat-weighted energy/delay/EDP totals.
+    pub aggregate: NetworkAggregate,
+    /// Wall-clock seconds of the whole call.
+    pub wall_time_s: f64,
+    /// Fresh evaluations per second of the whole call.
+    pub evals_per_sec: f64,
+}
+
+impl NetworkReport {
+    /// Render the deterministic portion of the report — everything except
+    /// the wall-clock fields (`wall_time_s`, `evals_per_sec`) — as a stable
+    /// string: same seed + same network ⇒ byte-identical output, regardless
+    /// of worker count, scheduling, or machine speed.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "network={}", self.network);
+        for l in &self.layers {
+            let _ = writeln!(
+                out,
+                "layer={} problem={} repeat={} cache_hit={} searcher={} evals={} \
+                 exhausted={} metric_names={:?} metrics={:?} mapping={:?}",
+                l.layer,
+                l.problem,
+                l.repeat,
+                l.cache_hit,
+                l.searcher,
+                l.evaluations,
+                l.exhausted,
+                l.metric_names,
+                l.best_metrics.as_ref().map(|e| &e.metrics),
+                l.best_mapping,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "unique_searches={} cache_hits={} total_evaluations={}",
+            self.unique_searches, self.cache_hits, self.total_evaluations
+        );
+        let _ = writeln!(
+            out,
+            "aggregate energy_pj={:?} delay_s={:?} edp_js={:?} sum_layer_edp_js={:?}",
+            self.aggregate.total_energy_pj,
+            self.aggregate.total_delay_s,
+            self.aggregate.total_edp_js,
+            self.aggregate.sum_layer_edp_js,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, repeat: u64, edp: f64, energy: f64, delay: f64) -> LayerReport {
+        LayerReport {
+            layer: name.to_string(),
+            problem: name.to_string(),
+            repeat,
+            cache_hit: false,
+            searcher: "Random".into(),
+            evaluations: 10,
+            best_mapping: None,
+            best_metrics: Some(Evaluation {
+                metrics: vec![edp, energy, delay],
+            }),
+            metric_names: vec![OptMetric::Edp, OptMetric::Energy, OptMetric::Delay],
+            exhausted: false,
+            wall_time_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn metric_extraction_and_aggregation() {
+        let layers = vec![
+            layer("a", 2, 1.0, 100.0, 0.5),
+            layer("b", 1, 3.0, 50.0, 1.0),
+        ];
+        assert_eq!(layers[0].edp(), 1.0);
+        assert_eq!(layers[0].energy_pj(), Some(100.0));
+        assert_eq!(layers[1].delay_s(), Some(1.0));
+
+        let agg = NetworkAggregate::from_layers(&layers);
+        assert_eq!(agg.total_energy_pj, Some(250.0)); // 2×100 + 50
+        assert_eq!(agg.total_delay_s, Some(2.0)); // 2×0.5 + 1
+        assert_eq!(agg.total_edp_js, Some(250.0 * 1e-12 * 2.0));
+        assert_eq!(agg.sum_layer_edp_js, 5.0); // 2×1 + 3
+    }
+
+    #[test]
+    fn missing_metrics_degrade_gracefully() {
+        let mut scalar_only = layer("s", 1, 0.0, 0.0, 0.0);
+        scalar_only.metric_names = vec![OptMetric::Edp];
+        scalar_only.best_metrics = Some(Evaluation::scalar(7.0));
+        assert_eq!(scalar_only.edp(), 7.0);
+        assert_eq!(scalar_only.energy_pj(), None);
+        let agg = NetworkAggregate::from_layers(&[scalar_only]);
+        assert_eq!(agg.total_energy_pj, None);
+        assert_eq!(agg.total_edp_js, None);
+        assert_eq!(agg.sum_layer_edp_js, 7.0);
+    }
+
+    #[test]
+    fn mapper_report_view_carries_the_result() {
+        let l = layer("a", 1, 2.0, 10.0, 0.1);
+        let r = l.as_mapper_report();
+        assert_eq!(r.total_evaluations, 10);
+        assert_eq!(r.threads.len(), 1);
+        assert_eq!(r.threads[0].stop, StopReason::SearchSize);
+        assert_eq!(r.best_metrics.as_ref().unwrap().primary(), 2.0);
+    }
+
+    #[test]
+    fn canonical_string_excludes_wall_clock() {
+        let mk = |wall: f64| NetworkReport {
+            network: "n".into(),
+            layers: vec![layer("a", 1, 2.0, 10.0, 0.1)],
+            unique_searches: 1,
+            cache_hits: 0,
+            total_evaluations: 10,
+            aggregate: NetworkAggregate::from_layers(&[layer("a", 1, 2.0, 10.0, 0.1)]),
+            wall_time_s: wall,
+            evals_per_sec: 10.0 / wall,
+        };
+        let a = mk(0.25);
+        let mut b = mk(99.0);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        b.layers[0].evaluations = 11;
+        assert_ne!(a.canonical_string(), b.canonical_string());
+    }
+}

@@ -1,0 +1,352 @@
+//! The layer-job scheduler: multiplex many `ProposalSearch` instances over
+//! **one** shared [`EvalPool`].
+//!
+//! Where `mm_mapper::run_pipelined` drives a single searcher against a pool,
+//! this scheduler drives a whole queue of independent layer searches at
+//! once: up to `max_active` jobs keep proposals in flight simultaneously,
+//! every batch is tagged with the pool ids of its members, and completions
+//! are routed back to the owning job in proposal order. Pool workers never
+//! idle while any job still has budget, and pool threads are spawned once
+//! for the service's lifetime instead of once per layer.
+//!
+//! # Determinism
+//!
+//! Each job owns an RNG stream seeded from its spec alone, proposals are
+//! reported back in proposal order per job, and best-mapping ties resolve
+//! first-found. A searcher's proposal sequence must not depend on how
+//! `propose` calls are batched (the same contract `run_pipelined` relies
+//! on), so a job's outcome is independent of worker count, concurrency
+//! level, and completion timing — only the spec (seed, budget, space,
+//! evaluator) matters.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mm_mapper::{CostEvaluator, EvalPool, Evaluation, OptMetric, MIN_PIPELINE_DEPTH};
+use mm_mapspace::{MapSpace, Mapping};
+use mm_search::ProposalSearch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One layer search to run: everything the scheduler needs, self-contained.
+pub(crate) struct JobSpec {
+    /// Caller-assigned index; outcomes are returned in this order.
+    pub index: usize,
+    /// The map space searched.
+    pub space: MapSpace,
+    /// Scores this job's proposals (routed per batch on the shared pool).
+    pub evaluator: Arc<dyn CostEvaluator>,
+    /// The search method instance.
+    pub search: Box<dyn ProposalSearch>,
+    /// Seed of this job's private RNG stream.
+    pub seed: u64,
+    /// Evaluations to spend.
+    pub budget: u64,
+}
+
+/// What one layer search produced.
+#[derive(Debug, Clone)]
+pub(crate) struct JobOutcome {
+    pub searcher: String,
+    pub metric_names: Vec<OptMetric>,
+    pub best: Option<(Mapping, Evaluation)>,
+    pub evaluations: u64,
+    pub wall_time_s: f64,
+    pub exhausted: bool,
+}
+
+/// A job currently multiplexed on the pool.
+struct ActiveJob {
+    index: usize,
+    space: MapSpace,
+    evaluator: Arc<dyn CostEvaluator>,
+    search: Box<dyn ProposalSearch>,
+    rng: StdRng,
+    budget: u64,
+    submitted: u64,
+    completed: u64,
+    /// Proposals in flight, in proposal order (front = oldest).
+    pending: VecDeque<(u64, Mapping)>,
+    /// Results that arrived out of order, keyed by pool id.
+    arrived: BTreeMap<u64, Evaluation>,
+    best: Option<(Mapping, Evaluation)>,
+    started: Instant,
+    exhausted: bool,
+}
+
+impl ActiveJob {
+    fn start(mut spec: JobSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        spec.search.begin(&spec.space, Some(spec.budget), &mut rng);
+        ActiveJob {
+            index: spec.index,
+            space: spec.space,
+            evaluator: spec.evaluator,
+            search: spec.search,
+            rng,
+            budget: spec.budget,
+            submitted: 0,
+            completed: 0,
+            pending: VecDeque::new(),
+            arrived: BTreeMap::new(),
+            best: None,
+            started: Instant::now(),
+            exhausted: false,
+        }
+    }
+
+    /// Keep this job's pipeline full: propose up to its lookahead (capped by
+    /// remaining budget and pool depth) and submit as one chunk job per
+    /// worker, so batched evaluators see whole proposal batches.
+    fn fill(
+        &mut self,
+        pool: &mut EvalPool,
+        id_to_job: &mut HashMap<u64, usize>,
+        buf: &mut Vec<Mapping>,
+    ) {
+        if self.exhausted || self.submitted >= self.budget {
+            return;
+        }
+        // At least MIN_PIPELINE_DEPTH in flight (when the searcher tolerates
+        // it), so per-worker chunk jobs carry real batches for
+        // `evaluate_batch` fast paths like the surrogate's forward pass.
+        let cap = self
+            .search
+            .lookahead()
+            .clamp(1, (pool.workers() * 2).max(MIN_PIPELINE_DEPTH)) as u64;
+        let room = cap
+            .saturating_sub(self.pending.len() as u64)
+            .min(self.budget - self.submitted);
+        if room == 0 {
+            return;
+        }
+        buf.clear();
+        self.search
+            .propose(&self.space, &mut self.rng, room as usize, buf);
+        if buf.is_empty() {
+            // Contract: with nothing outstanding the searcher must propose;
+            // an empty batch then means its space/schedule is exhausted.
+            if self.pending.is_empty() {
+                self.exhausted = true;
+            }
+            return;
+        }
+        let ids = pool.submit_chunked(Some(Arc::clone(&self.evaluator)), buf);
+        for (off, mapping) in buf.iter().enumerate() {
+            let id = ids.start + off as u64;
+            id_to_job.insert(id, self.index);
+            self.pending.push_back((id, mapping.clone()));
+        }
+        self.submitted += buf.len() as u64;
+    }
+
+    /// Report every completion available in proposal order.
+    fn flush(&mut self) {
+        while let Some(&(front_id, _)) = self.pending.front() {
+            if !self.arrived.contains_key(&front_id) {
+                break;
+            }
+            let (id, mapping) = self.pending.pop_front().expect("front exists");
+            let eval = self.arrived.remove(&id).expect("checked above");
+            self.search.report(&mapping, eval.primary(), &mut self.rng);
+            let improved = match self.best.as_ref() {
+                None => true,
+                Some((_, incumbent)) => eval.better_than(incumbent),
+            };
+            if improved {
+                self.best = Some((mapping, eval));
+            }
+            self.completed += 1;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pending.is_empty() && (self.exhausted || self.completed >= self.budget)
+    }
+
+    fn finish(self) -> (usize, JobOutcome) {
+        (
+            self.index,
+            JobOutcome {
+                searcher: self.search.name().to_string(),
+                metric_names: self.evaluator.metrics().to_vec(),
+                best: self.best,
+                evaluations: self.completed,
+                wall_time_s: self.started.elapsed().as_secs_f64(),
+                exhausted: self.exhausted,
+            },
+        )
+    }
+}
+
+/// Run every job to completion over `pool`, multiplexing up to `max_active`
+/// at once with at most `queue_capacity` more staged behind them. Outcomes
+/// come back indexed by each spec's `index`.
+///
+/// # Panics
+///
+/// Panics if the pool has jobs in flight, or if a pool worker dies (a
+/// panicking evaluator propagates, as with `EvalPool::recv`).
+pub(crate) fn run_jobs(
+    pool: &mut EvalPool,
+    jobs: Vec<JobSpec>,
+    max_active: usize,
+    queue_capacity: usize,
+) -> Vec<JobOutcome> {
+    assert_eq!(pool.in_flight(), 0, "scheduler needs an idle pool");
+    let max_active = max_active.max(1);
+    let queue_capacity = queue_capacity.max(1);
+    let n = jobs.len();
+    let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+    let mut source = jobs.into_iter();
+    let mut queue: VecDeque<JobSpec> = VecDeque::new();
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut id_to_job: HashMap<u64, usize> = HashMap::new();
+    let mut buf: Vec<Mapping> = Vec::new();
+    let mut source_drained = false;
+
+    loop {
+        // Admission: source → bounded queue → active set, in spec order.
+        while !source_drained && queue.len() < queue_capacity {
+            match source.next() {
+                Some(spec) => queue.push_back(spec),
+                None => source_drained = true,
+            }
+        }
+        while active.len() < max_active {
+            let Some(spec) = queue.pop_front() else { break };
+            active.push(ActiveJob::start(spec));
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        // Keep every active pipeline full before blocking on a result.
+        for job in active.iter_mut() {
+            job.fill(pool, &mut id_to_job, &mut buf);
+        }
+
+        // Route one completion back to its job (proposal-order per job).
+        if pool.in_flight() > 0 {
+            let (id, eval) = pool.recv();
+            let index = *id_to_job.get(&id).expect("every id routed");
+            id_to_job.remove(&id);
+            let job = active
+                .iter_mut()
+                .find(|j| j.index == index)
+                .expect("routed job active");
+            job.arrived.insert(id, eval);
+            job.flush();
+        }
+
+        // Retire finished jobs, preserving admission order of the rest.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].done() {
+                let (index, outcome) = active.remove(i).finish();
+                outcomes[index] = Some(outcome);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every job ran to completion"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_accel::{Architecture, CostModel};
+    use mm_mapper::ModelEvaluator;
+    use mm_mapspace::ProblemSpec;
+    use mm_search::{GeneticAlgorithm, GeneticConfig, RandomSearch, SimulatedAnnealing};
+
+    fn spec(index: usize, w: u64, seed: u64, budget: u64) -> JobSpec {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(w, 5);
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, problem);
+        JobSpec {
+            index,
+            space,
+            evaluator: Arc::new(ModelEvaluator::edp(model)),
+            search: Box::new(RandomSearch::new()),
+            seed,
+            budget,
+        }
+    }
+
+    #[test]
+    fn jobs_complete_with_exact_budgets_over_one_pool() {
+        let mut pool = EvalPool::shared(3);
+        let jobs: Vec<JobSpec> = (0..5)
+            .map(|i| spec(i, 128 + 64 * i as u64, i as u64, 40))
+            .collect();
+        let outcomes = run_jobs(&mut pool, jobs, 2, 2);
+        assert_eq!(outcomes.len(), 5);
+        for o in &outcomes {
+            assert_eq!(o.evaluations, 40);
+            assert!(!o.exhausted);
+            assert!(o.best.as_ref().unwrap().1.primary().is_finite());
+        }
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_concurrency_and_workers() {
+        let run = |workers: usize, max_active: usize| -> Vec<f64> {
+            let mut pool = EvalPool::shared(workers);
+            let jobs: Vec<JobSpec> = (0..4).map(|i| spec(i, 200, 7 + i as u64, 60)).collect();
+            run_jobs(&mut pool, jobs, max_active, 4)
+                .iter()
+                .map(|o| o.best.as_ref().unwrap().1.primary())
+                .collect()
+        };
+        let base = run(1, 1);
+        assert_eq!(base, run(3, 2));
+        assert_eq!(base, run(2, 4));
+    }
+
+    #[test]
+    fn mixed_searchers_multiplex_deterministically() {
+        let mk = || -> Vec<JobSpec> {
+            (0..3)
+                .map(|i| {
+                    let mut s = spec(i, 256, 11 + i as u64, 50);
+                    s.search = match i {
+                        0 => Box::new(SimulatedAnnealing::default()),
+                        1 => Box::new(GeneticAlgorithm::new(GeneticConfig {
+                            population: 10,
+                            ..GeneticConfig::default()
+                        })),
+                        _ => Box::new(RandomSearch::new()),
+                    };
+                    s
+                })
+                .collect()
+        };
+        let mut pool_a = EvalPool::shared(2);
+        let a = run_jobs(&mut pool_a, mk(), 3, 3);
+        let mut pool_b = EvalPool::shared(4);
+        let b = run_jobs(&mut pool_b, mk(), 2, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.searcher, y.searcher);
+            assert_eq!(x.evaluations, y.evaluations);
+            assert_eq!(
+                x.best.as_ref().unwrap().1,
+                y.best.as_ref().unwrap().1,
+                "same spec ⇒ same best, regardless of pool shape"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        let mut pool = EvalPool::shared(1);
+        assert!(run_jobs(&mut pool, Vec::new(), 2, 2).is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! [`MappingService`]: the whole-network mapping front-end.
+//!
+//! One service owns one long-lived [`EvalPool`]; every
+//! [`map_network`](MappingService::map_network) call fingerprints each
+//! layer, schedules one search job per *distinct uncached* fingerprint over
+//! the shared pool (bounded queue, deterministic first-occurrence order),
+//! and assembles a [`NetworkReport`] with cached layers replayed for free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mm_accel::{Architecture, CostModel};
+use mm_mapper::{derive_stream_seed, CostEvaluator, EvalPool, ModelEvaluator, OptMetric};
+use mm_mapspace::{MapSpace, ProblemSpec};
+use mm_search::{ProposalSearch, RandomSearch};
+use mm_workloads::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{fingerprint_parts, CachedLayer, ResultCache};
+use crate::config::ServeConfig;
+use crate::report::{LayerReport, NetworkAggregate, NetworkReport};
+use crate::scheduler::{run_jobs, JobSpec};
+
+/// Builds the cost evaluator for one layer's problem.
+pub type EvaluatorFactory = Box<dyn Fn(&Architecture, &ProblemSpec) -> Arc<dyn CostEvaluator>>;
+
+/// Builds a fresh searcher instance for one layer job.
+pub type SearchFactory = Box<dyn Fn() -> Box<dyn ProposalSearch>>;
+
+/// Lifetime counters of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Fresh layer searches run.
+    pub searches_run: u64,
+    /// Layers answered from cache.
+    pub cache_hits: u64,
+    /// Evaluations spent across all fresh searches.
+    pub total_evaluations: u64,
+}
+
+/// How one layer of a `map_network` call is satisfied.
+enum LayerPlan {
+    /// Replay the cached result for this fingerprint.
+    Hit(u64),
+    /// Job `index` (into this call's job list) performs the search.
+    Search { job: usize },
+}
+
+/// A long-lived, multi-workload mapping service over one shared eval pool.
+pub struct MappingService {
+    arch: Architecture,
+    config: ServeConfig,
+    pool: EvalPool,
+    cache: ResultCache,
+    evaluator_factory: EvaluatorFactory,
+    evaluator_tag: String,
+    search_factory: SearchFactory,
+    searcher_name: String,
+    /// Pre-rendered constant portion of the fingerprint (arch, searcher,
+    /// evaluator, seed, budget) — recomputed only when the searcher changes,
+    /// so per-layer fingerprinting formats just the problem.
+    config_tag: String,
+    stats: ServeStats,
+}
+
+impl MappingService {
+    /// A service mapping onto `arch` with the reference cost model
+    /// (optimizing `edp`, with `energy` and `delay` carried for the
+    /// network aggregates) and random search per layer.
+    pub fn new(arch: Architecture, config: ServeConfig) -> Self {
+        let factory: EvaluatorFactory = Box::new(|arch, problem| {
+            Arc::new(ModelEvaluator::with_metrics(
+                CostModel::new(arch.clone(), problem.clone()),
+                vec![OptMetric::Edp, OptMetric::Energy, OptMetric::Delay],
+            ))
+        });
+        Self::with_evaluator_factory(
+            arch,
+            config,
+            factory,
+            "reference-model[edp,energy,delay]".to_string(),
+        )
+    }
+
+    /// A service with a custom per-problem evaluator. `evaluator_tag` is a
+    /// stable description of the evaluator configuration; it participates in
+    /// result-cache fingerprints, so distinct evaluators must use distinct
+    /// tags.
+    pub fn with_evaluator_factory(
+        arch: Architecture,
+        config: ServeConfig,
+        evaluator_factory: EvaluatorFactory,
+        evaluator_tag: String,
+    ) -> Self {
+        let search_factory: SearchFactory = Box::new(|| Box::new(RandomSearch::new()));
+        let searcher_name = search_factory().name().to_string();
+        let config_tag = Self::config_tag(&arch, &searcher_name, &evaluator_tag, &config);
+        MappingService {
+            arch,
+            config,
+            pool: EvalPool::shared(config.workers.max(1)),
+            cache: ResultCache::default(),
+            evaluator_factory,
+            evaluator_tag,
+            search_factory,
+            searcher_name,
+            config_tag,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Replace the per-layer search method (builder style).
+    ///
+    /// Cached results are dropped: fingerprints identify searchers by name
+    /// only (`"GA"`, `"SA"`, …), so results produced by a differently
+    /// configured searcher of the same name must not be replayed.
+    pub fn with_searcher(mut self, search_factory: SearchFactory) -> Self {
+        self.searcher_name = search_factory().name().to_string();
+        self.search_factory = search_factory;
+        self.config_tag = Self::config_tag(
+            &self.arch,
+            &self.searcher_name,
+            &self.evaluator_tag,
+            &self.config,
+        );
+        self.cache = ResultCache::default();
+        self
+    }
+
+    /// Render the layer-independent fingerprint portion.
+    fn config_tag(
+        arch: &Architecture,
+        searcher_name: &str,
+        evaluator_tag: &str,
+        config: &ServeConfig,
+    ) -> String {
+        format!(
+            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={}",
+            config.seed, config.search_size
+        )
+    }
+
+    /// The architecture served.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Worker threads of the shared pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Distinct results currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Deterministic cache/replay key for a problem under this service's
+    /// architecture, searcher, evaluator, and search budget/seed.
+    fn fingerprint(&self, problem: &ProblemSpec) -> u64 {
+        fingerprint_parts(&[&format!("{problem:?}"), &self.config_tag])
+    }
+
+    /// Map every layer of `network`, returning per-layer reports in network
+    /// order plus repeat-weighted aggregates.
+    ///
+    /// Distinct uncached layer shapes each get one search job of
+    /// `search_size` evaluations, multiplexed over the shared pool; repeated
+    /// shapes — within this network or cached from earlier calls — replay
+    /// the existing result without searching. With `use_cache` off, every
+    /// layer occurrence searches; the searches are identical, so the best
+    /// mappings and metrics are unchanged — only the evaluation cost and
+    /// the provenance fields (`cache_hit`, `unique_searches`, …) differ.
+    pub fn map_network(&mut self, network: &Network) -> NetworkReport {
+        let start = Instant::now();
+
+        // Plan: one job per distinct uncached fingerprint, in first-
+        // occurrence order (the deterministic job ordering of the service).
+        let mut plans: Vec<LayerPlan> = Vec::with_capacity(network.len());
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        let mut job_fingerprints: Vec<u64> = Vec::new();
+        let mut job_for_fp: HashMap<u64, usize> = HashMap::new();
+        for layer in &network.layers {
+            let fp = self.fingerprint(&layer.problem);
+            let plan = if self.config.use_cache && self.cache.contains(fp) {
+                LayerPlan::Hit(fp)
+            } else if self.config.use_cache && job_for_fp.contains_key(&fp) {
+                LayerPlan::Search {
+                    job: job_for_fp[&fp],
+                }
+            } else {
+                let index = jobs.len();
+                jobs.push(self.job_spec(index, fp, &layer.problem));
+                job_fingerprints.push(fp);
+                job_for_fp.insert(fp, index);
+                LayerPlan::Search { job: index }
+            };
+            plans.push(plan);
+        }
+
+        // Run all fresh searches over the shared, long-lived pool.
+        let unique_searches = jobs.len();
+        let outcomes = run_jobs(
+            &mut self.pool,
+            jobs,
+            self.config.max_active_jobs,
+            self.config.queue_capacity,
+        );
+        let results: Vec<Arc<CachedLayer>> = outcomes
+            .into_iter()
+            .map(|o| {
+                let (best_mapping, best_metrics) = match o.best {
+                    Some((m, e)) => (Some(m), Some(e)),
+                    None => (None, None),
+                };
+                Arc::new(CachedLayer {
+                    best_mapping,
+                    best_metrics,
+                    metric_names: o.metric_names,
+                    evaluations: o.evaluations,
+                    searcher: o.searcher,
+                    wall_time_s: o.wall_time_s,
+                    exhausted: o.exhausted,
+                })
+            })
+            .collect();
+        let total_evaluations: u64 = results.iter().map(|r| r.evaluations).sum();
+        if self.config.use_cache {
+            for (fp, result) in job_fingerprints.iter().zip(&results) {
+                self.cache.insert(*fp, Arc::clone(result));
+            }
+        }
+
+        // Assemble per-layer reports in network order. A layer is a cache
+        // hit unless it is the first occurrence that triggered its job.
+        let mut first_use: Vec<bool> = vec![false; unique_searches];
+        let mut cache_hits = 0usize;
+        let layers: Vec<LayerReport> = network
+            .layers
+            .iter()
+            .zip(&plans)
+            .map(|(layer, plan)| {
+                let (cached, hit): (Arc<CachedLayer>, bool) = match plan {
+                    // A Hit plan means the fingerprint was cached before
+                    // this call started.
+                    LayerPlan::Hit(fp) => {
+                        (self.cache.get(*fp).expect("hit planned from cache"), true)
+                    }
+                    LayerPlan::Search { job } => {
+                        let first = !first_use[*job];
+                        first_use[*job] = true;
+                        (Arc::clone(&results[*job]), !first)
+                    }
+                };
+                if hit {
+                    cache_hits += 1;
+                }
+                LayerReport::from_cached(
+                    &layer.name,
+                    &layer.problem.name,
+                    layer.repeat,
+                    hit,
+                    &cached,
+                )
+            })
+            .collect();
+
+        let wall_time_s = start.elapsed().as_secs_f64();
+        self.stats.searches_run += unique_searches as u64;
+        self.stats.cache_hits += cache_hits as u64;
+        self.stats.total_evaluations += total_evaluations;
+
+        NetworkReport {
+            network: network.name.clone(),
+            aggregate: NetworkAggregate::from_layers(&layers),
+            layers,
+            unique_searches,
+            cache_hits,
+            total_evaluations,
+            wall_time_s,
+            evals_per_sec: if wall_time_s > 0.0 {
+                total_evaluations as f64 / wall_time_s
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Map a single named problem (a one-layer network).
+    pub fn map_problem(&mut self, name: &str, problem: ProblemSpec) -> LayerReport {
+        let net = Network::new(name).with_layer(name, problem, 1);
+        self.map_network(&net)
+            .layers
+            .into_iter()
+            .next()
+            .expect("one-layer network yields one report")
+    }
+
+    fn job_spec(&self, index: usize, fingerprint: u64, problem: &ProblemSpec) -> JobSpec {
+        let space = MapSpace::new(problem.clone(), self.arch.mapping_constraints());
+        JobSpec {
+            index,
+            space,
+            evaluator: (self.evaluator_factory)(&self.arch, problem),
+            search: (self.search_factory)(),
+            // Seed from the fingerprint, not the layer position: a layer's
+            // result is independent of where it appears, so cache replay is
+            // exactly what a fresh search would have produced.
+            seed: derive_stream_seed(self.config.seed ^ fingerprint, 0),
+            budget: self.config.search_size,
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //!   (Equation 4) and their family;
 //! * [`conv1d`] — the pedagogical 1-D convolution of Section 3;
 //! * [`table1`] — the eight target problems of Table 1;
+//! * [`network`] — whole-network workloads (ordered named layers with
+//!   repeat counts), including [`table1_network`];
 //! * [`evaluated_accelerator`] — the 256-PE accelerator of Section 5.1.2.
 //!
 //! ```
@@ -22,7 +24,10 @@
 pub mod cnn;
 pub mod conv1d;
 pub mod mttkrp;
+pub mod network;
 pub mod table1;
+
+pub use network::{table1_network, Network, NetworkLayer};
 
 use mm_accel::Architecture;
 

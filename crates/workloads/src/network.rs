@@ -1,0 +1,154 @@
+//! Whole-network workloads: an ordered list of named layers with repeat
+//! counts — the first-class input format of `mm-serve`'s whole-model mapping
+//! service.
+//!
+//! Real networks repeat shapes heavily (every residual block of a ResNet
+//! stage shares one convolution shape), so a [`NetworkLayer`] carries a
+//! `repeat` count and the serving layer maps each distinct shape once,
+//! replaying the result for the repeats.
+
+use mm_mapspace::ProblemSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::table1;
+
+/// One layer of a network: a named problem instance plus how many times the
+/// network executes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLayer {
+    /// Layer name within the network (unique per position, e.g. `"conv2_1"`).
+    pub name: String,
+    /// The layer's fully parameterized problem.
+    pub problem: ProblemSpec,
+    /// How many times the network executes this layer (≥ 1).
+    pub repeat: u64,
+}
+
+/// An ordered collection of named layers: the unit of work of whole-model
+/// mapping.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name (e.g. `"table1"`, `"resnet50"`).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<NetworkLayer>,
+}
+
+impl Network {
+    /// An empty network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append a layer executed `repeat` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat` is zero.
+    pub fn with_layer(
+        mut self,
+        name: impl Into<String>,
+        problem: ProblemSpec,
+        repeat: u64,
+    ) -> Self {
+        self.push_layer(name, problem, repeat);
+        self
+    }
+
+    /// Append a layer executed `repeat` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat` is zero.
+    pub fn push_layer(&mut self, name: impl Into<String>, problem: ProblemSpec, repeat: u64) {
+        assert!(repeat > 0, "layer repeat count must be at least 1");
+        self.layers.push(NetworkLayer {
+            name: name.into(),
+            problem,
+            repeat,
+        });
+    }
+
+    /// Number of distinct layer entries.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total layer executions: the sum of repeat counts.
+    pub fn total_instances(&self) -> u64 {
+        self.layers.iter().map(|l| l.repeat).sum()
+    }
+
+    /// Look up a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&NetworkLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {} instances)",
+            self.name,
+            self.len(),
+            self.total_instances()
+        )
+    }
+}
+
+/// The eight Table 1 target problems as a network (each executed once, in
+/// table order) — the canonical whole-model serving workload.
+pub fn table1_network() -> Network {
+    let mut net = Network::new("table1");
+    for target in table1::all_problems() {
+        let name = target.problem.name.clone();
+        net.push_layer(name, target.problem, 1);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_network_has_eight_layers_in_table_order() {
+        let net = table1_network();
+        assert_eq!(net.len(), 8);
+        assert_eq!(net.total_instances(), 8);
+        assert_eq!(net.layers[0].name, "ResNet Conv_3");
+        assert_eq!(net.layers[7].name, "MTTKRP_1");
+        assert!(net.layer("VGG Conv_2").is_some());
+        assert!(net.layer("nonexistent").is_none());
+        assert!(net.to_string().contains("8 layers"));
+    }
+
+    #[test]
+    fn builder_preserves_order_and_repeats() {
+        let net = Network::new("toy")
+            .with_layer("a", ProblemSpec::conv1d(64, 3), 2)
+            .with_layer("b", ProblemSpec::conv1d(128, 5), 1)
+            .with_layer("a_again", ProblemSpec::conv1d(64, 3), 3);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.total_instances(), 6);
+        assert_eq!(net.layers[0].repeat, 2);
+        assert_eq!(net.layer("b").unwrap().problem.name, "conv1d_w128_r5");
+        assert!(!net.is_empty());
+        assert!(Network::new("empty").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat count")]
+    fn zero_repeat_is_rejected() {
+        let _ = Network::new("bad").with_layer("x", ProblemSpec::conv1d(64, 3), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Serve the whole Table 1 problem set through one [`MappingService`]: all
+//! eight layers are scheduled over a single shared evaluation pool, repeated
+//! requests replay from the result cache, and the aggregate report sums
+//! energy/delay/EDP across the network.
+//!
+//! ```bash
+//! cargo run --release --example serve_table1
+//! # knobs:
+//! MM_SERVE_WORKERS=8 MM_SERVE_SEARCH_SIZE=20000 cargo run --release --example serve_table1
+//! ```
+
+use mind_mappings::prelude::*;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let workers = env_u64("MM_SERVE_WORKERS", 4) as usize;
+    let search_size = env_u64("MM_SERVE_SEARCH_SIZE", 4_000);
+
+    let net = table1_network();
+    let config = ServeConfig {
+        workers,
+        max_active_jobs: workers.max(2),
+        seed: 1,
+        search_size,
+        ..ServeConfig::default()
+    };
+    let mut service = MappingService::new(evaluated_accelerator(), config);
+
+    println!(
+        "serving {net} over {} shared pool workers, {search_size} evals/layer\n",
+        service.pool_workers()
+    );
+    let report = service.map_network(&net);
+
+    println!(
+        "{:<18} {:>6} {:>13} {:>13} {:>13}  cache",
+        "layer", "evals", "EDP (J·s)", "energy (pJ)", "delay (s)"
+    );
+    for layer in &report.layers {
+        println!(
+            "{:<18} {:>6} {:>13.3e} {:>13.3e} {:>13.3e}  {}",
+            layer.layer,
+            layer.evaluations,
+            layer.edp(),
+            layer.energy_pj().unwrap_or(f64::NAN),
+            layer.delay_s().unwrap_or(f64::NAN),
+            if layer.cache_hit { "hit" } else { "miss" },
+        );
+    }
+    println!(
+        "\n{} unique searches, {} cache hits, {} evaluations in {:.2}s ({:.0} evals/s)",
+        report.unique_searches,
+        report.cache_hits,
+        report.total_evaluations,
+        report.wall_time_s,
+        report.evals_per_sec
+    );
+    println!(
+        "aggregate: energy {:.3e} pJ, delay {:.3e} s, network EDP {:.3e} J·s (Σ layer EDP {:.3e})",
+        report.aggregate.total_energy_pj.unwrap(),
+        report.aggregate.total_delay_s.unwrap(),
+        report.aggregate.total_edp_js.unwrap(),
+        report.aggregate.sum_layer_edp_js,
+    );
+
+    // The long-lived service answers the same network again from cache.
+    let again = service.map_network(&net);
+    println!(
+        "\nsecond request: {} cache hits, {} fresh evaluations, {:.4}s",
+        again.cache_hits, again.total_evaluations, again.wall_time_s
+    );
+    assert_eq!(again.total_evaluations, 0);
+    for (a, b) in report.layers.iter().zip(&again.layers) {
+        assert_eq!(
+            a.best_mapping, b.best_mapping,
+            "cache replays the identical mapping"
+        );
+        assert_eq!(a.best_metrics, b.best_metrics);
+    }
+}

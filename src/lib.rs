@@ -16,7 +16,10 @@
 //! * [`core`] — the Mind Mappings framework (surrogate + gradient search);
 //! * [`mapper`] — the parallel mapper-orchestration engine (evaluation
 //!   pool, multi-threaded sharded search, termination policies);
-//! * [`workloads`] — CNN-Layer, MTTKRP, 1D-Conv, and the Table 1 problems.
+//! * [`serve`] — the whole-network mapping service (shared eval pool,
+//!   result cache, batched surrogate evaluation);
+//! * [`workloads`] — CNN-Layer, MTTKRP, 1D-Conv, the Table 1 problems, and
+//!   whole-network workloads.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
@@ -27,6 +30,7 @@ pub use mm_mapper as mapper;
 pub use mm_mapspace as mapspace;
 pub use mm_nn as nn;
 pub use mm_search as search;
+pub use mm_serve as serve;
 pub use mm_workloads as workloads;
 
 /// Convenience prelude bringing the most commonly used types into scope.
@@ -44,7 +48,10 @@ pub mod prelude {
         Budget, GeneticAlgorithm, Objective, ProposalSearch, RandomSearch, SearchTrace, Searcher,
         SimulatedAnnealing,
     };
-    pub use mm_workloads::{cnn::CnnLayer, evaluated_accelerator, mttkrp::MttkrpShape, table1};
+    pub use mm_serve::{MappingService, NetworkReport, ServeConfig, SurrogateEvaluator};
+    pub use mm_workloads::{
+        cnn::CnnLayer, evaluated_accelerator, mttkrp::MttkrpShape, table1, table1_network, Network,
+    };
 }
 
 #[cfg(test)]
@@ -60,5 +67,8 @@ mod tests {
         assert!(policy.is_bounded());
         assert_eq!(OptMetric::parse("edp"), Some(OptMetric::Edp));
         assert_eq!(MapperConfig::default().threads, 1);
+        // The serving surface is reachable through the prelude too.
+        assert!(ServeConfig::default().use_cache);
+        assert_eq!(table1_network().len(), 8);
     }
 }
