@@ -1,0 +1,117 @@
+//! Shard-scaling bench: sharded mapper quality/coverage across 1/2/4/8
+//! pairwise-disjoint map-space shards, deterministic split vs work stealing,
+//! over conv1d + the Table 1 set; plus a criterion micro-benchmark of a
+//! small sharded mapper run.
+//!
+//! Writes a `BENCH_shard.json` summary under the results directory
+//! (override with `MM_RESULTS_DIR`). Tune with `MM_SHARD_BENCH_EVALS`
+//! (evaluations per problem per point, default 2000) and
+//! `MM_SHARD_BENCH_THREADS` (worker threads, default 2).
+//!
+//! Quality numbers are iso-budget and deterministic per configuration; the
+//! wall-clock columns only show parallel speedups on ≥ 2 usable cores
+//! (`available_parallelism` is recorded in the JSON — see EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, Criterion};
+use mm_accel::CostModel;
+use mm_bench::{report, run_shard_bench};
+use mm_mapper::{
+    CostEvaluator, Mapper, MapperConfig, MapperSchedule, ModelEvaluator, TerminationPolicy,
+};
+use mm_mapspace::{MapSpace, ProblemSpec};
+use mm_search::RandomSearch;
+use mm_workloads::evaluated_accelerator;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Criterion view: wall-clock of a small fixed sharded mapper run.
+fn bench_sharded_mapper(c: &mut Criterion) {
+    let arch = evaluated_accelerator();
+    let problem = ProblemSpec::conv1d(1024, 7);
+    let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+    let evaluator: Arc<dyn CostEvaluator> =
+        Arc::new(ModelEvaluator::edp(CostModel::new(arch, problem)));
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for (shards, schedule) in [
+        (1usize, MapperSchedule::Deterministic),
+        (4, MapperSchedule::Deterministic),
+        (4, MapperSchedule::WorkStealing),
+    ] {
+        group.bench_function(
+            format!("conv1d/{shards}shards/{schedule:?}/512evals"),
+            |b| {
+                b.iter(|| {
+                    Mapper::new(MapperConfig {
+                        threads: 2,
+                        shards: Some(shards),
+                        shard_space: shards > 1,
+                        schedule,
+                        termination: TerminationPolicy::search_size(512),
+                        ..MapperConfig::default()
+                    })
+                    .run(&space, Arc::clone(&evaluator), |_| {
+                        Box::new(RandomSearch::new())
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_mapper);
+
+fn main() {
+    benches();
+
+    let evals = env_u64("MM_SHARD_BENCH_EVALS", 2000);
+    let threads = env_u64("MM_SHARD_BENCH_THREADS", 2) as usize;
+    let result = run_shard_bench(evals, threads, 7);
+
+    println!();
+    println!(
+        "sharded mapper over {} problems x {} evals, {} worker thread(s) ({} core(s) available)",
+        result.problems.len(),
+        result.evals_per_problem,
+        result.threads,
+        result.available_parallelism
+    );
+    let rows: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.shards.to_string(),
+                p.schedule.clone(),
+                format!("{:.4e}", p.geomean_best_edp),
+                p.distinct_best_l2_orders.to_string(),
+                p.total_evaluations.to_string(),
+                report::fmt(p.wall_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::format_table(
+            &[
+                "shards",
+                "schedule",
+                "geomean_best_edp",
+                "distinct_L2_orders",
+                "evals",
+                "wall_s"
+            ],
+            &rows
+        )
+    );
+    let path = result.write_json().expect("write BENCH_shard.json");
+    println!("wrote {}", path.display());
+}

@@ -22,11 +22,13 @@ pub mod mapper_scaling;
 pub mod report;
 pub mod scale;
 pub mod serve_bench;
+pub mod shard_bench;
 
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
 pub use mapper_scaling::{run_mapper_scaling, MapperScalingResult, ScalingPoint};
 pub use scale::ExperimentScale;
 pub use serve_bench::{run_serve_bench, ServeBenchResult};
+pub use shard_bench::{run_shard_bench, ShardBenchPoint, ShardBenchResult};
 
 use mm_core::{MindMappingsError, Phase1Config, Surrogate};
 use mm_nn::TrainHistory;

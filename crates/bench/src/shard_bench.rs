@@ -1,0 +1,210 @@
+//! Shard-scaling measurement: best-EDP and coverage of the sharded mapper
+//! across shard counts and budget schedules, over conv1d + the Table 1 set.
+//!
+//! For each shard count (1/2/4/8) and each schedule (deterministic split vs
+//! work stealing), every target problem gets one `Mapper` run with the map
+//! space partitioned into pairwise-disjoint shards (`MapSpace::shard`) and a
+//! fixed total evaluation budget. The JSON (`BENCH_shard.json`) records:
+//!
+//! * **best EDP** (geometric mean over the problem set) — does disjoint
+//!   coverage help or hurt solution quality at iso-budget?
+//! * **coverage** — how many distinct L2 loop orders the per-shard best
+//!   mappings span (the restricted axis; 1 shard explores orders freely but
+//!   reports a single best, `n` disjoint shards are *guaranteed* `≥ 1`
+//!   distinct best region each);
+//! * wall time and total evaluations (work stealing must spend the whole
+//!   budget even when shards exhaust unevenly).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mm_accel::CostModel;
+use mm_mapper::{
+    CostEvaluator, Mapper, MapperConfig, MapperSchedule, ModelEvaluator, TerminationPolicy,
+};
+use mm_mapspace::{MapSpace, ProblemSpec};
+use mm_search::SimulatedAnnealing;
+use mm_workloads::{evaluated_accelerator, table1};
+
+use crate::report::results_dir;
+
+/// One measured (shard count, schedule) configuration.
+#[derive(Debug, Clone)]
+pub struct ShardBenchPoint {
+    /// Number of pairwise-disjoint map-space shards.
+    pub shards: usize,
+    /// `"deterministic"` or `"work_stealing"`.
+    pub schedule: String,
+    /// Geometric-mean best EDP (J·s) over the problem set.
+    pub geomean_best_edp: f64,
+    /// Σ distinct L2 loop orders among per-shard best mappings, over the
+    /// problem set (coverage of the sharded axis).
+    pub distinct_best_l2_orders: usize,
+    /// Σ evaluations across all runs of this configuration.
+    pub total_evaluations: u64,
+    /// Σ wall seconds across all runs of this configuration.
+    pub wall_s: f64,
+}
+
+/// The shard-scaling measurement set.
+#[derive(Debug, Clone)]
+pub struct ShardBenchResult {
+    /// Problems measured (conv1d + the Table 1 rows).
+    pub problems: Vec<String>,
+    /// Evaluation budget per problem per configuration.
+    pub evals_per_problem: u64,
+    /// Worker threads executing the shards.
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    /// One point per (shard count, schedule).
+    pub points: Vec<ShardBenchPoint>,
+}
+
+impl ShardBenchResult {
+    /// Serialize as the `BENCH_shard.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"shard_scaling\",\n");
+        out.push_str(&format!(
+            "  \"problems\": {:?},\n  \"evals_per_problem\": {},\n  \"threads\": {},\n  \
+             \"available_parallelism\": {},\n  \"points\": [\n",
+            self.problems, self.evals_per_problem, self.threads, self.available_parallelism
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"schedule\": {:?}, \"geomean_best_edp\": {:.6e}, \
+                 \"distinct_best_l2_orders\": {}, \"total_evaluations\": {}, \
+                 \"wall_s\": {:.6}}}{}\n",
+                p.shards,
+                p.schedule,
+                p.geomean_best_edp,
+                p.distinct_best_l2_orders,
+                p.total_evaluations,
+                p.wall_s,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_shard.json` under the results directory, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("BENCH_shard.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The measured problem set: the toy conv1d plus every Table 1 row.
+fn problem_set() -> Vec<ProblemSpec> {
+    let mut problems = vec![ProblemSpec::conv1d(1024, 7)];
+    problems.extend(table1::all_problems().into_iter().map(|t| t.problem));
+    problems
+}
+
+/// Run the shard-scaling sweep: shard counts 1/2/4/8 × deterministic vs
+/// work-stealing schedules, `evals` evaluations per problem per point.
+pub fn run_shard_bench(evals: u64, threads: usize, seed: u64) -> ShardBenchResult {
+    let arch = evaluated_accelerator();
+    let problems = problem_set();
+    let mut points = Vec::new();
+
+    for &shards in &[1usize, 2, 4, 8] {
+        for schedule in [MapperSchedule::Deterministic, MapperSchedule::WorkStealing] {
+            let mut log_sum = 0.0f64;
+            let mut counted = 0usize;
+            let mut distinct_orders = 0usize;
+            let mut total_evaluations = 0u64;
+            let start = Instant::now();
+            for problem in &problems {
+                let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+                let evaluator: Arc<dyn CostEvaluator> = Arc::new(ModelEvaluator::edp(
+                    CostModel::new(arch.clone(), problem.clone()),
+                ));
+                let mapper = Mapper::new(MapperConfig {
+                    threads,
+                    shards: Some(shards),
+                    shard_space: shards > 1,
+                    schedule,
+                    seed,
+                    termination: TerminationPolicy::search_size(evals),
+                    ..MapperConfig::default()
+                });
+                let report = mapper.run(&space, evaluator, |_| {
+                    Box::new(SimulatedAnnealing::default())
+                });
+                total_evaluations += report.total_evaluations;
+                let best = report.best_cost();
+                if best.is_finite() && best > 0.0 {
+                    log_sum += best.ln();
+                    counted += 1;
+                }
+                let mut orders: Vec<&Vec<usize>> = report
+                    .shards
+                    .iter()
+                    .filter_map(|s| s.best.as_ref().map(|(m, _)| &m.loop_orders[1]))
+                    .collect();
+                orders.sort();
+                orders.dedup();
+                distinct_orders += orders.len();
+            }
+            points.push(ShardBenchPoint {
+                shards,
+                schedule: match schedule {
+                    MapperSchedule::Deterministic => "deterministic".to_string(),
+                    MapperSchedule::WorkStealing => "work_stealing".to_string(),
+                },
+                geomean_best_edp: if counted > 0 {
+                    (log_sum / counted as f64).exp()
+                } else {
+                    f64::INFINITY
+                },
+                distinct_best_l2_orders: distinct_orders,
+                total_evaluations,
+                wall_s: start.elapsed().as_secs_f64(),
+            });
+        }
+    }
+
+    ShardBenchResult {
+        problems: problems.iter().map(|p| p.name.clone()).collect(),
+        evals_per_problem: evals,
+        threads,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_shard_bench_produces_all_points_and_valid_json() {
+        let result = run_shard_bench(24, 2, 3);
+        assert_eq!(result.points.len(), 8, "4 shard counts x 2 schedules");
+        assert_eq!(result.problems.len(), 9, "conv1d + eight Table 1 rows");
+        for p in &result.points {
+            assert!(p.geomean_best_edp.is_finite() && p.geomean_best_edp > 0.0);
+            assert_eq!(p.total_evaluations, 24 * 9);
+            assert!(p.distinct_best_l2_orders >= result.problems.len());
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"shard_scaling\""));
+        assert!(json.contains("work_stealing"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -124,6 +124,12 @@ pub struct Phase2Config {
     pub temperature_decay: f64,
     /// Number of injections between temperature decays.
     pub decay_every_injections: u64,
+    /// Number of pairwise-disjoint map-space shards the online search covers
+    /// (`MapSpace::shard`): 1 (the default) searches the full space with one
+    /// trajectory; `n > 1` splits the iteration budget exactly across `n`
+    /// disjoint shards, each searched by its own trajectory, for provably
+    /// non-overlapping coverage. Clamped to the space's `shard_capacity`.
+    pub shards: usize,
 }
 
 impl Default for Phase2Config {
@@ -135,6 +141,7 @@ impl Default for Phase2Config {
             initial_temperature: 50.0,
             temperature_decay: 0.75,
             decay_every_injections: 50,
+            shards: 1,
         }
     }
 }
@@ -165,6 +172,7 @@ mod tests {
         assert!((c.initial_temperature - 50.0).abs() < 1e-9);
         assert!((c.temperature_decay - 0.75).abs() < 1e-9);
         assert_eq!(c.decay_every_injections, 50);
+        assert_eq!(c.shards, 1, "sharding is off by default");
     }
 
     #[test]

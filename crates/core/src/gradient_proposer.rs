@@ -16,7 +16,7 @@
 //! evaluations ([`ProposalSearch::lookahead`] is large), keeping every
 //! evaluation worker busy.
 
-use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
+use mm_mapspace::{MapSpaceView, Mapping, ProblemSpec};
 use mm_search::ProposalSearch;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -74,7 +74,7 @@ impl GradientProposer {
 
     /// Advance the surrogate trajectory by one iteration and return the
     /// resulting (projected, valid) mapping.
-    fn step(&mut self, space: &MapSpace, rng: &mut StdRng) -> Mapping {
+    fn step(&mut self, space: &dyn MapSpaceView, rng: &mut StdRng) -> Mapping {
         let cfg = &self.config;
         let state = self.state.as_mut().expect("begin() not called");
         state.iteration += 1;
@@ -136,7 +136,7 @@ impl ProposalSearch for GradientProposer {
         "MM"
     }
 
-    fn begin(&mut self, space: &MapSpace, _horizon: Option<u64>, rng: &mut StdRng) {
+    fn begin(&mut self, space: &dyn MapSpaceView, _horizon: Option<u64>, rng: &mut StdRng) {
         assert_eq!(
             (space.problem().num_dims(), space.problem().num_tensors()),
             (self.problem.num_dims(), self.problem.num_tensors()),
@@ -160,7 +160,13 @@ impl ProposalSearch for GradientProposer {
         1024
     }
 
-    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        max: usize,
+        out: &mut Vec<Mapping>,
+    ) {
         {
             let state = self.state.as_mut().expect("begin() not called");
             if !state.proposed_initial {
@@ -199,6 +205,7 @@ mod tests {
     use crate::config::Phase1Config;
     use crate::dataset::generate_training_set;
     use mm_accel::{Architecture, CostModel};
+    use mm_mapspace::MapSpace;
     use mm_search::{drive, Budget, FnObjective};
     use mm_workloads::conv1d::Conv1dFamily;
     use rand::SeedableRng;

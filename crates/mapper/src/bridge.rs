@@ -18,7 +18,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use mm_search::{Budget, Objective, ProposalSearch, SearchTrace, Searcher};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -117,12 +117,12 @@ impl ProposalSearch for BridgedSearcher {
         &self.name
     }
 
-    fn begin(&mut self, space: &MapSpace, horizon: Option<u64>, rng: &mut StdRng) {
+    fn begin(&mut self, space: &dyn MapSpaceView, horizon: Option<u64>, rng: &mut StdRng) {
         let _ = self.shutdown();
         let (proposal_tx, proposal_rx) = channel::<Mapping>();
         let (cost_tx, cost_rx) = channel::<f64>();
         let mut searcher = (self.factory)();
-        let space = space.clone();
+        let space = space.clone_view();
         // u64::MAX - 1 (not MAX) so the closed-channel sentinel query count
         // still registers as exhausted.
         let budget = Budget::iterations(horizon.unwrap_or(u64::MAX - 1));
@@ -134,7 +134,7 @@ impl ProposalSearch for BridgedSearcher {
                 queries: 0,
                 closed: false,
             };
-            searcher.search(&space, &mut objective, budget, &mut inner_rng)
+            searcher.search(&*space, &mut objective, budget, &mut inner_rng)
         });
         self.session = Some(Session {
             proposal_rx,
@@ -147,7 +147,7 @@ impl ProposalSearch for BridgedSearcher {
 
     fn propose(
         &mut self,
-        _space: &MapSpace,
+        _space: &dyn MapSpaceView,
         _rng: &mut StdRng,
         _max: usize,
         out: &mut Vec<Mapping>,
@@ -178,7 +178,7 @@ impl ProposalSearch for BridgedSearcher {
 mod tests {
     use super::*;
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::ProblemSpec;
+    use mm_mapspace::{MapSpace, ProblemSpec};
     use mm_search::{DdpgAgent, DdpgConfig, FnObjective, SimulatedAnnealing};
 
     fn setup() -> (MapSpace, CostModel) {

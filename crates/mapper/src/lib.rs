@@ -20,8 +20,11 @@
 //! * [`BridgedSearcher`] — adapts any monolithic `Searcher` (e.g. the DDPG
 //!   agent) to the stepwise protocol by inverting control on a dedicated
 //!   thread;
-//! * [`Mapper`] — the driver: shards the search across N deterministically
-//!   seeded threads, syncs a shared best mapping every
+//! * [`Mapper`] — the driver: partitions the search into deterministically
+//!   seeded logical shards (optionally slicing the map space itself into
+//!   pairwise-disjoint subspaces via `MapSpace::shard`), executes them on a
+//!   worker-thread pool with a deterministic or work-stealing budget
+//!   schedule, syncs a shared best mapping every
 //!   [`MapperConfig::sync_interval`] evaluations, and terminates on
 //!   Timeloop-style [`TerminationPolicy`] knobs (`search_size`,
 //!   `victory_condition`, `timeout`).
@@ -58,7 +61,9 @@ pub mod policy;
 
 pub use bridge::{BridgedSearcher, SearcherFactory};
 pub use eval::{CostEvaluator, EvalPool, EvaluatorObjective, FnEvaluator, ModelEvaluator};
-pub use mapper::{derive_stream_seed, Mapper, MapperConfig, MapperReport, ThreadReport};
+pub use mapper::{
+    derive_stream_seed, Mapper, MapperConfig, MapperReport, MapperSchedule, ShardReport,
+};
 pub use metrics::{Evaluation, OptMetric};
 pub use pipeline::{run_pipelined, MIN_PIPELINE_DEPTH};
-pub use policy::{StopReason, TerminationPolicy};
+pub use policy::{split_evenly, StopReason, TerminationPolicy};

@@ -1,56 +1,98 @@
-//! The [`Mapper`] driver: multi-threaded, sharded mapping space search.
+//! The [`Mapper`] driver: multi-threaded search over sharded map spaces.
 //!
-//! Follows the proven Timeloop-mapper architecture: the map space is divvied
-//! across `threads` independent search threads (each running its own
-//! [`ProposalSearch`] instance over a deterministically derived RNG stream),
-//! every thread periodically publishes its best-so-far mapping to a shared
-//! global best, and threads terminate via the configurable
-//! [`TerminationPolicy`] (`search_size` / `victory_condition` / `timeout`).
+//! Follows the proven Timeloop-mapper architecture, with the map space
+//! partitioned into **logical shards** executed by a pool of **worker
+//! threads** — the two are decoupled:
 //!
-//! # Determinism
+//! * [`MapperConfig::shards`] fixes how many independent search units exist
+//!   (default: one per thread). Each shard owns a deterministically derived
+//!   RNG stream, its own [`ProposalSearch`] instance, and — when
+//!   [`MapperConfig::shard_space`] is set — a pairwise-disjoint slice of the
+//!   map space itself ([`MapSpace::shard`]), so shards provably never cover
+//!   the same mappings.
+//! * [`MapperConfig::threads`] fixes how many OS threads execute them.
+//!   Workers pull shards off a queue; shard results are merged in shard
+//!   order.
 //!
-//! Thread `t` of a run with seed `s` always sees the same RNG stream
-//! (derived as `splitmix(s, t)`) and — under a pure `search_size` policy —
-//! performs exactly the same evaluations, regardless of scheduling. The
-//! final best is merged across threads in thread-index order with strictly-
-//! better-wins comparison, so *same seed + same thread count ⇒ identical
-//! best mapping*. Two things intentionally trade determinism away when
-//! enabled: wall-clock `timeout`, and
-//! [`MapperConfig::adopt_global_best`] (threads steering by each others'
-//! progress).
+//! # Scheduling and determinism
+//!
+//! [`MapperSchedule::Deterministic`] gives every shard its exact
+//! [`split_evenly`](crate::policy::split_evenly) share of `search_size` up
+//! front. Shard `s` of a run with seed `q` always performs the same
+//! evaluations, so [`MapperReport::canonical_string`] is **byte-identical
+//! across worker counts** — 1 thread or 16, same report.
+//!
+//! [`MapperSchedule::WorkStealing`] pools `search_size` in a shared ledger:
+//! shards claim budget in batches as they go, and a shard whose searcher
+//! exhausts (or declares victory) returns its unclaimed budget for the
+//! remaining shards to steal. The full budget is spent even when shards
+//! finish unevenly — at the cost of run-to-run determinism under real
+//! concurrency.
+//!
+//! Two further things intentionally trade determinism away when enabled:
+//! wall-clock `timeout`, and [`MapperConfig::adopt_global_best`] (shards
+//! steering by each others' progress).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpace, MapSpaceView, Mapping};
 use mm_search::{ProposalSearch, SearchTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::eval::CostEvaluator;
 use crate::metrics::Evaluation;
 use crate::policy::{StopReason, TerminationPolicy};
 
+/// How shard budgets are scheduled onto worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MapperSchedule {
+    /// Every shard gets its exact `search_size` share up front. Preserves
+    /// the per-shard replay guarantee: the canonical report is byte-identical
+    /// across worker counts.
+    #[default]
+    Deterministic,
+    /// Shards claim evaluation budget from a shared ledger in batches; idle
+    /// capacity (an exhausted or victorious shard's leftover budget) is
+    /// stolen by unfinished shards. Spends the whole budget under
+    /// heterogeneous searchers, but is not deterministic under concurrency.
+    WorkStealing,
+}
+
 /// Configuration of a [`Mapper`] run.
 #[derive(Debug, Clone)]
 pub struct MapperConfig {
-    /// Number of search threads.
+    /// Number of worker threads executing shards.
     pub threads: usize,
-    /// Master seed; per-thread streams are derived deterministically.
+    /// Number of logical search shards (`None`: one per thread). Shard
+    /// results and RNG streams depend only on the shard index, never on
+    /// which thread runs the shard.
+    pub shards: Option<usize>,
+    /// Partition the map space itself across shards via [`MapSpace::shard`]
+    /// (pairwise-disjoint loop-order/tiling slices) instead of separating
+    /// shards by RNG stream alone. Shard counts beyond the space's
+    /// [`MapSpace::shard_capacity`] are clamped.
+    pub shard_space: bool,
+    /// Budget scheduling across shards.
+    pub schedule: MapperSchedule,
+    /// Master seed; per-shard streams are derived deterministically.
     pub seed: u64,
-    /// Evaluations between a thread publishing its best to the shared
+    /// Evaluations between a shard publishing its best to the shared
     /// global best.
     pub sync_interval: u64,
-    /// Maximum proposals a thread requests per driver iteration (bounded
+    /// Maximum proposals a shard requests per driver iteration (bounded
     /// further by the searcher's own lookahead).
     pub batch_size: usize,
     /// When to stop.
     pub termination: TerminationPolicy,
     /// Let searchers observe the shared global best at sync points
-    /// (faster convergence, but multi-thread runs become non-deterministic).
+    /// (faster convergence, but multi-shard runs become non-deterministic).
     pub adopt_global_best: bool,
-    /// Record a full per-thread [`SearchTrace`] (costs mapping clones per
+    /// Record a full per-shard [`SearchTrace`] (costs mapping clones per
     /// evaluation; leave off for throughput measurements).
     pub record_traces: bool,
 }
@@ -59,6 +101,9 @@ impl Default for MapperConfig {
     fn default() -> Self {
         MapperConfig {
             threads: 1,
+            shards: None,
+            shard_space: false,
+            schedule: MapperSchedule::Deterministic,
             seed: 0,
             sync_interval: 64,
             batch_size: 16,
@@ -69,16 +114,16 @@ impl Default for MapperConfig {
     }
 }
 
-/// What one search thread did.
+/// What one search shard did.
 #[derive(Debug, Clone)]
-pub struct ThreadReport {
-    /// Thread index.
-    pub thread: usize,
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
     /// Evaluations performed.
     pub evaluations: u64,
-    /// Best mapping found by this thread and its metrics.
+    /// Best mapping found by this shard and its metrics.
     pub best: Option<(Mapping, Evaluation)>,
-    /// Why the thread stopped.
+    /// Why the shard stopped.
     pub stop: StopReason,
     /// Full trace, when [`MapperConfig::record_traces`] is set.
     pub trace: Option<SearchTrace>,
@@ -87,18 +132,18 @@ pub struct ThreadReport {
 /// The result of a [`Mapper`] run.
 #[derive(Debug, Clone)]
 pub struct MapperReport {
-    /// Globally best mapping (merged across threads in thread order).
+    /// Globally best mapping (merged across shards in shard order).
     pub best_mapping: Option<Mapping>,
     /// Metrics of the best mapping, in the evaluator's priority order.
     pub best_metrics: Option<Evaluation>,
-    /// Total evaluations across all threads.
+    /// Total evaluations across all shards.
     pub total_evaluations: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
     /// Aggregate evaluation throughput.
     pub evals_per_sec: f64,
-    /// Per-thread details, indexed by thread.
-    pub threads: Vec<ThreadReport>,
+    /// Per-shard details, indexed by shard.
+    pub shards: Vec<ShardReport>,
 }
 
 impl MapperReport {
@@ -107,6 +152,35 @@ impl MapperReport {
         self.best_metrics
             .as_ref()
             .map_or(f64::INFINITY, Evaluation::primary)
+    }
+
+    /// Render the deterministic portion of the report — everything except
+    /// the wall-clock fields — as a stable string. Under
+    /// [`MapperSchedule::Deterministic`] (and no wall-clock `timeout` /
+    /// `adopt_global_best`), the same seed and shard count produce
+    /// byte-identical output **regardless of worker count**.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard={} evals={} stop={:?} metrics={:?} mapping={:?}",
+                s.shard,
+                s.evaluations,
+                s.stop,
+                s.best.as_ref().map(|(_, e)| &e.metrics),
+                s.best.as_ref().map(|(m, _)| m),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total_evaluations={} best_metrics={:?} best_mapping={:?}",
+            self.total_evaluations,
+            self.best_metrics.as_ref().map(|e| &e.metrics),
+            self.best_mapping,
+        );
+        out
     }
 }
 
@@ -133,18 +207,85 @@ impl GlobalBest {
     }
 }
 
+/// The shared evaluation-budget ledger of [`MapperSchedule::WorkStealing`]:
+/// shards claim budget in batches and return what they cannot use.
+///
+/// `outstanding` tracks budget claimed but not yet evaluated, so a shard
+/// finding the ledger dry waits for in-flight grants (which may be refunded
+/// by an exhausting peer) instead of stopping early and losing budget.
+struct BudgetLedger {
+    remaining: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+impl BudgetLedger {
+    fn new(total: u64) -> Self {
+        BudgetLedger {
+            remaining: AtomicU64::new(total),
+            outstanding: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim up to `want` evaluations. Returns 0 only when the ledger is dry
+    /// *and* no peer holds claimed-but-unused budget that could be refunded.
+    fn claim(&self, want: u64) -> u64 {
+        loop {
+            let cur = self.remaining.load(Ordering::SeqCst);
+            let take = want.min(cur);
+            if take > 0 {
+                if self
+                    .remaining
+                    .compare_exchange(cur, cur - take, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    self.outstanding.fetch_add(take, Ordering::SeqCst);
+                    return take;
+                }
+                continue;
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return 0;
+            }
+            // A peer still holds budget: it will be spent or refunded.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Mark one claimed evaluation as spent.
+    fn consume(&self) {
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Return unused claimed budget for other shards to steal.
+    fn refund(&self, unused: u64) {
+        if unused > 0 {
+            self.remaining.fetch_add(unused, Ordering::SeqCst);
+            self.outstanding.fetch_sub(unused, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Where a shard's evaluation budget comes from.
+#[derive(Clone, Copy)]
+enum BudgetSource<'a> {
+    /// A fixed share granted up front (`None` = unbounded by search size).
+    Fixed(Option<u64>),
+    /// Batched claims against the shared work-stealing ledger.
+    Ledger(&'a BudgetLedger),
+}
+
 /// Deterministic RNG-stream seed derivation (SplitMix64 over seed ⊕ index):
 /// stream `i` of master seed `s` is always the same, and distinct indices
-/// give decorrelated streams. Used for the mapper's per-thread streams and
+/// give decorrelated streams. Used for the mapper's per-shard streams and
 /// exported for any orchestrator needing the same guarantee (e.g.
 /// `mm-serve`'s per-job streams).
 pub fn derive_stream_seed(master: u64, index: usize) -> u64 {
-    thread_seed(master, index)
+    shard_seed(master, index)
 }
 
-/// Deterministic per-thread seed derivation (SplitMix64 over seed ⊕ index).
-fn thread_seed(master: u64, thread: usize) -> u64 {
-    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1));
+/// Deterministic per-shard seed derivation (SplitMix64 over seed ⊕ index).
+fn shard_seed(master: u64, shard: usize) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -167,9 +308,22 @@ impl Mapper {
         &self.config
     }
 
-    /// Run the search: `factory(t)` builds the searcher for thread `t`
-    /// (typically identical searchers, diverging only through their derived
-    /// RNG streams), `evaluator` scores proposals.
+    /// The number of logical shards a run over `space` will use (the
+    /// configured count, clamped to the space's shard capacity when
+    /// [`MapperConfig::shard_space`] is set).
+    pub fn effective_shards(&self, space: &MapSpace) -> usize {
+        let shards = self.config.shards.unwrap_or(self.config.threads).max(1);
+        if self.config.shard_space {
+            space.clamp_shard_count(shards)
+        } else {
+            shards
+        }
+    }
+
+    /// Run the search: `factory(s)` builds the searcher for shard `s`
+    /// (typically identical searchers, diverging through their derived RNG
+    /// streams and — with [`MapperConfig::shard_space`] — their disjoint
+    /// map-space slices), `evaluator` scores proposals.
     ///
     /// # Panics
     ///
@@ -186,35 +340,78 @@ impl Mapper {
             "unbounded termination policy: set search_size, victory_condition, or timeout"
         );
         let threads = self.config.threads.max(1);
-        let searchers: Vec<Box<dyn ProposalSearch>> = (0..threads).map(&mut factory).collect();
+        let shards = self.effective_shards(space);
 
+        // Per-shard views: disjoint slices of the space when sharding the
+        // space itself, otherwise the full space per shard (RNG-stream
+        // sharding only).
+        let views: Vec<Box<dyn MapSpaceView>> = (0..shards)
+            .map(|s| {
+                if self.config.shard_space && shards > 1 {
+                    Box::new(space.shard(s, shards)) as Box<dyn MapSpaceView>
+                } else {
+                    Box::new(space.clone()) as Box<dyn MapSpaceView>
+                }
+            })
+            .collect();
         let global = GlobalBest::default();
         let stop = AtomicBool::new(false);
         let start = Instant::now();
 
-        let mut reports: Vec<ThreadReport> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for (t, searcher) in searchers.into_iter().enumerate() {
-                let global = &global;
-                let stop = &stop;
-                let evaluator = Arc::clone(&evaluator);
-                let config = &self.config;
-                handles.push(scope.spawn(move || {
-                    run_thread(
-                        t, threads, config, space, evaluator, searcher, global, stop, start,
-                    )
-                }));
+        // Phase 1 — every shard runs on its exact `split_evenly` share
+        // (identical under both schedules, so work stealing degenerates to
+        // the deterministic schedule when shards finish evenly).
+        let runs: Vec<ShardRun> = (0..shards)
+            .map(|s| ShardRun::start(s, shards, &self.config, &*views[s], factory(s)))
+            .collect();
+        let workers = threads.min(shards).max(1);
+        let (mut runs, surplus) = execute_queue(
+            &self.config,
+            runs,
+            None,
+            workers,
+            &evaluator,
+            &global,
+            &stop,
+            start,
+        );
+
+        // Phase 2 (work stealing only) — leftover budget from shards that
+        // exhausted or declared victory early is pooled in a shared ledger
+        // and stolen by the shards still willing to search.
+        if self.config.schedule == MapperSchedule::WorkStealing
+            && surplus > 0
+            && !stop.load(Ordering::Relaxed)
+        {
+            let (willing, done): (Vec<ShardRun>, Vec<ShardRun>) = runs
+                .into_iter()
+                .partition(|r| r.stop_reason == StopReason::SearchSize);
+            let mut finished = done;
+            if willing.is_empty() {
+                runs = finished;
+            } else {
+                let ledger = BudgetLedger::new(surplus);
+                let (stolen, _) = execute_queue(
+                    &self.config,
+                    willing,
+                    Some(&ledger),
+                    workers,
+                    &evaluator,
+                    &global,
+                    &stop,
+                    start,
+                );
+                finished.extend(stolen);
+                runs = finished;
             }
-            for handle in handles {
-                reports.push(handle.join().expect("mapper thread panicked"));
-            }
-        });
-        // Joined in spawn order, so reports are already thread-ordered.
+        }
+        runs.sort_by_key(|r| r.shard);
+
+        let reports: Vec<ShardReport> = runs.into_iter().map(ShardRun::finish).collect();
 
         let wall_time_s = start.elapsed().as_secs_f64();
         let total_evaluations: u64 = reports.iter().map(|r| r.evaluations).sum();
-        // Deterministic merge: thread order, strictly-better-wins.
+        // Deterministic merge: shard order, strictly-better-wins.
         let mut best: Option<(Mapping, Evaluation)> = None;
         for report in &reports {
             if let Some((mapping, eval)) = &report.best {
@@ -241,123 +438,245 @@ impl Mapper {
             } else {
                 0.0
             },
-            threads: reports,
+            shards: reports,
         }
     }
 }
 
-/// One search thread's loop: propose → evaluate inline → report, with
-/// periodic global-best sync and termination checks.
-#[allow(clippy::too_many_arguments)]
-fn run_thread(
-    thread: usize,
-    threads: usize,
-    config: &MapperConfig,
-    space: &MapSpace,
-    evaluator: Arc<dyn CostEvaluator>,
-    mut searcher: Box<dyn ProposalSearch>,
-    global: &GlobalBest,
-    stop: &AtomicBool,
-    start: Instant,
-) -> ThreadReport {
-    let policy = &config.termination;
-    let share = policy.per_thread_search_size(thread, threads);
-    let mut rng = StdRng::seed_from_u64(thread_seed(config.seed, thread));
-    searcher.begin(space, share, &mut rng);
+/// One shard's live search state, carried across scheduling phases so a
+/// work-stealing continuation resumes the same searcher, RNG stream, trace,
+/// and victory counter exactly where the reserved-budget phase stopped.
+struct ShardRun<'a> {
+    shard: usize,
+    space: &'a dyn MapSpaceView,
+    searcher: Box<dyn ProposalSearch>,
+    rng: StdRng,
+    trace: Option<SearchTrace>,
+    best: Option<(Mapping, Evaluation)>,
+    evaluations: u64,
+    since_improvement: u64,
+    stop_reason: StopReason,
+    /// Reserved budget this shard could not use (exhausted/victory), to be
+    /// pooled for stealing.
+    leftover: u64,
+}
 
-    let mut trace = config
-        .record_traces
-        .then(|| SearchTrace::new(searcher.name()));
-    let mut best: Option<(Mapping, Evaluation)> = None;
-    let mut evaluations = 0u64;
-    let mut since_improvement = 0u64;
-    let mut buf: Vec<Mapping> = Vec::new();
-    let stop_reason;
-
-    'search: loop {
-        if stop.load(Ordering::Relaxed) {
-            stop_reason = StopReason::GlobalStop;
-            break;
+impl<'a> ShardRun<'a> {
+    /// Seed the shard's RNG stream and begin its searcher.
+    fn start(
+        shard: usize,
+        shards: usize,
+        config: &MapperConfig,
+        space: &'a dyn MapSpaceView,
+        mut searcher: Box<dyn ProposalSearch>,
+    ) -> Self {
+        // Horizon estimate for schedule-based searchers (SA cooling): the
+        // exact share under the deterministic schedule, the even-split
+        // estimate under work stealing.
+        let horizon = config.termination.per_shard_search_size(shard, shards);
+        let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, shard));
+        searcher.begin(space, horizon, &mut rng);
+        let trace = config
+            .record_traces
+            .then(|| SearchTrace::new(searcher.name()));
+        ShardRun {
+            shard,
+            space,
+            searcher,
+            rng,
+            trace,
+            best: None,
+            evaluations: 0,
+            since_improvement: 0,
+            stop_reason: StopReason::SearchSize,
+            leftover: 0,
         }
-        if let Some(timeout) = policy.timeout {
-            if start.elapsed() >= timeout {
-                stop.store(true, Ordering::Relaxed);
-                stop_reason = StopReason::Timeout;
+    }
+
+    /// Drive the shard against `budget` until a stop criterion fires:
+    /// propose → evaluate inline → report, with periodic global-best sync.
+    fn drive(
+        &mut self,
+        config: &MapperConfig,
+        evaluator: &Arc<dyn CostEvaluator>,
+        budget: BudgetSource<'_>,
+        global: &GlobalBest,
+        stop: &AtomicBool,
+        start: Instant,
+    ) {
+        let policy = &config.termination;
+        let mut buf: Vec<Mapping> = Vec::new();
+        // Evaluations this shard may still perform without consulting its
+        // budget source again.
+        let mut granted: u64 = match budget {
+            BudgetSource::Fixed(share) => share.unwrap_or(u64::MAX),
+            BudgetSource::Ledger(_) => 0,
+        };
+        self.leftover = 0;
+        let stop_reason;
+
+        'search: loop {
+            if stop.load(Ordering::Relaxed) {
+                stop_reason = StopReason::GlobalStop;
                 break;
             }
-        }
-        if let Some(share) = share {
-            if evaluations >= share {
-                stop_reason = StopReason::SearchSize;
-                break;
-            }
-        }
-
-        let remaining = share.map_or(u64::MAX, |s| s - evaluations);
-        let max = (config.batch_size.max(1) as u64)
-            .min(remaining)
-            .min(searcher.lookahead() as u64) as usize;
-        buf.clear();
-        searcher.propose(space, &mut rng, max.max(1), &mut buf);
-        if buf.is_empty() {
-            stop_reason = StopReason::Exhausted;
-            break;
-        }
-
-        for mapping in &buf {
-            let eval = evaluator.evaluate(mapping);
-            evaluations += 1;
-            if let Some(trace) = trace.as_mut() {
-                trace.record(eval.primary(), mapping, start.elapsed());
-            }
-            let improved = match best.as_ref() {
-                None => true,
-                Some((_, incumbent)) => eval.better_than(incumbent),
-            };
-            if improved {
-                best = Some((mapping.clone(), eval.clone()));
-                since_improvement = 0;
-            } else {
-                since_improvement += 1;
-            }
-            searcher.report(mapping, eval.primary(), &mut rng);
-
-            if config.sync_interval > 0 && evaluations.is_multiple_of(config.sync_interval) {
-                if let Some((m, e)) = best.as_ref() {
-                    global.offer(m, e);
+            if let Some(timeout) = policy.timeout {
+                if start.elapsed() >= timeout {
+                    stop.store(true, Ordering::Relaxed);
+                    stop_reason = StopReason::Timeout;
+                    break;
                 }
-                if config.adopt_global_best {
-                    if let Some((m, e)) = global.snapshot() {
-                        searcher.observe_global_best(&m, e.primary());
+            }
+            if granted == 0 {
+                match budget {
+                    BudgetSource::Fixed(_) => {
+                        stop_reason = StopReason::SearchSize;
+                        break;
+                    }
+                    BudgetSource::Ledger(ledger) => {
+                        granted = ledger.claim(config.batch_size.max(1) as u64);
+                        if granted == 0 {
+                            stop_reason = StopReason::SearchSize;
+                            break;
+                        }
                     }
                 }
             }
 
-            if let Some(victory) = policy.victory_condition {
-                if since_improvement >= victory {
-                    stop_reason = StopReason::Victory;
-                    break 'search;
-                }
+            let max = (config.batch_size.max(1) as u64)
+                .min(granted)
+                .min(self.searcher.lookahead() as u64) as usize;
+            buf.clear();
+            self.searcher
+                .propose(self.space, &mut self.rng, max.max(1), &mut buf);
+            if buf.is_empty() {
+                stop_reason = StopReason::Exhausted;
+                break;
             }
-            if let Some(share) = share {
-                if evaluations >= share {
-                    stop_reason = StopReason::SearchSize;
-                    break 'search;
+
+            for mapping in &buf {
+                let eval = evaluator.evaluate(mapping);
+                self.evaluations += 1;
+                granted = granted.saturating_sub(1);
+                if let BudgetSource::Ledger(ledger) = budget {
+                    ledger.consume();
+                }
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(eval.primary(), mapping, start.elapsed());
+                }
+                let improved = match self.best.as_ref() {
+                    None => true,
+                    Some((_, incumbent)) => eval.better_than(incumbent),
+                };
+                if improved {
+                    self.best = Some((mapping.clone(), eval.clone()));
+                    self.since_improvement = 0;
+                } else {
+                    self.since_improvement += 1;
+                }
+                self.searcher.report(mapping, eval.primary(), &mut self.rng);
+
+                if config.sync_interval > 0 && self.evaluations.is_multiple_of(config.sync_interval)
+                {
+                    if let Some((m, e)) = self.best.as_ref() {
+                        global.offer(m, e);
+                    }
+                    if config.adopt_global_best {
+                        if let Some((m, e)) = global.snapshot() {
+                            self.searcher.observe_global_best(&m, e.primary());
+                        }
+                    }
+                }
+
+                if let Some(victory) = policy.victory_condition {
+                    if self.since_improvement >= victory {
+                        stop_reason = StopReason::Victory;
+                        break 'search;
+                    }
                 }
             }
         }
+
+        // Unused budget: pooled for stealing (fixed shares) or refunded to
+        // the ledger for the other shards still claiming from it.
+        match budget {
+            BudgetSource::Fixed(Some(_)) if granted < u64::MAX => self.leftover = granted,
+            BudgetSource::Ledger(ledger) => ledger.refund(granted),
+            BudgetSource::Fixed(_) => {}
+        }
+        if let Some((m, e)) = self.best.as_ref() {
+            global.offer(m, e);
+        }
+        self.stop_reason = stop_reason;
     }
 
-    if let Some((m, e)) = best.as_ref() {
-        global.offer(m, e);
+    fn finish(self) -> ShardReport {
+        ShardReport {
+            shard: self.shard,
+            evaluations: self.evaluations,
+            best: self.best,
+            stop: self.stop_reason,
+            trace: self.trace,
+        }
     }
-    ThreadReport {
-        thread,
-        evaluations,
-        best,
-        stop: stop_reason,
-        trace,
-    }
+}
+
+/// Execute every queued shard run on `workers` threads (each worker pops
+/// the next shard, drives it to a stop, and moves on). Returns the runs
+/// (in completion order — sort by shard index for reporting) and the summed
+/// leftover budget of shards that could not use their fixed share.
+#[allow(clippy::too_many_arguments)]
+fn execute_queue<'a>(
+    config: &MapperConfig,
+    runs: Vec<ShardRun<'a>>,
+    ledger: Option<&BudgetLedger>,
+    workers: usize,
+    evaluator: &Arc<dyn CostEvaluator>,
+    global: &GlobalBest,
+    stop: &AtomicBool,
+    start: Instant,
+) -> (Vec<ShardRun<'a>>, u64) {
+    let shards = runs.len();
+    let total = config.termination.search_size;
+    let queue: Mutex<VecDeque<ShardRun<'a>>> = Mutex::new(runs.into());
+    let done: Mutex<Vec<ShardRun<'a>>> = Mutex::new(Vec::with_capacity(shards));
+    let surplus = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers.min(shards).max(1) {
+            let queue = &queue;
+            let done = &done;
+            let surplus = &surplus;
+            let evaluator = Arc::clone(evaluator);
+            handles.push(scope.spawn(move || loop {
+                let Some(mut run) = queue.lock().expect("shard queue").pop_front() else {
+                    break;
+                };
+                let budget = match ledger {
+                    Some(ledger) => BudgetSource::Ledger(ledger),
+                    None => BudgetSource::Fixed(if total.is_some() {
+                        config
+                            .termination
+                            .per_shard_search_size(run.shard, shards.max(1))
+                    } else {
+                        None
+                    }),
+                };
+                run.drive(config, &evaluator, budget, global, stop, start);
+                surplus.fetch_add(run.leftover, Ordering::SeqCst);
+                done.lock().expect("done runs").push(run);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("mapper worker panicked");
+        }
+    });
+
+    (
+        done.into_inner().expect("done runs"),
+        surplus.load(Ordering::SeqCst),
+    )
 }
 
 #[cfg(test)]
@@ -387,7 +706,7 @@ mod tests {
         });
         let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
         assert_eq!(report.total_evaluations, 90);
-        for t in &report.threads {
+        for t in &report.shards {
             assert_eq!(t.evaluations, 30);
             assert_eq!(t.stop, StopReason::SearchSize);
         }
@@ -398,7 +717,171 @@ mod tests {
     }
 
     #[test]
-    fn victory_condition_stops_stagnant_threads() {
+    fn shards_decouple_from_threads() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            shards: Some(5),
+            termination: TerminationPolicy::search_size(52),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert_eq!(report.shards.len(), 5);
+        assert_eq!(report.total_evaluations, 52);
+        let evals: Vec<u64> = report.shards.iter().map(|s| s.evaluations).collect();
+        assert_eq!(evals, vec![11, 11, 10, 10, 10], "exact split");
+    }
+
+    #[test]
+    fn deterministic_schedule_is_byte_identical_across_worker_counts() {
+        let (space, evaluator) = setup();
+        let run = |threads: usize, shard_space: bool| {
+            Mapper::new(MapperConfig {
+                threads,
+                shards: Some(4),
+                shard_space,
+                seed: 7,
+                termination: TerminationPolicy::search_size(240),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(SimulatedAnnealing::default())
+            })
+        };
+        for shard_space in [false, true] {
+            let canon1 = run(1, shard_space).canonical_string();
+            let canon2 = run(2, shard_space).canonical_string();
+            let canon4 = run(4, shard_space).canonical_string();
+            assert_eq!(canon1, canon2, "shard_space={shard_space}");
+            assert_eq!(canon1, canon4, "shard_space={shard_space}");
+        }
+    }
+
+    #[test]
+    fn sharded_space_results_stay_in_their_shards() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            shards: Some(4),
+            shard_space: true,
+            termination: TerminationPolicy::search_size(200),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, Arc::clone(&evaluator), |_| {
+            Box::new(RandomSearch::new())
+        });
+        assert_eq!(report.total_evaluations, 200);
+        for (s, r) in report.shards.iter().enumerate() {
+            let shard = space.shard(s, 4);
+            let (m, _) = r.best.as_ref().expect("shard found something");
+            assert!(
+                MapSpaceView::is_member(&shard, m),
+                "shard {s} best must belong to shard {s}"
+            );
+            for (other, _) in report.shards.iter().enumerate().filter(|&(o, _)| o != s) {
+                assert!(
+                    !MapSpaceView::is_member(&space.shard(other, 4), m),
+                    "shard {s} best must not belong to shard {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_spends_the_full_budget() {
+        let (space, evaluator) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            shards: Some(4),
+            schedule: MapperSchedule::WorkStealing,
+            termination: TerminationPolicy::search_size(301),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert_eq!(report.total_evaluations, 301, "ledger spends exactly");
+        assert!(report.best_mapping.is_some());
+    }
+
+    /// A proposal-limited searcher: exhausts after `limit` proposals. Under
+    /// work stealing its unused budget must be stolen by other shards.
+    struct LimitedRandom {
+        inner: RandomSearch,
+        limit: u64,
+        proposed: u64,
+    }
+
+    impl ProposalSearch for LimitedRandom {
+        fn name(&self) -> &str {
+            "LimitedRandom"
+        }
+        fn begin(&mut self, space: &dyn MapSpaceView, horizon: Option<u64>, rng: &mut StdRng) {
+            self.inner.begin(space, horizon, rng);
+        }
+        fn propose(
+            &mut self,
+            space: &dyn MapSpaceView,
+            rng: &mut StdRng,
+            max: usize,
+            out: &mut Vec<Mapping>,
+        ) {
+            let room = self.limit.saturating_sub(self.proposed).min(max as u64) as usize;
+            if room == 0 {
+                return; // exhausted: propose nothing even when asked
+            }
+            self.inner.propose(space, rng, room, out);
+            self.proposed += out.len() as u64;
+        }
+        fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+            self.inner.report(mapping, cost, rng);
+        }
+    }
+
+    #[test]
+    fn idle_budget_is_stolen_by_unfinished_shards() {
+        let (space, evaluator) = setup();
+        const TOTAL: u64 = 200;
+        const LIMIT: u64 = 20; // shard 0 exhausts at 20 of its 100 share
+        let factory = |s: usize| -> Box<dyn ProposalSearch> {
+            if s == 0 {
+                Box::new(LimitedRandom {
+                    inner: RandomSearch::new(),
+                    limit: LIMIT,
+                    proposed: 0,
+                })
+            } else {
+                Box::new(RandomSearch::new())
+            }
+        };
+        let run = |schedule: MapperSchedule| {
+            Mapper::new(MapperConfig {
+                threads: 2,
+                shards: Some(2),
+                schedule,
+                seed: 11,
+                termination: TerminationPolicy::search_size(TOTAL),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), factory)
+        };
+        let fixed = run(MapperSchedule::Deterministic);
+        assert_eq!(fixed.shards[0].evaluations, LIMIT);
+        assert_eq!(fixed.shards[0].stop, StopReason::Exhausted);
+        assert_eq!(fixed.total_evaluations, LIMIT + TOTAL / 2);
+
+        let stealing = run(MapperSchedule::WorkStealing);
+        assert_eq!(stealing.shards[0].evaluations, LIMIT);
+        assert_eq!(
+            stealing.total_evaluations, TOTAL,
+            "shard 1 steals shard 0's unused budget"
+        );
+        assert!(stealing.shards[1].evaluations > fixed.shards[1].evaluations);
+        // Shard 1 evaluates a strict superset of its deterministic stream,
+        // so the stolen-budget best can never be worse.
+        assert!(stealing.best_cost() <= fixed.best_cost());
+    }
+
+    #[test]
+    fn victory_condition_stops_stagnant_shards() {
         let (space, evaluator) = setup();
         let mapper = Mapper::new(MapperConfig {
             threads: 2,
@@ -407,7 +890,7 @@ mod tests {
         });
         let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
         assert!(report.total_evaluations < 100_000);
-        for t in &report.threads {
+        for t in &report.shards {
             assert_eq!(t.stop, StopReason::Victory);
         }
     }
@@ -425,7 +908,7 @@ mod tests {
         assert!(start.elapsed() < Duration::from_secs(10));
         assert!(report.total_evaluations > 0);
         assert!(report
-            .threads
+            .shards
             .iter()
             .all(|t| matches!(t.stop, StopReason::Timeout | StopReason::GlobalStop)));
     }
@@ -453,7 +936,7 @@ mod tests {
         let report = mapper.run(&space, evaluator, |_| {
             Box::new(SimulatedAnnealing::default())
         });
-        for t in &report.threads {
+        for t in &report.shards {
             let trace = t.trace.as_ref().expect("trace recorded");
             assert_eq!(trace.len(), t.evaluations as usize);
             assert_eq!(trace.best_cost, t.best.as_ref().unwrap().1.primary());
@@ -461,14 +944,32 @@ mod tests {
     }
 
     #[test]
-    fn thread_seeds_are_distinct_and_stable() {
-        let a: Vec<u64> = (0..8).map(|t| thread_seed(42, t)).collect();
-        let b: Vec<u64> = (0..8).map(|t| thread_seed(42, t)).collect();
+    fn shard_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..8).map(|t| shard_seed(42, t)).collect();
+        let b: Vec<u64> = (0..8).map(|t| shard_seed(42, t)).collect();
         assert_eq!(a, b);
         let mut dedup = a.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), 8, "distinct streams per thread");
-        assert_ne!(thread_seed(1, 0), thread_seed(2, 0));
+        assert_eq!(dedup.len(), 8, "distinct streams per shard");
+        assert_ne!(shard_seed(1, 0), shard_seed(2, 0));
+    }
+
+    #[test]
+    fn effective_shards_clamps_to_capacity() {
+        let (space, _) = setup();
+        let mapper = Mapper::new(MapperConfig {
+            shards: Some(1_000_000_000),
+            shard_space: true,
+            ..MapperConfig::default()
+        });
+        let n = mapper.effective_shards(&space);
+        assert!(n as u128 <= space.shard_capacity());
+        let unclamped = Mapper::new(MapperConfig {
+            shards: Some(64),
+            shard_space: false,
+            ..MapperConfig::default()
+        });
+        assert_eq!(unclamped.effective_shards(&space), 64);
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use mm_search::{Budget, ProposalSearch, SearchTrace};
 use rand::rngs::StdRng;
 
@@ -33,7 +33,7 @@ pub const MIN_PIPELINE_DEPTH: usize = 32;
 /// evaluations, until `budget` evaluations complete (or time runs out).
 pub fn run_pipelined(
     search: &mut dyn ProposalSearch,
-    space: &MapSpace,
+    space: &dyn MapSpaceView,
     pool: &mut EvalPool,
     budget: Budget,
     rng: &mut StdRng,
@@ -132,7 +132,7 @@ mod tests {
     use super::*;
     use crate::eval::{CostEvaluator, ModelEvaluator};
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::ProblemSpec;
+    use mm_mapspace::{MapSpace, ProblemSpec};
     use mm_search::{GeneticAlgorithm, GeneticConfig, RandomSearch};
     use rand::SeedableRng;
     use std::sync::Arc;

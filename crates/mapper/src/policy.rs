@@ -10,7 +10,9 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-/// Why a mapper thread stopped.
+pub use mm_search::split_evenly;
+
+/// Why a mapper shard stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopReason {
     /// Its share of the evaluation budget was spent.
@@ -71,14 +73,16 @@ impl TerminationPolicy {
         self.search_size.is_some() || self.victory_condition.is_some() || self.timeout.is_some()
     }
 
-    /// This thread's share of the total `search_size` (even split, with the
-    /// remainder going to the lowest-indexed threads).
+    /// Shard `shard`'s share of the total `search_size`: an exact
+    /// remainder-distributing split via [`split_evenly`].
+    pub fn per_shard_search_size(&self, shard: usize, shards: usize) -> Option<u64> {
+        Some(split_evenly(self.search_size?, shard, shards))
+    }
+
+    /// Alias of [`per_shard_search_size`](Self::per_shard_search_size) kept
+    /// for callers from before shards were decoupled from threads.
     pub fn per_thread_search_size(&self, thread: usize, threads: usize) -> Option<u64> {
-        let total = self.search_size?;
-        let threads = threads.max(1) as u64;
-        let base = total / threads;
-        let extra = u64::from((thread as u64) < total % threads);
-        Some(base + extra)
+        self.per_shard_search_size(thread, threads)
     }
 }
 
@@ -90,11 +94,36 @@ mod tests {
     fn search_size_splits_evenly_with_remainder_first() {
         let p = TerminationPolicy::search_size(10);
         let shares: Vec<u64> = (0..4)
-            .map(|t| p.per_thread_search_size(t, 4).unwrap())
+            .map(|t| p.per_shard_search_size(t, 4).unwrap())
             .collect();
         assert_eq!(shares, vec![3, 3, 2, 2]);
         assert_eq!(shares.iter().sum::<u64>(), 10);
-        assert_eq!(p.per_thread_search_size(0, 1), Some(10));
+        assert_eq!(p.per_shard_search_size(0, 1), Some(10));
+        assert_eq!(p.per_thread_search_size(1, 4), Some(3), "alias agrees");
+    }
+
+    /// The split is *exact* for any (total, count): shares sum to the total
+    /// and differ by at most one — no shard silently gets a different
+    /// budget.
+    #[test]
+    fn split_evenly_is_exact_for_any_shape() {
+        for total in [0u64, 1, 7, 90, 1000, 10_001] {
+            for count in 1usize..=13 {
+                let shares: Vec<u64> = (0..count).map(|i| split_evenly(total, i, count)).collect();
+                assert_eq!(
+                    shares.iter().sum::<u64>(),
+                    total,
+                    "sum mismatch for {total}/{count}"
+                );
+                let max = *shares.iter().max().unwrap();
+                let min = *shares.iter().min().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "uneven split for {total}/{count}: {shares:?}"
+                );
+            }
+        }
+        assert_eq!(split_evenly(5, 0, 0), 5, "zero count clamps to one shard");
     }
 
     #[test]

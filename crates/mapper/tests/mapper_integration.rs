@@ -57,7 +57,7 @@ fn same_seed_same_threads_is_deterministic() {
     );
     assert_eq!(a.best_metrics, b.best_metrics);
     assert_eq!(a.total_evaluations, b.total_evaluations);
-    for (ta, tb) in a.threads.iter().zip(&b.threads) {
+    for (ta, tb) in a.shards.iter().zip(&b.shards) {
         assert_eq!(ta.evaluations, tb.evaluations);
         assert_eq!(
             ta.best.as_ref().map(|(m, _)| m),
@@ -95,7 +95,7 @@ fn victory_condition_runs_are_deterministic() {
     });
     assert_eq!(a.total_evaluations, b.total_evaluations);
     assert_eq!(a.best_mapping, b.best_mapping);
-    assert!(a.threads.iter().all(|t| t.stop == StopReason::Victory));
+    assert!(a.shards.iter().all(|t| t.stop == StopReason::Victory));
 }
 
 /// With the same seed and the same per-thread budget, thread 0 of the
@@ -131,8 +131,8 @@ fn more_threads_never_worse_at_iso_per_thread_budget() {
         assert_eq!(multi.total_evaluations, 4 * PER_THREAD);
         // Thread 0 of the multi run replicates the single run.
         assert_eq!(
-            multi.threads[0].best.as_ref().map(|(m, _)| m),
-            single.threads[0].best.as_ref().map(|(m, _)| m),
+            multi.shards[0].best.as_ref().map(|(m, _)| m),
+            single.shards[0].best.as_ref().map(|(m, _)| m),
             "{searcher_name}: thread 0 must replay the single-threaded run"
         );
         assert!(
@@ -199,7 +199,7 @@ fn prioritized_metrics_flow_through_the_report() {
     assert_eq!(metrics.metrics[1], OptMetric::Energy.resolve(&cost, &arch));
     assert_eq!(metrics.metrics[2], OptMetric::Edp.resolve(&cost, &arch));
     // No other thread found a strictly better delay (lexicographic winner).
-    for t in &report.threads {
+    for t in &report.shards {
         if let Some((_, eval)) = &t.best {
             assert!(!eval.better_than(metrics));
         }
@@ -247,4 +247,133 @@ fn gradient_proposer_runs_under_the_mapper() {
     let best = report.best_mapping.as_ref().expect("best mapping");
     assert!(space.is_member(best));
     assert!(report.best_cost().is_finite());
+}
+
+/// Acceptance: under the deterministic schedule, the canonical report is
+/// byte-identical across worker counts — on the toy conv1d problem and on
+/// every Table 1 target — with the map space sharded into disjoint slices.
+#[test]
+fn deterministic_canonical_reports_are_worker_count_independent() {
+    use mm_mapper::MapperSchedule;
+    use mm_workloads::{evaluated_accelerator, table1};
+
+    let arch = evaluated_accelerator();
+    let mut problems = vec![ProblemSpec::conv1d(768, 7)];
+    problems.extend(table1::all_problems().into_iter().map(|t| t.problem));
+    for problem in problems {
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let evaluator: Arc<dyn mm_mapper::CostEvaluator> = Arc::new(ModelEvaluator::edp(
+            CostModel::new(arch.clone(), problem.clone()),
+        ));
+        let run = |threads: usize| {
+            Mapper::new(MapperConfig {
+                threads,
+                shards: Some(4),
+                shard_space: true,
+                schedule: MapperSchedule::Deterministic,
+                seed: 17,
+                termination: TerminationPolicy::search_size(160),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(RandomSearch::new())
+            })
+        };
+        let canon1 = run(1).canonical_string();
+        let canon4 = run(4).canonical_string();
+        assert_eq!(
+            canon1, canon4,
+            "{}: worker count leaked into the report",
+            problem.name
+        );
+    }
+}
+
+/// Acceptance: work-stealing reaches the same-or-better best cost than the
+/// deterministic split on conv1d and the Table 1 set when a shard finishes
+/// early (its unused budget is stolen, so the other shards' deterministic
+/// streams are evaluated further — a strict superset of proposals).
+#[test]
+fn work_stealing_is_same_or_better_on_conv1d_and_table1() {
+    use mm_mapper::MapperSchedule;
+    use mm_workloads::{evaluated_accelerator, table1};
+
+    /// Random search that stops proposing after `limit` proposals.
+    struct LimitedRandom {
+        limit: u64,
+        proposed: u64,
+    }
+    impl ProposalSearch for LimitedRandom {
+        fn name(&self) -> &str {
+            "LimitedRandom"
+        }
+        fn begin(
+            &mut self,
+            _space: &dyn mm_mapspace::MapSpaceView,
+            _horizon: Option<u64>,
+            _rng: &mut rand::rngs::StdRng,
+        ) {
+        }
+        fn propose(
+            &mut self,
+            space: &dyn mm_mapspace::MapSpaceView,
+            rng: &mut rand::rngs::StdRng,
+            max: usize,
+            out: &mut Vec<mm_mapspace::Mapping>,
+        ) {
+            let room = self.limit.saturating_sub(self.proposed).min(max as u64);
+            for _ in 0..room {
+                out.push(space.random_mapping(rng));
+            }
+            self.proposed += room;
+        }
+        fn report(&mut self, _m: &mm_mapspace::Mapping, _c: f64, _rng: &mut rand::rngs::StdRng) {}
+    }
+
+    let arch = evaluated_accelerator();
+    let mut problems = vec![ProblemSpec::conv1d(768, 7)];
+    problems.extend(table1::all_problems().into_iter().map(|t| t.problem));
+    for problem in problems {
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let evaluator: Arc<dyn mm_mapper::CostEvaluator> = Arc::new(ModelEvaluator::edp(
+            CostModel::new(arch.clone(), problem.clone()),
+        ));
+        // Shard 0 exhausts after 10 proposals; shard 1 is unlimited.
+        let factory = |s: usize| -> Box<dyn ProposalSearch> {
+            if s == 0 {
+                Box::new(LimitedRandom {
+                    limit: 10,
+                    proposed: 0,
+                })
+            } else {
+                Box::new(RandomSearch::new())
+            }
+        };
+        let run = |schedule: MapperSchedule| {
+            Mapper::new(MapperConfig {
+                threads: 2,
+                shards: Some(2),
+                schedule,
+                seed: 23,
+                termination: TerminationPolicy::search_size(200),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), factory)
+        };
+        let fixed = run(MapperSchedule::Deterministic);
+        let stealing = run(MapperSchedule::WorkStealing);
+        assert_eq!(
+            stealing.total_evaluations, 200,
+            "{}: stealing must spend the whole budget",
+            problem.name
+        );
+        assert!(fixed.total_evaluations < 200);
+        assert!(
+            stealing.best_cost() <= fixed.best_cost(),
+            "{}: stealing best {} worse than deterministic best {}",
+            problem.name,
+            stealing.best_cost(),
+            fixed.best_cost()
+        );
+    }
 }

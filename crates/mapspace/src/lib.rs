@@ -22,6 +22,11 @@
 //! matching the input representation of Section 5.5 (62 values for CNN-Layer,
 //! 40 for MTTKRP).
 //!
+//! Searchers consume the space through the object-safe [`MapSpaceView`]
+//! trait — implemented by the full [`MapSpace`] and by [`ShardedMapSpace`]
+//! ([`MapSpace::shard`]), a pairwise-disjoint, jointly-covering slice of the
+//! space for provably non-overlapping parallel search (see [`view`]).
+//!
 //! ```
 //! use mm_mapspace::problem::ProblemSpec;
 //! use mm_mapspace::space::{MapSpace, MappingConstraints};
@@ -40,11 +45,13 @@ pub mod mapping;
 pub mod problem;
 pub mod project;
 pub mod space;
+pub mod view;
 
 pub use encode::Encoding;
 pub use mapping::Mapping;
 pub use problem::{DimId, ProblemFamily, ProblemSpec, TensorDim, TensorKind, TensorSpec};
 pub use space::{MapSpace, MappingConstraints};
+pub use view::{MapSpaceView, ShardedMapSpace};
 
 /// Errors produced when constructing or validating mappings and problems.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,694 @@
+//! [`MapSpaceView`]: the searcher-facing map-space API, and
+//! [`ShardedMapSpace`]: a provably disjoint slice of a [`MapSpace`].
+//!
+//! Search methods never need the whole concrete [`MapSpace`] — they consume a
+//! small operational surface (sample, perturb, recombine, repair, check).
+//! [`MapSpaceView`] names exactly that surface as an object-safe trait, so a
+//! searcher works identically over the full space and over a *shard* of it.
+//!
+//! # Sharding
+//!
+//! [`MapSpace::shard(i, n)`](MapSpace::shard) splits the space into `n`
+//! pairwise-disjoint, jointly-covering subspaces by restricting one discrete
+//! axis, in the spirit of Timeloop's mapspace splits:
+//!
+//! * **Loop-order prefix (primary axis).** The L2-level loop order is a
+//!   permutation of the problem dimensions; its lexicographic (Lehmer) rank
+//!   lives in `[0, d!)`. Shard `i` owns the contiguous rank interval
+//!   `[i·d!/n, (i+1)·d!/n)` — a contiguous rank interval is exactly the set
+//!   of permutations sharing a (generalized) lexicographic prefix.
+//! * **Largest-tiling-axis fallback.** When `n` exceeds the permutation
+//!   count `d!`, the axis is refined with the L2 tile extent of the largest
+//!   problem dimension: the combined rank `order_rank · size + (t2 − 1)`
+//!   ranges over `[0, d!·size)` and is partitioned the same way.
+//!
+//! Every mapping of the full space has exactly one combined rank, so the `n`
+//! shards partition the space: disjoint by construction (disjoint intervals)
+//! and jointly covering (the intervals tile the whole rank range).
+
+use rand::{Rng, RngCore};
+
+use crate::mapping::Mapping;
+use crate::problem::{DimId, ProblemSpec};
+use crate::space::{MapSpace, MappingConstraints};
+use crate::MapSpaceError;
+
+/// Index of the L2 temporal loop order within `Mapping::loop_orders`
+/// (level 1 of `ORDER_LEVELS`; the axis restricted by sharding).
+const SHARD_ORDER_LEVEL: usize = 1;
+
+/// The operations searchers actually use, abstracted over "the full map
+/// space" and "one shard of it".
+///
+/// Object-safe (`&dyn MapSpaceView`) so heterogeneous drivers — the
+/// sequential `drive` loop, the pipelined pool driver, the multi-shard
+/// `Mapper`, the serve scheduler — can hold any view behind one pointer.
+/// [`MapSpace`] implements it by delegation; [`ShardedMapSpace`] implements
+/// it with the shard constraint enforced after every operation.
+pub trait MapSpaceView: Send + Sync {
+    /// The problem this view's mappings target.
+    fn problem(&self) -> &ProblemSpec;
+
+    /// The accelerator constraints.
+    fn constraints(&self) -> &MappingConstraints;
+
+    /// Draw a random *valid* mapping belonging to this view.
+    fn random_mapping(&self, rng: &mut dyn RngCore) -> Mapping;
+
+    /// A valid neighbouring mapping of `m` within this view.
+    fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping;
+
+    /// Mutate one attribute in place (may leave the mapping invalid until
+    /// [`repair`](Self::repair) is called).
+    fn mutate_in_place(&self, m: &mut Mapping, rng: &mut dyn RngCore);
+
+    /// Uniform crossover of two parents; the child is valid and in-view.
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping;
+
+    /// Deterministically repair `m` to validity *within this view*.
+    fn repair(&self, m: &mut Mapping);
+
+    /// Whether `m` is a valid mapping belonging to this view.
+    fn is_member(&self, m: &Mapping) -> bool;
+
+    /// Like [`is_member`](Self::is_member), returning the first violated
+    /// constraint as a human-readable string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated validity (or shard
+    /// membership) constraint.
+    fn validate(&self, m: &Mapping) -> Result<(), String>;
+
+    /// Order-of-magnitude estimate of `log10 |view|`.
+    fn log10_size_estimate(&self) -> f64;
+
+    /// Project the mapping portion of a flat encoded vector onto this view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapSpaceError::BadVectorLength`] if the vector length does
+    /// not match the encoding for this problem.
+    fn project(&self, mapping_values: &[f32]) -> Result<Mapping, MapSpaceError>;
+
+    /// `(index, count)` when this view is one shard of a partition; `None`
+    /// for the full space.
+    fn shard_info(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Clone this view behind a fresh box (object-safe `Clone`).
+    fn clone_view(&self) -> Box<dyn MapSpaceView>;
+}
+
+impl MapSpaceView for MapSpace {
+    fn problem(&self) -> &ProblemSpec {
+        MapSpace::problem(self)
+    }
+
+    fn constraints(&self) -> &MappingConstraints {
+        MapSpace::constraints(self)
+    }
+
+    fn random_mapping(&self, rng: &mut dyn RngCore) -> Mapping {
+        MapSpace::random_mapping(self, rng)
+    }
+
+    fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        MapSpace::neighbor(self, m, rng)
+    }
+
+    fn mutate_in_place(&self, m: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::mutate_in_place(self, m, rng);
+    }
+
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        MapSpace::crossover(self, a, b, rng)
+    }
+
+    fn repair(&self, m: &mut Mapping) {
+        MapSpace::repair(self, m);
+    }
+
+    fn is_member(&self, m: &Mapping) -> bool {
+        MapSpace::is_member(self, m)
+    }
+
+    fn validate(&self, m: &Mapping) -> Result<(), String> {
+        MapSpace::validate(self, m)
+    }
+
+    fn log10_size_estimate(&self) -> f64 {
+        MapSpace::log10_size_estimate(self)
+    }
+
+    fn project(&self, mapping_values: &[f32]) -> Result<Mapping, MapSpaceError> {
+        MapSpace::project(self, mapping_values)
+    }
+
+    fn clone_view(&self) -> Box<dyn MapSpaceView> {
+        Box::new(self.clone())
+    }
+}
+
+/// Which discrete axis a partition restricts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardAxis {
+    /// Combined rank = lexicographic rank of the L2 loop order, in
+    /// `[0, perms)`.
+    OrderPrefix {
+        /// `d!` for `d` problem dimensions.
+        perms: u128,
+    },
+    /// Combined rank = `order_rank · extent + (tiles[L2][dim] − 1)`, in
+    /// `[0, perms · extent)`.
+    OrderTile {
+        /// `d!` for `d` problem dimensions.
+        perms: u128,
+        /// The split tiling dimension (largest problem dimension).
+        dim: usize,
+        /// That dimension's size (number of admissible L2 tile extents).
+        extent: u64,
+    },
+}
+
+/// One shard of a [`MapSpace`]: the subset of mappings whose combined
+/// discrete rank (see [module docs](self)) falls in `[lo, hi)`.
+///
+/// Produced by [`MapSpace::shard`]; the `n` shards of one space are
+/// pairwise disjoint and jointly cover the full space.
+#[derive(Debug, Clone)]
+pub struct ShardedMapSpace {
+    base: MapSpace,
+    index: usize,
+    count: usize,
+    axis: ShardAxis,
+    /// Inclusive lower bound of this shard's combined-rank interval.
+    lo: u128,
+    /// Exclusive upper bound of this shard's combined-rank interval.
+    hi: u128,
+}
+
+impl MapSpace {
+    /// The largest shard count [`shard`](Self::shard) supports for this
+    /// space: `d! · max_dim_size` (L2 loop orders refined by the L2 tile
+    /// extent of the largest dimension).
+    pub fn shard_capacity(&self) -> u128 {
+        let d = self.problem().num_dims();
+        factorial(d) * u128::from(largest_dim(self.problem()).1.max(1))
+    }
+
+    /// `count` clamped into [`shard`](Self::shard)'s valid range
+    /// `[1, shard_capacity()]` — the one idiom every shard-count knob
+    /// (mapper, serve, Phase 2) funnels through before calling `shard`.
+    pub fn clamp_shard_count(&self, count: usize) -> usize {
+        usize::try_from(self.shard_capacity().min(count.max(1) as u128)).unwrap_or(count.max(1))
+    }
+
+    /// Shard `index` of a partition of this space into `count`
+    /// pairwise-disjoint, jointly-covering subspaces (see the
+    /// [module docs](self) for the partitioned axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, `index >= count`, or `count` exceeds
+    /// [`shard_capacity`](Self::shard_capacity).
+    pub fn shard(&self, index: usize, count: usize) -> ShardedMapSpace {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        let d = self.problem().num_dims();
+        let perms = factorial(d);
+        let (dim, size) = largest_dim(self.problem());
+        let axis = if count as u128 <= perms {
+            ShardAxis::OrderPrefix { perms }
+        } else {
+            ShardAxis::OrderTile {
+                perms,
+                dim,
+                extent: size.max(1),
+            }
+        };
+        let total = axis_cardinality(&axis);
+        assert!(
+            count as u128 <= total,
+            "shard count {count} exceeds the discrete axis cardinality {total} \
+             (d!·largest_dim = shard_capacity)"
+        );
+        let lo = index as u128 * total / count as u128;
+        let hi = (index as u128 + 1) * total / count as u128;
+        ShardedMapSpace {
+            base: self.clone(),
+            index,
+            count,
+            axis,
+            lo,
+            hi,
+        }
+    }
+}
+
+/// Total number of combined-rank values of an axis.
+fn axis_cardinality(axis: &ShardAxis) -> u128 {
+    match axis {
+        ShardAxis::OrderPrefix { perms } => *perms,
+        ShardAxis::OrderTile { perms, extent, .. } => perms * u128::from(*extent),
+    }
+}
+
+/// `d!` as `u128` (problem dimension counts are single digits, so this never
+/// overflows in practice; saturates defensively).
+fn factorial(d: usize) -> u128 {
+    (1..=d as u128).fold(1u128, |acc, i| acc.saturating_mul(i))
+}
+
+/// The first largest problem dimension `(index, size)`.
+fn largest_dim(problem: &ProblemSpec) -> (usize, u64) {
+    let mut best = (0usize, 0u64);
+    for d in problem.dims() {
+        let size = problem.dim_size(d);
+        if size > best.1 {
+            best = (d.0, size);
+        }
+    }
+    best
+}
+
+/// Lexicographic (Lehmer) rank of a permutation of `0..d`, in `[0, d!)`.
+fn perm_rank(perm: &[usize]) -> u128 {
+    let d = perm.len();
+    let mut rank = 0u128;
+    for i in 0..d {
+        let smaller_after = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count();
+        rank += smaller_after as u128 * factorial(d - 1 - i);
+    }
+    rank
+}
+
+/// The permutation of `0..d` with lexicographic rank `rank` (mod `d!`).
+fn perm_unrank(d: usize, mut rank: u128) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..d).collect();
+    let mut out = Vec::with_capacity(d);
+    rank %= factorial(d).max(1);
+    for i in 0..d {
+        let f = factorial(d - 1 - i);
+        let idx = (rank / f) as usize;
+        rank %= f;
+        out.push(pool.remove(idx));
+    }
+    out
+}
+
+impl ShardedMapSpace {
+    /// The full space this shard was cut from.
+    pub fn base(&self) -> &MapSpace {
+        &self.base
+    }
+
+    /// This shard's index within the partition.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of shards in the partition.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Human-readable description of the restricted axis, for reports.
+    pub fn axis_description(&self) -> String {
+        match &self.axis {
+            ShardAxis::OrderPrefix { perms } => {
+                format!("L2 loop-order ranks [{}, {}) of {perms}", self.lo, self.hi)
+            }
+            ShardAxis::OrderTile { perms, dim, extent } => format!(
+                "L2 (order, tile[{dim}]) ranks [{}, {}) of {perms}x{extent}",
+                self.lo, self.hi
+            ),
+        }
+    }
+
+    /// The combined discrete rank of a (structurally well-formed) mapping.
+    fn combined_rank(&self, m: &Mapping) -> u128 {
+        let rank = perm_rank(&m.loop_orders[SHARD_ORDER_LEVEL]);
+        match &self.axis {
+            ShardAxis::OrderPrefix { .. } => rank,
+            ShardAxis::OrderTile { dim, extent, .. } => {
+                let t2 = m.tiles[1][*dim].clamp(1, *extent);
+                rank * u128::from(*extent) + u128::from(t2 - 1)
+            }
+        }
+    }
+
+    /// Whether `m`'s combined rank falls in this shard's interval.
+    fn in_shard(&self, m: &Mapping) -> bool {
+        let c = self.combined_rank(m);
+        self.lo <= c && c < self.hi
+    }
+
+    /// Overwrite the sharded attributes of `m` from a combined rank.
+    fn apply_rank(&self, m: &mut Mapping, c: u128) {
+        let d = self.base.problem().num_dims();
+        match &self.axis {
+            ShardAxis::OrderPrefix { .. } => {
+                m.loop_orders[SHARD_ORDER_LEVEL] = perm_unrank(d, c);
+            }
+            ShardAxis::OrderTile { dim, extent, .. } => {
+                let order_rank = c / u128::from(*extent);
+                let t2 = (c % u128::from(*extent)) as u64 + 1;
+                m.loop_orders[SHARD_ORDER_LEVEL] = perm_unrank(d, order_rank);
+                m.tiles[1][*dim] = t2;
+            }
+        }
+    }
+
+    /// Admissible L2 tile interval `[t2lo, t2hi]` of the split dimension,
+    /// given the order rank `m` currently sits at (the shard interval cut
+    /// through this order's tile block). `None` when no tile axis is split.
+    fn tile_bounds(&self, m: &Mapping) -> Option<(usize, u64, u64)> {
+        let ShardAxis::OrderTile { dim, extent, .. } = &self.axis else {
+            return None;
+        };
+        let e = u128::from(*extent);
+        let block = perm_rank(&m.loop_orders[SHARD_ORDER_LEVEL]) * e;
+        let lo = self.lo.max(block).saturating_sub(block) as u64 + 1;
+        let hi = (self.hi.min(block + e).saturating_sub(block) as u64).max(lo);
+        Some((*dim, lo.min(*extent), hi.min(*extent)))
+    }
+
+    /// Pull a base-valid mapping into this shard and restore validity: pin
+    /// the combined rank into `[lo, hi)`, then re-establish the tile/
+    /// parallelism/capacity invariants the pin may have disturbed — without
+    /// leaving the shard again.
+    fn pin_and_fix(&self, m: &mut Mapping) {
+        let c = self.combined_rank(m);
+        if c < self.lo || c >= self.hi {
+            self.apply_rank(m, c.clamp(self.lo, self.hi - 1));
+        }
+        let Some((dim, t2lo, t2hi)) = self.tile_bounds(m) else {
+            // Loop orders never affect base validity: pinned and done.
+            return;
+        };
+        let p = self.base.problem();
+        let t = p.num_tensors();
+
+        // Local invariants around the pinned tile: L1 tile under the L2
+        // tile, spatial tile under the L2 tile (so the L2 footprint is the
+        // tile, not the spatial spread).
+        m.tiles[1][dim] = m.tiles[1][dim].clamp(t2lo, t2hi);
+        m.tiles[0][dim] = m.tiles[0][dim].clamp(1, m.tiles[1][dim]);
+        while m.tiles[0][dim].saturating_mul(m.parallel[dim]) > m.tiles[1][dim] {
+            if m.parallel[dim] > 1 {
+                m.parallel[dim] /= 2;
+            } else if m.tiles[0][dim] > 1 {
+                m.tiles[0][dim] /= 2;
+            } else {
+                break;
+            }
+        }
+
+        // The pin may have *grown* the L2 tile: re-fit the shared buffer
+        // without shrinking the pinned tile below its admissible interval.
+        let cap = self.base.constraints().l2_capacity_words;
+        'fit: for _ in 0..256 {
+            let footprints: Vec<u64> = (0..t).map(|ti| m.l2_footprint(p, ti)).collect();
+            let total_fp: u64 = footprints.iter().sum();
+            if total_fp <= cap {
+                // Redistribute allocations: exactly what each tensor needs
+                // plus a proportional share of the slack.
+                let slack = (cap - total_fp) as f64;
+                for (ti, &fp) in footprints.iter().enumerate() {
+                    let share = if total_fp > 0 {
+                        slack * fp as f64 / total_fp as f64
+                    } else {
+                        slack / t as f64
+                    };
+                    m.buffer_alloc[1][ti] = ((fp as f64 + share) / cap as f64).clamp(1e-6, 1.0);
+                }
+                break;
+            }
+            let worst = (0..t)
+                .max_by_key(|&ti| footprints[ti])
+                .expect("at least one tensor");
+            // Shrink the worst tensor's largest shrinkable L2 contribution;
+            // the pinned dimension only shrinks down to `t2lo`.
+            let mut dims: Vec<DimId> = p.tensors[worst].relevant_dims();
+            dims.sort_by_key(|dd| std::cmp::Reverse(m.tiles[1][dd.0].max(m.spatial_tile(*dd))));
+            for dd in dims {
+                let i = dd.0;
+                let floor = if i == dim { t2lo } else { 1 };
+                if m.tiles[1][i] > floor {
+                    m.tiles[1][i] = (m.tiles[1][i] / 2).max(floor).max(1);
+                    while m.tiles[0][i].saturating_mul(m.parallel[i]) > m.tiles[1][i] {
+                        if m.parallel[i] > 1 {
+                            m.parallel[i] /= 2;
+                        } else if m.tiles[0][i] > 1 {
+                            m.tiles[0][i] /= 2;
+                        } else {
+                            break;
+                        }
+                    }
+                    continue 'fit;
+                }
+                if i != dim {
+                    if m.parallel[i] > 1 {
+                        m.parallel[i] /= 2;
+                        continue 'fit;
+                    }
+                    if m.tiles[0][i] > 1 {
+                        m.tiles[0][i] /= 2;
+                        continue 'fit;
+                    }
+                }
+            }
+            break; // nothing left to shrink
+        }
+    }
+}
+
+impl MapSpaceView for ShardedMapSpace {
+    fn problem(&self) -> &ProblemSpec {
+        MapSpace::problem(&self.base)
+    }
+
+    fn constraints(&self) -> &MappingConstraints {
+        MapSpace::constraints(&self.base)
+    }
+
+    fn random_mapping(&self, rng: &mut dyn RngCore) -> Mapping {
+        let mut m = MapSpace::random_mapping(&self.base, rng);
+        // Sample the shard's discrete axis uniformly, then restore validity.
+        let span = self.hi - self.lo;
+        let offset = if span <= 1 {
+            0
+        } else {
+            u128::from(rng.gen_range(0..u64::try_from(span).unwrap_or(u64::MAX)))
+        };
+        self.apply_rank(&mut m, self.lo + offset);
+        self.pin_and_fix(&mut m);
+        debug_assert!(self.is_member(&m), "{:?}", self.validate(&m));
+        m
+    }
+
+    fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        let mut out = m.clone();
+        MapSpace::mutate_in_place(&self.base, &mut out, rng);
+        self.repair(&mut out);
+        out
+    }
+
+    fn mutate_in_place(&self, m: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::mutate_in_place(&self.base, m, rng);
+    }
+
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        let mut child = MapSpace::crossover(&self.base, a, b, rng);
+        self.pin_and_fix(&mut child);
+        debug_assert!(self.is_member(&child), "{:?}", self.validate(&child));
+        child
+    }
+
+    fn repair(&self, m: &mut Mapping) {
+        MapSpace::repair(&self.base, m);
+        self.pin_and_fix(m);
+    }
+
+    fn is_member(&self, m: &Mapping) -> bool {
+        MapSpace::is_member(&self.base, m) && self.in_shard(m)
+    }
+
+    fn validate(&self, m: &Mapping) -> Result<(), String> {
+        MapSpace::validate(&self.base, m)?;
+        if self.in_shard(m) {
+            Ok(())
+        } else {
+            Err(format!(
+                "combined rank {} outside shard {}/{} interval [{}, {})",
+                self.combined_rank(m),
+                self.index,
+                self.count,
+                self.lo,
+                self.hi
+            ))
+        }
+    }
+
+    fn log10_size_estimate(&self) -> f64 {
+        MapSpace::log10_size_estimate(&self.base) - (self.count.max(1) as f64).log10()
+    }
+
+    fn project(&self, mapping_values: &[f32]) -> Result<Mapping, MapSpaceError> {
+        let mut m = MapSpace::project(&self.base, mapping_values)?;
+        self.pin_and_fix(&mut m);
+        Ok(m)
+    }
+
+    fn shard_info(&self) -> Option<(usize, usize)> {
+        Some((self.index, self.count))
+    }
+
+    fn clone_view(&self) -> Box<dyn MapSpaceView> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> MapSpace {
+        MapSpace::new(ProblemSpec::conv1d(128, 7), MappingConstraints::example())
+    }
+
+    #[test]
+    fn perm_rank_unrank_roundtrip() {
+        for d in 1..=5usize {
+            let total = factorial(d);
+            for r in 0..total {
+                let p = perm_unrank(d, r);
+                assert_eq!(perm_rank(&p), r, "d={d} rank={r} perm={p:?}");
+            }
+        }
+        assert_eq!(perm_rank(&[0, 1, 2]), 0);
+        assert_eq!(perm_rank(&[2, 1, 0]), 5);
+    }
+
+    #[test]
+    fn shard_capacity_is_orders_times_largest_dim() {
+        let s = space();
+        // conv1d(128, 7): dims X=122 (output width), R=7 → 2! · 122.
+        let d = s.problem().num_dims();
+        let (_, size) = largest_dim(s.problem());
+        assert_eq!(s.shard_capacity(), factorial(d) * u128::from(size));
+    }
+
+    #[test]
+    fn order_prefix_shards_partition_the_permutations() {
+        let s = space();
+        // d = 2 → 2 permutations → 2 order-prefix shards.
+        let a = s.shard(0, 2);
+        let b = s.shard(1, 2);
+        assert!(matches!(a.axis, ShardAxis::OrderPrefix { .. }));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let m = MapSpace::random_mapping(&s, &mut rng);
+            let ina = a.in_shard(&m);
+            let inb = b.in_shard(&m);
+            assert!(ina ^ inb, "every mapping lands in exactly one shard");
+        }
+    }
+
+    #[test]
+    fn tile_fallback_engages_when_count_exceeds_permutations() {
+        let s = space();
+        let shards: Vec<ShardedMapSpace> = (0..8).map(|i| s.shard(i, 8)).collect();
+        assert!(matches!(shards[0].axis, ShardAxis::OrderTile { .. }));
+        let mut rng = StdRng::seed_from_u64(2);
+        for round in 0..40 {
+            let m = MapSpace::random_mapping(&s, &mut rng);
+            let owners = shards.iter().filter(|sh| sh.in_shard(&m)).count();
+            assert_eq!(owners, 1, "round {round}: exactly one owner");
+        }
+    }
+
+    #[test]
+    fn shard_sampling_stays_in_shard_and_valid() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 5, 8] {
+            for i in 0..n {
+                let sh = s.shard(i, n);
+                for _ in 0..25 {
+                    let m = sh.random_mapping(&mut rng);
+                    assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+                    assert!(MapSpace::is_member(&s, &m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_moves_stay_in_shard() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sh = s.shard(2, 4);
+        let mut m = sh.random_mapping(&mut rng);
+        for _ in 0..100 {
+            m = sh.neighbor(&m, &mut rng);
+            assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+        }
+        let a = sh.random_mapping(&mut rng);
+        let b = sh.random_mapping(&mut rng);
+        for _ in 0..25 {
+            let c = MapSpaceView::crossover(&sh, &a, &b, &mut rng);
+            assert!(sh.is_member(&c), "{:?}", sh.validate(&c));
+        }
+    }
+
+    #[test]
+    fn shard_projection_is_valid_and_in_shard() {
+        let s = space();
+        let sh = s.shard(1, 3);
+        let enc = crate::encode::Encoding::for_problem(s.problem());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let v: Vec<f32> = (0..enc.mapping_len())
+                .map(|_| rng.gen_range(-20.0..200.0))
+                .collect();
+            let m = MapSpaceView::project(&sh, &v).unwrap();
+            assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+        }
+    }
+
+    #[test]
+    fn shard_info_and_size_estimate() {
+        let s = space();
+        let sh = s.shard(1, 4);
+        assert_eq!(sh.shard_info(), Some((1, 4)));
+        assert_eq!(MapSpaceView::shard_info(&s), None);
+        assert!(sh.log10_size_estimate() < MapSpaceView::log10_size_estimate(&s));
+        assert!(!sh.axis_description().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index")]
+    fn shard_rejects_out_of_range_index() {
+        let _ = space().shard(3, 3);
+    }
+
+    #[test]
+    fn dyn_view_is_usable_behind_a_pointer() {
+        let s = space();
+        let views: Vec<Box<dyn MapSpaceView>> = vec![Box::new(s.clone()), Box::new(s.shard(0, 2))];
+        let mut rng = StdRng::seed_from_u64(6);
+        for v in &views {
+            let m = v.random_mapping(&mut rng);
+            assert!(v.is_member(&m));
+            let n = v.neighbor(&m, &mut rng);
+            assert!(v.is_member(&n));
+            let v2 = v.clone_view();
+            assert!(v2.is_member(&m));
+        }
+    }
+}

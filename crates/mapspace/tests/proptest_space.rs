@@ -118,3 +118,92 @@ proptest! {
         prop_assert_eq!(enc.total_len(), 8 * dims + 2 * tensors);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `MapSpace::shard(i, n)` shards are pairwise disjoint and jointly
+    /// covering: every random mapping of the full space is a member of
+    /// exactly one shard, and every shard's own random mappings are members
+    /// of that shard (and the base space) and of no other shard — including
+    /// shard counts beyond the permutation count (3! = 6 here), which
+    /// exercise the largest-tiling-axis fallback.
+    #[test]
+    fn shards_partition_the_map_space(
+        seed in 0u64..u64::MAX,
+        i in 1u64..256,
+        j in 1u64..256,
+        k in 1u64..256,
+        n in 1usize..=8,
+    ) {
+        use mm_mapspace::MapSpaceView;
+
+        let problem = matmul_problem(i, j, k);
+        let space = MapSpace::new(problem, MappingConstraints::example());
+        let n = (n as u128).min(space.shard_capacity()) as usize;
+        let shards: Vec<_> = (0..n).map(|s| space.shard(s, n)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Jointly covering + pairwise disjoint over full-space samples.
+        for _ in 0..8 {
+            let m = space.random_mapping(&mut rng);
+            let owners: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, sh)| sh.is_member(&m))
+                .map(|(s, _)| s)
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "full-space mapping must land in exactly one shard");
+        }
+
+        // Shard sampling stays inside its own shard and the base space.
+        for (s, shard) in shards.iter().enumerate() {
+            for _ in 0..4 {
+                let m = shard.random_mapping(&mut rng);
+                prop_assert!(shard.is_member(&m), "shard {} rejects its own sample: {:?}", s, shard.validate(&m));
+                prop_assert!(space.is_member(&m), "shard sample invalid in base space: {:?}", space.validate(&m));
+                for (o, other) in shards.iter().enumerate() {
+                    if o != s {
+                        prop_assert!(!other.is_member(&m), "shard {} sample also claimed by shard {}", s, o);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shard-local moves (neighbor, crossover, projection) never escape the
+    /// shard or the base space.
+    #[test]
+    fn shard_moves_never_escape(
+        seed in 0u64..u64::MAX,
+        i in 1u64..256,
+        j in 1u64..256,
+        k in 1u64..256,
+        n in 2usize..=8,
+        index in 0usize..8,
+    ) {
+        use mm_mapspace::MapSpaceView;
+
+        let problem = matmul_problem(i, j, k);
+        let space = MapSpace::new(problem.clone(), MappingConstraints::example());
+        let n = (n as u128).min(space.shard_capacity()) as usize;
+        let index = index % n;
+        let shard = space.shard(index, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut m = shard.random_mapping(&mut rng);
+        for _ in 0..12 {
+            m = shard.neighbor(&m, &mut rng);
+            prop_assert!(shard.is_member(&m), "{:?}", shard.validate(&m));
+        }
+        let a = shard.random_mapping(&mut rng);
+        let child = shard.crossover(&a, &m, &mut rng);
+        prop_assert!(shard.is_member(&child), "{:?}", shard.validate(&child));
+
+        use rand::Rng;
+        let enc = Encoding::for_problem(&problem);
+        let noise: Vec<f32> = (0..enc.mapping_len()).map(|_| rng.gen_range(-40.0..400.0)).collect();
+        let projected = MapSpaceView::project(&shard, &noise).unwrap();
+        prop_assert!(shard.is_member(&projected), "{:?}", shard.validate(&projected));
+    }
+}

@@ -11,7 +11,7 @@
 //! acceptance decision, so [`ProposalSearch::lookahead`] is 1) and applies
 //! the Metropolis rule when the evaluated cost is reported back.
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -115,7 +115,7 @@ impl ProposalSearch for SimulatedAnnealing {
         "SA"
     }
 
-    fn begin(&mut self, _space: &MapSpace, horizon: Option<u64>, _rng: &mut StdRng) {
+    fn begin(&mut self, _space: &dyn MapSpaceView, horizon: Option<u64>, _rng: &mut StdRng) {
         self.state = Some(SaState {
             phase: Phase::Init,
             current: None,
@@ -129,7 +129,13 @@ impl ProposalSearch for SimulatedAnnealing {
         });
     }
 
-    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, _max: usize, out: &mut Vec<Mapping>) {
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        _max: usize,
+        out: &mut Vec<Mapping>,
+    ) {
         let state = self.state.as_mut().expect("begin() not called");
         if state.outstanding {
             return;
@@ -198,7 +204,7 @@ mod tests {
     use super::*;
     use crate::objective::{Budget, FnObjective, Objective, Searcher};
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::{Mapping, ProblemSpec};
+    use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
     use rand::SeedableRng;
 
     fn setup() -> (MapSpace, CostModel) {

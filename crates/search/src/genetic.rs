@@ -9,7 +9,7 @@
 //! ([`ProposalSearch::lookahead`] = population size) — the natural batch for
 //! an evaluation pool.
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -99,7 +99,7 @@ impl GeneticAlgorithm {
     }
 
     /// Breed one child from the current population.
-    fn breed(&mut self, space: &MapSpace, rng: &mut StdRng) -> Mapping {
+    fn breed(&mut self, space: &dyn MapSpaceView, rng: &mut StdRng) -> Mapping {
         let pa = self.tournament(rng);
         let pb = self.tournament(rng);
         let pop = &self.state.population;
@@ -133,7 +133,7 @@ impl ProposalSearch for GeneticAlgorithm {
         "GA"
     }
 
-    fn begin(&mut self, _space: &MapSpace, _horizon: Option<u64>, _rng: &mut StdRng) {
+    fn begin(&mut self, _space: &dyn MapSpaceView, _horizon: Option<u64>, _rng: &mut StdRng) {
         self.state = GaState::default();
     }
 
@@ -141,7 +141,13 @@ impl ProposalSearch for GeneticAlgorithm {
         self.popsize()
     }
 
-    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        max: usize,
+        out: &mut Vec<Mapping>,
+    ) {
         let popsize = self.popsize();
         // Starting a fresh (non-initial) generation: sort the completed one
         // and seed the next with elites (no re-evaluation, hence no
@@ -189,7 +195,7 @@ mod tests {
     use super::*;
     use crate::objective::{Budget, FnObjective, Objective, Searcher};
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::ProblemSpec;
+    use mm_mapspace::{MapSpace, ProblemSpec};
     use rand::SeedableRng;
 
     fn setup() -> (MapSpace, CostModel) {

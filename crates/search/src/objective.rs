@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
 use crate::trace::SearchTrace;
@@ -42,6 +42,22 @@ impl<F: FnMut(&Mapping) -> f64> Objective for FnObjective<F> {
     fn queries(&self) -> u64 {
         self.queries
     }
+}
+
+/// Exact budget split: share `index` of `count` receives `total / count`
+/// plus one of the `total % count` leftovers (lowest indices first). The
+/// shares always sum to `total` exactly and differ by at most one — no
+/// share silently gets a different budget.
+///
+/// The single source of truth for budget splitting across the workspace:
+/// mapper shard shares (`TerminationPolicy::per_shard_search_size`), serve
+/// per-shard job budgets, and the Phase-2 sharded gradient search all call
+/// this.
+pub fn split_evenly(total: u64, index: usize, count: usize) -> u64 {
+    let count = count.max(1) as u64;
+    let base = total / count;
+    let extra = u64::from((index as u64) < total % count);
+    base + extra
 }
 
 /// Search termination criteria: a maximum number of cost-function queries
@@ -101,11 +117,12 @@ pub trait Searcher {
     /// `"MM"`).
     fn name(&self) -> &str;
 
-    /// Run the search over `space`, querying `objective` until `budget` is
-    /// exhausted, and return the best-so-far trace.
+    /// Run the search over `space` — the full [`MapSpace`]
+    /// (`mm_mapspace::MapSpace`) or one shard of it — querying `objective`
+    /// until `budget` is exhausted, and return the best-so-far trace.
     fn search(
         &mut self,
-        space: &MapSpace,
+        space: &dyn MapSpaceView,
         objective: &mut dyn Objective,
         budget: Budget,
         rng: &mut StdRng,

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
 use crate::objective::{Budget, Objective, Searcher};
@@ -50,7 +50,7 @@ pub trait ProposalSearch: Send {
     /// Prepare for a fresh run over `space`. `horizon` is the approximate
     /// number of evaluations this searcher will receive (`None` if unknown);
     /// schedule-based methods (SA cooling) size their schedules with it.
-    fn begin(&mut self, space: &MapSpace, horizon: Option<u64>, rng: &mut StdRng);
+    fn begin(&mut self, space: &dyn MapSpaceView, horizon: Option<u64>, rng: &mut StdRng);
 
     /// Maximum number of unreported proposals this searcher tolerates in
     /// flight. The driver never requests more than this many proposals ahead
@@ -60,7 +60,13 @@ pub trait ProposalSearch: Send {
     }
 
     /// Append up to `max` new candidate mappings to `out`.
-    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>);
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        max: usize,
+        out: &mut Vec<Mapping>,
+    );
 
     /// Report the evaluated cost of a previously proposed mapping.
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng);
@@ -83,7 +89,7 @@ const DRIVE_BATCH: usize = 64;
 /// producing the same [`SearchTrace`] a monolithic [`Searcher`] would.
 pub fn drive(
     search: &mut dyn ProposalSearch,
-    space: &MapSpace,
+    space: &dyn MapSpaceView,
     objective: &mut dyn Objective,
     budget: Budget,
     rng: &mut StdRng,
@@ -126,7 +132,7 @@ impl<P: ProposalSearch> Searcher for P {
 
     fn search(
         &mut self,
-        space: &MapSpace,
+        space: &dyn MapSpaceView,
         objective: &mut dyn Objective,
         budget: Budget,
         rng: &mut StdRng,
@@ -140,7 +146,7 @@ mod tests {
     use super::*;
     use crate::objective::FnObjective;
     use crate::random::RandomSearch;
-    use mm_mapspace::ProblemSpec;
+    use mm_mapspace::{MapSpace, ProblemSpec};
     use rand::SeedableRng;
 
     #[test]

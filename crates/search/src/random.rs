@@ -6,7 +6,7 @@
 //! and an orchestrator can batch arbitrarily many proposals onto an
 //! evaluation pool without waiting for reports.
 
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
 use crate::proposal::ProposalSearch;
@@ -27,13 +27,19 @@ impl ProposalSearch for RandomSearch {
         "Random"
     }
 
-    fn begin(&mut self, _space: &MapSpace, _horizon: Option<u64>, _rng: &mut StdRng) {}
+    fn begin(&mut self, _space: &dyn MapSpaceView, _horizon: Option<u64>, _rng: &mut StdRng) {}
 
     fn lookahead(&self) -> usize {
         usize::MAX
     }
 
-    fn propose(&mut self, space: &MapSpace, rng: &mut StdRng, max: usize, out: &mut Vec<Mapping>) {
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        max: usize,
+        out: &mut Vec<Mapping>,
+    ) {
         for _ in 0..max.max(1) {
             out.push(space.random_mapping(rng));
         }
@@ -47,7 +53,7 @@ mod tests {
     use super::*;
     use crate::objective::{Budget, FnObjective, Searcher};
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::{Mapping, ProblemSpec};
+    use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
     use rand::SeedableRng;
 
     #[test]

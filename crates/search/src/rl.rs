@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use mm_mapspace::{Encoding, MapSpace};
+use mm_mapspace::{Encoding, MapSpaceView};
 use mm_nn::optim::{Adam, Optimizer};
 use mm_nn::{Activation, Matrix, Mlp};
 use rand::rngs::StdRng;
@@ -100,7 +100,7 @@ impl Default for DdpgAgent {
 
 /// Per-feature scales mapping raw encoded mapping values into roughly unit
 /// range (and back).
-fn feature_scales(space: &MapSpace, enc: &Encoding) -> Vec<f32> {
+fn feature_scales(space: &dyn MapSpaceView, enc: &Encoding) -> Vec<f32> {
     let p = space.problem();
     let d = enc.num_dims;
     let t = enc.num_tensors;
@@ -158,7 +158,7 @@ impl Searcher for DdpgAgent {
 
     fn search(
         &mut self,
-        space: &MapSpace,
+        space: &dyn MapSpaceView,
         objective: &mut dyn Objective,
         budget: Budget,
         rng: &mut StdRng,
@@ -330,7 +330,7 @@ mod tests {
     use super::*;
     use crate::objective::FnObjective;
     use mm_accel::{Architecture, CostModel};
-    use mm_mapspace::{Mapping, ProblemSpec};
+    use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
     use rand::SeedableRng;
 
     fn setup() -> (MapSpace, CostModel) {

@@ -24,6 +24,14 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Evaluations spent searching each distinct layer.
     pub search_size: u64,
+    /// Map-space shards per layer search: 1 (the default) searches the full
+    /// space with one job; `n > 1` routes `n` jobs per distinct layer, each
+    /// restricted to a pairwise-disjoint slice of the layer's map space
+    /// (`MapSpace::shard`) with an exact `search_size / n` budget split, and
+    /// merges their results in shard order. Clamped per layer to the space's
+    /// shard capacity. Participates in the result-cache fingerprint, so
+    /// cached replays never cross shard configurations.
+    pub shards: usize,
     /// Reuse results for repeated `(problem, arch, config)` fingerprints —
     /// across layers of one network and across calls on one service.
     pub use_cache: bool,
@@ -37,6 +45,7 @@ impl Default for ServeConfig {
             queue_capacity: 8,
             seed: 0,
             search_size: 2_000,
+            shards: 1,
             use_cache: true,
         }
     }
@@ -54,6 +63,12 @@ impl ServeConfig {
         self.workers = workers;
         self
     }
+
+    /// A config with the given per-layer map-space shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -65,8 +80,10 @@ mod tests {
         let c = ServeConfig::default();
         assert!(c.workers >= 1 && c.max_active_jobs >= 1 && c.queue_capacity >= 1);
         assert!(c.use_cache);
-        let c = c.with_search_size(64).with_workers(3);
+        assert_eq!(c.shards, 1, "sharding is off by default");
+        let c = c.with_search_size(64).with_workers(3).with_shards(4);
         assert_eq!(c.search_size, 64);
         assert_eq!(c.workers, 3);
+        assert_eq!(c.shards, 4);
     }
 }

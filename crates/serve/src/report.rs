@@ -7,7 +7,7 @@
 //! fixed seed and network; [`NetworkReport::canonical_string`] renders
 //! exactly that deterministic portion, byte-for-byte reproducibly.
 
-use mm_mapper::{Evaluation, MapperReport, OptMetric, StopReason, ThreadReport};
+use mm_mapper::{Evaluation, MapperReport, OptMetric, ShardReport, StopReason};
 use mm_mapspace::Mapping;
 use serde::{Deserialize, Serialize};
 
@@ -92,7 +92,7 @@ impl LayerReport {
     }
 
     /// This layer's result in `mm-mapper`'s report vocabulary (a
-    /// single-thread [`MapperReport`]), for consumers of that API.
+    /// single-shard [`MapperReport`]), for consumers of that API.
     pub fn as_mapper_report(&self) -> MapperReport {
         let stop = if self.exhausted {
             StopReason::Exhausted
@@ -113,8 +113,8 @@ impl LayerReport {
             } else {
                 0.0
             },
-            threads: vec![ThreadReport {
-                thread: 0,
+            shards: vec![ShardReport {
+                shard: 0,
                 evaluations: self.evaluations,
                 best,
                 stop,
@@ -287,8 +287,8 @@ mod tests {
         let l = layer("a", 1, 2.0, 10.0, 0.1);
         let r = l.as_mapper_report();
         assert_eq!(r.total_evaluations, 10);
-        assert_eq!(r.threads.len(), 1);
-        assert_eq!(r.threads[0].stop, StopReason::SearchSize);
+        assert_eq!(r.shards.len(), 1);
+        assert_eq!(r.shards[0].stop, StopReason::SearchSize);
         assert_eq!(r.best_metrics.as_ref().unwrap().primary(), 2.0);
     }
 

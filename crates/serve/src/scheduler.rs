@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mm_mapper::{CostEvaluator, EvalPool, Evaluation, OptMetric, MIN_PIPELINE_DEPTH};
-use mm_mapspace::{MapSpace, Mapping};
+use mm_mapspace::{MapSpaceView, Mapping};
 use mm_search::ProposalSearch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,8 +33,8 @@ use rand::SeedableRng;
 pub(crate) struct JobSpec {
     /// Caller-assigned index; outcomes are returned in this order.
     pub index: usize,
-    /// The map space searched.
-    pub space: MapSpace,
+    /// The map-space view searched (the full space or one shard of it).
+    pub space: Box<dyn MapSpaceView>,
     /// Scores this job's proposals (routed per batch on the shared pool).
     pub evaluator: Arc<dyn CostEvaluator>,
     /// The search method instance.
@@ -59,7 +59,7 @@ pub(crate) struct JobOutcome {
 /// A job currently multiplexed on the pool.
 struct ActiveJob {
     index: usize,
-    space: MapSpace,
+    space: Box<dyn MapSpaceView>,
     evaluator: Arc<dyn CostEvaluator>,
     search: Box<dyn ProposalSearch>,
     rng: StdRng,
@@ -78,7 +78,7 @@ struct ActiveJob {
 impl ActiveJob {
     fn start(mut spec: JobSpec) -> Self {
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        spec.search.begin(&spec.space, Some(spec.budget), &mut rng);
+        spec.search.begin(&*spec.space, Some(spec.budget), &mut rng);
         ActiveJob {
             index: spec.index,
             space: spec.space,
@@ -123,7 +123,7 @@ impl ActiveJob {
         }
         buf.clear();
         self.search
-            .propose(&self.space, &mut self.rng, room as usize, buf);
+            .propose(&*self.space, &mut self.rng, room as usize, buf);
         if buf.is_empty() {
             // Contract: with nothing outstanding the searcher must propose;
             // an empty batch then means its space/schedule is exhausted.
@@ -262,7 +262,7 @@ mod tests {
     use super::*;
     use mm_accel::{Architecture, CostModel};
     use mm_mapper::ModelEvaluator;
-    use mm_mapspace::ProblemSpec;
+    use mm_mapspace::{MapSpace, ProblemSpec};
     use mm_search::{GeneticAlgorithm, GeneticConfig, RandomSearch, SimulatedAnnealing};
 
     fn spec(index: usize, w: u64, seed: u64, budget: u64) -> JobSpec {
@@ -272,7 +272,7 @@ mod tests {
         let model = CostModel::new(arch, problem);
         JobSpec {
             index,
-            space,
+            space: Box::new(space),
             evaluator: Arc::new(ModelEvaluator::edp(model)),
             search: Box::new(RandomSearch::new()),
             seed,

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mm_accel::{Architecture, CostModel};
-use mm_mapper::{derive_stream_seed, CostEvaluator, EvalPool, ModelEvaluator, OptMetric};
+use mm_mapper::{
+    derive_stream_seed, split_evenly, CostEvaluator, EvalPool, ModelEvaluator, OptMetric,
+};
 use mm_mapspace::{MapSpace, ProblemSpec};
 use mm_search::{ProposalSearch, RandomSearch};
 use mm_workloads::Network;
@@ -43,7 +45,8 @@ pub struct ServeStats {
 enum LayerPlan {
     /// Replay the cached result for this fingerprint.
     Hit(u64),
-    /// Job `index` (into this call's job list) performs the search.
+    /// Unique search `job` (an index into this call's merged per-unique
+    /// results, each covering one or more shard jobs) performs the search.
     Search { job: usize },
 }
 
@@ -128,7 +131,10 @@ impl MappingService {
         self
     }
 
-    /// Render the layer-independent fingerprint portion.
+    /// Render the layer-independent fingerprint portion. The shard count is
+    /// part of the search configuration (it changes which subspaces each
+    /// job covers and the per-shard budget split), so it is folded into the
+    /// fingerprint — cached replays never cross shard configurations.
     fn config_tag(
         arch: &Architecture,
         searcher_name: &str,
@@ -136,8 +142,10 @@ impl MappingService {
         config: &ServeConfig,
     ) -> String {
         format!(
-            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={}",
-            config.seed, config.search_size
+            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={}",
+            config.seed,
+            config.search_size,
+            config.shards.max(1)
         )
     }
 
@@ -185,59 +193,81 @@ impl MappingService {
     pub fn map_network(&mut self, network: &Network) -> NetworkReport {
         let start = Instant::now();
 
-        // Plan: one job per distinct uncached fingerprint, in first-
-        // occurrence order (the deterministic job ordering of the service).
+        // Plan: one search (of one or more shard jobs) per distinct uncached
+        // fingerprint, in first-occurrence order (the deterministic job
+        // ordering of the service).
         let mut plans: Vec<LayerPlan> = Vec::with_capacity(network.len());
         let mut jobs: Vec<JobSpec> = Vec::new();
-        let mut job_fingerprints: Vec<u64> = Vec::new();
-        let mut job_for_fp: HashMap<u64, usize> = HashMap::new();
+        let mut unique_fingerprints: Vec<u64> = Vec::new();
+        // Per unique search: its contiguous job-index range (one job per
+        // map-space shard; shard config routed through the job queue).
+        let mut job_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut unique_for_fp: HashMap<u64, usize> = HashMap::new();
         for layer in &network.layers {
             let fp = self.fingerprint(&layer.problem);
             let plan = if self.config.use_cache && self.cache.contains(fp) {
                 LayerPlan::Hit(fp)
-            } else if self.config.use_cache && job_for_fp.contains_key(&fp) {
+            } else if self.config.use_cache && unique_for_fp.contains_key(&fp) {
                 LayerPlan::Search {
-                    job: job_for_fp[&fp],
+                    job: unique_for_fp[&fp],
                 }
             } else {
-                let index = jobs.len();
-                jobs.push(self.job_spec(index, fp, &layer.problem));
-                job_fingerprints.push(fp);
-                job_for_fp.insert(fp, index);
-                LayerPlan::Search { job: index }
+                let unique = unique_fingerprints.len();
+                let start = jobs.len();
+                jobs.extend(self.shard_job_specs(start, fp, &layer.problem));
+                job_ranges.push(start..jobs.len());
+                unique_fingerprints.push(fp);
+                unique_for_fp.insert(fp, unique);
+                LayerPlan::Search { job: unique }
             };
             plans.push(plan);
         }
 
         // Run all fresh searches over the shared, long-lived pool.
-        let unique_searches = jobs.len();
+        let unique_searches = unique_fingerprints.len();
         let outcomes = run_jobs(
             &mut self.pool,
             jobs,
             self.config.max_active_jobs,
             self.config.queue_capacity,
         );
-        let results: Vec<Arc<CachedLayer>> = outcomes
-            .into_iter()
-            .map(|o| {
-                let (best_mapping, best_metrics) = match o.best {
+        // Merge each unique search's shard outcomes in shard order
+        // (strictly-better-wins, budgets summed).
+        let results: Vec<Arc<CachedLayer>> = job_ranges
+            .iter()
+            .map(|range| {
+                let group = &outcomes[range.clone()];
+                let mut best: Option<(mm_mapspace::Mapping, mm_mapper::Evaluation)> = None;
+                for o in group {
+                    if let Some((m, e)) = &o.best {
+                        let take = match best.as_ref() {
+                            None => true,
+                            Some((_, incumbent)) => e.better_than(incumbent),
+                        };
+                        if take {
+                            best = Some((m.clone(), e.clone()));
+                        }
+                    }
+                }
+                let (best_mapping, best_metrics) = match best {
                     Some((m, e)) => (Some(m), Some(e)),
                     None => (None, None),
                 };
+                let first = &group[0];
                 Arc::new(CachedLayer {
                     best_mapping,
                     best_metrics,
-                    metric_names: o.metric_names,
-                    evaluations: o.evaluations,
-                    searcher: o.searcher,
-                    wall_time_s: o.wall_time_s,
-                    exhausted: o.exhausted,
+                    metric_names: first.metric_names.clone(),
+                    evaluations: group.iter().map(|o| o.evaluations).sum(),
+                    searcher: first.searcher.clone(),
+                    wall_time_s: group.iter().map(|o| o.wall_time_s).fold(0.0, f64::max),
+                    exhausted: group.iter().any(|o| o.exhausted),
                 })
             })
             .collect();
         let total_evaluations: u64 = results.iter().map(|r| r.evaluations).sum();
         if self.config.use_cache {
-            for (fp, result) in job_fingerprints.iter().zip(&results) {
+            for (fp, result) in unique_fingerprints.iter().zip(&results) {
                 self.cache.insert(*fp, Arc::clone(result));
             }
         }
@@ -307,18 +337,38 @@ impl MappingService {
             .expect("one-layer network yields one report")
     }
 
-    fn job_spec(&self, index: usize, fingerprint: u64, problem: &ProblemSpec) -> JobSpec {
+    /// The shard jobs of one distinct layer search: one job per map-space
+    /// shard (a single full-space job when `shards` is 1), with the layer's
+    /// evaluation budget split exactly across the shards and each shard's
+    /// RNG stream derived from the fingerprint *and* the shard index.
+    fn shard_job_specs(
+        &self,
+        base_index: usize,
+        fingerprint: u64,
+        problem: &ProblemSpec,
+    ) -> Vec<JobSpec> {
         let space = MapSpace::new(problem.clone(), self.arch.mapping_constraints());
-        JobSpec {
-            index,
-            space,
-            evaluator: (self.evaluator_factory)(&self.arch, problem),
-            search: (self.search_factory)(),
-            // Seed from the fingerprint, not the layer position: a layer's
-            // result is independent of where it appears, so cache replay is
-            // exactly what a fresh search would have produced.
-            seed: derive_stream_seed(self.config.seed ^ fingerprint, 0),
-            budget: self.config.search_size,
-        }
+        let shards = space.clamp_shard_count(self.config.shards.max(1));
+        (0..shards)
+            .map(|s| {
+                let view: Box<dyn mm_mapspace::MapSpaceView> = if shards > 1 {
+                    Box::new(space.shard(s, shards))
+                } else {
+                    Box::new(space.clone())
+                };
+                JobSpec {
+                    index: base_index + s,
+                    space: view,
+                    evaluator: (self.evaluator_factory)(&self.arch, problem),
+                    search: (self.search_factory)(),
+                    // Seed from the fingerprint and shard, not the layer
+                    // position: a layer's result is independent of where it
+                    // appears, so cache replay is exactly what a fresh
+                    // search would have produced.
+                    seed: derive_stream_seed(self.config.seed ^ fingerprint, s),
+                    budget: split_evenly(self.config.search_size, s, shards),
+                }
+            })
+            .collect()
     }
 }

@@ -20,6 +20,7 @@ fn quick_config() -> ServeConfig {
         queue_capacity: 4,
         seed: 42,
         search_size: 120,
+        shards: 1,
         use_cache: true,
     }
 }
@@ -264,4 +265,70 @@ fn empty_network_yields_an_empty_report() {
     assert!(report.layers.is_empty());
     assert_eq!(report.unique_searches, 0);
     assert_eq!(report.total_evaluations, 0);
+}
+
+/// Sharded layer searches split the budget exactly, stay deterministic, and
+/// their cache replays byte-identically — per shard configuration.
+#[test]
+fn sharded_layer_searches_are_deterministic_and_budget_exact() {
+    let net = table1_network();
+    let config = ServeConfig {
+        shards: 3,
+        ..quick_config()
+    };
+    let mut a = MappingService::new(evaluated_accelerator(), config);
+    let report_a = a.map_network(&net);
+    assert_eq!(report_a.unique_searches, 8);
+    assert_eq!(
+        report_a.total_evaluations,
+        8 * 120,
+        "shard budget shares must sum to search_size per layer"
+    );
+    for layer in &report_a.layers {
+        assert_eq!(layer.evaluations, 120);
+        assert!(layer.best_mapping.is_some());
+    }
+
+    // Same seed + same shard config ⇒ byte-identical report on a fresh
+    // service, and a byte-identical cached replay on the same service.
+    let mut b = MappingService::new(evaluated_accelerator(), config);
+    assert_eq!(
+        report_a.canonical_string(),
+        b.map_network(&net).canonical_string()
+    );
+    let replay = a.map_network(&net);
+    assert_eq!(replay.cache_hits, 8);
+    assert_eq!(replay.total_evaluations, 0, "replay searches nothing");
+    for (fresh, cached) in report_a.layers.iter().zip(&replay.layers) {
+        assert!(cached.cache_hit);
+        assert_eq!(fresh.best_mapping, cached.best_mapping);
+        assert_eq!(fresh.best_metrics, cached.best_metrics);
+        assert_eq!(fresh.evaluations, cached.evaluations);
+    }
+}
+
+/// Different shard counts are different search configurations: they produce
+/// (almost surely) different best mappings, and — because the shard count is
+/// folded into the result-cache fingerprint — a service never replays a
+/// cached result across shard configurations.
+#[test]
+fn shard_config_changes_results_not_cache_replays() {
+    let problem = ProblemSpec::conv1d(768, 7);
+    let run = |shards: usize| {
+        let mut service = MappingService::new(
+            evaluated_accelerator(),
+            ServeConfig {
+                shards,
+                ..quick_config()
+            },
+        );
+        service.map_problem("conv", problem.clone())
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.evaluations, four.evaluations);
+    assert_ne!(
+        one.best_mapping, four.best_mapping,
+        "distinct shard configs should explore differently"
+    );
 }

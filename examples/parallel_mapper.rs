@@ -8,12 +8,16 @@
 //! cargo run --release --example parallel_mapper
 //! # knobs:
 //! MM_MAPPER_THREADS=8 MM_MAPPER_SEARCH_SIZE=20000 cargo run --release --example parallel_mapper
+//! # disjoint map-space shards (loop-order/tiling slices) + work stealing:
+//! MM_MAPPER_SHARDS=8 MM_MAPPER_SHARD_SPACE=1 MM_MAPPER_STEAL=1 cargo run --release --example parallel_mapper
 //! ```
 
 use std::sync::Arc;
 
 use mind_mappings::prelude::*;
-use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, OptMetric, StopReason, TerminationPolicy};
+use mm_mapper::{
+    Mapper, MapperConfig, MapperSchedule, ModelEvaluator, OptMetric, StopReason, TerminationPolicy,
+};
 use mm_search::AnnealingConfig;
 
 fn env_u64(key: &str, default: u64) -> u64 {
@@ -26,6 +30,13 @@ fn env_u64(key: &str, default: u64) -> u64 {
 fn main() {
     let threads = env_u64("MM_MAPPER_THREADS", 4) as usize;
     let search_size = env_u64("MM_MAPPER_SEARCH_SIZE", 8_000);
+    let shards = env_u64("MM_MAPPER_SHARDS", threads as u64) as usize;
+    let shard_space = env_u64("MM_MAPPER_SHARD_SPACE", 0) != 0;
+    let schedule = if env_u64("MM_MAPPER_STEAL", 0) != 0 {
+        MapperSchedule::WorkStealing
+    } else {
+        MapperSchedule::Deterministic
+    };
 
     let arch = evaluated_accelerator();
     let target = table1::by_name("ResNet Conv_4").expect("table 1 problem");
@@ -38,7 +49,10 @@ fn main() {
         "map space:  ~10^{:.1} mappings",
         space.log10_size_estimate()
     );
-    println!("threads:    {threads}, search size: {search_size} evaluations\n");
+    println!(
+        "threads:    {threads}, shards: {shards} (space sharding: {shard_space}, schedule: {schedule:?})"
+    );
+    println!("search:     {search_size} evaluations\n");
 
     // Optimize EDP first; break near-ties by DRAM traffic (a prioritized
     // optimization_metrics list, Timeloop-mapper style).
@@ -49,6 +63,9 @@ fn main() {
 
     let mapper = Mapper::new(MapperConfig {
         threads,
+        shards: Some(shards),
+        shard_space,
+        schedule,
         seed: 1,
         sync_interval: 128,
         termination: TerminationPolicy::search_size(search_size).with_victory_condition(2_000),
@@ -62,14 +79,14 @@ fn main() {
         "evaluated {} mappings in {:.2}s  ({:.0} evals/s aggregate)",
         report.total_evaluations, report.wall_time_s, report.evals_per_sec
     );
-    for t in &report.threads {
+    for t in &report.shards {
         let best = t
             .best
             .as_ref()
             .map_or(f64::INFINITY, |(_, eval)| eval.primary());
         println!(
-            "  thread {}: {:>6} evals, best EDP {:.3e} J·s, stopped by {:?}",
-            t.thread, t.evaluations, best, t.stop
+            "  shard {}: {:>6} evals, best EDP {:.3e} J·s, stopped by {:?}",
+            t.shard, t.evaluations, best, t.stop
         );
     }
 
@@ -101,7 +118,9 @@ fn main() {
         random_cost / metrics.metrics[0]
     );
 
-    if report.threads.iter().any(|t| t.stop == StopReason::Victory) {
-        println!("\n(some threads declared victory early — raise the victory condition to search longer)");
+    if report.shards.iter().any(|t| t.stop == StopReason::Victory) {
+        println!(
+            "\n(some shards declared victory early — raise the victory condition to search longer)"
+        );
     }
 }

@@ -40,10 +40,12 @@ pub mod prelude {
         CostModelObjective, GradientProposer, MindMappings, Phase1Config, Phase2Config, Surrogate,
     };
     pub use mm_mapper::{
-        CostEvaluator, EvalPool, Evaluation, Mapper, MapperConfig, MapperReport, ModelEvaluator,
-        OptMetric, TerminationPolicy,
+        CostEvaluator, EvalPool, Evaluation, Mapper, MapperConfig, MapperReport, MapperSchedule,
+        ModelEvaluator, OptMetric, TerminationPolicy,
     };
-    pub use mm_mapspace::{Encoding, MapSpace, Mapping, MappingConstraints, ProblemSpec};
+    pub use mm_mapspace::{
+        Encoding, MapSpace, MapSpaceView, Mapping, MappingConstraints, ProblemSpec, ShardedMapSpace,
+    };
     pub use mm_search::{
         Budget, GeneticAlgorithm, Objective, ProposalSearch, RandomSearch, SearchTrace, Searcher,
         SimulatedAnnealing,
