@@ -5,7 +5,8 @@
 //!
 //! Writes a `BENCH_mapper.json` summary under the results directory
 //! (override with `MM_RESULTS_DIR`). Tune the sweep with
-//! `MM_MAPPER_BENCH_EVALS` (per-thread evaluations, default 2000).
+//! `MM_MAPPER_BENCH_EVALS` (per-thread evaluations; falls back to
+//! `MM_CI_BENCH_EVALS`, default 2000).
 //!
 //! The acceptance question — 4 threads ≥ 2× the single-threaded loop — is
 //! only answerable on ≥ 2 usable cores; `available_parallelism` is recorded
@@ -60,10 +61,7 @@ fn main() {
     benches();
 
     // The headline sweep: iso-per-thread budgets, JSON summary.
-    let evals_per_thread: u64 = std::env::var("MM_MAPPER_BENCH_EVALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2000);
+    let evals_per_thread = report::env_evals("MM_MAPPER_BENCH_EVALS", 2000);
     let (model, space) = resnet_conv4();
     let result = run_mapper_scaling(&model, &space, &[1, 2, 4, 8], evals_per_thread, 7);
 

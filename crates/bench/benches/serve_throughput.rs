@@ -5,8 +5,8 @@
 //!
 //! Writes a `BENCH_serve.json` summary under the results directory
 //! (override with `MM_RESULTS_DIR`). Tune with `MM_SERVE_BENCH_EVALS`
-//! (per-layer evaluations, default 1000) and `MM_SERVE_BENCH_WORKERS`
-//! (pool workers, default 4).
+//! (per-layer evaluations; falls back to `MM_CI_BENCH_EVALS`, default
+//! 1000) and `MM_SERVE_BENCH_WORKERS` (pool workers, default 4).
 //!
 //! The amortization questions — shared pool vs. cold starts, batch vs.
 //! single dispatch — only show real wins on ≥ 2 usable cores;
@@ -17,13 +17,6 @@ use criterion::{criterion_group, Criterion};
 use mm_bench::{report, run_serve_bench};
 use mm_serve::{MappingService, ServeConfig};
 use mm_workloads::{evaluated_accelerator, table1_network};
-
-fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Criterion view: wall-clock of a small fixed serve call.
 fn bench_serve_network(c: &mut Criterion) {
@@ -57,8 +50,8 @@ criterion_group!(benches, bench_serve_network);
 fn main() {
     benches();
 
-    let evals_per_layer = env_u64("MM_SERVE_BENCH_EVALS", 1000);
-    let workers = env_u64("MM_SERVE_BENCH_WORKERS", 4) as usize;
+    let evals_per_layer = report::env_evals("MM_SERVE_BENCH_EVALS", 1000);
+    let workers = report::env_u64("MM_SERVE_BENCH_WORKERS", 4) as usize;
     let result = run_serve_bench(evals_per_layer, workers, 7);
 
     println!();

@@ -5,8 +5,8 @@
 //!
 //! Writes a `BENCH_shard.json` summary under the results directory
 //! (override with `MM_RESULTS_DIR`). Tune with `MM_SHARD_BENCH_EVALS`
-//! (evaluations per problem per point, default 2000) and
-//! `MM_SHARD_BENCH_THREADS` (worker threads, default 2).
+//! (evaluations per problem per point; falls back to `MM_CI_BENCH_EVALS`,
+//! default 2000) and `MM_SHARD_BENCH_THREADS` (worker threads, default 2).
 //!
 //! Quality numbers are iso-budget and deterministic per configuration; the
 //! wall-clock columns only show parallel speedups on ≥ 2 usable cores
@@ -23,13 +23,6 @@ use mm_mapper::{
 use mm_mapspace::{MapSpace, ProblemSpec};
 use mm_search::RandomSearch;
 use mm_workloads::evaluated_accelerator;
-
-fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Criterion view: wall-clock of a small fixed sharded mapper run.
 fn bench_sharded_mapper(c: &mut Criterion) {
@@ -72,8 +65,8 @@ criterion_group!(benches, bench_sharded_mapper);
 fn main() {
     benches();
 
-    let evals = env_u64("MM_SHARD_BENCH_EVALS", 2000);
-    let threads = env_u64("MM_SHARD_BENCH_THREADS", 2) as usize;
+    let evals = report::env_evals("MM_SHARD_BENCH_EVALS", 2000);
+    let threads = report::env_u64("MM_SHARD_BENCH_THREADS", 2) as usize;
     let result = run_shard_bench(evals, threads, 7);
 
     println!();

@@ -1,0 +1,66 @@
+//! CI bench-regression gate (`cargo run -p mm-bench --bin bench_gate`).
+//!
+//! Diffs fresh `BENCH_*.json` results against the checked-in baselines and
+//! exits non-zero when any quality metric (`best_cost`,
+//! `geomean_best_edp`) regresses more than `MM_GATE_EDP_TOL` (default
+//! 25 %) or any throughput metric (`*evals_per_sec`) drops more than
+//! `MM_GATE_THROUGHPUT_TOL` (default 25 %; CI loosens this, since hosted
+//! runners are not the machine that produced the baselines — quality
+//! metrics are seed-deterministic and stay tight).
+//!
+//! Directories:
+//!
+//! * baselines — `MM_GATE_BASELINE_DIR`, default `crates/bench/results`
+//!   (the checked-in files);
+//! * fresh — `MM_GATE_FRESH_DIR`, else the usual results dir
+//!   (`MM_RESULTS_DIR`, default `results`), where the bench mains just
+//!   wrote their JSON.
+
+use std::path::PathBuf;
+
+use mm_bench::gate::{run_gate, GateTolerances};
+use mm_bench::report::results_dir;
+
+fn main() {
+    let baseline_dir = std::env::var("MM_GATE_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("crates/bench/results"));
+    let fresh_dir = std::env::var("MM_GATE_FRESH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| results_dir());
+    let tolerances = GateTolerances::from_env();
+
+    println!(
+        "bench gate: baselines {} vs fresh {} (quality tol {:.0}%, throughput tol {:.0}%)",
+        baseline_dir.display(),
+        fresh_dir.display(),
+        tolerances.quality * 100.0,
+        tolerances.throughput * 100.0,
+    );
+    let report = run_gate(&baseline_dir, &fresh_dir, tolerances);
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for check in &report.checks {
+        println!("{check}");
+    }
+    for error in &report.errors {
+        eprintln!("error: {error}");
+    }
+
+    let failures = report.failures();
+    if report.passed() {
+        println!(
+            "bench gate passed: {} metrics within tolerance",
+            report.checks.len()
+        );
+    } else {
+        eprintln!(
+            "bench gate FAILED: {} of {} metrics regressed, {} hard errors",
+            failures.len(),
+            report.checks.len(),
+            report.errors.len()
+        );
+        std::process::exit(1);
+    }
+}

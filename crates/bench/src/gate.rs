@@ -1,0 +1,713 @@
+//! The CI bench gate: diff fresh `BENCH_*.json` results against checked-in
+//! baselines and fail on significant regressions.
+//!
+//! Search quality is a first-class regression metric: a refactor that keeps
+//! tests green but silently worsens best-EDP at iso-budget (or tanks
+//! evaluation throughput) must fail CI, not land. The gate reads the JSON
+//! summaries the throughput benches emit, extracts every *gateable* metric
+//! — quality fields (`best_cost`, `geomean_best_edp`: lower is better) and
+//! rate fields (`*evals_per_sec`: higher is better) — and compares fresh
+//! values against the baselines under `crates/bench/results/`.
+//!
+//! Quality metrics are seed-deterministic, so they match the baseline
+//! bit-for-bit on correct code and the default 25 % tolerance only trips on
+//! real behavioural regressions. Rate metrics depend on the machine; CI
+//! overrides their tolerance (`MM_GATE_THROUGHPUT_TOL`) to absorb
+//! runner-vs-container variance while still catching order-of-magnitude
+//! slowdowns.
+//!
+//! The workspace is offline (no serde_json), so the module carries its own
+//! ~100-line JSON value parser — sufficient for the flat documents the
+//! benches write.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed JSON value (number-centric: every number becomes `f64`, which
+/// is lossless for the magnitudes the benches emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                out.push(match escaped {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    other => {
+                        // \uXXXX and exotic escapes never occur in the
+                        // bench output; keep them verbatim rather than
+                        // failing the whole gate.
+                        *other as char
+                    }
+                });
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Which way a gated metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Rates (`*evals_per_sec`): a drop beyond tolerance fails.
+    HigherIsBetter,
+    /// Quality (`best_cost`, `geomean_best_edp`): a rise beyond tolerance
+    /// fails.
+    LowerIsBetter,
+}
+
+/// Classify a JSON field name as a gateable metric.
+fn classify(field: &str) -> Option<Direction> {
+    if field.ends_with("evals_per_sec") {
+        Some(Direction::HigherIsBetter)
+    } else if field == "best_cost" || field == "geomean_best_edp" {
+        Some(Direction::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// Array-element keys that identify a point across baseline and fresh runs
+/// (so reordering points never misattributes a metric).
+const IDENTITY_KEYS: [&str; 5] = ["threads", "shards", "schedule", "policy", "workers"];
+
+/// Flatten every gateable metric of a parsed document into
+/// `path → (value, direction)`.
+pub fn gateable_metrics(doc: &Json) -> BTreeMap<String, (f64, Direction)> {
+    let mut out = BTreeMap::new();
+    flatten(doc, "", &mut out);
+    out
+}
+
+fn element_label(item: &Json, index: usize) -> String {
+    let mut parts = Vec::new();
+    for key in IDENTITY_KEYS {
+        if let Some(v) = item.get(key) {
+            match v {
+                Json::Num(n) => parts.push(format!("{key}={n}")),
+                Json::Str(s) => parts.push(format!("{key}={s}")),
+                _ => {}
+            }
+        }
+    }
+    if parts.is_empty() {
+        format!("[{index}]")
+    } else {
+        format!("[{}]", parts.join(","))
+    }
+}
+
+fn flatten(value: &Json, prefix: &str, out: &mut BTreeMap<String, (f64, Direction)>) {
+    match value {
+        Json::Obj(members) => {
+            for (key, v) in members {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                match v {
+                    Json::Num(n) => {
+                        if let Some(direction) = classify(key) {
+                            // Identity-key collisions (two points with the
+                            // same label) must not shadow each other:
+                            // suffix later occurrences. Consistent ordering
+                            // keeps baseline/fresh labels aligned; a
+                            // reorder then fails closed as a missing
+                            // metric instead of silently passing.
+                            let mut unique = path.clone();
+                            let mut n_th = 2;
+                            while out.contains_key(&unique) {
+                                unique = format!("{path}#{n_th}");
+                                n_th += 1;
+                            }
+                            out.insert(unique, (*n, direction));
+                        }
+                    }
+                    _ => flatten(v, &path, out),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("{prefix}{}", element_label(item, i));
+                flatten(item, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// File the metric came from.
+    pub file: String,
+    /// Flattened metric path (e.g. `points[threads=2].evals_per_sec`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Improvement direction of the metric.
+    pub direction: Direction,
+    /// Tolerance applied (fraction, e.g. 0.25).
+    pub tolerance: f64,
+    /// Whether the fresh value is within tolerance.
+    pub ok: bool,
+}
+
+impl GateCheck {
+    /// Relative change of the fresh value, signed so that positive =
+    /// regression (quality up / throughput down).
+    pub fn regression(&self) -> f64 {
+        if self.baseline == 0.0 {
+            return 0.0;
+        }
+        match self.direction {
+            Direction::LowerIsBetter => self.fresh / self.baseline - 1.0,
+            Direction::HigherIsBetter => 1.0 - self.fresh / self.baseline,
+        }
+    }
+}
+
+impl fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}/{}: baseline {:.6e}, fresh {:.6e} ({:+.1}% vs ≤{:.0}% allowed)",
+            if self.ok { "ok  " } else { "FAIL" },
+            self.file,
+            self.metric,
+            self.baseline,
+            self.fresh,
+            self.regression() * 100.0,
+            self.tolerance * 100.0,
+        )
+    }
+}
+
+/// The gate's verdict over one pair of result directories.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every compared metric.
+    pub checks: Vec<GateCheck>,
+    /// Hard failures that are not metric comparisons (missing/unparsable
+    /// fresh files, metrics that vanished from a fresh file).
+    pub errors: Vec<String>,
+    /// Non-fatal notes (e.g. a baseline file that does not exist yet).
+    pub notes: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+}
+
+/// Tolerances for the two metric classes (fractions: 0.25 = 25 %).
+#[derive(Debug, Clone, Copy)]
+pub struct GateTolerances {
+    /// Allowed relative best-EDP / best-cost increase.
+    pub quality: f64,
+    /// Allowed relative throughput drop.
+    pub throughput: f64,
+}
+
+impl Default for GateTolerances {
+    fn default() -> Self {
+        GateTolerances {
+            quality: 0.25,
+            throughput: 0.25,
+        }
+    }
+}
+
+impl GateTolerances {
+    /// Read tolerances from `MM_GATE_EDP_TOL` / `MM_GATE_THROUGHPUT_TOL`
+    /// (fractions), falling back to the 25 % defaults.
+    pub fn from_env() -> Self {
+        let read = |key: &str, default: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(default)
+        };
+        GateTolerances {
+            quality: read("MM_GATE_EDP_TOL", 0.25),
+            throughput: read("MM_GATE_THROUGHPUT_TOL", 0.25),
+        }
+    }
+}
+
+/// The benchmark summaries the gate covers.
+pub const GATED_FILES: [&str; 4] = [
+    "BENCH_mapper.json",
+    "BENCH_serve.json",
+    "BENCH_shard.json",
+    "BENCH_sync.json",
+];
+
+/// Compare one parsed fresh document against its baseline.
+pub fn gate_documents(
+    file: &str,
+    baseline: &Json,
+    fresh: &Json,
+    tolerances: GateTolerances,
+    report: &mut GateReport,
+) {
+    let base_metrics = gateable_metrics(baseline);
+    let fresh_metrics = gateable_metrics(fresh);
+    for (path, (base_value, direction)) in &base_metrics {
+        let Some((fresh_value, _)) = fresh_metrics.get(path) else {
+            report
+                .errors
+                .push(format!("{file}: metric {path} missing from fresh results"));
+            continue;
+        };
+        if !base_value.is_finite() || *base_value <= 0.0 {
+            report
+                .notes
+                .push(format!("{file}: skipping degenerate baseline {path}"));
+            continue;
+        }
+        let tolerance = match direction {
+            Direction::LowerIsBetter => tolerances.quality,
+            Direction::HigherIsBetter => tolerances.throughput,
+        };
+        let ok = match direction {
+            Direction::LowerIsBetter => *fresh_value <= base_value * (1.0 + tolerance),
+            Direction::HigherIsBetter => *fresh_value >= base_value * (1.0 - tolerance),
+        };
+        report.checks.push(GateCheck {
+            file: file.to_string(),
+            metric: path.clone(),
+            baseline: *base_value,
+            fresh: *fresh_value,
+            direction: *direction,
+            tolerance,
+            ok,
+        });
+    }
+}
+
+/// Run the gate over every [`GATED_FILES`] entry: baseline from
+/// `baseline_dir`, fresh results from `fresh_dir`.
+pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path, tolerances: GateTolerances) -> GateReport {
+    let mut report = GateReport::default();
+    for file in GATED_FILES {
+        let base_path = baseline_dir.join(file);
+        let fresh_path = fresh_dir.join(file);
+        let Ok(base_text) = std::fs::read_to_string(&base_path) else {
+            report.notes.push(format!(
+                "no baseline {} — metric not gated yet",
+                base_path.display()
+            ));
+            continue;
+        };
+        let fresh_text = match std::fs::read_to_string(&fresh_path) {
+            Ok(text) => text,
+            Err(e) => {
+                report.errors.push(format!(
+                    "baseline {file} exists but fresh {} is unreadable: {e}",
+                    fresh_path.display()
+                ));
+                continue;
+            }
+        };
+        let baseline = match parse_json(&base_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                report
+                    .errors
+                    .push(format!("unparsable baseline {file}: {e}"));
+                continue;
+            }
+        };
+        let fresh = match parse_json(&fresh_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                report.errors.push(format!("unparsable fresh {file}: {e}"));
+                continue;
+            }
+        };
+        gate_documents(file, &baseline, &fresh, tolerances, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_documents() {
+        let doc = parse_json(
+            r#"{
+  "bench": "mapper_throughput",
+  "problem": "ResNet Conv_4",
+  "evals_per_thread": 200,
+  "baseline_single_thread_searcher_evals_per_sec": 31415.9,
+  "points": [
+    {"threads": 1, "evals_per_sec": 30000.5, "best_cost": 1.25e-3},
+    {"threads": 2, "evals_per_sec": 29000.0, "best_cost": 9.000000e-4}
+  ],
+  "empty_arr": [],
+  "empty_obj": {},
+  "flag": true,
+  "nothing": null
+}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("bench").unwrap().as_str(),
+            Some("mapper_throughput")
+        );
+        assert_eq!(doc.get("evals_per_thread").unwrap().as_f64(), Some(200.0));
+        let metrics = gateable_metrics(&doc);
+        assert_eq!(
+            metrics["baseline_single_thread_searcher_evals_per_sec"],
+            (31415.9, Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            metrics["points[threads=2].best_cost"],
+            (9e-4, Direction::LowerIsBetter)
+        );
+        assert_eq!(metrics.len(), 5, "two per point plus the baseline rate");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    fn doc(points: &[(&str, u64, f64, f64)]) -> Json {
+        // (policy, shards, geomean_best_edp, evals_per_sec) points.
+        Json::Obj(vec![(
+            "points".to_string(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|(policy, shards, edp, rate)| {
+                        Json::Obj(vec![
+                            ("policy".to_string(), Json::Str((*policy).to_string())),
+                            ("shards".to_string(), Json::Num(*shards as f64)),
+                            ("geomean_best_edp".to_string(), Json::Num(*edp)),
+                            ("evals_per_sec".to_string(), Json::Num(*rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let baseline = doc(&[("off", 1, 1.0e-3, 10_000.0), ("anchor", 2, 8.0e-4, 9_000.0)]);
+        // Within 25%: EDP +10%, throughput −20%.
+        let good = doc(&[("off", 1, 1.1e-3, 8_000.0), ("anchor", 2, 8.0e-4, 9_000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_sync.json",
+            &baseline,
+            &good,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(report.passed(), "{:?}", report.failures());
+        assert_eq!(report.checks.len(), 4);
+
+        // Beyond 25%: EDP +50% on the anchor/2 point.
+        let bad = doc(&[("off", 1, 1.0e-3, 10_000.0), ("anchor", 2, 1.2e-3, 9_000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_sync.json",
+            &baseline,
+            &bad,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].metric,
+            "points[shards=2,policy=anchor].geomean_best_edp"
+        );
+        assert!(failures[0].regression() > 0.25);
+
+        // A throughput collapse fails too.
+        let slow = doc(&[("off", 1, 1.0e-3, 1_000.0), ("anchor", 2, 8.0e-4, 9_000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_sync.json",
+            &baseline,
+            &slow,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(
+            report.failures()[0].metric,
+            "points[shards=1,policy=off].evals_per_sec"
+        );
+    }
+
+    #[test]
+    fn reordered_points_still_match_by_identity() {
+        let baseline = doc(&[("off", 1, 1.0e-3, 1000.0), ("anchor", 2, 2.0e-3, 1000.0)]);
+        let reordered = doc(&[("anchor", 2, 2.0e-3, 1000.0), ("off", 1, 1.0e-3, 1000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_sync.json",
+            &baseline,
+            &reordered,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(report.passed(), "{:?}", report.failures());
+    }
+
+    #[test]
+    fn identity_collisions_never_shadow_a_metric() {
+        // Two points with identical identity keys (same policy+shards,
+        // differing only in a non-identity field): both must be gated.
+        let baseline = doc(&[("off", 1, 1.0e-3, 1000.0), ("off", 1, 5.0e-3, 2000.0)]);
+        let metrics = gateable_metrics(&baseline);
+        assert_eq!(metrics.len(), 4, "no silent shadowing: {metrics:?}");
+        assert!(metrics.contains_key("points[shards=1,policy=off].geomean_best_edp"));
+        assert!(metrics.contains_key("points[shards=1,policy=off].geomean_best_edp#2"));
+        // A regression in the second (previously shadowed) point is caught.
+        let bad = doc(&[("off", 1, 1.0e-3, 1000.0), ("off", 1, 9.0e-3, 2000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_x.json",
+            &baseline,
+            &bad,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn vanished_metric_is_a_hard_error() {
+        let baseline = doc(&[("off", 1, 1.0e-3, 1000.0)]);
+        let fresh = doc(&[("anchor", 4, 1.0e-3, 1000.0)]);
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_x.json",
+            &baseline,
+            &fresh,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(!report.passed());
+        assert!(!report.errors.is_empty());
+    }
+
+    #[test]
+    fn run_gate_handles_missing_directories() {
+        let empty = std::env::temp_dir().join("mm_gate_no_such_dir");
+        let report = run_gate(&empty, &empty, GateTolerances::default());
+        assert!(report.passed(), "no baselines ⇒ nothing gated yet");
+        assert_eq!(report.notes.len(), GATED_FILES.len());
+    }
+}

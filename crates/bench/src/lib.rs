@@ -18,17 +18,21 @@
 //! * [`report`] — CSV/table output helpers (results land in `results/`).
 
 pub mod comparison;
+pub mod gate;
 pub mod mapper_scaling;
 pub mod report;
 pub mod scale;
 pub mod serve_bench;
 pub mod shard_bench;
+pub mod sync_bench;
 
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
+pub use gate::{run_gate, GateCheck, GateReport, GateTolerances};
 pub use mapper_scaling::{run_mapper_scaling, MapperScalingResult, ScalingPoint};
 pub use scale::ExperimentScale;
 pub use serve_bench::{run_serve_bench, ServeBenchResult};
 pub use shard_bench::{run_shard_bench, ShardBenchPoint, ShardBenchResult};
+pub use sync_bench::{run_sync_bench, SyncBenchPoint, SyncBenchResult};
 
 use mm_core::{MindMappingsError, Phase1Config, Surrogate};
 use mm_nn::TrainHistory;

@@ -10,6 +10,25 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(dir)
 }
 
+/// Read a `u64` environment knob, falling back to `default`.
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read a per-bench evaluation budget: the bench-specific variable wins,
+/// then the CI-wide `MM_CI_BENCH_EVALS` fallback, then `default`. This is
+/// what lets `ci.yml` size *every* bench with one variable instead of one
+/// `MM_*_BENCH_EVALS` per bench.
+pub fn env_evals(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| env_u64("MM_CI_BENCH_EVALS", default))
+}
+
 /// Write a CSV file (header + rows) under the results directory, returning
 /// the path written.
 ///

@@ -167,6 +167,13 @@ impl MindMappings {
     /// Phase 2 over disjoint map-space shards: one gradient trajectory per
     /// shard, the budget split exactly, traces merged in shard order. Each
     /// proposal is scored by `objective` as it is visited.
+    ///
+    /// With [`Phase2Config::sync`] enabled, the policy is consulted before
+    /// each trajectory after the first — stall counter = consecutive shards
+    /// without a best improvement, progress = fraction of shards completed
+    /// — and, when it acts, the running best mapping is handed to the next
+    /// shard's proposer as its starting anchor (`Adopt`) or warm restart
+    /// (`Restart`).
     fn search_sharded(
         &self,
         problem: &ProblemSpec,
@@ -193,10 +200,25 @@ impl MindMappings {
         let space = self.map_space(problem);
         let shards = self.effective_shards(&space);
         let mut merged = SearchTrace::new("MM");
+        let mut sync_state = mm_search::SyncState::new();
         for s in 0..shards {
             let view = space.shard(s, shards);
             let mut proposer =
                 crate::GradientProposer::new(&self.surrogate, problem.clone(), self.phase2)?;
+            // One sync point per shard boundary: the stall counter tracks
+            // consecutive shards that failed to improve the merged best,
+            // and SyncState re-arms it whenever a restart fires.
+            if self.phase2.sync.is_enabled() && s > 0 {
+                if let Some(best) = &merged.best_mapping {
+                    let progress = s as f64 / shards as f64;
+                    if let Some(action) =
+                        sync_state.decide(&self.phase2.sync, Some(merged.best_cost), progress, rng)
+                    {
+                        use mm_search::ProposalSearch;
+                        proposer.observe_global_best(&view, best, merged.best_cost, action, rng);
+                    }
+                }
+            }
             let mut shard_objective = OffsetObjective {
                 base: objective.queries(),
                 inner: objective,
@@ -394,6 +416,35 @@ mod tests {
             .best_mapping(&problem, Budget::iterations(80), &mut rng)
             .unwrap();
         assert!(mm.is_member(&problem, &deployed));
+    }
+
+    #[test]
+    fn synced_sharded_phase2_spends_the_exact_budget_and_stays_valid() {
+        use mm_search::SyncPolicy;
+        let mut mm = quick_framework(31);
+        let problem = ProblemSpec::conv1d(640, 5);
+        for sync in [
+            SyncPolicy::Anchor,
+            SyncPolicy::Restart { patience: 0 },
+            SyncPolicy::Annealed {
+                start: 1.0,
+                end: 1.0,
+            },
+        ] {
+            mm.set_phase2_config(Phase2Config {
+                shards: 4,
+                sync,
+                ..Phase2Config::default()
+            });
+            let mut rng = StdRng::seed_from_u64(32);
+            let trace = mm.search(&problem, 120, &mut rng);
+            assert_eq!(trace.len(), 120, "{sync}: shard shares must sum");
+            assert!(trace.best_cost.is_finite() && trace.best_cost > 0.0);
+            assert!(mm.is_member(&problem, trace.best_mapping.as_ref().unwrap()));
+            for w in trace.points.windows(2) {
+                assert!(w[1].best_cost <= w[0].best_cost);
+            }
+        }
     }
 
     #[test]

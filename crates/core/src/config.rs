@@ -7,6 +7,7 @@
 
 use mm_nn::optim::StepLr;
 use mm_nn::Loss;
+use mm_search::SyncPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Phase 1 (offline surrogate training) configuration.
@@ -130,6 +131,14 @@ pub struct Phase2Config {
     /// disjoint shards, each searched by its own trajectory, for provably
     /// non-overlapping coverage. Clamped to the space's `shard_capacity`.
     pub shards: usize,
+    /// How shard trajectories re-anchor on the incumbent best
+    /// ([`SyncPolicy::Off`], the default: fully independent trajectories).
+    /// With `shards > 1` the policy is consulted before each trajectory
+    /// after the first: it may hand the running best mapping to the next
+    /// shard's [`GradientProposer`](crate::GradientProposer) as its
+    /// starting anchor (`Adopt`) or as a reseeded warm restart (`Restart`,
+    /// which also resets the injection temperature schedule).
+    pub sync: SyncPolicy,
 }
 
 impl Default for Phase2Config {
@@ -142,6 +151,7 @@ impl Default for Phase2Config {
             temperature_decay: 0.75,
             decay_every_injections: 50,
             shards: 1,
+            sync: SyncPolicy::Off,
         }
     }
 }
@@ -173,6 +183,7 @@ mod tests {
         assert!((c.temperature_decay - 0.75).abs() < 1e-9);
         assert_eq!(c.decay_every_injections, 50);
         assert_eq!(c.shards, 1, "sharding is off by default");
+        assert_eq!(c.sync, SyncPolicy::Off, "sync is off by default");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! evaluation worker busy.
 
 use mm_mapspace::{MapSpaceView, Mapping, ProblemSpec};
-use mm_search::ProposalSearch;
+use mm_search::{ProposalSearch, SyncAction};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -46,6 +46,11 @@ pub struct GradientProposer {
     problem: ProblemSpec,
     config: Phase2Config,
     state: Option<TrajectoryState>,
+    /// An incumbent observed before [`ProposalSearch::begin`]: the next
+    /// trajectory starts from it instead of a random mapping (used by the
+    /// sequential sharded Phase-2 search to warm-start shard `s+1` on the
+    /// best of shards `0..=s`).
+    pending_anchor: Option<Mapping>,
 }
 
 impl GradientProposer {
@@ -69,6 +74,7 @@ impl GradientProposer {
             problem,
             config,
             state: None,
+            pending_anchor: None,
         })
     }
 
@@ -142,7 +148,18 @@ impl ProposalSearch for GradientProposer {
             (self.problem.num_dims(), self.problem.num_tensors()),
             "map space problem shape does not match the proposer's problem"
         );
-        let current = space.random_mapping(rng);
+        // Start from a stashed incumbent when a sync policy handed one
+        // over before the run. The incumbent may come from another shard's
+        // disjoint slice, and the first proposal is emitted verbatim — so
+        // repair pins the anchor into this view before it seeds the
+        // trajectory (later steps stay in-shard via `space.project`).
+        let current = match self.pending_anchor.take() {
+            Some(mut anchor) => {
+                space.repair(&mut anchor);
+                anchor
+            }
+            None => space.random_mapping(rng),
+        };
         let x = self.surrogate.encode_normalized(&self.problem, &current);
         self.state = Some(TrajectoryState {
             x,
@@ -197,6 +214,35 @@ impl ProposalSearch for GradientProposer {
     /// True costs never steer the surrogate trajectory (paper methodology);
     /// best-so-far tracking lives in the orchestrator.
     fn report(&mut self, _mapping: &Mapping, _cost: f64, _rng: &mut StdRng) {}
+
+    /// Re-anchor the trajectory on the incumbent: the current point (and
+    /// its whitened encoding) jump to `mapping`, and
+    /// [`SyncAction::Restart`] additionally resets the annealed-injection
+    /// temperature schedule so the reseeded trajectory regains its early
+    /// acceptance mobility. Observed before [`begin`](ProposalSearch::begin),
+    /// the incumbent is stashed and becomes the next run's starting point
+    /// (repaired into that run's view, which may be a different shard).
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        mapping: &Mapping,
+        _cost: f64,
+        action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+        let initial_temperature = self.config.initial_temperature;
+        match self.state.as_mut() {
+            Some(state) => {
+                state.current = mapping.clone();
+                state.x = self.surrogate.encode_normalized(&self.problem, mapping);
+                if action == SyncAction::Restart {
+                    state.temperature = initial_temperature;
+                    state.injections = 0;
+                }
+            }
+            None => self.pending_anchor = Some(mapping.clone()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,22 @@ impl ProposalSearch for BridgedSearcher {
             session.done = true;
         }
     }
+
+    /// Global-best sync actions are **intentionally dropped**: the inner
+    /// monolithic [`Searcher`] owns its whole loop on a dedicated thread and
+    /// has no mid-run steering hook to forward the incumbent into, so a
+    /// [`SyncPolicy`](mm_search::SyncPolicy) configured on the driver is a
+    /// no-op for bridged searchers (the four built-in baselines all speak
+    /// the stepwise protocol natively and do implement the mechanics).
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        _mapping: &Mapping,
+        _cost: f64,
+        _action: mm_search::SyncAction,
+        _rng: &mut StdRng,
+    ) {
+    }
 }
 
 #[cfg(test)]

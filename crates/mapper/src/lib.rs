@@ -25,9 +25,12 @@
 //!   pairwise-disjoint subspaces via `MapSpace::shard`), executes them on a
 //!   worker-thread pool with a deterministic or work-stealing budget
 //!   schedule, syncs a shared best mapping every
-//!   [`MapperConfig::sync_interval`] evaluations, and terminates on
-//!   Timeloop-style [`TerminationPolicy`] knobs (`search_size`,
-//!   `victory_condition`, `timeout`).
+//!   [`MapperConfig::sync_interval`] evaluations under a configurable
+//!   [`SyncPolicy`] (re-anchor always / on stall / with annealed
+//!   probability — exchanged at deterministic barrier rounds under the
+//!   deterministic schedule), and terminates on Timeloop-style
+//!   [`TerminationPolicy`] knobs (`search_size`, `victory_condition`,
+//!   `timeout`).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -67,3 +70,6 @@ pub use mapper::{
 pub use metrics::{Evaluation, OptMetric};
 pub use pipeline::{run_pipelined, MIN_PIPELINE_DEPTH};
 pub use policy::{split_evenly, StopReason, TerminationPolicy};
+// The sync-policy vocabulary is defined next to the searchers (mm-search)
+// and re-exported here because `MapperConfig::sync` is its main consumer.
+pub use mm_search::{SyncAction, SyncPolicy};

@@ -29,9 +29,22 @@
 //! finish unevenly — at the cost of run-to-run determinism under real
 //! concurrency.
 //!
-//! Two further things intentionally trade determinism away when enabled:
-//! wall-clock `timeout`, and [`MapperConfig::adopt_global_best`] (shards
-//! steering by each others' progress).
+//! # Global-best synchronization
+//!
+//! [`MapperConfig::sync`] installs a [`SyncPolicy`]: shards periodically
+//! observe the shared incumbent and re-anchor on it (`Anchor`), restart
+//! from it when stalled (`Restart`), or adopt it with an annealed
+//! probability (`Annealed`). Under [`MapperSchedule::Deterministic`] the
+//! exchange happens at **barrier rounds**: every shard runs exactly
+//! `sync_interval` evaluations, then all shards rendezvous, merge their
+//! bests in shard order, and apply the policy — so the incumbent each
+//! shard sees (and hence the whole report) is *independent of worker
+//! count*, preserving the byte-identical
+//! [`MapperReport::canonical_string`] guarantee under every policy. Under
+//! [`MapperSchedule::WorkStealing`] shards snapshot the live shared best
+//! instead (no barriers, not deterministic under real concurrency).
+//!
+//! Wall-clock `timeout` still intentionally trades determinism away.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,7 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mm_mapspace::{MapSpace, MapSpaceView, Mapping};
-use mm_search::{ProposalSearch, SearchTrace};
+use mm_search::{ProposalSearch, SearchTrace, SyncAction, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -81,17 +94,25 @@ pub struct MapperConfig {
     pub schedule: MapperSchedule,
     /// Master seed; per-shard streams are derived deterministically.
     pub seed: u64,
-    /// Evaluations between a shard publishing its best to the shared
-    /// global best.
+    /// Evaluations between sync points: a shard publishing its best to the
+    /// shared global best, and — with [`MapperConfig::sync`] enabled — the
+    /// cadence at which the [`SyncPolicy`] is consulted (the barrier-round
+    /// length under the deterministic schedule).
     pub sync_interval: u64,
     /// Maximum proposals a shard requests per driver iteration (bounded
     /// further by the searcher's own lookahead).
     pub batch_size: usize,
     /// When to stop.
     pub termination: TerminationPolicy,
-    /// Let searchers observe the shared global best at sync points
-    /// (faster convergence, but multi-shard runs become non-deterministic).
-    pub adopt_global_best: bool,
+    /// How shards re-anchor on the shared global best ([`SyncPolicy::Off`]:
+    /// never — fully independent shards). Under
+    /// [`MapperSchedule::Deterministic`] with a `search_size` budget the
+    /// policy runs at barrier rounds and preserves the byte-identical
+    /// canonical report across worker counts; under
+    /// [`MapperSchedule::WorkStealing`] (or unbounded budgets) shards
+    /// snapshot the live shared best instead, which is not deterministic
+    /// under real concurrency.
+    pub sync: SyncPolicy,
     /// Record a full per-shard [`SearchTrace`] (costs mapping clones per
     /// evaluation; leave off for throughput measurements).
     pub record_traces: bool,
@@ -108,7 +129,7 @@ impl Default for MapperConfig {
             sync_interval: 64,
             batch_size: 16,
             termination: TerminationPolicy::search_size(10_000),
-            adopt_global_best: false,
+            sync: SyncPolicy::Off,
             record_traces: false,
         }
     }
@@ -142,6 +163,9 @@ pub struct MapperReport {
     pub wall_time_s: f64,
     /// Aggregate evaluation throughput.
     pub evals_per_sec: f64,
+    /// The global-best sync policy the run used (part of the canonical
+    /// identity: distinct policies are distinct search configurations).
+    pub sync: SyncPolicy,
     /// Per-shard details, indexed by shard.
     pub shards: Vec<ShardReport>,
 }
@@ -156,12 +180,15 @@ impl MapperReport {
 
     /// Render the deterministic portion of the report — everything except
     /// the wall-clock fields — as a stable string. Under
-    /// [`MapperSchedule::Deterministic`] (and no wall-clock `timeout` /
-    /// `adopt_global_best`), the same seed and shard count produce
-    /// byte-identical output **regardless of worker count**.
+    /// [`MapperSchedule::Deterministic`] with a `search_size` budget (and
+    /// no wall-clock `timeout`), the same seed and shard count produce
+    /// byte-identical output **regardless of worker count**, under *every*
+    /// [`SyncPolicy`] — policy-enabled runs exchange incumbents at barrier
+    /// rounds whose content is worker-count independent.
     pub fn canonical_string(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let _ = writeln!(out, "sync={}", self.sync.canonical_string());
         for s in &self.shards {
             let _ = writeln!(
                 out,
@@ -358,53 +385,89 @@ impl Mapper {
         let stop = AtomicBool::new(false);
         let start = Instant::now();
 
-        // Phase 1 — every shard runs on its exact `split_evenly` share
-        // (identical under both schedules, so work stealing degenerates to
-        // the deterministic schedule when shards finish evenly).
-        let runs: Vec<ShardRun> = (0..shards)
+        let mut runs: Vec<ShardRun> = (0..shards)
             .map(|s| ShardRun::start(s, shards, &self.config, &*views[s], factory(s)))
             .collect();
         let workers = threads.min(shards).max(1);
-        let (mut runs, surplus) = execute_queue(
-            &self.config,
-            runs,
-            None,
-            workers,
-            &evaluator,
-            &global,
-            &stop,
-            start,
-        );
 
-        // Phase 2 (work stealing only) — leftover budget from shards that
-        // exhausted or declared victory early is pooled in a shared ledger
-        // and stolen by the shards still willing to search.
-        if self.config.schedule == MapperSchedule::WorkStealing
-            && surplus > 0
-            && !stop.load(Ordering::Relaxed)
-        {
-            let (willing, done): (Vec<ShardRun>, Vec<ShardRun>) = runs
-                .into_iter()
-                .partition(|r| r.stop_reason == StopReason::SearchSize);
-            let mut finished = done;
-            if willing.is_empty() {
-                runs = finished;
-            } else {
-                let ledger = BudgetLedger::new(surplus);
-                let (stolen, _) = execute_queue(
-                    &self.config,
-                    willing,
-                    Some(&ledger),
-                    workers,
-                    &evaluator,
-                    &global,
-                    &stop,
-                    start,
-                );
-                finished.extend(stolen);
-                runs = finished;
+        // Policy-enabled deterministic runs exchange incumbents at barrier
+        // rounds, which keeps the canonical report worker-count independent;
+        // everything else drives each shard to completion in one go, with
+        // live (racy) snapshots of the shared best when a policy is on.
+        let barrier_sync = self.config.sync.is_enabled()
+            && self.config.schedule == MapperSchedule::Deterministic
+            && self.config.sync_interval > 0
+            && self.config.termination.search_size.is_some()
+            && shards > 1;
+
+        let mut runs = if barrier_sync {
+            run_barrier_rounds(
+                &self.config,
+                runs,
+                workers,
+                &evaluator,
+                &global,
+                &stop,
+                start,
+            )
+        } else {
+            // Phase 1 — every shard runs on its exact `split_evenly` share
+            // (identical under both schedules, so work stealing degenerates
+            // to the deterministic schedule when shards finish evenly).
+            let total = self.config.termination.search_size;
+            for run in &mut runs {
+                run.grant = if total.is_some() {
+                    self.config
+                        .termination
+                        .per_shard_search_size(run.shard, shards)
+                } else {
+                    None
+                };
+                run.live_sync = self.config.sync.is_enabled();
             }
-        }
+            let (mut runs, surplus) = execute_queue(
+                &self.config,
+                runs,
+                None,
+                workers,
+                &evaluator,
+                &global,
+                &stop,
+                start,
+            );
+
+            // Phase 2 (work stealing only) — leftover budget from shards
+            // that exhausted or declared victory early is pooled in a
+            // shared ledger and stolen by the shards still willing to
+            // search.
+            if self.config.schedule == MapperSchedule::WorkStealing
+                && surplus > 0
+                && !stop.load(Ordering::Relaxed)
+            {
+                let (willing, done): (Vec<ShardRun>, Vec<ShardRun>) = runs
+                    .into_iter()
+                    .partition(|r| r.stop_reason == StopReason::SearchSize);
+                let mut finished = done;
+                if willing.is_empty() {
+                    runs = finished;
+                } else {
+                    let ledger = BudgetLedger::new(surplus);
+                    let (stolen, _) = execute_queue(
+                        &self.config,
+                        willing,
+                        Some(&ledger),
+                        workers,
+                        &evaluator,
+                        &global,
+                        &stop,
+                        start,
+                    );
+                    finished.extend(stolen);
+                    runs = finished;
+                }
+            }
+            runs
+        };
         runs.sort_by_key(|r| r.shard);
 
         let reports: Vec<ShardReport> = runs.into_iter().map(ShardRun::finish).collect();
@@ -438,9 +501,91 @@ impl Mapper {
             } else {
                 0.0
             },
+            sync: self.config.sync,
             shards: reports,
         }
     }
+}
+
+/// Drive every shard through barrier-synchronized rounds of
+/// `sync_interval` evaluations: run one round of each live shard (on any
+/// number of workers), rendezvous, merge the per-shard bests *in shard
+/// order*, and let each still-live shard apply the [`SyncPolicy`] to the
+/// merged incumbent. Each round's work depends only on shard-local state
+/// and the (deterministic) barrier incumbent, so the resulting reports are
+/// byte-identical across worker counts.
+fn run_barrier_rounds<'a>(
+    config: &MapperConfig,
+    runs: Vec<ShardRun<'a>>,
+    workers: usize,
+    evaluator: &Arc<dyn CostEvaluator>,
+    global: &GlobalBest,
+    stop: &AtomicBool,
+    start: Instant,
+) -> Vec<ShardRun<'a>> {
+    let shards = runs.len();
+    // Remaining reserved share per shard (exact `split_evenly` split).
+    let mut remaining: Vec<u64> = (0..shards)
+        .map(|s| {
+            config
+                .termination
+                .per_shard_search_size(s, shards)
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut retired: Vec<ShardRun<'a>> = Vec::new();
+    let mut live = runs;
+
+    while !live.is_empty() {
+        for run in &mut live {
+            run.grant = Some(remaining[run.shard].min(config.sync_interval));
+        }
+        let (mut round, _) =
+            execute_queue(config, live, None, workers, evaluator, global, stop, start);
+        round.sort_by_key(|r| r.shard);
+
+        // Account the spent budget; a shard retires when it stopped for any
+        // reason other than exhausting its round grant, or when its share
+        // is gone.
+        let mut next_live: Vec<ShardRun<'a>> = Vec::new();
+        for run in round {
+            let spent = run.grant.unwrap_or(0).saturating_sub(run.leftover);
+            remaining[run.shard] = remaining[run.shard].saturating_sub(spent);
+            let done = run.stop_reason != StopReason::SearchSize || remaining[run.shard] == 0;
+            if done {
+                retired.push(run);
+            } else {
+                next_live.push(run);
+            }
+        }
+        if next_live.is_empty() || stop.load(Ordering::Relaxed) {
+            retired.extend(next_live);
+            break;
+        }
+
+        // Barrier: merge all shards' bests in shard order
+        // (strictly-better-wins, so ties resolve to the lowest shard index
+        // — worker-count independent) and deliver the incumbent.
+        let mut by_shard: Vec<Option<&(Mapping, Evaluation)>> = vec![None; shards];
+        for run in retired.iter().chain(next_live.iter()) {
+            by_shard[run.shard] = run.best.as_ref();
+        }
+        let mut incumbent: Option<(Mapping, Evaluation)> = None;
+        for best in by_shard.into_iter().flatten() {
+            let take = match incumbent.as_ref() {
+                None => true,
+                Some((_, reigning)) => best.1.better_than(reigning),
+            };
+            if take {
+                incumbent = Some(best.clone());
+            }
+        }
+        for run in &mut next_live {
+            run.sync_point(config, incumbent.as_ref());
+        }
+        live = next_live;
+    }
+    retired
 }
 
 /// One shard's live search state, carried across scheduling phases so a
@@ -459,6 +604,18 @@ struct ShardRun<'a> {
     /// Reserved budget this shard could not use (exhausted/victory), to be
     /// pooled for stealing.
     leftover: u64,
+    /// Fixed evaluation grant for the next [`drive`](Self::drive) call
+    /// (`None` = unbounded by search size); ignored when driving against a
+    /// work-stealing ledger.
+    grant: Option<u64>,
+    /// Apply the [`SyncPolicy`] against live snapshots of the shared best
+    /// at in-drive sync points (the non-barrier modes).
+    live_sync: bool,
+    /// Total per-shard budget estimate, for the annealed policy's progress.
+    horizon: Option<u64>,
+    /// Stall bookkeeping (consecutive non-improving sync points) consumed
+    /// by [`SyncPolicy::decide`].
+    sync_state: SyncState,
 }
 
 impl<'a> ShardRun<'a> {
@@ -490,7 +647,50 @@ impl<'a> ShardRun<'a> {
             since_improvement: 0,
             stop_reason: StopReason::SearchSize,
             leftover: 0,
+            grant: None,
+            live_sync: false,
+            horizon,
+            sync_state: SyncState::new(),
         }
+    }
+
+    /// One sync point: update the stall counter, consult the policy, and —
+    /// when it acts — hand the incumbent to the searcher. Consumes only
+    /// shard-local state (plus the incumbent itself), so a driver that
+    /// supplies deterministic incumbents gets deterministic behaviour.
+    fn sync_point(&mut self, config: &MapperConfig, incumbent: Option<&(Mapping, Evaluation)>) {
+        let Some((mapping, eval)) = incumbent else {
+            return;
+        };
+        let own = self.best.as_ref().map(|(_, e)| e.primary());
+        let progress = match self.horizon {
+            Some(0) | None => 0.0,
+            Some(h) => self.evaluations as f64 / h as f64,
+        };
+        let Some(action) = self
+            .sync_state
+            .decide(&config.sync, own, progress, &mut self.rng)
+        else {
+            return;
+        };
+        // Adopting your own (or a worse) incumbent is a no-op by intent:
+        // Adopt means "re-anchor on a strictly better peer". Restart fires
+        // regardless — warm-restarting a stalled shard from its own best is
+        // exactly the classic restart heuristic.
+        let strictly_better = match self.best.as_ref() {
+            None => true,
+            Some((_, own_eval)) => eval.better_than(own_eval),
+        };
+        if action == SyncAction::Adopt && !strictly_better {
+            return;
+        }
+        self.searcher.observe_global_best(
+            self.space,
+            mapping,
+            eval.primary(),
+            action,
+            &mut self.rng,
+        );
     }
 
     /// Drive the shard against `budget` until a stop criterion fires:
@@ -581,10 +781,12 @@ impl<'a> ShardRun<'a> {
                     if let Some((m, e)) = self.best.as_ref() {
                         global.offer(m, e);
                     }
-                    if config.adopt_global_best {
-                        if let Some((m, e)) = global.snapshot() {
-                            self.searcher.observe_global_best(&m, e.primary());
-                        }
+                    if self.live_sync {
+                        // Live mode: apply the policy against a racy
+                        // snapshot of the shared best (work stealing /
+                        // unbounded budgets — not replay-deterministic).
+                        let snapshot = global.snapshot();
+                        self.sync_point(config, snapshot.as_ref());
                     }
                 }
 
@@ -637,7 +839,6 @@ fn execute_queue<'a>(
     start: Instant,
 ) -> (Vec<ShardRun<'a>>, u64) {
     let shards = runs.len();
-    let total = config.termination.search_size;
     let queue: Mutex<VecDeque<ShardRun<'a>>> = Mutex::new(runs.into());
     let done: Mutex<Vec<ShardRun<'a>>> = Mutex::new(Vec::with_capacity(shards));
     let surplus = AtomicU64::new(0);
@@ -655,13 +856,7 @@ fn execute_queue<'a>(
                 };
                 let budget = match ledger {
                     Some(ledger) => BudgetSource::Ledger(ledger),
-                    None => BudgetSource::Fixed(if total.is_some() {
-                        config
-                            .termination
-                            .per_shard_search_size(run.shard, shards.max(1))
-                    } else {
-                        None
-                    }),
+                    None => BudgetSource::Fixed(run.grant),
                 };
                 run.drive(config, &evaluator, budget, global, stop, start);
                 surplus.fetch_add(run.leftover, Ordering::SeqCst);
@@ -878,6 +1073,71 @@ mod tests {
         // Shard 1 evaluates a strict superset of its deterministic stream,
         // so the stolen-budget best can never be worse.
         assert!(stealing.best_cost() <= fixed.best_cost());
+    }
+
+    #[test]
+    fn barrier_synced_runs_spend_exact_budgets_and_stay_deterministic() {
+        let (space, evaluator) = setup();
+        let run = |threads: usize, sync: SyncPolicy| {
+            Mapper::new(MapperConfig {
+                threads,
+                shards: Some(4),
+                seed: 19,
+                sync_interval: 16,
+                sync,
+                termination: TerminationPolicy::search_size(242),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(SimulatedAnnealing::default())
+            })
+        };
+        let policies = [
+            SyncPolicy::Anchor,
+            SyncPolicy::Restart { patience: 1 },
+            SyncPolicy::Annealed {
+                start: 0.9,
+                end: 0.1,
+            },
+        ];
+        let off = run(1, SyncPolicy::Off);
+        assert_eq!(off.total_evaluations, 242);
+        for sync in policies {
+            let one = run(1, sync);
+            assert_eq!(one.total_evaluations, 242, "{sync}: exact budget");
+            assert_eq!(
+                one.canonical_string(),
+                run(3, sync).canonical_string(),
+                "{sync}: worker count leaked into the report"
+            );
+            assert_ne!(
+                one.canonical_string(),
+                off.canonical_string(),
+                "{sync}: policy must actually steer the search"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_policy_is_part_of_the_canonical_identity() {
+        let (space, evaluator) = setup();
+        let run = |sync: SyncPolicy| {
+            Mapper::new(MapperConfig {
+                sync,
+                termination: TerminationPolicy::search_size(10),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(RandomSearch::new())
+            })
+        };
+        // Single shard: identical evaluations either way, but the rendered
+        // identity must still differ so downstream fingerprints (serve
+        // cache, bench baselines) never conflate the configurations.
+        let off = run(SyncPolicy::Off);
+        let anchored = run(SyncPolicy::Anchor);
+        assert!(off.canonical_string().starts_with("sync=off\n"));
+        assert!(anchored.canonical_string().starts_with("sync=anchor\n"));
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use mm_accel::{Architecture, CostModel};
 use mm_mapper::{
-    BridgedSearcher, Mapper, MapperConfig, ModelEvaluator, OptMetric, StopReason, TerminationPolicy,
+    BridgedSearcher, Mapper, MapperConfig, ModelEvaluator, OptMetric, StopReason, SyncPolicy,
+    TerminationPolicy,
 };
 use mm_mapspace::{MapSpace, ProblemSpec};
 use mm_search::{
@@ -286,6 +287,99 @@ fn deterministic_canonical_reports_are_worker_count_independent() {
             "{}: worker count leaked into the report",
             problem.name
         );
+    }
+}
+
+/// Acceptance: under the deterministic schedule, the canonical report stays
+/// byte-identical across 1/2/4 worker threads for **every** sync policy —
+/// policy-enabled runs exchange incumbents at barrier rounds whose content
+/// is worker-count independent — and this holds both with pure RNG-stream
+/// shards and with the map space itself sharded into disjoint slices.
+#[test]
+fn canonical_reports_are_worker_count_independent_under_every_sync_policy() {
+    let (space, evaluator) = setup();
+    let policies = [
+        SyncPolicy::Off,
+        SyncPolicy::Anchor,
+        SyncPolicy::Restart { patience: 1 },
+        SyncPolicy::Annealed {
+            start: 0.9,
+            end: 0.1,
+        },
+    ];
+    for sync in policies {
+        for shard_space in [false, true] {
+            let run = |threads: usize| {
+                Mapper::new(MapperConfig {
+                    threads,
+                    shards: Some(4),
+                    shard_space,
+                    seed: 29,
+                    sync_interval: 16,
+                    sync,
+                    termination: TerminationPolicy::search_size(320),
+                    ..MapperConfig::default()
+                })
+                .run(&space, Arc::clone(&evaluator), sa_factory)
+            };
+            let canon1 = run(1).canonical_string();
+            let canon2 = run(2).canonical_string();
+            let canon4 = run(4).canonical_string();
+            assert_eq!(
+                canon1, canon2,
+                "{sync} (shard_space={shard_space}): 2 workers leaked into the report"
+            );
+            assert_eq!(
+                canon1, canon4,
+                "{sync} (shard_space={shard_space}): 4 workers leaked into the report"
+            );
+        }
+    }
+}
+
+/// Every stepwise searcher — Random/SA/GA and the now-stepwise DDPG agent
+/// — runs under an enabled sync policy and still spends the exact budget.
+/// (`BridgedSearcher` is the one deliberate exception: a bridged monolithic
+/// searcher has no mid-run steering hook, so its `observe_global_best`
+/// documents itself as a no-op.)
+#[test]
+fn sync_policies_drive_every_searcher_kind() {
+    let (space, evaluator) = setup();
+    type Factory = fn(usize) -> Box<dyn ProposalSearch>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("Random", |_| Box::new(RandomSearch::new())),
+        ("SA", sa_factory),
+        ("GA", |_| {
+            Box::new(GeneticAlgorithm::new(GeneticConfig {
+                population: 12,
+                ..GeneticConfig::default()
+            }))
+        }),
+        ("RL", |_| {
+            Box::new(DdpgAgent::new(DdpgConfig {
+                warmup: 8,
+                batch_size: 4,
+                ..DdpgConfig::default()
+            }))
+        }),
+    ];
+    for (name, factory) in factories {
+        for sync in [SyncPolicy::Anchor, SyncPolicy::Restart { patience: 0 }] {
+            let report = Mapper::new(MapperConfig {
+                threads: 2,
+                shards: Some(2),
+                seed: 31,
+                sync_interval: 16,
+                sync,
+                termination: TerminationPolicy::search_size(128),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), factory);
+            assert_eq!(report.total_evaluations, 128, "{name} under {sync}");
+            let best = report.best_mapping.as_ref().expect("found a mapping");
+            assert!(space.is_member(best), "{name} under {sync}");
+            assert!(report.best_cost().is_finite());
+        }
     }
 }
 

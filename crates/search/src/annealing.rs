@@ -10,6 +10,13 @@
 //! it proposes one neighbour at a time (its trajectory depends on every
 //! acceptance decision, so [`ProposalSearch::lookahead`] is 1) and applies
 //! the Metropolis rule when the evaluated cost is reported back.
+//!
+//! Under a [`SyncPolicy`](crate::SyncPolicy), [`SyncAction::Adopt`] moves
+//! the walk's current point to the shared incumbent when that improves it
+//! (classic SA re-anchoring), and [`SyncAction::Restart`] performs a *warm
+//! restart*: current point to the incumbent **and** the cooling schedule
+//! reinstalled from the initial temperature over the remaining horizon, so
+//! a stalled walk regains the mobility to escape the incumbent's basin.
 
 use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
@@ -17,6 +24,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::proposal::ProposalSearch;
+use crate::sync::SyncAction;
 
 /// Simulated Annealing hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,6 +75,9 @@ struct SaState {
     /// Whether a proposal is in flight (lookahead is 1).
     outstanding: bool,
     temperature: f64,
+    /// The initial temperature the schedule was installed with (0 until
+    /// known); warm restarts reinstall from it.
+    t0: f64,
     t_final: f64,
     alpha: f64,
     moves_at_temperature: u64,
@@ -96,6 +107,7 @@ impl SimulatedAnnealing {
         let t_final = (t0 * self.config.final_temperature_fraction).max(1e-300);
         let remaining = state.horizon.saturating_sub(state.reports).max(1);
         let steps = (remaining / self.config.moves_per_temperature.max(1)).max(1);
+        state.t0 = t0;
         state.temperature = t0;
         state.t_final = t_final;
         state.alpha = (t_final / t0).powf(1.0 / steps as f64);
@@ -121,6 +133,7 @@ impl ProposalSearch for SimulatedAnnealing {
             current: None,
             outstanding: false,
             temperature: 0.0,
+            t0: 0.0,
             t_final: 0.0,
             alpha: 1.0,
             moves_at_temperature: 0,
@@ -197,6 +210,43 @@ impl ProposalSearch for SimulatedAnnealing {
             }
         }
     }
+
+    /// [`SyncAction::Adopt`] re-anchors the walk on the incumbent when that
+    /// improves the current point; [`SyncAction::Restart`] re-anchors
+    /// unconditionally *and* reinstalls the cooling schedule from the
+    /// initial temperature over the remaining horizon (warm restart).
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        mapping: &Mapping,
+        cost: f64,
+        action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+        let Some(state) = self.state.as_mut() else {
+            return;
+        };
+        match action {
+            SyncAction::Adopt => {
+                let improves = match &state.current {
+                    None => true,
+                    Some((_, current_cost)) => cost < *current_cost,
+                };
+                if improves {
+                    state.current = Some((mapping.clone(), cost));
+                }
+            }
+            SyncAction::Restart => {
+                state.current = Some((mapping.clone(), cost));
+                let t0 = state.t0;
+                // Before the schedule exists (init/probe phases) there is
+                // nothing to reheat; the anchor alone suffices.
+                if t0 > 0.0 && state.phase == Phase::Anneal {
+                    self.install_schedule(t0);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +315,49 @@ mod tests {
             &mut rng,
         );
         assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn restart_reheats_the_schedule_and_adopt_improves_the_anchor() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sa = SimulatedAnnealing::new(AnnealingConfig {
+            initial_temperature: Some(4.0),
+            moves_per_temperature: 1,
+            ..AnnealingConfig::default()
+        });
+        sa.begin(&space, Some(50), &mut rng);
+        let mut buf = Vec::new();
+        // Burn some moves so the temperature decays below t0.
+        for _ in 0..10 {
+            buf.clear();
+            sa.propose(&space, &mut rng, 1, &mut buf);
+            sa.report(&buf[0].clone(), 10.0, &mut rng);
+        }
+        let cooled = sa.state.as_ref().unwrap().temperature;
+        assert!(cooled < 4.0, "schedule must have cooled, got {cooled}");
+
+        // Adopt: a worse incumbent is ignored, a better one becomes current.
+        let incumbent = space.random_mapping(&mut rng);
+        sa.observe_global_best(&space, &incumbent, 99.0, SyncAction::Adopt, &mut rng);
+        assert_ne!(
+            sa.state.as_ref().unwrap().current.as_ref().unwrap().1,
+            99.0,
+            "worse incumbent must not be adopted"
+        );
+        sa.observe_global_best(&space, &incumbent, 0.5, SyncAction::Adopt, &mut rng);
+        let state = sa.state.as_ref().unwrap();
+        assert_eq!(state.current.as_ref().unwrap().1, 0.5);
+        assert!(
+            (state.temperature - cooled).abs() < 1e-12,
+            "adopt never reheats"
+        );
+
+        // Restart: re-anchor and reheat to t0.
+        sa.observe_global_best(&space, &incumbent, 0.4, SyncAction::Restart, &mut rng);
+        let state = sa.state.as_ref().unwrap();
+        assert_eq!(state.current.as_ref().unwrap().1, 0.4);
+        assert_eq!(state.temperature, 4.0, "warm restart reheats to t0");
     }
 
     #[test]

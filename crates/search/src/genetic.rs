@@ -8,6 +8,13 @@
 //! whole generation of proposals can be in flight at once
 //! ([`ProposalSearch::lookahead`] = population size) — the natural batch for
 //! an evaluation pool.
+//!
+//! Under a [`SyncPolicy`](crate::SyncPolicy), [`SyncAction::Adopt`] injects
+//! the shared incumbent into the population (replacing the current worst
+//! individual when the incumbent beats it), and [`SyncAction::Restart`]
+//! reseeds the population *from* the incumbent: the next generation is bred
+//! entirely out of it (plus mutation), refocusing a stalled population on
+//! the incumbent's basin.
 
 use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
@@ -15,6 +22,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::proposal::ProposalSearch;
+use crate::sync::SyncAction;
 
 /// Genetic Algorithm hyper-parameters (paper defaults from Appendix A).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -159,7 +167,8 @@ impl ProposalSearch for GeneticAlgorithm {
             self.state
                 .population
                 .sort_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap());
-            let elites = self.elites();
+            // A restart can shrink the population below the elite count.
+            let elites = self.elites().min(self.state.population.len());
             let seed: Vec<Individual> = self.state.population[..elites].to_vec();
             self.state.incoming = seed;
         }
@@ -186,6 +195,49 @@ impl ProposalSearch for GeneticAlgorithm {
         });
         if self.state.incoming.len() >= self.popsize() && self.state.outstanding == 0 {
             self.state.population = std::mem::take(&mut self.state.incoming);
+        }
+    }
+
+    /// [`SyncAction::Adopt`] injects the incumbent into the completed
+    /// population, replacing the worst individual when the incumbent beats
+    /// it (no effect while the initial random generation is still being
+    /// evaluated). [`SyncAction::Restart`] reseeds: the population becomes
+    /// the incumbent alone, so the whole next generation is bred from it.
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        mapping: &Mapping,
+        cost: f64,
+        action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+        match action {
+            SyncAction::Adopt => {
+                let Some((worst, _)) = self
+                    .state
+                    .population
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.fitness.partial_cmp(&b.fitness).unwrap())
+                else {
+                    return;
+                };
+                if cost < self.state.population[worst].fitness {
+                    self.state.population[worst] = Individual {
+                        mapping: mapping.clone(),
+                        fitness: cost,
+                    };
+                }
+            }
+            SyncAction::Restart => {
+                self.state.population = vec![Individual {
+                    mapping: mapping.clone(),
+                    fitness: cost,
+                }];
+                // Drop the partially assembled generation; reports for
+                // still-outstanding proposals will seed the next one.
+                self.state.incoming.clear();
+            }
         }
     }
 }
@@ -244,6 +296,42 @@ mod tests {
         assert_eq!(c.population, 100);
         assert!((c.crossover_probability - 0.75).abs() < 1e-9);
         assert!((c.mutation_probability - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adopt_replaces_the_worst_and_restart_reseeds_from_the_incumbent() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ga = GeneticAlgorithm::new(GeneticConfig {
+            population: 4,
+            ..GeneticConfig::default()
+        });
+        ga.begin(&space, None, &mut rng);
+        let mut buf = Vec::new();
+        ga.propose(&space, &mut rng, 16, &mut buf);
+        let gen0 = std::mem::take(&mut buf);
+        for (i, m) in gen0.iter().enumerate() {
+            ga.report(m, 10.0 + i as f64, &mut rng);
+        }
+        assert_eq!(ga.state.population.len(), 4);
+
+        // Adopt: a strong incumbent replaces the worst individual…
+        let incumbent = space.random_mapping(&mut rng);
+        ga.observe_global_best(&space, &incumbent, 1.0, SyncAction::Adopt, &mut rng);
+        assert!(ga.state.population.iter().any(|i| i.fitness == 1.0));
+        assert!(!ga.state.population.iter().any(|i| i.fitness == 13.0));
+        // …and a weak one changes nothing.
+        ga.observe_global_best(&space, &incumbent, 500.0, SyncAction::Adopt, &mut rng);
+        assert!(!ga.state.population.iter().any(|i| i.fitness == 500.0));
+
+        // Restart: the population collapses onto the incumbent and the next
+        // generation still proposes a full batch bred from it.
+        ga.observe_global_best(&space, &incumbent, 0.5, SyncAction::Restart, &mut rng);
+        assert_eq!(ga.state.population.len(), 1);
+        assert_eq!(ga.state.population[0].fitness, 0.5);
+        ga.propose(&space, &mut rng, 16, &mut buf);
+        assert!(!buf.is_empty(), "reseeded GA keeps proposing");
+        assert!(buf.iter().all(|m| space.is_member(m)));
     }
 
     #[test]

@@ -20,10 +20,14 @@
 //! split in two: the stepwise [`ProposalSearch`] protocol
 //! (`propose`/`report`) is the primitive, and [`Searcher`] — the classic
 //! monolithic loop — is blanket-implemented for every `ProposalSearch` via
-//! [`proposal::drive`]. Random search, SA, and GA are stepwise state
-//! machines; the DDPG agent keeps a direct `Searcher` implementation (its
-//! loop is deeply stateful) and is adapted to the stepwise protocol by
-//! `mm-mapper`'s thread bridge.
+//! [`proposal::drive`]. All four baselines (random search, SA, GA, and the
+//! DDPG agent) are stepwise state machines.
+//!
+//! Multi-shard drivers additionally speak the **global-best sync protocol**:
+//! a [`SyncPolicy`] decides *when* a shard re-anchors on the shared
+//! incumbent (always, on stall, or with annealed probability), and each
+//! searcher's [`ProposalSearch::observe_global_best`] implements the
+//! re-anchor/restart mechanics for its own trajectory representation.
 
 pub mod annealing;
 pub mod genetic;
@@ -31,6 +35,7 @@ pub mod objective;
 pub mod proposal;
 pub mod random;
 pub mod rl;
+pub mod sync;
 pub mod trace;
 
 pub use annealing::{AnnealingConfig, SimulatedAnnealing};
@@ -39,6 +44,7 @@ pub use objective::{split_evenly, Budget, FnObjective, Objective, Searcher};
 pub use proposal::{drive, ProposalSearch};
 pub use random::RandomSearch;
 pub use rl::{DdpgAgent, DdpgConfig};
+pub use sync::{SyncAction, SyncPolicy, SyncState};
 pub use trace::{SearchTrace, TracePoint};
 
 #[cfg(test)]

@@ -117,9 +117,9 @@ pub trait Searcher {
     /// `"MM"`).
     fn name(&self) -> &str;
 
-    /// Run the search over `space` — the full [`MapSpace`]
-    /// (`mm_mapspace::MapSpace`) or one shard of it — querying `objective`
-    /// until `budget` is exhausted, and return the best-so-far trace.
+    /// Run the search over `space` — the full [`mm_mapspace::MapSpace`]
+    /// or one shard of it — querying `objective` until `budget` is
+    /// exhausted, and return the best-so-far trace.
     fn search(
         &mut self,
         space: &dyn MapSpaceView,

@@ -30,6 +30,7 @@ use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
 use crate::objective::{Budget, Objective, Searcher};
+use crate::sync::SyncAction;
 use crate::trace::SearchTrace;
 
 /// A search method driven from outside: it proposes mappings and is told
@@ -71,11 +72,32 @@ pub trait ProposalSearch: Send {
     /// Report the evaluated cost of a previously proposed mapping.
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng);
 
-    /// Observe the globally best mapping found by a peer shard (multi-thread
-    /// search). Default: ignore. Implementations may adopt it; doing so
-    /// makes multi-threaded runs non-deterministic, so the `Mapper` only
-    /// calls this when explicitly configured to.
-    fn observe_global_best(&mut self, _mapping: &Mapping, _cost: f64) {}
+    /// Observe the shared global-best mapping, with the [`SyncAction`] a
+    /// driver-side [`SyncPolicy`](crate::SyncPolicy) chose for this sync
+    /// point. The default ignores it.
+    ///
+    /// Implementations provide the *mechanics* of the action —
+    /// [`SyncAction::Adopt`] re-anchors the current trajectory on `mapping`
+    /// (SA current point, GA population injection, DDPG episode state);
+    /// [`SyncAction::Restart`] additionally reseeds the searcher's schedule
+    /// (SA temperature, DDPG exploration noise) so it searches outward from
+    /// the incumbent again. The *decision* of when to call this (and with
+    /// which action) belongs to the driver, which must do so only at
+    /// deterministic sync points if it wants to preserve replayability.
+    ///
+    /// `mapping` may lie outside `space` when shards search pairwise
+    /// disjoint slices: implementations must route all follow-up proposals
+    /// through `space`'s own operations (`neighbor`, `crossover`,
+    /// `project`, …), which keep them inside the shard.
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        _mapping: &Mapping,
+        _cost: f64,
+        _action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+    }
 }
 
 /// Cap on proposals materialized per driver iteration. Searchers with huge

@@ -5,20 +5,34 @@
 //! of evaluation results, so its [`ProposalSearch::lookahead`] is unbounded
 //! and an orchestrator can batch arbitrarily many proposals onto an
 //! evaluation pool without waiting for reports.
+//!
+//! Under a [`SyncPolicy`](crate::SyncPolicy), random search turns into
+//! *anchored* random search: once a global best is observed, every second
+//! proposal is a neighbour of the anchor instead of a uniform sample —
+//! half the budget keeps exploring globally, half exploits the incumbent's
+//! basin. Without an observation the behaviour is exactly uniform.
 
 use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
 use crate::proposal::ProposalSearch;
+use crate::sync::SyncAction;
 
-/// Uniform random search.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RandomSearch;
+/// Uniform random search (anchored near the global best once one is
+/// observed).
+#[derive(Debug, Clone, Default)]
+pub struct RandomSearch {
+    /// The last observed global best; when set, every second proposal is a
+    /// neighbour of it.
+    anchor: Option<Mapping>,
+    /// Proposal counter driving the uniform/neighbour alternation.
+    proposed: u64,
+}
 
 impl RandomSearch {
     /// Create a random-search baseline.
     pub fn new() -> Self {
-        RandomSearch
+        RandomSearch::default()
     }
 }
 
@@ -27,7 +41,10 @@ impl ProposalSearch for RandomSearch {
         "Random"
     }
 
-    fn begin(&mut self, _space: &dyn MapSpaceView, _horizon: Option<u64>, _rng: &mut StdRng) {}
+    fn begin(&mut self, _space: &dyn MapSpaceView, _horizon: Option<u64>, _rng: &mut StdRng) {
+        self.anchor = None;
+        self.proposed = 0;
+    }
 
     fn lookahead(&self) -> usize {
         usize::MAX
@@ -41,11 +58,35 @@ impl ProposalSearch for RandomSearch {
         out: &mut Vec<Mapping>,
     ) {
         for _ in 0..max.max(1) {
-            out.push(space.random_mapping(rng));
+            self.proposed += 1;
+            let mapping = match &self.anchor {
+                // Alternate: exploit the anchor's neighbourhood on even
+                // proposals, keep sampling uniformly on odd ones.
+                Some(anchor) if self.proposed.is_multiple_of(2) => space.neighbor(anchor, rng),
+                _ => space.random_mapping(rng),
+            };
+            out.push(mapping);
         }
     }
 
     fn report(&mut self, _mapping: &Mapping, _cost: f64, _rng: &mut StdRng) {}
+
+    /// Anchor future proposals near the incumbent. [`SyncAction::Restart`]
+    /// additionally resets the alternation phase, so the reseeded stream
+    /// leads with a fresh uniform sample before exploiting the anchor.
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        mapping: &Mapping,
+        _cost: f64,
+        action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+        self.anchor = Some(mapping.clone());
+        if action == SyncAction::Restart {
+            self.proposed = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +125,32 @@ mod tests {
         rs.propose(&space, &mut rng, 32, &mut buf);
         assert_eq!(buf.len(), 32);
         assert!(buf.iter().all(|m| space.is_member(m)));
+    }
+
+    #[test]
+    fn observed_best_anchors_half_the_proposals() {
+        let arch = Architecture::example();
+        let problem = ProblemSpec::conv1d(128, 3);
+        let space = MapSpace::new(problem, arch.mapping_constraints());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rs = RandomSearch::new();
+        rs.begin(&space, None, &mut rng);
+        let anchor = space.random_mapping(&mut rng);
+        rs.observe_global_best(&space, &anchor, 1.0, SyncAction::Adopt, &mut rng);
+        let mut buf = Vec::new();
+        rs.propose(&space, &mut rng, 64, &mut buf);
+        assert_eq!(buf.len(), 64);
+        assert!(buf.iter().all(|m| space.is_member(m)));
+        // Neighbours perturb a single attribute, so anchored proposals stay
+        // closer to the anchor than uniform samples do: at least some of
+        // them must share the anchor's L2 loop order.
+        let close = buf
+            .iter()
+            .filter(|m| m.loop_orders == anchor.loop_orders)
+            .count();
+        assert!(close > 0, "no proposal stayed near the anchor");
+        // begin() drops the anchor for the next run.
+        rs.begin(&space, None, &mut rng);
+        assert!(rs.anchor.is_none());
     }
 }

@@ -9,18 +9,30 @@
 //! `-log10(cost)` as the reward. The critic learns `Q(s, a)` and the actor is
 //! updated along `∂Q/∂a`, exactly as in DDPG (actor and critic are
 //! fully-connected networks, with soft-updated target copies).
+//!
+//! The agent is a stepwise state machine implementing [`ProposalSearch`]:
+//! [`propose`](ProposalSearch::propose) runs the actor (plus exploration
+//! noise) and emits the projected next mapping; the matching
+//! [`report`](ProposalSearch::report) turns the evaluated cost into the
+//! reward, stores the transition, and performs one learning step. Each
+//! proposal depends on the previous transition, so
+//! [`ProposalSearch::lookahead`] is 1 — and the blanket impl recovers the
+//! classic monolithic [`Searcher`](crate::Searcher) loop for free.
+//!
+//! Under a [`SyncPolicy`](crate::SyncPolicy), [`SyncAction::Adopt`]
+//! re-anchors the current episode state on the shared incumbent, and
+//! [`SyncAction::Restart`] additionally resets the exploration-noise
+//! schedule and starts a fresh episode from the incumbent.
 
-use std::time::Instant;
-
-use mm_mapspace::{Encoding, MapSpaceView};
+use mm_mapspace::{Encoding, MapSpaceView, Mapping, ProblemSpec};
 use mm_nn::optim::{Adam, Optimizer};
 use mm_nn::{Activation, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::objective::{Budget, Objective, Searcher};
-use crate::trace::SearchTrace;
+use crate::proposal::ProposalSearch;
+use crate::sync::SyncAction;
 
 /// DDPG hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,16 +91,46 @@ struct Transition {
     next_state: Vec<f32>,
 }
 
+/// The live state of one DDPG run (networks, replay buffer, episode).
+#[derive(Debug, Clone)]
+struct DdpgState {
+    problem: ProblemSpec,
+    enc: Encoding,
+    scales: Vec<f32>,
+    dim: usize,
+    actor: Mlp,
+    critic: Mlp,
+    actor_target: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: Vec<Transition>,
+    replay_next: usize,
+    noise: f32,
+    /// Normalized encoding of the current episode state.
+    state_vec: Vec<f32>,
+    /// The (state, action) pair of the proposal in flight (lookahead is 1).
+    pending: Option<(Vec<f32>, Vec<f32>)>,
+    steps_in_episode: usize,
+    /// Start the next proposal from a fresh random mapping (episode reset,
+    /// deferred to the next `propose` call where the map space is at hand).
+    reset_pending: bool,
+}
+
 /// DDPG-style actor–critic searcher.
 #[derive(Debug, Clone)]
 pub struct DdpgAgent {
     config: DdpgConfig,
+    state: Option<DdpgState>,
 }
 
 impl DdpgAgent {
     /// Create a DDPG agent.
     pub fn new(config: DdpgConfig) -> Self {
-        DdpgAgent { config }
+        DdpgAgent {
+            config,
+            state: None,
+        }
     }
 }
 
@@ -151,184 +193,251 @@ fn soft_update(target: &mut Mlp, source: &Mlp, tau: f32) {
     }
 }
 
-impl Searcher for DdpgAgent {
+impl DdpgState {
+    /// The normalized encoding of `mapping`.
+    fn encode(&self, mapping: &Mapping) -> Vec<f32> {
+        normalize(
+            &self.enc.encode_mapping(&self.problem, mapping),
+            &self.scales,
+        )
+    }
+
+    /// One DDPG learning step over a sampled replay mini-batch (critic TD
+    /// update, actor ascent along `∂Q/∂a`, soft target updates).
+    fn learn(&mut self, cfg: &DdpgConfig, rng: &mut StdRng) {
+        if self.replay.len() < cfg.warmup.max(cfg.batch_size) {
+            return;
+        }
+        let dim = self.dim;
+        let batch: Vec<Transition> = (0..cfg.batch_size)
+            .map(|_| self.replay[rng.gen_range(0..self.replay.len())].clone())
+            .collect();
+
+        // Critic update: y = r + gamma * Q'(s', a'(s')).
+        let next_states = Matrix::from_rows(
+            &batch
+                .iter()
+                .map(|t| t.next_state.clone())
+                .collect::<Vec<_>>(),
+        );
+        let next_actions = self.actor_target.forward(&next_states);
+        let mut next_sa_rows = Vec::with_capacity(batch.len());
+        for (i, t) in batch.iter().enumerate() {
+            let mut row = t.next_state.clone();
+            row.extend_from_slice(next_actions.row(i));
+            next_sa_rows.push(row);
+        }
+        let q_next = self
+            .critic_target
+            .forward(&Matrix::from_rows(&next_sa_rows));
+        let targets: Vec<Vec<f32>> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, t)| vec![t.reward + cfg.gamma * q_next.get(i, 0)])
+            .collect();
+        let sa_rows: Vec<Vec<f32>> = batch
+            .iter()
+            .map(|t| {
+                let mut row = t.state.clone();
+                row.extend_from_slice(&t.action);
+                row
+            })
+            .collect();
+        let sa = Matrix::from_rows(&sa_rows);
+        let target_m = Matrix::from_rows(&targets);
+        let cache = self.critic.forward_cached(&sa);
+        let loss_grad = {
+            // MSE gradient.
+            let mut g = cache.output().clone();
+            for (gv, tv) in g.as_mut_slice().iter_mut().zip(target_m.as_slice()) {
+                *gv = 2.0 * (*gv - tv) / batch.len() as f32;
+            }
+            g
+        };
+        let (critic_grads, _) = self.critic.backward(&cache, &loss_grad);
+        self.critic_opt.step(&mut self.critic, &critic_grads);
+
+        // Actor update: ascend ∂Q(s, π(s))/∂θ_π.
+        let states = Matrix::from_rows(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
+        let actor_cache = self.actor.forward_cached(&states);
+        let proposed = actor_cache.output().clone();
+        let mut sa_pi_rows = Vec::with_capacity(batch.len());
+        for (i, t) in batch.iter().enumerate() {
+            let mut row = t.state.clone();
+            row.extend_from_slice(proposed.row(i));
+            sa_pi_rows.push(row);
+        }
+        let sa_pi = Matrix::from_rows(&sa_pi_rows);
+        let critic_cache = self.critic.forward_cached(&sa_pi);
+        // dQ/d[s;a], we want -dQ/da (gradient ascent on Q).
+        let ones = Matrix::from_vec(batch.len(), 1, vec![-1.0 / batch.len() as f32; batch.len()]);
+        let (_, grad_sa) = self.critic.backward(&critic_cache, &ones);
+        let mut grad_action = Matrix::zeros(batch.len(), dim);
+        for i in 0..batch.len() {
+            for j in 0..dim {
+                grad_action.set(i, j, grad_sa.get(i, dim + j));
+            }
+        }
+        let (actor_grads, _) = self.actor.backward(&actor_cache, &grad_action);
+        self.actor_opt.step(&mut self.actor, &actor_grads);
+
+        // Soft-update the targets.
+        soft_update(&mut self.actor_target, &self.actor, cfg.tau);
+        soft_update(&mut self.critic_target, &self.critic, cfg.tau);
+    }
+}
+
+impl ProposalSearch for DdpgAgent {
     fn name(&self) -> &str {
         "RL"
     }
 
-    fn search(
-        &mut self,
-        space: &dyn MapSpaceView,
-        objective: &mut dyn Objective,
-        budget: Budget,
-        rng: &mut StdRng,
-    ) -> SearchTrace {
+    fn begin(&mut self, space: &dyn MapSpaceView, _horizon: Option<u64>, rng: &mut StdRng) {
         let cfg = self.config;
-        let start = Instant::now();
-        let mut trace = SearchTrace::new(self.name());
-
-        let enc = Encoding::for_problem(space.problem());
+        let problem = space.problem().clone();
+        let enc = Encoding::for_problem(&problem);
         let dim = enc.mapping_len();
         let scales = feature_scales(space, &enc);
 
-        let mut actor = Mlp::with_activations(
+        let actor = Mlp::with_activations(
             &[dim, cfg.hidden, cfg.hidden, dim],
             Activation::Relu,
             Activation::Tanh,
             rng,
         );
-        let mut critic = Mlp::new(&[2 * dim, cfg.hidden, cfg.hidden, 1], rng);
-        let mut actor_target = actor.clone();
-        let mut critic_target = critic.clone();
-        let mut actor_opt = Adam::new(cfg.actor_lr);
-        let mut critic_opt = Adam::new(cfg.critic_lr);
+        let critic = Mlp::new(&[2 * dim, cfg.hidden, cfg.hidden, 1], rng);
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
 
-        let mut replay: Vec<Transition> = Vec::with_capacity(cfg.replay_capacity);
-        let mut replay_next = 0usize;
-        let mut noise = cfg.exploration_noise;
+        let current = space.random_mapping(rng);
+        let raw = enc.encode_mapping(&problem, &current);
+        let state_vec = normalize(&raw, &scales);
+        self.state = Some(DdpgState {
+            problem,
+            enc,
+            scales,
+            dim,
+            actor,
+            critic,
+            actor_target,
+            critic_target,
+            actor_opt: Adam::new(cfg.actor_lr),
+            critic_opt: Adam::new(cfg.critic_lr),
+            replay: Vec::with_capacity(cfg.replay_capacity),
+            replay_next: 0,
+            noise: cfg.exploration_noise,
+            state_vec,
+            pending: None,
+            steps_in_episode: 0,
+            reset_pending: false,
+        });
+    }
 
-        let mut current = space.random_mapping(rng);
-        let mut state = normalize(&enc.encode_mapping(space.problem(), &current), &scales);
-        let mut steps_in_episode = 0usize;
-
-        while !budget.exhausted(objective.queries(), start.elapsed()) {
-            // Actor proposes a perturbation; add exploration noise.
-            let mut action = actor.predict(&state);
-            for a in &mut action {
-                *a = (*a + rng.gen_range(-1.0f32..1.0) * noise).clamp(-1.0, 1.0);
-            }
-
-            // Environment step: apply the action in normalized space and
-            // project back to a valid mapping.
-            let mut next_raw: Vec<f32> = state
-                .iter()
-                .zip(&action)
-                .map(|(&s, &a)| s + a * cfg.action_scale)
-                .collect();
-            next_raw = denormalize(&next_raw, &scales);
-            let next_mapping = match space.project(&next_raw) {
-                Ok(m) => m,
-                Err(_) => space.random_mapping(rng),
-            };
-            let cost = objective.cost(&next_mapping);
-            trace.record(cost, &next_mapping, start.elapsed());
-            let reward = -(cost.max(1e-300)).log10() as f32;
-            let next_state =
-                normalize(&enc.encode_mapping(space.problem(), &next_mapping), &scales);
-
-            // Store the transition.
-            let transition = Transition {
-                state: state.clone(),
-                action: action.clone(),
-                reward,
-                next_state: next_state.clone(),
-            };
-            if replay.len() < cfg.replay_capacity {
-                replay.push(transition);
-            } else {
-                replay[replay_next % cfg.replay_capacity] = transition;
-                replay_next += 1;
-            }
-
-            // Learning step.
-            if replay.len() >= cfg.warmup.max(cfg.batch_size) {
-                let batch: Vec<&Transition> = (0..cfg.batch_size)
-                    .map(|_| &replay[rng.gen_range(0..replay.len())])
-                    .collect();
-
-                // Critic update: y = r + gamma * Q'(s', a'(s')).
-                let next_states = Matrix::from_rows(
-                    &batch
-                        .iter()
-                        .map(|t| t.next_state.clone())
-                        .collect::<Vec<_>>(),
-                );
-                let next_actions = actor_target.forward(&next_states);
-                let mut next_sa_rows = Vec::with_capacity(batch.len());
-                for (i, t) in batch.iter().enumerate() {
-                    let mut row = t.next_state.clone();
-                    row.extend_from_slice(next_actions.row(i));
-                    next_sa_rows.push(row);
-                }
-                let q_next = critic_target.forward(&Matrix::from_rows(&next_sa_rows));
-                let targets: Vec<Vec<f32>> = batch
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| vec![t.reward + cfg.gamma * q_next.get(i, 0)])
-                    .collect();
-                let sa_rows: Vec<Vec<f32>> = batch
-                    .iter()
-                    .map(|t| {
-                        let mut row = t.state.clone();
-                        row.extend_from_slice(&t.action);
-                        row
-                    })
-                    .collect();
-                let sa = Matrix::from_rows(&sa_rows);
-                let target_m = Matrix::from_rows(&targets);
-                let cache = critic.forward_cached(&sa);
-                let loss_grad = {
-                    // MSE gradient.
-                    let mut g = cache.output().clone();
-                    for (gv, tv) in g.as_mut_slice().iter_mut().zip(target_m.as_slice()) {
-                        *gv = 2.0 * (*gv - tv) / batch.len() as f32;
-                    }
-                    g
-                };
-                let (critic_grads, _) = critic.backward(&cache, &loss_grad);
-                critic_opt.step(&mut critic, &critic_grads);
-
-                // Actor update: ascend ∂Q(s, π(s))/∂θ_π.
-                let states =
-                    Matrix::from_rows(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
-                let actor_cache = actor.forward_cached(&states);
-                let proposed = actor_cache.output().clone();
-                let mut sa_pi_rows = Vec::with_capacity(batch.len());
-                for (i, t) in batch.iter().enumerate() {
-                    let mut row = t.state.clone();
-                    row.extend_from_slice(proposed.row(i));
-                    sa_pi_rows.push(row);
-                }
-                let sa_pi = Matrix::from_rows(&sa_pi_rows);
-                let critic_cache = critic.forward_cached(&sa_pi);
-                // dQ/d[s;a], we want -dQ/da (gradient ascent on Q).
-                let ones =
-                    Matrix::from_vec(batch.len(), 1, vec![-1.0 / batch.len() as f32; batch.len()]);
-                let (_, grad_sa) = critic.backward(&critic_cache, &ones);
-                let mut grad_action = Matrix::zeros(batch.len(), dim);
-                for i in 0..batch.len() {
-                    for j in 0..dim {
-                        grad_action.set(i, j, grad_sa.get(i, dim + j));
-                    }
-                }
-                let (actor_grads, _) = actor.backward(&actor_cache, &grad_action);
-                actor_opt.step(&mut actor, &actor_grads);
-
-                // Soft-update the targets.
-                soft_update(&mut actor_target, &actor, cfg.tau);
-                soft_update(&mut critic_target, &critic, cfg.tau);
-            }
-
-            // Advance the episode.
-            state = next_state;
-            current = next_mapping;
-            steps_in_episode += 1;
-            if steps_in_episode >= cfg.episode_len {
-                steps_in_episode = 0;
-                noise *= cfg.noise_decay;
-                current = space.random_mapping(rng);
-                state = normalize(&enc.encode_mapping(space.problem(), &current), &scales);
-            }
+    fn propose(
+        &mut self,
+        space: &dyn MapSpaceView,
+        rng: &mut StdRng,
+        _max: usize,
+        out: &mut Vec<Mapping>,
+    ) {
+        let cfg = self.config;
+        let state = self.state.as_mut().expect("begin() not called");
+        if state.pending.is_some() {
+            return;
         }
-        let _ = current;
-        trace
+        if state.reset_pending {
+            state.reset_pending = false;
+            let fresh = space.random_mapping(rng);
+            state.state_vec = state.encode(&fresh);
+        }
+
+        // Actor proposes a perturbation; add exploration noise.
+        let mut action = state.actor.predict(&state.state_vec);
+        for a in &mut action {
+            *a = (*a + rng.gen_range(-1.0f32..1.0) * state.noise).clamp(-1.0, 1.0);
+        }
+        // Environment step: apply the action in normalized space and
+        // project back to a valid mapping.
+        let mut next_raw: Vec<f32> = state
+            .state_vec
+            .iter()
+            .zip(&action)
+            .map(|(&s, &a)| s + a * cfg.action_scale)
+            .collect();
+        next_raw = denormalize(&next_raw, &state.scales);
+        let next_mapping = match space.project(&next_raw) {
+            Ok(m) => m,
+            Err(_) => space.random_mapping(rng),
+        };
+        state.pending = Some((state.state_vec.clone(), action));
+        out.push(next_mapping);
+    }
+
+    fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+        let cfg = self.config;
+        let state = self.state.as_mut().expect("begin() not called");
+        let Some((prev_state, action)) = state.pending.take() else {
+            return;
+        };
+        let reward = -(cost.max(1e-300)).log10() as f32;
+        let next_state = state.encode(mapping);
+
+        // Store the transition.
+        let transition = Transition {
+            state: prev_state,
+            action,
+            reward,
+            next_state: next_state.clone(),
+        };
+        if state.replay.len() < cfg.replay_capacity {
+            state.replay.push(transition);
+        } else {
+            let slot = state.replay_next % cfg.replay_capacity;
+            state.replay[slot] = transition;
+            state.replay_next += 1;
+        }
+
+        state.learn(&cfg, rng);
+
+        // Advance the episode.
+        state.state_vec = next_state;
+        state.steps_in_episode += 1;
+        if state.steps_in_episode >= cfg.episode_len {
+            state.steps_in_episode = 0;
+            state.noise *= cfg.noise_decay;
+            state.reset_pending = true;
+        }
+    }
+
+    /// [`SyncAction::Adopt`] re-anchors the current episode on the shared
+    /// incumbent (the next actor step starts from it);
+    /// [`SyncAction::Restart`] additionally resets the exploration noise to
+    /// its initial level and begins a fresh episode at the incumbent.
+    fn observe_global_best(
+        &mut self,
+        _space: &dyn MapSpaceView,
+        mapping: &Mapping,
+        _cost: f64,
+        action: SyncAction,
+        _rng: &mut StdRng,
+    ) {
+        let initial_noise = self.config.exploration_noise;
+        let Some(state) = self.state.as_mut() else {
+            return;
+        };
+        state.state_vec = state.encode(mapping);
+        state.reset_pending = false;
+        if action == SyncAction::Restart {
+            state.noise = initial_noise;
+            state.steps_in_episode = 0;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::FnObjective;
+    use crate::objective::{Budget, FnObjective, Searcher};
     use mm_accel::{Architecture, CostModel};
     use mm_mapspace::{MapSpace, Mapping, ProblemSpec};
     use rand::SeedableRng;
@@ -386,5 +495,69 @@ mod tests {
         assert_eq!(trace.len(), 60);
         assert!(space.is_member(trace.best_mapping.as_ref().unwrap()));
         assert!(trace.best_cost.is_finite());
+    }
+
+    #[test]
+    fn proposes_one_at_a_time_until_reported() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut agent = DdpgAgent::default();
+        agent.begin(&space, Some(100), &mut rng);
+        let mut buf = Vec::new();
+        agent.propose(&space, &mut rng, 16, &mut buf);
+        assert_eq!(buf.len(), 1, "DDPG is strictly sequential");
+        let pending = buf[0].clone();
+        assert!(space.is_member(&pending));
+        buf.clear();
+        agent.propose(&space, &mut rng, 16, &mut buf);
+        assert!(buf.is_empty(), "no new proposal while one is in flight");
+        agent.report(&pending, 1.0, &mut rng);
+        agent.propose(&space, &mut rng, 16, &mut buf);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn restart_resets_noise_and_episode_at_the_incumbent() {
+        let (space, model) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut agent = DdpgAgent::new(DdpgConfig {
+            episode_len: 4,
+            warmup: 1000, // skip learning: this test drives episodes only
+            ..DdpgConfig::default()
+        });
+        agent.begin(&space, Some(100), &mut rng);
+        let mut buf = Vec::new();
+        for _ in 0..9 {
+            buf.clear();
+            agent.propose(&space, &mut rng, 1, &mut buf);
+            let cost = model.edp(&buf[0]);
+            agent.report(&buf[0].clone(), cost, &mut rng);
+        }
+        let decayed = agent.state.as_ref().unwrap().noise;
+        assert!(
+            decayed < DdpgConfig::default().exploration_noise,
+            "noise must decay over episodes"
+        );
+
+        let incumbent = space.random_mapping(&mut rng);
+        agent.observe_global_best(&space, &incumbent, 1e-6, SyncAction::Restart, &mut rng);
+        let state = agent.state.as_ref().unwrap();
+        assert_eq!(state.noise, DdpgConfig::default().exploration_noise);
+        assert_eq!(state.steps_in_episode, 0);
+        assert_eq!(
+            state.state_vec,
+            state.encode(&incumbent),
+            "episode re-anchored at the incumbent"
+        );
+        // Adopt keeps the (decayed-from-initial) schedule untouched.
+        let mut adopted = DdpgAgent::new(DdpgConfig {
+            episode_len: 4,
+            warmup: 1000,
+            ..DdpgConfig::default()
+        });
+        adopted.begin(&space, Some(100), &mut rng);
+        adopted.observe_global_best(&space, &incumbent, 1e-6, SyncAction::Adopt, &mut rng);
+        let state = adopted.state.as_ref().unwrap();
+        assert_eq!(state.state_vec, state.encode(&incumbent));
     }
 }

@@ -1,0 +1,306 @@
+//! Global-best synchronization policies: [`SyncPolicy`] and [`SyncAction`].
+//!
+//! Parallel drivers (the `mm-mapper` `Mapper`, the `mm-serve` scheduler,
+//! the sharded Phase-2 search in `mm-core`) periodically surface a shared
+//! incumbent — the best mapping any search unit has found so far — to every
+//! searcher. *How* a searcher re-anchors on that incumbent dominates
+//! iso-budget quality: blind adoption collapses diversity early, never
+//! adopting wastes the information entirely, and the useful middle ground
+//! depends on the search method and the remaining budget.
+//!
+//! [`SyncPolicy`] is the driver-side half of the protocol: at every sync
+//! point it turns shard-local state (a stall counter, the budget progress,
+//! the shard's own RNG stream) into an optional [`SyncAction`]. The
+//! searcher-side half is
+//! [`ProposalSearch::observe_global_best`](crate::ProposalSearch::observe_global_best),
+//! which implements the *mechanics* of the chosen action: re-anchoring the
+//! current trajectory (`Adopt`) or restarting it from the incumbent with a
+//! reseeded schedule (`Restart`).
+//!
+//! Because the decision consumes only deterministic, shard-local inputs,
+//! policies compose with deterministic orchestration: a driver that
+//! delivers incumbents at deterministic rendezvous points (see
+//! `mm-mapper`'s barrier rounds) keeps its reports byte-identical across
+//! worker counts under every policy.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a searcher should do with an observed global-best mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncAction {
+    /// Re-anchor the current trajectory on the incumbent (SA-style: make it
+    /// the current point; GA-style: inject it into the population).
+    Adopt,
+    /// Restart from the incumbent with a reseeded trajectory — reset
+    /// schedules (SA temperature, DDPG exploration noise, annealed
+    /// injection temperature) and search outward from the incumbent again.
+    Restart,
+}
+
+/// When and how a search shard re-anchors on the shared global best.
+///
+/// The policy is consulted at every sync point (every
+/// `sync_interval` evaluations in the mapper, every completed cadence in
+/// the serve scheduler) with the shard's *stall counter* (consecutive sync
+/// points without a shard-local best improvement), its *budget progress*
+/// in `[0, 1]`, and its own RNG stream. All inputs are shard-local and
+/// deterministic, so the decision stream is too.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// Never observe the global best (fully independent shards).
+    #[default]
+    Off,
+    /// Always adopt: re-anchor on the incumbent at every sync point
+    /// (today's SA-style re-anchoring, made explicit).
+    Anchor,
+    /// Restart a *stalled* shard from the global best with a reseeded
+    /// trajectory: after `patience` consecutive sync points without a
+    /// shard-local improvement, deliver [`SyncAction::Restart`].
+    Restart {
+        /// Consecutive non-improving sync points tolerated before the
+        /// restart fires.
+        patience: u64,
+    },
+    /// Adopt with a probability that anneals linearly over the budget:
+    /// `p = start + (end - start) · progress`. A decaying schedule
+    /// (`start > end`) explores greedily early and preserves diversity
+    /// late; an increasing one does the opposite.
+    Annealed {
+        /// Adoption probability at progress 0.
+        start: f64,
+        /// Adoption probability at progress 1.
+        end: f64,
+    },
+}
+
+impl SyncPolicy {
+    /// Whether the policy ever produces an action (`false` only for
+    /// [`SyncPolicy::Off`]). Drivers skip sync bookkeeping entirely when
+    /// this is `false`.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, SyncPolicy::Off)
+    }
+
+    /// Decide what to do at one sync point.
+    ///
+    /// * `stalled_syncs` — consecutive sync points without a shard-local
+    ///   best improvement (0 when the shard improved since the last sync);
+    /// * `progress` — fraction of the shard's evaluation budget spent,
+    ///   clamped to `[0, 1]`;
+    /// * `rng` — the shard's own RNG stream ([`SyncPolicy::Annealed`] draws
+    ///   one sample; the other variants draw none).
+    pub fn decide(
+        &self,
+        stalled_syncs: u64,
+        progress: f64,
+        rng: &mut StdRng,
+    ) -> Option<SyncAction> {
+        match *self {
+            SyncPolicy::Off => None,
+            SyncPolicy::Anchor => Some(SyncAction::Adopt),
+            SyncPolicy::Restart { patience } => {
+                (stalled_syncs >= patience).then_some(SyncAction::Restart)
+            }
+            SyncPolicy::Annealed { start, end } => {
+                let t = progress.clamp(0.0, 1.0);
+                let p = (start + (end - start) * t).clamp(0.0, 1.0);
+                (rng.gen_range(0.0..1.0) < p).then_some(SyncAction::Adopt)
+            }
+        }
+    }
+
+    /// A stable, human-readable rendering used wherever the policy
+    /// participates in deterministic identity: `MapperReport`
+    /// canonical strings and the `mm-serve` result-cache fingerprint.
+    /// Distinct policies (including distinct parameters of the same
+    /// variant) always render distinctly.
+    pub fn canonical_string(&self) -> String {
+        match *self {
+            SyncPolicy::Off => "off".to_string(),
+            SyncPolicy::Anchor => "anchor".to_string(),
+            SyncPolicy::Restart { patience } => format!("restart(patience={patience})"),
+            SyncPolicy::Annealed { start, end } => format!("annealed(start={start},end={end})"),
+        }
+    }
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical_string())
+    }
+}
+
+/// Per-search-unit stall bookkeeping for the drivers' sync points.
+///
+/// Every parallel driver (the `mm-mapper` shard loop, the `mm-serve`
+/// scheduler's jobs, the sharded Phase-2 search in `mm-core`) runs the
+/// same three-step protocol at a sync point: compare the unit's own best
+/// against its value at the previous sync point to update the stall
+/// counter, consult [`SyncPolicy::decide`], and re-arm the patience
+/// window when a [`SyncAction::Restart`] fires. `SyncState` centralizes
+/// that protocol so the drivers cannot drift apart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncState {
+    stalled_syncs: u64,
+    last_best: Option<f64>,
+}
+
+impl SyncState {
+    /// Fresh state: no sync points seen, no best recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one sync point: update the stall counter from `own_best` (the
+    /// unit's best primary cost so far, `None` when it has none yet),
+    /// consult the policy, and re-arm the counter when a restart fires so
+    /// the restarted trajectory gets a full patience window before the
+    /// next restart can fire.
+    pub fn decide(
+        &mut self,
+        policy: &SyncPolicy,
+        own_best: Option<f64>,
+        progress: f64,
+        rng: &mut StdRng,
+    ) -> Option<SyncAction> {
+        let improved = match (own_best, self.last_best) {
+            (Some(now), Some(prev)) => now < prev,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        self.stalled_syncs = if improved { 0 } else { self.stalled_syncs + 1 };
+        self.last_best = own_best;
+        let action = policy.decide(self.stalled_syncs, progress, rng);
+        if action == Some(SyncAction::Restart) {
+            self.stalled_syncs = 0;
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn off_never_acts_and_anchor_always_adopts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for stalled in [0, 5, 1000] {
+            for progress in [0.0, 0.5, 1.0] {
+                assert_eq!(SyncPolicy::Off.decide(stalled, progress, &mut rng), None);
+                assert_eq!(
+                    SyncPolicy::Anchor.decide(stalled, progress, &mut rng),
+                    Some(SyncAction::Adopt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restart_fires_only_after_patience() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = SyncPolicy::Restart { patience: 3 };
+        assert_eq!(p.decide(0, 0.5, &mut rng), None);
+        assert_eq!(p.decide(2, 0.5, &mut rng), None);
+        assert_eq!(p.decide(3, 0.5, &mut rng), Some(SyncAction::Restart));
+        assert_eq!(p.decide(10, 0.5, &mut rng), Some(SyncAction::Restart));
+    }
+
+    #[test]
+    fn annealed_probability_tracks_progress() {
+        // p = 1 at progress 0, p = 0 at progress 1 (start=1, end=0): the
+        // endpoints are decidable without sampling statistics.
+        let p = SyncPolicy::Annealed {
+            start: 1.0,
+            end: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(p.decide(0, 0.0, &mut rng), Some(SyncAction::Adopt));
+            assert_eq!(p.decide(0, 1.0, &mut rng), None);
+        }
+        // Out-of-range progress clamps instead of extrapolating.
+        for _ in 0..50 {
+            assert_eq!(p.decide(0, -3.0, &mut rng), Some(SyncAction::Adopt));
+            assert_eq!(p.decide(0, 7.0, &mut rng), None);
+        }
+        // Mid-budget the decision is genuinely probabilistic: both outcomes
+        // occur over a deterministic seeded stream.
+        let adopted = (0..200)
+            .filter(|_| p.decide(0, 0.5, &mut rng) == Some(SyncAction::Adopt))
+            .count();
+        assert!(adopted > 50 && adopted < 150, "p≈0.5, got {adopted}/200");
+    }
+
+    #[test]
+    fn sync_state_rearms_patience_after_restart() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = SyncPolicy::Restart { patience: 2 };
+        let mut state = SyncState::new();
+        // First sighting of a best counts as an improvement.
+        assert_eq!(state.decide(&policy, Some(1.0), 0.1, &mut rng), None);
+        // Two consecutive non-improving sync points fire the restart…
+        assert_eq!(state.decide(&policy, Some(1.0), 0.2, &mut rng), None);
+        assert_eq!(
+            state.decide(&policy, Some(1.0), 0.3, &mut rng),
+            Some(SyncAction::Restart)
+        );
+        // …and the counter re-arms: the next restart needs a fresh stall
+        // window instead of firing on every subsequent sync point.
+        assert_eq!(state.decide(&policy, Some(1.0), 0.4, &mut rng), None);
+        assert_eq!(
+            state.decide(&policy, Some(1.0), 0.5, &mut rng),
+            Some(SyncAction::Restart)
+        );
+        // An improvement resets the stall count too.
+        assert_eq!(state.decide(&policy, Some(0.5), 0.6, &mut rng), None);
+        assert_eq!(state.decide(&policy, Some(0.5), 0.7, &mut rng), None);
+        // No best yet never counts as an improvement.
+        let mut fresh = SyncState::new();
+        assert_eq!(fresh.decide(&policy, None, 0.0, &mut rng), None);
+        assert_eq!(
+            fresh.decide(&policy, None, 0.0, &mut rng),
+            Some(SyncAction::Restart)
+        );
+    }
+
+    #[test]
+    fn canonical_strings_are_distinct_and_stable() {
+        let policies = [
+            SyncPolicy::Off,
+            SyncPolicy::Anchor,
+            SyncPolicy::Restart { patience: 2 },
+            SyncPolicy::Restart { patience: 3 },
+            SyncPolicy::Annealed {
+                start: 0.9,
+                end: 0.1,
+            },
+            SyncPolicy::Annealed {
+                start: 0.5,
+                end: 0.1,
+            },
+        ];
+        let rendered: Vec<String> = policies.iter().map(SyncPolicy::canonical_string).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(rendered[0], "off");
+        assert_eq!(rendered[2], "restart(patience=2)");
+        assert_eq!(
+            SyncPolicy::Annealed {
+                start: 0.9,
+                end: 0.1
+            }
+            .to_string(),
+            "annealed(start=0.9,end=0.1)"
+        );
+        assert_eq!(SyncPolicy::default(), SyncPolicy::Off);
+    }
+}

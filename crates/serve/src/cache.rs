@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mm_mapper::{Evaluation, OptMetric};
+use mm_mapper::{Evaluation, OptMetric, SyncPolicy};
 use mm_mapspace::Mapping;
 
 /// FNV-1a 64-bit over the given parts (with a separator byte between parts,
@@ -44,6 +44,9 @@ pub struct CachedLayer {
     pub evaluations: u64,
     /// Searcher name (e.g. `"Random"`, `"SA"`).
     pub searcher: String,
+    /// The job-local sync policy the producing search ran under (also part
+    /// of the fingerprint that keyed this entry).
+    pub sync: SyncPolicy,
     /// Wall-clock seconds of the producing search.
     pub wall_time_s: f64,
     /// Whether the searcher exhausted its proposals before the budget.
@@ -104,6 +107,7 @@ mod tests {
                 metric_names: vec![OptMetric::Edp],
                 evaluations: 10,
                 searcher: "Random".into(),
+                sync: SyncPolicy::Off,
                 wall_time_s: 0.0,
                 exhausted: false,
             }),

@@ -1,5 +1,6 @@
 //! [`ServeConfig`]: the knobs of a [`MappingService`](crate::MappingService).
 
+use mm_search::SyncPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a whole-network mapping service.
@@ -11,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// from `seed` and the layer's fingerprint — so the same seed and the same
 /// network always produce the same report, independent of worker count and
 /// scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Evaluation-pool worker threads (shared by all layer jobs).
     pub workers: usize,
@@ -32,6 +33,16 @@ pub struct ServeConfig {
     /// shard capacity. Participates in the result-cache fingerprint, so
     /// cached replays never cross shard configurations.
     pub shards: usize,
+    /// How each layer-search job re-anchors on its incumbent best
+    /// ([`SyncPolicy::Off`], the default: plain independent search). Serve
+    /// sync is **job-local** — at a fixed evaluation cadence a job's own
+    /// best-so-far is offered back to its searcher (`Anchor`/`Annealed`
+    /// pull a drifting trajectory back to it; `Restart` warm-restarts a
+    /// stalled job from it) — so jobs stay independent, determinism is
+    /// preserved, and disjoint shard jobs never contaminate each other.
+    /// Participates in the result-cache fingerprint, so cached replays
+    /// never cross sync configurations.
+    pub sync: SyncPolicy,
     /// Reuse results for repeated `(problem, arch, config)` fingerprints —
     /// across layers of one network and across calls on one service.
     pub use_cache: bool,
@@ -46,6 +57,7 @@ impl Default for ServeConfig {
             seed: 0,
             search_size: 2_000,
             shards: 1,
+            sync: SyncPolicy::Off,
             use_cache: true,
         }
     }
@@ -69,6 +81,12 @@ impl ServeConfig {
         self.shards = shards;
         self
     }
+
+    /// A config with the given job-local global-best sync policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -81,9 +99,15 @@ mod tests {
         assert!(c.workers >= 1 && c.max_active_jobs >= 1 && c.queue_capacity >= 1);
         assert!(c.use_cache);
         assert_eq!(c.shards, 1, "sharding is off by default");
-        let c = c.with_search_size(64).with_workers(3).with_shards(4);
+        assert_eq!(c.sync, SyncPolicy::Off, "sync is off by default");
+        let c = c
+            .with_search_size(64)
+            .with_workers(3)
+            .with_shards(4)
+            .with_sync(SyncPolicy::Anchor);
         assert_eq!(c.search_size, 64);
         assert_eq!(c.workers, 3);
         assert_eq!(c.shards, 4);
+        assert_eq!(c.sync, SyncPolicy::Anchor);
     }
 }

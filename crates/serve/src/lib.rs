@@ -64,6 +64,9 @@ pub mod service;
 
 pub use cache::{fingerprint_parts, CachedLayer};
 pub use config::ServeConfig;
+// Re-exported so serve callers can configure `ServeConfig::sync` without
+// depending on mm-search directly.
 pub use eval::SurrogateEvaluator;
+pub use mm_search::{SyncAction, SyncPolicy};
 pub use report::{LayerReport, NetworkAggregate, NetworkReport};
 pub use service::{EvaluatorFactory, MappingService, SearchFactory, ServeStats};

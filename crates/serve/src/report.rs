@@ -26,6 +26,8 @@ pub struct LayerReport {
     pub cache_hit: bool,
     /// Searcher that produced the result.
     pub searcher: String,
+    /// The job-local sync policy the producing search ran under.
+    pub sync: mm_search::SyncPolicy,
     /// Evaluations the producing search spent (also reported on cache hits,
     /// describing the original search).
     pub evaluations: u64,
@@ -55,6 +57,7 @@ impl LayerReport {
             repeat,
             cache_hit,
             searcher: cached.searcher.clone(),
+            sync: cached.sync,
             evaluations: cached.evaluations,
             best_mapping: cached.best_mapping.clone(),
             best_metrics: cached.best_metrics.clone(),
@@ -113,6 +116,7 @@ impl LayerReport {
             } else {
                 0.0
             },
+            sync: self.sync,
             shards: vec![ShardReport {
                 shard: 0,
                 evaluations: self.evaluations,
@@ -199,13 +203,14 @@ impl NetworkReport {
         for l in &self.layers {
             let _ = writeln!(
                 out,
-                "layer={} problem={} repeat={} cache_hit={} searcher={} evals={} \
+                "layer={} problem={} repeat={} cache_hit={} searcher={} sync={} evals={} \
                  exhausted={} metric_names={:?} metrics={:?} mapping={:?}",
                 l.layer,
                 l.problem,
                 l.repeat,
                 l.cache_hit,
                 l.searcher,
+                l.sync,
                 l.evaluations,
                 l.exhausted,
                 l.metric_names,
@@ -241,6 +246,7 @@ mod tests {
             repeat,
             cache_hit: false,
             searcher: "Random".into(),
+            sync: mm_search::SyncPolicy::Off,
             evaluations: 10,
             best_mapping: None,
             best_metrics: Some(Evaluation {

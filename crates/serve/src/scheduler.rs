@@ -17,7 +17,16 @@
 //! `propose` calls are batched (the same contract `run_pipelined` relies
 //! on), so a job's outcome is independent of worker count, concurrency
 //! level, and completion timing — only the spec (seed, budget, space,
-//! evaluator) matters.
+//! evaluator, sync policy) matters.
+//!
+//! # Job-local sync
+//!
+//! A [`SyncPolicy`] on the spec is applied *within* each job: every
+//! [`JOB_SYNC_INTERVAL`] completed evaluations the job's own best-so-far
+//! is offered back to its searcher (`Anchor`/`Annealed` pull a drifting
+//! trajectory back onto it, `Restart` warm-restarts a stalled job from
+//! it). Keeping the incumbent job-local preserves both the determinism
+//! guarantee above and the disjointness of sharded layer jobs.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -25,9 +34,13 @@ use std::time::Instant;
 
 use mm_mapper::{CostEvaluator, EvalPool, Evaluation, OptMetric, MIN_PIPELINE_DEPTH};
 use mm_mapspace::{MapSpaceView, Mapping};
-use mm_search::ProposalSearch;
+use mm_search::{ProposalSearch, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Completed evaluations between job-local sync points (matches the
+/// mapper's default `sync_interval`).
+pub(crate) const JOB_SYNC_INTERVAL: u64 = 64;
 
 /// One layer search to run: everything the scheduler needs, self-contained.
 pub(crate) struct JobSpec {
@@ -43,6 +56,8 @@ pub(crate) struct JobSpec {
     pub seed: u64,
     /// Evaluations to spend.
     pub budget: u64,
+    /// Job-local global-best sync policy (see the module docs).
+    pub sync: SyncPolicy,
 }
 
 /// What one layer search produced.
@@ -73,6 +88,10 @@ struct ActiveJob {
     best: Option<(Mapping, Evaluation)>,
     started: Instant,
     exhausted: bool,
+    sync: SyncPolicy,
+    /// Stall bookkeeping (consecutive non-improving sync points) consumed
+    /// by [`SyncPolicy::decide`].
+    sync_state: SyncState,
 }
 
 impl ActiveJob {
@@ -93,6 +112,8 @@ impl ActiveJob {
             best: None,
             started: Instant::now(),
             exhausted: false,
+            sync: spec.sync,
+            sync_state: SyncState::new(),
         }
     }
 
@@ -141,7 +162,10 @@ impl ActiveJob {
         self.submitted += buf.len() as u64;
     }
 
-    /// Report every completion available in proposal order.
+    /// Report every completion available in proposal order, applying the
+    /// job-local sync policy at its cadence. The sequence of `report` and
+    /// `observe_global_best` calls depends only on the completed-count, so
+    /// arrival batching cannot perturb it.
     fn flush(&mut self) {
         while let Some(&(front_id, _)) = self.pending.front() {
             if !self.arrived.contains_key(&front_id) {
@@ -158,7 +182,33 @@ impl ActiveJob {
                 self.best = Some((mapping, eval));
             }
             self.completed += 1;
+            if self.sync.is_enabled() && self.completed.is_multiple_of(JOB_SYNC_INTERVAL) {
+                self.sync_point();
+            }
         }
+    }
+
+    /// One job-local sync point: consult the policy with the job's stall
+    /// counter and budget progress; when it acts, hand the job's own best
+    /// back to the searcher (re-anchor or warm restart).
+    fn sync_point(&mut self) {
+        let Some((mapping, eval)) = self.best.clone() else {
+            return;
+        };
+        let own = eval.primary();
+        let progress = if self.budget == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.budget as f64
+        };
+        let Some(action) = self
+            .sync_state
+            .decide(&self.sync, Some(own), progress, &mut self.rng)
+        else {
+            return;
+        };
+        self.search
+            .observe_global_best(&*self.space, &mapping, own, action, &mut self.rng);
     }
 
     fn done(&self) -> bool {
@@ -277,6 +327,7 @@ mod tests {
             search: Box::new(RandomSearch::new()),
             seed,
             budget,
+            sync: SyncPolicy::Off,
         }
     }
 
@@ -348,5 +399,41 @@ mod tests {
     fn empty_job_list_is_a_noop() {
         let mut pool = EvalPool::shared(1);
         assert!(run_jobs(&mut pool, Vec::new(), 2, 2).is_empty());
+    }
+
+    #[test]
+    fn job_local_sync_stays_deterministic_and_changes_the_search() {
+        // Budget spans several JOB_SYNC_INTERVAL cadences so the policy
+        // actually fires; SA makes re-anchoring visible.
+        let mk = |sync: SyncPolicy| -> Vec<JobSpec> {
+            (0..2)
+                .map(|i| {
+                    let mut s = spec(i, 256, 5 + i as u64, 3 * JOB_SYNC_INTERVAL);
+                    s.search = Box::new(SimulatedAnnealing::default());
+                    s.sync = sync;
+                    s
+                })
+                .collect()
+        };
+        let run = |workers: usize, sync: SyncPolicy| -> Vec<f64> {
+            let mut pool = EvalPool::shared(workers);
+            run_jobs(&mut pool, mk(sync), 2, 2)
+                .iter()
+                .map(|o| o.best.as_ref().unwrap().1.primary())
+                .collect()
+        };
+        let anchored = run(1, SyncPolicy::Anchor);
+        assert_eq!(
+            anchored,
+            run(3, SyncPolicy::Anchor),
+            "job-local sync must stay worker-count independent"
+        );
+        let restarted = run(1, SyncPolicy::Restart { patience: 0 });
+        assert_eq!(restarted, run(2, SyncPolicy::Restart { patience: 0 }));
+        assert_ne!(
+            restarted,
+            run(1, SyncPolicy::Off),
+            "an always-firing restart policy must steer the search"
+        );
     }
 }

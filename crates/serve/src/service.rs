@@ -131,10 +131,12 @@ impl MappingService {
         self
     }
 
-    /// Render the layer-independent fingerprint portion. The shard count is
-    /// part of the search configuration (it changes which subspaces each
-    /// job covers and the per-shard budget split), so it is folded into the
-    /// fingerprint — cached replays never cross shard configurations.
+    /// Render the layer-independent fingerprint portion. The shard count
+    /// and the sync policy are part of the search configuration (they
+    /// change which subspaces each job covers, the per-shard budget split,
+    /// and how a job's trajectory re-anchors mid-search), so both are
+    /// folded into the fingerprint — cached replays never cross shard or
+    /// sync configurations.
     fn config_tag(
         arch: &Architecture,
         searcher_name: &str,
@@ -142,10 +144,11 @@ impl MappingService {
         config: &ServeConfig,
     ) -> String {
         format!(
-            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={}",
+            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={} sync={}",
             config.seed,
             config.search_size,
-            config.shards.max(1)
+            config.shards.max(1),
+            config.sync.canonical_string()
         )
     }
 
@@ -260,6 +263,7 @@ impl MappingService {
                     metric_names: first.metric_names.clone(),
                     evaluations: group.iter().map(|o| o.evaluations).sum(),
                     searcher: first.searcher.clone(),
+                    sync: self.config.sync,
                     wall_time_s: group.iter().map(|o| o.wall_time_s).fold(0.0, f64::max),
                     exhausted: group.iter().any(|o| o.exhausted),
                 })
@@ -367,6 +371,7 @@ impl MappingService {
                     // search would have produced.
                     seed: derive_stream_seed(self.config.seed ^ fingerprint, s),
                     budget: split_evenly(self.config.search_size, s, shards),
+                    sync: self.config.sync,
                 }
             })
             .collect()

@@ -8,7 +8,7 @@ use mm_accel::Architecture;
 use mm_core::Phase1Config;
 use mm_mapspace::ProblemSpec;
 use mm_search::SimulatedAnnealing;
-use mm_serve::{MappingService, ServeConfig, SurrogateEvaluator};
+use mm_serve::{MappingService, ServeConfig, SurrogateEvaluator, SyncPolicy};
 use mm_workloads::{evaluated_accelerator, table1_network, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +21,7 @@ fn quick_config() -> ServeConfig {
         seed: 42,
         search_size: 120,
         shards: 1,
+        sync: SyncPolicy::Off,
         use_cache: true,
     }
 }
@@ -331,4 +332,70 @@ fn shard_config_changes_results_not_cache_replays() {
         one.best_mapping, four.best_mapping,
         "distinct shard configs should explore differently"
     );
+}
+
+/// Two configurations differing *only* in the sync policy never share
+/// cache entries: the policy is folded into the result-cache fingerprint,
+/// so each policy derives its own RNG streams and produces its own result.
+#[test]
+fn sync_policy_configs_never_share_cache_entries() {
+    let problem = ProblemSpec::conv1d(768, 7);
+    let run = |sync: SyncPolicy| {
+        let mut service = MappingService::new(
+            evaluated_accelerator(),
+            ServeConfig {
+                sync,
+                search_size: 400,
+                ..quick_config()
+            },
+        )
+        .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+        service.map_problem("conv", problem.clone())
+    };
+    let off = run(SyncPolicy::Off);
+    let anchored = run(SyncPolicy::Anchor);
+    let restarted = run(SyncPolicy::Restart { patience: 0 });
+    assert_eq!(off.evaluations, anchored.evaluations);
+    assert_ne!(
+        off.best_mapping, anchored.best_mapping,
+        "distinct sync configs must not replay each other's results"
+    );
+    assert_ne!(anchored.best_mapping, restarted.best_mapping);
+
+    // And on one long-lived service, a cached replay reproduces the
+    // policy-specific result exactly (never a cross-policy entry).
+    let mut service = MappingService::new(
+        evaluated_accelerator(),
+        ServeConfig {
+            sync: SyncPolicy::Anchor,
+            search_size: 400,
+            ..quick_config()
+        },
+    )
+    .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+    let fresh = service.map_problem("conv", problem.clone());
+    let replay = service.map_problem("conv", problem.clone());
+    assert!(replay.cache_hit);
+    assert_eq!(fresh.best_mapping, anchored.best_mapping);
+    assert_eq!(replay.best_mapping, anchored.best_mapping);
+}
+
+/// The serve determinism guarantee survives an enabled sync policy: the
+/// policy is job-local, so reports stay byte-identical across pool shapes.
+#[test]
+fn synced_serving_is_byte_identical_across_pool_shapes() {
+    let net = table1_network();
+    let run = |workers: usize, max_active: usize| {
+        let mut config = quick_config();
+        config.workers = workers;
+        config.max_active_jobs = max_active;
+        config.sync = SyncPolicy::Restart { patience: 1 };
+        config.search_size = 200;
+        let mut service = MappingService::new(evaluated_accelerator(), config)
+            .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+        service.map_network(&net).canonical_string()
+    };
+    let base = run(2, 2);
+    assert_eq!(base, run(1, 1), "independent of concurrency");
+    assert_eq!(base, run(4, 3), "independent of pool width");
 }

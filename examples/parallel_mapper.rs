@@ -10,13 +10,16 @@
 //! MM_MAPPER_THREADS=8 MM_MAPPER_SEARCH_SIZE=20000 cargo run --release --example parallel_mapper
 //! # disjoint map-space shards (loop-order/tiling slices) + work stealing:
 //! MM_MAPPER_SHARDS=8 MM_MAPPER_SHARD_SPACE=1 MM_MAPPER_STEAL=1 cargo run --release --example parallel_mapper
+//! # global-best sync policy (off | anchor | restart | annealed):
+//! MM_MAPPER_SHARDS=4 MM_MAPPER_SYNC=anchor cargo run --release --example parallel_mapper
 //! ```
 
 use std::sync::Arc;
 
 use mind_mappings::prelude::*;
 use mm_mapper::{
-    Mapper, MapperConfig, MapperSchedule, ModelEvaluator, OptMetric, StopReason, TerminationPolicy,
+    Mapper, MapperConfig, MapperSchedule, ModelEvaluator, OptMetric, StopReason, SyncPolicy,
+    TerminationPolicy,
 };
 use mm_search::AnnealingConfig;
 
@@ -37,6 +40,15 @@ fn main() {
     } else {
         MapperSchedule::Deterministic
     };
+    let sync = match std::env::var("MM_MAPPER_SYNC").as_deref() {
+        Ok("anchor") => SyncPolicy::Anchor,
+        Ok("restart") => SyncPolicy::Restart { patience: 3 },
+        Ok("annealed") => SyncPolicy::Annealed {
+            start: 0.9,
+            end: 0.1,
+        },
+        _ => SyncPolicy::Off,
+    };
 
     let arch = evaluated_accelerator();
     let target = table1::by_name("ResNet Conv_4").expect("table 1 problem");
@@ -50,7 +62,7 @@ fn main() {
         space.log10_size_estimate()
     );
     println!(
-        "threads:    {threads}, shards: {shards} (space sharding: {shard_space}, schedule: {schedule:?})"
+        "threads:    {threads}, shards: {shards} (space sharding: {shard_space}, schedule: {schedule:?}, sync: {sync})"
     );
     println!("search:     {search_size} evaluations\n");
 
@@ -68,6 +80,7 @@ fn main() {
         schedule,
         seed: 1,
         sync_interval: 128,
+        sync,
         termination: TerminationPolicy::search_size(search_size).with_victory_condition(2_000),
         ..MapperConfig::default()
     });

@@ -48,7 +48,7 @@ pub mod prelude {
     };
     pub use mm_search::{
         Budget, GeneticAlgorithm, Objective, ProposalSearch, RandomSearch, SearchTrace, Searcher,
-        SimulatedAnnealing,
+        SimulatedAnnealing, SyncAction, SyncPolicy,
     };
     pub use mm_serve::{MappingService, NetworkReport, ServeConfig, SurrogateEvaluator};
     pub use mm_workloads::{

@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: a fixed size or a half-open range.
+/// A length specification for [`vec()`]: a fixed size or a half-open range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     lo: usize,
