@@ -256,7 +256,7 @@ fn classify(field: &str) -> Option<Direction> {
 
 /// Array-element keys that identify a point across baseline and fresh runs
 /// (so reordering points never misattributes a metric).
-const IDENTITY_KEYS: [&str; 5] = ["threads", "shards", "schedule", "policy", "workers"];
+const IDENTITY_KEYS: [&str; 6] = ["threads", "shards", "schedule", "policy", "workers", "axes"];
 
 /// Flatten every gateable metric of a parsed document into
 /// `path → (value, direction)`.
@@ -576,6 +576,154 @@ mod tests {
         assert!(parse_json("{\"a\" 1}").is_err());
         assert!(parse_json("12 34").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        // Unterminated strings and escapes.
+        assert!(parse_json("\"abc").is_err());
+        assert!(parse_json("\"abc\\").is_err());
+        // Missing values / separators inside containers.
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1,,2]").is_err());
+        assert!(parse_json("{1: 2}").is_err());
+        // Bad literals and numbers.
+        assert!(parse_json("tru").is_err());
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("nan").is_err());
+        assert!(parse_json("Infinity").is_err());
+        assert!(parse_json("1e+e3").is_err());
+        assert!(parse_json("--5").is_err());
+        // Trailing garbage after a valid value.
+        assert!(parse_json("{}x").is_err());
+    }
+
+    #[test]
+    fn missing_keys_resolve_to_none_not_panics() {
+        let doc = parse_json(r#"{"points": [{"shards": 1}], "n": 3}"#).unwrap();
+        assert!(doc.get("absent").is_none());
+        assert!(
+            doc.get("points").unwrap().get("shards").is_none(),
+            "arrays have no members"
+        );
+        assert!(
+            doc.get("n").unwrap().get("x").is_none(),
+            "numbers have no members"
+        );
+        assert_eq!(doc.get("n").unwrap().as_str(), None);
+        assert_eq!(doc.get("points").unwrap().as_f64(), None);
+        // A point without any gateable field contributes no metrics.
+        assert!(gateable_metrics(&doc).is_empty());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_parsed_and_gated_safely() {
+        // 1e999 overflows f64 to +inf; the parser accepts it, the gate
+        // skips it as a degenerate baseline rather than comparing nonsense.
+        let inf_doc = parse_json(r#"{"best_cost": 1e999}"#).unwrap();
+        assert_eq!(
+            inf_doc.get("best_cost").unwrap().as_f64(),
+            Some(f64::INFINITY)
+        );
+        let finite = parse_json(r#"{"best_cost": 2.0}"#).unwrap();
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_x.json",
+            &inf_doc,
+            &finite,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 0);
+        assert_eq!(report.notes.len(), 1, "degenerate baseline is noted");
+
+        // Zero and negative baselines are degenerate too.
+        let zero = parse_json(r#"{"best_cost": 0.0, "geomean_best_edp": -1.0}"#).unwrap();
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_x.json",
+            &zero,
+            &zero,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(report.passed());
+        assert_eq!(report.notes.len(), 2);
+
+        // A fresh value that went non-finite against a finite baseline is a
+        // hard quality failure, not a silent pass.
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_x.json",
+            &finite,
+            &inf_doc,
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+    }
+
+    #[test]
+    fn tolerance_boundaries_are_inclusive() {
+        let tol = GateTolerances::default(); // 25% both ways
+                                             // Exactly representable values so the boundary products are exact:
+                                             // 1024·1.25 = 1280, 1000·0.75 = 750.
+        let baseline = doc(&[("off", 1, 1024.0, 1000.0)]);
+        // Exactly at the boundary: EDP +25%, throughput −25% — both pass.
+        let at_edge = doc(&[("off", 1, 1280.0, 750.0)]);
+        let mut report = GateReport::default();
+        gate_documents("BENCH_x.json", &baseline, &at_edge, tol, &mut report);
+        assert!(report.passed(), "{:?}", report.failures());
+        // A hair beyond either boundary fails that metric alone.
+        let over_quality = doc(&[("off", 1, 1280.001, 1000.0)]);
+        let mut report = GateReport::default();
+        gate_documents("BENCH_x.json", &baseline, &over_quality, tol, &mut report);
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.failures()[0].metric.ends_with("geomean_best_edp"));
+        let under_rate = doc(&[("off", 1, 1024.0, 749.999)]);
+        let mut report = GateReport::default();
+        gate_documents("BENCH_x.json", &baseline, &under_rate, tol, &mut report);
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.failures()[0].metric.ends_with("evals_per_sec"));
+        // Regressions are signed: positive = worse, improvement is negative.
+        assert!(report.failures()[0].regression() > 0.25);
+        let improved = doc(&[("off", 1, 0.5e-3, 2000.0)]);
+        let mut report = GateReport::default();
+        gate_documents("BENCH_x.json", &baseline, &improved, tol, &mut report);
+        assert!(report.passed());
+        assert!(report.checks.iter().all(|c| c.regression() < 0.0));
+    }
+
+    #[test]
+    fn axes_labels_identify_points() {
+        let mk = |axes: &str, edp: f64| {
+            Json::Obj(vec![(
+                "points".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("shards".to_string(), Json::Num(8.0)),
+                    ("axes".to_string(), Json::Str(axes.to_string())),
+                    ("geomean_best_edp".to_string(), Json::Num(edp)),
+                ])]),
+            )])
+        };
+        let metrics = gateable_metrics(&mk("l2+l1", 1.0));
+        assert!(
+            metrics.contains_key("points[shards=8,axes=l2+l1].geomean_best_edp"),
+            "{metrics:?}"
+        );
+        // Points differing only in the axes label never collide.
+        let mut report = GateReport::default();
+        gate_documents(
+            "BENCH_shard.json",
+            &mk("l2+l1", 1.0),
+            &mk("full", 1.0),
+            GateTolerances::default(),
+            &mut report,
+        );
+        assert!(!report.passed(), "axes relabel must fail closed");
     }
 
     fn doc(points: &[(&str, u64, f64, f64)]) -> Json {

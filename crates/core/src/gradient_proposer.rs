@@ -37,7 +37,17 @@ struct TrajectoryState {
     temperature: f64,
     injections: u64,
     iteration: u64,
+    /// Injections between temperature decays for *this* run: the config
+    /// value, or its horizon-compressed version when
+    /// [`Phase2Config::shard_horizon`] applies (see
+    /// [`ProposalSearch::begin`]).
+    decay_every: u64,
 }
+
+/// Temperature decays the compressed injection schedule targets within a
+/// hinted horizon: `0.75^16 ≈ 1%` of the initial temperature, the
+/// effective end of the default annealing schedule.
+const TARGET_DECAYS: u64 = 16;
 
 /// The Phase-2 gradient search as a stepwise proposal source.
 #[derive(Debug, Clone)]
@@ -127,9 +137,7 @@ impl GradientProposer {
                 state.x = cand_x;
             }
             state.injections += 1;
-            if cfg.decay_every_injections > 0
-                && state.injections.is_multiple_of(cfg.decay_every_injections)
-            {
+            if state.decay_every > 0 && state.injections.is_multiple_of(state.decay_every) {
                 state.temperature *= cfg.temperature_decay;
             }
         }
@@ -142,12 +150,27 @@ impl ProposalSearch for GradientProposer {
         "MM"
     }
 
-    fn begin(&mut self, space: &dyn MapSpaceView, _horizon: Option<u64>, rng: &mut StdRng) {
+    fn begin(&mut self, space: &dyn MapSpaceView, horizon: Option<u64>, rng: &mut StdRng) {
         assert_eq!(
             (space.problem().num_dims(), space.problem().num_tensors()),
             (self.problem.num_dims(), self.problem.num_tensors()),
             "map space problem shape does not match the proposer's problem"
         );
+        // Horizon-compressed injection schedule: ~TARGET_DECAYS temperature
+        // decays land within the horizon the driver begun us with, instead
+        // of annealing at the fixed cadence a full-space run would use. The
+        // horizon is used *as handed over* — a driver with its own
+        // `shard_horizon` knob (Mapper, serve scheduler) already passes the
+        // shard-scaled hint, so scaling exactly once stays the driver's
+        // job. Off by default (and inert when decay is disabled), so
+        // un-hinted runs are bit-identical to before.
+        let decay_every = match horizon {
+            Some(h) if self.config.shard_horizon && self.config.decay_every_injections > 0 => {
+                let injections = (h / self.config.injection_interval.max(1)).max(1);
+                (injections / TARGET_DECAYS).max(1)
+            }
+            _ => self.config.decay_every_injections,
+        };
         // Start from a stashed incumbent when a sync policy handed one
         // over before the run. The incumbent may come from another shard's
         // disjoint slice, and the first proposal is emitted verbatim — so
@@ -168,6 +191,7 @@ impl ProposalSearch for GradientProposer {
             temperature: self.config.initial_temperature,
             injections: 0,
             iteration: 0,
+            decay_every,
         });
     }
 
@@ -294,6 +318,41 @@ mod tests {
         buf.clear();
         gp.propose(&space, &mut rng, 32, &mut buf);
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn shard_horizon_compresses_the_injection_schedule() {
+        let s = surrogate(5);
+        let problem = mm_mapspace::ProblemSpec::conv1d(900, 7);
+        let space = MapSpace::new(problem.clone(), s.arch().mapping_constraints());
+        let shard = space.shard(0, 4);
+        let mut rng = StdRng::seed_from_u64(6);
+
+        // Default cadence: 50 injections per decay regardless of horizon.
+        let mut gp = GradientProposer::new(&s, problem.clone(), Phase2Config::default()).unwrap();
+        gp.begin(&shard, Some(320), &mut rng);
+        assert_eq!(gp.state.as_ref().unwrap().decay_every, 50);
+
+        // Compressed: a 320-eval horizon (as handed by the driver — raw
+        // share or an orchestrator's shard-scaled hint) fits the whole
+        // ~16-decay schedule into the run: 320/10 injections / 16 = 2.
+        let cfg = Phase2Config {
+            shard_horizon: true,
+            ..Phase2Config::default()
+        };
+        let mut gp = GradientProposer::new(&s, problem.clone(), cfg).unwrap();
+        gp.begin(&shard, Some(320), &mut rng);
+        let compressed = gp.state.as_ref().unwrap().decay_every;
+        assert_eq!(compressed, 2, "cadence must compress to the horizon");
+        // Disabled decay stays disabled.
+        let cfg = Phase2Config {
+            shard_horizon: true,
+            decay_every_injections: 0,
+            ..Phase2Config::default()
+        };
+        let mut gp = GradientProposer::new(&s, problem, cfg).unwrap();
+        gp.begin(&shard, Some(320), &mut rng);
+        assert_eq!(gp.state.as_ref().unwrap().decay_every, 0);
     }
 
     #[test]

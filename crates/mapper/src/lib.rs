@@ -68,7 +68,7 @@ pub use mapper::{
     derive_stream_seed, Mapper, MapperConfig, MapperReport, MapperSchedule, ShardReport,
 };
 pub use metrics::{Evaluation, OptMetric};
-pub use pipeline::{run_pipelined, MIN_PIPELINE_DEPTH};
+pub use pipeline::{pipeline_depth, run_pipelined, MIN_PIPELINE_DEPTH};
 pub use policy::{split_evenly, StopReason, TerminationPolicy};
 // The sync-policy vocabulary is defined next to the searchers (mm-search)
 // and re-exported here because `MapperConfig::sync` is its main consumer.

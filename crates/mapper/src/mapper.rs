@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mm_mapspace::{MapSpace, MapSpaceView, Mapping};
+use mm_mapspace::{MapSpace, MapSpaceView, Mapping, ShardAxisKind};
 use mm_search::{ProposalSearch, SearchTrace, SyncAction, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,10 +86,24 @@ pub struct MapperConfig {
     /// which thread runs the shard.
     pub shards: Option<usize>,
     /// Partition the map space itself across shards via [`MapSpace::shard`]
-    /// (pairwise-disjoint loop-order/tiling slices) instead of separating
-    /// shards by RNG stream alone. Shard counts beyond the space's
+    /// (pairwise-disjoint slices of the mixed-radix loop-order/parallelism/
+    /// tiling axis product) instead of separating shards by RNG stream
+    /// alone. Shard counts beyond the space's
     /// [`MapSpace::shard_capacity`] are clamped.
     pub shard_space: bool,
+    /// Restrict [`shard_space`](Self::shard_space) partitions to this
+    /// subset of the axis product (`None`, the default: the full product —
+    /// L2 order × L1 order × parallelism split × tile prefix). Shard counts
+    /// clamp to the subset's [`MapSpace::shard_capacity_for`].
+    pub shard_axes: Option<Vec<ShardAxisKind>>,
+    /// Shard-aware horizon hint (off by default): size each shard's
+    /// schedule-based searchers (SA cooling, GA generations) to the
+    /// shard-scaled horizon ([`MapSpaceView::horizon_hint`]) instead of the
+    /// raw per-shard budget, so searchers confined to a slice stop tuning
+    /// their schedules as if they owned the full space. Purely a function
+    /// of shard-local state, so the deterministic-schedule replay guarantee
+    /// is preserved.
+    pub shard_horizon: bool,
     /// Budget scheduling across shards.
     pub schedule: MapperSchedule,
     /// Master seed; per-shard streams are derived deterministically.
@@ -124,6 +138,8 @@ impl Default for MapperConfig {
             threads: 1,
             shards: None,
             shard_space: false,
+            shard_axes: None,
+            shard_horizon: false,
             schedule: MapperSchedule::Deterministic,
             seed: 0,
             sync_interval: 64,
@@ -341,7 +357,10 @@ impl Mapper {
     pub fn effective_shards(&self, space: &MapSpace) -> usize {
         let shards = self.config.shards.unwrap_or(self.config.threads).max(1);
         if self.config.shard_space {
-            space.clamp_shard_count(shards)
+            match &self.config.shard_axes {
+                Some(kinds) => space.clamp_shard_count_for(kinds, shards),
+                None => space.clamp_shard_count(shards),
+            }
         } else {
             shards
         }
@@ -375,7 +394,12 @@ impl Mapper {
         let views: Vec<Box<dyn MapSpaceView>> = (0..shards)
             .map(|s| {
                 if self.config.shard_space && shards > 1 {
-                    Box::new(space.shard(s, shards)) as Box<dyn MapSpaceView>
+                    match &self.config.shard_axes {
+                        Some(kinds) => {
+                            Box::new(space.shard_with(kinds, s, shards)) as Box<dyn MapSpaceView>
+                        }
+                        None => Box::new(space.shard(s, shards)) as Box<dyn MapSpaceView>,
+                    }
                 } else {
                     Box::new(space.clone()) as Box<dyn MapSpaceView>
                 }
@@ -629,10 +653,17 @@ impl<'a> ShardRun<'a> {
     ) -> Self {
         // Horizon estimate for schedule-based searchers (SA cooling): the
         // exact share under the deterministic schedule, the even-split
-        // estimate under work stealing.
+        // estimate under work stealing — scaled to the shard's share of the
+        // space when the shard-aware hint is on (progress accounting for
+        // the sync policy keeps using the raw share).
         let horizon = config.termination.per_shard_search_size(shard, shards);
+        let begin_horizon = if config.shard_horizon {
+            horizon.map(|h| space.horizon_hint(h))
+        } else {
+            horizon
+        };
         let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, shard));
-        searcher.begin(space, horizon, &mut rng);
+        searcher.begin(space, begin_horizon, &mut rng);
         let trace = config
             .record_traces
             .then(|| SearchTrace::new(searcher.name()));
@@ -1138,6 +1169,129 @@ mod tests {
         let anchored = run(SyncPolicy::Anchor);
         assert!(off.canonical_string().starts_with("sync=off\n"));
         assert!(anchored.canonical_string().starts_with("sync=anchor\n"));
+    }
+
+    #[test]
+    fn axis_subsets_restrict_the_partition_and_clamp_capacity() {
+        let (space, evaluator) = setup();
+        // conv1d(512, 7) on the example accelerator: d = 2, so the
+        // L2-order-only subset caps at 2 shards while the full product
+        // supports far more.
+        let order_only = vec![ShardAxisKind::OrderL2];
+        let mapper = Mapper::new(MapperConfig {
+            shards: Some(64),
+            shard_space: true,
+            shard_axes: Some(order_only.clone()),
+            ..MapperConfig::default()
+        });
+        assert_eq!(mapper.effective_shards(&space), 2, "2! order prefixes");
+        assert!(
+            Mapper::new(MapperConfig {
+                shards: Some(64),
+                shard_space: true,
+                ..MapperConfig::default()
+            })
+            .effective_shards(&space)
+                > 2,
+            "the full product supports more shards"
+        );
+        // The restricted run still covers each shard disjointly.
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            shards: Some(2),
+            shard_space: true,
+            shard_axes: Some(order_only.clone()),
+            termination: TerminationPolicy::search_size(80),
+            ..MapperConfig::default()
+        });
+        let report = mapper.run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        assert_eq!(report.total_evaluations, 80);
+        for (s, r) in report.shards.iter().enumerate() {
+            let shard = space.shard_with(&order_only, s, 2);
+            let (m, _) = r.best.as_ref().expect("shard found something");
+            assert!(MapSpaceView::is_member(&shard, m));
+        }
+    }
+
+    /// Records the horizon each shard's searcher was begun with.
+    struct HorizonSpy {
+        inner: RandomSearch,
+        seen: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl ProposalSearch for HorizonSpy {
+        fn name(&self) -> &str {
+            "HorizonSpy"
+        }
+        fn begin(&mut self, space: &dyn MapSpaceView, horizon: Option<u64>, rng: &mut StdRng) {
+            self.seen
+                .lock()
+                .unwrap()
+                .push(horizon.expect("bounded run"));
+            self.inner.begin(space, horizon, rng);
+        }
+        fn propose(
+            &mut self,
+            space: &dyn MapSpaceView,
+            rng: &mut StdRng,
+            max: usize,
+            out: &mut Vec<Mapping>,
+        ) {
+            self.inner.propose(space, rng, max, out);
+        }
+        fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+            self.inner.report(mapping, cost, rng);
+        }
+    }
+
+    #[test]
+    fn shard_horizon_hint_scales_begin_horizons_and_stays_deterministic() {
+        let (space, evaluator) = setup();
+        let run = |threads: usize, shard_horizon: bool| -> (MapperReport, Vec<u64>) {
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let report = Mapper::new(MapperConfig {
+                threads,
+                shards: Some(4),
+                shard_space: true,
+                shard_horizon,
+                seed: 23,
+                termination: TerminationPolicy::search_size(240),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(HorizonSpy {
+                    inner: RandomSearch::new(),
+                    seen: Arc::clone(&seen),
+                })
+            });
+            let mut horizons = seen.lock().unwrap().clone();
+            horizons.sort_unstable();
+            (report, horizons)
+        };
+        let (raw_report, raw) = run(1, false);
+        assert_eq!(raw, vec![60; 4], "un-hinted shards see their exact share");
+        let (hinted_report, hinted) = run(1, true);
+        assert_eq!(hinted_report.total_evaluations, 240, "hint costs no budget");
+        for h in &hinted {
+            assert!(
+                (1..60).contains(h),
+                "hinted horizon must shrink below the raw share, got {h}"
+            );
+        }
+        // The hint is pure shard-local state: replay-deterministic across
+        // worker counts, for the report and the horizons alike.
+        let (hinted_report_3, hinted_3) = run(3, true);
+        assert_eq!(hinted, hinted_3);
+        assert_eq!(
+            hinted_report.canonical_string(),
+            hinted_report_3.canonical_string(),
+            "horizon hints must stay worker-count independent"
+        );
+        assert_eq!(
+            raw_report.canonical_string(),
+            hinted_report.canonical_string(),
+            "RandomSearch ignores the horizon, so the stream is unchanged"
+        );
     }
 
     #[test]

@@ -29,6 +29,16 @@ use crate::metrics::Evaluation;
 /// surrogate forward passes on a 2-worker pool), independent of pool width.
 pub const MIN_PIPELINE_DEPTH: usize = 32;
 
+/// Clamp a searcher's `lookahead` to the in-flight depth a pool can keep
+/// fed: at least 1, at most two proposals per worker — but never capped
+/// below [`MIN_PIPELINE_DEPTH`], so per-worker chunk jobs still carry real
+/// batches for `CostEvaluator::evaluate_batch` fast paths. The one clamp
+/// every pool driver ([`run_pipelined`] and the serve scheduler) funnels
+/// through.
+pub fn pipeline_depth(lookahead: usize, workers: usize) -> usize {
+    lookahead.clamp(1, (workers * 2).max(MIN_PIPELINE_DEPTH))
+}
+
 /// Drive `search` against `pool`, pipelining proposals ahead of pending
 /// evaluations, until `budget` evaluations complete (or time runs out).
 pub fn run_pipelined(
@@ -51,14 +61,11 @@ pub fn run_pipelined(
     let mut completed = 0u64;
     // Cap in-flight work: the searcher's tolerance, but at least
     // MIN_PIPELINE_DEPTH so batched evaluators see real batches.
-    let max_in_flight = search
-        .lookahead()
-        .clamp(1, (pool.workers() * 2).max(MIN_PIPELINE_DEPTH))
-        .min(
-            usize::try_from(budget.max_queries)
-                .unwrap_or(usize::MAX)
-                .max(1),
-        );
+    let max_in_flight = pipeline_depth(search.lookahead(), pool.workers()).min(
+        usize::try_from(budget.max_queries)
+            .unwrap_or(usize::MAX)
+            .max(1),
+    );
 
     let mut buf: Vec<Mapping> = Vec::new();
     loop {
@@ -143,6 +150,28 @@ mod tests {
         let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
         let model = CostModel::new(arch, problem);
         (space, Arc::new(ModelEvaluator::edp(model)))
+    }
+
+    #[test]
+    fn pipeline_depth_pins_the_clamp_boundaries() {
+        // Below MIN_PIPELINE_DEPTH worth of workers, the floor wins: the
+        // cap is MIN_PIPELINE_DEPTH regardless of pool width.
+        assert_eq!(pipeline_depth(1000, 1), MIN_PIPELINE_DEPTH);
+        assert_eq!(
+            pipeline_depth(1000, MIN_PIPELINE_DEPTH / 2),
+            MIN_PIPELINE_DEPTH
+        );
+        // From workers*2 == MIN_PIPELINE_DEPTH upward, workers*2 wins.
+        assert_eq!(
+            pipeline_depth(1000, MIN_PIPELINE_DEPTH / 2 + 1),
+            MIN_PIPELINE_DEPTH + 2
+        );
+        assert_eq!(pipeline_depth(1000, 20), 40);
+        // A modest lookahead is never inflated, and zero clamps to 1.
+        assert_eq!(pipeline_depth(10, 20), 10);
+        assert_eq!(pipeline_depth(1, 20), 1);
+        assert_eq!(pipeline_depth(0, 20), 1);
+        assert_eq!(pipeline_depth(usize::MAX, 3), MIN_PIPELINE_DEPTH);
     }
 
     #[test]

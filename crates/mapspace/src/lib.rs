@@ -51,7 +51,7 @@ pub use encode::Encoding;
 pub use mapping::Mapping;
 pub use problem::{DimId, ProblemFamily, ProblemSpec, TensorDim, TensorKind, TensorSpec};
 pub use space::{MapSpace, MappingConstraints};
-pub use view::{MapSpaceView, ShardedMapSpace};
+pub use view::{MapSpaceView, ShardAxis, ShardAxisKind, ShardedMapSpace};
 
 /// Errors produced when constructing or validating mappings and problems.
 #[derive(Debug, Clone, PartialEq, Eq)]

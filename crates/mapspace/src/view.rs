@@ -9,22 +9,33 @@
 //! # Sharding
 //!
 //! [`MapSpace::shard(i, n)`](MapSpace::shard) splits the space into `n`
-//! pairwise-disjoint, jointly-covering subspaces by restricting one discrete
-//! axis, in the spirit of Timeloop's mapspace splits:
+//! pairwise-disjoint, jointly-covering subspaces by restricting a
+//! **mixed-radix product of discrete axes**, in the spirit of Timeloop's
+//! mapspace splits. The axes, most significant first:
 //!
-//! * **Loop-order prefix (primary axis).** The L2-level loop order is a
-//!   permutation of the problem dimensions; its lexicographic (Lehmer) rank
-//!   lives in `[0, d!)`. Shard `i` owns the contiguous rank interval
-//!   `[i·d!/n, (i+1)·d!/n)` — a contiguous rank interval is exactly the set
-//!   of permutations sharing a (generalized) lexicographic prefix.
-//! * **Largest-tiling-axis fallback.** When `n` exceeds the permutation
-//!   count `d!`, the axis is refined with the L2 tile extent of the largest
-//!   problem dimension: the combined rank `order_rank · size + (t2 − 1)`
-//!   ranges over `[0, d!·size)` and is partitioned the same way.
+//! * **L2 loop-order prefix** ([`ShardAxisKind::OrderL2`]). The L2-level
+//!   temporal loop order is a permutation of the problem dimensions; its
+//!   lexicographic (Lehmer) rank lives in `[0, d!)`.
+//! * **L1 loop-order prefix** ([`ShardAxisKind::OrderL1`]). The same rank
+//!   over the L1-level loop order — another independent `d!` factor.
+//! * **Parallelism split** ([`ShardAxisKind::Parallel`]). The spatial
+//!   fan-out assigned to one split dimension (a dimension *other than* the
+//!   tile-split dimension, so the two pins never conflict), bucketed into
+//!   `[1, P]` where `P` is capped so that every (parallelism, tile) pin
+//!   combination still admits a valid mapping under the buffer capacities.
+//! * **L2 tile prefix** ([`ShardAxisKind::Tile`]). The L2 tile extent of the
+//!   largest problem dimension, bucketed into `[1, size]` (PR 3's fallback
+//!   axis, now the least-significant refinement).
 //!
-//! Every mapping of the full space has exactly one combined rank, so the `n`
-//! shards partition the space: disjoint by construction (disjoint intervals)
-//! and jointly covering (the intervals tile the whole rank range).
+//! Every mapping has exactly one **combined rank** — the mixed-radix number
+//! whose digits are the axis values above — so contiguous rank intervals
+//! partition the space: disjoint by construction and jointly covering
+//! (attribute values beyond a bucketed axis's extent are absorbed by its
+//! last bucket, keeping the digit function total). [`MapSpace::shard_capacity`]
+//! is the *product* of the axis cardinalities (`d!·d!·P·size`), so the
+//! useful shard count grows multiplicatively instead of being throttled by
+//! a single axis on small-`d!` problems. [`MapSpace::shard_with`] restricts
+//! the product to a chosen subset of axes.
 
 use rand::{Rng, RngCore};
 
@@ -33,9 +44,10 @@ use crate::problem::{DimId, ProblemSpec};
 use crate::space::{MapSpace, MappingConstraints};
 use crate::MapSpaceError;
 
-/// Index of the L2 temporal loop order within `Mapping::loop_orders`
-/// (level 1 of `ORDER_LEVELS`; the axis restricted by sharding).
-const SHARD_ORDER_LEVEL: usize = 1;
+/// Index of the L1 temporal loop order within `Mapping::loop_orders`.
+const L1_ORDER_LEVEL: usize = 0;
+/// Index of the L2 temporal loop order within `Mapping::loop_orders`.
+const L2_ORDER_LEVEL: usize = 1;
 
 /// The operations searchers actually use, abstracted over "the full map
 /// space" and "one shard of it".
@@ -97,6 +109,20 @@ pub trait MapSpaceView: Send + Sync {
         None
     }
 
+    /// Shard-aware schedule-horizon hint: how many of `budget` evaluations
+    /// a schedule-based searcher (SA cooling, GA generations, annealed
+    /// injection) should stretch its schedule over.
+    ///
+    /// The full space returns `budget` unchanged. A shard scales the budget
+    /// by its share of the full space's log-magnitude
+    /// (`log10|shard| / log10|space|`, clamped to `[0.25, 1]`), so a
+    /// searcher confined to a slice stops tuning its cooling/generation
+    /// horizon as if it owned the whole space — the tail of the budget is
+    /// spent exploiting the (smaller) slice instead.
+    fn horizon_hint(&self, budget: u64) -> u64 {
+        budget
+    }
+
     /// Clone this view behind a fresh box (object-safe `Clone`).
     fn clone_view(&self) -> Box<dyn MapSpaceView>;
 }
@@ -151,20 +177,52 @@ impl MapSpaceView for MapSpace {
     }
 }
 
-/// Which discrete axis a partition restricts.
+/// The discrete axes a shard partition can restrict (see the
+/// [module docs](self)); [`MapSpace::shard_with`] takes a subset, and
+/// [`MapSpace::shard`] uses [`ShardAxisKind::ALL`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ShardAxis {
-    /// Combined rank = lexicographic rank of the L2 loop order, in
-    /// `[0, perms)`.
+pub enum ShardAxisKind {
+    /// Lexicographic rank of the L2 temporal loop order (`d!` values).
+    OrderL2,
+    /// Lexicographic rank of the L1 temporal loop order (`d!` values).
+    OrderL1,
+    /// Spatial fan-out of the parallelism-split dimension.
+    Parallel,
+    /// L2 tile extent of the largest problem dimension.
+    Tile,
+}
+
+impl ShardAxisKind {
+    /// Every axis, in canonical significance order (most significant first).
+    pub const ALL: [ShardAxisKind; 4] = [
+        ShardAxisKind::OrderL2,
+        ShardAxisKind::OrderL1,
+        ShardAxisKind::Parallel,
+        ShardAxisKind::Tile,
+    ];
+}
+
+/// One concrete axis of a shard partition's mixed-radix product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAxis {
+    /// Digit = lexicographic rank of `loop_orders[level]`, in `[0, perms)`.
     OrderPrefix {
+        /// Which loop-order level is ranked (0 = L1, 1 = L2).
+        level: usize,
         /// `d!` for `d` problem dimensions.
         perms: u128,
     },
-    /// Combined rank = `order_rank · extent + (tiles[L2][dim] − 1)`, in
-    /// `[0, perms · extent)`.
-    OrderTile {
-        /// `d!` for `d` problem dimensions.
-        perms: u128,
+    /// Digit = `parallel[dim].clamp(1, extent) − 1`, in `[0, extent)` (the
+    /// last bucket absorbs fan-outs beyond `extent`).
+    ParallelSplit {
+        /// The split dimension (never the tile-split dimension).
+        dim: usize,
+        /// Number of parallelism buckets, capped for joint satisfiability
+        /// with the tile axis.
+        extent: u64,
+    },
+    /// Digit = `tiles[L2][dim].clamp(1, extent) − 1`, in `[0, extent)`.
+    TilePrefix {
         /// The split tiling dimension (largest problem dimension).
         dim: usize,
         /// That dimension's size (number of admissible L2 tile extents).
@@ -172,17 +230,74 @@ enum ShardAxis {
     },
 }
 
+impl ShardAxis {
+    /// Number of digit values of this axis.
+    pub fn cardinality(&self) -> u128 {
+        match self {
+            ShardAxis::OrderPrefix { perms, .. } => *perms,
+            ShardAxis::ParallelSplit { extent, .. } | ShardAxis::TilePrefix { extent, .. } => {
+                u128::from(*extent)
+            }
+        }
+    }
+
+    /// Which [`ShardAxisKind`] this axis realizes.
+    pub fn kind(&self) -> ShardAxisKind {
+        match self {
+            ShardAxis::OrderPrefix { level, .. } if *level == L2_ORDER_LEVEL => {
+                ShardAxisKind::OrderL2
+            }
+            ShardAxis::OrderPrefix { .. } => ShardAxisKind::OrderL1,
+            ShardAxis::ParallelSplit { .. } => ShardAxisKind::Parallel,
+            ShardAxis::TilePrefix { .. } => ShardAxisKind::Tile,
+        }
+    }
+
+    /// The digit this axis assigns to a (structurally well-formed) mapping.
+    fn digit(&self, m: &Mapping) -> u128 {
+        match self {
+            ShardAxis::OrderPrefix { level, .. } => perm_rank(&m.loop_orders[*level]),
+            ShardAxis::ParallelSplit { dim, extent } => {
+                u128::from(m.parallel[*dim].clamp(1, *extent) - 1)
+            }
+            ShardAxis::TilePrefix { dim, extent } => {
+                u128::from(m.tiles[1][*dim].clamp(1, *extent) - 1)
+            }
+        }
+    }
+
+    /// Overwrite the attribute this axis ranks from a digit value.
+    fn apply(&self, m: &mut Mapping, digit: u128) {
+        match self {
+            ShardAxis::OrderPrefix { level, .. } => {
+                let d = m.loop_orders[*level].len();
+                m.loop_orders[*level] = perm_unrank(d, digit);
+            }
+            ShardAxis::ParallelSplit { dim, .. } => {
+                m.parallel[*dim] = digit as u64 + 1;
+            }
+            ShardAxis::TilePrefix { dim, .. } => {
+                m.tiles[1][*dim] = digit as u64 + 1;
+            }
+        }
+    }
+}
+
 /// One shard of a [`MapSpace`]: the subset of mappings whose combined
-/// discrete rank (see [module docs](self)) falls in `[lo, hi)`.
+/// mixed-radix rank (see [module docs](self)) falls in `[lo, hi)`.
 ///
-/// Produced by [`MapSpace::shard`]; the `n` shards of one space are
-/// pairwise disjoint and jointly cover the full space.
+/// Produced by [`MapSpace::shard`] / [`MapSpace::shard_with`]; the `n`
+/// shards of one space are pairwise disjoint and jointly cover the full
+/// space.
 #[derive(Debug, Clone)]
 pub struct ShardedMapSpace {
     base: MapSpace,
     index: usize,
     count: usize,
-    axis: ShardAxis,
+    /// The restricted axes, most significant first.
+    axes: Vec<ShardAxis>,
+    /// `strides[i]` = product of cardinalities of `axes[i+1..]`.
+    strides: Vec<u128>,
     /// Inclusive lower bound of this shard's combined-rank interval.
     lo: u128,
     /// Exclusive upper bound of this shard's combined-rank interval.
@@ -190,68 +305,183 @@ pub struct ShardedMapSpace {
 }
 
 impl MapSpace {
-    /// The largest shard count [`shard`](Self::shard) supports for this
-    /// space: `d! · max_dim_size` (L2 loop orders refined by the L2 tile
-    /// extent of the largest dimension).
-    pub fn shard_capacity(&self) -> u128 {
+    /// The full mixed-radix axis product [`shard`](Self::shard) partitions:
+    /// every [`ShardAxisKind`] whose cardinality on this space is at least 2,
+    /// in canonical significance order.
+    pub fn axis_product(&self) -> Vec<ShardAxis> {
+        self.axis_product_for(&ShardAxisKind::ALL)
+    }
+
+    /// The axis product restricted to `kinds` (order and duplicates in
+    /// `kinds` are ignored — axes always appear in canonical significance
+    /// order, and axes with fewer than 2 values on this space are dropped).
+    pub fn axis_product_for(&self, kinds: &[ShardAxisKind]) -> Vec<ShardAxis> {
         let d = self.problem().num_dims();
-        factorial(d) * u128::from(largest_dim(self.problem()).1.max(1))
+        let perms = factorial(d);
+        let (tile_dim, raw_tile_size) = largest_dim(self.problem());
+        let tile_size = self.satisfiable_tile_extent(tile_dim, raw_tile_size);
+        let has = |k: ShardAxisKind| kinds.contains(&k);
+        let mut axes = Vec::new();
+        if has(ShardAxisKind::OrderL2) && perms >= 2 {
+            axes.push(ShardAxis::OrderPrefix {
+                level: L2_ORDER_LEVEL,
+                perms,
+            });
+        }
+        if has(ShardAxisKind::OrderL1) && perms >= 2 {
+            axes.push(ShardAxis::OrderPrefix {
+                level: L1_ORDER_LEVEL,
+                perms,
+            });
+        }
+        if has(ShardAxisKind::Parallel) {
+            if let Some((dim, extent)) = self.parallel_axis(tile_dim, tile_size) {
+                axes.push(ShardAxis::ParallelSplit { dim, extent });
+            }
+        }
+        if has(ShardAxisKind::Tile) && tile_size >= 2 {
+            axes.push(ShardAxis::TilePrefix {
+                dim: tile_dim,
+                extent: tile_size,
+            });
+        }
+        axes
+    }
+
+    /// The largest L2 tile extent of the tile-split dimension whose pin
+    /// still admits a valid mapping (witness: that tile alone at `extent`,
+    /// everything else minimal — L2 footprints are monotone in the pin, and
+    /// extents beyond the cap are absorbed by the axis's last bucket).
+    fn satisfiable_tile_extent(&self, tile_dim: usize, mut extent: u64) -> u64 {
+        let p = self.problem();
+        let cap = self.constraints().l2_capacity_words;
+        while extent >= 2 {
+            let mut witness = Mapping::minimal(p);
+            witness.tiles[1][tile_dim] = extent;
+            let total: u64 = (0..p.num_tensors())
+                .map(|ti| witness.l2_footprint(p, ti))
+                .sum();
+            if total <= cap {
+                break;
+            }
+            extent /= 2;
+        }
+        extent
+    }
+
+    /// The parallelism-split axis: the non-tile dimension with the largest
+    /// usable fan-out, capped so that *every* (parallelism, tile) pin
+    /// combination still admits a valid mapping (the witness pins both axes
+    /// at their extremes — L2 footprints are monotone in both pins — with
+    /// unit L1 tiles and no other parallelism). `None` when no such axis
+    /// with at least 2 buckets exists.
+    fn parallel_axis(&self, tile_dim: usize, tile_size: u64) -> Option<(usize, u64)> {
+        let p = self.problem();
+        let (dim, raw) = p
+            .dims()
+            .filter(|dd| dd.0 != tile_dim)
+            .map(|dd| (dd.0, p.dim_size(dd).min(self.constraints().num_pes)))
+            .max_by_key(|&(i, e)| (e, std::cmp::Reverse(i)))?;
+        let mut extent = raw;
+        let cap = self.constraints().l2_capacity_words;
+        while extent >= 2 {
+            let mut witness = Mapping::minimal(p);
+            witness.parallel[dim] = extent;
+            witness.tiles[1][dim] = extent;
+            witness.tiles[1][tile_dim] = tile_size.max(1);
+            let total: u64 = (0..p.num_tensors())
+                .map(|ti| witness.l2_footprint(p, ti))
+                .sum();
+            if total <= cap {
+                break;
+            }
+            extent /= 2;
+        }
+        (extent >= 2).then_some((dim, extent))
+    }
+
+    /// The largest shard count [`shard`](Self::shard) supports for this
+    /// space: the product of every axis cardinality (`d!·d!·P·size`, see the
+    /// [module docs](self)).
+    pub fn shard_capacity(&self) -> u128 {
+        self.shard_capacity_for(&ShardAxisKind::ALL)
+    }
+
+    /// The largest shard count [`shard_with`](Self::shard_with) supports for
+    /// the given axis subset. Monotone in the subset: adding an axis kind
+    /// never decreases capacity.
+    pub fn shard_capacity_for(&self, kinds: &[ShardAxisKind]) -> u128 {
+        self.axis_product_for(kinds)
+            .iter()
+            .fold(1u128, |acc, a| acc.saturating_mul(a.cardinality()))
     }
 
     /// `count` clamped into [`shard`](Self::shard)'s valid range
     /// `[1, shard_capacity()]` — the one idiom every shard-count knob
     /// (mapper, serve, Phase 2) funnels through before calling `shard`.
     pub fn clamp_shard_count(&self, count: usize) -> usize {
-        usize::try_from(self.shard_capacity().min(count.max(1) as u128)).unwrap_or(count.max(1))
+        self.clamp_shard_count_for(&ShardAxisKind::ALL, count)
+    }
+
+    /// [`clamp_shard_count`](Self::clamp_shard_count) against the capacity
+    /// of the given axis subset.
+    pub fn clamp_shard_count_for(&self, kinds: &[ShardAxisKind], count: usize) -> usize {
+        usize::try_from(self.shard_capacity_for(kinds).min(count.max(1) as u128))
+            .unwrap_or(count.max(1))
     }
 
     /// Shard `index` of a partition of this space into `count`
-    /// pairwise-disjoint, jointly-covering subspaces (see the
-    /// [module docs](self) for the partitioned axis).
+    /// pairwise-disjoint, jointly-covering subspaces over the full axis
+    /// product (see the [module docs](self)).
     ///
     /// # Panics
     ///
     /// Panics if `count` is zero, `index >= count`, or `count` exceeds
     /// [`shard_capacity`](Self::shard_capacity).
     pub fn shard(&self, index: usize, count: usize) -> ShardedMapSpace {
+        self.shard_with(&ShardAxisKind::ALL, index, count)
+    }
+
+    /// Like [`shard`](Self::shard), but partitioning only the given subset
+    /// of axes (`count` bounded by
+    /// [`shard_capacity_for`](Self::shard_capacity_for)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, `index >= count`, or `count` exceeds the
+    /// subset's capacity.
+    pub fn shard_with(
+        &self,
+        kinds: &[ShardAxisKind],
+        index: usize,
+        count: usize,
+    ) -> ShardedMapSpace {
         assert!(count > 0, "shard count must be positive");
         assert!(index < count, "shard index {index} out of range 0..{count}");
-        let d = self.problem().num_dims();
-        let perms = factorial(d);
-        let (dim, size) = largest_dim(self.problem());
-        let axis = if count as u128 <= perms {
-            ShardAxis::OrderPrefix { perms }
-        } else {
-            ShardAxis::OrderTile {
-                perms,
-                dim,
-                extent: size.max(1),
-            }
-        };
-        let total = axis_cardinality(&axis);
+        let axes = self.axis_product_for(kinds);
+        let total = axes
+            .iter()
+            .fold(1u128, |acc, a| acc.saturating_mul(a.cardinality()));
         assert!(
             count as u128 <= total,
-            "shard count {count} exceeds the discrete axis cardinality {total} \
-             (d!·largest_dim = shard_capacity)"
+            "shard count {count} exceeds the axis-product cardinality {total} \
+             (= shard_capacity for these axes)"
         );
+        let mut strides = vec![1u128; axes.len()];
+        for i in (0..axes.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1].saturating_mul(axes[i + 1].cardinality());
+        }
         let lo = index as u128 * total / count as u128;
         let hi = (index as u128 + 1) * total / count as u128;
         ShardedMapSpace {
             base: self.clone(),
             index,
             count,
-            axis,
+            axes,
+            strides,
             lo,
             hi,
         }
-    }
-}
-
-/// Total number of combined-rank values of an axis.
-fn axis_cardinality(axis: &ShardAxis) -> u128 {
-    match axis {
-        ShardAxis::OrderPrefix { perms } => *perms,
-        ShardAxis::OrderTile { perms, extent, .. } => perms * u128::from(*extent),
     }
 }
 
@@ -298,6 +528,44 @@ fn perm_unrank(d: usize, mut rank: u128) -> Vec<usize> {
     out
 }
 
+/// The adjustable (validity-coupled) suffix of a shard's axis product: the
+/// parallelism and tile pins, with the admissible windows the shard
+/// interval leaves them at the mapping's current loop-order prefix.
+struct PinWindow {
+    /// Local suffix rank window `[qlo, qhi]` (inclusive).
+    qlo: u128,
+    qhi: u128,
+    /// `(dim, extent)` of the parallelism axis, when present.
+    par: Option<(usize, u64)>,
+    /// `(dim, extent)` of the tile axis, when present.
+    tile: Option<(usize, u64)>,
+}
+
+impl PinWindow {
+    /// Admissible parallelism *values* `[lo, hi]` of the split dimension.
+    fn par_bounds(&self) -> Option<(usize, u64, u64)> {
+        let (dim, extent) = self.par?;
+        let t = self.tile.map_or(1u128, |(_, e)| u128::from(e));
+        let lo = (self.qlo / t) as u64 + 1;
+        let hi = ((self.qhi / t) as u64 + 1).min(extent);
+        Some((dim, lo.min(extent), hi))
+    }
+
+    /// Admissible L2 tile *extents* `[lo, hi]` of the split dimension, given
+    /// the current parallelism value of the parallelism-split dimension.
+    fn tile_bounds(&self, par_value: u64) -> Option<(usize, u64, u64)> {
+        let (dim, extent) = self.tile?;
+        let t = u128::from(extent);
+        let dp = match self.par {
+            Some((_, pe)) => u128::from(par_value.clamp(1, pe) - 1),
+            None => 0,
+        };
+        let lo = self.qlo.saturating_sub(dp * t).min(t - 1) as u64 + 1;
+        let hi = ((self.qhi - (dp * t).min(self.qhi)).min(t - 1) as u64 + 1).max(lo);
+        Some((dim, lo.min(extent), hi.min(extent)))
+    }
+}
+
 impl ShardedMapSpace {
     /// The full space this shard was cut from.
     pub fn base(&self) -> &MapSpace {
@@ -314,29 +582,41 @@ impl ShardedMapSpace {
         self.count
     }
 
-    /// Human-readable description of the restricted axis, for reports.
-    pub fn axis_description(&self) -> String {
-        match &self.axis {
-            ShardAxis::OrderPrefix { perms } => {
-                format!("L2 loop-order ranks [{}, {}) of {perms}", self.lo, self.hi)
-            }
-            ShardAxis::OrderTile { perms, dim, extent } => format!(
-                "L2 (order, tile[{dim}]) ranks [{}, {}) of {perms}x{extent}",
-                self.lo, self.hi
-            ),
-        }
+    /// The restricted axes, most significant first.
+    pub fn axes(&self) -> &[ShardAxis] {
+        &self.axes
     }
 
-    /// The combined discrete rank of a (structurally well-formed) mapping.
+    /// Human-readable description of the restricted axis product, for
+    /// reports.
+    pub fn axis_description(&self) -> String {
+        let radix: Vec<String> = self
+            .axes
+            .iter()
+            .map(|a| match a {
+                ShardAxis::OrderPrefix { level, perms } => {
+                    format!("L{}-order:{perms}", level + 1)
+                }
+                ShardAxis::ParallelSplit { dim, extent } => format!("par[{dim}]:{extent}"),
+                ShardAxis::TilePrefix { dim, extent } => format!("tile[{dim}]:{extent}"),
+            })
+            .collect();
+        format!(
+            "mixed-radix ranks [{}, {}) of {}",
+            self.lo,
+            self.hi,
+            radix.join("x")
+        )
+    }
+
+    /// The combined mixed-radix rank of a (structurally well-formed)
+    /// mapping.
     fn combined_rank(&self, m: &Mapping) -> u128 {
-        let rank = perm_rank(&m.loop_orders[SHARD_ORDER_LEVEL]);
-        match &self.axis {
-            ShardAxis::OrderPrefix { .. } => rank,
-            ShardAxis::OrderTile { dim, extent, .. } => {
-                let t2 = m.tiles[1][*dim].clamp(1, *extent);
-                rank * u128::from(*extent) + u128::from(t2 - 1)
-            }
-        }
+        self.axes
+            .iter()
+            .zip(&self.strides)
+            .map(|(a, s)| a.digit(m).saturating_mul(*s))
+            .sum()
     }
 
     /// Whether `m`'s combined rank falls in this shard's interval.
@@ -345,34 +625,108 @@ impl ShardedMapSpace {
         self.lo <= c && c < self.hi
     }
 
-    /// Overwrite the sharded attributes of `m` from a combined rank.
-    fn apply_rank(&self, m: &mut Mapping, c: u128) {
-        let d = self.base.problem().num_dims();
-        match &self.axis {
-            ShardAxis::OrderPrefix { .. } => {
-                m.loop_orders[SHARD_ORDER_LEVEL] = perm_unrank(d, c);
+    /// Clamp `m`'s sharded attributes into this shard's rank interval,
+    /// axis by axis: each digit is clamped into the window the interval
+    /// (and the more-significant digits) leaves it, and as soon as the
+    /// remaining interval covers a whole block every less-significant
+    /// attribute is left untouched — an escaping move is pulled back with
+    /// the minimal per-axis correction instead of wiping the unconstrained
+    /// digits to the interval edge.
+    fn clamp_into_interval(&self, m: &mut Mapping) {
+        let mut l = self.lo;
+        let mut h = self.hi;
+        for (axis, stride) in self.axes.iter().zip(&self.strides) {
+            let card = axis.cardinality();
+            let s = *stride;
+            if l == 0 && h == s.saturating_mul(card) {
+                break; // whole block admissible: nothing below needs moving
             }
-            ShardAxis::OrderTile { dim, extent, .. } => {
-                let order_rank = c / u128::from(*extent);
-                let t2 = (c % u128::from(*extent)) as u64 + 1;
-                m.loop_orders[SHARD_ORDER_LEVEL] = perm_unrank(d, order_rank);
-                m.tiles[1][*dim] = t2;
+            let current = axis.digit(m);
+            let dlo = l / s;
+            let dhi = (h - 1) / s;
+            let digit = current.clamp(dlo, dhi);
+            if digit != current {
+                axis.apply(m, digit);
             }
+            l = if digit == dlo { l - digit * s } else { 0 };
+            h = if digit == dhi { h - digit * s } else { s };
         }
+        debug_assert!(self.in_shard(m), "clamp must land in the interval");
     }
 
-    /// Admissible L2 tile interval `[t2lo, t2hi]` of the split dimension,
-    /// given the order rank `m` currently sits at (the shard interval cut
-    /// through this order's tile block). `None` when no tile axis is split.
-    fn tile_bounds(&self, m: &Mapping) -> Option<(usize, u64, u64)> {
-        let ShardAxis::OrderTile { dim, extent, .. } = &self.axis else {
+    /// Re-sample `m`'s sharded attributes into this shard's rank interval,
+    /// axis by axis (most significant first): an axis the interval
+    /// *restricts* gets a uniformly chosen admissible digit; as soon as the
+    /// remaining interval covers a whole block, every less-significant axis
+    /// is unconstrained and the **base-sampled attributes are kept** — so
+    /// shard sampling matches the full space's distribution wherever the
+    /// shard imposes no constraint (exactly PR 3's behaviour when the
+    /// partition only cuts the leading order axis).
+    ///
+    /// Returns `true` when a validity-coupled attribute (parallelism or
+    /// tile) changed — the caller must then force a capacity refit.
+    fn sample_in_interval(&self, m: &mut Mapping, rng: &mut dyn RngCore) -> bool {
+        // [l, h) is the admissible rank interval relative to the current
+        // axis's block (the whole product at the top level).
+        let mut l = self.lo;
+        let mut h = self.hi;
+        let mut touched = false;
+        for (axis, stride) in self.axes.iter().zip(&self.strides) {
+            let card = axis.cardinality();
+            let s = *stride;
+            if l == 0 && h == s.saturating_mul(card) {
+                break; // whole block admissible: keep the base sample
+            }
+            let dlo = l / s;
+            let dhi = (h - 1) / s;
+            let digit = if dlo == dhi {
+                dlo
+            } else {
+                let span = dhi - dlo + 1;
+                dlo + u128::from(rng.gen_range(0..u64::try_from(span).unwrap_or(u64::MAX)))
+            };
+            touched |= axis.digit(m) != digit && !matches!(axis, ShardAxis::OrderPrefix { .. });
+            axis.apply(m, digit);
+            l = if digit == dlo { l - digit * s } else { 0 };
+            h = if digit == dhi { h - digit * s } else { s };
+        }
+        touched
+    }
+
+    /// The pin window of the adjustable suffix (parallelism/tile axes) at
+    /// `m`'s current loop-order prefix, or `None` when the product restricts
+    /// loop orders only (which never affect base validity).
+    fn pin_window(&self, m: &Mapping) -> Option<PinWindow> {
+        let mut par = None;
+        let mut tile = None;
+        for axis in &self.axes {
+            match axis {
+                ShardAxis::ParallelSplit { dim, extent } => par = Some((*dim, *extent)),
+                ShardAxis::TilePrefix { dim, extent } => tile = Some((*dim, *extent)),
+                ShardAxis::OrderPrefix { .. } => {}
+            }
+        }
+        let w =
+            par.map_or(1u128, |(_, e)| u128::from(e)) * tile.map_or(1u128, |(_, e)| u128::from(e));
+        if w <= 1 {
             return None;
-        };
-        let e = u128::from(*extent);
-        let block = perm_rank(&m.loop_orders[SHARD_ORDER_LEVEL]) * e;
-        let lo = self.lo.max(block).saturating_sub(block) as u64 + 1;
-        let hi = (self.hi.min(block + e).saturating_sub(block) as u64).max(lo);
-        Some((*dim, lo.min(*extent), hi.min(*extent)))
+        }
+        // The adjustable axes are the least-significant suffix of the
+        // product, so the suffix value is simply `rank mod w`.
+        let c = self.combined_rank(m);
+        debug_assert!(
+            self.lo <= c && c < self.hi,
+            "pin window needs a pinned rank"
+        );
+        let block = c - c % w;
+        let qlo = self.lo.max(block) - block;
+        let qhi = self.hi.min(block + w) - 1 - block;
+        Some(PinWindow {
+            qlo,
+            qhi,
+            par,
+            tile,
+        })
     }
 
     /// Pull a base-valid mapping into this shard and restore validity: pin
@@ -380,35 +734,98 @@ impl ShardedMapSpace {
     /// parallelism/capacity invariants the pin may have disturbed — without
     /// leaving the shard again.
     fn pin_and_fix(&self, m: &mut Mapping) {
-        let c = self.combined_rank(m);
-        if c < self.lo || c >= self.hi {
-            self.apply_rank(m, c.clamp(self.lo, self.hi - 1));
-        }
-        let Some((dim, t2lo, t2hi)) = self.tile_bounds(m) else {
+        self.pin_and_fix_impl(m, false);
+    }
+
+    /// [`pin_and_fix`](Self::pin_and_fix) with `force_fit` requesting the
+    /// capacity refit even when the pins themselves moved nothing (used
+    /// after [`sample_in_interval`](Self::sample_in_interval) already
+    /// changed validity-coupled attributes).
+    fn pin_and_fix_impl(&self, m: &mut Mapping, force_fit: bool) {
+        // Snapshot the validity-coupled attributes: when no pin moves any
+        // of them, the (base-valid) mapping needs no refit at all.
+        let tiles_before = m.tiles.clone();
+        let parallel_before = m.parallel.clone();
+        self.clamp_into_interval(m);
+        let Some(window) = self.pin_window(m) else {
             // Loop orders never affect base validity: pinned and done.
             return;
         };
         let p = self.base.problem();
         let t = p.num_tensors();
+        let d = p.num_dims();
 
-        // Local invariants around the pinned tile: L1 tile under the L2
-        // tile, spatial tile under the L2 tile (so the L2 footprint is the
-        // tile, not the spatial spread).
-        m.tiles[1][dim] = m.tiles[1][dim].clamp(t2lo, t2hi);
-        m.tiles[0][dim] = m.tiles[0][dim].clamp(1, m.tiles[1][dim]);
-        while m.tiles[0][dim].saturating_mul(m.parallel[dim]) > m.tiles[1][dim] {
-            if m.parallel[dim] > 1 {
-                m.parallel[dim] /= 2;
-            } else if m.tiles[0][dim] > 1 {
-                m.tiles[0][dim] /= 2;
-            } else {
-                break;
+        // -- Parallelism pin: clamp the digit into its window, then restore
+        //    the local invariants around the pinned fan-out. The pinned
+        //    dimension's parallelism never shrinks again below `plo`.
+        let mut par_pin: Option<(usize, u64)> = None; // (dim, floor value)
+        if let Some((pdim, plo, phi)) = window.par_bounds() {
+            let (_, extent) = window.par.expect("par bounds imply a par axis");
+            let bucket = m.parallel[pdim].clamp(1, extent);
+            if bucket < plo || bucket > phi {
+                // Out-of-window digits move; in-window fan-outs beyond the
+                // last bucket stay (the bucket absorbs the tail).
+                m.parallel[pdim] = bucket.clamp(plo, phi);
             }
+            let size = p.dim_size(DimId(pdim));
+            // Spatial tile within the dimension: only the L1 tile gives way.
+            while m.tiles[0][pdim].saturating_mul(m.parallel[pdim]) > size && m.tiles[0][pdim] > 1 {
+                m.tiles[0][pdim] /= 2;
+            }
+            let spatial = m.tiles[0][pdim].saturating_mul(m.parallel[pdim]).min(size);
+            m.tiles[1][pdim] = m.tiles[1][pdim].max(spatial).min(size).max(1);
+            // PE budget: only unpinned dimensions give way (the axis extent
+            // is at most `num_pes`, so this always converges).
+            while m.active_pes() > self.base.constraints().num_pes {
+                let Some(worst) = (0..d)
+                    .filter(|&i| i != pdim && m.parallel[i] > 1)
+                    .max_by_key(|&i| m.parallel[i])
+                else {
+                    break;
+                };
+                m.parallel[worst] /= 2;
+            }
+            par_pin = Some((pdim, plo));
         }
 
-        // The pin may have *grown* the L2 tile: re-fit the shared buffer
-        // without shrinking the pinned tile below its admissible interval.
+        // -- Tile pin: clamp the digit into the window its (possibly moved)
+        //    parallelism digit leaves it, then refit L1 tile/parallelism
+        //    under the pinned L2 tile.
+        let mut tile_pin: Option<(usize, u64)> = None; // (dim, floor value)
+        let par_value = window.par.map_or(1, |(pdim, _)| m.parallel[pdim]);
+        if let Some((tdim, tlo, thi)) = window.tile_bounds(par_value) {
+            let (_, extent) = window.tile.expect("tile bounds imply a tile axis");
+            let bucket = m.tiles[1][tdim].clamp(1, extent);
+            if bucket < tlo || bucket > thi {
+                m.tiles[1][tdim] = bucket.clamp(tlo, thi);
+            }
+            m.tiles[0][tdim] = m.tiles[0][tdim].clamp(1, m.tiles[1][tdim]);
+            while m.tiles[0][tdim].saturating_mul(m.parallel[tdim]) > m.tiles[1][tdim] {
+                if m.parallel[tdim] > 1 {
+                    m.parallel[tdim] /= 2;
+                } else if m.tiles[0][tdim] > 1 {
+                    m.tiles[0][tdim] /= 2;
+                } else {
+                    break;
+                }
+            }
+            tile_pin = Some((tdim, tlo));
+        }
+
+        // Nothing validity-coupled moved: the mapping was base-valid and
+        // still is — skip the refit so in-shard mappings pass through
+        // untouched.
+        if !force_fit && m.tiles == tiles_before && m.parallel == parallel_before {
+            return;
+        }
+
+        // -- Shared-buffer refit: the pins may have *grown* L2 footprints;
+        //    shrink un-pinned contributions until everything fits, never
+        //    moving a pinned attribute out of its window (the parallelism
+        //    axis extent is capped at construction so the pinned extremes
+        //    always fit — see `MapSpace::parallel_axis`).
         let cap = self.base.constraints().l2_capacity_words;
+        let pdim = par_pin.map(|(i, _)| i);
         'fit: for _ in 0..256 {
             let footprints: Vec<u64> = (0..t).map(|ti| m.l2_footprint(p, ti)).collect();
             let total_fp: u64 = footprints.iter().sum();
@@ -430,16 +847,33 @@ impl ShardedMapSpace {
                 .max_by_key(|&ti| footprints[ti])
                 .expect("at least one tensor");
             // Shrink the worst tensor's largest shrinkable L2 contribution;
-            // the pinned dimension only shrinks down to `t2lo`.
+            // pinned dimensions only shrink down to their window floors.
+            // When every dim of the worst tensor is pinned at its floor,
+            // fall back to the remaining dims (largest contribution first):
+            // other tensors may still hold shrinkable extent.
             let mut dims: Vec<DimId> = p.tensors[worst].relevant_dims();
+            let mut rest: Vec<DimId> = p.dims().filter(|dd| !dims.contains(dd)).collect();
             dims.sort_by_key(|dd| std::cmp::Reverse(m.tiles[1][dd.0].max(m.spatial_tile(*dd))));
+            rest.sort_by_key(|dd| std::cmp::Reverse(m.tiles[1][dd.0].max(m.spatial_tile(*dd))));
+            dims.extend(rest);
             for dd in dims {
                 let i = dd.0;
-                let floor = if i == dim { t2lo } else { 1 };
+                let tile_floor = match tile_pin {
+                    Some((tdim, tlo)) if tdim == i => tlo,
+                    _ => 1,
+                };
+                // The pinned-parallelism dim's L2 tile cannot drop under its
+                // spatial tile, whose parallelism factor is itself pinned.
+                let spatial_floor = if pdim == Some(i) {
+                    m.parallel[i].max(1)
+                } else {
+                    1
+                };
+                let floor = tile_floor.max(spatial_floor);
                 if m.tiles[1][i] > floor {
                     m.tiles[1][i] = (m.tiles[1][i] / 2).max(floor).max(1);
                     while m.tiles[0][i].saturating_mul(m.parallel[i]) > m.tiles[1][i] {
-                        if m.parallel[i] > 1 {
+                        if m.parallel[i] > 1 && pdim != Some(i) {
                             m.parallel[i] /= 2;
                         } else if m.tiles[0][i] > 1 {
                             m.tiles[0][i] /= 2;
@@ -449,7 +883,7 @@ impl ShardedMapSpace {
                     }
                     continue 'fit;
                 }
-                if i != dim {
+                if pdim != Some(i) && tile_pin.map(|(tdim, _)| tdim) != Some(i) {
                     if m.parallel[i] > 1 {
                         m.parallel[i] /= 2;
                         continue 'fit;
@@ -458,6 +892,10 @@ impl ShardedMapSpace {
                         m.tiles[0][i] /= 2;
                         continue 'fit;
                     }
+                }
+                if m.tiles[0][i] > 1 {
+                    m.tiles[0][i] /= 2;
+                    continue 'fit;
                 }
             }
             break; // nothing left to shrink
@@ -476,16 +914,20 @@ impl MapSpaceView for ShardedMapSpace {
 
     fn random_mapping(&self, rng: &mut dyn RngCore) -> Mapping {
         let mut m = MapSpace::random_mapping(&self.base, rng);
-        // Sample the shard's discrete axis uniformly, then restore validity.
-        let span = self.hi - self.lo;
-        let offset = if span <= 1 {
-            0
-        } else {
-            u128::from(rng.gen_range(0..u64::try_from(span).unwrap_or(u64::MAX)))
-        };
-        self.apply_rank(&mut m, self.lo + offset);
-        self.pin_and_fix(&mut m);
-        debug_assert!(self.is_member(&m), "{:?}", self.validate(&m));
+        // Re-sample only the axes this shard actually restricts (keeping
+        // the base distribution elsewhere), then restore validity (forcing
+        // the capacity refit when the sampler moved parallelism/tiles).
+        let touched = self.sample_in_interval(&mut m, rng);
+        self.pin_and_fix_impl(&mut m, touched);
+        debug_assert!(
+            self.is_member(&m),
+            "{:?}\naxes={:?} lo={} hi={}\nmapping={:?}",
+            self.validate(&m),
+            self.axes,
+            self.lo,
+            self.hi,
+            m
+        );
         m
     }
 
@@ -546,6 +988,15 @@ impl MapSpaceView for ShardedMapSpace {
         Some((self.index, self.count))
     }
 
+    fn horizon_hint(&self, budget: u64) -> u64 {
+        if self.count <= 1 || budget == 0 {
+            return budget;
+        }
+        let full = MapSpace::log10_size_estimate(&self.base).max(1.0);
+        let scale = ((full - (self.count as f64).log10()) / full).clamp(0.25, 1.0);
+        ((budget as f64 * scale).round() as u64).max(1)
+    }
+
     fn clone_view(&self) -> Box<dyn MapSpaceView> {
         Box::new(self.clone())
     }
@@ -575,21 +1026,59 @@ mod tests {
     }
 
     #[test]
-    fn shard_capacity_is_orders_times_largest_dim() {
+    fn axis_product_is_the_canonical_four_axis_stack() {
         let s = space();
-        // conv1d(128, 7): dims X=122 (output width), R=7 → 2! · 122.
-        let d = s.problem().num_dims();
-        let (_, size) = largest_dim(s.problem());
-        assert_eq!(s.shard_capacity(), factorial(d) * u128::from(size));
+        // conv1d(128, 7): dims X=122 (largest → tile axis), R=7 (par axis,
+        // capped at min(7, 16 PEs) = 7).
+        let axes = s.axis_product();
+        let kinds: Vec<ShardAxisKind> = axes.iter().map(ShardAxis::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ShardAxisKind::OrderL2,
+                ShardAxisKind::OrderL1,
+                ShardAxisKind::Parallel,
+                ShardAxisKind::Tile,
+            ]
+        );
+        assert_eq!(axes[0].cardinality(), 2); // 2! L2 orders
+        assert_eq!(axes[1].cardinality(), 2); // 2! L1 orders
+        assert_eq!(axes[2].cardinality(), 7); // R fan-out
+        assert_eq!(axes[3].cardinality(), 122); // X tile extents
+        assert!(matches!(
+            axes[2],
+            ShardAxis::ParallelSplit { dim: 1, extent: 7 }
+        ));
+        assert!(matches!(
+            axes[3],
+            ShardAxis::TilePrefix {
+                dim: 0,
+                extent: 122
+            }
+        ));
+    }
+
+    #[test]
+    fn shard_capacity_is_the_axis_product() {
+        let s = space();
+        // 2! · 2! · 7 · 122 — multiplicative, not the PR 3 single-axis
+        // d!·largest_dim = 244.
+        assert_eq!(s.shard_capacity(), 2 * 2 * 7 * 122);
+        // Subsets multiply their own factors and stay monotone.
+        assert_eq!(s.shard_capacity_for(&[ShardAxisKind::OrderL2]), 2);
+        assert_eq!(
+            s.shard_capacity_for(&[ShardAxisKind::OrderL2, ShardAxisKind::Tile]),
+            2 * 122
+        );
+        assert_eq!(s.shard_capacity_for(&[ShardAxisKind::Parallel]), 7);
+        assert!(s.shard_capacity_for(&[]) == 1);
     }
 
     #[test]
     fn order_prefix_shards_partition_the_permutations() {
         let s = space();
-        // d = 2 → 2 permutations → 2 order-prefix shards.
-        let a = s.shard(0, 2);
-        let b = s.shard(1, 2);
-        assert!(matches!(a.axis, ShardAxis::OrderPrefix { .. }));
+        let a = s.shard_with(&[ShardAxisKind::OrderL2], 0, 2);
+        let b = s.shard_with(&[ShardAxisKind::OrderL2], 1, 2);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let m = MapSpace::random_mapping(&s, &mut rng);
@@ -600,10 +1089,11 @@ mod tests {
     }
 
     #[test]
-    fn tile_fallback_engages_when_count_exceeds_permutations() {
+    fn high_shard_counts_partition_via_the_full_product() {
         let s = space();
+        // 8 > 2! — PR 3 would fall back to one refinement axis; the product
+        // now spreads the cut across orders, parallelism, and tiles.
         let shards: Vec<ShardedMapSpace> = (0..8).map(|i| s.shard(i, 8)).collect();
-        assert!(matches!(shards[0].axis, ShardAxis::OrderTile { .. }));
         let mut rng = StdRng::seed_from_u64(2);
         for round in 0..40 {
             let m = MapSpace::random_mapping(&s, &mut rng);
@@ -616,12 +1106,12 @@ mod tests {
     fn shard_sampling_stays_in_shard_and_valid() {
         let s = space();
         let mut rng = StdRng::seed_from_u64(3);
-        for n in [1usize, 2, 3, 5, 8] {
+        for n in [1usize, 2, 3, 5, 8, 29, 488] {
             for i in 0..n {
                 let sh = s.shard(i, n);
-                for _ in 0..25 {
+                for _ in 0..5 {
                     let m = sh.random_mapping(&mut rng);
-                    assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+                    assert!(sh.is_member(&m), "n={n} i={i}: {:?}", sh.validate(&m));
                     assert!(MapSpace::is_member(&s, &m));
                 }
             }
@@ -632,32 +1122,36 @@ mod tests {
     fn shard_moves_stay_in_shard() {
         let s = space();
         let mut rng = StdRng::seed_from_u64(4);
-        let sh = s.shard(2, 4);
-        let mut m = sh.random_mapping(&mut rng);
-        for _ in 0..100 {
-            m = sh.neighbor(&m, &mut rng);
-            assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
-        }
-        let a = sh.random_mapping(&mut rng);
-        let b = sh.random_mapping(&mut rng);
-        for _ in 0..25 {
-            let c = MapSpaceView::crossover(&sh, &a, &b, &mut rng);
-            assert!(sh.is_member(&c), "{:?}", sh.validate(&c));
+        for (i, n) in [(2usize, 4usize), (11, 16), (200, 488)] {
+            let sh = s.shard(i, n);
+            let mut m = sh.random_mapping(&mut rng);
+            for _ in 0..100 {
+                m = sh.neighbor(&m, &mut rng);
+                assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+            }
+            let a = sh.random_mapping(&mut rng);
+            let b = sh.random_mapping(&mut rng);
+            for _ in 0..25 {
+                let c = MapSpaceView::crossover(&sh, &a, &b, &mut rng);
+                assert!(sh.is_member(&c), "{:?}", sh.validate(&c));
+            }
         }
     }
 
     #[test]
     fn shard_projection_is_valid_and_in_shard() {
         let s = space();
-        let sh = s.shard(1, 3);
         let enc = crate::encode::Encoding::for_problem(s.problem());
         let mut rng = StdRng::seed_from_u64(5);
-        for _ in 0..25 {
-            let v: Vec<f32> = (0..enc.mapping_len())
-                .map(|_| rng.gen_range(-20.0..200.0))
-                .collect();
-            let m = MapSpaceView::project(&sh, &v).unwrap();
-            assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+        for (i, n) in [(1usize, 3usize), (7, 12), (100, 300)] {
+            let sh = s.shard(i, n);
+            for _ in 0..25 {
+                let v: Vec<f32> = (0..enc.mapping_len())
+                    .map(|_| rng.gen_range(-20.0..200.0))
+                    .collect();
+                let m = MapSpaceView::project(&sh, &v).unwrap();
+                assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+            }
         }
     }
 
@@ -669,12 +1163,70 @@ mod tests {
         assert_eq!(MapSpaceView::shard_info(&s), None);
         assert!(sh.log10_size_estimate() < MapSpaceView::log10_size_estimate(&s));
         assert!(!sh.axis_description().is_empty());
+        assert_eq!(sh.axes().len(), 4);
+    }
+
+    #[test]
+    fn horizon_hint_scales_with_shard_count() {
+        let s = space();
+        assert_eq!(MapSpaceView::horizon_hint(&s, 1000), 1000, "full space");
+        let sh2 = s.shard(0, 2);
+        let sh64 = s.shard(0, 64);
+        let h2 = sh2.horizon_hint(1000);
+        let h64 = sh64.horizon_hint(1000);
+        assert!(h2 < 1000, "a shard shortens the schedule horizon");
+        assert!(h64 < h2, "more shards shorten it further");
+        assert!(h64 >= 250, "the hint never drops below a quarter");
+        assert_eq!(sh64.horizon_hint(0), 0);
+        assert_eq!(s.shard(0, 1).horizon_hint(77), 77, "1 shard = full space");
+    }
+
+    #[test]
+    fn pinned_axis_extents_are_capacity_capped() {
+        // A tiny L2 forces the tile (and possibly parallelism) axis extents
+        // down: every pin combination must still admit a valid mapping.
+        let tight = MapSpace::new(
+            ProblemSpec::conv1d(128, 7),
+            MappingConstraints {
+                num_pes: 16,
+                l1_capacity_words: 1024,
+                l2_capacity_words: 160, // cannot hold a full-width X tile twice
+                l1_banks: 8,
+                l2_banks: 16,
+            },
+        );
+        let tile_extent = tight
+            .axis_product()
+            .iter()
+            .find(|a| a.kind() == ShardAxisKind::Tile)
+            .map(ShardAxis::cardinality)
+            .expect("tile axis present");
+        assert!(
+            tile_extent < 122,
+            "capacity cap must bite, got {tile_extent}"
+        );
+        // Sampling still works at the full capacity, in every shard.
+        let n = tight.clamp_shard_count(1_000_000);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in [0, n / 2, n - 1] {
+            let sh = tight.shard(i, n);
+            let m = sh.random_mapping(&mut rng);
+            assert!(sh.is_member(&m), "{:?}", sh.validate(&m));
+        }
     }
 
     #[test]
     #[should_panic(expected = "shard index")]
     fn shard_rejects_out_of_range_index() {
         let _ = space().shard(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the axis-product cardinality")]
+    fn shard_rejects_count_beyond_capacity() {
+        let s = space();
+        let cap = s.shard_capacity() as usize;
+        let _ = s.shard(0, cap + 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases_env(32))]
 
     /// Input gradients of a random MLP match central finite differences for
     /// a random linear functional of the outputs.

@@ -73,6 +73,15 @@ struct GaState {
 pub struct GeneticAlgorithm {
     config: GeneticConfig,
     state: GaState,
+    /// Horizon-derived population cap installed at `begin` (`None`:
+    /// unbounded): a population larger than half the evaluation horizon
+    /// could never complete two generations, so tiny (e.g. per-shard)
+    /// budgets shrink the effective population instead of spending the
+    /// whole budget inside one unevolved generation. Like SA's cooling
+    /// schedule, this reads whatever horizon the driver supplies —
+    /// unconditionally, per the `begin` contract ("schedule-based methods
+    /// size their schedules with it").
+    horizon_population: Option<usize>,
 }
 
 impl GeneticAlgorithm {
@@ -81,11 +90,15 @@ impl GeneticAlgorithm {
         GeneticAlgorithm {
             config,
             state: GaState::default(),
+            horizon_population: None,
         }
     }
 
     fn popsize(&self) -> usize {
-        self.config.population.max(2)
+        self.config
+            .population
+            .min(self.horizon_population.unwrap_or(usize::MAX))
+            .max(2)
     }
 
     /// Elites per generation, always leaving room for at least one child so
@@ -141,8 +154,10 @@ impl ProposalSearch for GeneticAlgorithm {
         "GA"
     }
 
-    fn begin(&mut self, _space: &dyn MapSpaceView, _horizon: Option<u64>, _rng: &mut StdRng) {
+    fn begin(&mut self, _space: &dyn MapSpaceView, horizon: Option<u64>, _rng: &mut StdRng) {
         self.state = GaState::default();
+        self.horizon_population =
+            horizon.map(|h| usize::try_from((h / 2).max(2)).unwrap_or(usize::MAX));
     }
 
     fn lookahead(&self) -> usize {
@@ -332,6 +347,32 @@ mod tests {
         ga.propose(&space, &mut rng, 16, &mut buf);
         assert!(!buf.is_empty(), "reseeded GA keeps proposing");
         assert!(buf.iter().all(|m| space.is_member(m)));
+    }
+
+    #[test]
+    fn tiny_horizons_shrink_the_effective_population() {
+        let (space, _) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ga = GeneticAlgorithm::default(); // population 100
+        ga.begin(&space, Some(20), &mut rng);
+        let mut buf = Vec::new();
+        ga.propose(&space, &mut rng, 256, &mut buf);
+        assert_eq!(
+            buf.len(),
+            10,
+            "a 20-eval horizon fits two 10-individual generations"
+        );
+        // No horizon (or a roomy one): the configured population stands.
+        let mut ga = GeneticAlgorithm::default();
+        ga.begin(&space, None, &mut rng);
+        buf.clear();
+        ga.propose(&space, &mut rng, 256, &mut buf);
+        assert_eq!(buf.len(), 100);
+        let mut ga = GeneticAlgorithm::default();
+        ga.begin(&space, Some(1), &mut rng);
+        buf.clear();
+        ga.propose(&space, &mut rng, 256, &mut buf);
+        assert_eq!(buf.len(), 2, "population never drops below 2");
     }
 
     #[test]

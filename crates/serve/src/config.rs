@@ -43,6 +43,13 @@ pub struct ServeConfig {
     /// Participates in the result-cache fingerprint, so cached replays
     /// never cross sync configurations.
     pub sync: SyncPolicy,
+    /// Shard-aware horizon hints (off by default): begin each shard job's
+    /// searcher with the shard-scaled horizon
+    /// (`MapSpaceView::horizon_hint`) instead of the raw per-shard budget,
+    /// so schedule-based searchers (SA cooling, GA generations) confined to
+    /// a slice stop tuning their schedules as if they owned the full layer
+    /// space. Participates in the result-cache fingerprint.
+    pub shard_horizon: bool,
     /// Reuse results for repeated `(problem, arch, config)` fingerprints —
     /// across layers of one network and across calls on one service.
     pub use_cache: bool,
@@ -58,6 +65,7 @@ impl Default for ServeConfig {
             search_size: 2_000,
             shards: 1,
             sync: SyncPolicy::Off,
+            shard_horizon: false,
             use_cache: true,
         }
     }
@@ -87,6 +95,12 @@ impl ServeConfig {
         self.sync = sync;
         self
     }
+
+    /// A config with shard-aware horizon hints switched on or off.
+    pub fn with_shard_horizon(mut self, shard_horizon: bool) -> Self {
+        self.shard_horizon = shard_horizon;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,14 +114,17 @@ mod tests {
         assert!(c.use_cache);
         assert_eq!(c.shards, 1, "sharding is off by default");
         assert_eq!(c.sync, SyncPolicy::Off, "sync is off by default");
+        assert!(!c.shard_horizon, "horizon hints are off by default");
         let c = c
             .with_search_size(64)
             .with_workers(3)
             .with_shards(4)
-            .with_sync(SyncPolicy::Anchor);
+            .with_sync(SyncPolicy::Anchor)
+            .with_shard_horizon(true);
         assert_eq!(c.search_size, 64);
         assert_eq!(c.workers, 3);
         assert_eq!(c.shards, 4);
         assert_eq!(c.sync, SyncPolicy::Anchor);
+        assert!(c.shard_horizon);
     }
 }

@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mm_mapper::{CostEvaluator, EvalPool, Evaluation, OptMetric, MIN_PIPELINE_DEPTH};
+use mm_mapper::{pipeline_depth, CostEvaluator, EvalPool, Evaluation, OptMetric};
 use mm_mapspace::{MapSpaceView, Mapping};
 use mm_search::{ProposalSearch, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
@@ -58,6 +58,11 @@ pub(crate) struct JobSpec {
     pub budget: u64,
     /// Job-local global-best sync policy (see the module docs).
     pub sync: SyncPolicy,
+    /// Shard-aware horizon hint: begin the searcher with the view-scaled
+    /// horizon (`MapSpaceView::horizon_hint`) instead of the raw budget, so
+    /// schedule-based searchers confined to a shard stop tuning their
+    /// schedules as if they owned the full space.
+    pub shard_horizon: bool,
 }
 
 /// What one layer search produced.
@@ -97,7 +102,12 @@ struct ActiveJob {
 impl ActiveJob {
     fn start(mut spec: JobSpec) -> Self {
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        spec.search.begin(&*spec.space, Some(spec.budget), &mut rng);
+        let horizon = if spec.shard_horizon {
+            spec.space.horizon_hint(spec.budget)
+        } else {
+            spec.budget
+        };
+        spec.search.begin(&*spec.space, Some(horizon), &mut rng);
         ActiveJob {
             index: spec.index,
             space: spec.space,
@@ -132,10 +142,7 @@ impl ActiveJob {
         // At least MIN_PIPELINE_DEPTH in flight (when the searcher tolerates
         // it), so per-worker chunk jobs carry real batches for
         // `evaluate_batch` fast paths like the surrogate's forward pass.
-        let cap = self
-            .search
-            .lookahead()
-            .clamp(1, (pool.workers() * 2).max(MIN_PIPELINE_DEPTH)) as u64;
+        let cap = pipeline_depth(self.search.lookahead(), pool.workers()) as u64;
         let room = cap
             .saturating_sub(self.pending.len() as u64)
             .min(self.budget - self.submitted);
@@ -328,6 +335,7 @@ mod tests {
             seed,
             budget,
             sync: SyncPolicy::Off,
+            shard_horizon: false,
         }
     }
 
@@ -393,6 +401,96 @@ mod tests {
                 "same spec ⇒ same best, regardless of pool shape"
             );
         }
+    }
+
+    /// Records the horizon each job's searcher was begun with.
+    struct HorizonSpy {
+        inner: RandomSearch,
+        seen: Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+
+    impl ProposalSearch for HorizonSpy {
+        fn name(&self) -> &str {
+            "HorizonSpy"
+        }
+        fn begin(
+            &mut self,
+            space: &dyn mm_mapspace::MapSpaceView,
+            horizon: Option<u64>,
+            rng: &mut StdRng,
+        ) {
+            self.seen
+                .lock()
+                .unwrap()
+                .push(horizon.expect("scheduler always bounds jobs"));
+            self.inner.begin(space, horizon, rng);
+        }
+        fn propose(
+            &mut self,
+            space: &dyn mm_mapspace::MapSpaceView,
+            rng: &mut StdRng,
+            max: usize,
+            out: &mut Vec<Mapping>,
+        ) {
+            self.inner.propose(space, rng, max, out);
+        }
+        fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+            self.inner.report(mapping, cost, rng);
+        }
+    }
+
+    #[test]
+    fn shard_horizon_hint_scales_job_begin_horizons() {
+        use mm_mapspace::MapSpaceView;
+        // One job per shard of a sharded layer space: the hint must shrink
+        // the begin-horizon below the raw budget (without costing budget),
+        // and stay identical across pool shapes.
+        let mk = |shard_horizon: bool, seen: &Arc<std::sync::Mutex<Vec<u64>>>| -> Vec<JobSpec> {
+            let arch = Architecture::example();
+            let problem = ProblemSpec::conv1d(512, 5);
+            let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+            (0..2)
+                .map(|s| JobSpec {
+                    index: s,
+                    space: space.shard(s, 64).clone_view(),
+                    evaluator: Arc::new(ModelEvaluator::edp(CostModel::new(
+                        arch.clone(),
+                        problem.clone(),
+                    ))),
+                    search: Box::new(HorizonSpy {
+                        inner: RandomSearch::new(),
+                        seen: Arc::clone(seen),
+                    }),
+                    seed: 9 + s as u64,
+                    budget: 400,
+                    sync: SyncPolicy::Off,
+                    shard_horizon,
+                })
+                .collect()
+        };
+        let run = |workers: usize, hint: bool| -> (Vec<u64>, Vec<u64>) {
+            let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let mut pool = EvalPool::shared(workers);
+            let evals = run_jobs(&mut pool, mk(hint, &seen), 2, 2)
+                .iter()
+                .map(|o| o.evaluations)
+                .collect();
+            let mut horizons = seen.lock().unwrap().clone();
+            horizons.sort_unstable();
+            (horizons, evals)
+        };
+        let (raw, raw_evals) = run(1, false);
+        assert_eq!(raw, vec![400; 2], "un-hinted jobs see their raw budget");
+        assert_eq!(raw_evals, vec![400; 2]);
+        let (hinted, hinted_evals) = run(2, true);
+        for h in &hinted {
+            assert!(
+                (1..400).contains(h),
+                "hinted horizon must shrink below the budget, got {h}"
+            );
+        }
+        assert_eq!(hinted_evals, vec![400; 2], "the hint costs no budget");
+        assert_eq!(hinted, run(3, true).0, "hint stays pool-shape independent");
     }
 
     #[test]

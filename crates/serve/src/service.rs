@@ -131,12 +131,13 @@ impl MappingService {
         self
     }
 
-    /// Render the layer-independent fingerprint portion. The shard count
-    /// and the sync policy are part of the search configuration (they
-    /// change which subspaces each job covers, the per-shard budget split,
-    /// and how a job's trajectory re-anchors mid-search), so both are
-    /// folded into the fingerprint — cached replays never cross shard or
-    /// sync configurations.
+    /// Render the layer-independent fingerprint portion. The shard count,
+    /// the sync policy, and the shard-horizon hint are part of the search
+    /// configuration (they change which subspaces each job covers, the
+    /// per-shard budget split, how a job's trajectory re-anchors
+    /// mid-search, and how schedule-based searchers size their schedules),
+    /// so all three are folded into the fingerprint — cached replays never
+    /// cross shard, sync, or horizon configurations.
     fn config_tag(
         arch: &Architecture,
         searcher_name: &str,
@@ -144,11 +145,13 @@ impl MappingService {
         config: &ServeConfig,
     ) -> String {
         format!(
-            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={} sync={}",
+            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={} sync={} \
+             shard_horizon={}",
             config.seed,
             config.search_size,
             config.shards.max(1),
-            config.sync.canonical_string()
+            config.sync.canonical_string(),
+            config.shard_horizon,
         )
     }
 
@@ -372,6 +375,7 @@ impl MappingService {
                     seed: derive_stream_seed(self.config.seed ^ fingerprint, s),
                     budget: split_evenly(self.config.search_size, s, shards),
                     sync: self.config.sync,
+                    shard_horizon: self.config.shard_horizon,
                 }
             })
             .collect()

@@ -22,6 +22,7 @@ fn quick_config() -> ServeConfig {
         search_size: 120,
         shards: 1,
         sync: SyncPolicy::Off,
+        shard_horizon: false,
         use_cache: true,
     }
 }
@@ -331,6 +332,38 @@ fn shard_config_changes_results_not_cache_replays() {
     assert_ne!(
         one.best_mapping, four.best_mapping,
         "distinct shard configs should explore differently"
+    );
+}
+
+/// The shard-horizon hint is a search-configuration knob like shards/sync:
+/// it changes what a sharded SA job finds (shorter cooling schedule), and —
+/// folded into the result-cache fingerprint — hinted and un-hinted runs
+/// never share cache entries, even on one service via reconfiguration.
+#[test]
+fn shard_horizon_hint_is_a_distinct_search_configuration() {
+    let problem = ProblemSpec::conv1d(768, 7);
+    let run = |shard_horizon: bool| {
+        let mut service = MappingService::new(
+            evaluated_accelerator(),
+            ServeConfig {
+                shards: 4,
+                shard_horizon,
+                search_size: 400,
+                ..quick_config()
+            },
+        )
+        .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+        service.map_problem("conv", problem.clone())
+    };
+    let plain = run(false);
+    let hinted = run(true);
+    assert_eq!(
+        plain.evaluations, hinted.evaluations,
+        "hints cost no budget"
+    );
+    assert_ne!(
+        plain.best_mapping, hinted.best_mapping,
+        "the hint must change the sharded SA schedule"
     );
 }
 

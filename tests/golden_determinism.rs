@@ -1,0 +1,149 @@
+//! Golden determinism snapshots: byte-identical replay as a *checked-in
+//! contract*.
+//!
+//! The mapper and the serving layer both promise that their canonical
+//! report strings (`MapperReport::canonical_string`,
+//! `NetworkReport::canonical_string`) depend only on the search
+//! configuration and seed — never on worker counts, scheduling, or machine
+//! speed. The pairwise runtime comparisons in the crate tests prove
+//! worker-count independence *within* one build; these fixtures pin the
+//! exact bytes across builds, so any change to the deterministic search
+//! stream (RNG derivation, shard slicing, schedule sizing, merge order)
+//! shows up as a reviewable fixture diff instead of silently reshuffling
+//! results.
+//!
+//! Regenerate deliberately with `MM_BLESS=1 cargo test --test
+//! golden_determinism` after an intentional behaviour change, and commit
+//! the new fixtures with the code that changed them.
+//!
+//! The multi-axis shard test also pins this release's acceptance criterion:
+//! the mixed-radix axis product must beat the PR 3 single-axis capacity
+//! (`d! · largest_dim`) by at least the parallelism-axis factor on Table 1
+//! layers.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mind_mappings::prelude::*;
+use mm_mapspace::{ShardAxis, ShardAxisKind};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare `actual` against the checked-in fixture, or rewrite the fixture
+/// when `MM_BLESS` is set.
+fn check_fixture(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("MM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixtures/");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); generate it with \
+             MM_BLESS=1 cargo test --test golden_determinism"
+        )
+    });
+    if expected != actual {
+        let diff_at = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b);
+        panic!(
+            "canonical output diverged from fixture {name} (first differing line: {:?}); \
+             if the change is intentional, re-bless with MM_BLESS=1 and commit the diff",
+            diff_at
+        );
+    }
+}
+
+/// The pinned mapper scenario: multi-axis sharded SA over conv1d on the
+/// example accelerator, deterministic schedule, shard-aware horizon hints
+/// on (so the hint path is part of the pinned contract).
+#[test]
+fn mapper_canonical_report_matches_fixture() {
+    let arch = Architecture::example();
+    let problem = ProblemSpec::conv1d(512, 7);
+    let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+    let evaluator: Arc<dyn CostEvaluator> =
+        Arc::new(ModelEvaluator::edp(CostModel::new(arch, problem)));
+    let report = Mapper::new(MapperConfig {
+        threads: 2,
+        shards: Some(4),
+        shard_space: true,
+        shard_horizon: true,
+        seed: 7,
+        termination: TerminationPolicy::search_size(240),
+        ..MapperConfig::default()
+    })
+    .run(&space, evaluator, |_| {
+        Box::new(SimulatedAnnealing::default())
+    });
+    assert_eq!(report.total_evaluations, 240);
+    check_fixture("mapper_canonical.txt", &report.canonical_string());
+}
+
+/// The pinned serving scenario: the whole Table 1 network over a shared
+/// pool, two disjoint shards per layer.
+#[test]
+fn network_canonical_report_matches_fixture() {
+    let mut service = MappingService::new(
+        evaluated_accelerator(),
+        ServeConfig {
+            workers: 2,
+            max_active_jobs: 2,
+            queue_capacity: 4,
+            seed: 42,
+            search_size: 96,
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let report = service.map_network(&table1_network());
+    assert_eq!(report.layers.len(), 8);
+    check_fixture("network_canonical.txt", &report.canonical_string());
+}
+
+/// Acceptance criterion of the multi-axis refactor: on Table 1 layers the
+/// axis-product capacity strictly exceeds PR 3's single-axis
+/// `d! · largest_dim` by (at least) the parallelism-axis factor.
+#[test]
+fn table1_shard_capacity_beats_the_single_axis_formula() {
+    let arch = evaluated_accelerator();
+    let mut checked = 0;
+    for target in table1::all_problems() {
+        let problem = target.problem;
+        let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
+        let d = problem.num_dims();
+        let factorial: u128 = (1..=d as u128).product();
+        let largest = problem.dims().map(|dd| problem.dim_size(dd)).max().unwrap();
+        let pr3_capacity = factorial * u128::from(largest);
+
+        let axes = space.axis_product();
+        let par_factor = axes
+            .iter()
+            .find(|a| a.kind() == ShardAxisKind::Parallel)
+            .map(ShardAxis::cardinality)
+            .unwrap_or(1);
+        if par_factor < 2 {
+            continue; // no parallelism axis on this layer
+        }
+        assert!(
+            space.shard_capacity() > pr3_capacity * par_factor,
+            "{}: multi-axis capacity {} must exceed PR3 {} x par factor {}",
+            problem.name,
+            space.shard_capacity(),
+            pr3_capacity,
+            par_factor
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "at least two Table 1 layers must exercise the parallelism axis, got {checked}"
+    );
+}

@@ -22,7 +22,7 @@ fn cnn_problem(n: u64, k: u64, c: u64, hw: u64, rs: u64) -> ProblemSpec {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases_env(48))]
 
     /// Random valid mappings of random CNN layers are accepted by
     /// `is_member`, have costs above the algorithmic minimum, and re-encode

@@ -15,6 +15,17 @@ impl Config {
     pub fn with_cases(cases: u32) -> Self {
         Config { cases }
     }
+
+    /// A configuration running `PROPTEST_CASES` sampled inputs when the
+    /// environment variable is set (CI pins it so proptest runtime is
+    /// deterministic across runs), falling back to `default` cases.
+    pub fn with_cases_env(default: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default);
+        Config { cases }
+    }
 }
 
 impl Default for Config {
