@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, Criterion};
 use mm_accel::CostModel;
-use mm_bench::{report, run_mapper_scaling};
+use mm_bench::{measure_telemetry_overhead, report, run_mapper_scaling};
 use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, TerminationPolicy};
 use mm_mapspace::MapSpace;
 use mm_search::RandomSearch;
@@ -60,10 +60,18 @@ criterion_group!(benches, bench_mapper_threads);
 fn main() {
     benches();
 
-    // The headline sweep: iso-per-thread budgets, JSON summary.
     let evals_per_thread = report::env_evals("MM_MAPPER_BENCH_EVALS", 2000);
     let (model, space) = resnet_conv4();
-    let result = run_mapper_scaling(&model, &space, &[1, 2, 4, 8], evals_per_thread, 7);
+
+    // The telemetry-layer A/B: journal-level vs. off throughput, gated by
+    // bench_gate at MM_GATE_TELEMETRY_TOL (default 2 %). Measured before
+    // the headline sweep because it resets the telemetry registry — this
+    // way the TELEMETRY_mapper.json sibling describes the sweep itself.
+    let rel = measure_telemetry_overhead(&model, &space, evals_per_thread, 7, 3);
+
+    // The headline sweep: iso-per-thread budgets, JSON summary.
+    let mut result = run_mapper_scaling(&model, &space, &[1, 2, 4, 8], evals_per_thread, 7);
+    result.telemetry_rel_throughput = Some(rel);
 
     let rows: Vec<Vec<String>> = result
         .points
@@ -85,6 +93,10 @@ fn main() {
         result.problem,
         report::fmt(result.baseline_evals_per_sec),
         result.available_parallelism
+    );
+    println!(
+        "telemetry overhead: journal-level throughput at {:.1}% of telemetry-off",
+        rel * 100.0
     );
     println!(
         "{}",

@@ -398,13 +398,17 @@ impl GateReport {
     }
 }
 
-/// Tolerances for the two metric classes (fractions: 0.25 = 25 %).
+/// Tolerances for the metric classes (fractions: 0.25 = 25 %).
 #[derive(Debug, Clone, Copy)]
 pub struct GateTolerances {
     /// Allowed relative best-EDP / best-cost increase.
     pub quality: f64,
     /// Allowed relative throughput drop.
     pub throughput: f64,
+    /// Allowed mapper-throughput loss from full telemetry collection (the
+    /// `telemetry_rel_throughput` fresh-side invariant; 0.02 = the
+    /// telemetry layer may cost at most 2 %).
+    pub telemetry: f64,
 }
 
 impl Default for GateTolerances {
@@ -412,13 +416,14 @@ impl Default for GateTolerances {
         GateTolerances {
             quality: 0.25,
             throughput: 0.25,
+            telemetry: 0.02,
         }
     }
 }
 
 impl GateTolerances {
-    /// Read tolerances from `MM_GATE_EDP_TOL` / `MM_GATE_THROUGHPUT_TOL`
-    /// (fractions), falling back to the 25 % defaults.
+    /// Read tolerances from `MM_GATE_EDP_TOL` / `MM_GATE_THROUGHPUT_TOL` /
+    /// `MM_GATE_TELEMETRY_TOL` (fractions), falling back to the defaults.
     pub fn from_env() -> Self {
         let read = |key: &str, default: f64| {
             std::env::var(key)
@@ -429,8 +434,36 @@ impl GateTolerances {
         GateTolerances {
             quality: read("MM_GATE_EDP_TOL", 0.25),
             throughput: read("MM_GATE_THROUGHPUT_TOL", 0.25),
+            telemetry: read("MM_GATE_TELEMETRY_TOL", 0.02),
         }
     }
+}
+
+/// Fresh-side invariant on `BENCH_mapper.json`: telemetry must stay
+/// zero-cost-when-off *and nearly free when on* — the measured
+/// `telemetry_rel_throughput` (journal-level throughput relative to off,
+/// see `measure_telemetry_overhead`) must not fall below `1 − tolerance`.
+///
+/// Unlike the baseline diff, this needs no baseline entry: the A/B runs
+/// both sides fresh, so the "baseline" is the ideal ratio 1.0. A fresh
+/// document without the key is noted, not failed — older bench binaries
+/// did not measure it.
+pub fn check_telemetry_overhead(file: &str, fresh: &Json, tolerance: f64, report: &mut GateReport) {
+    let Some(rel) = fresh.get("telemetry_rel_throughput").and_then(Json::as_f64) else {
+        report.notes.push(format!(
+            "{file}: no telemetry_rel_throughput — overhead not measured"
+        ));
+        return;
+    };
+    report.checks.push(GateCheck {
+        file: file.to_string(),
+        metric: "telemetry_rel_throughput".to_string(),
+        baseline: 1.0,
+        fresh: rel,
+        direction: Direction::HigherIsBetter,
+        tolerance,
+        ok: rel.is_finite() && rel >= 1.0 - tolerance,
+    });
 }
 
 /// The benchmark summaries the gate covers.
@@ -525,6 +558,9 @@ pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path, tolerances: GateTolerance
             }
         };
         gate_documents(file, &baseline, &fresh, tolerances, &mut report);
+        if file == "BENCH_mapper.json" {
+            check_telemetry_overhead(file, &fresh, tolerances.telemetry, &mut report);
+        }
     }
     report
 }
@@ -849,6 +885,38 @@ mod tests {
         );
         assert!(!report.passed());
         assert!(!report.errors.is_empty());
+    }
+
+    #[test]
+    fn telemetry_overhead_check_is_a_fresh_side_invariant() {
+        let tol = GateTolerances::default().telemetry; // 2 %
+        let with = |rel: f64| {
+            Json::Obj(vec![(
+                "telemetry_rel_throughput".to_string(),
+                Json::Num(rel),
+            )])
+        };
+        // Within tolerance (and "telemetry was faster" noise above 1.0).
+        for rel in [1.0, 0.99, 0.98, 1.03] {
+            let mut report = GateReport::default();
+            check_telemetry_overhead("BENCH_mapper.json", &with(rel), tol, &mut report);
+            assert!(report.passed(), "rel={rel}: {:?}", report.failures());
+            assert_eq!(report.checks.len(), 1);
+        }
+        // Beyond tolerance fails; the regression is the throughput loss.
+        let mut report = GateReport::default();
+        check_telemetry_overhead("BENCH_mapper.json", &with(0.90), tol, &mut report);
+        assert!(!report.passed());
+        assert!((report.failures()[0].regression() - 0.10).abs() < 1e-9);
+        // Non-finite measurements fail closed.
+        let mut report = GateReport::default();
+        check_telemetry_overhead("BENCH_mapper.json", &with(f64::NAN), tol, &mut report);
+        assert!(!report.passed());
+        // A document that never measured it is noted, not failed.
+        let mut report = GateReport::default();
+        check_telemetry_overhead("BENCH_mapper.json", &Json::Obj(vec![]), tol, &mut report);
+        assert!(report.passed());
+        assert_eq!(report.notes.len(), 1);
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod sync_bench;
 
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
 pub use gate::{run_gate, GateCheck, GateReport, GateTolerances};
-pub use mapper_scaling::{run_mapper_scaling, MapperScalingResult, ScalingPoint};
+pub use mapper_scaling::{
+    measure_telemetry_overhead, run_mapper_scaling, MapperScalingResult, ScalingPoint,
+};
 pub use scale::ExperimentScale;
 pub use serve_bench::{run_serve_bench, ServeBenchResult};
 pub use shard_bench::{run_shard_bench, ShardBenchPoint, ShardBenchResult};

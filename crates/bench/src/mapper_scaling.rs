@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::report::results_dir;
+use crate::report::{write_bench_json, Stopwatch};
 
 /// Throughput of one mapper configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +48,10 @@ pub struct MapperScalingResult {
     pub baseline_evals_per_sec: f64,
     /// `std::thread::available_parallelism()` on the measuring machine.
     pub available_parallelism: usize,
+    /// Mapper throughput with full telemetry (journal level) relative to
+    /// telemetry off — 1.0 = free, 0.98 = 2 % overhead (see
+    /// [`measure_telemetry_overhead`]). `None` when not measured.
+    pub telemetry_rel_throughput: Option<f64>,
     /// One entry per measured thread count.
     pub points: Vec<ScalingPoint>,
 }
@@ -75,6 +79,9 @@ impl MapperScalingResult {
             "  \"available_parallelism\": {},\n",
             self.available_parallelism
         ));
+        if let Some(rel) = self.telemetry_rel_throughput {
+            out.push_str(&format!("  \"telemetry_rel_throughput\": {rel:.4},\n"));
+        }
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
@@ -93,18 +100,14 @@ impl MapperScalingResult {
         out
     }
 
-    /// Write `BENCH_mapper.json` under the results directory, returning the
-    /// path.
+    /// Write `BENCH_mapper.json` under the results directory (plus a
+    /// telemetry sibling when collection is on), returning the path.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
-        let path = dir.join("BENCH_mapper.json");
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_bench_json("BENCH_mapper.json", &self.to_json())
     }
 }
 
@@ -123,19 +126,14 @@ pub fn run_mapper_scaling(
     // Baseline: the classic monolithic single-threaded Searcher loop.
     let mut objective = EvaluatorObjective::new(Arc::clone(&evaluator));
     let mut rng = StdRng::seed_from_u64(seed);
-    let start = std::time::Instant::now();
+    let watch = Stopwatch::start();
     let trace = RandomSearch::new().search(
         space,
         &mut objective,
         Budget::iterations(evals_per_thread),
         &mut rng,
     );
-    let baseline_secs = start.elapsed().as_secs_f64();
-    let baseline_evals_per_sec = if baseline_secs > 0.0 {
-        trace.len() as f64 / baseline_secs
-    } else {
-        0.0
-    };
+    let baseline_evals_per_sec = watch.rate(trace.len() as u64);
 
     let points = thread_counts
         .iter()
@@ -169,7 +167,62 @@ pub fn run_mapper_scaling(
         evals_per_thread,
         baseline_evals_per_sec,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        telemetry_rel_throughput: None,
         points,
+    }
+}
+
+/// A/B overhead of the telemetry layer: mapper evaluations/second with full
+/// collection (`Level::Journal`) relative to telemetry off, as the ratio of
+/// medians over `reps` alternating runs of each. 1.0 means free; the CI
+/// gate requires ≥ `1 − MM_GATE_TELEMETRY_TOL` (default 0.98).
+///
+/// Toggles the process-global telemetry level while measuring and restores
+/// the previous level before returning, so call it from a bench binary —
+/// not concurrently with other telemetry consumers.
+pub fn measure_telemetry_overhead(
+    model: &CostModel,
+    space: &MapSpace,
+    evals_per_thread: u64,
+    seed: u64,
+    reps: usize,
+) -> f64 {
+    let evaluator: Arc<dyn mm_mapper::CostEvaluator> = Arc::new(ModelEvaluator::edp(model.clone()));
+    let previous = mm_telemetry::level();
+    let run_once = |level: mm_telemetry::Level| -> f64 {
+        mm_telemetry::set_level(level);
+        mm_telemetry::global().reset();
+        let mapper = Mapper::new(MapperConfig {
+            threads: 2,
+            seed,
+            termination: TerminationPolicy::search_size(evals_per_thread * 2),
+            ..MapperConfig::default()
+        });
+        let watch = Stopwatch::start();
+        let report = mapper.run(space, Arc::clone(&evaluator), |_| {
+            Box::new(RandomSearch::new())
+        });
+        watch.rate(report.total_evaluations)
+    };
+    // Alternate off/journal runs so machine-load drift hits both sides.
+    let reps = reps.max(1);
+    let mut off = Vec::with_capacity(reps);
+    let mut journal = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        off.push(run_once(mm_telemetry::Level::Off));
+        journal.push(run_once(mm_telemetry::Level::Journal));
+    }
+    mm_telemetry::set_level(previous);
+    mm_telemetry::global().reset();
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let (off, journal) = (median(off), median(journal));
+    if off > 0.0 {
+        journal / off
+    } else {
+        0.0
     }
 }
 
@@ -197,5 +250,27 @@ mod tests {
         assert!(json.contains("\"bench\": \"mapper_throughput\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("available_parallelism"));
+        assert!(
+            !json.contains("telemetry_rel_throughput"),
+            "unmeasured overhead must not emit a gateable key"
+        );
+    }
+
+    #[test]
+    fn telemetry_overhead_measures_and_serializes() {
+        let _guard = crate::report::test_env_guard();
+        let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+        let arch = evaluated_accelerator();
+        let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
+        let model = CostModel::new(arch, target.problem.clone());
+        let previous = mm_telemetry::level();
+        let rel = measure_telemetry_overhead(&model, &space, 60, 7, 1);
+        assert!(rel > 0.0 && rel.is_finite());
+        assert_eq!(mm_telemetry::level(), previous, "previous level restored");
+
+        let mut result = run_mapper_scaling(&model, &space, &[1], 30, 7);
+        result.telemetry_rel_throughput = Some(rel);
+        let json = result.to_json();
+        assert!(json.contains("\"telemetry_rel_throughput\": "));
     }
 }

@@ -1,8 +1,12 @@
-//! Output helpers: CSV files under `results/` and aligned console tables.
+//! Output helpers: CSV files under `results/`, `BENCH_*.json` documents
+//! (with telemetry-snapshot siblings when `MM_TELEMETRY` is on), aligned
+//! console tables, and the shared wall-clock/throughput measurement used by
+//! every bench.
 
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directory where experiment binaries write their CSV outputs.
 pub fn results_dir() -> PathBuf {
@@ -27,6 +31,71 @@ pub fn env_evals(key: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| env_u64("MM_CI_BENCH_EVALS", default))
+}
+
+/// The one wall-clock/throughput measurement every bench shares: start it,
+/// do the work, read `elapsed_s`/`rate` — instead of each bench hand-rolling
+/// its own `Instant`/`as_secs_f64`/guarded-division triple.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since `start`.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Units per second since `start` (`0.0` on a zero-length interval).
+    pub fn rate(&self, units: u64) -> f64 {
+        rate(units, self.elapsed_s())
+    }
+}
+
+/// `units / secs`, yielding `0.0` instead of `inf`/`NaN` on a zero-length
+/// interval — the convention every bench rate field uses.
+pub fn rate(units: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        units as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Write a `BENCH_*.json` document under the results directory, returning
+/// the path written.
+///
+/// When telemetry is collecting (`MM_TELEMETRY` at `counters` or `journal`),
+/// a `TELEMETRY_*` sibling with the current snapshot is written next to it
+/// — e.g. `BENCH_mapper.json` gets `TELEMETRY_mapper.json` — so every bench
+/// run leaves its counters and journal beside its numbers for free. Sibling
+/// write errors are swallowed: telemetry must never fail a bench.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the bench
+/// document itself.
+pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, json)?;
+    if let Some(snapshot) = mm_telemetry::snapshot_if_enabled() {
+        let sibling = match name.strip_prefix("BENCH_") {
+            Some(rest) => format!("TELEMETRY_{rest}"),
+            None => format!("TELEMETRY_{name}"),
+        };
+        let _ = fs::write(dir.join(sibling), snapshot.to_json());
+    }
+    Ok(path)
 }
 
 /// Write a CSV file (header + rows) under the results directory, returning
@@ -94,12 +163,22 @@ pub fn is_file(path: &Path) -> bool {
     path.is_file()
 }
 
+/// Serializes tests (crate-wide) that mutate process-global state — the
+/// results-dir env var or the telemetry level — against each other.
+#[cfg(test)]
+pub(crate) fn test_env_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn csv_roundtrip() {
+        let _guard = test_env_guard();
         std::env::set_var(
             "MM_RESULTS_DIR",
             std::env::temp_dir().join("mm_test_results"),
@@ -128,6 +207,38 @@ mod tests {
         assert!(t.contains("method"));
         assert!(t.contains("MindMappings"));
         assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn stopwatch_and_rate_conventions() {
+        let sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(sw.elapsed_s() >= 0.0);
+        assert!(sw.rate(100) >= 0.0);
+        assert_eq!(rate(100, 0.0), 0.0, "zero interval must not divide");
+        assert_eq!(rate(100, 2.0), 50.0);
+    }
+
+    #[test]
+    fn bench_json_writes_telemetry_sibling_when_enabled() {
+        let _guard = test_env_guard();
+        let dir = std::env::temp_dir().join("mm_test_bench_json");
+        let _ = std::fs::remove_dir_all(&dir); // stale siblings from prior runs
+        std::env::set_var("MM_RESULTS_DIR", &dir);
+        mm_telemetry::set_level(mm_telemetry::Level::Off);
+        let path = write_bench_json("BENCH_unit.json", "{}\n").unwrap();
+        assert!(is_file(&path));
+        assert!(!dir.join("TELEMETRY_unit.json").exists());
+
+        mm_telemetry::set_level(mm_telemetry::Level::Counters);
+        mm_telemetry::counter("bench.unit_test").bump(3);
+        write_bench_json("BENCH_unit.json", "{}\n").unwrap();
+        let sibling = dir.join("TELEMETRY_unit.json");
+        assert!(is_file(&sibling));
+        let snapshot = std::fs::read_to_string(&sibling).unwrap();
+        assert!(snapshot.contains("\"bench.unit_test\": 3"));
+        mm_telemetry::set_level(mm_telemetry::Level::Off);
+        std::env::remove_var("MM_RESULTS_DIR");
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //! EXPERIMENTS.md.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use mm_accel::CostModel;
 use mm_mapper::{CostEvaluator, EvalPool, ModelEvaluator};
@@ -29,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::report::results_dir;
+use crate::report::{write_bench_json, Stopwatch};
 
 /// The serve-throughput measurement set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,18 +88,14 @@ impl ServeBenchResult {
         )
     }
 
-    /// Write `BENCH_serve.json` under the results directory, returning the
-    /// path.
+    /// Write `BENCH_serve.json` under the results directory (plus a
+    /// telemetry sibling when collection is on), returning the path.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
-        let path = dir.join("BENCH_serve.json");
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_bench_json("BENCH_serve.json", &self.to_json())
     }
 }
 
@@ -118,28 +113,21 @@ fn dispatch_rates(
         .collect();
     let mut pool = EvalPool::new(Arc::clone(evaluator), workers);
 
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     for m in &mappings {
         pool.submit(m.clone());
     }
     for _ in 0..mappings.len() {
         let _ = pool.recv();
     }
-    let single_s = start.elapsed().as_secs_f64();
+    let single_rate = watch.rate(samples as u64);
 
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let evals = pool.evaluate_batch(&mappings);
-    let batch_s = start.elapsed().as_secs_f64();
+    let batch_rate = watch.rate(samples as u64);
     assert_eq!(evals.len(), mappings.len());
 
-    let rate = |secs: f64| {
-        if secs > 0.0 {
-            samples as f64 / secs
-        } else {
-            0.0
-        }
-    };
-    (rate(single_s), rate(batch_s))
+    (single_rate, batch_rate)
 }
 
 /// Run the serve-throughput sweep on the Table 1 network.
@@ -155,24 +143,24 @@ pub fn run_serve_bench(evals_per_layer: u64, workers: usize, seed: u64) -> Serve
     };
 
     // Cold: a fresh service (fresh pool threads, empty cache) per layer.
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     for layer in &net.layers {
         let mut cold = MappingService::new(arch.clone(), config);
         let report = cold.map_problem(&layer.name, layer.problem.clone());
         assert_eq!(report.evaluations, evals_per_layer);
     }
-    let cold_wall_s = start.elapsed().as_secs_f64();
+    let cold_wall_s = watch.elapsed_s();
 
     // Shared: one long-lived service for the whole network…
     let mut service = MappingService::new(arch.clone(), config);
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let report = service.map_network(&net);
-    let serve_wall_s = start.elapsed().as_secs_f64();
+    let serve_wall_s = watch.elapsed_s();
 
     // …and the second, fully cached request.
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let cached = service.map_network(&net);
-    let cached_wall_s = start.elapsed().as_secs_f64();
+    let cached_wall_s = watch.elapsed_s();
     assert_eq!(cached.total_evaluations, 0);
 
     let sample_problem = &net.layers[0].problem;

@@ -21,7 +21,6 @@
 //!   budget even when shards exhaust unevenly).
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use mm_accel::CostModel;
 use mm_mapper::{
@@ -31,7 +30,7 @@ use mm_mapspace::{MapSpace, ProblemSpec, ShardAxisKind};
 use mm_search::SimulatedAnnealing;
 use mm_workloads::{evaluated_accelerator, table1};
 
-use crate::report::results_dir;
+use crate::report::{write_bench_json, Stopwatch};
 
 /// One measured (shard count, schedule, axis subset) configuration.
 #[derive(Debug, Clone)]
@@ -100,18 +99,14 @@ impl ShardBenchResult {
         out
     }
 
-    /// Write `BENCH_shard.json` under the results directory, returning the
-    /// path.
+    /// Write `BENCH_shard.json` under the results directory (plus a
+    /// telemetry sibling when collection is on), returning the path.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
-        let path = dir.join("BENCH_shard.json");
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_bench_json("BENCH_shard.json", &self.to_json())
     }
 }
 
@@ -188,7 +183,7 @@ pub fn run_shard_bench(evals: u64, threads: usize, seed: u64) -> ShardBenchResul
         let mut counted = 0usize;
         let mut distinct_orders = 0usize;
         let mut total_evaluations = 0u64;
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         for problem in &problems {
             let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
             let evaluator: Arc<dyn CostEvaluator> = Arc::new(ModelEvaluator::edp(CostModel::new(
@@ -238,7 +233,7 @@ pub fn run_shard_bench(evals: u64, threads: usize, seed: u64) -> ShardBenchResul
             },
             distinct_best_l2_orders: distinct_orders,
             total_evaluations,
-            wall_s: start.elapsed().as_secs_f64(),
+            wall_s: watch.elapsed_s(),
         });
     }
 

@@ -10,7 +10,6 @@
 //! (policy, shard-count) point, and is diffed by the CI bench gate.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use mm_accel::CostModel;
 use mm_mapper::{
@@ -20,7 +19,7 @@ use mm_mapspace::{MapSpace, ProblemSpec};
 use mm_search::SimulatedAnnealing;
 use mm_workloads::{evaluated_accelerator, table1};
 
-use crate::report::results_dir;
+use crate::report::{rate, write_bench_json, Stopwatch};
 
 /// Sync interval used by the sweep: short enough that even CI-sized
 /// budgets (200 evaluations per problem) cross several barrier rounds per
@@ -105,18 +104,14 @@ impl SyncBenchResult {
         out
     }
 
-    /// Write `BENCH_sync.json` under the results directory, returning the
-    /// path.
+    /// Write `BENCH_sync.json` under the results directory (plus a
+    /// telemetry sibling when collection is on), returning the path.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = results_dir();
-        std::fs::create_dir_all(&dir)?;
-        let path = dir.join("BENCH_sync.json");
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_bench_json("BENCH_sync.json", &self.to_json())
     }
 }
 
@@ -139,7 +134,7 @@ pub fn run_sync_bench(evals: u64, threads: usize, seed: u64) -> SyncBenchResult 
             let mut log_sum = 0.0f64;
             let mut counted = 0usize;
             let mut total_evaluations = 0u64;
-            let start = Instant::now();
+            let watch = Stopwatch::start();
             for problem in &problems {
                 let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
                 let evaluator: Arc<dyn CostEvaluator> = Arc::new(ModelEvaluator::edp(
@@ -165,7 +160,7 @@ pub fn run_sync_bench(evals: u64, threads: usize, seed: u64) -> SyncBenchResult 
                     counted += 1;
                 }
             }
-            let wall_s = start.elapsed().as_secs_f64();
+            let wall_s = watch.elapsed_s();
             points.push(SyncBenchPoint {
                 policy: label.clone(),
                 shards,
@@ -175,11 +170,7 @@ pub fn run_sync_bench(evals: u64, threads: usize, seed: u64) -> SyncBenchResult 
                     f64::INFINITY
                 },
                 total_evaluations,
-                evals_per_sec: if wall_s > 0.0 {
-                    total_evaluations as f64 / wall_s
-                } else {
-                    0.0
-                },
+                evals_per_sec: rate(total_evaluations, wall_s),
                 wall_s,
             });
         }

@@ -164,6 +164,10 @@ struct Job {
     base_id: u64,
     mappings: Vec<Mapping>,
     evaluator: Option<Arc<dyn CostEvaluator>>,
+    /// Enqueue time, captured only when telemetry timing is on so the off
+    /// level never reads a clock (the queue-latency histogram is fed from
+    /// it on the worker side).
+    queued_at: Option<std::time::Instant>,
 }
 
 /// A fixed pool of evaluation workers fed over channels.
@@ -229,10 +233,14 @@ impl EvalPool {
         let (result_tx, result_rx) = channel::<(u64, Result<Evaluation, String>)>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let handles = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
                 let default_evaluator = default_evaluator.clone();
+                // Telemetry handles interned once per worker; bumps are one
+                // relaxed level check on the hot path.
+                let tele_evals = mm_telemetry::counter(&format!("eval_pool.worker{w}.evals"));
+                let tele_latency = mm_telemetry::histogram("eval_pool.queue_latency_us");
                 std::thread::spawn(move || loop {
                     // Hold the lock only while popping; evaluate unlocked.
                     let job = match job_rx.lock() {
@@ -242,6 +250,13 @@ impl EvalPool {
                     match job {
                         Ok(job) => {
                             let n = job.mappings.len() as u64;
+                            tele_evals.bump(n);
+                            if let Some(queued_at) = job.queued_at {
+                                tele_latency.record(
+                                    queued_at.elapsed().as_micros().min(u128::from(u64::MAX))
+                                        as u64,
+                                );
+                            }
                             let evaluator = job.evaluator.as_ref().or(default_evaluator.as_ref());
                             let Some(evaluator) = evaluator else {
                                 for i in 0..n {
@@ -347,6 +362,13 @@ impl EvalPool {
         }
         self.next_id += n;
         self.in_flight += n;
+        {
+            static BATCH_SIZES: std::sync::OnceLock<Arc<mm_telemetry::Histogram>> =
+                std::sync::OnceLock::new();
+            BATCH_SIZES
+                .get_or_init(|| mm_telemetry::histogram("eval_pool.batch_size"))
+                .record(n);
+        }
         self.job_tx
             .as_ref()
             .expect("pool not shut down")
@@ -354,6 +376,7 @@ impl EvalPool {
                 base_id,
                 mappings,
                 evaluator,
+                queued_at: mm_telemetry::timing_enabled().then(std::time::Instant::now),
             })
             .expect("evaluation workers alive");
         base_id..base_id + n

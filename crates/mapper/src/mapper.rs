@@ -184,6 +184,11 @@ pub struct MapperReport {
     pub sync: SyncPolicy,
     /// Per-shard details, indexed by shard.
     pub shards: Vec<ShardReport>,
+    /// Telemetry recorded during the run (`None` when `MM_TELEMETRY` is
+    /// off). Excluded from [`canonical_string`](Self::canonical_string),
+    /// like the wall-clock fields, so instrumentation never perturbs the
+    /// deterministic replay contract.
+    pub telemetry: Option<mm_telemetry::TelemetrySnapshot>,
 }
 
 impl MapperReport {
@@ -282,6 +287,19 @@ impl BudgetLedger {
                     .is_ok()
                 {
                     self.outstanding.fetch_add(take, Ordering::SeqCst);
+                    static GRANTS: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
+                        std::sync::OnceLock::new();
+                    static GRANTED: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
+                        std::sync::OnceLock::new();
+                    GRANTS
+                        .get_or_init(|| mm_telemetry::counter("mapper.ledger.grants"))
+                        .bump(1);
+                    GRANTED
+                        .get_or_init(|| mm_telemetry::counter("mapper.ledger.granted_evals"))
+                        .bump(take);
+                    mm_telemetry::event("mapper.ledger.grant", || {
+                        format!("evals={take} remaining={}", cur - take)
+                    });
                     return take;
                 }
                 continue;
@@ -304,6 +322,17 @@ impl BudgetLedger {
         if unused > 0 {
             self.remaining.fetch_add(unused, Ordering::SeqCst);
             self.outstanding.fetch_sub(unused, Ordering::SeqCst);
+            static REFUNDS: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
+                std::sync::OnceLock::new();
+            static REFUNDED: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
+                std::sync::OnceLock::new();
+            REFUNDS
+                .get_or_init(|| mm_telemetry::counter("mapper.ledger.refunds"))
+                .bump(1);
+            REFUNDED
+                .get_or_init(|| mm_telemetry::counter("mapper.ledger.refunded_evals"))
+                .bump(unused);
+            mm_telemetry::event("mapper.ledger.refund", || format!("evals={unused}"));
         }
     }
 }
@@ -527,6 +556,7 @@ impl Mapper {
             },
             sync: self.config.sync,
             shards: reports,
+            telemetry: mm_telemetry::snapshot_if_enabled(),
         }
     }
 }
@@ -607,6 +637,17 @@ fn run_barrier_rounds<'a>(
         for run in &mut next_live {
             run.sync_point(config, incumbent.as_ref());
         }
+        static ROUNDS: std::sync::OnceLock<Arc<mm_telemetry::Counter>> = std::sync::OnceLock::new();
+        ROUNDS
+            .get_or_init(|| mm_telemetry::counter("mapper.sync_rounds"))
+            .bump(1);
+        mm_telemetry::event("mapper.sync_round", || {
+            format!(
+                "live={} incumbent={:?}",
+                next_live.len(),
+                incumbent.as_ref().map(|(_, e)| e.primary())
+            )
+        });
         live = next_live;
     }
     retired

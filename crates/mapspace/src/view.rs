@@ -37,12 +37,33 @@
 //! a single axis on small-`d!` problems. [`MapSpace::shard_with`] restricts
 //! the product to a chosen subset of axes.
 
+use std::sync::{Arc, OnceLock};
+
 use rand::{Rng, RngCore};
 
 use crate::mapping::Mapping;
 use crate::problem::{DimId, ProblemSpec};
 use crate::space::{MapSpace, MappingConstraints};
 use crate::MapSpaceError;
+
+/// Interned telemetry counters for the shard clamp/repair path. Handles are
+/// cached in `OnceLock` statics so the hot path is one relaxed level check
+/// plus (when enabled) one relaxed add; instrumentation never draws RNG or
+/// reorders anything, keeping the deterministic replay contract intact.
+fn tele_clamp_moved() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("mapspace.clamp_moved"))
+}
+
+fn tele_pin_fix_calls() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("mapspace.pin_fix_calls"))
+}
+
+fn tele_pin_fix_refits() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("mapspace.pin_fix_refits"))
+}
 
 /// Index of the L1 temporal loop order within `Mapping::loop_orders`.
 const L1_ORDER_LEVEL: usize = 0;
@@ -635,6 +656,7 @@ impl ShardedMapSpace {
     fn clamp_into_interval(&self, m: &mut Mapping) {
         let mut l = self.lo;
         let mut h = self.hi;
+        let mut moved = false;
         for (axis, stride) in self.axes.iter().zip(&self.strides) {
             let card = axis.cardinality();
             let s = *stride;
@@ -647,9 +669,16 @@ impl ShardedMapSpace {
             let digit = current.clamp(dlo, dhi);
             if digit != current {
                 axis.apply(m, digit);
+                moved = true;
             }
             l = if digit == dlo { l - digit * s } else { 0 };
             h = if digit == dhi { h - digit * s } else { s };
+        }
+        if moved {
+            tele_clamp_moved().bump(1);
+            mm_telemetry::event("mapspace.clamp", || {
+                format!("shard={}/{}", self.index, self.count)
+            });
         }
         debug_assert!(self.in_shard(m), "clamp must land in the interval");
     }
@@ -742,6 +771,7 @@ impl ShardedMapSpace {
     /// after [`sample_in_interval`](Self::sample_in_interval) already
     /// changed validity-coupled attributes).
     fn pin_and_fix_impl(&self, m: &mut Mapping, force_fit: bool) {
+        tele_pin_fix_calls().bump(1);
         // Snapshot the validity-coupled attributes: when no pin moves any
         // of them, the (base-valid) mapping needs no refit at all.
         let tiles_before = m.tiles.clone();
@@ -818,6 +848,10 @@ impl ShardedMapSpace {
         if !force_fit && m.tiles == tiles_before && m.parallel == parallel_before {
             return;
         }
+        tele_pin_fix_refits().bump(1);
+        mm_telemetry::event("mapspace.refit", || {
+            format!("shard={}/{} force={force_fit}", self.index, self.count)
+        });
 
         // -- Shared-buffer refit: the pins may have *grown* L2 footprints;
         //    shrink un-pinned contributions until everything fits, never

@@ -159,6 +159,9 @@ impl ProposalSearch for SimulatedAnnealing {
         };
         state.outstanding = true;
         out.push(proposal);
+        static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+            std::sync::OnceLock::new();
+        crate::tele_counter(&PROPOSED, "search.sa.proposed").bump(1);
     }
 
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
@@ -201,6 +204,9 @@ impl ProposalSearch for SimulatedAnnealing {
                     || rng.gen_range(0.0..1.0) < (-delta / state.temperature.max(1e-300)).exp();
                 if accept {
                     state.current = Some((mapping.clone(), cost));
+                    static ACCEPTED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+                        std::sync::OnceLock::new();
+                    crate::tele_counter(&ACCEPTED, "search.sa.accepted").bump(1);
                 }
                 state.moves_at_temperature += 1;
                 if state.moves_at_temperature >= self.config.moves_per_temperature.max(1) {

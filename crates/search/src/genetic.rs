@@ -198,6 +198,9 @@ impl ProposalSearch for GeneticAlgorithm {
             };
             self.state.outstanding += 1;
             out.push(child);
+            static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+                std::sync::OnceLock::new();
+            crate::tele_counter(&PROPOSED, "search.ga.proposed").bump(1);
         }
     }
 
@@ -208,6 +211,9 @@ impl ProposalSearch for GeneticAlgorithm {
             mapping: mapping.clone(),
             fitness: cost,
         });
+        static ACCEPTED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+            std::sync::OnceLock::new();
+        crate::tele_counter(&ACCEPTED, "search.ga.accepted").bump(1);
         if self.state.incoming.len() >= self.popsize() && self.state.outstanding == 0 {
             self.state.population = std::mem::take(&mut self.state.incoming);
         }

@@ -47,6 +47,16 @@ pub use rl::{DdpgAgent, DdpgConfig};
 pub use sync::{SyncAction, SyncPolicy, SyncState};
 pub use trace::{SearchTrace, TracePoint};
 
+/// Intern-once helper for the searchers' proposal/acceptance counters: each
+/// call site owns a `OnceLock` cell, so the hot path is one atomic load plus
+/// the counter's own relaxed level check.
+pub(crate) fn tele_counter(
+    cell: &'static std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>>,
+    name: &'static str,
+) -> &'static std::sync::Arc<mm_telemetry::Counter> {
+    cell.get_or_init(|| mm_telemetry::counter(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,6 +67,9 @@ impl ProposalSearch for RandomSearch {
             };
             out.push(mapping);
         }
+        static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+            std::sync::OnceLock::new();
+        crate::tele_counter(&PROPOSED, "search.random.proposed").bump(max.max(1) as u64);
     }
 
     fn report(&mut self, _mapping: &Mapping, _cost: f64, _rng: &mut StdRng) {}

@@ -371,6 +371,9 @@ impl ProposalSearch for DdpgAgent {
         };
         state.pending = Some((state.state_vec.clone(), action));
         out.push(next_mapping);
+        static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
+            std::sync::OnceLock::new();
+        crate::tele_counter(&PROPOSED, "search.ddpg.proposed").bump(1);
     }
 
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {

@@ -24,10 +24,25 @@
 //! worker counts under every policy.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Interned telemetry counters for the drivers' shared sync protocol.
+/// Observation only: the decision stream and its RNG draws are untouched.
+fn tele_sync(kind: &str) -> &'static Arc<mm_telemetry::Counter> {
+    static DECIDES: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    static ADOPTS: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    static RESTARTS: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    let (cell, name) = match kind {
+        "adopts" => (&ADOPTS, "sync.adopts"),
+        "restarts" => (&RESTARTS, "sync.restarts"),
+        _ => (&DECIDES, "sync.decides"),
+    };
+    cell.get_or_init(|| mm_telemetry::counter(name))
+}
 
 /// What a searcher should do with an observed global-best mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -177,6 +192,17 @@ impl SyncState {
         let action = policy.decide(self.stalled_syncs, progress, rng);
         if action == Some(SyncAction::Restart) {
             self.stalled_syncs = 0;
+        }
+        tele_sync("decides").bump(1);
+        match action {
+            Some(SyncAction::Adopt) => tele_sync("adopts").bump(1),
+            Some(SyncAction::Restart) => {
+                tele_sync("restarts").bump(1);
+                mm_telemetry::event("sync.restart", || {
+                    format!("policy={policy} progress={progress:.3}")
+                });
+            }
+            None => {}
         }
         action
     }

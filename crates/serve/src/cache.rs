@@ -5,12 +5,19 @@
 //! one convolution shape), so the service maps each distinct fingerprint
 //! once and replays the cached result for every other occurrence — within a
 //! network and across `map_network` calls on a long-lived service.
+//!
+//! The cache keeps real statistics (hits, misses, inserts, evictions) and
+//! supports an optional entry bound with **insertion-order FIFO eviction**
+//! — deterministic for a fixed request sequence, unlike recency-driven
+//! policies whose order would depend on replay patterns. Statistics are
+//! surfaced in `NetworkReport` and mirrored into `mm-telemetry` counters.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 use mm_mapper::{Evaluation, OptMetric, SyncPolicy};
 use mm_mapspace::Mapping;
+use serde::{Deserialize, Serialize};
 
 /// FNV-1a 64-bit over the given parts (with a separator byte between parts,
 /// so `["ab", "c"]` and `["a", "bc"]` differ). Stable across processes —
@@ -53,33 +60,141 @@ pub struct CachedLayer {
     pub exhausted: bool,
 }
 
-/// Fingerprint-keyed store of completed layer searches.
+/// Observable result-cache statistics, surfaced in `NetworkReport`.
+///
+/// Hits and misses count cache lookups (one per layer
+/// occurrence the service checks against the cache); inserts and evictions
+/// count entry turnover under the optional capacity bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (including replacements of an existing key).
+    pub inserts: u64,
+    /// Entries evicted to the capacity bound (FIFO, insertion order).
+    pub evictions: u64,
+    /// Entries resident when the stats were read.
+    pub entries: u64,
+    /// The configured capacity bound (`None` = unbounded).
+    pub capacity: Option<u64>,
+}
+
+fn tele_cache(kind: usize) -> &'static Arc<mm_telemetry::Counter> {
+    static CELLS: [OnceLock<Arc<mm_telemetry::Counter>>; 4] = [const { OnceLock::new() }; 4];
+    const NAMES: [&str; 4] = [
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.inserts",
+        "serve.cache.evictions",
+    ];
+    CELLS[kind].get_or_init(|| mm_telemetry::counter(NAMES[kind]))
+}
+
+/// Fingerprint-keyed store of completed layer searches, with statistics and
+/// optional FIFO eviction.
 #[derive(Default)]
 pub(crate) struct ResultCache {
     map: HashMap<u64, Arc<CachedLayer>>,
+    /// Resident keys in insertion order (the FIFO eviction order).
+    order: VecDeque<u64>,
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
+    /// Fresh cache bounded to `capacity` entries (`None` = unbounded).
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        ResultCache {
+            capacity: capacity.map(|c| c.max(1)),
+            ..ResultCache::default()
+        }
+    }
+
+    /// Fetch without touching the statistics.
+    #[cfg(test)]
     pub fn get(&self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
         self.map.get(&fingerprint).cloned()
     }
 
+    /// Fetch and record a hit or miss.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
+        let found = self.map.get(&fingerprint).cloned();
+        if found.is_some() {
+            self.hits += 1;
+            tele_cache(0).bump(1);
+            mm_telemetry::event("serve.cache.hit", || format!("fp={fingerprint:016x}"));
+        } else {
+            self.misses += 1;
+            tele_cache(1).bump(1);
+            mm_telemetry::event("serve.cache.miss", || format!("fp={fingerprint:016x}"));
+        }
+        found
+    }
+
+    #[cfg(test)]
     pub fn contains(&self, fingerprint: u64) -> bool {
         self.map.contains_key(&fingerprint)
     }
 
+    /// Insert (or replace) an entry, evicting the oldest inserts beyond the
+    /// capacity bound.
     pub fn insert(&mut self, fingerprint: u64, layer: Arc<CachedLayer>) {
-        self.map.insert(fingerprint, layer);
+        self.inserts += 1;
+        tele_cache(2).bump(1);
+        if self.map.insert(fingerprint, layer).is_none() {
+            self.order.push_back(fingerprint);
+        }
+        if let Some(cap) = self.capacity {
+            while self.map.len() > cap {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&oldest);
+                self.evictions += 1;
+                tele_cache(3).bump(1);
+                mm_telemetry::event("serve.cache.evict", || format!("fp={oldest:016x}"));
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Point-in-time statistics (counters plus residency/capacity).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            inserts: self.inserts,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+            capacity: self.capacity.map(|c| c as u64),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn entry(evaluations: u64) -> Arc<CachedLayer> {
+        Arc::new(CachedLayer {
+            best_mapping: None,
+            best_metrics: Some(Evaluation::scalar(1.5)),
+            metric_names: vec![OptMetric::Edp],
+            evaluations,
+            searcher: "Random".into(),
+            sync: SyncPolicy::Off,
+            wall_time_s: 0.0,
+            exhausted: false,
+        })
+    }
 
     #[test]
     fn fingerprints_are_stable_and_separator_aware() {
@@ -99,21 +214,69 @@ mod tests {
         let fp = fingerprint_parts(&["x"]);
         assert!(!cache.contains(fp));
         assert!(cache.get(fp).is_none());
-        cache.insert(
-            fp,
-            Arc::new(CachedLayer {
-                best_mapping: None,
-                best_metrics: Some(Evaluation::scalar(1.5)),
-                metric_names: vec![OptMetric::Edp],
-                evaluations: 10,
-                searcher: "Random".into(),
-                sync: SyncPolicy::Off,
-                wall_time_s: 0.0,
-                exhausted: false,
-            }),
-        );
+        cache.insert(fp, entry(10));
         assert!(cache.contains(fp));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(fp).unwrap().evaluations, 10);
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = ResultCache::default();
+        let fp = fingerprint_parts(&["x"]);
+        assert!(cache.lookup(fp).is_none());
+        cache.insert(fp, entry(1));
+        assert!(cache.lookup(fp).is_some());
+        assert!(cache.lookup(fp).is_some());
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.evictions),
+            (2, 1, 1, 0)
+        );
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, None);
+        // `get`/`contains` stay statistics-neutral.
+        let _ = cache.get(fp);
+        let _ = cache.contains(fp);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_insertion_order() {
+        let mut cache = ResultCache::with_capacity(Some(2));
+        let fps: Vec<u64> = ["a", "b", "c"]
+            .iter()
+            .map(|s| fingerprint_parts(&[s]))
+            .collect();
+        cache.insert(fps[0], entry(0));
+        cache.insert(fps[1], entry(1));
+        // A hit on the oldest entry does not save it: eviction is FIFO by
+        // insertion, so the order stays deterministic under any replay mix.
+        assert!(cache.lookup(fps[0]).is_some());
+        cache.insert(fps[2], entry(2));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(fps[0]), "oldest insert evicted first");
+        assert!(cache.contains(fps[1]) && cache.contains(fps[2]));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, Some(2));
+
+        // Replacing a resident key neither grows the cache nor evicts.
+        cache.insert(fps[1], entry(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(fps[1]).unwrap().evaluations, 9);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut cache = ResultCache::with_capacity(Some(0));
+        let a = fingerprint_parts(&["a"]);
+        let b = fingerprint_parts(&["b"]);
+        cache.insert(a, entry(0));
+        assert_eq!(cache.len(), 1, "capacity clamps to at least one entry");
+        cache.insert(b, entry(1));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(b));
     }
 }

@@ -53,6 +53,10 @@ pub struct ServeConfig {
     /// Reuse results for repeated `(problem, arch, config)` fingerprints —
     /// across layers of one network and across calls on one service.
     pub use_cache: bool,
+    /// Bound on distinct results the cache retains (`None`, the default, is
+    /// unbounded). When full, the oldest *insert* is evicted (deterministic
+    /// FIFO — eviction order never depends on the replay pattern).
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
             sync: SyncPolicy::Off,
             shard_horizon: false,
             use_cache: true,
+            cache_capacity: None,
         }
     }
 }
@@ -101,6 +106,13 @@ impl ServeConfig {
         self.shard_horizon = shard_horizon;
         self
     }
+
+    /// A config with the given result-cache entry bound (`None` =
+    /// unbounded).
+    pub fn with_cache_capacity(mut self, cache_capacity: Option<usize>) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,16 +127,19 @@ mod tests {
         assert_eq!(c.shards, 1, "sharding is off by default");
         assert_eq!(c.sync, SyncPolicy::Off, "sync is off by default");
         assert!(!c.shard_horizon, "horizon hints are off by default");
+        assert_eq!(c.cache_capacity, None, "cache is unbounded by default");
         let c = c
             .with_search_size(64)
             .with_workers(3)
             .with_shards(4)
             .with_sync(SyncPolicy::Anchor)
-            .with_shard_horizon(true);
+            .with_shard_horizon(true)
+            .with_cache_capacity(Some(16));
         assert_eq!(c.search_size, 64);
         assert_eq!(c.workers, 3);
         assert_eq!(c.shards, 4);
         assert_eq!(c.sync, SyncPolicy::Anchor);
         assert!(c.shard_horizon);
+        assert_eq!(c.cache_capacity, Some(16));
     }
 }

@@ -62,7 +62,7 @@ pub mod report;
 mod scheduler;
 pub mod service;
 
-pub use cache::{fingerprint_parts, CachedLayer};
+pub use cache::{fingerprint_parts, CacheStats, CachedLayer};
 pub use config::ServeConfig;
 // Re-exported so serve callers can configure `ServeConfig::sync` without
 // depending on mm-search directly.

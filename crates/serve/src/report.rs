@@ -11,7 +11,7 @@ use mm_mapper::{Evaluation, MapperReport, OptMetric, ShardReport, StopReason};
 use mm_mapspace::Mapping;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::CachedLayer;
+use crate::cache::{CacheStats, CachedLayer};
 
 /// The serving result for one network layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -124,6 +124,7 @@ impl LayerReport {
                 stop,
                 trace: None,
             }],
+            telemetry: None,
         }
     }
 }
@@ -189,6 +190,18 @@ pub struct NetworkReport {
     pub wall_time_s: f64,
     /// Fresh evaluations per second of the whole call.
     pub evals_per_sec: f64,
+    /// Service result-cache statistics at the end of this call (cumulative
+    /// over the service's lifetime). Excluded from [`canonical_string`],
+    /// like the wall-clock fields: residency depends on what earlier calls
+    /// cached.
+    ///
+    /// [`canonical_string`]: NetworkReport::canonical_string
+    pub cache: CacheStats,
+    /// Telemetry snapshot taken as the call finished, when `MM_TELEMETRY`
+    /// (or [`mm_telemetry::set_level`]) enables collection; `None` when
+    /// telemetry is off. Observational only and excluded from
+    /// [`canonical_string`](NetworkReport::canonical_string).
+    pub telemetry: Option<mm_telemetry::TelemetrySnapshot>,
 }
 
 impl NetworkReport {
@@ -309,6 +322,11 @@ mod tests {
             aggregate: NetworkAggregate::from_layers(&[layer("a", 1, 2.0, 10.0, 0.1)]),
             wall_time_s: wall,
             evals_per_sec: 10.0 / wall,
+            cache: CacheStats {
+                hits: wall as u64, // varies with `wall`: must not leak into the canonical form
+                ..CacheStats::default()
+            },
+            telemetry: None,
         };
         let a = mk(0.25);
         let mut b = mk(99.0);

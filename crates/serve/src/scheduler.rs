@@ -29,7 +29,7 @@
 //! guarantee above and the disjointness of sharded layer jobs.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use mm_mapper::{pipeline_depth, CostEvaluator, EvalPool, Evaluation, OptMetric};
@@ -41,6 +41,21 @@ use rand::SeedableRng;
 /// Completed evaluations between job-local sync points (matches the
 /// mapper's default `sync_interval`).
 pub(crate) const JOB_SYNC_INTERVAL: u64 = 64;
+
+fn tele_jobs_started() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("serve.scheduler.jobs_started"))
+}
+
+fn tele_jobs_finished() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("serve.scheduler.jobs_finished"))
+}
+
+fn tele_sync_points() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("serve.scheduler.sync_actions"))
+}
 
 /// One layer search to run: everything the scheduler needs, self-contained.
 pub(crate) struct JobSpec {
@@ -108,6 +123,10 @@ impl ActiveJob {
             spec.budget
         };
         spec.search.begin(&*spec.space, Some(horizon), &mut rng);
+        tele_jobs_started().bump(1);
+        mm_telemetry::event("serve.job.start", || {
+            format!("index={} budget={}", spec.index, spec.budget)
+        });
         ActiveJob {
             index: spec.index,
             space: spec.space,
@@ -143,9 +162,21 @@ impl ActiveJob {
         // it), so per-worker chunk jobs carry real batches for
         // `evaluate_batch` fast paths like the surrogate's forward pass.
         let cap = pipeline_depth(self.search.lookahead(), pool.workers()) as u64;
+        // With sync on, never propose past the next sync boundary: a sync
+        // point mutates searcher state (and may draw from the job RNG), so
+        // it must land at a *fixed* position in the proposal stream. If the
+        // pipeline could run ahead of the boundary, how many proposals were
+        // drawn before the adopt/restart would depend on arrival timing —
+        // and the result on pool scheduling. The pipeline drains briefly at
+        // each boundary; that bounded stall is the price of determinism.
+        let horizon = if self.sync.is_enabled() {
+            ((self.completed / JOB_SYNC_INTERVAL + 1) * JOB_SYNC_INTERVAL).min(self.budget)
+        } else {
+            self.budget
+        };
         let room = cap
             .saturating_sub(self.pending.len() as u64)
-            .min(self.budget - self.submitted);
+            .min(horizon - self.submitted);
         if room == 0 {
             return;
         }
@@ -214,6 +245,7 @@ impl ActiveJob {
         else {
             return;
         };
+        tele_sync_points().bump(1);
         self.search
             .observe_global_best(&*self.space, &mapping, own, action, &mut self.rng);
     }
@@ -223,6 +255,13 @@ impl ActiveJob {
     }
 
     fn finish(self) -> (usize, JobOutcome) {
+        tele_jobs_finished().bump(1);
+        mm_telemetry::event("serve.job.finish", || {
+            format!(
+                "index={} evals={} exhausted={}",
+                self.index, self.completed, self.exhausted
+            )
+        });
         (
             self.index,
             JobOutcome {

@@ -43,8 +43,9 @@ pub struct ServeStats {
 
 /// How one layer of a `map_network` call is satisfied.
 enum LayerPlan {
-    /// Replay the cached result for this fingerprint.
-    Hit(u64),
+    /// Replay this cached result (captured at plan time, so a bounded
+    /// cache evicting the entry mid-call cannot strand the layer).
+    Hit(Arc<CachedLayer>),
     /// Unique search `job` (an index into this call's merged per-unique
     /// results, each covering one or more shard jobs) performs the search.
     Search { job: usize },
@@ -103,7 +104,7 @@ impl MappingService {
             arch,
             config,
             pool: EvalPool::shared(config.workers.max(1)),
-            cache: ResultCache::default(),
+            cache: ResultCache::with_capacity(config.cache_capacity),
             evaluator_factory,
             evaluator_tag,
             search_factory,
@@ -127,7 +128,7 @@ impl MappingService {
             &self.evaluator_tag,
             &self.config,
         );
-        self.cache = ResultCache::default();
+        self.cache = ResultCache::with_capacity(self.config.cache_capacity);
         self
     }
 
@@ -211,8 +212,13 @@ impl MappingService {
         let mut unique_for_fp: HashMap<u64, usize> = HashMap::new();
         for layer in &network.layers {
             let fp = self.fingerprint(&layer.problem);
-            let plan = if self.config.use_cache && self.cache.contains(fp) {
-                LayerPlan::Hit(fp)
+            let cached = if self.config.use_cache {
+                self.cache.lookup(fp)
+            } else {
+                None
+            };
+            let plan = if let Some(cached) = cached {
+                LayerPlan::Hit(cached)
             } else if self.config.use_cache && unique_for_fp.contains_key(&fp) {
                 LayerPlan::Search {
                     job: unique_for_fp[&fp],
@@ -291,9 +297,7 @@ impl MappingService {
                 let (cached, hit): (Arc<CachedLayer>, bool) = match plan {
                     // A Hit plan means the fingerprint was cached before
                     // this call started.
-                    LayerPlan::Hit(fp) => {
-                        (self.cache.get(*fp).expect("hit planned from cache"), true)
-                    }
+                    LayerPlan::Hit(cached) => (Arc::clone(cached), true),
                     LayerPlan::Search { job } => {
                         let first = !first_use[*job];
                         first_use[*job] = true;
@@ -331,6 +335,8 @@ impl MappingService {
             } else {
                 0.0
             },
+            cache: self.cache.stats(),
+            telemetry: mm_telemetry::snapshot_if_enabled(),
         }
     }
 

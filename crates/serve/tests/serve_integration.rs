@@ -24,6 +24,7 @@ fn quick_config() -> ServeConfig {
         sync: SyncPolicy::Off,
         shard_horizon: false,
         use_cache: true,
+        cache_capacity: None,
     }
 }
 

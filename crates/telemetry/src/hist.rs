@@ -1,0 +1,206 @@
+//! Fixed-bucket log2 histograms: cheap enough for queue latencies and batch
+//! sizes on the hot path, deterministic to snapshot, and mergeable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. Bucket 0 holds value 0; bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`; the last bucket absorbs the tail.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index for a value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    // 0 → 0, 1 → 1, 2..3 → 2, 4..7 → 3, …: one leading_zeros and a cap.
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// A concurrent fixed-bucket log-scale histogram (relaxed atomics only).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.record_unchecked(v);
+        }
+    }
+
+    /// Record one observation regardless of the global level (tests and
+    /// merge paths; production sites go through [`Histogram::record`]).
+    pub fn record_unchecked(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state (nonzero buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zero all state in place (handles stay valid).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+/// Immutable, comparable copy of a [`Histogram`]: total count and sum plus
+/// the nonzero `(bucket_index, count)` pairs in ascending bucket order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Nonzero buckets as `(index, count)`, ascending by index. Bucket 0
+    /// holds value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: u8) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS as u8 {
+            // The lower bound of each bucket lands in that bucket.
+            assert_eq!(bucket_of(HistogramSnapshot::bucket_lo(i)), i as usize);
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_nonzero_buckets_sorted() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 6, 6, 6, 1000] {
+            h.record_unchecked(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1 + 1 + 6 * 3 + 1000);
+        assert_eq!(
+            s.buckets,
+            vec![(0, 1), (1, 2), (3, 3), (10, 1)],
+            "buckets: value0→0, 1→1, 6→[4,8)=3, 1000→[512,1024)=10"
+        );
+        assert!(s.mean() > 145.0 && s.mean() < 146.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1, 2, 3] {
+            a.record_unchecked(v);
+        }
+        for v in [3, 100] {
+            b.record_unchecked(v);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 109);
+        let direct = Histogram::new();
+        for v in [1, 2, 3, 3, 100] {
+            direct.record_unchecked(v);
+        }
+        assert_eq!(s, direct.snapshot(), "merge equals recording everything");
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let h = Histogram::new();
+        h.record_unchecked(42);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.record_unchecked(1);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The bounded structured event journal: a ring of `(seq, kind, detail)`
+//! records with a dropped-event counter, so a long run can keep the journal
+//! on without unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity (events kept; older events are dropped and
+/// counted).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One structured journal record. No wall-clock timestamp: the sequence
+/// number orders events deterministically, so two replays of the same run
+/// produce comparable journals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number across the journal's lifetime (survives
+    /// ring eviction, so gaps reveal drops).
+    pub seq: u64,
+    /// Event category, e.g. `"mapper.sync_round"` or `"serve.cache.miss"`.
+    pub kind: &'static str,
+    /// Free-form `key=value` detail payload.
+    pub detail: String,
+}
+
+struct JournalInner {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A bounded, thread-safe ring of [`Event`]s.
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// Fresh journal bounded at `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            inner: Mutex::new(JournalInner {
+                events: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Append one event, evicting (and counting) the oldest when full.
+    /// Callers gate on [`crate::journal_enabled`] so the detail string is
+    /// only built when the journal records.
+    pub fn push(&self, kind: &'static str, detail: String) {
+        let mut inner = self.inner.lock().expect("journal lock");
+        if inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(Event { seq, kind, detail });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal lock").events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped to the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal lock").dropped
+    }
+
+    /// Copy out the retained events (in order) and the dropped count,
+    /// without clearing.
+    pub fn drain_copy(&self) -> (Vec<Event>, u64) {
+        let inner = self.inner.lock().expect("journal lock");
+        (inner.events.iter().cloned().collect(), inner.dropped)
+    }
+
+    /// Clear all events and reset the drop/sequence accounting.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("journal lock");
+        inner.events.clear();
+        inner.next_seq = 0;
+        inner.dropped = 0;
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("journal lock");
+        write!(
+            f,
+            "Journal(len={}, dropped={}, cap={})",
+            inner.events.len(),
+            inner.dropped,
+            inner.capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_drops_oldest_and_counts() {
+        let j = Journal::new(3);
+        for i in 0..5 {
+            j.push("k", format!("i={i}"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let (events, dropped) = j.drain_copy();
+        assert_eq!(dropped, 2);
+        // Oldest two evicted: seq 2, 3, 4 remain, in order.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(events[0].detail, "i=2");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let j = Journal::new(2);
+        j.push("a", String::new());
+        j.push("a", String::new());
+        j.push("a", String::new());
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        j.push("b", "x".into());
+        let (events, _) = j.drain_copy();
+        assert_eq!(events[0].seq, 0, "sequence restarts after clear");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let j = Journal::new(0);
+        j.push("k", "1".into());
+        j.push("k", "2".into());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.dropped(), 1);
+    }
+}

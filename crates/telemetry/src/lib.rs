@@ -1,0 +1,431 @@
+//! `mm-telemetry`: zero-cost-when-off runtime metrics for the whole stack.
+//!
+//! The serving north star needs a window into *why* a run behaved the way
+//! it did — how often `pin_and_fix` clamped an escaping move, whether the
+//! serve cache is hitting, where `EvalPool` time goes — without perturbing
+//! the deterministic replay contract or the hot evaluation loop. This crate
+//! provides exactly that, under two hard invariants:
+//!
+//! 1. **Determinism is untouched.** Instrumentation only *observes*: it
+//!    never draws from an RNG, never reorders merges, and snapshots are
+//!    embedded in reports *outside* their `canonical_string()` renderings
+//!    (like the existing wall-clock fields). Telemetry off vs. full
+//!    produces byte-identical canonical reports.
+//! 2. **Off means off.** Every instrumented site is guarded by one relaxed
+//!    atomic load of the global [`Level`]; at [`Level::Off`] no counter is
+//!    touched, no clock is read, and no string is formatted.
+//!
+//! # Architecture
+//!
+//! * [`Counter`] — a relaxed [`AtomicU64`]; the only hot-path primitive.
+//! * [`Histogram`] — fixed 64-bucket log2 histogram (count, sum, buckets),
+//!   mergeable; used for batch sizes and queue latencies.
+//! * [`Journal`] — a bounded ring of structured [`Event`]s with a dropped
+//!   counter; event detail strings are built lazily, only at
+//!   [`Level::Journal`].
+//! * [`Registry`] — interns counters/histograms by name (sorted maps), owns
+//!   the journal, and renders a deterministic [`TelemetrySnapshot`].
+//!   [`Scope`] prefixes names (`"serve.cache"` + `"hits"` →
+//!   `"serve.cache.hits"`).
+//! * [`global()`] — the process-wide registry every production call site
+//!   uses; explicit `Registry` instances stay available for unit tests.
+//!
+//! The runtime level comes from the `MM_TELEMETRY` environment variable
+//! (`off` / `counters` / `journal`, read once, lazily) and can be overridden
+//! programmatically with [`set_level`] (benches A/B the overhead that way).
+//!
+//! # Idiom for hot paths
+//!
+//! Intern the handle once (per worker, per struct, or in a `OnceLock`
+//! static) and bump it unconditionally — [`Counter::bump`] itself performs
+//! the single relaxed level check:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! use mm_telemetry::Counter;
+//! use std::sync::Arc;
+//!
+//! fn evals() -> &'static Counter {
+//!     static C: OnceLock<Arc<Counter>> = OnceLock::new();
+//!     C.get_or_init(|| mm_telemetry::counter("example.evals"))
+//! }
+//! evals().bump(1);
+//! ```
+
+mod hist;
+mod journal;
+mod snapshot;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use journal::{Event, Journal};
+pub use snapshot::TelemetrySnapshot;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How much the process records. Ordered: each level includes the previous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing; every instrumented site is a single relaxed load.
+    Off = 0,
+    /// Counters and histograms (including timing histograms).
+    Counters = 1,
+    /// Counters plus the structured event journal.
+    Journal = 2,
+}
+
+impl Level {
+    /// Parse the `MM_TELEMETRY` value; unknown strings mean [`Level::Off`].
+    pub fn from_env_str(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counters" | "1" => Level::Counters,
+            "journal" | "full" | "2" => Level::Journal,
+            _ => Level::Off,
+        }
+    }
+
+    /// The canonical lowercase name (`off` / `counters` / `journal`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counters => "counters",
+            Level::Journal => "journal",
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from the environment".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+#[cold]
+fn init_level_from_env() -> Level {
+    let level = std::env::var("MM_TELEMETRY")
+        .map(|v| Level::from_env_str(&v))
+        .unwrap_or(Level::Off);
+    // A concurrent `set_level` may have raced us; only fill the sentinel.
+    let _ = LEVEL.compare_exchange(
+        LEVEL_UNSET,
+        level as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Counters,
+        2 => Level::Journal,
+        _ => Level::Off,
+    }
+}
+
+/// The current recording level (one relaxed atomic load on the fast path).
+#[inline]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Counters,
+        2 => Level::Journal,
+        _ => init_level_from_env(),
+    }
+}
+
+/// Override the recording level for this process (tests and benches; takes
+/// precedence over `MM_TELEMETRY` from the moment it is called).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether counters/histograms are recording (level ≥ counters).
+#[inline]
+pub fn enabled() -> bool {
+    level() >= Level::Counters
+}
+
+/// Whether clock-reading instrumentation should run. Call sites gate their
+/// `Instant::now()` on this so the off level never touches a clock.
+#[inline]
+pub fn timing_enabled() -> bool {
+    level() >= Level::Counters
+}
+
+/// Whether the structured journal is recording.
+#[inline]
+pub fn journal_enabled() -> bool {
+    level() >= Level::Journal
+}
+
+/// A monotone event counter. Bumps are relaxed atomic adds, guarded by the
+/// global level so an off process pays one load and a predicted branch.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Fresh zero counter (standalone; registry interning is the norm).
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` when telemetry is enabled.
+    #[inline]
+    pub fn bump(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (registry `reset()`; handles stay valid).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Interns counters and histograms by name, owns the journal, and renders
+/// deterministic snapshots. Names sort lexicographically in snapshots, so
+/// two runs that record the same values render byte-identically.
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Fresh registry with the default journal bound.
+    pub fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            journal: Journal::new(journal::DEFAULT_CAPACITY),
+        }
+    }
+
+    /// The counter interned under `name` (created on first use). Intern
+    /// once and cache the `Arc` — the lookup takes a lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("telemetry counter lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The histogram interned under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("telemetry histogram lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// The registry's event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// A name-prefixing view: `scope("serve.cache").counter("hits")` interns
+    /// `serve.cache.hits`.
+    pub fn scope<'a>(&'a self, prefix: &str) -> Scope<'a> {
+        Scope {
+            registry: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Deterministic snapshot of everything recorded so far: counters and
+    /// histograms in sorted-name order, plus the journal contents.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("telemetry counter lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("telemetry histogram lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        let (events, dropped_events) = self.journal.drain_copy();
+        TelemetrySnapshot {
+            level: level().name().to_string(),
+            counters,
+            histograms,
+            events,
+            dropped_events,
+        }
+    }
+
+    /// Zero every counter and histogram and clear the journal. Interned
+    /// handles stay valid (values reset in place), so cached `Arc`s held by
+    /// long-lived pools keep working across bench iterations.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("telemetry counter lock")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("telemetry histogram lock")
+            .values()
+        {
+            h.reset();
+        }
+        self.journal.clear();
+    }
+}
+
+/// A name-prefixing view over a [`Registry`].
+pub struct Scope<'a> {
+    registry: &'a Registry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    /// The counter interned under `prefix.name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&format!("{}.{}", self.prefix, name))
+    }
+
+    /// The histogram interned under `prefix.name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry
+            .histogram(&format!("{}.{}", self.prefix, name))
+    }
+}
+
+/// The process-wide registry all production call sites use.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Intern a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Intern a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Append an event to the global journal. `detail` runs only at
+/// [`Level::Journal`], so formatting costs nothing below it.
+#[inline]
+pub fn event(kind: &'static str, detail: impl FnOnce() -> String) {
+    if journal_enabled() {
+        global().journal.push(kind, detail());
+    }
+}
+
+/// Snapshot the global registry (None below [`Level::Counters`], so report
+/// embedding is free when telemetry is off).
+pub fn snapshot_if_enabled() -> Option<TelemetrySnapshot> {
+    enabled().then(|| global().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests that mutate the global level serialize on this guard.
+    fn level_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::from_env_str("off"), Level::Off);
+        assert_eq!(Level::from_env_str("counters"), Level::Counters);
+        assert_eq!(Level::from_env_str("JOURNAL"), Level::Journal);
+        assert_eq!(Level::from_env_str("full"), Level::Journal);
+        assert_eq!(Level::from_env_str("nonsense"), Level::Off);
+        assert!(Level::Off < Level::Counters && Level::Counters < Level::Journal);
+    }
+
+    #[test]
+    fn counters_respect_the_level() {
+        let _g = level_guard();
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        set_level(Level::Off);
+        c.bump(5);
+        assert_eq!(c.get(), 0, "off means off");
+        set_level(Level::Counters);
+        c.bump(5);
+        assert_eq!(c.get(), 5);
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn registry_interns_and_scopes() {
+        let _g = level_guard();
+        set_level(Level::Counters);
+        let reg = Registry::new();
+        let a = reg.counter("serve.cache.hits");
+        let b = reg.scope("serve.cache").counter("hits");
+        a.bump(1);
+        b.bump(2);
+        assert_eq!(reg.counter("serve.cache.hits").get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("serve.cache.hits"), Some(&3));
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn snapshot_skips_zeroes_and_reset_keeps_handles_valid() {
+        let _g = level_guard();
+        set_level(Level::Counters);
+        let reg = Registry::new();
+        let touched = reg.counter("touched");
+        let _untouched = reg.counter("untouched");
+        touched.bump(7);
+        let snap = reg.snapshot();
+        assert!(snap.counters.contains_key("touched"));
+        assert!(!snap.counters.contains_key("untouched"));
+        reg.reset();
+        assert_eq!(touched.get(), 0);
+        touched.bump(2);
+        assert_eq!(reg.snapshot().counters.get("touched"), Some(&2));
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn journal_events_only_at_journal_level() {
+        let _g = level_guard();
+        let reg = Registry::new();
+        set_level(Level::Counters);
+        if journal_enabled() {
+            reg.journal().push("sync", "round=1".to_string());
+        }
+        assert_eq!(reg.journal().len(), 0);
+        set_level(Level::Journal);
+        if journal_enabled() {
+            reg.journal().push("sync", "round=2".to_string());
+        }
+        assert_eq!(reg.journal().len(), 1);
+        set_level(Level::Off);
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic snapshots: everything a registry recorded, rendered with
+//! sorted keys into canonical JSON so two identical runs produce
+//! byte-identical files.
+
+use std::collections::BTreeMap;
+
+use crate::hist::HistogramSnapshot;
+use crate::journal::Event;
+
+/// A point-in-time copy of a [`Registry`](crate::Registry): counters and
+/// histograms in sorted-name order plus the journal contents. Reports embed
+/// it *outside* their `canonical_string()` renderings, so it never affects
+/// the deterministic replay contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// The recording level the snapshot was taken at (`off` / `counters` /
+    /// `journal`).
+    pub level: String,
+    /// Nonzero counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Non-empty histograms, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Journal events in sequence order (empty below the journal level).
+    pub events: Vec<Event>,
+    /// Events the bounded journal dropped.
+    pub dropped_events: u64,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing was recorded (no counters, histograms, or events).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+    }
+
+    /// The value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Canonical JSON rendering: keys sorted (BTreeMap order), stable field
+    /// order, no floats — byte-identical for identical recorded state.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"level\": \"{}\",\n", escape(&self.level)));
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), v));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|(i, n)| format!("[{i}, {n}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                escape(k),
+                h.count,
+                h.sum,
+                buckets
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"events\": [");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                e.seq,
+                escape(e.kind),
+                escape(&e.detail)
+            ));
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str(&format!("  \"dropped_events\": {}\n", self.dropped_events));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_canonical_and_sorted() {
+        let mut snap = TelemetrySnapshot {
+            level: "counters".into(),
+            ..Default::default()
+        };
+        snap.counters.insert("z.last".into(), 2);
+        snap.counters.insert("a.first".into(), 1);
+        snap.histograms.insert(
+            "lat".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 9,
+                buckets: vec![(1, 1), (4, 1)],
+            },
+        );
+        snap.events.push(Event {
+            seq: 0,
+            kind: "k",
+            detail: "a=\"1\"".into(),
+        });
+        let json = snap.to_json();
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "keys render in sorted order");
+        assert!(json.contains("\"buckets\": [[1, 1], [4, 1]]"));
+        assert!(json.contains("\\\"1\\\""), "details are escaped");
+        assert_eq!(json, snap.clone().to_json(), "rendering is stable");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_reports_empty() {
+        let snap = TelemetrySnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.counter("missing"), 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -1,0 +1,217 @@
+//! Telemetry invariance: the `mm-telemetry` layer observes — it must never
+//! steer. The canonical report strings of the mapper and the serving layer
+//! are required to stay **byte-identical** whether telemetry is off,
+//! counting, or journaling, at any worker count; and a journal-level run
+//! must actually have recorded the work it watched (nonzero evaluation,
+//! sync, shard-repair, and cache counters, plus queue-latency samples).
+//!
+//! Every test toggles the process-global telemetry level, so they all
+//! serialize on one lock and restore the ambient level before returning —
+//! the other integration binaries never see a mutated level.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use mm_accel::CostModel;
+use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, SyncPolicy, TerminationPolicy};
+use mm_mapspace::MapSpace;
+use mm_search::SimulatedAnnealing;
+use mm_serve::{MappingService, ServeConfig};
+use mm_telemetry::Level;
+use mm_workloads::{evaluated_accelerator, table1, table1_network};
+
+/// Serializes level-mutating tests within this binary.
+fn level_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Run `f` at the given telemetry level (with a fresh registry), restoring
+/// the ambient level afterwards, and return `f`'s result plus the snapshot
+/// taken before restoring.
+fn at_level<T>(
+    level: Level,
+    f: impl FnOnce() -> T,
+) -> (T, Option<mm_telemetry::TelemetrySnapshot>) {
+    let previous = mm_telemetry::level();
+    mm_telemetry::set_level(level);
+    mm_telemetry::global().reset();
+    let value = f();
+    let snapshot = mm_telemetry::snapshot_if_enabled();
+    mm_telemetry::set_level(previous);
+    mm_telemetry::global().reset();
+    (value, snapshot)
+}
+
+fn mapper_canonical(threads: usize) -> String {
+    let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
+    let arch = evaluated_accelerator();
+    let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
+    let evaluator = Arc::new(ModelEvaluator::edp(CostModel::new(
+        arch,
+        target.problem.clone(),
+    )));
+    let mapper = Mapper::new(MapperConfig {
+        threads,
+        shards: Some(2),
+        shard_space: true,
+        seed: 11,
+        sync: SyncPolicy::Anchor,
+        sync_interval: 32,
+        termination: TerminationPolicy::search_size(400),
+        ..MapperConfig::default()
+    });
+    mapper
+        .run(&space, evaluator, |_| {
+            Box::new(SimulatedAnnealing::default())
+        })
+        .canonical_string()
+}
+
+#[test]
+fn mapper_reports_are_level_invariant_across_worker_counts() {
+    let _guard = level_guard();
+    let (reference, _) = at_level(Level::Off, || mapper_canonical(1));
+    for threads in [1usize, 2, 4] {
+        for level in [Level::Off, Level::Counters, Level::Journal] {
+            let (canonical, _) = at_level(level, || mapper_canonical(threads));
+            assert_eq!(
+                canonical, reference,
+                "canonical string diverged at {level:?} with {threads} worker(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn journaled_mapper_run_records_the_work_it_watched() {
+    let _guard = level_guard();
+    let (_, snapshot) = at_level(Level::Journal, || mapper_canonical(2));
+    let snap = snapshot.expect("journal level snapshots");
+    assert_eq!(snap.level, "journal");
+
+    // Every evaluation came from an SA proposal, and some were accepted.
+    assert_eq!(
+        snap.counter("search.sa.proposed"),
+        400,
+        "all evaluations counted: {:?}",
+        snap.counters
+    );
+    assert!(snap.counter("search.sa.accepted") > 0);
+    // The anchor policy decided at every barrier round's sync point…
+    assert!(snap.counter("sync.decides") > 0);
+    assert!(snap.counter("sync.adopts") > 0, "anchor always adopts");
+    assert!(snap.counter("mapper.sync_rounds") > 0);
+    // …and the sharded space repaired every proposal into its slice.
+    assert_eq!(snap.counter("mapspace.pin_fix_calls"), 400);
+    // The journal carries structured events with monotone sequence numbers.
+    assert!(!snap.events.is_empty());
+    assert!(snap.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    assert!(snap.events.iter().any(|e| e.kind == "mapper.sync_round"));
+}
+
+fn serve_canonical(workers: usize) -> String {
+    let config = ServeConfig {
+        workers,
+        max_active_jobs: workers.max(2),
+        seed: 42,
+        search_size: 150,
+        shards: 2,
+        sync: SyncPolicy::Anchor,
+        cache_capacity: Some(4),
+        ..ServeConfig::default()
+    };
+    let mut service = MappingService::new(evaluated_accelerator(), config);
+    service.map_network(&table1_network()).canonical_string()
+}
+
+#[test]
+fn serve_reports_are_level_invariant_across_worker_counts() {
+    let _guard = level_guard();
+    let (reference, _) = at_level(Level::Off, || serve_canonical(2));
+    for workers in [1usize, 2, 4] {
+        for level in [Level::Off, Level::Counters, Level::Journal] {
+            let (canonical, _) = at_level(level, || serve_canonical(workers));
+            assert_eq!(
+                canonical, reference,
+                "canonical string diverged at {level:?} with {workers} worker(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn journaled_serve_run_records_cache_jobs_and_sync() {
+    let _guard = level_guard();
+    let (report, snapshot) = at_level(Level::Journal, || {
+        let config = ServeConfig {
+            workers: 2,
+            seed: 42,
+            search_size: 150,
+            shards: 2,
+            sync: SyncPolicy::Anchor,
+            cache_capacity: Some(4),
+            ..ServeConfig::default()
+        };
+        let mut service = MappingService::new(evaluated_accelerator(), config);
+        let first = service.map_network(&table1_network());
+        // The second request replays from cache (bounded to 4 entries, so
+        // evicted layers re-search — both paths get exercised).
+        let second = service.map_network(&table1_network());
+        (first, second)
+    });
+    let snap = snapshot.expect("journal level snapshots");
+    let (first, second) = report;
+
+    // The embedded snapshot rides in the report and is the same registry.
+    let embedded = second.telemetry.as_ref().expect("snapshot embedded");
+    assert_eq!(embedded.counters, snap.counters);
+
+    // Cache statistics in the report agree with the telemetry counters.
+    assert_eq!(second.cache.capacity, Some(4));
+    assert!(second.cache.evictions > 0, "8 distinct layers, capacity 4");
+    assert_eq!(snap.counter("serve.cache.hits"), second.cache.hits);
+    assert_eq!(snap.counter("serve.cache.misses"), second.cache.misses);
+    assert_eq!(snap.counter("serve.cache.inserts"), second.cache.inserts);
+    assert_eq!(
+        snap.counter("serve.cache.evictions"),
+        second.cache.evictions
+    );
+    assert!(second.cache.hits > 0 && second.cache.misses > 0);
+
+    // Scheduler jobs ran (first call: 8 layers × 2 shards) and balanced.
+    let started = snap.counter("serve.scheduler.jobs_started");
+    assert!(started >= 16, "at least the first call's shard jobs");
+    assert_eq!(started, snap.counter("serve.scheduler.jobs_finished"));
+    assert!(snap.counter("serve.scheduler.sync_actions") > 0);
+    assert!(snap.counter("mapspace.pin_fix_calls") > 0);
+
+    // Every evaluation passed through the shared pool's workers, which also
+    // sampled batch sizes and queue latency.
+    let pool_evals: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("eval_pool.worker"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(pool_evals > 0, "pool workers counted: {:?}", snap.counters);
+    let batch = snap
+        .histograms
+        .get("eval_pool.batch_size")
+        .expect("batch-size histogram");
+    assert!(batch.count > 0 && batch.sum >= batch.count);
+    let latency = snap
+        .histograms
+        .get("eval_pool.queue_latency_us")
+        .expect("queue-latency histogram");
+    assert!(latency.count > 0);
+
+    // Cached replay reproduces every layer's search result exactly — only
+    // the cache-hit provenance flags may differ between the two calls.
+    assert_eq!(first.layers.len(), second.layers.len());
+    for (a, b) in first.layers.iter().zip(&second.layers) {
+        assert_eq!(a.layer, b.layer);
+        assert_eq!(a.best_mapping, b.best_mapping, "layer {}", a.layer);
+        assert_eq!(a.best_metrics, b.best_metrics, "layer {}", a.layer);
+        assert_eq!(a.evaluations, b.evaluations, "layer {}", a.layer);
+    }
+}
