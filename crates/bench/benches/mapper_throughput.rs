@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, Criterion};
 use mm_accel::CostModel;
-use mm_bench::{measure_telemetry_overhead, report, run_mapper_scaling};
+use mm_bench::{
+    measure_telemetry_overhead, measure_telemetry_overhead_at, report, run_mapper_scaling,
+};
 use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, TerminationPolicy};
 use mm_mapspace::MapSpace;
 use mm_search::RandomSearch;
@@ -63,15 +65,25 @@ fn main() {
     let evals_per_thread = report::env_evals("MM_MAPPER_BENCH_EVALS", 2000);
     let (model, space) = resnet_conv4();
 
-    // The telemetry-layer A/B: journal-level vs. off throughput, gated by
-    // bench_gate at MM_GATE_TELEMETRY_TOL (default 2 %). Measured before
-    // the headline sweep because it resets the telemetry registry — this
+    // The telemetry-layer A/Bs: journal-level and spans-level vs. off
+    // throughput, gated by bench_gate at MM_GATE_TELEMETRY_TOL (default
+    // 2 %) and MM_GATE_TELEMETRY_SPANS_TOL (default 3 %). Measured before
+    // the headline sweep because they reset the telemetry registry — this
     // way the TELEMETRY_mapper.json sibling describes the sweep itself.
     let rel = measure_telemetry_overhead(&model, &space, evals_per_thread, 7, 3);
+    let rel_spans = measure_telemetry_overhead_at(
+        &model,
+        &space,
+        evals_per_thread,
+        7,
+        3,
+        mm_telemetry::Level::Spans,
+    );
 
     // The headline sweep: iso-per-thread budgets, JSON summary.
     let mut result = run_mapper_scaling(&model, &space, &[1, 2, 4, 8], evals_per_thread, 7);
     result.telemetry_rel_throughput = Some(rel);
+    result.telemetry_spans_rel_throughput = Some(rel_spans);
 
     let rows: Vec<Vec<String>> = result
         .points
@@ -95,8 +107,10 @@ fn main() {
         result.available_parallelism
     );
     println!(
-        "telemetry overhead: journal-level throughput at {:.1}% of telemetry-off",
-        rel * 100.0
+        "telemetry overhead: journal-level throughput at {:.1}% of telemetry-off, \
+         spans-level at {:.1}%",
+        rel * 100.0,
+        rel_spans * 100.0
     );
     println!(
         "{}",

@@ -1,0 +1,277 @@
+//! Pretty-print a `TELEMETRY_*.json` snapshot (and optionally its
+//! `TRACE_*.json` sibling) as console tables: the phase-attribution profile
+//! ("where does the time go"), the histogram percentiles, and the counters.
+//!
+//! ```text
+//! telemetry_report results/TELEMETRY_mapper.json [results/TRACE_mapper.json]
+//! ```
+//!
+//! The snapshot's `phases` array is the span profile the `spans` telemetry
+//! level computed (total vs. self time per span name); histograms render
+//! p50/p99 interpolated within their log2 buckets — the resolution the
+//! recorder actually has.
+
+use mm_bench::gate::{parse_json, Json};
+use mm_bench::report::{fmt, format_table};
+use mm_telemetry::HistogramSnapshot;
+
+fn u64_field(obj: &Json, key: &str) -> u64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+/// The phase-attribution table from the snapshot's `phases` array.
+fn phase_table(doc: &Json) -> Option<String> {
+    let Some(Json::Arr(phases)) = doc.get("phases") else {
+        return None;
+    };
+    if phases.is_empty() {
+        return None;
+    }
+    let total_self: u64 = phases.iter().map(|p| u64_field(p, "self_us")).sum();
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            let self_us = u64_field(p, "self_us");
+            let share = if total_self > 0 {
+                format!("{:.1}%", self_us as f64 / total_self as f64 * 100.0)
+            } else {
+                "-".to_string()
+            };
+            vec![
+                p.get("phase")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                u64_field(p, "spans").to_string(),
+                u64_field(p, "count").to_string(),
+                fmt(u64_field(p, "total_us") as f64 / 1000.0),
+                fmt(self_us as f64 / 1000.0),
+                share,
+            ]
+        })
+        .collect();
+    Some(format_table(
+        &["phase", "spans", "count", "total_ms", "self_ms", "self%"],
+        &rows,
+    ))
+}
+
+/// Rebuild a [`HistogramSnapshot`] from its snapshot-JSON rendering
+/// (`{"count": N, "sum": N, "buckets": [[i, n], ...]}`).
+fn histogram_from_json(h: &Json) -> HistogramSnapshot {
+    let buckets = match h.get("buckets") {
+        Some(Json::Arr(pairs)) => pairs
+            .iter()
+            .filter_map(|pair| match pair {
+                Json::Arr(kv) if kv.len() == 2 => Some((
+                    kv[0].as_f64().unwrap_or(0.0) as u8,
+                    kv[1].as_f64().unwrap_or(0.0) as u64,
+                )),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    HistogramSnapshot {
+        count: u64_field(h, "count"),
+        sum: u64_field(h, "sum"),
+        buckets,
+    }
+}
+
+/// The histogram table: count, mean, and interpolated p50/p99 per name.
+fn histogram_table(doc: &Json) -> Option<String> {
+    let Some(Json::Obj(hists)) = doc.get("histograms") else {
+        return None;
+    };
+    if hists.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<String>> = hists
+        .iter()
+        .map(|(name, h)| {
+            let snap = histogram_from_json(h);
+            vec![
+                name.clone(),
+                snap.count.to_string(),
+                fmt(snap.mean()),
+                fmt(snap.percentile(50.0)),
+                fmt(snap.percentile(99.0)),
+            ]
+        })
+        .collect();
+    Some(format_table(
+        &["histogram", "count", "mean", "p50", "p99"],
+        &rows,
+    ))
+}
+
+/// The counter table.
+fn counter_table(doc: &Json) -> Option<String> {
+    let Some(Json::Obj(counters)) = doc.get("counters") else {
+        return None;
+    };
+    if counters.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<String>> = counters
+        .iter()
+        .map(|(name, v)| vec![name.clone(), fmt(v.as_f64().unwrap_or(0.0))])
+        .collect();
+    Some(format_table(&["counter", "value"], &rows))
+}
+
+/// Validate a Chrome trace file and summarize its contents.
+fn trace_summary(text: &str) -> Result<String, String> {
+    let doc = parse_json(text)?;
+    let Json::Arr(events) = &doc else {
+        return Err("trace is not a JSON array".to_string());
+    };
+    let mut tracks = 0usize;
+    let mut spans = 0usize;
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => tracks += 1,
+            Some("X") => spans += 1,
+            _ => return Err("event without a recognized \"ph\" kind".to_string()),
+        }
+    }
+    Ok(format!(
+        "trace: valid Chrome trace-event JSON ({tracks} track(s), {spans} span(s))"
+    ))
+}
+
+/// Render the full report for a parsed snapshot.
+fn render(doc: &Json) -> String {
+    let mut out = String::new();
+    let level = doc.get("level").and_then(Json::as_str).unwrap_or("?");
+    out.push_str(&format!("telemetry level: {level}\n"));
+    let dropped_events = u64_field(doc, "dropped_events");
+    let dropped_spans = u64_field(doc, "dropped_spans");
+    if dropped_events > 0 || dropped_spans > 0 {
+        out.push_str(&format!(
+            "WARNING: dropped {dropped_events} event(s), {dropped_spans} span(s) — \
+             the profile below is incomplete\n"
+        ));
+    }
+    match phase_table(doc) {
+        Some(table) => {
+            out.push_str("\nphase attribution (self time, descending):\n");
+            out.push_str(&table);
+        }
+        None => out.push_str("\nno spans recorded (run with MM_TELEMETRY=spans for a profile)\n"),
+    }
+    if let Some(table) = histogram_table(doc) {
+        out.push_str("\nhistograms (values in recorded units):\n");
+        out.push_str(&table);
+    }
+    if let Some(table) = counter_table(doc) {
+        out.push_str("\ncounters:\n");
+        out.push_str(&table);
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: telemetry_report <TELEMETRY_*.json> [TRACE_*.json]");
+        std::process::exit(2);
+    }
+    let text = match std::fs::read_to_string(&args[0]) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse_json(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("unparsable snapshot {}: {e}", args[0]);
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render(&doc));
+    if let Some(trace_path) = args.get(1) {
+        let trace_text = match std::fs::read_to_string(trace_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {trace_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match trace_summary(&trace_text) {
+            Ok(summary) => println!("\n{summary}"),
+            Err(e) => {
+                eprintln!("invalid trace {trace_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A real snapshot round-trip: record through the telemetry crate,
+    /// render to JSON, and report from the rendered document.
+    #[test]
+    fn reports_a_real_snapshot() {
+        let registry = mm_telemetry::Registry::new();
+        mm_telemetry::set_level(mm_telemetry::Level::Spans);
+        registry.counter("serve.jobs").bump(3);
+        for v in [2, 3, 4, 7] {
+            registry.histogram("mapper.batch").record_unchecked(v);
+        }
+        {
+            let track = registry.track("mapper");
+            let _outer = track.span("mapper.run");
+            let _inner = track.span("searcher.propose");
+        }
+        let snap = registry.snapshot();
+        mm_telemetry::set_level(mm_telemetry::Level::Off);
+
+        let doc = parse_json(&snap.to_json()).expect("snapshot JSON parses");
+        let report = render(&doc);
+        assert!(report.contains("phase attribution"));
+        assert!(report.contains("mapper.run"));
+        assert!(report.contains("searcher.propose"));
+        assert!(report.contains("mapper.batch"));
+        assert!(report.contains("serve.jobs"));
+        // p50 of [2,3,4,7] interpolates to exactly 4 in log2 buckets.
+        assert!(report.contains('4'));
+        assert!(!report.contains("WARNING"));
+
+        let trace = trace_summary(&snap.to_chrome_trace()).expect("trace is valid");
+        assert!(trace.contains("1 track(s), 2 span(s)"));
+    }
+
+    #[test]
+    fn missing_spans_degrade_to_a_note() {
+        let doc = parse_json(
+            r#"{"level": "counters", "counters": {"a": 1}, "histograms": {},
+                "tracks": {}, "phases": [], "events": [], "dropped_events": 0,
+                "dropped_spans": 0}"#,
+        )
+        .unwrap();
+        let report = render(&doc);
+        assert!(report.contains("no spans recorded"));
+        assert!(report.contains("counters:"));
+    }
+
+    #[test]
+    fn dropped_spans_are_flagged() {
+        let doc =
+            parse_json(r#"{"level": "spans", "dropped_spans": 5, "dropped_events": 0}"#).unwrap();
+        assert!(render(&doc).contains("WARNING"));
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(trace_summary("{}").is_err());
+        assert!(trace_summary("[{\"ph\": \"Q\"}]").is_err());
+        assert!(trace_summary("not json").is_err());
+    }
+}

@@ -29,7 +29,8 @@ pub mod sync_bench;
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
 pub use gate::{run_gate, GateCheck, GateReport, GateTolerances};
 pub use mapper_scaling::{
-    measure_telemetry_overhead, run_mapper_scaling, MapperScalingResult, ScalingPoint,
+    measure_telemetry_overhead, measure_telemetry_overhead_at, run_mapper_scaling,
+    MapperScalingResult, ScalingPoint,
 };
 pub use scale::ExperimentScale;
 pub use serve_bench::{run_serve_bench, ServeBenchResult};

@@ -48,10 +48,14 @@ pub struct MapperScalingResult {
     pub baseline_evals_per_sec: f64,
     /// `std::thread::available_parallelism()` on the measuring machine.
     pub available_parallelism: usize,
-    /// Mapper throughput with full telemetry (journal level) relative to
-    /// telemetry off — 1.0 = free, 0.98 = 2 % overhead (see
+    /// Mapper throughput with journal-level telemetry relative to telemetry
+    /// off — 1.0 = free, 0.98 = 2 % overhead (see
     /// [`measure_telemetry_overhead`]). `None` when not measured.
     pub telemetry_rel_throughput: Option<f64>,
+    /// Mapper throughput with span tracing (`spans` level) relative to
+    /// telemetry off — the cost of the full tracing pillar. `None` when not
+    /// measured.
+    pub telemetry_spans_rel_throughput: Option<f64>,
     /// One entry per measured thread count.
     pub points: Vec<ScalingPoint>,
 }
@@ -81,6 +85,11 @@ impl MapperScalingResult {
         ));
         if let Some(rel) = self.telemetry_rel_throughput {
             out.push_str(&format!("  \"telemetry_rel_throughput\": {rel:.4},\n"));
+        }
+        if let Some(rel) = self.telemetry_spans_rel_throughput {
+            out.push_str(&format!(
+                "  \"telemetry_spans_rel_throughput\": {rel:.4},\n"
+            ));
         }
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
@@ -168,24 +177,28 @@ pub fn run_mapper_scaling(
         baseline_evals_per_sec,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         telemetry_rel_throughput: None,
+        telemetry_spans_rel_throughput: None,
         points,
     }
 }
 
-/// A/B overhead of the telemetry layer: mapper evaluations/second with full
-/// collection (`Level::Journal`) relative to telemetry off, as the ratio of
-/// medians over `reps` alternating runs of each. 1.0 means free; the CI
-/// gate requires ≥ `1 − MM_GATE_TELEMETRY_TOL` (default 0.98).
+/// A/B overhead of the telemetry layer: mapper evaluations/second with
+/// collection at `level` relative to telemetry off, as the ratio of medians
+/// over `reps` alternating runs of each. 1.0 means free; the CI gate
+/// requires ≥ `1 − MM_GATE_TELEMETRY_TOL` for the journal level (default
+/// 0.98) and ≥ `1 − MM_GATE_TELEMETRY_SPANS_TOL` for the spans level
+/// (default 0.97).
 ///
 /// Toggles the process-global telemetry level while measuring and restores
 /// the previous level before returning, so call it from a bench binary —
 /// not concurrently with other telemetry consumers.
-pub fn measure_telemetry_overhead(
+pub fn measure_telemetry_overhead_at(
     model: &CostModel,
     space: &MapSpace,
     evals_per_thread: u64,
     seed: u64,
     reps: usize,
+    level: mm_telemetry::Level,
 ) -> f64 {
     let evaluator: Arc<dyn mm_mapper::CostEvaluator> = Arc::new(ModelEvaluator::edp(model.clone()));
     let previous = mm_telemetry::level();
@@ -204,13 +217,13 @@ pub fn measure_telemetry_overhead(
         });
         watch.rate(report.total_evaluations)
     };
-    // Alternate off/journal runs so machine-load drift hits both sides.
+    // Alternate off/on runs so machine-load drift hits both sides.
     let reps = reps.max(1);
     let mut off = Vec::with_capacity(reps);
-    let mut journal = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
     for _ in 0..reps {
         off.push(run_once(mm_telemetry::Level::Off));
-        journal.push(run_once(mm_telemetry::Level::Journal));
+        on.push(run_once(level));
     }
     mm_telemetry::set_level(previous);
     mm_telemetry::global().reset();
@@ -218,12 +231,30 @@ pub fn measure_telemetry_overhead(
         v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     };
-    let (off, journal) = (median(off), median(journal));
+    let (off, on) = (median(off), median(on));
     if off > 0.0 {
-        journal / off
+        on / off
     } else {
         0.0
     }
+}
+
+/// [`measure_telemetry_overhead_at`] at the journal level (the PR-6 A/B).
+pub fn measure_telemetry_overhead(
+    model: &CostModel,
+    space: &MapSpace,
+    evals_per_thread: u64,
+    seed: u64,
+    reps: usize,
+) -> f64 {
+    measure_telemetry_overhead_at(
+        model,
+        space,
+        evals_per_thread,
+        seed,
+        reps,
+        mm_telemetry::Level::Journal,
+    )
 }
 
 #[cfg(test)]
@@ -267,10 +298,16 @@ mod tests {
         let rel = measure_telemetry_overhead(&model, &space, 60, 7, 1);
         assert!(rel > 0.0 && rel.is_finite());
         assert_eq!(mm_telemetry::level(), previous, "previous level restored");
+        let rel_spans =
+            measure_telemetry_overhead_at(&model, &space, 60, 7, 1, mm_telemetry::Level::Spans);
+        assert!(rel_spans > 0.0 && rel_spans.is_finite());
+        assert_eq!(mm_telemetry::level(), previous, "previous level restored");
 
         let mut result = run_mapper_scaling(&model, &space, &[1], 30, 7);
         result.telemetry_rel_throughput = Some(rel);
+        result.telemetry_spans_rel_throughput = Some(rel_spans);
         let json = result.to_json();
         assert!(json.contains("\"telemetry_rel_throughput\": "));
+        assert!(json.contains("\"telemetry_spans_rel_throughput\": "));
     }
 }

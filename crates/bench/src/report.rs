@@ -73,11 +73,14 @@ pub fn rate(units: u64, secs: f64) -> f64 {
 /// Write a `BENCH_*.json` document under the results directory, returning
 /// the path written.
 ///
-/// When telemetry is collecting (`MM_TELEMETRY` at `counters` or `journal`),
-/// a `TELEMETRY_*` sibling with the current snapshot is written next to it
-/// — e.g. `BENCH_mapper.json` gets `TELEMETRY_mapper.json` — so every bench
-/// run leaves its counters and journal beside its numbers for free. Sibling
-/// write errors are swallowed: telemetry must never fail a bench.
+/// When telemetry is collecting (`MM_TELEMETRY` at `counters` or above), a
+/// `TELEMETRY_*` sibling with the current snapshot is written next to it —
+/// e.g. `BENCH_mapper.json` gets `TELEMETRY_mapper.json` — so every bench
+/// run leaves its counters and journal beside its numbers for free. At the
+/// `spans` level a `TRACE_*` sibling is also written: the snapshot's span
+/// tracks rendered as a Chrome trace-event JSON array, loadable directly in
+/// Perfetto or `chrome://tracing`. Sibling write errors are swallowed:
+/// telemetry must never fail a bench.
 ///
 /// # Errors
 ///
@@ -89,11 +92,14 @@ pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
     let path = dir.join(name);
     fs::write(&path, json)?;
     if let Some(snapshot) = mm_telemetry::snapshot_if_enabled() {
-        let sibling = match name.strip_prefix("BENCH_") {
-            Some(rest) => format!("TELEMETRY_{rest}"),
-            None => format!("TELEMETRY_{name}"),
-        };
-        let _ = fs::write(dir.join(sibling), snapshot.to_json());
+        let rest = name.strip_prefix("BENCH_").unwrap_or(name);
+        let _ = fs::write(dir.join(format!("TELEMETRY_{rest}")), snapshot.to_json());
+        if snapshot.has_spans() {
+            let _ = fs::write(
+                dir.join(format!("TRACE_{rest}")),
+                snapshot.to_chrome_trace(),
+            );
+        }
     }
     Ok(path)
 }
@@ -226,6 +232,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir); // stale siblings from prior runs
         std::env::set_var("MM_RESULTS_DIR", &dir);
         mm_telemetry::set_level(mm_telemetry::Level::Off);
+        // Drop anything concurrent tests recorded while the ambient level
+        // (MM_TELEMETRY) was on — stale spans would fake a trace sibling.
+        mm_telemetry::global().reset();
         let path = write_bench_json("BENCH_unit.json", "{}\n").unwrap();
         assert!(is_file(&path));
         assert!(!dir.join("TELEMETRY_unit.json").exists());
@@ -237,7 +246,22 @@ mod tests {
         assert!(is_file(&sibling));
         let snapshot = std::fs::read_to_string(&sibling).unwrap();
         assert!(snapshot.contains("\"bench.unit_test\": 3"));
+        assert!(
+            !dir.join("TRACE_unit.json").exists(),
+            "no trace sibling below the spans level"
+        );
+
+        mm_telemetry::set_level(mm_telemetry::Level::Spans);
+        {
+            let track = mm_telemetry::track("bench.unit");
+            let _span = track.span("unit.work");
+        }
+        write_bench_json("BENCH_unit.json", "{}\n").unwrap();
+        let trace = std::fs::read_to_string(dir.join("TRACE_unit.json")).unwrap();
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("unit.work"));
         mm_telemetry::set_level(mm_telemetry::Level::Off);
+        mm_telemetry::global().reset();
         std::env::remove_var("MM_RESULTS_DIR");
     }
 

@@ -241,6 +241,7 @@ impl EvalPool {
                 // relaxed level check on the hot path.
                 let tele_evals = mm_telemetry::counter(&format!("eval_pool.worker{w}.evals"));
                 let tele_latency = mm_telemetry::histogram("eval_pool.queue_latency_us");
+                let tele_track = mm_telemetry::track(&format!("eval_pool.worker{w}"));
                 std::thread::spawn(move || loop {
                     // Hold the lock only while popping; evaluate unlocked.
                     let job = match job_rx.lock() {
@@ -272,10 +273,12 @@ impl EvalPool {
                             // job: report the panic as every batch member's
                             // result so the consumer fails loudly instead of
                             // blocking forever on results that never come.
+                            let batch_span = tele_track.span_n("eval_pool.batch", n);
                             let evals =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     evaluator.evaluate_batch(&job.mappings)
                                 }));
+                            drop(batch_span);
                             match evals {
                                 Ok(evals) if evals.len() == job.mappings.len() => {
                                     for (i, eval) in evals.into_iter().enumerate() {

@@ -52,7 +52,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mm_mapspace::{MapSpace, MapSpaceView, Mapping, ShardAxisKind};
-use mm_search::{ProposalSearch, SearchTrace, SyncAction, SyncPolicy, SyncState};
+use mm_search::{
+    merge_shard_convergence, ConvergenceTrace, ProposalSearch, SearchTrace, SyncAction, SyncPolicy,
+    SyncState,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -164,6 +167,11 @@ pub struct ShardReport {
     pub stop: StopReason,
     /// Full trace, when [`MapperConfig::record_traces`] is set.
     pub trace: Option<SearchTrace>,
+    /// Best-so-far convergence curve indexed by this shard's evaluation
+    /// count: recorded when [`MapperConfig::record_traces`] is set *or*
+    /// telemetry is enabled (improvement points only — no mapping clones,
+    /// no clock reads — so it is cheap enough for the parallel hot path).
+    pub convergence: Option<ConvergenceTrace>,
 }
 
 /// The result of a [`Mapper`] run.
@@ -184,6 +192,15 @@ pub struct MapperReport {
     pub sync: SyncPolicy,
     /// Per-shard details, indexed by shard.
     pub shards: Vec<ShardReport>,
+    /// The Figures 5/6-style best-so-far convergence curve, merged across
+    /// shards in the canonical round-robin order
+    /// ([`merge_shard_convergence`]). Present when per-shard convergence
+    /// was recorded (traces requested or telemetry on); deterministic
+    /// across worker counts under [`MapperSchedule::Deterministic`], but —
+    /// like `telemetry` — excluded from
+    /// [`canonical_string`](Self::canonical_string) so levels that do not
+    /// record it replay byte-identically.
+    pub convergence: Option<ConvergenceTrace>,
     /// Telemetry recorded during the run (`None` when `MM_TELEMETRY` is
     /// off). Excluded from [`canonical_string`](Self::canonical_string),
     /// like the wall-clock fields, so instrumentation never perturbs the
@@ -436,6 +453,11 @@ impl Mapper {
             .collect();
         let global = GlobalBest::default();
         let stop = AtomicBool::new(false);
+        // At the spans level the whole run is one span on the "mapper"
+        // track (dropped before the snapshot so it lands in the report).
+        let run_span = mm_telemetry::span_enabled()
+            .then(|| mm_telemetry::track("mapper"))
+            .and_then(|t| t.span("mapper.run"));
         let start = Instant::now();
 
         let mut runs: Vec<ShardRun> = (0..shards)
@@ -524,6 +546,7 @@ impl Mapper {
         runs.sort_by_key(|r| r.shard);
 
         let reports: Vec<ShardReport> = runs.into_iter().map(ShardRun::finish).collect();
+        drop(run_span);
 
         let wall_time_s = start.elapsed().as_secs_f64();
         let total_evaluations: u64 = reports.iter().map(|r| r.evaluations).sum();
@@ -544,6 +567,14 @@ impl Mapper {
             Some((m, e)) => (Some(m), Some(e)),
             None => (None, None),
         };
+        // Merge the per-shard convergence curves (shard order, canonical
+        // round-robin interleave) when every shard recorded one.
+        let convergence = reports
+            .iter()
+            .map(|r| r.convergence.clone())
+            .collect::<Option<Vec<ConvergenceTrace>>>()
+            .filter(|t| !t.is_empty())
+            .map(|t| merge_shard_convergence(&t));
         MapperReport {
             best_mapping,
             best_metrics,
@@ -556,6 +587,7 @@ impl Mapper {
             },
             sync: self.config.sync,
             shards: reports,
+            convergence,
             telemetry: mm_telemetry::snapshot_if_enabled(),
         }
     }
@@ -578,6 +610,7 @@ fn run_barrier_rounds<'a>(
     start: Instant,
 ) -> Vec<ShardRun<'a>> {
     let shards = runs.len();
+    let sync_track = mm_telemetry::span_enabled().then(|| mm_telemetry::track("mapper"));
     // Remaining reserved share per shard (exact `split_evenly` split).
     let mut remaining: Vec<u64> = (0..shards)
         .map(|s| {
@@ -620,6 +653,9 @@ fn run_barrier_rounds<'a>(
         // Barrier: merge all shards' bests in shard order
         // (strictly-better-wins, so ties resolve to the lowest shard index
         // — worker-count independent) and deliver the incumbent.
+        let _round_span = sync_track
+            .as_ref()
+            .and_then(|t| t.span("mapper.sync_round"));
         let mut by_shard: Vec<Option<&(Mapping, Evaluation)>> = vec![None; shards];
         for run in retired.iter().chain(next_live.iter()) {
             by_shard[run.shard] = run.best.as_ref();
@@ -662,6 +698,13 @@ struct ShardRun<'a> {
     searcher: Box<dyn ProposalSearch>,
     rng: StdRng,
     trace: Option<SearchTrace>,
+    /// Improvement-only convergence recorder (traces requested or
+    /// telemetry on); a u64 bump plus one comparison per evaluation.
+    convergence: Option<ConvergenceTrace>,
+    /// This shard's span track (`mapper.shard{N}`), interned only at the
+    /// spans level. Only this shard's driving thread touches it, so its
+    /// span sequence is deterministic under the deterministic schedule.
+    track: Option<Arc<mm_telemetry::Track>>,
     best: Option<(Mapping, Evaluation)>,
     evaluations: u64,
     since_improvement: u64,
@@ -708,12 +751,18 @@ impl<'a> ShardRun<'a> {
         let trace = config
             .record_traces
             .then(|| SearchTrace::new(searcher.name()));
+        let convergence =
+            (config.record_traces || mm_telemetry::enabled()).then(ConvergenceTrace::new);
+        let track = mm_telemetry::span_enabled()
+            .then(|| mm_telemetry::track(&format!("mapper.shard{shard}")));
         ShardRun {
             shard,
             space,
             searcher,
             rng,
             trace,
+            convergence,
+            track,
             best: None,
             evaluations: 0,
             since_improvement: 0,
@@ -734,6 +783,7 @@ impl<'a> ShardRun<'a> {
         let Some((mapping, eval)) = incumbent else {
             return;
         };
+        let _span = self.track.as_ref().and_then(|t| t.span("shard.sync"));
         let own = self.best.as_ref().map(|(_, e)| e.primary());
         let progress = match self.horizon {
             Some(0) | None => 0.0,
@@ -777,6 +827,8 @@ impl<'a> ShardRun<'a> {
         start: Instant,
     ) {
         let policy = &config.termination;
+        // One span per drive call: the shard occupying a worker.
+        let _drive_span = self.track.as_ref().and_then(|t| t.span("shard.drive"));
         let mut buf: Vec<Mapping> = Vec::new();
         // Evaluations this shard may still perform without consulting its
         // budget source again.
@@ -819,13 +871,20 @@ impl<'a> ShardRun<'a> {
                 .min(granted)
                 .min(self.searcher.lookahead() as u64) as usize;
             buf.clear();
-            self.searcher
-                .propose(self.space, &mut self.rng, max.max(1), &mut buf);
+            {
+                let _span = self.track.as_ref().and_then(|t| t.span("searcher.propose"));
+                self.searcher
+                    .propose(self.space, &mut self.rng, max.max(1), &mut buf);
+            }
             if buf.is_empty() {
                 stop_reason = StopReason::Exhausted;
                 break;
             }
 
+            let _eval_span = self
+                .track
+                .as_ref()
+                .and_then(|t| t.span_n("cost.evaluate", buf.len() as u64));
             for mapping in &buf {
                 let eval = evaluator.evaluate(mapping);
                 self.evaluations += 1;
@@ -835,6 +894,9 @@ impl<'a> ShardRun<'a> {
                 }
                 if let Some(trace) = self.trace.as_mut() {
                     trace.record(eval.primary(), mapping, start.elapsed());
+                }
+                if let Some(convergence) = self.convergence.as_mut() {
+                    convergence.record(eval.primary());
                 }
                 let improved = match self.best.as_ref() {
                     None => true,
@@ -891,6 +953,7 @@ impl<'a> ShardRun<'a> {
             best: self.best,
             stop: self.stop_reason,
             trace: self.trace,
+            convergence: self.convergence,
         }
     }
 }
@@ -1395,6 +1458,57 @@ mod tests {
             let trace = t.trace.as_ref().expect("trace recorded");
             assert_eq!(trace.len(), t.evaluations as usize);
             assert_eq!(trace.best_cost, t.best.as_ref().unwrap().1.primary());
+            // The convergence recorder rides along and agrees with the
+            // full trace collapsed to improvements.
+            let convergence = t.convergence.as_ref().expect("convergence recorded");
+            assert_eq!(convergence, &trace.convergence());
+        }
+        let merged = report.convergence.as_ref().expect("merged convergence");
+        assert_eq!(merged.total_evals, report.total_evaluations);
+        assert_eq!(merged.best_cost(), report.best_cost());
+    }
+
+    #[test]
+    fn convergence_traces_are_worker_count_invariant() {
+        let (space, evaluator) = setup();
+        let run = |threads: usize| {
+            Mapper::new(MapperConfig {
+                threads,
+                shards: Some(4),
+                seed: 31,
+                record_traces: true,
+                sync: SyncPolicy::Anchor,
+                sync_interval: 16,
+                termination: TerminationPolicy::search_size(240),
+                ..MapperConfig::default()
+            })
+            .run(&space, Arc::clone(&evaluator), |_| {
+                Box::new(SimulatedAnnealing::default())
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.convergence, four.convergence);
+        assert!(!one.convergence.as_ref().unwrap().is_empty());
+        // Best-so-far is monotone non-increasing along the merged curve.
+        let points = &one.convergence.as_ref().unwrap().points;
+        for w in points.windows(2) {
+            assert!(w[1].best_cost < w[0].best_cost);
+            assert!(w[1].evals > w[0].evals);
+        }
+    }
+
+    #[test]
+    fn convergence_is_absent_when_untracked() {
+        let (space, evaluator) = setup();
+        let report = Mapper::new(MapperConfig {
+            termination: TerminationPolicy::search_size(20),
+            ..MapperConfig::default()
+        })
+        .run(&space, evaluator, |_| Box::new(RandomSearch::new()));
+        if !mm_telemetry::enabled() {
+            assert!(report.convergence.is_none());
+            assert!(report.shards.iter().all(|s| s.convergence.is_none()));
         }
     }
 

@@ -50,6 +50,10 @@ pub fn run_pipelined(
 ) -> SearchTrace {
     let start = Instant::now();
     let mut trace = SearchTrace::new(search.name());
+    // At the spans level the pipelined driver traces its own lane:
+    // searcher proposals vs. waiting on the pool.
+    let track = mm_telemetry::span_enabled().then(|| mm_telemetry::track("pipeline"));
+    let run_span = track.as_ref().and_then(|t| t.span("pipeline.run"));
     let horizon = (budget.max_queries < u64::MAX).then_some(budget.max_queries);
     search.begin(space, horizon, rng);
 
@@ -77,7 +81,10 @@ pub fn run_pipelined(
             let max = (room as u64).min(remaining) as usize;
             if max > 0 {
                 buf.clear();
-                search.propose(space, rng, max, &mut buf);
+                {
+                    let _span = track.as_ref().and_then(|t| t.span("searcher.propose"));
+                    search.propose(space, rng, max, &mut buf);
+                }
                 // Submit the whole proposal batch as one chunk job per
                 // worker (not one job per mapping): batched evaluators get
                 // their amortized fast path, and per-job channel traffic
@@ -96,9 +103,12 @@ pub fn run_pipelined(
         // Wait for the oldest outstanding proposal's result, reporting every
         // completion in proposal order.
         let (oldest_id, _) = *pending.front().expect("pending non-empty");
-        while !arrived.contains_key(&oldest_id) {
-            let (id, eval) = pool.recv();
-            arrived.insert(id, eval);
+        if !arrived.contains_key(&oldest_id) {
+            let _span = track.as_ref().and_then(|t| t.span("pipeline.wait"));
+            while !arrived.contains_key(&oldest_id) {
+                let (id, eval) = pool.recv();
+                arrived.insert(id, eval);
+            }
         }
         while let Some((id, mapping)) = pending.front() {
             let Some(eval) = arrived.remove(id) else {
@@ -131,6 +141,7 @@ pub fn run_pipelined(
             break;
         }
     }
+    drop(run_span);
     trace
 }
 

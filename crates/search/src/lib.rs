@@ -45,7 +45,9 @@ pub use proposal::{drive, ProposalSearch};
 pub use random::RandomSearch;
 pub use rl::{DdpgAgent, DdpgConfig};
 pub use sync::{SyncAction, SyncPolicy, SyncState};
-pub use trace::{SearchTrace, TracePoint};
+pub use trace::{
+    merge_shard_convergence, ConvergencePoint, ConvergenceTrace, SearchTrace, TracePoint,
+};
 
 /// Intern-once helper for the searchers' proposal/acceptance counters: each
 /// call site owns a `OnceLock` cell, so the hot path is one atomic load plus

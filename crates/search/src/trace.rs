@@ -2,12 +2,126 @@
 //!
 //! Figures 5 and 6 plot the (run-averaged) best-so-far EDP against the number
 //! of iterations and against wall-clock time respectively; [`SearchTrace`]
-//! records exactly the data needed to regenerate both.
+//! records exactly the data needed to regenerate both. The parallel paths
+//! (sharded `Mapper`, serve scheduler) record the cheaper
+//! [`ConvergenceTrace`] — improvement points indexed by evaluation count, no
+//! mapping clones, no clock reads — and merge per-shard traces
+//! deterministically with [`merge_shard_convergence`].
 
 use std::time::Duration;
 
 use mm_mapspace::Mapping;
 use serde::{Deserialize, Serialize};
+
+/// One improvement point of a convergence trace: after `evals` cost
+/// evaluations, the best cost seen so far dropped to `best_cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Number of cost evaluations made up to and including the improving
+    /// one (1-based).
+    pub evals: u64,
+    /// The new best cost.
+    pub best_cost: f64,
+}
+
+/// A best-so-far convergence curve indexed by evaluation count.
+///
+/// Unlike [`SearchTrace`] this stores only *improvements* (one point per
+/// new best, not one per query) and never clones mappings or reads clocks,
+/// so the parallel hot paths can record it cheaply. Eval indices — not
+/// wall-clock — are the x-axis, which keeps the curve deterministic across
+/// worker counts.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Improvement points in strictly increasing `evals` order with
+    /// strictly decreasing `best_cost`.
+    pub points: Vec<ConvergencePoint>,
+    /// Total evaluations the trace covers (the x-axis extent).
+    pub total_evals: u64,
+}
+
+impl ConvergenceTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the result of one more evaluation; stores a point only when
+    /// `cost` improves on the best so far.
+    #[inline]
+    pub fn record(&mut self, cost: f64) {
+        self.total_evals += 1;
+        if cost < self.best_cost() {
+            self.points.push(ConvergencePoint {
+                evals: self.total_evals,
+                best_cost: cost,
+            });
+        }
+    }
+
+    /// The best cost recorded so far (∞ when empty).
+    pub fn best_cost(&self) -> f64 {
+        self.points.last().map_or(f64::INFINITY, |p| p.best_cost)
+    }
+
+    /// Number of improvement points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no improvement was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Best cost after at most `evals` evaluations (∞ if no improvement
+    /// had landed yet).
+    pub fn best_after_evals(&self, evals: u64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.evals <= evals)
+            .last()
+            .map_or(f64::INFINITY, |p| p.best_cost)
+    }
+}
+
+/// Merge per-shard convergence traces into one global curve, deterministic
+/// in the shard traces alone (never in thread scheduling).
+///
+/// Shards run concurrently, so there is no true global evaluation order;
+/// this uses the canonical round-robin interleaving — shard 0's first eval
+/// is global eval 1, shard 1's first is 2, …, wrapping until shorter shards
+/// are exhausted — which matches how the barrier-synced mapper grants
+/// budget. Shard `s`'s `r`-th eval (0-based) lands at global index
+/// `r + Σ_{s'<s} min(E_{s'}, r+1) + Σ_{s'>s} min(E_{s'}, r) + 1` where
+/// `E_{s'}` is shard `s'`'s total; the merged curve keeps only the points
+/// that still improve in that order.
+pub fn merge_shard_convergence(shards: &[ConvergenceTrace]) -> ConvergenceTrace {
+    let totals: Vec<u64> = shards.iter().map(|t| t.total_evals).collect();
+    let mut merged: Vec<(u64, usize, f64)> = Vec::new();
+    for (s, trace) in shards.iter().enumerate() {
+        for p in &trace.points {
+            let r = p.evals - 1; // 0-based round index within the shard
+            let before: u64 = totals[..s].iter().map(|&e| e.min(r + 1)).sum();
+            let after: u64 = totals[s + 1..].iter().map(|&e| e.min(r)).sum();
+            merged.push((r + before + after + 1, s, p.best_cost));
+        }
+    }
+    merged.sort_by_key(|&(g, s, _)| (g, s));
+    let mut out = ConvergenceTrace {
+        points: Vec::new(),
+        total_evals: totals.iter().sum(),
+    };
+    for (g, _, cost) in merged {
+        if cost < out.best_cost() {
+            out.points.push(ConvergencePoint {
+                evals: g,
+                best_cost: cost,
+            });
+        }
+    }
+    out
+}
 
 /// One point of a search trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +204,16 @@ impl SearchTrace {
             .take_while(|p| p.elapsed_s <= seconds)
             .last()
             .map_or(f64::INFINITY, |p| p.best_cost)
+    }
+
+    /// Collapse the per-query trace into its improvement-only
+    /// [`ConvergenceTrace`] (the shape the parallel paths record natively).
+    pub fn convergence(&self) -> ConvergenceTrace {
+        let mut out = ConvergenceTrace::new();
+        for p in &self.points {
+            out.record(p.cost);
+        }
+        out
     }
 
     /// Average wall-clock seconds per cost-function query.
@@ -210,5 +334,97 @@ mod tests {
     #[should_panic(expected = "cannot average zero traces")]
     fn average_rejects_empty_input() {
         let _ = SearchTrace::average(&[]);
+    }
+
+    #[test]
+    fn convergence_records_improvements_only() {
+        let mut t = ConvergenceTrace::new();
+        for cost in [10.0, 12.0, 8.0, 8.0, 3.0] {
+            t.record(cost);
+        }
+        assert_eq!(t.total_evals, 5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.points,
+            vec![
+                ConvergencePoint {
+                    evals: 1,
+                    best_cost: 10.0
+                },
+                ConvergencePoint {
+                    evals: 3,
+                    best_cost: 8.0
+                },
+                ConvergencePoint {
+                    evals: 5,
+                    best_cost: 3.0
+                },
+            ]
+        );
+        assert_eq!(t.best_after_evals(0), f64::INFINITY);
+        assert_eq!(t.best_after_evals(2), 10.0);
+        assert_eq!(t.best_after_evals(4), 8.0);
+        assert_eq!(t.best_cost(), 3.0);
+    }
+
+    #[test]
+    fn search_trace_collapses_to_the_same_convergence() {
+        let m = mapping();
+        let mut t = SearchTrace::new("SA");
+        for (cost, ms) in [(10.0, 1), (12.0, 2), (8.0, 3)] {
+            t.record(cost, &m, Duration::from_millis(ms));
+        }
+        let c = t.convergence();
+        assert_eq!(c.total_evals, 3);
+        assert_eq!(c.best_cost(), t.best_cost);
+        assert_eq!(c.len(), 2, "one point per improvement");
+    }
+
+    #[test]
+    fn shard_merge_round_robins_deterministically() {
+        // Shard 0: evals at 1 (cost 10) and 3 (cost 4), total 4.
+        // Shard 1: eval at 1 (cost 6), total 2.
+        let mut s0 = ConvergenceTrace::new();
+        for cost in [10.0, 11.0, 4.0, 9.0] {
+            s0.record(cost);
+        }
+        let mut s1 = ConvergenceTrace::new();
+        for cost in [6.0, 7.0] {
+            s1.record(cost);
+        }
+        let merged = merge_shard_convergence(&[s0.clone(), s1.clone()]);
+        assert_eq!(merged.total_evals, 6);
+        // Round-robin order: s0e1=g1, s1e1=g2, s0e2=g3, s1e2=g4, s0e3=g5,
+        // s0e4=g6. Improvements: g1 cost 10, g2 cost 6, g5 cost 4.
+        assert_eq!(
+            merged.points,
+            vec![
+                ConvergencePoint {
+                    evals: 1,
+                    best_cost: 10.0
+                },
+                ConvergencePoint {
+                    evals: 2,
+                    best_cost: 6.0
+                },
+                ConvergencePoint {
+                    evals: 5,
+                    best_cost: 4.0
+                },
+            ]
+        );
+        // Deterministic in the inputs: shard order matters, call order
+        // does not.
+        assert_eq!(merged, merge_shard_convergence(&[s0, s1]));
+    }
+
+    #[test]
+    fn shard_merge_of_empty_and_single_inputs() {
+        assert!(merge_shard_convergence(&[]).is_empty());
+        let mut only = ConvergenceTrace::new();
+        only.record(5.0);
+        let merged = merge_shard_convergence(&[ConvergenceTrace::new(), only.clone()]);
+        assert_eq!(merged.points, only.points);
+        assert_eq!(merged.total_evals, 1);
     }
 }

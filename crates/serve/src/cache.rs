@@ -17,6 +17,7 @@ use std::sync::{Arc, OnceLock};
 
 use mm_mapper::{Evaluation, OptMetric, SyncPolicy};
 use mm_mapspace::Mapping;
+use mm_search::ConvergenceTrace;
 use serde::{Deserialize, Serialize};
 
 /// FNV-1a 64-bit over the given parts (with a separator byte between parts,
@@ -58,6 +59,9 @@ pub struct CachedLayer {
     pub wall_time_s: f64,
     /// Whether the searcher exhausted its proposals before the budget.
     pub exhausted: bool,
+    /// Merged best-so-far convergence of the producing search (present when
+    /// telemetry was enabled while it ran; replayed verbatim on cache hits).
+    pub convergence: Option<ConvergenceTrace>,
 }
 
 /// Observable result-cache statistics, surfaced in `NetworkReport`.
@@ -193,6 +197,7 @@ mod tests {
             sync: SyncPolicy::Off,
             wall_time_s: 0.0,
             exhausted: false,
+            convergence: None,
         })
     }
 

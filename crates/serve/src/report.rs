@@ -41,6 +41,10 @@ pub struct LayerReport {
     pub exhausted: bool,
     /// Wall-clock seconds of the producing search (0 for cache hits).
     pub wall_time_s: f64,
+    /// Merged best-so-far convergence of the producing search (present when
+    /// telemetry was enabled while it ran; cache hits replay the original
+    /// search's curve). Observational — excluded from the canonical string.
+    pub convergence: Option<mm_search::ConvergenceTrace>,
 }
 
 impl LayerReport {
@@ -64,6 +68,7 @@ impl LayerReport {
             metric_names: cached.metric_names.clone(),
             exhausted: cached.exhausted,
             wall_time_s: if cache_hit { 0.0 } else { cached.wall_time_s },
+            convergence: cached.convergence.clone(),
         }
     }
 
@@ -123,8 +128,10 @@ impl LayerReport {
                 best,
                 stop,
                 trace: None,
+                convergence: self.convergence.clone(),
             }],
             telemetry: None,
+            convergence: self.convergence.clone(),
         }
     }
 }
@@ -268,6 +275,7 @@ mod tests {
             metric_names: vec![OptMetric::Edp, OptMetric::Energy, OptMetric::Delay],
             exhausted: false,
             wall_time_s: 0.5,
+            convergence: None,
         }
     }
 

@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use mm_mapper::{pipeline_depth, CostEvaluator, EvalPool, Evaluation, OptMetric};
 use mm_mapspace::{MapSpaceView, Mapping};
-use mm_search::{ProposalSearch, SyncPolicy, SyncState};
+use mm_search::{ConvergenceTrace, ProposalSearch, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -89,6 +89,10 @@ pub(crate) struct JobOutcome {
     pub evaluations: u64,
     pub wall_time_s: f64,
     pub exhausted: bool,
+    /// Best-so-far convergence indexed by this job's completed-eval count
+    /// (recorded when telemetry is enabled; completions are reported in
+    /// proposal order, so the curve is pool-shape independent).
+    pub convergence: Option<ConvergenceTrace>,
 }
 
 /// A job currently multiplexed on the pool.
@@ -112,6 +116,12 @@ struct ActiveJob {
     /// Stall bookkeeping (consecutive non-improving sync points) consumed
     /// by [`SyncPolicy::decide`].
     sync_state: SyncState,
+    /// Improvement-only convergence recorder (telemetry enabled).
+    convergence: Option<ConvergenceTrace>,
+    /// This job's span track (`serve.job{index}`), spans level only.
+    track: Option<Arc<mm_telemetry::Track>>,
+    /// The job-lifecycle span, held open from start to finish.
+    job_span: Option<mm_telemetry::SpanGuard>,
 }
 
 impl ActiveJob {
@@ -127,6 +137,9 @@ impl ActiveJob {
         mm_telemetry::event("serve.job.start", || {
             format!("index={} budget={}", spec.index, spec.budget)
         });
+        let track = mm_telemetry::span_enabled()
+            .then(|| mm_telemetry::track(&format!("serve.job{}", spec.index)));
+        let job_span = track.as_ref().and_then(|t| t.span("job.run"));
         ActiveJob {
             index: spec.index,
             space: spec.space,
@@ -143,6 +156,9 @@ impl ActiveJob {
             exhausted: false,
             sync: spec.sync,
             sync_state: SyncState::new(),
+            convergence: mm_telemetry::enabled().then(ConvergenceTrace::new),
+            track,
+            job_span,
         }
     }
 
@@ -211,6 +227,9 @@ impl ActiveJob {
             }
             let (id, mapping) = self.pending.pop_front().expect("front exists");
             let eval = self.arrived.remove(&id).expect("checked above");
+            if let Some(convergence) = self.convergence.as_mut() {
+                convergence.record(eval.primary());
+            }
             self.search.report(&mapping, eval.primary(), &mut self.rng);
             let improved = match self.best.as_ref() {
                 None => true,
@@ -230,6 +249,7 @@ impl ActiveJob {
     /// counter and budget progress; when it acts, hand the job's own best
     /// back to the searcher (re-anchor or warm restart).
     fn sync_point(&mut self) {
+        let _span = self.track.as_ref().and_then(|t| t.span("job.sync"));
         let Some((mapping, eval)) = self.best.clone() else {
             return;
         };
@@ -254,7 +274,7 @@ impl ActiveJob {
         self.pending.is_empty() && (self.exhausted || self.completed >= self.budget)
     }
 
-    fn finish(self) -> (usize, JobOutcome) {
+    fn finish(mut self) -> (usize, JobOutcome) {
         tele_jobs_finished().bump(1);
         mm_telemetry::event("serve.job.finish", || {
             format!(
@@ -262,6 +282,9 @@ impl ActiveJob {
                 self.index, self.completed, self.exhausted
             )
         });
+        // Close the lifecycle span before the outcome is built, so a
+        // snapshot taken right after the scheduler returns includes it.
+        drop(self.job_span.take());
         (
             self.index,
             JobOutcome {
@@ -271,6 +294,7 @@ impl ActiveJob {
                 evaluations: self.completed,
                 wall_time_s: self.started.elapsed().as_secs_f64(),
                 exhausted: self.exhausted,
+                convergence: self.convergence,
             },
         )
     }
@@ -291,6 +315,10 @@ pub(crate) fn run_jobs(
     queue_capacity: usize,
 ) -> Vec<JobOutcome> {
     assert_eq!(pool.in_flight(), 0, "scheduler needs an idle pool");
+    let sched_track = mm_telemetry::span_enabled().then(|| mm_telemetry::track("serve.scheduler"));
+    let _run_span = sched_track
+        .as_ref()
+        .and_then(|t| t.span("scheduler.run_jobs"));
     let max_active = max_active.max(1);
     let queue_capacity = queue_capacity.max(1);
     let n = jobs.len();
@@ -325,7 +353,10 @@ pub(crate) fn run_jobs(
 
         // Route one completion back to its job (proposal-order per job).
         if pool.in_flight() > 0 {
-            let (id, eval) = pool.recv();
+            let (id, eval) = {
+                let _span = sched_track.as_ref().and_then(|t| t.span("scheduler.wait"));
+                pool.recv()
+            };
             let index = *id_to_job.get(&id).expect("every id routed");
             id_to_job.remove(&id);
             let job = active

@@ -266,6 +266,14 @@ impl MappingService {
                     None => (None, None),
                 };
                 let first = &group[0];
+                // Shard convergence curves merge in shard order (round-robin
+                // global eval indexing), mirroring the mapper's report.
+                let convergence = group
+                    .iter()
+                    .map(|o| o.convergence.clone())
+                    .collect::<Option<Vec<_>>>()
+                    .filter(|t| !t.is_empty())
+                    .map(|t| mm_search::merge_shard_convergence(&t));
                 Arc::new(CachedLayer {
                     best_mapping,
                     best_metrics,
@@ -275,6 +283,7 @@ impl MappingService {
                     sync: self.config.sync,
                     wall_time_s: group.iter().map(|o| o.wall_time_s).fold(0.0, f64::max),
                     exhausted: group.iter().any(|o| o.exhausted),
+                    convergence,
                 })
             })
             .collect();

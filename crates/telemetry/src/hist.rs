@@ -134,6 +134,45 @@ impl HistogramSnapshot {
             _ => 1u64 << (i - 1),
         }
     }
+
+    /// The exclusive upper bound of bucket `i`. Bucket 0 holds only the
+    /// value 0; the top bucket absorbs the tail, so its bound saturates to
+    /// `u64::MAX`.
+    pub fn bucket_hi(i: u8) -> u64 {
+        match i as usize {
+            0 => 1,
+            i if i >= BUCKETS - 1 => u64::MAX,
+            i => 1u64 << i,
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), linearly interpolated
+    /// within the containing log2 bucket — the resolution the histogram
+    /// actually has. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            if (seen + n) as f64 >= rank {
+                if i == 0 {
+                    return 0.0; // bucket 0 holds exactly the value 0
+                }
+                let lo = Self::bucket_lo(i) as f64;
+                let hi = Self::bucket_hi(i) as f64;
+                let frac = ((rank - seen as f64) / n as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        // rank == count landed past the loop only through rounding; the
+        // answer is the top of the last occupied bucket.
+        self.buckets
+            .last()
+            .map_or(0.0, |&(i, _)| Self::bucket_hi(i) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +231,78 @@ mod tests {
             direct.record_unchecked(v);
         }
         assert_eq!(s, direct.snapshot(), "merge equals recording everything");
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(HistogramSnapshot::default().percentile(50.0), 0.0);
+        assert_eq!(HistogramSnapshot::default().percentile(0.0), 0.0);
+        assert_eq!(HistogramSnapshot::default().percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_observation_stays_in_its_bucket() {
+        let h = Histogram::new();
+        h.record_unchecked(6); // bucket 3 = [4, 8)
+        let s = h.snapshot();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            assert!((4.0..=8.0).contains(&v), "p{p} = {v} outside [4, 8]");
+        }
+        assert_eq!(s.percentile(100.0), 8.0, "p100 is the bucket's top");
+    }
+
+    #[test]
+    fn percentile_of_zero_bucket_is_exactly_zero() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record_unchecked(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_at_bucket_boundaries() {
+        let h = Histogram::new();
+        // 2 observations in bucket 2 = [2, 4), 2 in bucket 3 = [4, 8).
+        for v in [2, 3, 4, 7] {
+            h.record_unchecked(v);
+        }
+        let s = h.snapshot();
+        // p50 (rank 2.0) sits exactly at the top of bucket 2.
+        assert_eq!(s.percentile(50.0), 4.0);
+        // p25 (rank 1.0) is halfway through bucket 2: 2 + 0.5 * (4 - 2).
+        assert_eq!(s.percentile(25.0), 3.0);
+        // p75 (rank 3.0) is halfway through bucket 3: 4 + 0.5 * (8 - 4).
+        assert_eq!(s.percentile(75.0), 6.0);
+        // p0 clamps to the first occupied bucket's bottom.
+        assert_eq!(s.percentile(0.0), 2.0);
+        // Percentiles are monotone in p.
+        let mut last = 0.0;
+        for p in 0..=100 {
+            let v = s.percentile(f64::from(p));
+            assert!(v >= last, "p{p} = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_of_saturating_top_bucket() {
+        let h = Histogram::new();
+        h.record_unchecked(u64::MAX); // lands in the capped last bucket
+        h.record_unchecked(1);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.last().unwrap().0 as usize, BUCKETS - 1);
+        assert_eq!(HistogramSnapshot::bucket_hi((BUCKETS - 1) as u8), u64::MAX);
+        let p99 = s.percentile(99.0);
+        assert!(
+            p99 >= HistogramSnapshot::bucket_lo((BUCKETS - 1) as u8) as f64,
+            "p99 = {p99} below the top bucket"
+        );
+        assert!(p99 <= u64::MAX as f64, "saturates instead of overflowing");
+        assert_eq!(s.percentile(0.0), 1.0, "bottom lands in bucket 1");
     }
 
     #[test]

@@ -30,9 +30,15 @@
 //! * [`global()`] — the process-wide registry every production call site
 //!   uses; explicit `Registry` instances stay available for unit tests.
 //!
+//! * [`Track`] — a named span timeline with RAII [`SpanGuard`]s and
+//!   deterministic span ids (`(track, sequence)`, never wall-clock), active
+//!   only at [`Level::Spans`]; snapshots export Chrome-trace-event JSON and
+//!   a phase-attribution profile.
+//!
 //! The runtime level comes from the `MM_TELEMETRY` environment variable
-//! (`off` / `counters` / `journal`, read once, lazily) and can be overridden
-//! programmatically with [`set_level`] (benches A/B the overhead that way).
+//! (`off` / `counters` / `journal` / `spans`, read once, lazily) and can be
+//! overridden programmatically with [`set_level`] (benches A/B the overhead
+//! that way).
 //!
 //! # Idiom for hot paths
 //!
@@ -55,10 +61,12 @@
 mod hist;
 mod journal;
 mod snapshot;
+mod span;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use journal::{Event, Journal};
-pub use snapshot::TelemetrySnapshot;
+pub use snapshot::{PhaseStat, TelemetrySnapshot};
+pub use span::{span_id, SpanGuard, SpanSnapshot, Track};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -74,6 +82,9 @@ pub enum Level {
     Counters = 1,
     /// Counters plus the structured event journal.
     Journal = 2,
+    /// Everything above plus RAII span tracing on per-track buffers
+    /// (exported as Chrome-trace-event JSON and a phase profile).
+    Spans = 3,
 }
 
 impl Level {
@@ -81,17 +92,20 @@ impl Level {
     pub fn from_env_str(s: &str) -> Level {
         match s.trim().to_ascii_lowercase().as_str() {
             "counters" | "1" => Level::Counters,
-            "journal" | "full" | "2" => Level::Journal,
+            "journal" | "2" => Level::Journal,
+            "spans" | "full" | "3" => Level::Spans,
             _ => Level::Off,
         }
     }
 
-    /// The canonical lowercase name (`off` / `counters` / `journal`).
+    /// The canonical lowercase name (`off` / `counters` / `journal` /
+    /// `spans`).
     pub fn name(self) -> &'static str {
         match self {
             Level::Off => "off",
             Level::Counters => "counters",
             Level::Journal => "journal",
+            Level::Spans => "spans",
         }
     }
 }
@@ -116,6 +130,7 @@ fn init_level_from_env() -> Level {
     match LEVEL.load(Ordering::Relaxed) {
         1 => Level::Counters,
         2 => Level::Journal,
+        3 => Level::Spans,
         _ => Level::Off,
     }
 }
@@ -127,6 +142,7 @@ pub fn level() -> Level {
         0 => Level::Off,
         1 => Level::Counters,
         2 => Level::Journal,
+        3 => Level::Spans,
         _ => init_level_from_env(),
     }
 }
@@ -154,6 +170,14 @@ pub fn timing_enabled() -> bool {
 #[inline]
 pub fn journal_enabled() -> bool {
     level() >= Level::Journal
+}
+
+/// Whether span tracing is recording. Span guards gate their
+/// `Instant::now()` on this, so every level below `spans` pays exactly one
+/// relaxed load per instrumented site.
+#[inline]
+pub fn span_enabled() -> bool {
+    level() >= Level::Spans
 }
 
 /// A monotone event counter. Bumps are relaxed atomic adds, guarded by the
@@ -192,6 +216,11 @@ impl Counter {
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    tracks: Mutex<BTreeMap<String, Arc<Track>>>,
+    /// Zero point for span timestamps, so snapshots carry small
+    /// microsecond offsets instead of raw `Instant`s. Reset with the rest
+    /// of the registry.
+    epoch: Mutex<std::time::Instant>,
     journal: Journal,
 }
 
@@ -207,6 +236,8 @@ impl Registry {
         Registry {
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            tracks: Mutex::new(BTreeMap::new()),
+            epoch: Mutex::new(std::time::Instant::now()),
             journal: Journal::new(journal::DEFAULT_CAPACITY),
         }
     }
@@ -225,6 +256,17 @@ impl Registry {
         let mut map = self.histograms.lock().expect("telemetry histogram lock");
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// The span track interned under `name` (created on first use). A track
+    /// is one logical timeline — a shard, a pool worker, a scheduler — and
+    /// its id (and therefore every span id on it) is a pure function of the
+    /// name, never of wall-clock or scheduling order.
+    pub fn track(&self, name: &str) -> Arc<Track> {
+        let mut map = self.tracks.lock().expect("telemetry track lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Track::new(name)))
             .clone()
     }
 
@@ -261,13 +303,28 @@ impl Registry {
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .filter(|(_, h)| h.count > 0)
             .collect();
+        let epoch = *self.epoch.lock().expect("telemetry epoch lock");
+        let mut dropped_spans = 0;
+        let tracks = self
+            .tracks
+            .lock()
+            .expect("telemetry track lock")
+            .iter()
+            .filter_map(|(k, t)| {
+                let (spans, dropped) = t.snapshot(epoch);
+                dropped_spans += dropped;
+                (!spans.is_empty()).then(|| (k.clone(), spans))
+            })
+            .collect();
         let (events, dropped_events) = self.journal.drain_copy();
         TelemetrySnapshot {
             level: level().name().to_string(),
             counters,
             histograms,
+            tracks,
             events,
             dropped_events,
+            dropped_spans,
         }
     }
 
@@ -291,6 +348,10 @@ impl Registry {
         {
             h.reset();
         }
+        for t in self.tracks.lock().expect("telemetry track lock").values() {
+            t.reset();
+        }
+        *self.epoch.lock().expect("telemetry epoch lock") = std::time::Instant::now();
         self.journal.clear();
     }
 }
@@ -330,6 +391,11 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     global().histogram(name)
 }
 
+/// Intern a span track in the global registry.
+pub fn track(name: &str) -> Arc<Track> {
+    global().track(name)
+}
+
 /// Append an event to the global journal. `detail` runs only at
 /// [`Level::Journal`], so formatting costs nothing below it.
 #[inline]
@@ -360,9 +426,11 @@ mod tests {
         assert_eq!(Level::from_env_str("off"), Level::Off);
         assert_eq!(Level::from_env_str("counters"), Level::Counters);
         assert_eq!(Level::from_env_str("JOURNAL"), Level::Journal);
-        assert_eq!(Level::from_env_str("full"), Level::Journal);
+        assert_eq!(Level::from_env_str("spans"), Level::Spans);
+        assert_eq!(Level::from_env_str("full"), Level::Spans);
         assert_eq!(Level::from_env_str("nonsense"), Level::Off);
         assert!(Level::Off < Level::Counters && Level::Counters < Level::Journal);
+        assert!(Level::Journal < Level::Spans);
     }
 
     #[test]
@@ -410,6 +478,54 @@ mod tests {
         touched.bump(2);
         assert_eq!(reg.snapshot().counters.get("touched"), Some(&2));
         set_level(Level::Off);
+    }
+
+    #[test]
+    fn spans_record_only_at_spans_level_with_deterministic_ids() {
+        let _g = level_guard();
+        let reg = Registry::new();
+        let track = reg.track("unit.track");
+
+        set_level(Level::Journal);
+        assert!(
+            track.span("below_spans").is_none(),
+            "journal level records no spans"
+        );
+
+        set_level(Level::Spans);
+        {
+            let _outer = track.span("outer");
+            let _inner = track.span_n("inner", 16);
+        }
+        let snap = reg.snapshot();
+        let spans = &snap.tracks["unit.track"];
+        assert_eq!(spans.len(), 2);
+        // Ids are (fnv1a32(track) << 32) | sequence — the failed journal-
+        // level attempt above consumed no sequence number.
+        assert_eq!(spans[0].id, span_id(track.id(), 0));
+        assert_eq!(spans[1].id, span_id(track.id(), 1));
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].count, 16);
+        assert_eq!(snap.dropped_spans, 0);
+
+        // Reset keeps the handle valid and restarts the sequence.
+        reg.reset();
+        {
+            let _again = track.span("again");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.tracks["unit.track"][0].id, span_id(track.id(), 0));
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn track_ids_are_a_pure_function_of_the_name() {
+        let a = Registry::new().track("mapper.shard0");
+        let b = Registry::new().track("mapper.shard0");
+        let c = Registry::new().track("mapper.shard1");
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
     }
 
     #[test]

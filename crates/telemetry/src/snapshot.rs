@@ -1,11 +1,13 @@
 //! Deterministic snapshots: everything a registry recorded, rendered with
 //! sorted keys into canonical JSON so two identical runs produce
-//! byte-identical files.
+//! byte-identical files. Snapshots with spans additionally export a
+//! Chrome-trace-event rendering and a computed phase-attribution profile.
 
 use std::collections::BTreeMap;
 
 use crate::hist::HistogramSnapshot;
 use crate::journal::Event;
+use crate::span::SpanSnapshot;
 
 /// A point-in-time copy of a [`Registry`](crate::Registry): counters and
 /// histograms in sorted-name order plus the journal contents. Reports embed
@@ -14,16 +16,38 @@ use crate::journal::Event;
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// The recording level the snapshot was taken at (`off` / `counters` /
-    /// `journal`).
+    /// `journal` / `spans`).
     pub level: String,
     /// Nonzero counters, sorted by name.
     pub counters: BTreeMap<String, u64>,
     /// Non-empty histograms, sorted by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Completed spans per track (sorted by track name, spans in sequence
+    /// order; empty below the spans level).
+    pub tracks: BTreeMap<String, Vec<SpanSnapshot>>,
     /// Journal events in sequence order (empty below the journal level).
     pub events: Vec<Event>,
     /// Events the bounded journal dropped.
     pub dropped_events: u64,
+    /// Spans the bounded track buffers dropped.
+    pub dropped_spans: u64,
+}
+
+/// One row of the phase-attribution profile: all spans sharing a name,
+/// aggregated across tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The span name the row aggregates.
+    pub phase: String,
+    /// Number of spans.
+    pub spans: u64,
+    /// Total units of work covered (sum of span counts).
+    pub count: u64,
+    /// Total wall time inside the phase, microseconds (children included).
+    pub total_us: u64,
+    /// Self time: total minus time spent in child spans nested within on
+    /// the same track, microseconds.
+    pub self_us: u64,
 }
 
 fn escape(s: &str) -> String {
@@ -42,10 +66,44 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Self time per span for one track: each span's duration minus the
+/// durations of spans nested directly inside it. Nesting is reconstructed
+/// from intervals (start ascending, duration descending, so a parent sorts
+/// before the children it contains).
+fn self_times(spans: &[SpanSnapshot]) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].start_us, u64::MAX - spans[i].dur_us, spans[i].id));
+    let mut selfs: Vec<u64> = spans.iter().map(|s| s.dur_us).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    for &i in &order {
+        while let Some(&top) = stack.last() {
+            if spans[i].start_us >= spans[top].end_us() {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&top) = stack.last() {
+            // Contained in the enclosing open span: its time is not the
+            // parent's self time. (Partial overlap — which per-track spans
+            // never produce — is conservatively left alone.)
+            if spans[i].end_us() <= spans[top].end_us() {
+                selfs[top] = selfs[top].saturating_sub(spans[i].dur_us);
+            }
+        }
+        stack.push(i);
+    }
+    selfs
+}
+
 impl TelemetrySnapshot {
-    /// Whether nothing was recorded (no counters, histograms, or events).
+    /// Whether nothing was recorded (no counters, histograms, spans, or
+    /// events).
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.tracks.is_empty()
+            && self.events.is_empty()
     }
 
     /// The value of a counter, 0 when absent.
@@ -53,8 +111,41 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Whether any track recorded spans (drives `TRACE_*.json` export).
+    pub fn has_spans(&self) -> bool {
+        self.tracks.values().any(|spans| !spans.is_empty())
+    }
+
+    /// The phase-attribution profile: spans aggregated by name across all
+    /// tracks, with self time (duration minus nested child durations),
+    /// sorted by self time descending then name — the "where does the time
+    /// go" table.
+    pub fn phase_profile(&self) -> Vec<PhaseStat> {
+        let mut by_name: BTreeMap<&str, PhaseStat> = BTreeMap::new();
+        for spans in self.tracks.values() {
+            let selfs = self_times(spans);
+            for (span, self_us) in spans.iter().zip(selfs) {
+                let stat = by_name.entry(span.name).or_insert_with(|| PhaseStat {
+                    phase: span.name.to_string(),
+                    spans: 0,
+                    count: 0,
+                    total_us: 0,
+                    self_us: 0,
+                });
+                stat.spans += 1;
+                stat.count += span.count;
+                stat.total_us += span.dur_us;
+                stat.self_us += self_us;
+            }
+        }
+        let mut rows: Vec<PhaseStat> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.phase.cmp(&b.phase)));
+        rows
+    }
+
     /// Canonical JSON rendering: keys sorted (BTreeMap order), stable field
-    /// order, no floats — byte-identical for identical recorded state.
+    /// order, no floats — byte-identical for identical recorded state
+    /// except for the wall-clock span timestamp fields.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -91,6 +182,51 @@ impl TelemetrySnapshot {
             ));
         }
         out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"tracks\": {");
+        let mut first = true;
+        for (k, spans) in &self.tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let rendered = spans
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"id\": {}, \"name\": \"{}\", \"start_us\": {}, \"dur_us\": {}, \"count\": {}}}",
+                        s.id,
+                        escape(s.name),
+                        s.start_us,
+                        s.dur_us,
+                        s.count
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n      ");
+            out.push_str(&format!(
+                "\n    \"{}\": [\n      {}\n    ]",
+                escape(k),
+                rendered
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"phases\": [");
+        let mut first = true;
+        for p in self.phase_profile() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"phase\": \"{}\", \"spans\": {}, \"count\": {}, \"total_us\": {}, \"self_us\": {}}}",
+                escape(&p.phase),
+                p.spans,
+                p.count,
+                p.total_us,
+                p.self_us
+            ));
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
         out.push_str("  \"events\": [");
         let mut first = true;
         for e in &self.events {
@@ -106,8 +242,48 @@ impl TelemetrySnapshot {
             ));
         }
         out.push_str(if first { "],\n" } else { "\n  ],\n" });
-        out.push_str(&format!("  \"dropped_events\": {}\n", self.dropped_events));
+        out.push_str(&format!("  \"dropped_events\": {},\n", self.dropped_events));
+        out.push_str(&format!("  \"dropped_spans\": {}\n", self.dropped_spans));
         out.push('}');
+        out
+    }
+
+    /// Render the recorded spans as Chrome trace-event JSON (the legacy
+    /// array format): one `"ph": "M"` `thread_name` metadata event per
+    /// track, then the spans as `"ph": "X"` complete events with `ts`/`dur`
+    /// in microseconds. Loads directly in Perfetto or `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[\n");
+        let mut first = true;
+        for (tid, (name, spans)) in self.tracks.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+                tid,
+                escape(name)
+            ));
+            // Chrome's nesting reconstruction wants begin-time order with
+            // parents before equal-start children.
+            let mut order: Vec<&SpanSnapshot> = spans.iter().collect();
+            order.sort_by_key(|s| (s.start_us, u64::MAX - s.dur_us, s.id));
+            for s in order {
+                out.push_str(",\n");
+                out.push_str(&format!(
+                    "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"name\": \"{}\", \"args\": {{\"id\": {}, \"count\": {}}}}}",
+                    tid,
+                    s.start_us,
+                    s.dur_us,
+                    escape(s.name),
+                    s.id,
+                    s.count
+                ));
+            }
+        }
+        out.push_str("\n]\n");
         out
     }
 }
@@ -150,10 +326,78 @@ mod tests {
     fn empty_snapshot_renders_and_reports_empty() {
         let snap = TelemetrySnapshot::default();
         assert!(snap.is_empty());
+        assert!(!snap.has_spans());
         assert_eq!(snap.counter("missing"), 0);
         let json = snap.to_json();
         assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"tracks\": {}"));
+        assert!(json.contains("\"phases\": []"));
         assert!(json.contains("\"events\": []"));
         assert!(json.ends_with('}'));
+    }
+
+    fn span(id: u64, name: &'static str, start_us: u64, dur_us: u64, count: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            id,
+            name,
+            start_us,
+            dur_us,
+            count,
+        }
+    }
+
+    #[test]
+    fn phase_profile_attributes_self_time_through_nesting() {
+        let mut snap = TelemetrySnapshot {
+            level: "spans".into(),
+            ..Default::default()
+        };
+        // outer [0, 100) contains propose [10, 30) and evaluate [30, 90);
+        // a second top-level propose [100, 120) is a sibling, not a child.
+        snap.tracks.insert(
+            "t".into(),
+            vec![
+                span(0, "outer", 0, 100, 1),
+                span(1, "propose", 10, 20, 4),
+                span(2, "evaluate", 30, 60, 4),
+                span(3, "propose", 100, 20, 4),
+            ],
+        );
+        let profile = snap.phase_profile();
+        let get = |name: &str| profile.iter().find(|p| p.phase == name).unwrap().clone();
+        assert_eq!(get("outer").total_us, 100);
+        assert_eq!(get("outer").self_us, 100 - 20 - 60);
+        assert_eq!(get("evaluate").self_us, 60);
+        let propose = get("propose");
+        assert_eq!((propose.spans, propose.count), (2, 8));
+        assert_eq!((propose.total_us, propose.self_us), (40, 40));
+        assert_eq!(profile[0].phase, "evaluate", "sorted by self time desc");
+        assert!(snap.has_spans());
+        assert!(snap.to_json().contains("\"phase\": \"evaluate\""));
+    }
+
+    #[test]
+    fn chrome_trace_renders_metadata_and_complete_events() {
+        let mut snap = TelemetrySnapshot {
+            level: "spans".into(),
+            ..Default::default()
+        };
+        snap.tracks
+            .insert("a".into(), vec![span(7, "work", 5, 10, 2)]);
+        snap.tracks
+            .insert("b".into(), vec![span(9, "sync", 0, 1, 1)]);
+        let trace = snap.to_chrome_trace();
+        assert!(trace.trim_start().starts_with('['));
+        assert!(trace.trim_end().ends_with(']'));
+        assert!(trace.contains(
+            "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"thread_name\", \"args\": {\"name\": \"a\"}}"
+        ));
+        assert!(
+            trace.contains("\"tid\": 1"),
+            "second track gets its own lane"
+        );
+        assert!(trace.contains(
+            "{\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": 5, \"dur\": 10, \"name\": \"work\", \"args\": {\"id\": 7, \"count\": 2}}"
+        ));
     }
 }

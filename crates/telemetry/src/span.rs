@@ -1,0 +1,263 @@
+//! RAII span tracing on named tracks.
+//!
+//! A [`Track`] is one logical timeline — a mapper shard, a pool worker, the
+//! serve scheduler — holding a bounded buffer of completed spans. Opening a
+//! span costs one relaxed level load when tracing is off; when on, the
+//! returned [`SpanGuard`] stamps `Instant::now()` and its `Drop` records the
+//! duration into the track.
+//!
+//! **Span ids are deterministic.** A span's id is
+//! `(fnv1a32(track_name) << 32) | per_track_sequence` — a pure function of
+//! the track name and how many spans opened on the track before it, never of
+//! wall-clock or thread scheduling. Under the deterministic mapper schedule
+//! the (track, name, id) sequences are therefore byte-identical across
+//! worker counts; only the timestamp fields vary run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Completed spans kept per track before new ones are dropped (and counted).
+pub const TRACK_CAPACITY: usize = 16_384;
+
+/// FNV-1a 32-bit over the track name: deterministic, offline, good enough
+/// to keep distinct track names from colliding in one process.
+fn fnv1a32(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.as_bytes() {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The deterministic span id: track hash in the high 32 bits, the span's
+/// per-track sequence number in the low 32.
+pub fn span_id(track_id: u32, seq: u64) -> u64 {
+    (u64::from(track_id) << 32) | (seq & 0xffff_ffff)
+}
+
+/// A completed span as recorded on a track (timestamps still `Instant`s).
+struct RawSpan {
+    name: &'static str,
+    seq: u64,
+    start: Instant,
+    dur_us: u64,
+    count: u64,
+}
+
+/// A named span timeline with a bounded buffer of completed spans.
+///
+/// Intern tracks through [`Registry::track`](crate::Registry::track) (or the
+/// free [`track`](crate::track) helper) and cache the `Arc`; opening spans
+/// on a cached handle is the hot-path operation.
+pub struct Track {
+    name: String,
+    id: u32,
+    seq: AtomicU64,
+    spans: Mutex<Vec<RawSpan>>,
+    dropped: AtomicU64,
+}
+
+impl Track {
+    /// Fresh track named `name` (registry interning is the norm).
+    pub(crate) fn new(name: &str) -> Self {
+        Track {
+            name: name.to_string(),
+            id: fnv1a32(name),
+            seq: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The track name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deterministic track id (FNV-1a 32 of the name).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Open a span covering one unit of work. Returns `None` below
+    /// [`Level::Spans`](crate::Level::Spans) after a single relaxed load —
+    /// no clock read, no sequence number consumed.
+    #[inline]
+    pub fn span(self: &Arc<Self>, name: &'static str) -> Option<SpanGuard> {
+        self.span_n(name, 1)
+    }
+
+    /// Open a span covering `count` units of work (a batch).
+    #[inline]
+    pub fn span_n(self: &Arc<Self>, name: &'static str, count: u64) -> Option<SpanGuard> {
+        if !crate::span_enabled() {
+            return None;
+        }
+        Some(self.begin(name, count))
+    }
+
+    #[cold]
+    fn begin(self: &Arc<Self>, name: &'static str, count: u64) -> SpanGuard {
+        SpanGuard {
+            track: Arc::clone(self),
+            name,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            count,
+            start: Instant::now(),
+        }
+    }
+
+    fn record(&self, name: &'static str, seq: u64, start: Instant, dur_us: u64, count: u64) {
+        let mut spans = self.spans.lock().expect("telemetry span lock");
+        if spans.len() >= TRACK_CAPACITY {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(RawSpan {
+            name,
+            seq,
+            start,
+            dur_us,
+            count,
+        });
+    }
+
+    /// Completed spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("telemetry span lock").len()
+    }
+
+    /// Whether no spans completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable copy of the completed spans (sorted by sequence number, so
+    /// the order is deterministic even though spans complete out of order)
+    /// plus the dropped count. `epoch` anchors the microsecond timestamps.
+    pub(crate) fn snapshot(&self, epoch: Instant) -> (Vec<SpanSnapshot>, u64) {
+        let spans = self.spans.lock().expect("telemetry span lock");
+        let mut out: Vec<SpanSnapshot> = spans
+            .iter()
+            .map(|s| SpanSnapshot {
+                id: span_id(self.id, s.seq),
+                name: s.name,
+                start_us: s.start.saturating_duration_since(epoch).as_micros() as u64,
+                dur_us: s.dur_us,
+                count: s.count,
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        (out, self.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Clear spans, sequence, and dropped count in place (handles stay
+    /// valid), mirroring counter/histogram `reset`.
+    pub fn reset(&self) {
+        self.spans.lock().expect("telemetry span lock").clear();
+        self.seq.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Track {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Track({}, id={:#x}, spans={})",
+            self.name,
+            self.id,
+            self.len()
+        )
+    }
+}
+
+/// RAII guard for an open span: records the duration on drop.
+pub struct SpanGuard {
+    track: Arc<Track>,
+    name: &'static str,
+    seq: u64,
+    count: u64,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The span's deterministic id.
+    pub fn id(&self) -> u64 {
+        span_id(self.track.id, self.seq)
+    }
+
+    /// Grow the unit count covered by this span (batches sized after open).
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.track
+            .record(self.name, self.seq, self.start, dur_us, self.count);
+    }
+}
+
+/// A completed span as exported in snapshots: deterministic id and name,
+/// wall-clock offsets in microseconds from the registry epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// `(track_id << 32) | sequence` — deterministic across runs.
+    pub id: u64,
+    /// The span's static name (the phase it attributes time to).
+    pub name: &'static str,
+    /// Start offset from the registry epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Units of work covered (1 for plain spans, batch size for batches).
+    pub count: u64,
+}
+
+impl SpanSnapshot {
+    /// End offset from the registry epoch, microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_distinct() {
+        assert_eq!(fnv1a32(""), 0x811c_9dc5);
+        assert_eq!(fnv1a32("mapper"), fnv1a32("mapper"));
+        assert_ne!(fnv1a32("mapper"), fnv1a32("mapper.shard0"));
+    }
+
+    #[test]
+    fn span_ids_compose_track_and_sequence() {
+        assert_eq!(span_id(0xabcd_1234, 7), 0xabcd_1234_0000_0007);
+        // Sequence wraps into the low 32 bits rather than corrupting the
+        // track half.
+        assert_eq!(span_id(1, u64::from(u32::MAX) + 2), (1u64 << 32) | 1);
+    }
+
+    #[test]
+    fn capacity_overflow_drops_and_counts() {
+        let track = Track::new("t");
+        let start = Instant::now();
+        for i in 0..(TRACK_CAPACITY as u64 + 3) {
+            track.record("s", i, start, 1, 1);
+        }
+        let (spans, dropped) = track.snapshot(start);
+        assert_eq!(spans.len(), TRACK_CAPACITY);
+        assert_eq!(dropped, 3);
+        track.reset();
+        assert!(track.is_empty());
+        let (_, dropped) = track.snapshot(start);
+        assert_eq!(dropped, 0);
+    }
+}

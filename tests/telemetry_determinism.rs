@@ -42,7 +42,7 @@ fn at_level<T>(
     (value, snapshot)
 }
 
-fn mapper_canonical(threads: usize) -> String {
+fn mapper_report(threads: usize) -> mm_mapper::MapperReport {
     let target = table1::by_name("ResNet Conv_4").expect("table1 problem");
     let arch = evaluated_accelerator();
     let space = MapSpace::new(target.problem.clone(), arch.mapping_constraints());
@@ -60,11 +60,13 @@ fn mapper_canonical(threads: usize) -> String {
         termination: TerminationPolicy::search_size(400),
         ..MapperConfig::default()
     });
-    mapper
-        .run(&space, evaluator, |_| {
-            Box::new(SimulatedAnnealing::default())
-        })
-        .canonical_string()
+    mapper.run(&space, evaluator, |_| {
+        Box::new(SimulatedAnnealing::default())
+    })
+}
+
+fn mapper_canonical(threads: usize) -> String {
+    mapper_report(threads).canonical_string()
 }
 
 #[test]
@@ -72,7 +74,7 @@ fn mapper_reports_are_level_invariant_across_worker_counts() {
     let _guard = level_guard();
     let (reference, _) = at_level(Level::Off, || mapper_canonical(1));
     for threads in [1usize, 2, 4] {
-        for level in [Level::Off, Level::Counters, Level::Journal] {
+        for level in [Level::Off, Level::Counters, Level::Journal, Level::Spans] {
             let (canonical, _) = at_level(level, || mapper_canonical(threads));
             assert_eq!(
                 canonical, reference,
@@ -80,6 +82,83 @@ fn mapper_reports_are_level_invariant_across_worker_counts() {
             );
         }
     }
+}
+
+/// The deterministic span-identity of a snapshot: the `(name, id)` sequence
+/// of every mapper-owned track, in track order. Pool-worker and pipeline
+/// tracks are observational (their span counts depend on arrival timing),
+/// so only the `mapper` / `mapper.shard*` tracks carry this contract.
+fn mapper_span_identities(
+    snap: &mm_telemetry::TelemetrySnapshot,
+) -> Vec<(String, Vec<(&'static str, u64)>)> {
+    snap.tracks
+        .iter()
+        .filter(|(name, _)| name.as_str() == "mapper" || name.starts_with("mapper.shard"))
+        .map(|(name, spans)| (name.clone(), spans.iter().map(|s| (s.name, s.id)).collect()))
+        .collect()
+}
+
+#[test]
+fn mapper_span_ids_and_convergence_are_worker_count_invariant() {
+    let _guard = level_guard();
+    let runs: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let (report, snapshot) = at_level(Level::Spans, || mapper_report(threads));
+            (threads, report, snapshot.expect("spans level snapshots"))
+        })
+        .collect();
+
+    let reference = mapper_span_identities(&runs[0].2);
+    let names: Vec<&str> = reference
+        .iter()
+        .flat_map(|(_, spans)| spans.iter().map(|(n, _)| *n))
+        .collect();
+    // The whole causal chain shows up: run → sync rounds → shard drives →
+    // searcher proposals → cost evaluations → shard syncs.
+    for expected in [
+        "mapper.run",
+        "mapper.sync_round",
+        "shard.drive",
+        "searcher.propose",
+        "cost.evaluate",
+        "shard.sync",
+    ] {
+        assert!(names.contains(&expected), "missing span {expected}");
+    }
+
+    for (threads, report, snap) in &runs {
+        assert_eq!(snap.level, "spans");
+        assert_eq!(snap.dropped_spans, 0);
+        assert_eq!(
+            mapper_span_identities(snap),
+            reference,
+            "span identities diverged at {threads} worker(s)"
+        );
+        // Convergence rides in the report, merged across shards, covering
+        // every evaluation, identical at every worker count.
+        let convergence = report.convergence.as_ref().expect("convergence recorded");
+        assert_eq!(convergence.total_evals, report.total_evaluations);
+        assert_eq!(convergence.best_cost(), report.best_cost());
+        assert_eq!(
+            report.convergence, runs[0].1.convergence,
+            "convergence diverged at {threads} worker(s)"
+        );
+        for (s, shard) in report.shards.iter().enumerate() {
+            let sc = shard.convergence.as_ref().expect("shard convergence");
+            assert_eq!(sc.total_evals, shard.evaluations, "shard {s}");
+        }
+    }
+
+    // Span ids are a pure function of (track name, sequence): recomputable
+    // offline from the snapshot alone.
+    for (name, spans) in &reference {
+        let track_id = mm_telemetry::track(name).id();
+        for (seq, (_, id)) in spans.iter().enumerate() {
+            assert_eq!(*id, mm_telemetry::span_id(track_id, seq as u64));
+        }
+    }
+    mm_telemetry::global().reset();
 }
 
 #[test]
@@ -109,7 +188,7 @@ fn journaled_mapper_run_records_the_work_it_watched() {
     assert!(snap.events.iter().any(|e| e.kind == "mapper.sync_round"));
 }
 
-fn serve_canonical(workers: usize) -> String {
+fn serve_report(workers: usize) -> mm_serve::NetworkReport {
     let config = ServeConfig {
         workers,
         max_active_jobs: workers.max(2),
@@ -121,7 +200,11 @@ fn serve_canonical(workers: usize) -> String {
         ..ServeConfig::default()
     };
     let mut service = MappingService::new(evaluated_accelerator(), config);
-    service.map_network(&table1_network()).canonical_string()
+    service.map_network(&table1_network())
+}
+
+fn serve_canonical(workers: usize) -> String {
+    serve_report(workers).canonical_string()
 }
 
 #[test]
@@ -129,7 +212,7 @@ fn serve_reports_are_level_invariant_across_worker_counts() {
     let _guard = level_guard();
     let (reference, _) = at_level(Level::Off, || serve_canonical(2));
     for workers in [1usize, 2, 4] {
-        for level in [Level::Off, Level::Counters, Level::Journal] {
+        for level in [Level::Off, Level::Counters, Level::Journal, Level::Spans] {
             let (canonical, _) = at_level(level, || serve_canonical(workers));
             assert_eq!(
                 canonical, reference,
@@ -137,6 +220,36 @@ fn serve_reports_are_level_invariant_across_worker_counts() {
             );
         }
     }
+}
+
+#[test]
+fn serve_convergence_traces_are_worker_count_invariant() {
+    let _guard = level_guard();
+    let (reference, _) = at_level(Level::Spans, || serve_report(1));
+    for workers in [2usize, 4] {
+        let (report, snapshot) = at_level(Level::Spans, || serve_report(workers));
+        let snap = snapshot.expect("spans level snapshots");
+        assert_eq!(snap.dropped_spans, 0);
+        // The job-lifecycle spans exist (one serve.job track per shard job).
+        assert!(
+            snap.tracks.iter().any(|(name, spans)| {
+                name.starts_with("serve.job") && spans.iter().any(|s| s.name == "job.run")
+            }),
+            "job lifecycle spans recorded"
+        );
+        for (a, b) in reference.layers.iter().zip(&report.layers) {
+            let ca = a.convergence.as_ref().expect("layer convergence");
+            let cb = b.convergence.as_ref().expect("layer convergence");
+            assert_eq!(
+                ca, cb,
+                "layer {} convergence diverged at {workers} workers",
+                a.layer
+            );
+            assert_eq!(ca.total_evals, a.evaluations, "layer {}", a.layer);
+            assert!(ca.best_cost().is_finite(), "layer {}", a.layer);
+        }
+    }
+    mm_telemetry::global().reset();
 }
 
 #[test]
