@@ -11,6 +11,7 @@
 //! `results/fig5_summary.csv` (final best per method per problem).
 
 use mm_bench::comparison::{run_comparison, MethodSelection};
+use mm_bench::output;
 use mm_bench::report::{self, fmt, format_table};
 use mm_bench::{geometric_mean, train_surrogate, ExperimentScale};
 use mm_search::Budget;
@@ -103,7 +104,7 @@ fn main() {
     .expect("write traces");
     let summary_path = report::write_csv(
         "fig5_summary.csv",
-        &["problem", "methods (best normalized EDP)"],
+        &["problem", output::METHODS_SUMMARY_COLUMN],
         &summary_rows
             .iter()
             .map(|r| vec![r[0].clone(), r[1..].join(" ")])
@@ -135,10 +136,7 @@ fn main() {
         "  vs RL: {}x   (paper: 1.29x)",
         fmt(geometric_mean(&ratios_rl))
     );
-    println!(
-        "  MM distance to algorithmic minimum: {}x   (paper: 5.32x)",
-        fmt(geometric_mean(&mm_norm))
-    );
+    output::print_mm_distance_to_minimum(&fmt(geometric_mean(&mm_norm)));
     println!(
         "wrote {} and {}",
         traces_path.display(),

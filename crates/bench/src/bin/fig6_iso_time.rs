@@ -8,6 +8,7 @@
 //!
 //! Outputs `results/fig6_traces.csv` and `results/fig6_summary.csv`.
 
+use mm_bench::output;
 use std::time::Duration;
 
 use mm_bench::comparison::{run_comparison, MethodSelection};
@@ -26,10 +27,10 @@ fn main() {
     );
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(43);
-    println!("training CNN-Layer surrogate…");
+    println!("{}", output::TRAINING_CNN_SURROGATE);
     let (cnn_surrogate, _) =
         train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("CNN surrogate");
-    println!("training MTTKRP surrogate…");
+    println!("{}", output::TRAINING_MTTKRP_SURROGATE);
     let (mttkrp_surrogate, _) =
         train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
 
@@ -105,7 +106,7 @@ fn main() {
     .expect("write step costs");
     let summary_path = report::write_csv(
         "fig6_summary.csv",
-        &["problem", "methods (best normalized EDP)"],
+        &["problem", output::METHODS_SUMMARY_COLUMN],
         &summary_rows
             .iter()
             .map(|r| vec![r[0].clone(), r[1..].join(" ")])

@@ -7,6 +7,7 @@
 //! under-punishes small errors. Writes `results/fig7b_loss_functions.csv`.
 
 use mm_accel::CostModel;
+use mm_bench::output;
 use mm_bench::report::{self, fmt, format_table};
 use mm_bench::{train_surrogate_with_config, ExperimentScale};
 use mm_core::{GradientSearch, Phase2Config};
@@ -61,7 +62,7 @@ fn main() {
             "loss",
             "final_train_loss",
             "final_test_loss",
-            "search_best_normalized_edp",
+            output::BEST_NORMALIZED_EDP_COLUMN,
         ],
         &rows,
     )
@@ -73,7 +74,7 @@ fn main() {
                 "loss",
                 "train loss",
                 "test loss",
-                "best EDP found (normalized)"
+                output::BEST_NORMALIZED_EDP_LABEL
             ],
             &rows
         )

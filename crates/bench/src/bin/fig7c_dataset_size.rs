@@ -8,6 +8,7 @@
 //! flattening curve. Writes `results/fig7c_dataset_size.csv`.
 
 use mm_accel::CostModel;
+use mm_bench::output;
 use mm_bench::report::{self, fmt, format_table};
 use mm_bench::ExperimentScale;
 use mm_core::{generate_training_set, GradientSearch, Phase2Config, Surrogate};
@@ -76,7 +77,7 @@ fn main() {
         &[
             "train_samples",
             "final_test_loss",
-            "search_best_normalized_edp",
+            output::BEST_NORMALIZED_EDP_COLUMN,
         ],
         &rows,
     )
@@ -84,7 +85,7 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["samples", "test loss", "best EDP found (normalized)"],
+            &["samples", "test loss", output::BEST_NORMALIZED_EDP_LABEL],
             &rows
         )
     );

@@ -9,6 +9,7 @@
 //!
 //! Writes `results/headline_summary.csv`.
 
+use mm_bench::output;
 use std::time::Duration;
 
 use mm_bench::comparison::{run_comparison, MethodSelection};
@@ -23,9 +24,9 @@ fn main() {
     println!("Headline summary, scale '{}'", scale.name);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x0EAD);
-    println!("training CNN-Layer surrogate…");
+    println!("{}", output::TRAINING_CNN_SURROGATE);
     let (cnn, _) = train_surrogate(Algorithm::CnnLayer, &scale, &mut rng).expect("CNN surrogate");
-    println!("training MTTKRP surrogate…");
+    println!("{}", output::TRAINING_MTTKRP_SURROGATE);
     let (mttkrp, _) =
         train_surrogate(Algorithm::Mttkrp, &scale, &mut rng).expect("MTTKRP surrogate");
 
@@ -128,10 +129,7 @@ fn main() {
         fmt(geometric_mean(&iso_time[1])),
         fmt(geometric_mean(&iso_time[2]))
     );
-    println!(
-        "  MM distance to algorithmic minimum: {}x   (paper: 5.32x)",
-        fmt(geometric_mean(&mm_gap))
-    );
+    output::print_mm_distance_to_minimum(&fmt(geometric_mean(&mm_gap)));
     println!(
         "  per-step speedup of MM vs SA/GA/RL: {} / {} / {}   (paper: 153.7 / 286.8 / 425.5)",
         fmt(geometric_mean(&step_speedups[0])),

@@ -11,7 +11,7 @@
 //! p50/p99 interpolated within their log2 buckets — the resolution the
 //! recorder actually has.
 
-use mm_bench::gate::{parse_json, Json};
+use mm_bench::json::{parse_json, Json};
 use mm_bench::report::{fmt, format_table};
 use mm_telemetry::HistogramSnapshot;
 

@@ -19,7 +19,9 @@
 
 pub mod comparison;
 pub mod gate;
+pub mod json;
 pub mod mapper_scaling;
+pub mod output;
 pub mod report;
 pub mod scale;
 pub mod serve_bench;

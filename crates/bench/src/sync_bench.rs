@@ -81,11 +81,12 @@ impl SyncBenchResult {
     /// Serialize as the `BENCH_sync.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"bench\": \"sync_policy\",\n");
-        out.push_str(&format!(
-            "  \"problems\": {:?},\n  \"evals_per_problem\": {},\n  \"threads\": {},\n  \
-             \"available_parallelism\": {},\n  \"points\": [\n",
-            self.problems, self.evals_per_problem, self.threads, self.available_parallelism
+        out.push_str(&crate::output::bench_json_header(
+            "sync_policy",
+            &self.problems,
+            self.evals_per_problem,
+            self.threads,
+            self.available_parallelism,
         ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(

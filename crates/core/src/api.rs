@@ -142,6 +142,8 @@ impl MindMappings {
     /// variant.
     pub fn search(&self, problem: &ProblemSpec, iterations: u64, rng: &mut StdRng) -> SearchTrace {
         self.search_with_budget(problem, Budget::iterations(iterations), rng)
+            // mm-lint: allow(panic): documented contract — the fallible
+            // variant is `GradientSearch::new`, per the doc comment above.
             .expect("problem must belong to the surrogate's family")
     }
 

@@ -92,6 +92,8 @@ impl GradientProposer {
     /// resulting (projected, valid) mapping.
     fn step(&mut self, space: &dyn MapSpaceView, rng: &mut StdRng) -> Mapping {
         let cfg = &self.config;
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         state.iteration += 1;
         let mapping_offset = self.surrogate.encoding().mapping_offset();
@@ -209,6 +211,8 @@ impl ProposalSearch for GradientProposer {
         out: &mut Vec<Mapping>,
     ) {
         {
+            // mm-lint: allow(panic): see step() — outside-session calls are
+            // driver bugs.
             let state = self.state.as_mut().expect("begin() not called");
             if !state.proposed_initial {
                 state.proposed_initial = true;
@@ -223,6 +227,8 @@ impl ProposalSearch for GradientProposer {
             let before = self
                 .state
                 .as_ref()
+                // mm-lint: allow(panic): see step() — outside-session calls
+                // are driver bugs.
                 .expect("begin() not called")
                 .current
                 .clone();

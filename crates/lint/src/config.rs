@@ -1,0 +1,215 @@
+//! `lint.toml`: the checked-in seed configuration for mm-lint.
+//!
+//! The workspace is offline, so this is a hand-rolled parser for the tiny
+//! TOML subset the config needs: `[section]` headers, `key = <integer>`,
+//! and `key = [ "string", ... ]` arrays (single- or multi-line). `#`
+//! comments are allowed anywhere.
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Whole files that are identity-bearing (reachable from
+    /// `canonical_string()`, fingerprints, or seed derivation). Paths are
+    /// workspace-relative with `/` separators. Each listed file must also
+    /// carry a `// mm-lint: identity` header — the header is what readers
+    /// see, the list is what keeps headers from silently disappearing.
+    pub identity_files: Vec<String>,
+    /// Path prefixes exempt from the panic-hygiene rule (developer tooling
+    /// that is not part of the serving surface). Tests, benches, bins, and
+    /// examples are always exempt.
+    pub panic_exempt: Vec<String>,
+    /// Minimum literal length for the duplicate-literal rule.
+    pub dup_min_len: usize,
+    /// Literals allowed to repeat across files (shared JSON keys etc.).
+    pub dup_ignore: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            identity_files: Vec::new(),
+            panic_exempt: Vec::new(),
+            dup_min_len: 24,
+            dup_ignore: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parse a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first line that is not part of the
+    /// supported subset.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut pending: Option<(String, Vec<String>)> = None; // open array
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((key, mut items)) = pending.take() {
+                let closed = line.ends_with(']');
+                let body = line.trim_end_matches(']');
+                parse_string_items(body, &mut items, idx)?;
+                if closed {
+                    config.assign_array(&section, &key, items, idx)?;
+                } else {
+                    pending = Some((key, items));
+                }
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line[1..line.len() - 1].trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint.toml line {}: expected `key = value`",
+                    idx + 1
+                ));
+            };
+            let (key, value) = (key.trim().to_string(), value.trim());
+            if let Some(body) = value.strip_prefix('[') {
+                let mut items = Vec::new();
+                let closed = body.ends_with(']');
+                parse_string_items(body.trim_end_matches(']'), &mut items, idx)?;
+                if closed {
+                    config.assign_array(&section, &key, items, idx)?;
+                } else {
+                    pending = Some((key, items));
+                }
+            } else if let Ok(n) = value.parse::<usize>() {
+                config.assign_int(&section, &key, n, idx)?;
+            } else {
+                return Err(format!(
+                    "lint.toml line {}: unsupported value `{value}` (integers and string arrays only)",
+                    idx + 1
+                ));
+            }
+        }
+        if pending.is_some() {
+            return Err("lint.toml: unterminated array".to_string());
+        }
+        Ok(config)
+    }
+
+    fn assign_array(
+        &mut self,
+        section: &str,
+        key: &str,
+        items: Vec<String>,
+        idx: usize,
+    ) -> Result<(), String> {
+        match (section, key) {
+            ("identity", "files") => self.identity_files = items,
+            ("panic", "exempt") => self.panic_exempt = items,
+            ("dup", "ignore") => self.dup_ignore = items,
+            _ => {
+                return Err(format!(
+                    "lint.toml line {}: unknown key [{section}] {key}",
+                    idx + 1
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn assign_int(&mut self, section: &str, key: &str, n: usize, idx: usize) -> Result<(), String> {
+        match (section, key) {
+            ("dup", "min_len") => self.dup_min_len = n,
+            _ => {
+                return Err(format!(
+                    "lint.toml line {}: unknown key [{section}] {key}",
+                    idx + 1
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strip a `#` comment, respecting `"` quoting.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Append the `"a", "b"` items of an array body to `items`.
+fn parse_string_items(body: &str, items: &mut Vec<String>, idx: usize) -> Result<(), String> {
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let inner = piece
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!(
+                    "lint.toml line {}: array items must be double-quoted strings, got `{piece}`",
+                    idx + 1
+                )
+            })?;
+        items.push(inner.to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let config = Config::parse(
+            r##"
+# comment
+[identity]
+files = [
+    "crates/a/src/x.rs",  # trailing comment
+    "crates/b/src/y.rs",
+]
+
+[panic]
+exempt = ["crates/bench/src"]
+
+[dup]
+min_len = 30
+ignore = []
+"##,
+        )
+        .unwrap();
+        assert_eq!(config.identity_files.len(), 2);
+        assert_eq!(config.identity_files[1], "crates/b/src/y.rs");
+        assert_eq!(config.panic_exempt, vec!["crates/bench/src"]);
+        assert_eq!(config.dup_min_len, 30);
+        assert!(config.dup_ignore.is_empty());
+    }
+
+    #[test]
+    fn empty_and_missing_keys_fall_back_to_defaults() {
+        let config = Config::parse("").unwrap();
+        assert!(config.identity_files.is_empty());
+        assert_eq!(config.dup_min_len, Config::default().dup_min_len);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_errors() {
+        assert!(Config::parse("[identity]\nfiles = [\"a\"]\nbogus = [\"b\"]").is_err());
+        assert!(Config::parse("[dup]\nmin_len = \"ten\"").is_err());
+        assert!(Config::parse("[identity]\nfiles = [unquoted]").is_err());
+        assert!(Config::parse("[identity]\nfiles = [\n\"a\",").is_err());
+        assert!(Config::parse("just words").is_err());
+    }
+}

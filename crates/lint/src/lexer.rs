@@ -1,0 +1,273 @@
+//! A minimal Rust source lexer: split every line into *code text*, *comment
+//! text*, and the string literals that start on it.
+//!
+//! The rule engine matches patterns against the code text only, so a doc
+//! comment mentioning `Instant::now()` or an error message containing
+//! `.unwrap()` can never trip a rule. The comment text carries the
+//! `mm-lint:` directives; the literals feed the duplicate-literal rule.
+//!
+//! The lexer understands exactly the token classes that matter for that
+//! split: line comments, nested block comments, string / raw-string / byte
+//! / char literals, and lifetimes (so `'a` is not mistaken for an
+//! unterminated char literal). Everything else passes through verbatim.
+
+/// One source line after lexing.
+#[derive(Debug, Default, Clone)]
+pub struct SourceLine {
+    /// The line's code with comments removed and literal contents blanked
+    /// (a string literal is kept as `""` so call shapes like `.expect(` are
+    /// still visible).
+    pub code: String,
+    /// Concatenated comment text on the line (line and block comments).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line.
+    pub literals: Vec<String>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// `None` = escaped string, `Some(n)` = raw string closed by `"` + n
+    /// `#`s.
+    Str(Option<usize>),
+}
+
+/// Lex `text` into per-line code/comment/literal views.
+pub fn strip(text: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out: Vec<SourceLine> = Vec::new();
+    let mut cur = SourceLine::default();
+    let mut state = State::Code;
+    let mut lit = String::new();
+    let mut lit_line = 0usize; // 0-based index of the line a literal starts on
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            if let State::Str(_) = state {
+                lit.push('\n');
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str(None);
+                    cur.code.push('"');
+                    lit.clear();
+                    lit_line = out.len();
+                    i += 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    state = State::Str(None);
+                    cur.code.push('"');
+                    lit.clear();
+                    lit_line = out.len();
+                    i += 2;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // r"..." / r#"..."# / br"..." raw strings; plain
+                    // identifiers starting with r/b fall through.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let hash_start = j;
+                    while chars.get(j) == Some(&'#') {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (c == 'r' || j > hash_start || c == 'b') {
+                        state = State::Str(Some(j - hash_start));
+                        cur.code.push('"');
+                        lit.clear();
+                        lit_line = out.len();
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' || (c == 'b' && next == Some('\'') && !prev_is_ident(&chars, i))
+                {
+                    let q = if c == 'b' { i + 1 } else { i };
+                    if let Some(end) = char_literal_end(&chars, q) {
+                        cur.code.push_str("''");
+                        i = end + 1;
+                    } else {
+                        // A lifetime (or a stray quote): keep it as code.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(None) => {
+                if c == '\\' {
+                    lit.push(c);
+                    if let Some(&n) = chars.get(i + 1) {
+                        lit.push(n);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    finish_literal(&mut out, &mut cur, lit_line, std::mem::take(&mut lit));
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    lit.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(Some(hashes)) => {
+                if c == '"' && (i + 1..=i + hashes).all(|k| chars.get(k) == Some(&'#')) {
+                    cur.code.push('"');
+                    finish_literal(&mut out, &mut cur, lit_line, std::mem::take(&mut lit));
+                    state = State::Code;
+                    i += hashes + 1;
+                } else {
+                    lit.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || !cur.literals.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether the char before `i` continues an identifier (so `br` in `abr"` is
+/// not a raw-string prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If a char literal starts at the `'` at `q`, the index of its closing
+/// quote; `None` for lifetimes.
+fn char_literal_end(chars: &[char], q: usize) -> Option<usize> {
+    if chars.get(q) != Some(&'\'') {
+        return None;
+    }
+    match chars.get(q + 1) {
+        Some('\\') => {
+            // Escaped char: scan a bounded window for the closing quote
+            // (covers \n, \', \u{...}).
+            (q + 3..(q + 14).min(chars.len())).find(|&j| chars[j] == '\'')
+        }
+        Some(_) if chars.get(q + 2) == Some(&'\'') => Some(q + 2),
+        _ => None, // a lifetime like 'a or 'static
+    }
+}
+
+/// Attach a completed literal to the line it started on (which may already
+/// be flushed if the literal spanned lines).
+fn finish_literal(out: &mut [SourceLine], cur: &mut SourceLine, lit_line: usize, lit: String) {
+    if lit_line < out.len() {
+        out[lit_line].literals.push(lit);
+    } else {
+        cur.literals.push(lit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<String> {
+        strip(text).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_are_removed_from_code() {
+        let lines = strip("let x = 1; // Instant::now() in a comment\n/* SeqCst */ let y = 2;\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert!(lines[0].comment.contains("Instant::now()"));
+        assert_eq!(lines[1].code, " let y = 2;");
+        assert!(lines[1].comment.contains("SeqCst"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lines = codes("a /* one /* two */ still */ b\n");
+        assert_eq!(lines[0], "a  b");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_shape_remains() {
+        let lines = strip("x.expect(\"thread_rng() is fine here\");\n");
+        assert_eq!(lines[0].code, "x.expect(\"\");");
+        assert_eq!(lines[0].literals, vec!["thread_rng() is fine here"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_literals() {
+        let lines = strip("let a = r#\"has \"quotes\" and // no comment\"#; let b = b\"bytes\";\n");
+        assert_eq!(lines[0].code, "let a = \"\"; let b = \"\";");
+        assert_eq!(lines[0].literals.len(), 2);
+        assert!(lines[0].literals[0].contains("no comment"));
+    }
+
+    #[test]
+    fn multiline_strings_attach_to_their_first_line() {
+        let lines = strip("let s = \"first\nsecond\";\nlet t = 1;\n");
+        assert_eq!(lines[0].literals, vec!["first\nsecond"]);
+        assert_eq!(lines[2].code, "let t = 1;");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = codes("fn f<'a>(x: &'a str, c: char) -> bool { c == 'x' || c == '\\n' }\n");
+        assert!(lines[0].contains("<'a>"));
+        assert!(lines[0].contains("''"));
+        assert!(!lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn line_comment_ends_at_newline() {
+        let lines = codes("// SeqCst\nlet x = 1;\n");
+        assert_eq!(lines[0], "");
+        assert_eq!(lines[1], "let x = 1;");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = strip("let s = \"a \\\" b\"; let x = 1;\n");
+        assert_eq!(lines[0].code, "let s = \"\"; let x = 1;");
+        assert_eq!(lines[0].literals, vec!["a \\\" b"]);
+    }
+}

@@ -1,0 +1,93 @@
+//! CLI for mm-lint.
+//!
+//! ```text
+//! cargo run -p mm-lint -- [--root DIR] [--config FILE] [--deny-all]
+//!                         [--report FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. Every
+//! rule is deny-by-default; `--deny-all` exists so CI invocations state
+//! the policy explicitly and stay stable if a warn level is ever added.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    report: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // The binary lives at crates/lint, two levels below the workspace root.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = Args {
+        root: default_root,
+        config: None,
+        report: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = take_value(&mut it, "--root")?.into(),
+            "--config" => args.config = Some(take_value(&mut it, "--config")?.into()),
+            "--report" => args.report = Some(take_value(&mut it, "--report")?.into()),
+            "--deny-all" => {} // the default and only policy today
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "mm-lint: workspace contract checks (determinism, telemetry gating, \
+                     atomics, panic hygiene)\n\n\
+                     usage: mm-lint [--root DIR] [--config FILE] [--deny-all] \
+                     [--report FILE] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn take_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = args
+        .root
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root {}: {e}", args.root.display()))?;
+    let config = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            mm_lint::Config::parse(&text)?
+        }
+        None => mm_lint::load_config(&root)?,
+    };
+    let violations = mm_lint::lint_workspace(&root, &config)?;
+    let report = mm_lint::render_report(&violations);
+    if let Some(path) = &args.report {
+        std::fs::write(path, &report)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if !args.quiet || !violations.is_empty() {
+        print!("{report}");
+    }
+    Ok(violations.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("mm-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

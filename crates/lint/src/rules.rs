@@ -1,0 +1,769 @@
+//! The rule engine: a scope-tracking line analyzer over lexed source.
+//!
+//! Rules are deliberately *project-specific*: they encode the contracts the
+//! workspace already lives by (see README "Static analysis") rather than
+//! general Rust style:
+//!
+//! * **determinism** — no wall-clock, entropy, or unordered-container use
+//!   inside identity-tagged regions (anything reachable from
+//!   `canonical_string()`, fingerprints, or seed derivation).
+//! * **telemetry-gate** — telemetry call sites must sit behind the
+//!   one-relaxed-load level gate or use a self-gated primitive, preserving
+//!   the zero-cost-when-off invariant.
+//! * **atomics** — no `SeqCst` (the codebase standardizes on
+//!   Relaxed/Acquire/Release with comments), no `static mut`, no channel
+//!   `send` while a lock guard is live.
+//! * **panic** — no `unwrap`/`expect`/`panic!` in library crates outside
+//!   tests and benches (bins are exempt).
+//! * **dup-literal** — long string literals repeated across files point at
+//!   divergent copies of what should be one shared module.
+//!
+//! Suppression is per-line: `// mm-lint: allow(<rule>): <why>` on the
+//! flagged line or alone on the line above. Every allow must suppress
+//! something — stale ones are themselves violations (**unused-allow**).
+
+use crate::config::Config;
+use crate::lexer::{self, SourceLine};
+
+/// The rule classes mm-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// (D) wall-clock / entropy / unordered containers in identity paths.
+    Determinism,
+    /// (T) telemetry call sites outside the level gate.
+    TelemetryGate,
+    /// (A) `SeqCst`, `static mut`, lock-across-send.
+    Atomics,
+    /// (P) `unwrap` / `expect` / `panic!` in library code.
+    PanicHygiene,
+    /// An `allow` directive that suppressed nothing.
+    UnusedAllow,
+    /// A long literal duplicated across files.
+    DupLiteral,
+    /// A `lint.toml` identity file missing its header tag.
+    IdentityTag,
+}
+
+impl Rule {
+    /// The canonical rule name used in `allow(...)` directives and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::TelemetryGate => "telemetry-gate",
+            Rule::Atomics => "atomics",
+            Rule::PanicHygiene => "panic",
+            Rule::UnusedAllow => "unused-allow",
+            Rule::DupLiteral => "dup-literal",
+            Rule::IdentityTag => "identity-tag",
+        }
+    }
+}
+
+/// One finding: file, 1-based line, rule, what, and how to fix it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+    /// How to fix (or legitimately suppress) it.
+    pub hint: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message,
+            self.hint
+        )
+    }
+}
+
+/// How a file participates in linting, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: every rule applies.
+    Lib,
+    /// Binary targets: atomics/determinism/dup-literal only (panics and
+    /// ungated telemetry are acceptable in CLI tooling).
+    Bin,
+    /// Tests, benches, examples: skipped.
+    Exempt,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    let rel = rel.replace('\\', "/");
+    if rel.split('/').any(|part| {
+        part == "tests" || part == "benches" || part == "examples" || part == "fixtures"
+    }) {
+        FileKind::Exempt
+    } else if rel.contains("/src/bin/") || rel.ends_with("/main.rs") || rel.ends_with("build.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// A parsed `// mm-lint: allow(rule)` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    /// 0-based line of the directive itself.
+    line: usize,
+    /// 0-based line the directive suppresses (itself, or the next code
+    /// line when the directive stands alone).
+    target: usize,
+    used: bool,
+}
+
+/// Everything the analyzer learned about one file. Feed a batch of these to
+/// [`finalize`] to resolve cross-file rules and unused allows.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    violations: Vec<Violation>,
+    /// `(0-based line, literal)` candidates for the duplicate-literal rule.
+    literal_sites: Vec<(usize, String)>,
+    allows: Vec<Allow>,
+}
+
+/// One lexical scope (a `{ ... }` block) and the contracts active in it.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scope {
+    /// Inside `#[cfg(test)]` / `#[test]` / `#[bench]` code.
+    test: bool,
+    /// Behind a telemetry level gate (`if mm_telemetry::enabled() { ... }`).
+    gated: bool,
+    /// Inside an identity-tagged file, function, or `canonical_string` impl.
+    identity: bool,
+    /// A lock guard bound in this scope is still live.
+    lock_guard: bool,
+}
+
+const DIRECTIVE: &str = "mm-lint:";
+
+/// Analyze one file. `rel` must be workspace-relative with `/` separators.
+pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
+    let kind = classify(rel);
+    let lines = lexer::strip(text);
+    let mut analysis = FileAnalysis {
+        rel: rel.to_string(),
+        violations: Vec::new(),
+        literal_sites: Vec::new(),
+        allows: Vec::new(),
+    };
+    if kind == FileKind::Exempt {
+        return analysis;
+    }
+
+    let first_code = lines
+        .iter()
+        .position(|l| !l.code.trim().is_empty())
+        .unwrap_or(lines.len());
+    let mut file_identity = false;
+    let mut fn_identity_tags: Vec<usize> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        parse_directives(
+            &mut analysis,
+            &lines,
+            idx,
+            &line.comment,
+            first_code,
+            &mut file_identity,
+            &mut fn_identity_tags,
+        );
+    }
+    let listed_identity = config.identity_files.iter().any(|f| f == rel);
+    if listed_identity && !file_identity {
+        analysis.violations.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: Rule::IdentityTag,
+            message: "listed under [identity] in lint.toml but missing the \
+                      `// mm-lint: identity` header"
+                .to_string(),
+            hint: "add the header comment above the first item so readers see the contract \
+                   at the file top"
+                .to_string(),
+        });
+    }
+    file_identity |= listed_identity;
+
+    let panic_exempt = config.panic_exempt.iter().any(|p| rel.starts_with(p));
+    let telemetry_crate = rel.starts_with("crates/telemetry/");
+
+    let mut stack = vec![Scope {
+        identity: file_identity,
+        ..Scope::default()
+    }];
+    let mut header = String::new();
+    let mut pending_identity = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        if fn_identity_tags.contains(&idx) {
+            pending_identity = true;
+        }
+        let ctx = Scope {
+            test: stack.iter().any(|s| s.test),
+            gated: stack.iter().any(|s| s.gated),
+            identity: stack.iter().any(|s| s.identity) || pending_identity,
+            lock_guard: stack.iter().any(|s| s.lock_guard),
+        };
+        // The statement as assembled so far (prior lines + this one): the
+        // telemetry gate may sit earlier in a multi-line statement.
+        let stmt_so_far = format!("{header}{}", line.code);
+
+        check_line(
+            &mut analysis,
+            rel,
+            idx,
+            line,
+            ctx,
+            kind,
+            panic_exempt,
+            telemetry_crate,
+            &stmt_so_far,
+            config,
+        );
+
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    let parent = *stack.last().unwrap_or(&Scope::default());
+                    stack.push(Scope {
+                        test: parent.test || header_is_test(&header),
+                        gated: parent.gated || has_gate_token(&header),
+                        identity: parent.identity
+                            || std::mem::take(&mut pending_identity)
+                            || header.contains("fn canonical_string"),
+                        lock_guard: scope_header_binds_lock_guard(&header),
+                    });
+                    header.clear();
+                }
+                '}' => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                    header.clear();
+                }
+                ';' => {
+                    if let Some(scope) = stack.last_mut() {
+                        if statement_binds_lock_guard(&header) {
+                            scope.lock_guard = true;
+                        } else if header.trim_start().starts_with("drop(") {
+                            scope.lock_guard = false;
+                        }
+                    }
+                    header.clear();
+                }
+                _ => header.push(c),
+            }
+        }
+    }
+
+    analysis
+}
+
+/// Parse the `mm-lint:` directives in one line's comment text.
+fn parse_directives(
+    analysis: &mut FileAnalysis,
+    lines: &[SourceLine],
+    idx: usize,
+    comment: &str,
+    first_code: usize,
+    file_identity: &mut bool,
+    fn_identity_tags: &mut Vec<usize>,
+) {
+    // A directive must *lead* the comment (`// mm-lint: ...`); prose that
+    // merely mentions `mm-lint:` mid-sentence is not one. Doc-comment
+    // sigils (`///`, `//!`) reach us as leading `/` / `!` text.
+    let lead = comment.trim_start_matches(['/', '!', ' ', '\t']);
+    if !lead.starts_with(DIRECTIVE) {
+        return;
+    }
+    let body = lead[DIRECTIVE.len()..].trim();
+    if body == "identity" || body.starts_with("identity ") || body.starts_with("identity:") {
+        if idx < first_code {
+            *file_identity = true;
+        } else {
+            fn_identity_tags.push(idx);
+        }
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        let Some(end) = rest.find(')') else {
+            bad_directive(analysis, idx, "unterminated allow(...)");
+            return;
+        };
+        let rule = rest[..end].trim().to_string();
+        if !KNOWN_RULES.contains(&rule.as_str()) {
+            bad_directive(
+                analysis,
+                idx,
+                &format!("unknown rule `{rule}` in allow(...)"),
+            );
+            return;
+        }
+        // The directive covers its own line, or the next code line when it
+        // stands alone on a comment line.
+        let target = if lines[idx].code.trim().is_empty() {
+            (idx + 1..lines.len())
+                .find(|&j| !lines[j].code.trim().is_empty())
+                .unwrap_or(idx)
+        } else {
+            idx
+        };
+        analysis.allows.push(Allow {
+            rule,
+            line: idx,
+            target,
+            used: false,
+        });
+        return;
+    }
+    bad_directive(
+        analysis,
+        idx,
+        &format!("unrecognized directive `{DIRECTIVE} {body}`"),
+    );
+}
+
+const KNOWN_RULES: [&str; 7] = [
+    "determinism",
+    "telemetry-gate",
+    "atomics",
+    "panic",
+    "unused-allow",
+    "dup-literal",
+    "identity-tag",
+];
+
+fn bad_directive(analysis: &mut FileAnalysis, idx: usize, what: &str) {
+    analysis.violations.push(Violation {
+        file: analysis.rel.clone(),
+        line: idx + 1,
+        rule: Rule::UnusedAllow,
+        message: what.to_string(),
+        hint: format!(
+            "directives are `// mm-lint: identity` or `// mm-lint: allow(<rule>): <why>` \
+             with <rule> one of {KNOWN_RULES:?}"
+        ),
+    });
+}
+
+/// Whether a scope header marks test-only code.
+fn header_is_test(header: &str) -> bool {
+    header.contains("#[cfg(test)") || header.contains("#[test]") || header.contains("#[bench]")
+}
+
+/// Whether text contains a telemetry level-gate token. `enabled()` matches
+/// every gate helper (`enabled` / `timing_enabled` / `journal_enabled` /
+/// `span_enabled`); `level()` and `Level::` cover explicit comparisons.
+fn has_gate_token(text: &str) -> bool {
+    text.contains("enabled()") || text.contains("level()") || text.contains("Level::")
+}
+
+/// Whether a `;`-terminated statement binds a live lock guard
+/// (`let g = m.lock().unwrap();` and friends).
+fn statement_binds_lock_guard(stmt: &str) -> bool {
+    stmt.trim_start().starts_with("let ") && lock_chain_is_statement_value(stmt)
+}
+
+/// Whether a `{`-opening header keeps a lock guard alive for its block:
+/// `match m.lock() { ... }` scrutinee temporaries and `if let`/`while let`
+/// bindings live for the whole block.
+fn scope_header_binds_lock_guard(header: &str) -> bool {
+    let t = header.trim_start();
+    (t.contains("match ") || t.starts_with("if let ") || t.starts_with("while let "))
+        && lock_chain_is_statement_value(header)
+}
+
+/// Whether the text ends in a `.lock()` chain whose value *is* the guard
+/// (only guard-preserving adapters after `.lock()`).
+fn lock_chain_is_statement_value(text: &str) -> bool {
+    let Some(pos) = text.rfind(".lock()") else {
+        return false;
+    };
+    let mut tail = text[pos + ".lock()".len()..].trim();
+    loop {
+        let before = tail;
+        for adapter in [
+            ".unwrap()",
+            ".expect(\"\")",
+            ".unwrap_or_else(|e| e.into_inner())",
+            "?",
+        ] {
+            if let Some(rest) = tail.strip_prefix(adapter) {
+                tail = rest.trim_start();
+            }
+        }
+        if tail.is_empty() {
+            return true;
+        }
+        if tail == before {
+            return false;
+        }
+    }
+}
+
+/// Find `token` in `code` with identifier-boundary checks on both sides.
+fn has_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + token.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + token.len().max(1);
+    }
+    false
+}
+
+/// The determinism rule's banned tokens and their fix hints.
+const DETERMINISM_TOKENS: [(&str, &str); 7] = [
+    (
+        "Instant::now",
+        "wall-clock may only feed report payload outside canonical_string(); move the timing \
+         out of the identity path",
+    ),
+    (
+        "SystemTime",
+        "wall-clock may only feed report payload outside canonical_string(); move the timing \
+         out of the identity path",
+    ),
+    (
+        "thread_rng",
+        "identity paths draw from seed-derived streams (derive_stream_seed), never process \
+         entropy",
+    ),
+    (
+        "from_entropy",
+        "identity paths draw from seed-derived streams (derive_stream_seed), never process \
+         entropy",
+    ),
+    (
+        "random()",
+        "identity paths draw from seed-derived streams (derive_stream_seed), never process \
+         entropy",
+    ),
+    (
+        "HashMap",
+        "iteration order is unordered and can leak into identity output; use BTreeMap (or \
+         justify a lookup-only map with an allow)",
+    ),
+    (
+        "HashSet",
+        "iteration order is unordered and can leak into identity output; use BTreeSet (or \
+         justify a lookup-only set with an allow)",
+    ),
+];
+
+/// Telemetry operations that are never self-gated and must sit in a gated
+/// region regardless of receiver.
+const TELEMETRY_RAW_OPS: [&str; 4] = [
+    ".incr(",
+    ".record_unchecked(",
+    "journal().push(",
+    "journal.push(",
+];
+
+/// Operations that break zero-cost-when-off when they appear ungated on a
+/// line that touches telemetry (eager formatting, clock reads, snapshots).
+const TELEMETRY_TOUCH_OPS: [&str; 4] = ["format!", "Instant::now", ".elapsed(", ".snapshot()"];
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn check_line(
+    analysis: &mut FileAnalysis,
+    rel: &str,
+    idx: usize,
+    line: &SourceLine,
+    ctx: Scope,
+    kind: FileKind,
+    panic_exempt: bool,
+    telemetry_crate: bool,
+    stmt_so_far: &str,
+    config: &Config,
+) {
+    let code = line.code.as_str();
+    if code.trim().is_empty() {
+        return;
+    }
+
+    // (D) determinism — identity regions only, in any non-test code.
+    if ctx.identity && !ctx.test {
+        for (token, hint) in DETERMINISM_TOKENS {
+            if has_token(code, token) {
+                flag(
+                    analysis,
+                    rel,
+                    idx,
+                    Rule::Determinism,
+                    format!("`{token}` in an identity-tagged region"),
+                    hint.to_string(),
+                );
+            }
+        }
+    }
+
+    if !ctx.test {
+        // (A) atomics hygiene.
+        if has_token(code, "SeqCst") {
+            flag(
+                analysis,
+                rel,
+                idx,
+                Rule::Atomics,
+                "`SeqCst` ordering in non-test code".to_string(),
+                "the codebase standardizes on Relaxed (independent counters) or \
+                 Acquire/Release (handoffs); pick the weakest ordering that works and \
+                 comment it"
+                    .to_string(),
+            );
+        }
+        if code.contains("static mut") {
+            flag(
+                analysis,
+                rel,
+                idx,
+                Rule::Atomics,
+                "`static mut` item".to_string(),
+                "use an atomic, OnceLock, or Mutex".to_string(),
+            );
+        }
+        if code.contains(".send(") && ctx.lock_guard {
+            flag(
+                analysis,
+                rel,
+                idx,
+                Rule::Atomics,
+                "channel `send` while a lock guard bound in an enclosing scope is live".to_string(),
+                "drop the guard before sending so a blocked channel cannot hold the lock \
+                 against other threads"
+                    .to_string(),
+            );
+        }
+    }
+
+    // (P) panic hygiene — library code only.
+    if kind == FileKind::Lib && !ctx.test && !panic_exempt {
+        for token in PANIC_TOKENS {
+            if code.contains(token) {
+                let shown = if token.ends_with('(') {
+                    format!("{token}..)")
+                } else {
+                    token.to_string()
+                };
+                flag(
+                    analysis,
+                    rel,
+                    idx,
+                    Rule::PanicHygiene,
+                    format!("`{shown}` in library code"),
+                    "return a typed error, use a non-panicking combinator, or document the \
+                     invariant via `// mm-lint: allow(panic): <why>`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // (T) telemetry gating — library code outside the telemetry crate.
+    if kind == FileKind::Lib && !ctx.test && !telemetry_crate {
+        let gated = ctx.gated || has_gate_token(stmt_so_far);
+        if !gated {
+            for op in TELEMETRY_RAW_OPS {
+                if code.contains(op) {
+                    flag(
+                        analysis,
+                        rel,
+                        idx,
+                        Rule::TelemetryGate,
+                        format!("`{op}..)` telemetry mutation outside a level gate"),
+                        "wrap in `if mm_telemetry::journal_enabled() { ... }` (one relaxed \
+                         load) or use a self-gated primitive (`Counter::bump`, `event`, \
+                         `Track::span`)"
+                            .to_string(),
+                    );
+                }
+            }
+            let touches = code.contains("mm_telemetry") || code.contains("tele_");
+            if touches {
+                for op in TELEMETRY_TOUCH_OPS {
+                    // A `format!` behind a closure bar (`event("x", || format!(..))`)
+                    // is lazy: the self-gated callee decides whether it runs.
+                    let lazy = op == "format!"
+                        && code.find(op).is_some_and(|pos| code[..pos].contains("||"));
+                    if code.contains(op) && !lazy {
+                        flag(
+                            analysis,
+                            rel,
+                            idx,
+                            Rule::TelemetryGate,
+                            format!(
+                                "eager `{op}..)` on a telemetry call site outside a level gate"
+                            ),
+                            "formatting, clock reads, and snapshots must cost nothing when \
+                             telemetry is off: gate with `enabled()`/`timing_enabled()`/\
+                             `span_enabled()` or defer via a lazy closure"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // (L) duplicate-literal candidates (resolved across files in finalize).
+    if !ctx.test {
+        for lit in &line.literals {
+            if lit.len() >= config.dup_min_len && !config.dup_ignore.iter().any(|i| i == lit) {
+                analysis.literal_sites.push((idx, lit.clone()));
+            }
+        }
+    }
+}
+
+/// Record a violation unless an allow directive covers it.
+fn flag(
+    analysis: &mut FileAnalysis,
+    rel: &str,
+    idx: usize,
+    rule: Rule,
+    message: String,
+    hint: String,
+) {
+    if consume_allow(&mut analysis.allows, rule, idx) {
+        return;
+    }
+    analysis.violations.push(Violation {
+        file: rel.to_string(),
+        line: idx + 1,
+        rule,
+        message,
+        hint,
+    });
+}
+
+fn consume_allow(allows: &mut [Allow], rule: Rule, idx: usize) -> bool {
+    for allow in allows.iter_mut() {
+        if allow.target == idx && allow.rule == rule.name() {
+            allow.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Resolve the cross-file duplicate-literal rule and report unused allows.
+/// Returns every violation sorted by `(file, line, rule)`.
+pub fn finalize(mut analyses: Vec<FileAnalysis>) -> Vec<Violation> {
+    use std::collections::BTreeMap;
+
+    // literal → [(analysis index, line)]
+    let mut sites: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    for (a_idx, analysis) in analyses.iter().enumerate() {
+        for (line, lit) in &analysis.literal_sites {
+            sites.entry(lit.clone()).or_default().push((a_idx, *line));
+        }
+    }
+    let mut dup_violations: Vec<(usize, usize, String)> = Vec::new();
+    for (lit, occurrences) in sites {
+        let mut files: Vec<&str> = occurrences
+            .iter()
+            .map(|&(a, _)| analyses[a].rel.as_str())
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        if files.len() < 2 {
+            continue;
+        }
+        for (a_idx, line) in occurrences {
+            dup_violations.push((a_idx, line, preview(&lit)));
+        }
+    }
+    for (a_idx, line, shown) in dup_violations {
+        let rel = analyses[a_idx].rel.clone();
+        if consume_allow(&mut analyses[a_idx].allows, Rule::DupLiteral, line) {
+            continue;
+        }
+        analyses[a_idx].violations.push(Violation {
+            file: rel,
+            line: line + 1,
+            rule: Rule::DupLiteral,
+            message: format!("string literal \"{shown}\" is duplicated across files"),
+            hint: "hoist the shared literal (or the logic around it) into one module so the \
+                   copies cannot diverge"
+                .to_string(),
+        });
+    }
+
+    let mut out = Vec::new();
+    for analysis in &mut analyses {
+        for allow in &analysis.allows {
+            if !allow.used {
+                out.push(Violation {
+                    file: analysis.rel.clone(),
+                    line: allow.line + 1,
+                    rule: Rule::UnusedAllow,
+                    message: format!("allow({}) suppressed nothing", allow.rule),
+                    hint: "remove the stale directive — unused allows rot the contract".to_string(),
+                });
+            }
+        }
+        out.append(&mut analysis.violations);
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+    out
+}
+
+fn preview(lit: &str) -> String {
+    let flat: String = lit
+        .chars()
+        .map(|c| if c == '\n' { ' ' } else { c })
+        .collect();
+    if flat.len() > 40 {
+        format!(
+            "{}…",
+            &flat[..flat
+                .char_indices()
+                .take(40)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
+    } else {
+        flat
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: atomics-hygiene violations.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub static mut GLOBAL_TALLY: u64 = 0;
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn send_under_lock(queue: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = queue.lock().unwrap();
+    tx.send(guard.len() as u64).ok();
+}
+
+pub fn send_after_drop(queue: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = queue.lock().unwrap();
+    let n = guard.len() as u64;
+    drop(guard);
+    tx.send(n).ok();
+}

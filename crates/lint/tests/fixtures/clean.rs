@@ -1,0 +1,25 @@
+//! Fixture: a module every rule passes.
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn tally(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}
+
+// A comment mentioning Instant::now() and .unwrap() must not trip rules.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::tally(&[1, 1]).get(&1).copied().unwrap(), 2);
+    }
+}

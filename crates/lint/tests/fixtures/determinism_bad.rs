@@ -1,0 +1,13 @@
+// mm-lint: identity — fixture: identity-tagged file with determinism leaks.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn canonical_seed(parts: &[u64]) -> u64 {
+    let started = Instant::now();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &p in parts {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    let noise: u64 = rand::thread_rng().gen();
+    started.elapsed().as_nanos() as u64 ^ noise ^ counts.len() as u64
+}

@@ -1,0 +1,3 @@
+//! Fixture: first copy of a long duplicated literal.
+
+pub const BANNER_A: &str = "a sufficiently long literal shared by two fixture files";

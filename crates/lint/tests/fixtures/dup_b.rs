@@ -1,0 +1,3 @@
+//! Fixture: second copy of a long duplicated literal.
+
+pub const BANNER_B: &str = "a sufficiently long literal shared by two fixture files";

@@ -1,0 +1,23 @@
+//! Fixture: panic-hygiene violations in library code.
+
+pub fn first_two(values: &[u64]) -> (u64, u64) {
+    let first = *values.first().unwrap();
+    let second = *values.get(1).expect("needs two values");
+    if first > second {
+        panic!("unordered");
+    }
+    (first, second)
+}
+
+pub fn later() -> u64 {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(super::first_two(&[1, 2]), (1, 2));
+        Some(3u64).unwrap();
+    }
+}

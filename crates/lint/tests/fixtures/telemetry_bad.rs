@@ -1,0 +1,18 @@
+//! Fixture: telemetry call sites outside the level gate.
+
+pub fn ungated(counter: &mm_telemetry::Counter, hist: &mm_telemetry::Histogram) {
+    counter.incr(1);
+    hist.record_unchecked(42);
+    mm_telemetry::journal().push("event".to_string());
+}
+
+pub fn eager_format(label: &str) {
+    let tele_name = format!("serve.{label}.requests");
+    drop(tele_name);
+}
+
+pub fn gated_ok(hist: &mm_telemetry::Histogram) {
+    if mm_telemetry::journal_enabled() {
+        hist.record_unchecked(42);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an allow directive that suppresses nothing.
+
+// mm-lint: allow(panic): stale — nothing below panics anymore
+pub fn perfectly_fine() -> u64 {
+    7
+}

@@ -1,0 +1,240 @@
+//! The tier-1 integration surface of mm-lint.
+//!
+//! Three layers: per-rule fixture checks (each rule class fires on its bad
+//! fixture and stays quiet on the clean one), a whole-fixture-directory run
+//! through the same `lint_workspace` entry point the binary uses (so a
+//! fixture regression also breaks the CLI behavior), and the workspace
+//! self-check — the real tree must lint clean, which is what makes
+//! `cargo test` enforce the contracts on every change.
+
+use mm_lint::{analyze_source, finalize, lint_workspace, load_config, Config, Rule, Violation};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lint one fixture as if it lived in a library crate.
+fn lint_fixture(name: &str, config: &Config) -> Vec<Violation> {
+    let rel = format!("crates/demo/src/{name}");
+    finalize(vec![analyze_source(&rel, &fixture(name), config)])
+}
+
+fn count(violations: &[Violation], rule: Rule) -> usize {
+    violations.iter().filter(|v| v.rule == rule).count()
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn determinism_fixture_fails() {
+    let violations = lint_fixture("determinism_bad.rs", &Config::default());
+    // HashMap (import + binding), Instant::now, thread_rng.
+    assert!(
+        count(&violations, Rule::Determinism) >= 3,
+        "expected determinism violations, got: {violations:?}"
+    );
+}
+
+#[test]
+fn telemetry_fixture_fails_only_on_ungated_sites() {
+    let violations = lint_fixture("telemetry_bad.rs", &Config::default());
+    // .incr, .record_unchecked, journal().push, eager tele format!.
+    assert!(
+        count(&violations, Rule::TelemetryGate) >= 4,
+        "expected telemetry-gate violations, got: {violations:?}"
+    );
+    // The gated_ok fn sits behind journal_enabled(): its record_unchecked
+    // must NOT be flagged, so exactly one record_unchecked violation.
+    let unchecked = violations
+        .iter()
+        .filter(|v| v.rule == Rule::TelemetryGate && v.message.contains("record_unchecked"))
+        .count();
+    assert_eq!(
+        unchecked, 1,
+        "gated record_unchecked was flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn atomics_fixture_fails_and_drop_clears_the_guard() {
+    let violations = lint_fixture("atomics_bad.rs", &Config::default());
+    let atomics: Vec<&Violation> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::Atomics)
+        .collect();
+    // static mut, SeqCst, send-under-lock — but not the send after drop().
+    assert_eq!(
+        atomics.len(),
+        3,
+        "expected 3 atomics violations, got: {atomics:?}"
+    );
+    let lock_sends = atomics
+        .iter()
+        .filter(|v| v.message.contains("lock guard"))
+        .count();
+    assert_eq!(
+        lock_sends, 1,
+        "drop(guard) must clear the guard: {atomics:?}"
+    );
+}
+
+#[test]
+fn panic_fixture_fails_outside_tests_only() {
+    let violations = lint_fixture("panic_bad.rs", &Config::default());
+    // .unwrap(), .expect(, panic!, todo! — the test-module unwrap is exempt.
+    assert_eq!(
+        count(&violations, Rule::PanicHygiene),
+        4,
+        "expected 4 panic violations, got: {violations:?}"
+    );
+}
+
+#[test]
+fn unused_allow_fixture_fails() {
+    let violations = lint_fixture("unused_allow.rs", &Config::default());
+    assert_eq!(
+        count(&violations, Rule::UnusedAllow),
+        1,
+        "expected 1 unused-allow violation, got: {violations:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let violations = lint_fixture("clean.rs", &Config::default());
+    assert!(
+        violations.is_empty(),
+        "clean fixture flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn duplicate_literals_are_flagged_across_files() {
+    let config = Config::default();
+    let analyses = vec![
+        analyze_source("crates/demo/src/dup_a.rs", &fixture("dup_a.rs"), &config),
+        analyze_source("crates/demo/src/dup_b.rs", &fixture("dup_b.rs"), &config),
+    ];
+    let violations = finalize(analyses);
+    assert_eq!(
+        count(&violations, Rule::DupLiteral),
+        2,
+        "expected both dup sites flagged, got: {violations:?}"
+    );
+}
+
+#[test]
+fn fixture_directory_fails_through_the_cli_entry_point() {
+    // The same path the binary takes: every fixture class must surface.
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let violations = lint_workspace(&fixtures, &Config::default()).expect("fixture dir lints");
+    for rule in [
+        Rule::Determinism,
+        Rule::TelemetryGate,
+        Rule::Atomics,
+        Rule::PanicHygiene,
+        Rule::UnusedAllow,
+        Rule::DupLiteral,
+    ] {
+        assert!(
+            count(&violations, rule) > 0,
+            "rule {} not represented in fixture dir run",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = workspace_root();
+    let config = load_config(&root).expect("lint.toml parses");
+    let violations = lint_workspace(&root, &config).expect("workspace lints");
+    assert!(
+        violations.is_empty(),
+        "workspace must lint clean; run `cargo run -p mm-lint` for details:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeding_entropy_into_an_identity_file_fails() {
+    let root = workspace_root();
+    let rel = "crates/search/src/sync.rs";
+    let mut text = std::fs::read_to_string(root.join(rel)).expect("sync.rs readable");
+    text.push_str("\npub fn chaos() -> u64 {\n    rand::thread_rng().next_u64()\n}\n");
+    let config = load_config(&root).expect("lint.toml parses");
+    let violations = finalize(vec![analyze_source(rel, &text, &config)]);
+    assert!(
+        count(&violations, Rule::Determinism) >= 1,
+        "thread_rng in an identity file must fail, got: {violations:?}"
+    );
+}
+
+#[test]
+fn seeding_an_ungated_counter_into_the_scheduler_fails() {
+    let root = workspace_root();
+    let rel = "crates/serve/src/scheduler.rs";
+    let mut text = std::fs::read_to_string(root.join(rel)).expect("scheduler.rs readable");
+    text.push_str("\npub fn tally(counter: &mm_telemetry::Counter) {\n    counter.incr(1);\n}\n");
+    let config = load_config(&root).expect("lint.toml parses");
+    let violations = finalize(vec![analyze_source(rel, &text, &config)]);
+    assert!(
+        count(&violations, Rule::TelemetryGate) >= 1,
+        "an ungated counter.incr() in the scheduler must fail, got: {violations:?}"
+    );
+}
+
+#[test]
+fn listed_identity_file_without_header_fails() {
+    let config = Config {
+        identity_files: vec!["crates/demo/src/clean.rs".to_string()],
+        ..Config::default()
+    };
+    let violations = lint_fixture("clean.rs", &config);
+    assert_eq!(
+        count(&violations, Rule::IdentityTag),
+        1,
+        "missing identity header must fail, got: {violations:?}"
+    );
+}
+
+#[test]
+fn exempt_paths_are_skipped() {
+    let config = Config::default();
+    let violations = finalize(vec![analyze_source(
+        "crates/demo/tests/panic_bad.rs",
+        &fixture("panic_bad.rs"),
+        &config,
+    )]);
+    assert!(
+        violations.is_empty(),
+        "test paths must be exempt: {violations:?}"
+    );
+}
+
+#[test]
+fn used_allow_suppresses_and_is_not_reported() {
+    let src = "pub fn f(v: &[u64]) -> u64 {\n    \
+               // mm-lint: allow(panic): fixture-documented invariant\n    \
+               *v.first().unwrap()\n}\n";
+    let violations = finalize(vec![analyze_source(
+        "crates/demo/src/a.rs",
+        src,
+        &Config::default(),
+    )]);
+    assert!(
+        violations.is_empty(),
+        "used allow must suppress cleanly: {violations:?}"
+    );
+}

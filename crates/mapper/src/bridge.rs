@@ -152,6 +152,8 @@ impl ProposalSearch for BridgedSearcher {
         _max: usize,
         out: &mut Vec<Mapping>,
     ) {
+        // mm-lint: allow(panic): proposing outside a begin() session is a
+        // driver bug, not a recoverable state.
         let session = self.session.as_mut().expect("begin() not called");
         if session.outstanding || session.done {
             return;
@@ -166,6 +168,8 @@ impl ProposalSearch for BridgedSearcher {
     }
 
     fn report(&mut self, _mapping: &Mapping, cost: f64, _rng: &mut StdRng) {
+        // mm-lint: allow(panic): reporting outside a begin() session is a
+        // driver bug, not a recoverable state.
         let session = self.session.as_mut().expect("begin() not called");
         session.outstanding = false;
         if session.cost_tx.send(cost).is_err() {

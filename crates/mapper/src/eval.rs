@@ -238,9 +238,13 @@ impl EvalPool {
                 let result_tx = result_tx.clone();
                 let default_evaluator = default_evaluator.clone();
                 // Telemetry handles interned once per worker; bumps are one
-                // relaxed level check on the hot path.
+                // relaxed level check on the hot path. The handles must
+                // exist even while telemetry is off because the level can
+                // be raised at runtime.
+                // mm-lint: allow(telemetry-gate): one-time interning at worker spawn, not a hot-path call site
                 let tele_evals = mm_telemetry::counter(&format!("eval_pool.worker{w}.evals"));
                 let tele_latency = mm_telemetry::histogram("eval_pool.queue_latency_us");
+                // mm-lint: allow(telemetry-gate): one-time interning at worker spawn, not a hot-path call site
                 let tele_track = mm_telemetry::track(&format!("eval_pool.worker{w}"));
                 std::thread::spawn(move || loop {
                     // Hold the lock only while popping; evaluate unlocked.
@@ -374,6 +378,8 @@ impl EvalPool {
         }
         self.job_tx
             .as_ref()
+            // mm-lint: allow(panic): submitting after shutdown() is a
+            // driver bug, not a recoverable state.
             .expect("pool not shut down")
             .send(Job {
                 base_id,
@@ -381,6 +387,8 @@ impl EvalPool {
                 evaluator,
                 queued_at: mm_telemetry::timing_enabled().then(std::time::Instant::now),
             })
+            // mm-lint: allow(panic): workers only exit after the job channel
+            // closes, so a send failure means the pool was torn down early.
             .expect("evaluation workers alive");
         base_id..base_id + n
     }
@@ -418,10 +426,14 @@ impl EvalPool {
         let (id, result) = self
             .result_rx
             .recv()
+            // mm-lint: allow(panic): a closed result channel with jobs in
+            // flight means every worker died — unrecoverable.
             .expect("evaluation workers alive while jobs are in flight");
         self.in_flight -= 1;
         match result {
             Ok(eval) => (id, eval),
+            // mm-lint: allow(panic): re-raising a worker panic on the
+            // consuming thread is propagation, not a new failure.
             Err(msg) => panic!("evaluation worker panicked: {msg}"),
         }
     }
@@ -437,6 +449,8 @@ impl EvalPool {
                 self.in_flight -= 1;
                 match result {
                     Ok(eval) => Some((id, eval)),
+                    // mm-lint: allow(panic): re-raising a worker panic on
+                    // the consuming thread is propagation, not a new failure.
                     Err(msg) => panic!("evaluation worker panicked: {msg}"),
                 }
             }
@@ -466,6 +480,9 @@ impl EvalPool {
             by_id.insert(id, eval);
         }
         (0..mappings.len() as u64)
+            // mm-lint: allow(panic): the recv loop above drains exactly the
+            // ids submitted for this batch; a hole is a pool bug that must
+            // fail loudly.
             .map(|i| by_id.remove(&(base + i)).expect("every job completed"))
             .collect()
     }

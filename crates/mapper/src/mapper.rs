@@ -257,7 +257,9 @@ struct GlobalBest {
 
 impl GlobalBest {
     fn offer(&self, mapping: &Mapping, eval: &Evaluation) {
-        let mut slot = self.slot.lock().expect("global best lock");
+        // Poison recovery: the slot is a plain Option that is only ever
+        // replaced whole, so it stays valid if a holder panicked.
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         let better = match slot.as_ref() {
             None => true,
             Some((_, incumbent)) => eval.better_than(incumbent),
@@ -268,7 +270,7 @@ impl GlobalBest {
     }
 
     fn snapshot(&self) -> Option<(Mapping, Evaluation)> {
-        self.slot.lock().expect("global best lock").clone()
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }
 
@@ -295,15 +297,20 @@ impl BudgetLedger {
     /// *and* no peer holds claimed-but-unused budget that could be refunded.
     fn claim(&self, want: u64) -> u64 {
         loop {
-            let cur = self.remaining.load(Ordering::SeqCst);
+            let cur = self.remaining.load(Ordering::Acquire);
             let take = want.min(cur);
             if take > 0 {
+                // Raise `outstanding` *before* taking from `remaining`: a
+                // peer that sees our decremented `remaining` (Acquire load
+                // pairing with the AcqRel exchange) is then guaranteed to
+                // also see the outstanding balance and wait for the refund
+                // instead of quitting early.
+                self.outstanding.fetch_add(take, Ordering::AcqRel);
                 if self
                     .remaining
-                    .compare_exchange(cur, cur - take, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(cur, cur - take, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    self.outstanding.fetch_add(take, Ordering::SeqCst);
                     static GRANTS: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
                         std::sync::OnceLock::new();
                     static GRANTED: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
@@ -319,10 +326,19 @@ impl BudgetLedger {
                     });
                     return take;
                 }
+                // Lost the race: put the optimistic claim back.
+                self.outstanding.fetch_sub(take, Ordering::AcqRel);
                 continue;
             }
-            if self.outstanding.load(Ordering::SeqCst) == 0 {
-                return 0;
+            if self.outstanding.load(Ordering::Acquire) == 0 {
+                // Refunds restore `remaining` before clearing `outstanding`
+                // (both ends Release/Acquire), so after observing a zero
+                // outstanding balance a re-read of `remaining` sees every
+                // refund that zeroed it: still empty means truly dry.
+                if self.remaining.load(Ordering::Acquire) == 0 {
+                    return 0;
+                }
+                continue;
             }
             // A peer still holds budget: it will be spent or refunded.
             std::thread::yield_now();
@@ -331,14 +347,17 @@ impl BudgetLedger {
 
     /// Mark one claimed evaluation as spent.
     fn consume(&self) {
-        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Return unused claimed budget for other shards to steal.
     fn refund(&self, unused: u64) {
         if unused > 0 {
-            self.remaining.fetch_add(unused, Ordering::SeqCst);
-            self.outstanding.fetch_sub(unused, Ordering::SeqCst);
+            // Order matters: restore `remaining` first so a peer that sees
+            // `outstanding` hit zero (Acquire) also sees the refunded
+            // budget — see the dry-check in `claim`.
+            self.remaining.fetch_add(unused, Ordering::AcqRel);
+            self.outstanding.fetch_sub(unused, Ordering::AcqRel);
             static REFUNDS: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
                 std::sync::OnceLock::new();
             static REFUNDED: std::sync::OnceLock<Arc<mm_telemetry::Counter>> =
@@ -986,7 +1005,11 @@ fn execute_queue<'a>(
             let surplus = &surplus;
             let evaluator = Arc::clone(evaluator);
             handles.push(scope.spawn(move || loop {
-                let Some(mut run) = queue.lock().expect("shard queue").pop_front() else {
+                // Poisoned locks only mean a sibling worker panicked while
+                // holding the queue; the data is a plain VecDeque/Vec and
+                // stays valid, so recover instead of cascading the panic.
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                let Some(mut run) = next else {
                     break;
                 };
                 let budget = match ledger {
@@ -994,18 +1017,22 @@ fn execute_queue<'a>(
                     None => BudgetSource::Fixed(run.grant),
                 };
                 run.drive(config, &evaluator, budget, global, stop, start);
-                surplus.fetch_add(run.leftover, Ordering::SeqCst);
-                done.lock().expect("done runs").push(run);
+                // Relaxed: `surplus` is an independent tally; the join below
+                // is the synchronization point before it is read.
+                surplus.fetch_add(run.leftover, Ordering::Relaxed);
+                done.lock().unwrap_or_else(|e| e.into_inner()).push(run);
             }));
         }
         for handle in handles {
+            // mm-lint: allow(panic): re-raising a worker panic on the
+            // driving thread is the correct propagation, not a new failure.
             handle.join().expect("mapper worker panicked");
         }
     });
 
     (
-        done.into_inner().expect("done runs"),
-        surplus.load(Ordering::SeqCst),
+        done.into_inner().unwrap_or_else(|e| e.into_inner()),
+        surplus.load(Ordering::Relaxed),
     )
 }
 

@@ -96,13 +96,12 @@ pub fn run_pipelined(
                 }
             }
         }
-        if pending.is_empty() {
-            break; // nothing in flight and nothing proposed: done
-        }
-
         // Wait for the oldest outstanding proposal's result, reporting every
-        // completion in proposal order.
-        let (oldest_id, _) = *pending.front().expect("pending non-empty");
+        // completion in proposal order. An empty queue means nothing is in
+        // flight and nothing was proposed: done.
+        let Some(&(oldest_id, _)) = pending.front() else {
+            break;
+        };
         if !arrived.contains_key(&oldest_id) {
             let _span = track.as_ref().and_then(|t| t.span("pipeline.wait"));
             while !arrived.contains_key(&oldest_id) {

@@ -1,3 +1,4 @@
+// mm-lint: identity — this file feeds canonical output; the determinism rule applies.
 //! Flat-vector encoding of mappings (Section 4.1.2 / 5.5).
 //!
 //! The surrogate model consumes a fixed-length vector of floats per mapping:

@@ -1,3 +1,4 @@
+// mm-lint: identity — this file feeds canonical output; the determinism rule applies.
 //! The [`Mapping`] type: one point in the algorithm-accelerator map space.
 //!
 //! A mapping fixes the accelerator's programmable attributes for one problem

@@ -211,6 +211,8 @@ impl ProblemSpec {
         self.tensors
             .iter()
             .position(|t| t.kind == TensorKind::Output)
+            // mm-lint: allow(panic): every constructor inserts an output
+            // tensor; its absence is a corrupted ProblemSpec.
             .expect("ProblemSpec invariant: output tensor exists")
     }
 

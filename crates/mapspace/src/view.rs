@@ -790,6 +790,8 @@ impl ShardedMapSpace {
         //    dimension's parallelism never shrinks again below `plo`.
         let mut par_pin: Option<(usize, u64)> = None; // (dim, floor value)
         if let Some((pdim, plo, phi)) = window.par_bounds() {
+            // mm-lint: allow(panic): par_bounds() returning Some implies
+            // the window has a par axis by construction.
             let (_, extent) = window.par.expect("par bounds imply a par axis");
             let bucket = m.parallel[pdim].clamp(1, extent);
             if bucket < plo || bucket > phi {
@@ -824,6 +826,8 @@ impl ShardedMapSpace {
         let mut tile_pin: Option<(usize, u64)> = None; // (dim, floor value)
         let par_value = window.par.map_or(1, |(pdim, _)| m.parallel[pdim]);
         if let Some((tdim, tlo, thi)) = window.tile_bounds(par_value) {
+            // mm-lint: allow(panic): tile_bounds() returning Some implies
+            // the window has a tile axis by construction.
             let (_, extent) = window.tile.expect("tile bounds imply a tile axis");
             let bucket = m.tiles[1][tdim].clamp(1, extent);
             if bucket < tlo || bucket > thi {
@@ -877,9 +881,9 @@ impl ShardedMapSpace {
                 }
                 break;
             }
-            let worst = (0..t)
-                .max_by_key(|&ti| footprints[ti])
-                .expect("at least one tensor");
+            let Some(worst) = (0..t).max_by_key(|&ti| footprints[ti]) else {
+                break; // no tensors: nothing occupies the buffer
+            };
             // Shrink the worst tensor's largest shrinkable L2 contribution;
             // pinned dimensions only shrink down to their window floors.
             // When every dim of the worst tensor is pinned at its floor,

@@ -179,6 +179,8 @@ impl Mlp {
             MlpGrad {
                 layers: layer_grads
                     .into_iter()
+                    // mm-lint: allow(panic): the backward pass above fills
+                    // every slot; a hole is a backprop bug.
                     .map(|g| g.expect("gradient computed for every layer"))
                     .collect(),
             },

@@ -103,6 +103,8 @@ impl SimulatedAnnealing {
 
     /// Install the cooling schedule once the initial temperature is known.
     fn install_schedule(&mut self, t0: f64) {
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         let t_final = (t0 * self.config.final_temperature_fraction).max(1e-300);
         let remaining = state.horizon.saturating_sub(state.reports).max(1);
@@ -149,6 +151,8 @@ impl ProposalSearch for SimulatedAnnealing {
         _max: usize,
         out: &mut Vec<Mapping>,
     ) {
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         if state.outstanding {
             return;
@@ -165,6 +169,8 @@ impl ProposalSearch for SimulatedAnnealing {
     }
 
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         state.outstanding = false;
         state.reports += 1;

@@ -181,7 +181,7 @@ impl ProposalSearch for GeneticAlgorithm {
         {
             self.state
                 .population
-                .sort_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap());
+                .sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
             // A restart can shrink the population below the elite count.
             let elites = self.elites().min(self.state.population.len());
             let seed: Vec<Individual> = self.state.population[..elites].to_vec();
@@ -239,7 +239,7 @@ impl ProposalSearch for GeneticAlgorithm {
                     .population
                     .iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| a.fitness.partial_cmp(&b.fitness).unwrap())
+                    .max_by(|(_, a), (_, b)| a.fitness.total_cmp(&b.fitness))
                 else {
                     return;
                 };

@@ -341,6 +341,8 @@ impl ProposalSearch for DdpgAgent {
         out: &mut Vec<Mapping>,
     ) {
         let cfg = self.config;
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         if state.pending.is_some() {
             return;
@@ -378,6 +380,8 @@ impl ProposalSearch for DdpgAgent {
 
     fn report(&mut self, mapping: &Mapping, cost: f64, rng: &mut StdRng) {
         let cfg = self.config;
+        // mm-lint: allow(panic): calling the strategy outside a begin()
+        // session is a driver bug, not a recoverable state.
         let state = self.state.as_mut().expect("begin() not called");
         let Some((prev_state, action)) = state.pending.take() else {
             return;

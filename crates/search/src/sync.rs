@@ -1,3 +1,4 @@
+// mm-lint: identity — this file feeds canonical output; the determinism rule applies.
 //! Global-best synchronization policies: [`SyncPolicy`] and [`SyncAction`].
 //!
 //! Parallel drivers (the `mm-mapper` `Mapper`, the `mm-serve` scheduler,

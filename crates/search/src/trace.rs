@@ -267,7 +267,7 @@ impl SearchTrace {
             best_cost,
             best_mapping: traces
                 .iter()
-                .min_by(|a, b| a.best_cost.partial_cmp(&b.best_cost).unwrap())
+                .min_by(|a, b| a.best_cost.total_cmp(&b.best_cost))
                 .and_then(|t| t.best_mapping.clone()),
             wall_time_s: traces.iter().map(|t| t.wall_time_s).sum::<f64>() / traces.len() as f64,
         }

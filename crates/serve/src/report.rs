@@ -1,3 +1,4 @@
+// mm-lint: identity — this file feeds canonical output; the determinism rule applies.
 //! Per-layer and whole-network serving reports.
 //!
 //! A [`NetworkReport`] is the service's answer for one network: one

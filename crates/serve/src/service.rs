@@ -356,6 +356,8 @@ impl MappingService {
             .layers
             .into_iter()
             .next()
+            // mm-lint: allow(panic): map_network emits exactly one
+            // LayerReport per layer and `net` has one layer by construction.
             .expect("one-layer network yields one report")
     }
 

@@ -52,7 +52,7 @@ impl Journal {
     /// Callers gate on [`crate::journal_enabled`] so the detail string is
     /// only built when the journal records.
     pub fn push(&self, kind: &'static str, detail: String) {
-        let mut inner = self.inner.lock().expect("journal lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.events.len() >= inner.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
@@ -64,7 +64,11 @@ impl Journal {
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("journal lock").events.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .len()
     }
 
     /// Whether the journal holds no events.
@@ -74,19 +78,19 @@ impl Journal {
 
     /// Events dropped to the ring bound so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("journal lock").dropped
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
     }
 
     /// Copy out the retained events (in order) and the dropped count,
     /// without clearing.
     pub fn drain_copy(&self) -> (Vec<Event>, u64) {
-        let inner = self.inner.lock().expect("journal lock");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         (inner.events.iter().cloned().collect(), inner.dropped)
     }
 
     /// Clear all events and reset the drop/sequence accounting.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("journal lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.events.clear();
         inner.next_seq = 0;
         inner.dropped = 0;
@@ -95,7 +99,7 @@ impl Journal {
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("journal lock");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         write!(
             f,
             "Journal(len={}, dropped={}, cap={})",

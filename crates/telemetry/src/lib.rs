@@ -242,10 +242,15 @@ impl Registry {
         }
     }
 
+    // Observability must never take the host process down: poisoned locks
+    // are recovered (`unwrap_or_else(|e| e.into_inner())`) throughout,
+    // which is sound because every guarded structure is a plain map or
+    // buffer that stays valid after a panicking writer.
+
     /// The counter interned under `name` (created on first use). Intern
     /// once and cache the `Arc` — the lookup takes a lock.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("telemetry counter lock");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Counter::new()))
             .clone()
@@ -253,7 +258,7 @@ impl Registry {
 
     /// The histogram interned under `name` (created on first use).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("telemetry histogram lock");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new()))
             .clone()
@@ -264,7 +269,7 @@ impl Registry {
     /// its id (and therefore every span id on it) is a pure function of the
     /// name, never of wall-clock or scheduling order.
     pub fn track(&self, name: &str) -> Arc<Track> {
-        let mut map = self.tracks.lock().expect("telemetry track lock");
+        let mut map = self.tracks.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Track::new(name)))
             .clone()
@@ -290,7 +295,7 @@ impl Registry {
         let counters = self
             .counters
             .lock()
-            .expect("telemetry counter lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .filter(|(_, v)| *v > 0)
@@ -298,17 +303,17 @@ impl Registry {
         let histograms = self
             .histograms
             .lock()
-            .expect("telemetry histogram lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .filter(|(_, h)| h.count > 0)
             .collect();
-        let epoch = *self.epoch.lock().expect("telemetry epoch lock");
+        let epoch = *self.epoch.lock().unwrap_or_else(|e| e.into_inner());
         let mut dropped_spans = 0;
         let tracks = self
             .tracks
             .lock()
-            .expect("telemetry track lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .filter_map(|(k, t)| {
                 let (spans, dropped) = t.snapshot(epoch);
@@ -335,7 +340,7 @@ impl Registry {
         for c in self
             .counters
             .lock()
-            .expect("telemetry counter lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
         {
             c.reset();
@@ -343,15 +348,20 @@ impl Registry {
         for h in self
             .histograms
             .lock()
-            .expect("telemetry histogram lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
         {
             h.reset();
         }
-        for t in self.tracks.lock().expect("telemetry track lock").values() {
+        for t in self
+            .tracks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
             t.reset();
         }
-        *self.epoch.lock().expect("telemetry epoch lock") = std::time::Instant::now();
+        *self.epoch.lock().unwrap_or_else(|e| e.into_inner()) = std::time::Instant::now();
         self.journal.clear();
     }
 }

@@ -110,7 +110,7 @@ impl Track {
     }
 
     fn record(&self, name: &'static str, seq: u64, start: Instant, dur_us: u64, count: u64) {
-        let mut spans = self.spans.lock().expect("telemetry span lock");
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
         if spans.len() >= TRACK_CAPACITY {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
@@ -126,7 +126,7 @@ impl Track {
 
     /// Completed spans recorded so far.
     pub fn len(&self) -> usize {
-        self.spans.lock().expect("telemetry span lock").len()
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no spans completed yet.
@@ -138,7 +138,7 @@ impl Track {
     /// the order is deterministic even though spans complete out of order)
     /// plus the dropped count. `epoch` anchors the microsecond timestamps.
     pub(crate) fn snapshot(&self, epoch: Instant) -> (Vec<SpanSnapshot>, u64) {
-        let spans = self.spans.lock().expect("telemetry span lock");
+        let spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<SpanSnapshot> = spans
             .iter()
             .map(|s| SpanSnapshot {
@@ -156,7 +156,7 @@ impl Track {
     /// Clear spans, sequence, and dropped count in place (handles stay
     /// valid), mirroring counter/histogram `reset`.
     pub fn reset(&self) {
-        self.spans.lock().expect("telemetry span lock").clear();
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
     }
