@@ -1,0 +1,76 @@
+//! Concurrent-serving bench: N simultaneous table1-class requests over one
+//! multi-tenant [`mm_serve::MappingService`] vs. a single request on an idle
+//! service, plus the in-flight sharing path for byte-identical requests.
+//!
+//! Writes a `BENCH_serve_concurrent.json` summary under the results
+//! directory (override with `MM_RESULTS_DIR`). Tune with
+//! `MM_CONCURRENT_BENCH_EVALS` (per-layer evaluations; falls back to
+//! `MM_CI_BENCH_EVALS`, default 1000), `MM_CONCURRENT_BENCH_WORKERS` (pool
+//! workers, default 4) and `MM_CONCURRENT_BENCH_REQUESTS` (simultaneous
+//! requests, default 4).
+//!
+//! The headline number is `concurrent_rel_throughput`: aggregate
+//! evaluations/second with N distinct-seed requests in flight, relative to
+//! one request on an idle service. The bench gate holds it at ≥ 0.8× by
+//! default (`MM_GATE_CONCURRENT_TOL`). Run with `MM_TELEMETRY=spans` to get
+//! the request-lifecycle trace (`request.admit`/`request.queue`/
+//! `request.run`) written as a Chrome-trace sibling.
+
+use mm_bench::{report, run_concurrent_bench};
+
+fn main() {
+    let evals_per_layer = report::env_evals("MM_CONCURRENT_BENCH_EVALS", 1000);
+    let workers = report::env_u64("MM_CONCURRENT_BENCH_WORKERS", 4) as usize;
+    let requests = report::env_u64("MM_CONCURRENT_BENCH_REQUESTS", 4) as usize;
+    let result = run_concurrent_bench(evals_per_layer, workers, requests, 17);
+
+    println!(
+        "{} concurrent requests for {} ({} layers × {} evals) over {} pool workers ({} core(s) available)",
+        result.requests,
+        result.network,
+        result.layers,
+        result.evals_per_layer,
+        result.workers,
+        result.available_parallelism
+    );
+    println!(
+        "{}",
+        report::format_table(
+            &["phase", "wall_s", "evals", "evals/s"],
+            &[
+                vec![
+                    "single request (idle service)".into(),
+                    report::fmt(result.single_wall_s),
+                    (result.layers as u64 * result.evals_per_layer).to_string(),
+                    report::fmt(result.single_request_evals_per_sec),
+                ],
+                vec![
+                    format!("{} concurrent (distinct seeds)", result.requests),
+                    report::fmt(result.concurrent_wall_s),
+                    result.concurrent_evaluations.to_string(),
+                    report::fmt(result.concurrent_evals_per_sec),
+                ],
+                vec![
+                    format!("{} concurrent (identical, shared)", result.requests),
+                    report::fmt(result.shared_wall_s),
+                    result.shared_evaluations.to_string(),
+                    "-".into(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "relative throughput under contention: {:.2}x  (gate: >= 0.8x)",
+        result.concurrent_rel_throughput
+    );
+    println!(
+        "request latency p50 {}s / p99 {}s; shared phase attached {} in-flight searches",
+        report::fmt(result.latency_p50_s),
+        report::fmt(result.latency_p99_s),
+        result.shared_searches
+    );
+    match result.write_json() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serve_concurrent.json: {e}"),
+    }
+}

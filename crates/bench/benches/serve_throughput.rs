@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, Criterion};
 use mm_bench::{report, run_serve_bench};
-use mm_serve::{MappingService, ServeConfig};
+use mm_serve::{MappingService, RequestConfig, ServiceConfig};
 use mm_workloads::{evaluated_accelerator, table1_network};
 
 /// Criterion view: wall-clock of a small fixed serve call.
@@ -31,11 +31,10 @@ fn bench_serve_network(c: &mut Criterion) {
                 b.iter(|| {
                     let mut service = MappingService::new(
                         evaluated_accelerator(),
-                        ServeConfig {
-                            workers,
-                            search_size: 64,
-                            ..ServeConfig::default()
-                        },
+                        (
+                            ServiceConfig::default().with_workers(workers),
+                            RequestConfig::default().with_search_size(64),
+                        ),
                     );
                     service.map_network(&net)
                 })

@@ -1,0 +1,273 @@
+//! Multi-tenant serve measurement: N simultaneous table1-class requests
+//! over one shared [`MappingService`] vs. a single request on an otherwise
+//! idle service, plus the in-flight sharing path for identical shapes.
+//!
+//! Three questions, one JSON (`BENCH_serve_concurrent.json`):
+//!
+//! 1. **Fair-share throughput** — with N distinct-seed requests (distinct
+//!    fingerprints, so N× real search work) interleaved over the one pool,
+//!    what aggregate evaluations/second does the service sustain relative
+//!    to a single request on an idle service? `concurrent_rel_throughput`
+//!    is that ratio; the bench gate requires it ≥ `1 - tolerance`
+//!    (`MM_GATE_CONCURRENT_TOL`, default 0.2 — i.e. the ISSUE's ≥ 0.8×
+//!    acceptance bar).
+//! 2. **Request latency** — what submit→completion wall time does each
+//!    concurrent request see (p50/p99 over the batch), given that
+//!    fair-share scheduling interleaves their per-layer jobs instead of
+//!    running them to completion one at a time?
+//! 3. **In-flight sharing** — when the N requests are byte-identical
+//!    (same shapes, same `RequestConfig`), how much work does
+//!    cross-request incumbent sharing save? The shared run should spend
+//!    roughly one request's evaluations, not N×.
+//!
+//! Single-core containers mostly show scheduler overhead (ratio ≈ 1);
+//! multi-core hardware shows the pool staying busy across request
+//! boundaries — see EXPERIMENTS.md.
+
+use mm_serve::{MappingService, RequestConfig, RequestHandle, ServiceConfig};
+use mm_workloads::{evaluated_accelerator, table1_network, Network};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{rate, write_bench_json, Stopwatch};
+
+/// The concurrent-serving measurement set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentBenchResult {
+    /// Network served (the Table 1 set).
+    pub network: String,
+    /// Layers per request.
+    pub layers: usize,
+    /// Evaluations per layer search.
+    pub evals_per_layer: u64,
+    /// Pool workers of the shared service.
+    pub workers: usize,
+    /// Simultaneous requests in the concurrent and shared phases.
+    pub requests: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    /// Wall seconds of one request on an otherwise idle service.
+    pub single_wall_s: f64,
+    /// Evaluations/second of that single request.
+    pub single_request_evals_per_sec: f64,
+    /// Wall seconds serving all concurrent requests (submit → last done).
+    pub concurrent_wall_s: f64,
+    /// Fresh evaluations across the concurrent requests (distinct seeds →
+    /// no sharing, `requests ×` the single request's work).
+    pub concurrent_evaluations: u64,
+    /// Aggregate evaluations/second across the concurrent requests.
+    pub concurrent_evals_per_sec: f64,
+    /// `concurrent_evals_per_sec / single_request_evals_per_sec` — the
+    /// gate's fresh-side invariant (≥ 0.8× by default).
+    pub concurrent_rel_throughput: f64,
+    /// Median submit→completion latency over the concurrent requests.
+    pub latency_p50_s: f64,
+    /// p99 submit→completion latency over the concurrent requests.
+    pub latency_p99_s: f64,
+    /// Wall seconds serving `requests` byte-identical requests at once.
+    pub shared_wall_s: f64,
+    /// Fresh evaluations the shared phase spent (≈ one request's worth:
+    /// identical fingerprints attach to one in-flight search unit).
+    pub shared_evaluations: u64,
+    /// Total in-flight unit attachments reported across the shared
+    /// requests (`Σ NetworkReport::shared_searches`).
+    pub shared_searches: u64,
+}
+
+impl ConcurrentBenchResult {
+    /// Serialize as the `BENCH_serve_concurrent.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve_concurrent\",\n  \"network\": {:?},\n  \
+             \"layers\": {},\n  \"evals_per_layer\": {},\n  \"workers\": {},\n  \
+             \"requests\": {},\n  \"available_parallelism\": {},\n  \
+             \"single_wall_s\": {:.6},\n  \"single_request_evals_per_sec\": {:.3},\n  \
+             \"concurrent_wall_s\": {:.6},\n  \"concurrent_evaluations\": {},\n  \
+             \"concurrent_evals_per_sec\": {:.3},\n  \
+             \"concurrent_rel_throughput\": {:.4},\n  \
+             \"latency_p50_s\": {:.6},\n  \"latency_p99_s\": {:.6},\n  \
+             \"shared_wall_s\": {:.6},\n  \"shared_evaluations\": {},\n  \
+             \"shared_searches\": {}\n}}\n",
+            self.network,
+            self.layers,
+            self.evals_per_layer,
+            self.workers,
+            self.requests,
+            self.available_parallelism,
+            self.single_wall_s,
+            self.single_request_evals_per_sec,
+            self.concurrent_wall_s,
+            self.concurrent_evaluations,
+            self.concurrent_evals_per_sec,
+            self.concurrent_rel_throughput,
+            self.latency_p50_s,
+            self.latency_p99_s,
+            self.shared_wall_s,
+            self.shared_evaluations,
+            self.shared_searches,
+        )
+    }
+
+    /// Write `BENCH_serve_concurrent.json` under the results directory
+    /// (plus a telemetry sibling when collection is on), returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        write_bench_json(crate::output::SERVE_CONCURRENT_BENCH_FILE, &self.to_json())
+    }
+}
+
+/// Nearest-rank percentile (`q` in 0..=100) of submit→completion latencies.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn service(arch: &mm_accel::Architecture, workers: usize, queue_depth: usize) -> MappingService {
+    MappingService::new(
+        arch.clone(),
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_active_jobs(workers.max(2))
+            .with_queue_depth(queue_depth),
+    )
+}
+
+/// Submit every request, then wait for all of them, returning the handles'
+/// reports in submit order.
+fn submit_all(
+    service: &mut MappingService,
+    net: &Network,
+    configs: &[RequestConfig],
+) -> Vec<mm_serve::NetworkReport> {
+    let handles: Vec<RequestHandle> = configs
+        .iter()
+        .map(|cfg| {
+            service
+                .submit(net, cfg.clone())
+                .expect("bench queue depth covers the batch")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| service.wait(h).expect("bench requests complete"))
+        .collect()
+}
+
+/// Run the concurrent-serving sweep on the Table 1 network.
+pub fn run_concurrent_bench(
+    evals_per_layer: u64,
+    workers: usize,
+    requests: usize,
+    seed: u64,
+) -> ConcurrentBenchResult {
+    let arch = evaluated_accelerator();
+    let net = table1_network();
+    let requests = requests.max(1);
+    let base = RequestConfig::default().with_search_size(evals_per_layer);
+
+    // Single request on an otherwise idle service: the per-layer-throughput
+    // baseline the concurrent phase is held against.
+    let mut solo = service(&arch, workers, requests);
+    let watch = Stopwatch::start();
+    let baseline = submit_all(&mut solo, &net, &[base.clone().with_seed(seed)])
+        .pop()
+        .expect("one baseline request");
+    let single_wall_s = watch.elapsed_s();
+    let single_rate = rate(baseline.total_evaluations, single_wall_s);
+
+    // Concurrent: distinct seeds → distinct fingerprints → no cache or
+    // in-flight sharing; the service really does `requests ×` the work.
+    let mut shared_service = service(&arch, workers, requests);
+    let distinct: Vec<RequestConfig> = (0..requests)
+        .map(|i| {
+            base.clone()
+                .with_seed(seed + 1 + i as u64)
+                .with_tenant(format!("tenant-{i}"))
+        })
+        .collect();
+    let watch = Stopwatch::start();
+    let reports = submit_all(&mut shared_service, &net, &distinct);
+    let concurrent_wall_s = watch.elapsed_s();
+    let concurrent_evaluations: u64 = reports.iter().map(|r| r.total_evaluations).sum();
+    let concurrent_rate = rate(concurrent_evaluations, concurrent_wall_s);
+    let mut latencies: Vec<f64> = reports.iter().map(|r| r.wall_time_s).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    // Shared: byte-identical requests attach to one in-flight search unit
+    // per layer, so the whole batch costs about one request's evaluations.
+    let mut sharing_service = service(&arch, workers, requests);
+    let identical: Vec<RequestConfig> = (0..requests)
+        .map(|i| {
+            base.clone()
+                .with_seed(seed)
+                .with_tenant(format!("tenant-{i}"))
+        })
+        .collect();
+    let watch = Stopwatch::start();
+    let shared_reports = submit_all(&mut sharing_service, &net, &identical);
+    let shared_wall_s = watch.elapsed_s();
+    let shared_searches: u64 = shared_reports.iter().map(|r| r.shared_searches).sum();
+
+    ConcurrentBenchResult {
+        network: net.name.clone(),
+        layers: net.len(),
+        evals_per_layer,
+        workers,
+        requests,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        single_wall_s,
+        single_request_evals_per_sec: single_rate,
+        concurrent_wall_s,
+        concurrent_evaluations,
+        concurrent_evals_per_sec: concurrent_rate,
+        concurrent_rel_throughput: if single_rate > 0.0 {
+            concurrent_rate / single_rate
+        } else {
+            0.0
+        },
+        latency_p50_s: percentile(&latencies, 50.0),
+        latency_p99_s: percentile(&latencies, 99.0),
+        shared_wall_s,
+        shared_evaluations: sharing_service.stats().total_evaluations,
+        shared_searches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_serializes() {
+        let result = run_concurrent_bench(30, 2, 3, 11);
+        assert_eq!(result.layers, 8);
+        assert_eq!(result.requests, 3);
+        // Distinct seeds: every request searches fresh.
+        assert_eq!(result.concurrent_evaluations, 3 * 8 * 30);
+        assert!(result.single_request_evals_per_sec > 0.0);
+        assert!(result.concurrent_rel_throughput > 0.0);
+        assert!(result.latency_p99_s >= result.latency_p50_s);
+        // Identical requests share in-flight units: one request's worth of
+        // fresh work, and the two followers attach to all 8 layer units.
+        assert_eq!(result.shared_evaluations, 8 * 30);
+        assert_eq!(result.shared_searches, 2 * 8);
+
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"serve_concurrent\""));
+        assert!(json.contains("concurrent_rel_throughput"));
+        assert!(json.contains("latency_p99_s"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -206,6 +206,12 @@ pub struct GateTolerances {
     /// two `Instant` reads plus a buffered append per instrumented region,
     /// so the allowance is slightly wider than the journal's.
     pub telemetry_spans: f64,
+    /// Allowed per-layer-throughput loss under multi-tenant contention (the
+    /// `concurrent_rel_throughput` fresh-side invariant on
+    /// `BENCH_serve_concurrent.json`): N simultaneous table1-class requests
+    /// must sustain at least `1 − tolerance` of a single idle-service
+    /// request's aggregate evaluations/second. 0.2 = the ISSUE's ≥ 0.8× bar.
+    pub concurrent: f64,
 }
 
 impl Default for GateTolerances {
@@ -215,14 +221,15 @@ impl Default for GateTolerances {
             throughput: 0.25,
             telemetry: 0.02,
             telemetry_spans: 0.03,
+            concurrent: 0.2,
         }
     }
 }
 
 impl GateTolerances {
     /// Read tolerances from `MM_GATE_EDP_TOL` / `MM_GATE_THROUGHPUT_TOL` /
-    /// `MM_GATE_TELEMETRY_TOL` / `MM_GATE_TELEMETRY_SPANS_TOL` (fractions),
-    /// falling back to the defaults.
+    /// `MM_GATE_TELEMETRY_TOL` / `MM_GATE_TELEMETRY_SPANS_TOL` /
+    /// `MM_GATE_CONCURRENT_TOL` (fractions), falling back to the defaults.
     pub fn from_env() -> Self {
         let read = |key: &str, default: f64| {
             std::env::var(key)
@@ -235,6 +242,7 @@ impl GateTolerances {
             throughput: read("MM_GATE_THROUGHPUT_TOL", 0.25),
             telemetry: read("MM_GATE_TELEMETRY_TOL", 0.02),
             telemetry_spans: read("MM_GATE_TELEMETRY_SPANS_TOL", 0.03),
+            concurrent: read("MM_GATE_CONCURRENT_TOL", 0.2),
         }
     }
 }
@@ -281,9 +289,10 @@ pub fn check_telemetry_overhead(file: &str, fresh: &Json, tolerance: f64, report
 }
 
 /// The benchmark summaries the gate covers.
-pub const GATED_FILES: [&str; 4] = [
+pub const GATED_FILES: [&str; 5] = [
     "BENCH_mapper.json",
     "BENCH_serve.json",
+    crate::output::SERVE_CONCURRENT_BENCH_FILE,
     "BENCH_shard.json",
     "BENCH_sync.json",
 ];
@@ -379,6 +388,18 @@ pub fn run_gate(baseline_dir: &Path, fresh_dir: &Path, tolerances: GateTolerance
                 &fresh,
                 "telemetry_spans_rel_throughput",
                 tolerances.telemetry_spans,
+                &mut report,
+            );
+        }
+        if file == crate::output::SERVE_CONCURRENT_BENCH_FILE {
+            // Fresh-side invariant: concurrent requests keep ≥ 1 − tol of
+            // the single-request throughput (ideal ratio 1.0, no baseline
+            // entry needed — both sides of the ratio come from this run).
+            check_telemetry_overhead_key(
+                file,
+                &fresh,
+                "concurrent_rel_throughput",
+                tolerances.concurrent,
                 &mut report,
             );
         }

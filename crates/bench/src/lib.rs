@@ -18,6 +18,7 @@
 //! * [`report`] — CSV/table output helpers (results land in `results/`).
 
 pub mod comparison;
+pub mod concurrent_bench;
 pub mod gate;
 pub mod json;
 pub mod mapper_scaling;
@@ -29,6 +30,7 @@ pub mod shard_bench;
 pub mod sync_bench;
 
 pub use comparison::{run_comparison, ComparisonResult, MethodRun};
+pub use concurrent_bench::{run_concurrent_bench, ConcurrentBenchResult};
 pub use gate::{run_gate, GateCheck, GateReport, GateTolerances};
 pub use mapper_scaling::{
     measure_telemetry_overhead, measure_telemetry_overhead_at, run_mapper_scaling,

@@ -7,6 +7,10 @@
 /// CSV column name for the best normalized EDP a search found.
 pub const BEST_NORMALIZED_EDP_COLUMN: &str = "search_best_normalized_edp";
 
+/// The concurrent-serving bench summary: written by
+/// [`crate::concurrent_bench`], gated by [`crate::gate`].
+pub const SERVE_CONCURRENT_BENCH_FILE: &str = "BENCH_serve_concurrent.json";
+
 /// Human table header for the same quantity.
 pub const BEST_NORMALIZED_EDP_LABEL: &str = "best EDP found (normalized)";
 

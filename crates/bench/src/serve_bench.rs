@@ -22,7 +22,7 @@ use std::sync::Arc;
 use mm_accel::CostModel;
 use mm_mapper::{CostEvaluator, EvalPool, ModelEvaluator};
 use mm_mapspace::MapSpace;
-use mm_serve::{MappingService, ServeConfig};
+use mm_serve::{MappingService, RequestConfig, ServiceConfig};
 use mm_workloads::{evaluated_accelerator, table1_network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -134,25 +134,26 @@ fn dispatch_rates(
 pub fn run_serve_bench(evals_per_layer: u64, workers: usize, seed: u64) -> ServeBenchResult {
     let arch = evaluated_accelerator();
     let net = table1_network();
-    let config = ServeConfig {
-        workers,
-        max_active_jobs: workers.max(2),
-        seed,
-        search_size: evals_per_layer,
-        ..ServeConfig::default()
-    };
+    let profile = (
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_active_jobs(workers.max(2)),
+        RequestConfig::default()
+            .with_seed(seed)
+            .with_search_size(evals_per_layer),
+    );
 
     // Cold: a fresh service (fresh pool threads, empty cache) per layer.
     let watch = Stopwatch::start();
     for layer in &net.layers {
-        let mut cold = MappingService::new(arch.clone(), config);
+        let mut cold = MappingService::new(arch.clone(), profile.clone());
         let report = cold.map_problem(&layer.name, layer.problem.clone());
         assert_eq!(report.evaluations, evals_per_layer);
     }
     let cold_wall_s = watch.elapsed_s();
 
     // Shared: one long-lived service for the whole network…
-    let mut service = MappingService::new(arch.clone(), config);
+    let mut service = MappingService::new(arch.clone(), profile);
     let watch = Stopwatch::start();
     let report = service.map_network(&net);
     let serve_wall_s = watch.elapsed_s();

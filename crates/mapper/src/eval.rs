@@ -303,14 +303,21 @@ impl EvalPool {
                                     for i in 0..n {
                                         let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
                                     }
-                                    return;
+                                    // Keep serving: one broken evaluator must
+                                    // not shrink the shared pool for every
+                                    // other job multiplexed on it.
                                 }
                                 Err(payload) => {
                                     let msg = panic_message(payload);
                                     for i in 0..n {
                                         let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
                                     }
-                                    return; // die, as an uncaught panic would
+                                    // The worker survives the caught panic:
+                                    // the failure travels to the submitting
+                                    // job as an Err result (recv re-raises
+                                    // it; recv_result surfaces it), while
+                                    // unrelated jobs sharing this pool keep
+                                    // their workers.
                                 }
                             }
                         }
@@ -436,6 +443,30 @@ impl EvalPool {
             // consuming thread is propagation, not a new failure.
             Err(msg) => panic!("evaluation worker panicked: {msg}"),
         }
+    }
+
+    /// Block until the next result is ready, surfacing a worker panic as an
+    /// `Err` instead of re-raising it.
+    ///
+    /// This is the fault-isolating receive: a panicking evaluator fails only
+    /// the job that submitted it (the worker survives the caught panic), so
+    /// a multi-tenant consumer can fail one request without poisoning the
+    /// shared pool. [`recv`](EvalPool::recv) keeps the propagating behavior
+    /// for single-tenant drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight.
+    pub fn recv_result(&mut self) -> (u64, Result<Evaluation, String>) {
+        assert!(self.in_flight > 0, "recv_result with no jobs in flight");
+        let (id, result) = self
+            .result_rx
+            .recv()
+            // mm-lint: allow(panic): a closed result channel with jobs in
+            // flight means every worker died — unrecoverable.
+            .expect("evaluation workers alive while jobs are in flight");
+        self.in_flight -= 1;
+        (id, result)
     }
 
     /// A result if one is already available.

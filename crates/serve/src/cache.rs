@@ -120,15 +120,17 @@ impl ResultCache {
     }
 
     /// Fetch without touching the statistics.
-    #[cfg(test)]
+    ///
+    /// Admission planning peeks first and records the lookups only once the
+    /// request is accepted ([`note_lookup`](Self::note_lookup)), so a
+    /// rejected submit perturbs no statistics.
     pub fn get(&self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
         self.map.get(&fingerprint).cloned()
     }
 
-    /// Fetch and record a hit or miss.
-    pub fn lookup(&mut self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
-        let found = self.map.get(&fingerprint).cloned();
-        if found.is_some() {
+    /// Record a hit or miss observed earlier via [`get`](Self::get).
+    pub fn note_lookup(&mut self, fingerprint: u64, hit: bool) {
+        if hit {
             self.hits += 1;
             tele_cache(0).bump(1);
             mm_telemetry::event("serve.cache.hit", || format!("fp={fingerprint:016x}"));
@@ -137,6 +139,14 @@ impl ResultCache {
             tele_cache(1).bump(1);
             mm_telemetry::event("serve.cache.miss", || format!("fp={fingerprint:016x}"));
         }
+    }
+
+    /// Fetch and record a hit or miss (the service uses the two-phase
+    /// `get` + `note_lookup` so rejected admissions stay stats-neutral).
+    #[cfg(test)]
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<Arc<CachedLayer>> {
+        let found = self.map.get(&fingerprint).cloned();
+        self.note_lookup(fingerprint, found.is_some());
         found
     }
 

@@ -1,25 +1,106 @@
-//! [`ServeConfig`]: the knobs of a [`MappingService`](crate::MappingService).
+// mm-lint: identity — RequestConfig renders the fingerprint tag; the determinism rule applies.
+//! Service- and request-level knobs of a
+//! [`MappingService`](crate::MappingService).
+//!
+//! PR 9 split the old monolithic `ServeConfig` along the multi-tenant
+//! boundary:
+//!
+//! * [`ServiceConfig`] — properties of the long-lived service itself: the
+//!   shared pool size, the concurrency level, the admission-queue depth,
+//!   per-tenant budgets, and the result-cache bound. Fixed at construction.
+//! * [`RequestConfig`] — properties of one submitted request: search budget
+//!   and seed, sharding, sync policy, cache participation, and the
+//!   scheduling identity (fair-share weight and tenant). Every
+//!   [`submit`](crate::MappingService::submit) carries its own.
+//!
+//! The deprecated [`ServeConfig`] remains as a conversion shim
+//! ([`ServeConfig::split`]) so existing callers keep compiling with a
+//! nudge instead of a break.
 
+use mm_mapspace::ShardAxisKind;
 use mm_search::SyncPolicy;
 use serde::{Deserialize, Serialize};
 
-/// Configuration of a whole-network mapping service.
-///
-/// The service owns one long-lived evaluation pool of `workers` threads; up
-/// to `max_active_jobs` layer searches are multiplexed over it at once, fed
-/// from a job queue bounded at `queue_capacity`. Every layer search gets
-/// `search_size` evaluations and an RNG stream derived deterministically
-/// from `seed` and the layer's fingerprint — so the same seed and the same
-/// network always produce the same report, independent of worker count and
-/// scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ServeConfig {
-    /// Evaluation-pool worker threads (shared by all layer jobs).
+/// Construction-time configuration of the service: everything shared by all
+/// requests (the pool, the scheduler bounds, admission control, the cache).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Evaluation-pool worker threads (shared by all requests' layer jobs).
     pub workers: usize,
-    /// Layer searches multiplexed over the pool concurrently.
+    /// Layer-search jobs multiplexed over the pool concurrently, across all
+    /// in-flight requests.
     pub max_active_jobs: usize,
-    /// Bound on layer jobs waiting between the network and the active set.
-    pub queue_capacity: usize,
+    /// Admission bound: requests admitted but not yet completed. A
+    /// [`submit`](crate::MappingService::submit) beyond this depth is
+    /// rejected with [`AdmissionError::QueueFull`](crate::AdmissionError).
+    pub queue_depth: usize,
+    /// Per-tenant admission budget: the cap on a tenant's outstanding
+    /// *planned* fresh evaluations (summed over its admitted, uncompleted
+    /// requests). `None` (the default) disables the check. A submit that
+    /// would exceed it is rejected with
+    /// [`AdmissionError::TenantBudgetExhausted`](crate::AdmissionError).
+    pub tenant_budget: Option<u64>,
+    /// Bound on distinct results the cache retains (`None`, the default, is
+    /// unbounded). When full, the oldest *insert* is evicted (deterministic
+    /// FIFO — eviction order never depends on the replay pattern).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            max_active_jobs: 2,
+            queue_depth: 8,
+            tenant_budget: None,
+            cache_capacity: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with the given pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// A config with the given concurrent-job bound.
+    pub fn with_max_active_jobs(mut self, max_active_jobs: usize) -> Self {
+        self.max_active_jobs = max_active_jobs;
+        self
+    }
+
+    /// A config with the given admission-queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// A config with the given per-tenant outstanding-evaluation budget.
+    pub fn with_tenant_budget(mut self, tenant_budget: Option<u64>) -> Self {
+        self.tenant_budget = tenant_budget;
+        self
+    }
+
+    /// A config with the given result-cache entry bound (`None` =
+    /// unbounded).
+    pub fn with_cache_capacity(mut self, cache_capacity: Option<usize>) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+}
+
+/// Per-request configuration: how one submitted network is searched, and
+/// how its jobs compete for the shared pool.
+///
+/// Everything except `priority` and `tenant` participates in the
+/// result-cache fingerprint (it changes what a layer search produces);
+/// `priority` and `tenant` are scheduling identity only — they steer *when*
+/// jobs run, never *what* they return, so reports stay byte-identical
+/// across priorities, tenants, and request interleavings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestConfig {
     /// Master seed; per-layer streams are derived from it and the layer
     /// fingerprint, so a layer's result does not depend on its position.
     pub seed: u64,
@@ -28,37 +109,174 @@ pub struct ServeConfig {
     /// Map-space shards per layer search: 1 (the default) searches the full
     /// space with one job; `n > 1` routes `n` jobs per distinct layer, each
     /// restricted to a pairwise-disjoint slice of the layer's map space
-    /// (`MapSpace::shard`) with an exact `search_size / n` budget split, and
-    /// merges their results in shard order. Clamped per layer to the space's
-    /// shard capacity. Participates in the result-cache fingerprint, so
-    /// cached replays never cross shard configurations.
+    /// with an exact `search_size / n` budget split, and merges their
+    /// results in shard order. Clamped per layer to the space's shard
+    /// capacity.
     pub shards: usize,
+    /// Restrict shard partitions to this subset of the axis product
+    /// (`None`, the default: the full product — L2 order × L1 order ×
+    /// parallelism split × tile prefix). Shard counts clamp to the subset's
+    /// capacity. Participates in the fingerprint (appended to the tag only
+    /// when set, so legacy configurations keep their fingerprints).
+    pub shard_axes: Option<Vec<ShardAxisKind>>,
     /// How each layer-search job re-anchors on its incumbent best
     /// ([`SyncPolicy::Off`], the default: plain independent search). Serve
     /// sync is **job-local** — at a fixed evaluation cadence a job's own
-    /// best-so-far is offered back to its searcher (`Anchor`/`Annealed`
-    /// pull a drifting trajectory back to it; `Restart` warm-restarts a
-    /// stalled job from it) — so jobs stay independent, determinism is
-    /// preserved, and disjoint shard jobs never contaminate each other.
-    /// Participates in the result-cache fingerprint, so cached replays
-    /// never cross sync configurations.
+    /// best-so-far is offered back to its searcher — so jobs stay
+    /// independent, determinism is preserved, and disjoint shard jobs never
+    /// contaminate each other.
     pub sync: SyncPolicy,
     /// Shard-aware horizon hints (off by default): begin each shard job's
-    /// searcher with the shard-scaled horizon
-    /// (`MapSpaceView::horizon_hint`) instead of the raw per-shard budget,
-    /// so schedule-based searchers (SA cooling, GA generations) confined to
-    /// a slice stop tuning their schedules as if they owned the full layer
-    /// space. Participates in the result-cache fingerprint.
+    /// searcher with the shard-scaled horizon instead of the raw per-shard
+    /// budget.
     pub shard_horizon: bool,
     /// Reuse results for repeated `(problem, arch, config)` fingerprints —
-    /// across layers of one network and across calls on one service.
+    /// across layers of one request and across requests on one service.
     pub use_cache: bool,
-    /// Bound on distinct results the cache retains (`None`, the default, is
-    /// unbounded). When full, the oldest *insert* is evicted (deterministic
-    /// FIFO — eviction order never depends on the replay pattern).
+    /// Fair-share weight (1 = baseline, clamped to at least 1): the
+    /// scheduler activates pending layer jobs so each request's share of
+    /// the pool is proportional to its weight. Scheduling only — results
+    /// are weight-independent.
+    pub priority: u32,
+    /// Tenant identity for admission budgeting and telemetry. Scheduling
+    /// only — results are tenant-independent.
+    pub tenant: String,
+}
+
+impl Default for RequestConfig {
+    fn default() -> Self {
+        RequestConfig {
+            seed: 0,
+            search_size: 2_000,
+            shards: 1,
+            shard_axes: None,
+            sync: SyncPolicy::Off,
+            shard_horizon: false,
+            use_cache: true,
+            priority: 1,
+            tenant: String::new(),
+        }
+    }
+}
+
+impl RequestConfig {
+    /// A config with the given master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A config with the given per-layer evaluation budget.
+    pub fn with_search_size(mut self, search_size: u64) -> Self {
+        self.search_size = search_size;
+        self
+    }
+
+    /// A config with the given per-layer map-space shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// A config sharding over the given axis subset (`None` = the full
+    /// axis product).
+    pub fn with_shard_axes(mut self, shard_axes: Option<Vec<ShardAxisKind>>) -> Self {
+        self.shard_axes = shard_axes;
+        self
+    }
+
+    /// A config with the given job-local global-best sync policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// A config with shard-aware horizon hints switched on or off.
+    pub fn with_shard_horizon(mut self, shard_horizon: bool) -> Self {
+        self.shard_horizon = shard_horizon;
+        self
+    }
+
+    /// A config with cache participation switched on or off.
+    pub fn with_use_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// A config with the given fair-share weight.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// A config owned by the given tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// The request's portion of the fingerprint tag.
+    ///
+    /// **Byte-stable:** for configurations expressible by the legacy
+    /// `ServeConfig` (no `shard_axes`) this renders exactly the legacy
+    /// format, so fingerprints — and therefore derived RNG streams, cached
+    /// fixtures, and bench quality baselines — are unchanged by the PR 9
+    /// API split. `shard_axes` appends only when set; `priority` and
+    /// `tenant` never appear (scheduling identity must not change search
+    /// results).
+    pub(crate) fn search_tag(&self) -> String {
+        use std::fmt::Write;
+        let mut tag = format!(
+            "seed={} search_size={} shards={} sync={} shard_horizon={}",
+            self.seed,
+            self.search_size,
+            self.shards.max(1),
+            self.sync.canonical_string(),
+            self.shard_horizon,
+        );
+        if let Some(axes) = &self.shard_axes {
+            let _ = write!(tag, " shard_axes={axes:?}");
+        }
+        tag
+    }
+}
+
+/// Legacy monolithic configuration, kept as a conversion shim.
+///
+/// Split along the multi-tenant boundary by [`ServeConfig::split`]; any
+/// `impl Into<ServiceProfile>` — this type included — still constructs a
+/// [`MappingService`](crate::MappingService), so existing callers compile
+/// with a deprecation nudge instead of a break.
+#[deprecated(
+    since = "0.9.0",
+    note = "split into ServiceConfig (service-level) + RequestConfig (per-request); \
+            see ServeConfig::split"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Evaluation-pool worker threads (shared by all layer jobs).
+    pub workers: usize,
+    /// Layer searches multiplexed over the pool concurrently.
+    pub max_active_jobs: usize,
+    /// Bound on in-flight requests (was: staged layer jobs).
+    pub queue_capacity: usize,
+    /// Master seed of every request submitted through the legacy API.
+    pub seed: u64,
+    /// Evaluations spent searching each distinct layer.
+    pub search_size: u64,
+    /// Map-space shards per layer search.
+    pub shards: usize,
+    /// Job-local global-best sync policy.
+    pub sync: SyncPolicy,
+    /// Shard-aware horizon hints.
+    pub shard_horizon: bool,
+    /// Reuse results for repeated fingerprints.
+    pub use_cache: bool,
+    /// Result-cache entry bound (`None` = unbounded).
     pub cache_capacity: Option<usize>,
 }
 
+#[allow(deprecated)]
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -76,6 +294,7 @@ impl Default for ServeConfig {
     }
 }
 
+#[allow(deprecated)]
 impl ServeConfig {
     /// A config with the given per-layer evaluation budget.
     pub fn with_search_size(mut self, search_size: u64) -> Self {
@@ -113,6 +332,74 @@ impl ServeConfig {
         self.cache_capacity = cache_capacity;
         self
     }
+
+    /// Split along the multi-tenant boundary: the service-level knobs and
+    /// the per-request knobs this legacy config described.
+    pub fn split(self) -> (ServiceConfig, RequestConfig) {
+        (
+            ServiceConfig {
+                workers: self.workers,
+                max_active_jobs: self.max_active_jobs,
+                queue_depth: self.queue_capacity,
+                tenant_budget: None,
+                cache_capacity: self.cache_capacity,
+            },
+            RequestConfig {
+                seed: self.seed,
+                search_size: self.search_size,
+                shards: self.shards,
+                shard_axes: None,
+                sync: self.sync,
+                shard_horizon: self.shard_horizon,
+                use_cache: self.use_cache,
+                priority: 1,
+                tenant: String::new(),
+            },
+        )
+    }
+}
+
+/// What [`MappingService::new`](crate::MappingService::new) consumes: the
+/// service-level config plus the default [`RequestConfig`] used by the
+/// legacy synchronous [`map_network`](crate::MappingService::map_network)
+/// surface. Build it from a [`ServiceConfig`] (default requests), a
+/// `(ServiceConfig, RequestConfig)` pair, or a legacy [`ServeConfig`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceProfile {
+    /// Service-level configuration.
+    pub service: ServiceConfig,
+    /// The default per-request configuration (legacy `map_network` calls and
+    /// [`RequestConfig::default`]-based submissions).
+    pub default_request: RequestConfig,
+}
+
+impl From<ServiceConfig> for ServiceProfile {
+    fn from(service: ServiceConfig) -> Self {
+        ServiceProfile {
+            service,
+            default_request: RequestConfig::default(),
+        }
+    }
+}
+
+impl From<(ServiceConfig, RequestConfig)> for ServiceProfile {
+    fn from((service, default_request): (ServiceConfig, RequestConfig)) -> Self {
+        ServiceProfile {
+            service,
+            default_request,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ServeConfig> for ServiceProfile {
+    fn from(config: ServeConfig) -> Self {
+        let (service, default_request) = config.split();
+        ServiceProfile {
+            service,
+            default_request,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,25 +408,122 @@ mod tests {
 
     #[test]
     fn defaults_are_sane_and_builders_compose() {
-        let c = ServeConfig::default();
-        assert!(c.workers >= 1 && c.max_active_jobs >= 1 && c.queue_capacity >= 1);
-        assert!(c.use_cache);
-        assert_eq!(c.shards, 1, "sharding is off by default");
-        assert_eq!(c.sync, SyncPolicy::Off, "sync is off by default");
-        assert!(!c.shard_horizon, "horizon hints are off by default");
-        assert_eq!(c.cache_capacity, None, "cache is unbounded by default");
-        let c = c
-            .with_search_size(64)
+        let s = ServiceConfig::default();
+        assert!(s.workers >= 1 && s.max_active_jobs >= 1 && s.queue_depth >= 1);
+        assert_eq!(s.tenant_budget, None, "tenant budgets are off by default");
+        assert_eq!(s.cache_capacity, None, "cache is unbounded by default");
+        let s = s
             .with_workers(3)
+            .with_max_active_jobs(4)
+            .with_queue_depth(2)
+            .with_tenant_budget(Some(10_000))
+            .with_cache_capacity(Some(16));
+        assert_eq!(
+            (s.workers, s.max_active_jobs, s.queue_depth),
+            (3, 4, 2),
+            "service builders compose"
+        );
+        assert_eq!(s.tenant_budget, Some(10_000));
+        assert_eq!(s.cache_capacity, Some(16));
+
+        let r = RequestConfig::default();
+        assert!(r.use_cache);
+        assert_eq!(r.shards, 1, "sharding is off by default");
+        assert_eq!(r.sync, SyncPolicy::Off, "sync is off by default");
+        assert!(!r.shard_horizon, "horizon hints are off by default");
+        assert_eq!(r.priority, 1, "baseline fair-share weight");
+        let r = r
+            .with_seed(9)
+            .with_search_size(64)
             .with_shards(4)
+            .with_shard_axes(Some(vec![ShardAxisKind::OrderL2]))
             .with_sync(SyncPolicy::Anchor)
             .with_shard_horizon(true)
-            .with_cache_capacity(Some(16));
-        assert_eq!(c.search_size, 64);
-        assert_eq!(c.workers, 3);
-        assert_eq!(c.shards, 4);
-        assert_eq!(c.sync, SyncPolicy::Anchor);
-        assert!(c.shard_horizon);
-        assert_eq!(c.cache_capacity, Some(16));
+            .with_use_cache(false)
+            .with_priority(3)
+            .with_tenant("team-a");
+        assert_eq!((r.seed, r.search_size, r.shards), (9, 64, 4));
+        assert_eq!(r.shard_axes, Some(vec![ShardAxisKind::OrderL2]));
+        assert_eq!(r.sync, SyncPolicy::Anchor);
+        assert!(r.shard_horizon && !r.use_cache);
+        assert_eq!((r.priority, r.tenant.as_str()), (3, "team-a"));
+    }
+
+    #[test]
+    fn search_tag_matches_the_legacy_byte_format() {
+        // The exact legacy rendering: golden fixtures and bench quality
+        // baselines pin fingerprints derived from these bytes.
+        let r = RequestConfig::default().with_seed(1).with_search_size(500);
+        assert_eq!(
+            r.search_tag(),
+            "seed=1 search_size=500 shards=1 sync=off shard_horizon=false"
+        );
+        let r = r
+            .with_shards(4)
+            .with_sync(SyncPolicy::Anchor)
+            .with_shard_horizon(true);
+        assert_eq!(
+            r.search_tag(),
+            format!(
+                "seed=1 search_size=500 shards=4 sync={} shard_horizon=true",
+                SyncPolicy::Anchor.canonical_string()
+            )
+        );
+    }
+
+    #[test]
+    fn scheduling_identity_stays_out_of_the_search_tag() {
+        let base = RequestConfig::default();
+        let weighted = base.clone().with_priority(7).with_tenant("team-b");
+        assert_eq!(
+            base.search_tag(),
+            weighted.search_tag(),
+            "priority/tenant steer scheduling, never results"
+        );
+        // shard_axes appends (it changes shard coverage), but only when set.
+        let restricted = base
+            .clone()
+            .with_shard_axes(Some(vec![ShardAxisKind::OrderL2, ShardAxisKind::Tile]));
+        assert!(restricted
+            .search_tag()
+            .contains("shard_axes=[OrderL2, Tile]"));
+        assert!(!base.search_tag().contains("shard_axes"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_splits_faithfully() {
+        let legacy = ServeConfig {
+            workers: 3,
+            max_active_jobs: 5,
+            queue_capacity: 7,
+            seed: 11,
+            search_size: 640,
+            shards: 2,
+            sync: SyncPolicy::Anchor,
+            shard_horizon: true,
+            use_cache: false,
+            cache_capacity: Some(4),
+        };
+        let (service, request) = legacy.split();
+        assert_eq!(
+            (
+                service.workers,
+                service.max_active_jobs,
+                service.queue_depth
+            ),
+            (3, 5, 7)
+        );
+        assert_eq!(service.cache_capacity, Some(4));
+        assert_eq!(
+            (request.seed, request.search_size, request.shards),
+            (11, 640, 2)
+        );
+        assert_eq!(request.sync, SyncPolicy::Anchor);
+        assert!(request.shard_horizon && !request.use_cache);
+        // The profile conversion carries both halves.
+        let profile: ServiceProfile = legacy.into();
+        assert_eq!(profile.service, service);
+        assert_eq!(profile.default_request, request);
     }
 }

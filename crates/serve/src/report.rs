@@ -198,6 +198,21 @@ pub struct NetworkReport {
     pub wall_time_s: f64,
     /// Fresh evaluations per second of the whole call.
     pub evals_per_sec: f64,
+    /// Service-assigned request id (monotonic in admission order).
+    /// Provenance only — excluded from
+    /// [`canonical_string`](NetworkReport::canonical_string), since it
+    /// depends on how many sibling requests preceded this one.
+    pub request_id: u64,
+    /// Tenant named by the request's config (empty for the default tenant).
+    /// Provenance only — excluded from
+    /// [`canonical_string`](NetworkReport::canonical_string).
+    pub tenant: String,
+    /// Search units this request attached to a concurrent sibling's
+    /// in-flight search instead of running itself. Provenance only —
+    /// excluded from [`canonical_string`](NetworkReport::canonical_string),
+    /// since sharing depends on what siblings were in flight (the *results*
+    /// are byte-identical either way).
+    pub shared_searches: u64,
     /// Service result-cache statistics at the end of this call (cumulative
     /// over the service's lifetime). Excluded from [`canonical_string`],
     /// like the wall-clock fields: residency depends on what earlier calls
@@ -331,6 +346,9 @@ mod tests {
             aggregate: NetworkAggregate::from_layers(&[layer("a", 1, 2.0, 10.0, 0.1)]),
             wall_time_s: wall,
             evals_per_sec: 10.0 / wall,
+            request_id: wall as u64, // also observational-only
+            tenant: format!("t{wall}"),
+            shared_searches: wall as u64,
             cache: CacheStats {
                 hits: wall as u64, // varies with `wall`: must not leak into the canonical form
                 ..CacheStats::default()

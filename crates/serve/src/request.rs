@@ -1,0 +1,143 @@
+//! Request-side vocabulary of the multi-tenant front-end: handles for
+//! submitted networks and the typed errors of admission and execution.
+
+use std::fmt;
+
+/// Ticket for one admitted request, returned by
+/// [`submit`](crate::MappingService::submit) and redeemed with
+/// [`wait`](crate::MappingService::wait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestHandle {
+    pub(crate) id: u64,
+}
+
+impl RequestHandle {
+    /// The service-assigned request id (monotonic in admission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Why [`submit`](crate::MappingService::submit) refused a request.
+///
+/// Admission is checked before any state changes: a rejected request spends
+/// no budget, starts no jobs, and perturbs no sibling request's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded admission queue is full: `backlog` requests are admitted
+    /// but not yet completed, and the service was configured with
+    /// `queue_depth`. Retry after draining in-flight requests.
+    QueueFull {
+        /// Requests currently admitted but incomplete.
+        backlog: usize,
+        /// The configured [`ServiceConfig::queue_depth`](crate::ServiceConfig).
+        queue_depth: usize,
+    },
+    /// Admitting the request would push its tenant past the configured
+    /// per-tenant budget of outstanding planned evaluations.
+    TenantBudgetExhausted {
+        /// The tenant named by the request.
+        tenant: String,
+        /// Planned evaluations of the tenant's in-flight requests.
+        outstanding: u64,
+        /// Fresh evaluations this request would add.
+        requested: u64,
+        /// The configured [`ServiceConfig::tenant_budget`](crate::ServiceConfig).
+        budget: u64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull {
+                backlog,
+                queue_depth,
+            } => write!(
+                f,
+                "admission queue full: {backlog} requests in flight (queue_depth={queue_depth})"
+            ),
+            AdmissionError::TenantBudgetExhausted {
+                tenant,
+                outstanding,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "tenant {tenant:?} budget exhausted: {outstanding} evaluations outstanding + \
+                 {requested} requested > budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why an admitted request failed to produce a report.
+///
+/// Failure is request-scoped: a panicking evaluator or searcher fails the
+/// requests attached to the panicking search unit and no others — the
+/// shared pool and every sibling request keep running, and the siblings'
+/// reports are byte-identical to what they produce with no failure nearby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// A search job of this request panicked (the message is the panic
+    /// payload, propagated from the evaluation worker or searcher).
+    Failed {
+        /// The failed request.
+        request: u64,
+        /// Panic message of the first failing job.
+        message: String,
+    },
+    /// The handle does not name an in-flight request on this service (never
+    /// admitted, already collected, or from another service instance).
+    Unknown {
+        /// The handle's request id.
+        request: u64,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Failed { request, message } => {
+                write!(f, "request {request} failed: {message}")
+            }
+            RequestError::Unknown { request } => {
+                write!(f, "request {request} is not in flight on this service")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let full = AdmissionError::QueueFull {
+            backlog: 8,
+            queue_depth: 8,
+        };
+        assert!(full.to_string().contains("queue_depth=8"));
+        let budget = AdmissionError::TenantBudgetExhausted {
+            tenant: "team-a".into(),
+            outstanding: 900,
+            requested: 200,
+            budget: 1_000,
+        };
+        let rendered = budget.to_string();
+        assert!(rendered.contains("team-a") && rendered.contains("1000"));
+        let failed = RequestError::Failed {
+            request: 3,
+            message: "boom".into(),
+        };
+        assert!(failed.to_string().contains("request 3") && failed.to_string().contains("boom"));
+        assert!(RequestError::Unknown { request: 9 }
+            .to_string()
+            .contains("not in flight"));
+    }
+}

@@ -1,13 +1,25 @@
-//! The layer-job scheduler: multiplex many `ProposalSearch` instances over
-//! **one** shared [`EvalPool`].
+//! The fair-share layer-job scheduler: multiplex many `ProposalSearch`
+//! instances — from many *concurrent requests* — over **one** shared
+//! [`EvalPool`].
 //!
 //! Where `mm_mapper::run_pipelined` drives a single searcher against a pool,
-//! this scheduler drives a whole queue of independent layer searches at
-//! once: up to `max_active` jobs keep proposals in flight simultaneously,
-//! every batch is tagged with the pool ids of its members, and completions
-//! are routed back to the owning job in proposal order. Pool workers never
-//! idle while any job still has budget, and pool threads are spawned once
-//! for the service's lifetime instead of once per layer.
+//! this scheduler drives the job queues of every in-flight request at once:
+//! up to `max_active` jobs keep proposals in flight simultaneously, every
+//! batch is tagged with the pool ids of its members, and completions are
+//! routed back to the owning job in proposal order. Pool workers never idle
+//! while any job still has budget, and pool threads are spawned once for
+//! the service's lifetime instead of once per layer.
+//!
+//! # Fair share
+//!
+//! Pending jobs are grouped by owning request. When an active slot frees,
+//! the scheduler activates the front job of the request minimizing
+//! *(served budget + next job's budget) / weight* — deterministic weighted
+//! fair queuing over evaluation budgets (ties resolve to the lower request
+//! id; the arithmetic is exact integer cross-multiplication). A request
+//! with weight *w* therefore gets *w*× the pool share of a baseline
+//! request. Fairness steers only *when* jobs run: outcomes are a pure
+//! function of each job's spec, so interleaving never touches results.
 //!
 //! # Determinism
 //!
@@ -16,8 +28,17 @@
 //! first-found. A searcher's proposal sequence must not depend on how
 //! `propose` calls are batched (the same contract `run_pipelined` relies
 //! on), so a job's outcome is independent of worker count, concurrency
-//! level, and completion timing — only the spec (seed, budget, space,
-//! evaluator, sync policy) matters.
+//! level, sibling requests, and completion timing — only the spec (seed,
+//! budget, space, evaluator, sync policy) matters.
+//!
+//! # Failure isolation
+//!
+//! A panicking evaluator or searcher fails only its own job: the pool
+//! worker survives (`EvalPool::recv_result` surfaces the panic as an `Err`
+//! result), the job drains its in-flight proposals without reporting them,
+//! and retires as [`JobEnd::Failed`]. Sibling jobs — including jobs of the
+//! same request — keep running; the service decides which requests the
+//! failure dooms.
 //!
 //! # Job-local sync
 //!
@@ -52,6 +73,11 @@ fn tele_jobs_finished() -> &'static Arc<mm_telemetry::Counter> {
     C.get_or_init(|| mm_telemetry::counter("serve.scheduler.jobs_finished"))
 }
 
+fn tele_jobs_failed() -> &'static Arc<mm_telemetry::Counter> {
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("serve.scheduler.jobs_failed"))
+}
+
 fn tele_sync_points() -> &'static Arc<mm_telemetry::Counter> {
     static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
     C.get_or_init(|| mm_telemetry::counter("serve.scheduler.sync_actions"))
@@ -59,8 +85,10 @@ fn tele_sync_points() -> &'static Arc<mm_telemetry::Counter> {
 
 /// One layer search to run: everything the scheduler needs, self-contained.
 pub(crate) struct JobSpec {
-    /// Caller-assigned index; outcomes are returned in this order.
-    pub index: usize,
+    /// Owning request: the fair-share group this job's budget bills to.
+    pub request: u64,
+    /// Fair-share weight of the owning request (clamped to ≥ 1).
+    pub weight: u64,
     /// The map-space view searched (the full space or one shard of it).
     pub space: Box<dyn MapSpaceView>,
     /// Scores this job's proposals (routed per batch on the shared pool).
@@ -95,9 +123,33 @@ pub(crate) struct JobOutcome {
     pub convergence: Option<ConvergenceTrace>,
 }
 
+/// How one job left the scheduler.
+#[derive(Debug)]
+pub(crate) enum JobEnd {
+    /// Ran to completion (budget spent or space exhausted).
+    Done(JobOutcome),
+    /// A worker evaluating this job's proposals panicked; the message is
+    /// the propagated panic payload.
+    Failed(String),
+    /// Cancelled by the service before completion (its subscribers all
+    /// failed); in-flight proposals were drained and discarded.
+    Cancelled,
+}
+
+/// What one [`Scheduler::step`] did, for the service's bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct StepEvents {
+    /// Requests whose *first* job was activated this step (the
+    /// queue→run transition of the request lifecycle).
+    pub started: Vec<u64>,
+    /// Jobs that left the scheduler this step, by job id.
+    pub finished: Vec<(u64, JobEnd)>,
+}
+
 /// A job currently multiplexed on the pool.
 struct ActiveJob {
-    index: usize,
+    job_id: u64,
+    request: u64,
     space: Box<dyn MapSpaceView>,
     evaluator: Arc<dyn CostEvaluator>,
     search: Box<dyn ProposalSearch>,
@@ -112,20 +164,25 @@ struct ActiveJob {
     best: Option<(Mapping, Evaluation)>,
     started: Instant,
     exhausted: bool,
+    /// First worker-panic message routed to this job; once set, the job
+    /// only drains its in-flight proposals.
+    failed: Option<String>,
+    /// Cancelled by the service; drains like a failed job.
+    cancelled: bool,
     sync: SyncPolicy,
     /// Stall bookkeeping (consecutive non-improving sync points) consumed
     /// by [`SyncPolicy::decide`].
     sync_state: SyncState,
     /// Improvement-only convergence recorder (telemetry enabled).
     convergence: Option<ConvergenceTrace>,
-    /// This job's span track (`serve.job{index}`), spans level only.
+    /// This job's span track (`serve.job{id}`), spans level only.
     track: Option<Arc<mm_telemetry::Track>>,
     /// The job-lifecycle span, held open from start to finish.
     job_span: Option<mm_telemetry::SpanGuard>,
 }
 
 impl ActiveJob {
-    fn start(mut spec: JobSpec) -> Self {
+    fn start(job_id: u64, mut spec: JobSpec) -> Self {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let horizon = if spec.shard_horizon {
             spec.space.horizon_hint(spec.budget)
@@ -135,13 +192,17 @@ impl ActiveJob {
         spec.search.begin(&*spec.space, Some(horizon), &mut rng);
         tele_jobs_started().bump(1);
         mm_telemetry::event("serve.job.start", || {
-            format!("index={} budget={}", spec.index, spec.budget)
+            format!(
+                "job={job_id} request={} budget={}",
+                spec.request, spec.budget
+            )
         });
         let track = mm_telemetry::span_enabled()
-            .then(|| mm_telemetry::track(&format!("serve.job{}", spec.index)));
+            .then(|| mm_telemetry::track(&format!("serve.job{job_id}")));
         let job_span = track.as_ref().and_then(|t| t.span("job.run"));
         ActiveJob {
-            index: spec.index,
+            job_id,
+            request: spec.request,
             space: spec.space,
             evaluator: spec.evaluator,
             search: spec.search,
@@ -154,6 +215,8 @@ impl ActiveJob {
             best: None,
             started: Instant::now(),
             exhausted: false,
+            failed: None,
+            cancelled: false,
             sync: spec.sync,
             sync_state: SyncState::new(),
             convergence: mm_telemetry::enabled().then(ConvergenceTrace::new),
@@ -162,16 +225,21 @@ impl ActiveJob {
         }
     }
 
+    /// Whether this job is merely draining its in-flight proposals.
+    fn doomed(&self) -> bool {
+        self.failed.is_some() || self.cancelled
+    }
+
     /// Keep this job's pipeline full: propose up to its lookahead (capped by
     /// remaining budget and pool depth) and submit as one chunk job per
     /// worker, so batched evaluators see whole proposal batches.
     fn fill(
         &mut self,
         pool: &mut EvalPool,
-        id_to_job: &mut HashMap<u64, usize>,
+        id_to_job: &mut HashMap<u64, u64>,
         buf: &mut Vec<Mapping>,
     ) {
-        if self.exhausted || self.submitted >= self.budget {
+        if self.doomed() || self.exhausted || self.submitted >= self.budget {
             return;
         }
         // At least MIN_PIPELINE_DEPTH in flight (when the searcher tolerates
@@ -210,10 +278,36 @@ impl ActiveJob {
         let ids = pool.submit_chunked(Some(Arc::clone(&self.evaluator)), buf);
         for (off, mapping) in buf.iter().enumerate() {
             let id = ids.start + off as u64;
-            id_to_job.insert(id, self.index);
+            id_to_job.insert(id, self.job_id);
             self.pending.push_back((id, mapping.clone()));
         }
         self.submitted += buf.len() as u64;
+    }
+
+    /// Record one arrived result (or the panic that replaced it). Doomed
+    /// jobs only shed the proposal from their in-flight set; healthy jobs
+    /// flush completions in proposal order.
+    fn route(&mut self, id: u64, result: Result<Evaluation, String>) {
+        if self.doomed() {
+            self.pending.retain(|(pid, _)| *pid != id);
+            self.arrived.remove(&id);
+            return;
+        }
+        match result {
+            Ok(eval) => {
+                self.arrived.insert(id, eval);
+                self.flush();
+            }
+            Err(message) => {
+                tele_jobs_failed().bump(1);
+                mm_telemetry::event("serve.job.fail", || {
+                    format!("job={} request={}", self.job_id, self.request)
+                });
+                self.failed = Some(message);
+                self.pending.retain(|(pid, _)| *pid != id);
+                self.arrived.clear();
+            }
+        }
     }
 
     /// Report every completion available in proposal order, applying the
@@ -272,23 +366,33 @@ impl ActiveJob {
     }
 
     fn done(&self) -> bool {
+        if self.doomed() {
+            return self.pending.is_empty();
+        }
         self.pending.is_empty() && (self.exhausted || self.completed >= self.budget)
     }
 
-    fn finish(mut self) -> (usize, JobOutcome) {
+    fn finish(mut self) -> (u64, JobEnd) {
         tele_jobs_finished().bump(1);
         mm_telemetry::event("serve.job.finish", || {
             format!(
-                "index={} evals={} exhausted={}",
-                self.index, self.completed, self.exhausted
+                "job={} evals={} exhausted={} failed={} cancelled={}",
+                self.job_id,
+                self.completed,
+                self.exhausted,
+                self.failed.is_some(),
+                self.cancelled
             )
         });
         // Close the lifecycle span before the outcome is built, so a
-        // snapshot taken right after the scheduler returns includes it.
+        // snapshot taken right after the step returns includes it.
         drop(self.job_span.take());
-        (
-            self.index,
-            JobOutcome {
+        let end = if let Some(message) = self.failed {
+            JobEnd::Failed(message)
+        } else if self.cancelled {
+            JobEnd::Cancelled
+        } else {
+            JobEnd::Done(JobOutcome {
                 searcher: self.search.name().to_string(),
                 metric_names: self.evaluator.metrics().to_vec(),
                 best: self.best,
@@ -296,98 +400,177 @@ impl ActiveJob {
                 wall_time_s: self.started.elapsed().as_secs_f64(),
                 exhausted: self.exhausted,
                 convergence: self.convergence,
-            },
-        )
+            })
+        };
+        (self.job_id, end)
     }
 }
 
-/// Run every job to completion over `pool`, multiplexing up to `max_active`
-/// at once with at most `queue_capacity` more staged behind them. Outcomes
-/// come back indexed by each spec's `index`.
-///
-/// # Panics
-///
-/// Panics if the pool has jobs in flight, or if a pool worker dies (a
-/// panicking evaluator propagates, as with `EvalPool::recv`).
-pub(crate) fn run_jobs(
-    pool: &mut EvalPool,
-    jobs: Vec<JobSpec>,
-    max_active: usize,
-    queue_capacity: usize,
-) -> Vec<JobOutcome> {
-    assert_eq!(pool.in_flight(), 0, "scheduler needs an idle pool");
-    let sched_track = mm_telemetry::span_enabled().then(|| mm_telemetry::track("serve.scheduler"));
-    let _run_span = sched_track
-        .as_ref()
-        .and_then(|t| t.span("scheduler.run_jobs"));
-    let max_active = max_active.max(1);
-    let queue_capacity = queue_capacity.max(1);
-    let n = jobs.len();
-    let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
-    let mut source = jobs.into_iter();
-    let mut queue: VecDeque<JobSpec> = VecDeque::new();
-    let mut active: Vec<ActiveJob> = Vec::new();
-    let mut id_to_job: HashMap<u64, usize> = HashMap::new();
-    let mut buf: Vec<Mapping> = Vec::new();
-    let mut source_drained = false;
+/// Per-request fair-share state: the pending job queue and the budget this
+/// request has been served so far.
+struct RequestQueue {
+    weight: u64,
+    served: u64,
+    queue: VecDeque<(u64, JobSpec)>,
+    started: bool,
+}
 
-    loop {
-        // Admission: source → bounded queue → active set, in spec order.
-        while !source_drained && queue.len() < queue_capacity {
-            match source.next() {
-                Some(spec) => queue.push_back(spec),
-                None => source_drained = true,
+/// The persistent fair-share scheduler of one `MappingService`.
+///
+/// Owns the pending job queues of every in-flight request and the active
+/// set multiplexed on the pool; the service calls [`enqueue`],
+/// [`step`]s until the results it needs arrive, and [`cancel_jobs`] when a
+/// failure dooms part of the plan.
+///
+/// [`enqueue`]: Scheduler::enqueue
+/// [`step`]: Scheduler::step
+/// [`cancel_jobs`]: Scheduler::cancel_jobs
+pub(crate) struct Scheduler {
+    max_active: usize,
+    next_job_id: u64,
+    /// Pending queues by request id — a BTreeMap so fair-share ties break
+    /// by request id deterministically.
+    requests: BTreeMap<u64, RequestQueue>,
+    active: Vec<ActiveJob>,
+    /// Pool id → job id of every proposal in flight.
+    id_to_job: HashMap<u64, u64>,
+    buf: Vec<Mapping>,
+    track: Option<Arc<mm_telemetry::Track>>,
+}
+
+impl Scheduler {
+    pub fn new(max_active: usize) -> Self {
+        Scheduler {
+            max_active: max_active.max(1),
+            next_job_id: 0,
+            requests: BTreeMap::new(),
+            active: Vec::new(),
+            id_to_job: HashMap::new(),
+            buf: Vec::new(),
+            track: mm_telemetry::span_enabled().then(|| mm_telemetry::track("serve.scheduler")),
+        }
+    }
+
+    /// Queue `spec` behind its request's earlier jobs; returns the job id.
+    pub fn enqueue(&mut self, spec: JobSpec) -> u64 {
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        let entry = self
+            .requests
+            .entry(spec.request)
+            .or_insert_with(|| RequestQueue {
+                weight: spec.weight.max(1),
+                served: 0,
+                queue: VecDeque::new(),
+                started: false,
+            });
+        entry.queue.push_back((job_id, spec));
+        job_id
+    }
+
+    /// Nothing queued and nothing active.
+    pub fn idle(&self) -> bool {
+        self.active.is_empty() && self.requests.is_empty()
+    }
+
+    /// Drop the given jobs: pending ones are dequeued outright; active ones
+    /// stop proposing and drain their in-flight results, retiring as
+    /// [`JobEnd::Cancelled`].
+    pub fn cancel_jobs(&mut self, job_ids: &[u64]) {
+        for request in self.requests.values_mut() {
+            request.queue.retain(|(id, _)| !job_ids.contains(id));
+        }
+        self.requests.retain(|_, r| !r.queue.is_empty());
+        for job in self.active.iter_mut() {
+            if job_ids.contains(&job.job_id) {
+                job.cancelled = true;
             }
         }
-        while active.len() < max_active {
-            let Some(spec) = queue.pop_front() else { break };
-            active.push(ActiveJob::start(spec));
+    }
+
+    /// The request that should activate next under weighted fair queuing:
+    /// minimize (served + next budget) / weight, ties to the lower request
+    /// id. Exact integer arithmetic — no float order sensitivity.
+    fn pick_next(&self) -> Option<u64> {
+        let mut best: Option<(u128, u64, u64)> = None; // (num, weight, request)
+        for (&request, rq) in &self.requests {
+            let Some((_, front)) = rq.queue.front() else {
+                continue;
+            };
+            let num = (rq.served + front.budget).max(1) as u128;
+            let better = match best {
+                None => true,
+                // num_a / w_a < num_b / w_b  ⟺  num_a * w_b < num_b * w_a
+                Some((bn, bw, _)) => num * (bw as u128) < bn * (rq.weight as u128),
+            };
+            if better {
+                best = Some((num, rq.weight, request));
+            }
         }
-        if active.is_empty() {
-            break;
+        best.map(|(_, _, request)| request)
+    }
+
+    /// One scheduling step: activate pending jobs into free slots by fair
+    /// share, keep every active pipeline full, route one completion, and
+    /// retire finished jobs. Progress is guaranteed whenever `!idle()`.
+    pub fn step(&mut self, pool: &mut EvalPool) -> StepEvents {
+        let mut events = StepEvents::default();
+
+        // Activation: fair-share pick until the active set is full.
+        while self.active.len() < self.max_active {
+            let Some(request) = self.pick_next() else {
+                break;
+            };
+            let Some(rq) = self.requests.get_mut(&request) else {
+                break;
+            };
+            let Some((job_id, spec)) = rq.queue.pop_front() else {
+                break;
+            };
+            rq.served += spec.budget;
+            if !rq.started {
+                rq.started = true;
+                events.started.push(request);
+            }
+            if rq.queue.is_empty() {
+                self.requests.remove(&request);
+            }
+            self.active.push(ActiveJob::start(job_id, spec));
         }
 
         // Keep every active pipeline full before blocking on a result.
-        for job in active.iter_mut() {
-            job.fill(pool, &mut id_to_job, &mut buf);
+        for job in self.active.iter_mut() {
+            job.fill(pool, &mut self.id_to_job, &mut self.buf);
         }
 
         // Route one completion back to its job (proposal-order per job).
         if pool.in_flight() > 0 {
-            let (id, eval) = {
-                let _span = sched_track.as_ref().and_then(|t| t.span("scheduler.wait"));
-                pool.recv()
+            let (id, result) = {
+                let _span = self.track.as_ref().and_then(|t| t.span("scheduler.wait"));
+                pool.recv_result()
             };
-            let Some(index) = id_to_job.remove(&id) else {
+            if let Some(job_id) = self.id_to_job.remove(&id) {
+                if let Some(job) = self.active.iter_mut().find(|j| j.job_id == job_id) {
+                    job.route(id, result);
+                } else {
+                    debug_assert!(false, "routed job {job_id} retired with results in flight");
+                }
+            } else {
                 debug_assert!(false, "completion {id} not routed to any job");
-                continue;
-            };
-            let Some(job) = active.iter_mut().find(|j| j.index == index) else {
-                debug_assert!(false, "routed job {index} retired with results in flight");
-                continue;
-            };
-            job.arrived.insert(id, eval);
-            job.flush();
+            }
         }
 
-        // Retire finished jobs, preserving admission order of the rest.
+        // Retire finished jobs, preserving activation order of the rest.
         let mut i = 0;
-        while i < active.len() {
-            if active[i].done() {
-                let (index, outcome) = active.remove(i).finish();
-                outcomes[index] = Some(outcome);
+        while i < self.active.len() {
+            if self.active[i].done() {
+                events.finished.push(self.active.remove(i).finish());
             } else {
                 i += 1;
             }
         }
+        events
     }
-    outcomes
-        .into_iter()
-        // mm-lint: allow(panic): the drive loop above exits only once every
-        // admitted job finished; a hole here is a scheduler bug that must
-        // fail loudly rather than return a silently shortened report.
-        .map(|o| o.expect("every job ran to completion"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -398,13 +581,14 @@ mod tests {
     use mm_mapspace::{MapSpace, ProblemSpec};
     use mm_search::{GeneticAlgorithm, GeneticConfig, RandomSearch, SimulatedAnnealing};
 
-    fn spec(index: usize, w: u64, seed: u64, budget: u64) -> JobSpec {
+    fn spec(request: u64, w: u64, seed: u64, budget: u64) -> JobSpec {
         let arch = Architecture::example();
         let problem = ProblemSpec::conv1d(w, 5);
         let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
         let model = CostModel::new(arch, problem);
         JobSpec {
-            index,
+            request,
+            weight: 1,
             space: Box::new(space),
             evaluator: Arc::new(ModelEvaluator::edp(model)),
             search: Box::new(RandomSearch::new()),
@@ -415,13 +599,35 @@ mod tests {
         }
     }
 
+    /// Drive `specs` to completion (one request per spec), returning
+    /// outcomes in enqueue order — the shape of the old `run_jobs` helper,
+    /// so the determinism suite exercises the persistent scheduler the
+    /// same way the service does.
+    fn run_specs(pool: &mut EvalPool, specs: Vec<JobSpec>, max_active: usize) -> Vec<JobOutcome> {
+        let mut sched = Scheduler::new(max_active);
+        let ids: Vec<u64> = specs.into_iter().map(|s| sched.enqueue(s)).collect();
+        let mut ends: HashMap<u64, JobOutcome> = HashMap::new();
+        while !sched.idle() {
+            for (job, end) in sched.step(pool).finished {
+                match end {
+                    JobEnd::Done(outcome) => {
+                        ends.insert(job, outcome);
+                    }
+                    other => panic!("job {job} ended {other:?} in a healthy run"),
+                }
+            }
+        }
+        assert_eq!(pool.in_flight(), 0);
+        ids.into_iter()
+            .map(|id| ends.remove(&id).expect("every enqueued job retires"))
+            .collect()
+    }
+
     #[test]
     fn jobs_complete_with_exact_budgets_over_one_pool() {
         let mut pool = EvalPool::shared(3);
-        let jobs: Vec<JobSpec> = (0..5)
-            .map(|i| spec(i, 128 + 64 * i as u64, i as u64, 40))
-            .collect();
-        let outcomes = run_jobs(&mut pool, jobs, 2, 2);
+        let jobs: Vec<JobSpec> = (0..5).map(|i| spec(i, 128 + 64 * i, i, 40)).collect();
+        let outcomes = run_specs(&mut pool, jobs, 2);
         assert_eq!(outcomes.len(), 5);
         for o in &outcomes {
             assert_eq!(o.evaluations, 40);
@@ -435,8 +641,8 @@ mod tests {
     fn outcomes_are_independent_of_concurrency_and_workers() {
         let run = |workers: usize, max_active: usize| -> Vec<f64> {
             let mut pool = EvalPool::shared(workers);
-            let jobs: Vec<JobSpec> = (0..4).map(|i| spec(i, 200, 7 + i as u64, 60)).collect();
-            run_jobs(&mut pool, jobs, max_active, 4)
+            let jobs: Vec<JobSpec> = (0..4).map(|i| spec(i, 200, 7 + i, 60)).collect();
+            run_specs(&mut pool, jobs, max_active)
                 .iter()
                 .map(|o| o.best.as_ref().unwrap().1.primary())
                 .collect()
@@ -451,7 +657,7 @@ mod tests {
         let mk = || -> Vec<JobSpec> {
             (0..3)
                 .map(|i| {
-                    let mut s = spec(i, 256, 11 + i as u64, 50);
+                    let mut s = spec(i, 256, 11 + i, 50);
                     s.search = match i {
                         0 => Box::new(SimulatedAnnealing::default()),
                         1 => Box::new(GeneticAlgorithm::new(GeneticConfig {
@@ -465,9 +671,9 @@ mod tests {
                 .collect()
         };
         let mut pool_a = EvalPool::shared(2);
-        let a = run_jobs(&mut pool_a, mk(), 3, 3);
+        let a = run_specs(&mut pool_a, mk(), 3);
         let mut pool_b = EvalPool::shared(4);
-        let b = run_jobs(&mut pool_b, mk(), 2, 3);
+        let b = run_specs(&mut pool_b, mk(), 2);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.searcher, y.searcher);
             assert_eq!(x.evaluations, y.evaluations);
@@ -477,6 +683,53 @@ mod tests {
                 "same spec ⇒ same best, regardless of pool shape"
             );
         }
+    }
+
+    #[test]
+    fn fair_share_activates_by_weighted_virtual_finish() {
+        // Two requests, equal job budgets, weights 3 and 1, one slot: the
+        // weighted request owns ~3 of every 4 activations. Activation order
+        // is observable through `started`+`finished` with max_active=1.
+        let mut pool = EvalPool::shared(2);
+        let mut sched = Scheduler::new(1);
+        let mut owners: HashMap<u64, u64> = HashMap::new();
+        for i in 0..6 {
+            let mut s = spec(1, 128, 40 + i, 16);
+            s.weight = 3;
+            owners.insert(sched.enqueue(s), 1);
+        }
+        for i in 0..2 {
+            owners.insert(sched.enqueue(spec(2, 128, 50 + i, 16)), 2);
+        }
+        let mut order: Vec<u64> = Vec::new();
+        while !sched.idle() {
+            for (job, end) in sched.step(&mut pool).finished {
+                assert!(matches!(end, JobEnd::Done(_)));
+                order.push(owners[&job]);
+            }
+        }
+        // Virtual finish times: request 1 jobs at 16/3, 32/3, 48/3, 64/3…;
+        // request 2 jobs at 16, 32. Expected interleaving: 1,1,1,2,1,1,1,2.
+        assert_eq!(order, vec![1, 1, 1, 2, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn equal_weights_interleave_round_robin() {
+        let mut pool = EvalPool::shared(1);
+        let mut sched = Scheduler::new(1);
+        let mut owners: HashMap<u64, u64> = HashMap::new();
+        for r in 0..2u64 {
+            for i in 0..3 {
+                owners.insert(sched.enqueue(spec(r, 128, 60 + 10 * r + i, 8)), r);
+            }
+        }
+        let mut order: Vec<u64> = Vec::new();
+        while !sched.idle() {
+            for (job, _) in sched.step(&mut pool).finished {
+                order.push(owners[&job]);
+            }
+        }
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1], "ties break by request id");
     }
 
     /// Records the horizon each job's searcher was begun with.
@@ -527,8 +780,9 @@ mod tests {
             let space = MapSpace::new(problem.clone(), arch.mapping_constraints());
             (0..2)
                 .map(|s| JobSpec {
-                    index: s,
-                    space: space.shard(s, 64).clone_view(),
+                    request: s,
+                    weight: 1,
+                    space: space.shard(s as usize, 64).clone_view(),
                     evaluator: Arc::new(ModelEvaluator::edp(CostModel::new(
                         arch.clone(),
                         problem.clone(),
@@ -537,7 +791,7 @@ mod tests {
                         inner: RandomSearch::new(),
                         seen: Arc::clone(seen),
                     }),
-                    seed: 9 + s as u64,
+                    seed: 9 + s,
                     budget: 400,
                     sync: SyncPolicy::Off,
                     shard_horizon,
@@ -547,7 +801,7 @@ mod tests {
         let run = |workers: usize, hint: bool| -> (Vec<u64>, Vec<u64>) {
             let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
             let mut pool = EvalPool::shared(workers);
-            let evals = run_jobs(&mut pool, mk(hint, &seen), 2, 2)
+            let evals = run_specs(&mut pool, mk(hint, &seen), 2)
                 .iter()
                 .map(|o| o.evaluations)
                 .collect();
@@ -570,9 +824,26 @@ mod tests {
     }
 
     #[test]
-    fn empty_job_list_is_a_noop() {
+    fn empty_scheduler_is_idle() {
+        let sched = Scheduler::new(2);
+        assert!(sched.idle());
+    }
+
+    #[test]
+    fn cancelled_pending_jobs_never_start() {
         let mut pool = EvalPool::shared(1);
-        assert!(run_jobs(&mut pool, Vec::new(), 2, 2).is_empty());
+        let mut sched = Scheduler::new(1);
+        let keep = sched.enqueue(spec(0, 128, 1, 16));
+        let drop_id = sched.enqueue(spec(1, 128, 2, 16));
+        sched.cancel_jobs(&[drop_id]);
+        let mut finished: Vec<u64> = Vec::new();
+        while !sched.idle() {
+            for (job, end) in sched.step(&mut pool).finished {
+                assert!(matches!(end, JobEnd::Done(_)));
+                finished.push(job);
+            }
+        }
+        assert_eq!(finished, vec![keep], "the cancelled job never activated");
     }
 
     #[test]
@@ -582,7 +853,7 @@ mod tests {
         let mk = |sync: SyncPolicy| -> Vec<JobSpec> {
             (0..2)
                 .map(|i| {
-                    let mut s = spec(i, 256, 5 + i as u64, 3 * JOB_SYNC_INTERVAL);
+                    let mut s = spec(i, 256, 5 + i, 3 * JOB_SYNC_INTERVAL);
                     s.search = Box::new(SimulatedAnnealing::default());
                     s.sync = sync;
                     s
@@ -591,7 +862,7 @@ mod tests {
         };
         let run = |workers: usize, sync: SyncPolicy| -> Vec<f64> {
             let mut pool = EvalPool::shared(workers);
-            run_jobs(&mut pool, mk(sync), 2, 2)
+            run_specs(&mut pool, mk(sync), 2)
                 .iter()
                 .map(|o| o.best.as_ref().unwrap().1.primary())
                 .collect()

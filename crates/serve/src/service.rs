@@ -1,10 +1,39 @@
-//! [`MappingService`]: the whole-network mapping front-end.
+//! [`MappingService`]: the multi-tenant whole-network mapping front-end.
 //!
-//! One service owns one long-lived [`EvalPool`]; every
-//! [`map_network`](MappingService::map_network) call fingerprints each
-//! layer, schedules one search job per *distinct uncached* fingerprint over
-//! the shared pool (bounded queue, deterministic first-occurrence order),
-//! and assembles a [`NetworkReport`] with cached layers replayed for free.
+//! One service owns one long-lived [`EvalPool`] and serves many concurrent
+//! requests over it: [`submit`](MappingService::submit) admits a
+//! [`Network`] + [`RequestConfig`] through a bounded queue (typed
+//! [`AdmissionError`] when full or over a tenant budget) and returns a
+//! [`RequestHandle`]; the per-layer search jobs of every in-flight request
+//! are interleaved over the **one** shared pool by a deterministic
+//! weighted fair-share scheduler; [`wait`](MappingService::wait) collects
+//! the per-request [`NetworkReport`].
+//!
+//! # Determinism under concurrency
+//!
+//! A request's report is a pure function of `(network, RequestConfig,
+//! service identity, persistent-cache state at admission)`:
+//! [`NetworkReport::canonical_string`] is byte-identical regardless of how
+//! many sibling requests are in flight, how submissions interleave, and
+//! how many pool workers run. Two mechanisms make that hold:
+//!
+//! * every layer search job derives its RNG stream from the layer
+//!   fingerprint and the request seed — never from arrival order or pool
+//!   timing — so a job's outcome depends only on its spec;
+//! * concurrent requests that need the *same* fingerprint share one
+//!   in-flight search unit, and every subscriber reports it as its own
+//!   fresh search (`cache_hit=false`, full evaluations attributed): the
+//!   shared outcome is byte-identical to what the request's own search
+//!   would have produced, so sharing saves work without leaking sibling
+//!   presence into any report. Only results *completed and cached before
+//!   admission* report as cache hits — exactly the sequential semantics.
+//!
+//! # Failure isolation
+//!
+//! A panicking evaluator or searcher fails only the requests attached to
+//! the panicking search unit ([`RequestError::Failed`] from `wait`); pool
+//! workers survive, sibling requests complete, and their reports are
+//! byte-identical to an undisturbed run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,9 +49,10 @@ use mm_workloads::Network;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{fingerprint_parts, CachedLayer, ResultCache};
-use crate::config::ServeConfig;
+use crate::config::{RequestConfig, ServiceConfig, ServiceProfile};
 use crate::report::{LayerReport, NetworkAggregate, NetworkReport};
-use crate::scheduler::{run_jobs, JobSpec};
+use crate::request::{AdmissionError, RequestError, RequestHandle};
+use crate::scheduler::{JobEnd, JobOutcome, JobSpec, Scheduler};
 
 /// Builds the cost evaluator for one layer's problem.
 pub type EvaluatorFactory = Box<dyn Fn(&Architecture, &ProblemSpec) -> Arc<dyn CostEvaluator>>;
@@ -33,46 +63,134 @@ pub type SearchFactory = Box<dyn Fn() -> Box<dyn ProposalSearch>>;
 /// Lifetime counters of a service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
-    /// Fresh layer searches run.
+    /// Fresh layer searches run (search units completed).
     pub searches_run: u64,
-    /// Layers answered from cache.
+    /// Layers answered from cache (or deduplicated within a request).
     pub cache_hits: u64,
-    /// Evaluations spent across all fresh searches.
+    /// Evaluations actually spent across all fresh searches.
     pub total_evaluations: u64,
+    /// Requests admitted.
+    pub requests_admitted: u64,
+    /// Requests rejected at admission (queue full or tenant budget).
+    pub requests_rejected: u64,
+    /// Requests completed successfully.
+    pub requests_completed: u64,
+    /// Requests failed by a panicking evaluator/searcher.
+    pub requests_failed: u64,
+    /// In-flight search units shared with a concurrent request instead of
+    /// re-run (cross-request incumbent sharing).
+    pub shared_searches: u64,
 }
 
-/// How one layer of a `map_network` call is satisfied.
-enum LayerPlan {
+fn tele_admission(kind: usize) -> &'static Arc<mm_telemetry::Counter> {
+    use std::sync::OnceLock;
+    static CELLS: [OnceLock<Arc<mm_telemetry::Counter>>; 5] = [const { OnceLock::new() }; 5];
+    const NAMES: [&str; 5] = [
+        "serve.admission.accepted",
+        "serve.admission.rejected_queue_full",
+        "serve.admission.rejected_tenant_budget",
+        "serve.requests.completed",
+        "serve.requests.failed",
+    ];
+    CELLS[kind].get_or_init(|| mm_telemetry::counter(NAMES[kind]))
+}
+
+fn tele_shared_units() -> &'static Arc<mm_telemetry::Counter> {
+    use std::sync::OnceLock;
+    static C: OnceLock<Arc<mm_telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| mm_telemetry::counter("serve.scheduler.shared_units"))
+}
+
+/// How one layer of a request is satisfied.
+enum Plan {
     /// Replay this cached result (captured at plan time, so a bounded
-    /// cache evicting the entry mid-call cannot strand the layer).
+    /// cache evicting the entry mid-request cannot strand the layer).
     Hit(Arc<CachedLayer>),
-    /// Unique search `job` (an index into this call's merged per-unique
-    /// results, each covering one or more shard jobs) performs the search.
-    Search { job: usize },
+    /// The in-flight search unit with this id produces the result.
+    Unit(u64),
 }
 
-/// A long-lived, multi-workload mapping service over one shared eval pool.
+/// One in-flight search unit: the shard jobs of one distinct fingerprint,
+/// shared by every request that planned against it while it ran.
+struct UnitState {
+    fingerprint: u64,
+    /// Scheduler job ids, in shard order (merge order).
+    job_ids: Vec<u64>,
+    outcomes: Vec<Option<JobOutcome>>,
+    remaining: usize,
+    /// Requests reporting this unit (creator first).
+    subscribers: Vec<u64>,
+    /// Insert the merged result into the persistent cache (the creator ran
+    /// with `use_cache`).
+    insert_on_completion: bool,
+    sync: mm_search::SyncPolicy,
+}
+
+/// Everything the service tracks for one admitted request.
+struct RequestState {
+    network_name: String,
+    /// Per layer: name, problem name, repeat.
+    layers: Vec<(String, String, u64)>,
+    plans: Vec<Plan>,
+    /// Distinct unit ids, in first-reference order.
+    units: Vec<u64>,
+    /// Merged results, filled in as units complete.
+    resolved: HashMap<u64, Arc<CachedLayer>>,
+    /// Planned fresh evaluations (tenant-budget units, released on exit).
+    planned_evals: u64,
+    tenant: String,
+    /// Units attached to a sibling's in-flight search.
+    shared_units: u64,
+    started_wall: Instant,
+    /// Request-lifecycle span track (`serve.request{id}`), spans level only.
+    track: Option<Arc<mm_telemetry::Track>>,
+    /// `request.queue`: admission → first job activation.
+    queue_span: Option<mm_telemetry::SpanGuard>,
+    /// `request.run`: first job activation → completion.
+    run_span: Option<mm_telemetry::SpanGuard>,
+}
+
+/// A long-lived, multi-tenant mapping service over one shared eval pool.
 pub struct MappingService {
     arch: Architecture,
-    config: ServeConfig,
+    service: ServiceConfig,
+    default_request: RequestConfig,
     pool: EvalPool,
     cache: ResultCache,
     evaluator_factory: EvaluatorFactory,
     evaluator_tag: String,
     search_factory: SearchFactory,
     searcher_name: String,
-    /// Pre-rendered constant portion of the fingerprint (arch, searcher,
-    /// evaluator, seed, budget) — recomputed only when the searcher changes,
-    /// so per-layer fingerprinting formats just the problem.
-    config_tag: String,
+    /// Pre-rendered constant fingerprint prefix (`{arch:?}|{searcher}|
+    /// {evaluator}|`) — the request tag appends to it, reproducing the
+    /// legacy `config_tag` byte format exactly.
+    identity_tag: String,
+    scheduler: Scheduler,
     stats: ServeStats,
+    next_request_id: u64,
+    next_unit_id: u64,
+    /// Admitted, uncompleted requests.
+    requests: HashMap<u64, RequestState>,
+    /// In-flight search units by unit id.
+    units: HashMap<u64, UnitState>,
+    /// Scheduler job id → unit id, for routing job ends.
+    job_to_unit: HashMap<u64, u64>,
+    /// Fingerprint → in-flight unit id (cross-request sharing).
+    inflight_by_fp: HashMap<u64, u64>,
+    /// Outstanding planned evaluations per tenant (admission budgeting).
+    tenant_outstanding: HashMap<String, u64>,
+    /// Finished requests awaiting collection by `wait`.
+    completed: HashMap<u64, Result<NetworkReport, RequestError>>,
 }
 
 impl MappingService {
     /// A service mapping onto `arch` with the reference cost model
     /// (optimizing `edp`, with `energy` and `delay` carried for the
     /// network aggregates) and random search per layer.
-    pub fn new(arch: Architecture, config: ServeConfig) -> Self {
+    ///
+    /// `profile` accepts a [`ServiceConfig`] (default per-request config),
+    /// a `(ServiceConfig, RequestConfig)` pair, or a legacy `ServeConfig`.
+    pub fn new(arch: Architecture, profile: impl Into<ServiceProfile>) -> Self {
         let factory: EvaluatorFactory = Box::new(|arch, problem| {
             Arc::new(ModelEvaluator::with_metrics(
                 CostModel::new(arch.clone(), problem.clone()),
@@ -81,7 +199,7 @@ impl MappingService {
         });
         Self::with_evaluator_factory(
             arch,
-            config,
+            profile,
             factory,
             "reference-model[edp,energy,delay]".to_string(),
         )
@@ -93,67 +211,67 @@ impl MappingService {
     /// tags.
     pub fn with_evaluator_factory(
         arch: Architecture,
-        config: ServeConfig,
+        profile: impl Into<ServiceProfile>,
         evaluator_factory: EvaluatorFactory,
         evaluator_tag: String,
     ) -> Self {
+        let ServiceProfile {
+            service,
+            default_request,
+        } = profile.into();
         let search_factory: SearchFactory = Box::new(|| Box::new(RandomSearch::new()));
         let searcher_name = search_factory().name().to_string();
-        let config_tag = Self::config_tag(&arch, &searcher_name, &evaluator_tag, &config);
+        let identity_tag = Self::identity_tag(&arch, &searcher_name, &evaluator_tag);
         MappingService {
+            pool: EvalPool::shared(service.workers.max(1)),
+            cache: ResultCache::with_capacity(service.cache_capacity),
+            scheduler: Scheduler::new(service.max_active_jobs),
             arch,
-            config,
-            pool: EvalPool::shared(config.workers.max(1)),
-            cache: ResultCache::with_capacity(config.cache_capacity),
+            service,
+            default_request,
             evaluator_factory,
             evaluator_tag,
             search_factory,
             searcher_name,
-            config_tag,
+            identity_tag,
             stats: ServeStats::default(),
+            next_request_id: 0,
+            next_unit_id: 0,
+            requests: HashMap::new(),
+            units: HashMap::new(),
+            job_to_unit: HashMap::new(),
+            inflight_by_fp: HashMap::new(),
+            tenant_outstanding: HashMap::new(),
+            completed: HashMap::new(),
         }
     }
 
-    /// Replace the per-layer search method (builder style).
+    /// Replace the per-layer search method (builder style); call before
+    /// submitting requests.
     ///
     /// Cached results are dropped: fingerprints identify searchers by name
     /// only (`"GA"`, `"SA"`, …), so results produced by a differently
     /// configured searcher of the same name must not be replayed.
     pub fn with_searcher(mut self, search_factory: SearchFactory) -> Self {
+        debug_assert!(
+            self.requests.is_empty(),
+            "swap searchers on an idle service"
+        );
         self.searcher_name = search_factory().name().to_string();
         self.search_factory = search_factory;
-        self.config_tag = Self::config_tag(
-            &self.arch,
-            &self.searcher_name,
-            &self.evaluator_tag,
-            &self.config,
-        );
-        self.cache = ResultCache::with_capacity(self.config.cache_capacity);
+        self.identity_tag =
+            Self::identity_tag(&self.arch, &self.searcher_name, &self.evaluator_tag);
+        self.cache = ResultCache::with_capacity(self.service.cache_capacity);
         self
     }
 
-    /// Render the layer-independent fingerprint portion. The shard count,
-    /// the sync policy, and the shard-horizon hint are part of the search
-    /// configuration (they change which subspaces each job covers, the
-    /// per-shard budget split, how a job's trajectory re-anchors
-    /// mid-search, and how schedule-based searchers size their schedules),
-    /// so all three are folded into the fingerprint — cached replays never
-    /// cross shard, sync, or horizon configurations.
-    fn config_tag(
-        arch: &Architecture,
-        searcher_name: &str,
-        evaluator_tag: &str,
-        config: &ServeConfig,
-    ) -> String {
-        format!(
-            "{arch:?}|{searcher_name}|{evaluator_tag}|seed={} search_size={} shards={} sync={} \
-             shard_horizon={}",
-            config.seed,
-            config.search_size,
-            config.shards.max(1),
-            config.sync.canonical_string(),
-            config.shard_horizon,
-        )
+    /// Render the request-independent fingerprint prefix. A request's
+    /// [`search_tag`](RequestConfig) appends directly (no separator), so
+    /// the concatenation reproduces the legacy `config_tag` bytes exactly
+    /// — fingerprints, derived seeds, golden fixtures, and bench quality
+    /// baselines are unchanged by the multi-tenant split.
+    fn identity_tag(arch: &Architecture, searcher_name: &str, evaluator_tag: &str) -> String {
+        format!("{arch:?}|{searcher_name}|{evaluator_tag}|")
     }
 
     /// The architecture served.
@@ -161,9 +279,18 @@ impl MappingService {
         &self.arch
     }
 
-    /// The service configuration.
-    pub fn config(&self) -> &ServeConfig {
-        &self.config
+    /// The service-level configuration.
+    pub fn service_config(&self) -> &ServiceConfig {
+        &self.service
+    }
+
+    /// The per-request configuration used by [`map_network`] and
+    /// [`map_problem`].
+    ///
+    /// [`map_network`]: MappingService::map_network
+    /// [`map_problem`]: MappingService::map_problem
+    pub fn default_request(&self) -> &RequestConfig {
+        &self.default_request
     }
 
     /// Worker threads of the shared pool.
@@ -181,158 +308,512 @@ impl MappingService {
         self.cache.len()
     }
 
-    /// Deterministic cache/replay key for a problem under this service's
-    /// architecture, searcher, evaluator, and search budget/seed.
-    fn fingerprint(&self, problem: &ProblemSpec) -> u64 {
-        fingerprint_parts(&[&format!("{problem:?}"), &self.config_tag])
+    /// Requests admitted but not yet completed.
+    pub fn in_flight_requests(&self) -> usize {
+        self.requests.len()
     }
 
-    /// Map every layer of `network`, returning per-layer reports in network
-    /// order plus repeat-weighted aggregates.
-    ///
-    /// Distinct uncached layer shapes each get one search job of
-    /// `search_size` evaluations, multiplexed over the shared pool; repeated
-    /// shapes — within this network or cached from earlier calls — replay
-    /// the existing result without searching. With `use_cache` off, every
-    /// layer occurrence searches; the searches are identical, so the best
-    /// mappings and metrics are unchanged — only the evaluation cost and
-    /// the provenance fields (`cache_hit`, `unique_searches`, …) differ.
-    pub fn map_network(&mut self, network: &Network) -> NetworkReport {
-        let start = Instant::now();
+    /// Deterministic cache/replay key for a problem under this service's
+    /// architecture, searcher, evaluator, and the request's search tag.
+    fn fingerprint(&self, problem: &ProblemSpec, search_tag: &str) -> u64 {
+        fingerprint_parts(&[
+            &format!("{problem:?}"),
+            &format!("{}{}", self.identity_tag, search_tag),
+        ])
+    }
 
-        // Plan: one search (of one or more shard jobs) per distinct uncached
-        // fingerprint, in first-occurrence order (the deterministic job
-        // ordering of the service).
-        let mut plans: Vec<LayerPlan> = Vec::with_capacity(network.len());
-        let mut jobs: Vec<JobSpec> = Vec::new();
-        let mut unique_fingerprints: Vec<u64> = Vec::new();
-        // Per unique search: its contiguous job-index range (one job per
-        // map-space shard; shard config routed through the job queue).
-        let mut job_ranges: Vec<std::ops::Range<usize>> = Vec::new();
-        let mut unique_for_fp: HashMap<u64, usize> = HashMap::new();
-        for layer in &network.layers {
-            let fp = self.fingerprint(&layer.problem);
-            let cached = if self.config.use_cache {
-                self.cache.lookup(fp)
-            } else {
-                None
-            };
-            let plan = if let Some(cached) = cached {
-                LayerPlan::Hit(cached)
-            } else if self.config.use_cache && unique_for_fp.contains_key(&fp) {
-                LayerPlan::Search {
-                    job: unique_for_fp[&fp],
-                }
-            } else {
-                let unique = unique_fingerprints.len();
-                let start = jobs.len();
-                jobs.extend(self.shard_job_specs(start, fp, &layer.problem));
-                job_ranges.push(start..jobs.len());
-                unique_fingerprints.push(fp);
-                unique_for_fp.insert(fp, unique);
-                LayerPlan::Search { job: unique }
-            };
-            plans.push(plan);
+    /// Admit `network` for mapping under `config`, returning a handle to
+    /// [`wait`](MappingService::wait) on. Jobs start running as any handle
+    /// is waited on (or [`drive`](MappingService::drive) is called);
+    /// submission order only affects scheduling, never results.
+    ///
+    /// Admission is all-or-nothing: a rejected request changes no service
+    /// state (no budget consumed, no statistics perturbed).
+    pub fn submit(
+        &mut self,
+        network: &Network,
+        config: RequestConfig,
+    ) -> Result<RequestHandle, AdmissionError> {
+        // Bounded queue: depth counts admitted-but-uncompleted requests.
+        let queue_depth = self.service.queue_depth.max(1);
+        if self.requests.len() >= queue_depth {
+            self.stats.requests_rejected += 1;
+            tele_admission(1).bump(1);
+            mm_telemetry::event("serve.request.reject", || {
+                format!("network={} reason=queue_full", network.name)
+            });
+            return Err(AdmissionError::QueueFull {
+                backlog: self.requests.len(),
+                queue_depth,
+            });
         }
 
-        // Run all fresh searches over the shared, long-lived pool.
-        let unique_searches = unique_fingerprints.len();
-        let outcomes = run_jobs(
-            &mut self.pool,
-            jobs,
-            self.config.max_active_jobs,
-            self.config.queue_capacity,
-        );
-        // Merge each unique search's shard outcomes in shard order
-        // (strictly-better-wins, budgets summed).
-        let results: Vec<Arc<CachedLayer>> = job_ranges
-            .iter()
-            .map(|range| {
-                let group = &outcomes[range.clone()];
-                let mut best: Option<(mm_mapspace::Mapping, mm_mapper::Evaluation)> = None;
-                for o in group {
-                    if let Some((m, e)) = &o.best {
-                        let take = match best.as_ref() {
-                            None => true,
-                            Some((_, incumbent)) => e.better_than(incumbent),
-                        };
-                        if take {
-                            best = Some((m.clone(), e.clone()));
-                        }
-                    }
+        // Plan without mutating state: per layer, a persistent-cache hit,
+        // an attachment to an in-flight unit, or a fresh unit. `PlanStep`
+        // indexes into `new_units` for fresh ones.
+        enum PlanStep {
+            Hit(Arc<CachedLayer>),
+            Attach(u64),
+            Fresh(usize),
+        }
+        let search_tag = config.search_tag();
+        let mut steps: Vec<(u64, PlanStep)> = Vec::with_capacity(network.len());
+        let mut new_units: Vec<(u64, ProblemSpec)> = Vec::new();
+        let mut fresh_for_fp: HashMap<u64, usize> = HashMap::new();
+        for layer in &network.layers {
+            let fp = self.fingerprint(&layer.problem, &search_tag);
+            let step = if config.use_cache {
+                if let Some(cached) = self.cache.get(fp) {
+                    PlanStep::Hit(cached)
+                } else if let Some(&unit) = self.inflight_by_fp.get(&fp) {
+                    PlanStep::Attach(unit)
+                } else if let Some(&idx) = fresh_for_fp.get(&fp) {
+                    PlanStep::Fresh(idx)
+                } else {
+                    let idx = new_units.len();
+                    new_units.push((fp, layer.problem.clone()));
+                    fresh_for_fp.insert(fp, idx);
+                    PlanStep::Fresh(idx)
                 }
-                let (best_mapping, best_metrics) = match best {
-                    Some((m, e)) => (Some(m), Some(e)),
-                    None => (None, None),
-                };
-                let first = &group[0];
-                // Shard convergence curves merge in shard order (round-robin
-                // global eval indexing), mirroring the mapper's report.
-                let convergence = group
-                    .iter()
-                    .map(|o| o.convergence.clone())
-                    .collect::<Option<Vec<_>>>()
-                    .filter(|t| !t.is_empty())
-                    .map(|t| mm_search::merge_shard_convergence(&t));
-                Arc::new(CachedLayer {
-                    best_mapping,
-                    best_metrics,
-                    metric_names: first.metric_names.clone(),
-                    evaluations: group.iter().map(|o| o.evaluations).sum(),
-                    searcher: first.searcher.clone(),
-                    sync: self.config.sync,
-                    wall_time_s: group.iter().map(|o| o.wall_time_s).fold(0.0, f64::max),
-                    exhausted: group.iter().any(|o| o.exhausted),
-                    convergence,
-                })
-            })
-            .collect();
-        let total_evaluations: u64 = results.iter().map(|r| r.evaluations).sum();
-        if self.config.use_cache {
-            for (fp, result) in unique_fingerprints.iter().zip(&results) {
-                self.cache.insert(*fp, Arc::clone(result));
+            } else {
+                // Cache off: every occurrence searches independently —
+                // identical searches, so results match the cached path;
+                // only provenance and evaluation spend differ.
+                let idx = new_units.len();
+                new_units.push((fp, layer.problem.clone()));
+                PlanStep::Fresh(idx)
+            };
+            steps.push((fp, step));
+        }
+
+        // Tenant budget: planned fresh evaluations of this request against
+        // the tenant's outstanding total.
+        let planned_evals = new_units.len() as u64 * config.search_size;
+        if let Some(budget) = self.service.tenant_budget {
+            let outstanding = self
+                .tenant_outstanding
+                .get(&config.tenant)
+                .copied()
+                .unwrap_or(0);
+            if outstanding + planned_evals > budget {
+                self.stats.requests_rejected += 1;
+                tele_admission(2).bump(1);
+                mm_telemetry::event("serve.request.reject", || {
+                    format!(
+                        "network={} tenant={} reason=tenant_budget",
+                        network.name, config.tenant
+                    )
+                });
+                return Err(AdmissionError::TenantBudgetExhausted {
+                    tenant: config.tenant.clone(),
+                    outstanding,
+                    requested: planned_evals,
+                    budget,
+                });
             }
         }
 
-        // Assemble per-layer reports in network order. A layer is a cache
-        // hit unless it is the first occurrence that triggered its job.
-        let mut first_use: Vec<bool> = vec![false; unique_searches];
+        // Admitted: assign the id, open the lifecycle track, record the
+        // planned cache lookups (in layer order, as the sequential path
+        // did), and materialize units.
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.stats.requests_admitted += 1;
+        tele_admission(0).bump(1);
+        let track = mm_telemetry::span_enabled()
+            .then(|| mm_telemetry::track(&format!("serve.request{id}")));
+        let admit_span = track.as_ref().and_then(|t| t.span("request.admit"));
+        mm_telemetry::event("serve.request.submit", || {
+            format!(
+                "request={id} network={} layers={} fresh={} tenant={}",
+                network.name,
+                network.len(),
+                new_units.len(),
+                config.tenant
+            )
+        });
+
+        for (fp, step) in &steps {
+            self.cache
+                .note_lookup(*fp, matches!(step, PlanStep::Hit(_)));
+        }
+
+        let weight = u64::from(config.priority.max(1));
+        let mut fresh_unit_ids: Vec<u64> = Vec::with_capacity(new_units.len());
+        for (fp, problem) in &new_units {
+            let unit_id = self.next_unit_id;
+            self.next_unit_id += 1;
+            let specs = self.shard_job_specs(id, weight, *fp, problem, &config);
+            let job_ids: Vec<u64> = specs
+                .into_iter()
+                .map(|spec| {
+                    let job_id = self.scheduler.enqueue(spec);
+                    self.job_to_unit.insert(job_id, unit_id);
+                    job_id
+                })
+                .collect();
+            let remaining = job_ids.len();
+            self.units.insert(
+                unit_id,
+                UnitState {
+                    fingerprint: *fp,
+                    outcomes: vec![None; remaining],
+                    job_ids,
+                    remaining,
+                    subscribers: vec![id],
+                    insert_on_completion: config.use_cache,
+                    sync: config.sync,
+                },
+            );
+            if config.use_cache {
+                self.inflight_by_fp.insert(*fp, unit_id);
+            }
+            fresh_unit_ids.push(unit_id);
+        }
+
+        // Final plans and the request's distinct-unit order.
+        let mut plans: Vec<Plan> = Vec::with_capacity(steps.len());
+        let mut unit_order: Vec<u64> = Vec::new();
+        let mut shared_units = 0u64;
+        for (_, step) in steps {
+            let plan = match step {
+                PlanStep::Hit(cached) => Plan::Hit(cached),
+                PlanStep::Attach(unit) => {
+                    if !unit_order.contains(&unit) {
+                        unit_order.push(unit);
+                        shared_units += 1;
+                        self.units
+                            .get_mut(&unit)
+                            .map(|u| u.subscribers.push(id))
+                            .unwrap_or_default();
+                    }
+                    Plan::Unit(unit)
+                }
+                PlanStep::Fresh(idx) => {
+                    let unit = fresh_unit_ids[idx];
+                    if !unit_order.contains(&unit) {
+                        unit_order.push(unit);
+                    }
+                    Plan::Unit(unit)
+                }
+            };
+            plans.push(plan);
+        }
+        self.stats.shared_searches += shared_units;
+        if shared_units > 0 {
+            tele_shared_units().bump(shared_units);
+        }
+        *self
+            .tenant_outstanding
+            .entry(config.tenant.clone())
+            .or_insert(0) += planned_evals;
+
+        drop(admit_span);
+        let queue_span = track.as_ref().and_then(|t| t.span("request.queue"));
+        let state = RequestState {
+            network_name: network.name.clone(),
+            layers: network
+                .layers
+                .iter()
+                .map(|l| (l.name.clone(), l.problem.name.clone(), l.repeat))
+                .collect(),
+            plans,
+            units: unit_order,
+            resolved: HashMap::new(),
+            planned_evals,
+            tenant: config.tenant,
+            shared_units,
+            started_wall: Instant::now(),
+            track,
+            queue_span,
+            run_span: None,
+        };
+        self.requests.insert(id, state);
+
+        // A fully-cached request needs no scheduling: complete it now.
+        if self.requests.get(&id).is_some_and(|r| r.units.is_empty()) {
+            self.finalize_request(id);
+        }
+        Ok(RequestHandle { id })
+    }
+
+    /// Block until `handle`'s request completes, driving the scheduler, and
+    /// return its report (or the failure that ended it).
+    pub fn wait(&mut self, handle: RequestHandle) -> Result<NetworkReport, RequestError> {
+        loop {
+            if let Some(result) = self.completed.remove(&handle.id) {
+                return result;
+            }
+            if !self.requests.contains_key(&handle.id) {
+                return Err(RequestError::Unknown { request: handle.id });
+            }
+            if self.scheduler.idle() {
+                debug_assert!(
+                    false,
+                    "request {} in flight with an idle scheduler",
+                    handle.id
+                );
+                return Err(RequestError::Unknown { request: handle.id });
+            }
+            self.pump();
+        }
+    }
+
+    /// Drive every in-flight request to completion (without collecting any
+    /// report — `wait` each handle afterwards).
+    pub fn drive(&mut self) {
+        while !self.scheduler.idle() {
+            self.pump();
+        }
+    }
+
+    /// One scheduler step plus request bookkeeping.
+    fn pump(&mut self) {
+        let events = self.scheduler.step(&mut self.pool);
+        for request in events.started {
+            if let Some(state) = self.requests.get_mut(&request) {
+                // queue → run transition of the request lifecycle.
+                drop(state.queue_span.take());
+                state.run_span = state.track.as_ref().and_then(|t| t.span("request.run"));
+            }
+        }
+        for (job, end) in events.finished {
+            self.on_job_end(job, end);
+        }
+    }
+
+    /// Route one retired job to its unit, completing or failing dependents.
+    fn on_job_end(&mut self, job: u64, end: JobEnd) {
+        let Some(&unit_id) = self.job_to_unit.get(&job) else {
+            // A drained job of an already-failed/cancelled unit.
+            return;
+        };
+        match end {
+            JobEnd::Done(outcome) => {
+                let Some(unit) = self.units.get_mut(&unit_id) else {
+                    return;
+                };
+                let Some(pos) = unit.job_ids.iter().position(|&j| j == job) else {
+                    return;
+                };
+                if unit.outcomes[pos].replace(outcome).is_none() {
+                    unit.remaining -= 1;
+                }
+                if unit.remaining == 0 {
+                    self.finalize_unit(unit_id);
+                }
+            }
+            JobEnd::Failed(message) => self.fail_unit(unit_id, message),
+            JobEnd::Cancelled => {
+                self.job_to_unit.remove(&job);
+            }
+        }
+    }
+
+    /// Merge a completed unit's shard outcomes (in shard order,
+    /// strictly-better-wins, budgets summed), publish to cache and
+    /// subscribers, and finalize any request this completes.
+    fn finalize_unit(&mut self, unit_id: u64) {
+        let Some(unit) = self.units.remove(&unit_id) else {
+            return;
+        };
+        for job in &unit.job_ids {
+            self.job_to_unit.remove(job);
+        }
+        if self.inflight_by_fp.get(&unit.fingerprint) == Some(&unit_id) {
+            self.inflight_by_fp.remove(&unit.fingerprint);
+        }
+        let group: Vec<JobOutcome> = unit
+            .outcomes
+            .into_iter()
+            .map(|o| {
+                // mm-lint: allow(panic): finalize_unit runs only at
+                // remaining == 0; a hole is a service bug that must fail
+                // loudly rather than ship a shortened merge.
+                o.expect("every shard outcome present at finalize")
+            })
+            .collect();
+        let mut best: Option<(mm_mapspace::Mapping, mm_mapper::Evaluation)> = None;
+        for o in &group {
+            if let Some((m, e)) = &o.best {
+                let take = match best.as_ref() {
+                    None => true,
+                    Some((_, incumbent)) => e.better_than(incumbent),
+                };
+                if take {
+                    best = Some((m.clone(), e.clone()));
+                }
+            }
+        }
+        let (best_mapping, best_metrics) = match best {
+            Some((m, e)) => (Some(m), Some(e)),
+            None => (None, None),
+        };
+        let first = &group[0];
+        // Shard convergence curves merge in shard order (round-robin global
+        // eval indexing), mirroring the mapper's report.
+        let convergence = group
+            .iter()
+            .map(|o| o.convergence.clone())
+            .collect::<Option<Vec<_>>>()
+            .filter(|t| !t.is_empty())
+            .map(|t| mm_search::merge_shard_convergence(&t));
+        let merged = Arc::new(CachedLayer {
+            best_mapping,
+            best_metrics,
+            metric_names: first.metric_names.clone(),
+            evaluations: group.iter().map(|o| o.evaluations).sum(),
+            searcher: first.searcher.clone(),
+            sync: unit.sync,
+            wall_time_s: group.iter().map(|o| o.wall_time_s).fold(0.0, f64::max),
+            exhausted: group.iter().any(|o| o.exhausted),
+            convergence,
+        });
+        self.stats.searches_run += 1;
+        self.stats.total_evaluations += merged.evaluations;
+        if unit.insert_on_completion {
+            self.cache.insert(unit.fingerprint, Arc::clone(&merged));
+        }
+        for subscriber in unit.subscribers {
+            let complete = match self.requests.get_mut(&subscriber) {
+                Some(state) => {
+                    state.resolved.insert(unit_id, Arc::clone(&merged));
+                    state.resolved.len() == state.units.len()
+                }
+                None => false,
+            };
+            if complete {
+                self.finalize_request(subscriber);
+            }
+        }
+    }
+
+    /// A job of `unit_id` panicked: fail every subscriber request and tear
+    /// the unit (and any now-subscriber-less units) down.
+    fn fail_unit(&mut self, unit_id: u64, message: String) {
+        let subscribers = self
+            .units
+            .get(&unit_id)
+            .map(|u| u.subscribers.clone())
+            .unwrap_or_default();
+        for request in subscribers {
+            self.fail_request(request, message.clone());
+        }
+        // All subscribers failed, so the detach pass in fail_request has
+        // already cancelled and removed the unit itself.
+        debug_assert!(!self.units.contains_key(&unit_id));
+    }
+
+    /// Fail one request: surface the error on its handle, release its
+    /// budget, and cancel any search unit no healthy request still needs.
+    fn fail_request(&mut self, request: u64, message: String) {
+        let Some(mut state) = self.requests.remove(&request) else {
+            return;
+        };
+        self.stats.requests_failed += 1;
+        tele_admission(4).bump(1);
+        mm_telemetry::event("serve.request.fail", || {
+            format!("request={request} network={}", state.network_name)
+        });
+        drop(state.queue_span.take());
+        drop(state.run_span.take());
+        if let Some(outstanding) = self.tenant_outstanding.get_mut(&state.tenant) {
+            *outstanding = outstanding.saturating_sub(state.planned_evals);
+            if *outstanding == 0 {
+                self.tenant_outstanding.remove(&state.tenant);
+            }
+        }
+        for unit_id in &state.units {
+            let Some(unit) = self.units.get_mut(unit_id) else {
+                continue;
+            };
+            unit.subscribers.retain(|&r| r != request);
+            if !unit.subscribers.is_empty() {
+                continue;
+            }
+            // Nobody is waiting on this search any more: tear it down.
+            if let Some(unit) = self.units.remove(unit_id) {
+                self.scheduler.cancel_jobs(&unit.job_ids);
+                for job in &unit.job_ids {
+                    self.job_to_unit.remove(job);
+                }
+                if self.inflight_by_fp.get(&unit.fingerprint) == Some(unit_id) {
+                    self.inflight_by_fp.remove(&unit.fingerprint);
+                }
+            }
+        }
+        self.completed
+            .insert(request, Err(RequestError::Failed { request, message }));
+    }
+
+    /// Assemble the report of a request whose units are all resolved.
+    fn finalize_request(&mut self, request: u64) {
+        let Some(mut state) = self.requests.remove(&request) else {
+            return;
+        };
+        // Per-layer reports in network order. A layer is a cache hit unless
+        // it is the first occurrence referencing its unit in this request —
+        // identical to the sequential semantics, and independent of sibling
+        // requests (shared units report as fresh searches; their outcome is
+        // byte-identical to an unshared run).
+        let mut seen_units: Vec<u64> = Vec::new();
         let mut cache_hits = 0usize;
-        let layers: Vec<LayerReport> = network
+        let layers: Vec<LayerReport> = state
             .layers
             .iter()
-            .zip(&plans)
-            .map(|(layer, plan)| {
+            .zip(&state.plans)
+            .map(|((layer, problem, repeat), plan)| {
                 let (cached, hit): (Arc<CachedLayer>, bool) = match plan {
-                    // A Hit plan means the fingerprint was cached before
-                    // this call started.
-                    LayerPlan::Hit(cached) => (Arc::clone(cached), true),
-                    LayerPlan::Search { job } => {
-                        let first = !first_use[*job];
-                        first_use[*job] = true;
-                        (Arc::clone(&results[*job]), !first)
+                    Plan::Hit(cached) => (Arc::clone(cached), true),
+                    Plan::Unit(unit) => {
+                        let first = !seen_units.contains(unit);
+                        if first {
+                            seen_units.push(*unit);
+                        }
+                        let resolved = state
+                            .resolved
+                            .get(unit)
+                            // mm-lint: allow(panic): finalize_request runs
+                            // only once every unit resolved; a hole is a
+                            // service bug that must fail loudly.
+                            .expect("unit resolved before request finalize");
+                        (Arc::clone(resolved), !first)
                     }
                 };
                 if hit {
                     cache_hits += 1;
                 }
-                LayerReport::from_cached(
-                    &layer.name,
-                    &layer.problem.name,
-                    layer.repeat,
-                    hit,
-                    &cached,
-                )
+                LayerReport::from_cached(layer, problem, *repeat, hit, &cached)
             })
             .collect();
-
-        let wall_time_s = start.elapsed().as_secs_f64();
-        self.stats.searches_run += unique_searches as u64;
+        let unique_searches = state.units.len();
+        let total_evaluations: u64 = state
+            .units
+            .iter()
+            .map(|u| state.resolved.get(u).map_or(0, |r| r.evaluations))
+            .sum();
         self.stats.cache_hits += cache_hits as u64;
-        self.stats.total_evaluations += total_evaluations;
-
-        NetworkReport {
-            network: network.name.clone(),
+        self.stats.requests_completed += 1;
+        tele_admission(3).bump(1);
+        mm_telemetry::event("serve.request.finish", || {
+            format!(
+                "request={request} network={} unique={} hits={} evals={}",
+                state.network_name, unique_searches, cache_hits, total_evaluations
+            )
+        });
+        if let Some(outstanding) = self.tenant_outstanding.get_mut(&state.tenant) {
+            *outstanding = outstanding.saturating_sub(state.planned_evals);
+            if *outstanding == 0 {
+                self.tenant_outstanding.remove(&state.tenant);
+            }
+        }
+        // Close the lifecycle spans (queue may still be open for a request
+        // that never activated a job of its own).
+        drop(state.queue_span.take());
+        drop(state.run_span.take());
+        let wall_time_s = state.started_wall.elapsed().as_secs_f64();
+        let report = NetworkReport {
+            network: state.network_name,
             aggregate: NetworkAggregate::from_layers(&layers),
             layers,
             unique_searches,
@@ -344,8 +825,53 @@ impl MappingService {
             } else {
                 0.0
             },
+            request_id: request,
+            tenant: state.tenant,
+            shared_searches: state.shared_units,
             cache: self.cache.stats(),
             telemetry: mm_telemetry::snapshot_if_enabled(),
+        };
+        self.completed.insert(request, Ok(report));
+    }
+
+    /// Map every layer of `network` under the service's default request
+    /// config, returning per-layer reports in network order plus
+    /// repeat-weighted aggregates — the legacy synchronous surface, now
+    /// sugar over [`submit`](MappingService::submit) +
+    /// [`wait`](MappingService::wait).
+    ///
+    /// Distinct uncached layer shapes each get one search job of
+    /// `search_size` evaluations, multiplexed over the shared pool; repeated
+    /// shapes — within this network or cached from earlier calls — replay
+    /// the existing result without searching. With `use_cache` off, every
+    /// layer occurrence searches; the searches are identical, so the best
+    /// mappings and metrics are unchanged — only the evaluation cost and
+    /// the provenance fields (`cache_hit`, `unique_searches`, …) differ.
+    pub fn map_network(&mut self, network: &Network) -> NetworkReport {
+        let config = self.default_request.clone();
+        self.map_network_with(network, config)
+    }
+
+    /// [`map_network`](MappingService::map_network) with an explicit
+    /// per-request config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if admission fails (other requests hold the queue) or the
+    /// request fails (a panicking evaluator/searcher) — matching the legacy
+    /// synchronous contract. Use `submit`/`wait` for typed errors.
+    pub fn map_network_with(&mut self, network: &Network, config: RequestConfig) -> NetworkReport {
+        match self.submit(network, config) {
+            Ok(handle) => match self.wait(handle) {
+                Ok(report) => report,
+                // mm-lint: allow(panic): the legacy synchronous surface
+                // propagates a request failure as a panic, exactly as the
+                // pre-multi-tenant service did via EvalPool::recv.
+                Err(err) => panic!("map_network: {err}"),
+            },
+            // mm-lint: allow(panic): same legacy contract — the synchronous
+            // caller has no handle to surface a typed rejection on.
+            Err(err) => panic!("map_network: {err}"),
         }
     }
 
@@ -367,21 +893,31 @@ impl MappingService {
     /// RNG stream derived from the fingerprint *and* the shard index.
     fn shard_job_specs(
         &self,
-        base_index: usize,
+        request: u64,
+        weight: u64,
         fingerprint: u64,
         problem: &ProblemSpec,
+        config: &RequestConfig,
     ) -> Vec<JobSpec> {
         let space = MapSpace::new(problem.clone(), self.arch.mapping_constraints());
-        let shards = space.clamp_shard_count(self.config.shards.max(1));
+        let requested = config.shards.max(1);
+        let shards = match &config.shard_axes {
+            Some(kinds) => space.clamp_shard_count_for(kinds, requested),
+            None => space.clamp_shard_count(requested),
+        };
         (0..shards)
             .map(|s| {
                 let view: Box<dyn mm_mapspace::MapSpaceView> = if shards > 1 {
-                    Box::new(space.shard(s, shards))
+                    match &config.shard_axes {
+                        Some(kinds) => Box::new(space.shard_with(kinds, s, shards)),
+                        None => Box::new(space.shard(s, shards)),
+                    }
                 } else {
                     Box::new(space.clone())
                 };
                 JobSpec {
-                    index: base_index + s,
+                    request,
+                    weight,
                     space: view,
                     evaluator: (self.evaluator_factory)(&self.arch, problem),
                     search: (self.search_factory)(),
@@ -389,10 +925,10 @@ impl MappingService {
                     // position: a layer's result is independent of where it
                     // appears, so cache replay is exactly what a fresh
                     // search would have produced.
-                    seed: derive_stream_seed(self.config.seed ^ fingerprint, s),
-                    budget: split_evenly(self.config.search_size, s, shards),
-                    sync: self.config.sync,
-                    shard_horizon: self.config.shard_horizon,
+                    seed: derive_stream_seed(config.seed ^ fingerprint, s),
+                    budget: split_evenly(config.search_size, s, shards),
+                    sync: config.sync,
+                    shard_horizon: config.shard_horizon,
                 }
             })
             .collect()

@@ -8,30 +8,30 @@ use mm_accel::Architecture;
 use mm_core::Phase1Config;
 use mm_mapspace::ProblemSpec;
 use mm_search::SimulatedAnnealing;
-use mm_serve::{MappingService, ServeConfig, SurrogateEvaluator, SyncPolicy};
+use mm_serve::{MappingService, RequestConfig, ServiceConfig, SurrogateEvaluator, SyncPolicy};
 use mm_workloads::{evaluated_accelerator, table1_network, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn quick_config() -> ServeConfig {
-    ServeConfig {
-        workers: 2,
-        max_active_jobs: 2,
-        queue_capacity: 4,
-        seed: 42,
-        search_size: 120,
-        shards: 1,
-        sync: SyncPolicy::Off,
-        shard_horizon: false,
-        use_cache: true,
-        cache_capacity: None,
-    }
+fn quick_service() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_workers(2)
+        .with_max_active_jobs(2)
+        .with_queue_depth(4)
+}
+
+fn quick_request() -> RequestConfig {
+    RequestConfig::default().with_seed(42).with_search_size(120)
+}
+
+fn quick_profile() -> (ServiceConfig, RequestConfig) {
+    (quick_service(), quick_request())
 }
 
 #[test]
 fn maps_full_table1_over_one_shared_pool() {
     let net = table1_network();
-    let mut service = MappingService::new(evaluated_accelerator(), quick_config());
+    let mut service = MappingService::new(evaluated_accelerator(), quick_profile());
     let report = service.map_network(&net);
 
     assert_eq!(report.layers.len(), 8);
@@ -68,10 +68,11 @@ fn maps_full_table1_over_one_shared_pool() {
 fn same_seed_same_network_is_byte_identical() {
     let net = table1_network();
     let run = |workers: usize, max_active: usize| {
-        let mut config = quick_config();
-        config.workers = workers;
-        config.max_active_jobs = max_active;
-        let mut service = MappingService::new(evaluated_accelerator(), config);
+        let service_cfg = quick_service()
+            .with_workers(workers)
+            .with_max_active_jobs(max_active);
+        let mut service =
+            MappingService::new(evaluated_accelerator(), (service_cfg, quick_request()));
         service.map_network(&net).canonical_string()
     };
     let base = run(2, 2);
@@ -80,9 +81,10 @@ fn same_seed_same_network_is_byte_identical() {
     assert_eq!(base, run(4, 3), "independent of pool width");
 
     // A different seed must actually change the result.
-    let mut other_seed = quick_config();
-    other_seed.seed = 43;
-    let mut service = MappingService::new(evaluated_accelerator(), other_seed);
+    let mut service = MappingService::new(
+        evaluated_accelerator(),
+        (quick_service(), quick_request().with_seed(43)),
+    );
     assert_ne!(base, service.map_network(&net).canonical_string());
 }
 
@@ -95,7 +97,7 @@ fn repeated_layers_hit_the_cache_with_identical_mappings() {
         .with_layer("other", ProblemSpec::conv1d(256, 5), 1)
         .with_layer("block3", shape.clone(), 1);
 
-    let mut service = MappingService::new(Architecture::example(), quick_config());
+    let mut service = MappingService::new(Architecture::example(), quick_profile());
     let report = service.map_network(&net);
 
     assert_eq!(report.unique_searches, 2, "two distinct shapes");
@@ -130,11 +132,11 @@ fn cache_off_searches_every_occurrence_but_keeps_the_report() {
         .with_layer("a", shape.clone(), 1)
         .with_layer("b", shape.clone(), 1);
 
-    let mut uncached_cfg = quick_config();
-    uncached_cfg.use_cache = false;
-
-    let mut with_cache = MappingService::new(Architecture::example(), quick_config());
-    let mut without_cache = MappingService::new(Architecture::example(), uncached_cfg);
+    let mut with_cache = MappingService::new(Architecture::example(), quick_profile());
+    let mut without_cache = MappingService::new(
+        Architecture::example(),
+        (quick_service(), quick_request().with_use_cache(false)),
+    );
     let hit = with_cache.map_network(&net);
     let miss = without_cache.map_network(&net);
 
@@ -156,8 +158,8 @@ fn cache_off_searches_every_occurrence_but_keeps_the_report() {
 #[test]
 fn searcher_choice_changes_the_fingerprint_and_result_path() {
     let net = Network::new("one").with_layer("l", ProblemSpec::conv1d(400, 5), 1);
-    let mut random = MappingService::new(Architecture::example(), quick_config());
-    let mut annealed = MappingService::new(Architecture::example(), quick_config())
+    let mut random = MappingService::new(Architecture::example(), quick_profile());
+    let mut annealed = MappingService::new(Architecture::example(), quick_profile())
         .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
 
     let r = random.map_network(&net);
@@ -184,7 +186,7 @@ fn searcher_choice_changes_the_fingerprint_and_result_path() {
 
 #[test]
 fn map_problem_is_a_one_layer_network() {
-    let mut service = MappingService::new(Architecture::example(), quick_config());
+    let mut service = MappingService::new(Architecture::example(), quick_profile());
     let layer = service.map_problem("solo", ProblemSpec::conv1d(200, 3));
     assert_eq!(layer.layer, "solo");
     assert_eq!(layer.evaluations, 120);
@@ -225,11 +227,10 @@ fn batched_surrogate_serving_path() {
         .with_layer("u1", ProblemSpec::conv1d(900, 7), 2)
         .with_layer("u0_again", ProblemSpec::conv1d(700, 5), 1);
 
-    let serve_cfg = quick_config();
     let mk = |surrogate: mm_core::Surrogate| {
         MappingService::with_evaluator_factory(
             arch.clone(),
-            serve_cfg,
+            quick_profile(),
             Box::new(move |_, problem| {
                 Arc::new(
                     SurrogateEvaluator::new(surrogate.clone(), problem.clone())
@@ -263,7 +264,7 @@ fn batched_surrogate_serving_path() {
 
 #[test]
 fn empty_network_yields_an_empty_report() {
-    let mut service = MappingService::new(Architecture::example(), quick_config());
+    let mut service = MappingService::new(Architecture::example(), quick_profile());
     let report = service.map_network(&Network::new("empty"));
     assert!(report.layers.is_empty());
     assert_eq!(report.unique_searches, 0);
@@ -275,11 +276,8 @@ fn empty_network_yields_an_empty_report() {
 #[test]
 fn sharded_layer_searches_are_deterministic_and_budget_exact() {
     let net = table1_network();
-    let config = ServeConfig {
-        shards: 3,
-        ..quick_config()
-    };
-    let mut a = MappingService::new(evaluated_accelerator(), config);
+    let profile = (quick_service(), quick_request().with_shards(3));
+    let mut a = MappingService::new(evaluated_accelerator(), profile.clone());
     let report_a = a.map_network(&net);
     assert_eq!(report_a.unique_searches, 8);
     assert_eq!(
@@ -294,7 +292,7 @@ fn sharded_layer_searches_are_deterministic_and_budget_exact() {
 
     // Same seed + same shard config ⇒ byte-identical report on a fresh
     // service, and a byte-identical cached replay on the same service.
-    let mut b = MappingService::new(evaluated_accelerator(), config);
+    let mut b = MappingService::new(evaluated_accelerator(), profile);
     assert_eq!(
         report_a.canonical_string(),
         b.map_network(&net).canonical_string()
@@ -320,10 +318,7 @@ fn shard_config_changes_results_not_cache_replays() {
     let run = |shards: usize| {
         let mut service = MappingService::new(
             evaluated_accelerator(),
-            ServeConfig {
-                shards,
-                ..quick_config()
-            },
+            (quick_service(), quick_request().with_shards(shards)),
         );
         service.map_problem("conv", problem.clone())
     };
@@ -344,16 +339,12 @@ fn shard_config_changes_results_not_cache_replays() {
 fn shard_horizon_hint_is_a_distinct_search_configuration() {
     let problem = ProblemSpec::conv1d(768, 7);
     let run = |shard_horizon: bool| {
-        let mut service = MappingService::new(
-            evaluated_accelerator(),
-            ServeConfig {
-                shards: 4,
-                shard_horizon,
-                search_size: 400,
-                ..quick_config()
-            },
-        )
-        .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+        let request = quick_request()
+            .with_shards(4)
+            .with_shard_horizon(shard_horizon)
+            .with_search_size(400);
+        let mut service = MappingService::new(evaluated_accelerator(), (quick_service(), request))
+            .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
         service.map_problem("conv", problem.clone())
     };
     let plain = run(false);
@@ -375,15 +366,9 @@ fn shard_horizon_hint_is_a_distinct_search_configuration() {
 fn sync_policy_configs_never_share_cache_entries() {
     let problem = ProblemSpec::conv1d(768, 7);
     let run = |sync: SyncPolicy| {
-        let mut service = MappingService::new(
-            evaluated_accelerator(),
-            ServeConfig {
-                sync,
-                search_size: 400,
-                ..quick_config()
-            },
-        )
-        .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+        let request = quick_request().with_sync(sync).with_search_size(400);
+        let mut service = MappingService::new(evaluated_accelerator(), (quick_service(), request))
+            .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
         service.map_problem("conv", problem.clone())
     };
     let off = run(SyncPolicy::Off);
@@ -398,15 +383,11 @@ fn sync_policy_configs_never_share_cache_entries() {
 
     // And on one long-lived service, a cached replay reproduces the
     // policy-specific result exactly (never a cross-policy entry).
-    let mut service = MappingService::new(
-        evaluated_accelerator(),
-        ServeConfig {
-            sync: SyncPolicy::Anchor,
-            search_size: 400,
-            ..quick_config()
-        },
-    )
-    .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
+    let request = quick_request()
+        .with_sync(SyncPolicy::Anchor)
+        .with_search_size(400);
+    let mut service = MappingService::new(evaluated_accelerator(), (quick_service(), request))
+        .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
     let fresh = service.map_problem("conv", problem.clone());
     let replay = service.map_problem("conv", problem.clone());
     assert!(replay.cache_hit);
@@ -420,16 +401,35 @@ fn sync_policy_configs_never_share_cache_entries() {
 fn synced_serving_is_byte_identical_across_pool_shapes() {
     let net = table1_network();
     let run = |workers: usize, max_active: usize| {
-        let mut config = quick_config();
-        config.workers = workers;
-        config.max_active_jobs = max_active;
-        config.sync = SyncPolicy::Restart { patience: 1 };
-        config.search_size = 200;
-        let mut service = MappingService::new(evaluated_accelerator(), config)
+        let service_cfg = quick_service()
+            .with_workers(workers)
+            .with_max_active_jobs(max_active);
+        let request = quick_request()
+            .with_sync(SyncPolicy::Restart { patience: 1 })
+            .with_search_size(200);
+        let mut service = MappingService::new(evaluated_accelerator(), (service_cfg, request))
             .with_searcher(Box::new(|| Box::new(SimulatedAnnealing::default())));
         service.map_network(&net).canonical_string()
     };
     let base = run(2, 2);
     assert_eq!(base, run(1, 1), "independent of concurrency");
     assert_eq!(base, run(4, 3), "independent of pool width");
+}
+
+/// The deprecated `ServeConfig` still constructs a service and maps through
+/// the legacy synchronous surface, producing the same bytes as the split
+/// configs it converts into.
+#[test]
+#[allow(deprecated)]
+fn legacy_serve_config_still_serves_identically() {
+    let net = Network::new("legacy").with_layer("l", ProblemSpec::conv1d(300, 5), 2);
+    let legacy = mm_serve::ServeConfig::default()
+        .with_search_size(120)
+        .with_workers(2);
+    let mut old_style = MappingService::new(Architecture::example(), legacy);
+    let via_legacy = old_style.map_network(&net).canonical_string();
+
+    let (service_cfg, request) = legacy.split();
+    let mut new_style = MappingService::new(Architecture::example(), (service_cfg, request));
+    assert_eq!(via_legacy, new_style.map_network(&net).canonical_string());
 }

@@ -1,0 +1,350 @@
+//! Multi-tenant front-end tests: interleaving-independent determinism,
+//! admission control, cross-request sharing, fair-share priorities, and
+//! request-scoped failure isolation over one shared pool.
+
+use std::sync::Arc;
+
+use mm_accel::Architecture;
+use mm_mapper::{CostEvaluator, Evaluation, OptMetric};
+use mm_mapspace::{Mapping, ProblemSpec};
+use mm_serve::{AdmissionError, MappingService, RequestConfig, RequestError, ServiceConfig};
+use mm_workloads::{table1_network, Network};
+
+fn service(workers: usize) -> MappingService {
+    MappingService::new(
+        Architecture::example(),
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_active_jobs(3)
+            .with_queue_depth(16),
+    )
+}
+
+fn request(seed: u64) -> RequestConfig {
+    RequestConfig::default()
+        .with_seed(seed)
+        .with_search_size(96)
+}
+
+/// Distinct small networks, so concurrent requests carry disjoint work.
+fn nets() -> Vec<Network> {
+    vec![
+        Network::new("net_a")
+            .with_layer("a0", ProblemSpec::conv1d(128, 3), 1)
+            .with_layer("a1", ProblemSpec::conv1d(256, 5), 2),
+        Network::new("net_b")
+            .with_layer("b0", ProblemSpec::conv1d(192, 3), 1)
+            .with_layer("b1", ProblemSpec::conv1d(320, 7), 1),
+        Network::new("net_c").with_layer("c0", ProblemSpec::conv1d(224, 5), 3),
+        Network::new("net_d")
+            .with_layer("d0", ProblemSpec::conv1d(160, 7), 1)
+            .with_layer("d1", ProblemSpec::conv1d(288, 3), 1),
+    ]
+}
+
+/// The hard invariant of the multi-tenant front-end: a request's canonical
+/// report is byte-identical regardless of submission order, how many
+/// siblings are in flight, and the pool's worker count.
+#[test]
+fn interleaving_and_worker_count_never_change_canonical_reports() {
+    let networks = nets();
+    // Baseline: each network alone on its own single-worker service.
+    let solo: Vec<String> = networks
+        .iter()
+        .enumerate()
+        .map(|(i, net)| {
+            let mut s = service(1);
+            let handle = s.submit(net, request(7 + i as u64)).unwrap();
+            s.wait(handle).unwrap().canonical_string()
+        })
+        .collect();
+
+    // Deterministic submission-order shuffles (no RNG in tests either).
+    let orders: [[usize; 4]; 3] = [[0, 1, 2, 3], [3, 1, 0, 2], [2, 0, 3, 1]];
+    for workers in [1usize, 2, 4] {
+        for order in &orders {
+            let mut s = service(workers);
+            let handles: Vec<_> = order
+                .iter()
+                .map(|&i| (i, s.submit(&networks[i], request(7 + i as u64)).unwrap()))
+                .collect();
+            for (i, handle) in handles {
+                assert_eq!(
+                    s.wait(handle).unwrap().canonical_string(),
+                    solo[i],
+                    "request {i} changed under workers={workers} order={order:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Concurrent requests for the same shapes share one in-flight search and
+/// still each report a fresh, byte-identical search of their own.
+#[test]
+fn concurrent_same_shape_requests_share_the_inflight_search() {
+    let net = Network::new("shared")
+        .with_layer("l0", ProblemSpec::conv1d(256, 5), 1)
+        .with_layer("l1", ProblemSpec::conv1d(384, 3), 1);
+
+    // Baseline: the same request alone.
+    let mut solo = service(2);
+    let h = solo.submit(&net, request(5)).unwrap();
+    let solo_report = solo.wait(h).unwrap();
+
+    let mut s = service(2);
+    let h1 = s.submit(&net, request(5)).unwrap();
+    let h2 = s.submit(&net, request(5)).unwrap();
+    let r1 = s.wait(h1).unwrap();
+    let r2 = s.wait(h2).unwrap();
+
+    assert_eq!(r1.canonical_string(), solo_report.canonical_string());
+    assert_eq!(
+        r2.canonical_string(),
+        solo_report.canonical_string(),
+        "the attached request reports the shared search as its own"
+    );
+    assert_eq!(
+        r2.shared_searches, 2,
+        "both layers attached to in-flight units"
+    );
+    assert_eq!(
+        s.stats().searches_run,
+        2,
+        "each distinct shape searched once, not once per request"
+    );
+    assert_eq!(s.stats().shared_searches, 2);
+    // The same shapes submitted *after* completion are persistent-cache hits.
+    let h3 = s.submit(&net, request(5)).unwrap();
+    let r3 = s.wait(h3).unwrap();
+    assert_eq!(r3.cache_hits, 2);
+    assert_eq!(r3.total_evaluations, 0);
+    for (a, b) in solo_report.layers.iter().zip(&r3.layers) {
+        assert_eq!(a.best_mapping, b.best_mapping);
+        assert_eq!(a.best_metrics, b.best_metrics);
+    }
+}
+
+/// One request's persistent-cache insert serves a later request's layers —
+/// across tenants and configs that share the search identity.
+#[test]
+fn cross_request_cache_hits_replay_earlier_results() {
+    let shape = ProblemSpec::conv1d(512, 7);
+    let mut s = service(2);
+    let first = Network::new("first").with_layer("x", shape.clone(), 1);
+    let h1 = s.submit(&first, request(3).with_tenant("team-a")).unwrap();
+    let r1 = s.wait(h1).unwrap();
+    assert_eq!(r1.unique_searches, 1);
+
+    let second = Network::new("second")
+        .with_layer("same", shape, 2)
+        .with_layer("new", ProblemSpec::conv1d(64, 3), 1);
+    let h2 = s.submit(&second, request(3).with_tenant("team-b")).unwrap();
+    let r2 = s.wait(h2).unwrap();
+    assert_eq!(r2.cache_hits, 1, "team-b replays team-a's cached search");
+    assert_eq!(r2.unique_searches, 1, "only the new shape searches");
+    assert!(r2.layers[0].cache_hit);
+    assert_eq!(r2.layers[0].best_mapping, r1.layers[0].best_mapping);
+    assert_eq!(
+        (r2.tenant.as_str(), r1.tenant.as_str()),
+        ("team-b", "team-a")
+    );
+}
+
+/// The admission queue is bounded: submits beyond `queue_depth` are rejected
+/// with a typed error and change no state.
+#[test]
+fn queue_full_rejects_with_typed_error() {
+    let mut s = MappingService::new(
+        Architecture::example(),
+        ServiceConfig::default().with_workers(1).with_queue_depth(2),
+    );
+    let nets = nets();
+    let _h0 = s.submit(&nets[0], request(1)).unwrap();
+    let _h1 = s.submit(&nets[1], request(2)).unwrap();
+    let rejected = s.submit(&nets[2], request(3));
+    assert_eq!(
+        rejected,
+        Err(AdmissionError::QueueFull {
+            backlog: 2,
+            queue_depth: 2
+        })
+    );
+    assert_eq!(s.stats().requests_rejected, 1);
+    assert_eq!(s.in_flight_requests(), 2, "rejection admitted nothing");
+    // Draining the queue re-opens admission.
+    s.drive();
+    assert!(s.submit(&nets[2], request(3)).is_ok());
+}
+
+/// Per-tenant budgets cap a tenant's outstanding planned evaluations; other
+/// tenants are unaffected, and completion releases the budget.
+#[test]
+fn tenant_budget_rejects_only_the_overdrawn_tenant() {
+    let mut s = MappingService::new(
+        Architecture::example(),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_depth(16)
+            .with_tenant_budget(Some(200)),
+    );
+    let nets = nets();
+    // net_a has two distinct shapes → 2 × 96 = 192 planned evaluations.
+    let h = s
+        .submit(&nets[0], request(1).with_tenant("team-a"))
+        .unwrap();
+    let overdrawn = s.submit(&nets[1], request(2).with_tenant("team-a"));
+    match overdrawn {
+        Err(AdmissionError::TenantBudgetExhausted {
+            tenant,
+            outstanding,
+            budget,
+            ..
+        }) => {
+            assert_eq!(tenant, "team-a");
+            assert_eq!(outstanding, 192);
+            assert_eq!(budget, 200);
+        }
+        other => panic!("expected a tenant-budget rejection, got {other:?}"),
+    }
+    // A different tenant admits fine against the same service.
+    let hb = s
+        .submit(&nets[1], request(2).with_tenant("team-b"))
+        .unwrap();
+    s.wait(h).unwrap();
+    s.wait(hb).unwrap();
+    // team-a's budget was released on completion.
+    assert!(s.submit(&nets[2], request(3).with_tenant("team-a")).is_ok());
+}
+
+/// Priorities steer scheduling only: a high-priority sibling never changes
+/// what a low-priority request reports.
+#[test]
+fn priorities_change_scheduling_not_results() {
+    let networks = nets();
+    let mut baseline = service(1);
+    let h = baseline.submit(&networks[0], request(9)).unwrap();
+    let solo = baseline.wait(h).unwrap().canonical_string();
+
+    let mut s = service(2);
+    let low = s.submit(&networks[0], request(9).with_priority(1)).unwrap();
+    let hi = s
+        .submit(&networks[1], request(10).with_priority(8))
+        .unwrap();
+    assert_eq!(s.wait(low).unwrap().canonical_string(), solo);
+    s.wait(hi).unwrap();
+}
+
+/// Evaluator that panics when built for the poisoned problem (selected at
+/// factory time) and scores everything else with a constant.
+struct Sabotaged {
+    poisoned: bool,
+    metrics: Vec<OptMetric>,
+}
+
+impl CostEvaluator for Sabotaged {
+    fn metrics(&self) -> &[OptMetric] {
+        &self.metrics
+    }
+    fn evaluate(&self, _mapping: &Mapping) -> Evaluation {
+        if self.poisoned {
+            panic!("sabotaged evaluator");
+        }
+        Evaluation::scalar(1.0)
+    }
+}
+
+/// A panicking evaluator fails only its own request: the sibling sharing the
+/// pool completes with bytes identical to an undisturbed run, and the
+/// service keeps serving afterwards.
+#[test]
+fn panicking_evaluator_fails_only_its_request() {
+    let poison_problem = ProblemSpec::conv1d(96, 3);
+    let mk = || {
+        let poison = poison_problem.clone();
+        MappingService::with_evaluator_factory(
+            Architecture::example(),
+            ServiceConfig::default().with_workers(2).with_queue_depth(8),
+            Box::new(move |_, problem| {
+                Arc::new(Sabotaged {
+                    poisoned: *problem == poison,
+                    metrics: vec![OptMetric::Edp],
+                }) as Arc<dyn CostEvaluator>
+            }),
+            "sabotaged[test]".to_string(),
+        )
+    };
+    let healthy_net = Network::new("healthy")
+        .with_layer("h0", ProblemSpec::conv1d(128, 3), 1)
+        .with_layer("h1", ProblemSpec::conv1d(256, 5), 1);
+    let doomed_net = Network::new("doomed")
+        .with_layer("ok", ProblemSpec::conv1d(192, 5), 1)
+        .with_layer("poison", poison_problem.clone(), 1);
+
+    // Baseline: the healthy request alone on an identical service.
+    let mut alone = mk();
+    let h = alone.submit(&healthy_net, request(4)).unwrap();
+    let solo = alone.wait(h).unwrap().canonical_string();
+
+    let mut s = mk();
+    let doomed = s.submit(&doomed_net, request(4)).unwrap();
+    let healthy = s.submit(&healthy_net, request(4)).unwrap();
+    let err = s.wait(doomed).unwrap_err();
+    match err {
+        RequestError::Failed { message, .. } => {
+            assert!(
+                message.contains("sabotaged evaluator"),
+                "panic payload propagates: {message}"
+            );
+        }
+        other => panic!("expected a Failed error, got {other:?}"),
+    }
+    assert_eq!(
+        s.wait(healthy).unwrap().canonical_string(),
+        solo,
+        "the sibling must complete byte-identically to an undisturbed run"
+    );
+    assert_eq!(s.stats().requests_failed, 1);
+
+    // The pool survived the panic: the same service serves fresh requests.
+    let again = s.submit(&healthy_net, request(11)).unwrap();
+    assert!(s.wait(again).is_ok());
+}
+
+/// Waiting twice on a collected handle (or on a foreign handle) is a typed
+/// error, not a hang.
+#[test]
+fn unknown_handles_are_typed_errors() {
+    let mut s = service(1);
+    let net = Network::new("once").with_layer("l", ProblemSpec::conv1d(128, 3), 1);
+    let h = s.submit(&net, request(1)).unwrap();
+    assert!(s.wait(h).is_ok());
+    assert_eq!(s.wait(h), Err(RequestError::Unknown { request: h.id() }));
+}
+
+/// A larger smoke: four table1-class requests with distinct seeds all
+/// complete over one pool, with reports matching their solo baselines.
+#[test]
+fn four_concurrent_table1_requests_match_solo_baselines() {
+    let net = table1_network();
+    let solo: Vec<String> = (0..4)
+        .map(|i| {
+            let mut s = service(1);
+            let h = s
+                .submit(&net, request(20 + i).with_search_size(60))
+                .unwrap();
+            s.wait(h).unwrap().canonical_string()
+        })
+        .collect();
+    let mut s = service(4);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            s.submit(&net, request(20 + i).with_search_size(60))
+                .unwrap()
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(s.wait(h).unwrap().canonical_string(), solo[i]);
+    }
+    assert_eq!(s.stats().requests_completed, 4);
+}

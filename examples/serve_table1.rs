@@ -1,7 +1,9 @@
-//! Serve the whole Table 1 problem set through one [`MappingService`]: all
-//! eight layers are scheduled over a single shared evaluation pool, repeated
-//! requests replay from the result cache, and the aggregate report sums
-//! energy/delay/EDP across the network.
+//! Serve the whole Table 1 problem set through one multi-tenant
+//! [`MappingService`]: concurrent requests from two tenants are admitted
+//! through the bounded queue, their per-layer jobs share a single
+//! evaluation pool under fair-share scheduling, repeated shapes replay from
+//! the result cache, and each report sums energy/delay/EDP across the
+//! network.
 //!
 //! ```bash
 //! cargo run --release --example serve_table1
@@ -23,20 +25,23 @@ fn main() {
     let search_size = env_u64("MM_SERVE_SEARCH_SIZE", 4_000);
 
     let net = table1_network();
-    let config = ServeConfig {
-        workers,
-        max_active_jobs: workers.max(2),
-        seed: 1,
-        search_size,
-        ..ServeConfig::default()
-    };
-    let mut service = MappingService::new(evaluated_accelerator(), config);
+    let service_config = ServiceConfig::default()
+        .with_workers(workers)
+        .with_max_active_jobs(workers.max(2))
+        .with_queue_depth(8);
+    let mut service = MappingService::new(evaluated_accelerator(), service_config);
+    let request = RequestConfig::default()
+        .with_seed(1)
+        .with_search_size(search_size);
 
     println!(
         "serving {net} over {} shared pool workers, {search_size} evals/layer\n",
         service.pool_workers()
     );
-    let report = service.map_network(&net);
+    let handle = service
+        .submit(&net, request.clone().with_tenant("team-a"))
+        .expect("queue has room");
+    let report = service.wait(handle).expect("request completes");
 
     println!(
         "{:<18} {:>6} {:>13} {:>13} {:>13}  cache",
@@ -69,11 +74,27 @@ fn main() {
         report.aggregate.sum_layer_edp_js,
     );
 
-    // The long-lived service answers the same network again from cache.
-    let again = service.map_network(&net);
+    // Two more tenants submit concurrently: team-b re-requests the same
+    // network (answered from cache) while team-c searches fresh shapes under
+    // a different seed, all interleaved over the one pool.
+    let cached = service
+        .submit(&net, request.clone().with_tenant("team-b"))
+        .expect("queue has room");
+    let fresh = service
+        .submit(
+            &net,
+            request.with_seed(2).with_tenant("team-c").with_priority(2),
+        )
+        .expect("queue has room");
+    let again = service.wait(cached).expect("replay completes");
+    let other = service.wait(fresh).expect("fresh request completes");
     println!(
-        "\nsecond request: {} cache hits, {} fresh evaluations, {:.4}s",
+        "\nteam-b replay: {} cache hits, {} fresh evaluations, {:.4}s",
         again.cache_hits, again.total_evaluations, again.wall_time_s
+    );
+    println!(
+        "team-c (seed 2, priority 2): {} fresh searches, {} evaluations, {:.2}s",
+        other.unique_searches, other.total_evaluations, other.wall_time_s
     );
     assert_eq!(again.total_evaluations, 0);
     for (a, b) in report.layers.iter().zip(&again.layers) {
@@ -83,4 +104,8 @@ fn main() {
         );
         assert_eq!(a.best_metrics, b.best_metrics);
     }
+    assert_ne!(
+        report.layers[0].best_mapping, other.layers[0].best_mapping,
+        "a different seed searches differently"
+    );
 }

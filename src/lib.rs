@@ -16,8 +16,9 @@
 //! * [`core`] — the Mind Mappings framework (surrogate + gradient search);
 //! * [`mapper`] — the parallel mapper-orchestration engine (evaluation
 //!   pool, multi-threaded sharded search, termination policies);
-//! * [`serve`] — the whole-network mapping service (shared eval pool,
-//!   result cache, batched surrogate evaluation);
+//! * [`serve`] — the multi-tenant whole-network mapping service (request
+//!   admission, fair-share scheduling over one shared eval pool, result
+//!   cache, batched surrogate evaluation);
 //! * [`workloads`] — CNN-Layer, MTTKRP, 1D-Conv, the Table 1 problems, and
 //!   whole-network workloads.
 //!
@@ -50,7 +51,12 @@ pub mod prelude {
         Budget, GeneticAlgorithm, Objective, ProposalSearch, RandomSearch, SearchTrace, Searcher,
         SimulatedAnnealing, SyncAction, SyncPolicy,
     };
-    pub use mm_serve::{MappingService, NetworkReport, ServeConfig, SurrogateEvaluator};
+    #[allow(deprecated)]
+    pub use mm_serve::ServeConfig;
+    pub use mm_serve::{
+        AdmissionError, MappingService, NetworkReport, RequestConfig, RequestError, RequestHandle,
+        ServiceConfig, ServiceProfile, SurrogateEvaluator,
+    };
     pub use mm_workloads::{
         cnn::CnnLayer, evaluated_accelerator, mttkrp::MttkrpShape, table1, table1_network, Network,
     };
@@ -70,7 +76,8 @@ mod tests {
         assert_eq!(OptMetric::parse("edp"), Some(OptMetric::Edp));
         assert_eq!(MapperConfig::default().threads, 1);
         // The serving surface is reachable through the prelude too.
-        assert!(ServeConfig::default().use_cache);
+        assert!(RequestConfig::default().use_cache);
+        assert!(ServiceConfig::default().queue_depth >= 1);
         assert_eq!(table1_network().len(), 8);
     }
 }

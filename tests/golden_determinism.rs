@@ -91,17 +91,20 @@ fn mapper_canonical_report_matches_fixture() {
 /// pool, two disjoint shards per layer.
 #[test]
 fn network_canonical_report_matches_fixture() {
+    // The PR 9 API split must not move these bytes: the request tag renders
+    // the legacy config_tag format, so the fixture pins that too.
     let mut service = MappingService::new(
         evaluated_accelerator(),
-        ServeConfig {
-            workers: 2,
-            max_active_jobs: 2,
-            queue_capacity: 4,
-            seed: 42,
-            search_size: 96,
-            shards: 2,
-            ..ServeConfig::default()
-        },
+        (
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_max_active_jobs(2)
+                .with_queue_depth(4),
+            RequestConfig::default()
+                .with_seed(42)
+                .with_search_size(96)
+                .with_shards(2),
+        ),
     );
     let report = service.map_network(&table1_network());
     assert_eq!(report.layers.len(), 8);

@@ -15,7 +15,7 @@ use mm_accel::CostModel;
 use mm_mapper::{Mapper, MapperConfig, ModelEvaluator, SyncPolicy, TerminationPolicy};
 use mm_mapspace::MapSpace;
 use mm_search::SimulatedAnnealing;
-use mm_serve::{MappingService, ServeConfig};
+use mm_serve::{MappingService, RequestConfig, ServiceConfig};
 use mm_telemetry::Level;
 use mm_workloads::{evaluated_accelerator, table1, table1_network};
 
@@ -188,18 +188,22 @@ fn journaled_mapper_run_records_the_work_it_watched() {
     assert!(snap.events.iter().any(|e| e.kind == "mapper.sync_round"));
 }
 
+fn serve_profile(workers: usize) -> (ServiceConfig, RequestConfig) {
+    (
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_active_jobs(workers.max(2))
+            .with_cache_capacity(Some(4)),
+        RequestConfig::default()
+            .with_seed(42)
+            .with_search_size(150)
+            .with_shards(2)
+            .with_sync(SyncPolicy::Anchor),
+    )
+}
+
 fn serve_report(workers: usize) -> mm_serve::NetworkReport {
-    let config = ServeConfig {
-        workers,
-        max_active_jobs: workers.max(2),
-        seed: 42,
-        search_size: 150,
-        shards: 2,
-        sync: SyncPolicy::Anchor,
-        cache_capacity: Some(4),
-        ..ServeConfig::default()
-    };
-    let mut service = MappingService::new(evaluated_accelerator(), config);
+    let mut service = MappingService::new(evaluated_accelerator(), serve_profile(workers));
     service.map_network(&table1_network())
 }
 
@@ -256,16 +260,7 @@ fn serve_convergence_traces_are_worker_count_invariant() {
 fn journaled_serve_run_records_cache_jobs_and_sync() {
     let _guard = level_guard();
     let (report, snapshot) = at_level(Level::Journal, || {
-        let config = ServeConfig {
-            workers: 2,
-            seed: 42,
-            search_size: 150,
-            shards: 2,
-            sync: SyncPolicy::Anchor,
-            cache_capacity: Some(4),
-            ..ServeConfig::default()
-        };
-        let mut service = MappingService::new(evaluated_accelerator(), config);
+        let mut service = MappingService::new(evaluated_accelerator(), serve_profile(2));
         let first = service.map_network(&table1_network());
         // The second request replays from cache (bounded to 4 entries, so
         // evicted layers re-search — both paths get exercised).
