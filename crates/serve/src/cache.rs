@@ -7,12 +7,21 @@
 //! network and across `map_network` calls on a long-lived service.
 //!
 //! The cache keeps real statistics (hits, misses, inserts, evictions) and
-//! supports an optional entry bound with **insertion-order FIFO eviction**
-//! — deterministic for a fixed request sequence, unlike recency-driven
-//! policies whose order would depend on replay patterns. Statistics are
-//! surfaced in `NetworkReport` and mirrored into `mm-telemetry` counters.
+//! supports an optional entry bound with **admission-ordered eviction**:
+//! every insert carries the admission sequence of the search unit that
+//! produced it (assigned when its request was planned, not when the search
+//! finished), and the resident entry with the lowest sequence is evicted
+//! first. Under the concurrent service, inserts land in unit *completion*
+//! order — which varies with worker timing — but the surviving resident
+//! set depends only on the admission sequence, so a fixed submit/wait call
+//! sequence always leaves the same entries resident, unlike recency- or
+//! completion-driven policies whose order would depend on replay patterns
+//! or thread timing. (An insert admitted earlier than every resident entry
+//! evicts itself immediately: the deterministic outcome of arriving late.)
+//! Statistics are surfaced in `NetworkReport` and mirrored into
+//! `mm-telemetry` counters.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 
 use mm_mapper::{Evaluation, OptMetric, SyncPolicy};
@@ -77,7 +86,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries inserted (including replacements of an existing key).
     pub inserts: u64,
-    /// Entries evicted to the capacity bound (FIFO, insertion order).
+    /// Entries evicted to the capacity bound (lowest admission sequence
+    /// first).
     pub evictions: u64,
     /// Entries resident when the stats were read.
     pub entries: u64,
@@ -97,12 +107,13 @@ fn tele_cache(kind: usize) -> &'static Arc<mm_telemetry::Counter> {
 }
 
 /// Fingerprint-keyed store of completed layer searches, with statistics and
-/// optional FIFO eviction.
+/// optional admission-ordered eviction.
 #[derive(Default)]
 pub(crate) struct ResultCache {
     map: HashMap<u64, Arc<CachedLayer>>,
-    /// Resident keys in insertion order (the FIFO eviction order).
-    order: VecDeque<u64>,
+    /// Resident keys by admission sequence (the eviction order: lowest
+    /// sequence evicts first, regardless of the order inserts landed in).
+    order: BTreeMap<u64, u64>,
     capacity: Option<usize>,
     hits: u64,
     misses: u64,
@@ -155,17 +166,23 @@ impl ResultCache {
         self.map.contains_key(&fingerprint)
     }
 
-    /// Insert (or replace) an entry, evicting the oldest inserts beyond the
-    /// capacity bound.
-    pub fn insert(&mut self, fingerprint: u64, layer: Arc<CachedLayer>) {
+    /// Insert (or replace) an entry, evicting the lowest-admission-sequence
+    /// residents beyond the capacity bound.
+    ///
+    /// `seq` is the producing unit's admission sequence (the service passes
+    /// its unit id, monotonic in planning order): eviction follows it
+    /// instead of insert-arrival order, so the resident set is independent
+    /// of the completion timing of concurrent units. Replacing a resident
+    /// key keeps the key's original admission slot.
+    pub fn insert(&mut self, fingerprint: u64, layer: Arc<CachedLayer>, seq: u64) {
         self.inserts += 1;
         tele_cache(2).bump(1);
         if self.map.insert(fingerprint, layer).is_none() {
-            self.order.push_back(fingerprint);
+            self.order.insert(seq, fingerprint);
         }
         if let Some(cap) = self.capacity {
             while self.map.len() > cap {
-                let Some(oldest) = self.order.pop_front() else {
+                let Some((_, oldest)) = self.order.pop_first() else {
                     break;
                 };
                 self.map.remove(&oldest);
@@ -229,7 +246,7 @@ mod tests {
         let fp = fingerprint_parts(&["x"]);
         assert!(!cache.contains(fp));
         assert!(cache.get(fp).is_none());
-        cache.insert(fp, entry(10));
+        cache.insert(fp, entry(10), 0);
         assert!(cache.contains(fp));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(fp).unwrap().evaluations, 10);
@@ -240,7 +257,7 @@ mod tests {
         let mut cache = ResultCache::default();
         let fp = fingerprint_parts(&["x"]);
         assert!(cache.lookup(fp).is_none());
-        cache.insert(fp, entry(1));
+        cache.insert(fp, entry(1), 0);
         assert!(cache.lookup(fp).is_some());
         assert!(cache.lookup(fp).is_some());
         let stats = cache.stats();
@@ -257,30 +274,61 @@ mod tests {
     }
 
     #[test]
-    fn bounded_cache_evicts_in_insertion_order() {
+    fn bounded_cache_evicts_by_admission_sequence() {
         let mut cache = ResultCache::with_capacity(Some(2));
         let fps: Vec<u64> = ["a", "b", "c"]
             .iter()
             .map(|s| fingerprint_parts(&[s]))
             .collect();
-        cache.insert(fps[0], entry(0));
-        cache.insert(fps[1], entry(1));
-        // A hit on the oldest entry does not save it: eviction is FIFO by
-        // insertion, so the order stays deterministic under any replay mix.
+        cache.insert(fps[0], entry(0), 0);
+        cache.insert(fps[1], entry(1), 1);
+        // A hit on the oldest entry does not save it: eviction follows the
+        // admission sequence, so the order stays deterministic under any
+        // replay mix.
         assert!(cache.lookup(fps[0]).is_some());
-        cache.insert(fps[2], entry(2));
+        cache.insert(fps[2], entry(2), 2);
         assert_eq!(cache.len(), 2);
-        assert!(!cache.contains(fps[0]), "oldest insert evicted first");
+        assert!(!cache.contains(fps[0]), "oldest admission evicted first");
         assert!(cache.contains(fps[1]) && cache.contains(fps[2]));
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.capacity, Some(2));
 
-        // Replacing a resident key neither grows the cache nor evicts.
-        cache.insert(fps[1], entry(9));
+        // Replacing a resident key neither grows the cache nor evicts, and
+        // keeps the key's original admission slot.
+        cache.insert(fps[1], entry(9), 7);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.get(fps[1]).unwrap().evaluations, 9);
+        cache.insert(fps[0], entry(5), 8);
+        assert!(
+            !cache.contains(fps[1]),
+            "the replaced key still evicts at its original (oldest) slot"
+        );
+    }
+
+    #[test]
+    fn eviction_is_independent_of_insert_arrival_order() {
+        // Concurrent units complete — and therefore insert — in
+        // timing-dependent order; the resident set must depend only on the
+        // admission sequence each insert carries.
+        let fps: Vec<u64> = ["a", "b", "c"]
+            .iter()
+            .map(|s| fingerprint_parts(&[s]))
+            .collect();
+        let run = |arrival: &[usize]| -> Vec<bool> {
+            let mut cache = ResultCache::with_capacity(Some(2));
+            for &i in arrival {
+                cache.insert(fps[i], entry(i as u64), i as u64);
+            }
+            fps.iter().map(|fp| cache.contains(*fp)).collect()
+        };
+        let in_order = run(&[0, 1, 2]);
+        assert_eq!(in_order, vec![false, true, true]);
+        // Reversed arrival: the seq-0 insert lands last, finds the cache
+        // full of younger admissions, and evicts itself — same residents.
+        assert_eq!(in_order, run(&[2, 1, 0]));
+        assert_eq!(in_order, run(&[1, 2, 0]));
     }
 
     #[test]
@@ -288,9 +336,9 @@ mod tests {
         let mut cache = ResultCache::with_capacity(Some(0));
         let a = fingerprint_parts(&["a"]);
         let b = fingerprint_parts(&["b"]);
-        cache.insert(a, entry(0));
+        cache.insert(a, entry(0), 0);
         assert_eq!(cache.len(), 1, "capacity clamps to at least one entry");
-        cache.insert(b, entry(1));
+        cache.insert(b, entry(1), 1);
         assert_eq!(cache.len(), 1);
         assert!(cache.contains(b));
     }

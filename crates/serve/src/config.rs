@@ -41,9 +41,17 @@ pub struct ServiceConfig {
     /// [`AdmissionError::TenantBudgetExhausted`](crate::AdmissionError).
     pub tenant_budget: Option<u64>,
     /// Bound on distinct results the cache retains (`None`, the default, is
-    /// unbounded). When full, the oldest *insert* is evicted (deterministic
-    /// FIFO — eviction order never depends on the replay pattern).
+    /// unbounded). When full, the oldest-*admitted* entry is evicted
+    /// (deterministic — eviction order never depends on the replay pattern
+    /// or on which of several concurrent searches completed first).
     pub cache_capacity: Option<usize>,
+    /// Bound on completed-but-uncollected request results retained for
+    /// [`wait`](crate::MappingService::wait) (clamped to ≥ 1). Past the
+    /// bound the oldest-admitted uncollected result is dropped — a later
+    /// `wait` on its handle returns
+    /// [`RequestError::Unknown`](crate::RequestError) — so clients that
+    /// abandon handles cannot grow service state without bound.
+    pub completed_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +62,7 @@ impl Default for ServiceConfig {
             queue_depth: 8,
             tenant_budget: None,
             cache_capacity: None,
+            completed_capacity: 1024,
         }
     }
 }
@@ -87,6 +96,12 @@ impl ServiceConfig {
     /// unbounded).
     pub fn with_cache_capacity(mut self, cache_capacity: Option<usize>) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// A config with the given bound on uncollected completed results.
+    pub fn with_completed_capacity(mut self, completed_capacity: usize) -> Self {
+        self.completed_capacity = completed_capacity;
         self
     }
 }
@@ -343,6 +358,7 @@ impl ServeConfig {
                 queue_depth: self.queue_capacity,
                 tenant_budget: None,
                 cache_capacity: self.cache_capacity,
+                completed_capacity: ServiceConfig::default().completed_capacity,
             },
             RequestConfig {
                 seed: self.seed,
@@ -412,12 +428,17 @@ mod tests {
         assert!(s.workers >= 1 && s.max_active_jobs >= 1 && s.queue_depth >= 1);
         assert_eq!(s.tenant_budget, None, "tenant budgets are off by default");
         assert_eq!(s.cache_capacity, None, "cache is unbounded by default");
+        assert!(
+            s.completed_capacity >= 1,
+            "uncollected results are bounded by default"
+        );
         let s = s
             .with_workers(3)
             .with_max_active_jobs(4)
             .with_queue_depth(2)
             .with_tenant_budget(Some(10_000))
-            .with_cache_capacity(Some(16));
+            .with_cache_capacity(Some(16))
+            .with_completed_capacity(5);
         assert_eq!(
             (s.workers, s.max_active_jobs, s.queue_depth),
             (3, 4, 2),
@@ -425,6 +446,7 @@ mod tests {
         );
         assert_eq!(s.tenant_budget, Some(10_000));
         assert_eq!(s.cache_capacity, Some(16));
+        assert_eq!(s.completed_capacity, 5);
 
         let r = RequestConfig::default();
         assert!(r.use_cache);

@@ -90,7 +90,9 @@ pub enum RequestError {
         message: String,
     },
     /// The handle does not name an in-flight request on this service (never
-    /// admitted, already collected, or from another service instance).
+    /// admitted, already collected, expired uncollected past
+    /// [`ServiceConfig::completed_capacity`](crate::ServiceConfig), or from
+    /// another service instance).
     Unknown {
         /// The handle's request id.
         request: u64,

@@ -35,8 +35,10 @@
 //!
 //! A panicking evaluator or searcher fails only its own job: the pool
 //! worker survives (`EvalPool::recv_result` surfaces the panic as an `Err`
-//! result), the job drains its in-flight proposals without reporting them,
-//! and retires as [`JobEnd::Failed`]. Sibling jobs — including jobs of the
+//! result), the job drains its in-flight proposals without reporting them
+//! (results that had already arrived out of order are dropped with the
+//! error — they were consumed from the pool and cannot arrive again), and
+//! retires as [`JobEnd::Failed`]. Sibling jobs — including jobs of the
 //! same request — keep running; the service decides which requests the
 //! failure dooms.
 //!
@@ -304,8 +306,13 @@ impl ActiveJob {
                     format!("job={} request={}", self.job_id, self.request)
                 });
                 self.failed = Some(message);
-                self.pending.retain(|(pid, _)| *pid != id);
-                self.arrived.clear();
+                // Results buffered out of order were already consumed from
+                // the pool and will never arrive again: drop their pending
+                // entries with the errored one, or `done()` waits forever
+                // for them and the doomed job never retires.
+                let arrived = std::mem::take(&mut self.arrived);
+                self.pending
+                    .retain(|(pid, _)| *pid != id && !arrived.contains_key(pid));
             }
         }
     }
@@ -844,6 +851,103 @@ mod tests {
             }
         }
         assert_eq!(finished, vec![keep], "the cancelled job never activated");
+    }
+
+    #[test]
+    fn a_panic_drops_pending_entries_whose_results_already_arrived() {
+        // With >1 worker a job's chunks complete independently, so Ok
+        // results for later proposals can be buffered in `arrived` when an
+        // earlier proposal's Err lands. Those results were consumed from
+        // the pool; if their pending entries survived the failure the job
+        // could never drain, and the whole service would hang.
+        let mut job = ActiveJob::start(0, spec(0, 96, 3, 16));
+        let mut proposals = Vec::new();
+        job.search
+            .propose(&*job.space, &mut job.rng, 3, &mut proposals);
+        assert_eq!(proposals.len(), 3);
+        for (i, mapping) in proposals.iter().enumerate() {
+            job.pending.push_back((i as u64, mapping.clone()));
+        }
+        job.submitted = 3;
+        // Results 1 and 2 arrive before 0 and buffer out of order.
+        job.route(1, Ok(Evaluation::scalar(1.0)));
+        job.route(2, Ok(Evaluation::scalar(2.0)));
+        assert_eq!(job.arrived.len(), 2);
+        assert_eq!(job.pending.len(), 3);
+        // The worker evaluating proposal 0 panicked.
+        job.route(0, Err("boom".into()));
+        assert!(
+            job.pending.is_empty(),
+            "entries for consumed results must not outlive the failure"
+        );
+        assert!(
+            job.done(),
+            "the doomed job retires instead of waiting forever"
+        );
+    }
+
+    /// Evaluator that stalls then panics on one poisoned mapping and scores
+    /// everything else instantly, so with two workers the healthy chunk's
+    /// Oks arrive — and buffer out of order — before the poisoned chunk's
+    /// Errs are routed.
+    struct SlowPoison {
+        poison: Mapping,
+        metrics: Vec<OptMetric>,
+    }
+
+    impl CostEvaluator for SlowPoison {
+        fn metrics(&self) -> &[OptMetric] {
+            &self.metrics
+        }
+        fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+            if *mapping == self.poison {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                panic!("slow poison");
+            }
+            Evaluation::scalar(1.0)
+        }
+    }
+
+    #[test]
+    fn buffered_results_before_a_panic_never_wedge_the_scheduler() {
+        // Reproduce the poisoned job's first proposal: the proposal stream
+        // is batch-size independent (the scheduler's contract), so this is
+        // the lowest pool id of the job's first chunk — the chunk whose Err
+        // lands after the sibling chunk's Oks have buffered.
+        let seed = 21;
+        let probe = spec(0, 128, seed, 64);
+        let mut search = RandomSearch::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        search.begin(&*probe.space, Some(probe.budget), &mut rng);
+        let mut first = Vec::new();
+        search.propose(&*probe.space, &mut rng, 1, &mut first);
+        let mut doomed_spec = spec(0, 128, seed, 64);
+        doomed_spec.evaluator = Arc::new(SlowPoison {
+            poison: first[0].clone(),
+            metrics: vec![OptMetric::Edp],
+        });
+
+        let mut pool = EvalPool::shared(2);
+        let mut sched = Scheduler::new(2);
+        let doomed = sched.enqueue(doomed_spec);
+        let healthy = sched.enqueue(spec(1, 160, 5, 32));
+        let mut ends: HashMap<u64, JobEnd> = HashMap::new();
+        // Before the fix this loop never terminated: the doomed job kept
+        // pending entries for results consumed before the Err was routed.
+        while !sched.idle() {
+            for (job, end) in sched.step(&mut pool).finished {
+                ends.insert(job, end);
+            }
+        }
+        assert_eq!(pool.in_flight(), 0, "the doomed job drained completely");
+        assert!(
+            matches!(&ends[&doomed], JobEnd::Failed(m) if m.contains("slow poison")),
+            "the poisoned job fails with the propagated panic payload"
+        );
+        let JobEnd::Done(outcome) = &ends[&healthy] else {
+            panic!("the sibling job must complete, got {:?}", ends[&healthy]);
+        };
+        assert_eq!(outcome.evaluations, 32);
     }
 
     #[test]

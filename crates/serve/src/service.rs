@@ -35,7 +35,7 @@
 //! workers survive, sibling requests complete, and their reports are
 //! byte-identical to an undisturbed run.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -179,8 +179,12 @@ pub struct MappingService {
     inflight_by_fp: HashMap<u64, u64>,
     /// Outstanding planned evaluations per tenant (admission budgeting).
     tenant_outstanding: HashMap<String, u64>,
-    /// Finished requests awaiting collection by `wait`.
-    completed: HashMap<u64, Result<NetworkReport, RequestError>>,
+    /// Finished requests awaiting collection by `wait`, bounded to
+    /// [`ServiceConfig::completed_capacity`] (oldest-admitted results are
+    /// dropped past the bound, so abandoned handles cannot grow service
+    /// state forever). A `BTreeMap` so eviction follows request-id order —
+    /// deterministic — rather than completion timing.
+    completed: BTreeMap<u64, Result<NetworkReport, RequestError>>,
 }
 
 impl MappingService {
@@ -242,7 +246,7 @@ impl MappingService {
             job_to_unit: HashMap::new(),
             inflight_by_fp: HashMap::new(),
             tenant_outstanding: HashMap::new(),
-            completed: HashMap::new(),
+            completed: BTreeMap::new(),
         }
     }
 
@@ -433,9 +437,14 @@ impl MappingService {
             )
         });
 
-        for (fp, step) in &steps {
-            self.cache
-                .note_lookup(*fp, matches!(step, PlanStep::Hit(_)));
+        // Lookups happened only if the request consulted the cache: with
+        // `use_cache` off every layer plans Fresh without a probe, so
+        // recording per-layer misses would overcount lookups that never ran.
+        if config.use_cache {
+            for (fp, step) in &steps {
+                self.cache
+                    .note_lookup(*fp, matches!(step, PlanStep::Hit(_)));
+            }
         }
 
         let weight = u64::from(config.priority.max(1));
@@ -539,6 +548,11 @@ impl MappingService {
 
     /// Block until `handle`'s request completes, driving the scheduler, and
     /// return its report (or the failure that ended it).
+    ///
+    /// Results are retained for uncollected handles only up to
+    /// [`ServiceConfig::completed_capacity`]; past that, the
+    /// oldest-admitted uncollected result is dropped and waiting on its
+    /// handle returns [`RequestError::Unknown`].
     pub fn wait(&mut self, handle: RequestHandle) -> Result<NetworkReport, RequestError> {
         loop {
             if let Some(result) = self.completed.remove(&handle.id) {
@@ -672,7 +686,11 @@ impl MappingService {
         self.stats.searches_run += 1;
         self.stats.total_evaluations += merged.evaluations;
         if unit.insert_on_completion {
-            self.cache.insert(unit.fingerprint, Arc::clone(&merged));
+            // The unit id is the admission sequence: bounded-cache eviction
+            // follows it, so residency never depends on which of several
+            // concurrent units happened to complete first.
+            self.cache
+                .insert(unit.fingerprint, Arc::clone(&merged), unit_id);
         }
         for subscriber in unit.subscribers {
             let complete = match self.requests.get_mut(&subscriber) {
@@ -742,8 +760,24 @@ impl MappingService {
                 }
             }
         }
-        self.completed
-            .insert(request, Err(RequestError::Failed { request, message }));
+        self.park_result(request, Err(RequestError::Failed { request, message }));
+    }
+
+    /// Park a finished request's result for `wait`, dropping the
+    /// oldest-admitted uncollected result once the retained set exceeds
+    /// [`ServiceConfig::completed_capacity`]. A later `wait` on a dropped
+    /// handle gets [`RequestError::Unknown`].
+    fn park_result(&mut self, request: u64, result: Result<NetworkReport, RequestError>) {
+        self.completed.insert(request, result);
+        let capacity = self.service.completed_capacity.max(1);
+        while self.completed.len() > capacity {
+            let Some((expired, _)) = self.completed.pop_first() else {
+                break;
+            };
+            mm_telemetry::event("serve.request.expire", || {
+                format!("request={expired} reason=uncollected_past_completed_capacity")
+            });
+        }
     }
 
     /// Assemble the report of a request whose units are all resolved.
@@ -831,7 +865,7 @@ impl MappingService {
             cache: self.cache.stats(),
             telemetry: mm_telemetry::snapshot_if_enabled(),
         };
-        self.completed.insert(request, Ok(report));
+        self.park_result(request, Ok(report));
     }
 
     /// Map every layer of `network` under the service's default request

@@ -311,6 +311,107 @@ fn panicking_evaluator_fails_only_its_request() {
     assert!(s.wait(again).is_ok());
 }
 
+/// With the cache disabled no lookups happen, so none are recorded: the
+/// hit/miss statistics count only lookups the service actually performed.
+#[test]
+fn cache_off_requests_record_no_lookups() {
+    let mut s = service(1);
+    let net = &nets()[0];
+    let h = s.submit(net, request(2).with_use_cache(false)).unwrap();
+    let r = s.wait(h).unwrap();
+    assert_eq!(
+        (r.cache.hits, r.cache.misses),
+        (0, 0),
+        "cache-off planning must not count phantom lookups"
+    );
+    assert_eq!(r.cache.inserts, 0, "cache-off results are not inserted");
+    // The same request with the cache on records one miss per layer
+    // occurrence it checked.
+    let h = s.submit(net, request(2)).unwrap();
+    let r = s.wait(h).unwrap();
+    assert_eq!(r.cache.misses, net.len() as u64);
+}
+
+/// Uncollected results are bounded: past `completed_capacity` the
+/// oldest-admitted result is dropped, so clients that abandon handles
+/// cannot grow service state forever.
+#[test]
+fn uncollected_reports_expire_past_completed_capacity() {
+    let mut s = MappingService::new(
+        Architecture::example(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_depth(8)
+            .with_completed_capacity(2),
+    );
+    let networks = nets();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            s.submit(&networks[i], request(1 + i as u64).with_search_size(48))
+                .unwrap()
+        })
+        .collect();
+    s.drive();
+    // Three results completed against a capacity of two: the
+    // oldest-admitted handle's report was dropped, the rest are intact.
+    assert_eq!(
+        s.wait(handles[0]),
+        Err(RequestError::Unknown {
+            request: handles[0].id()
+        })
+    );
+    assert!(s.wait(handles[1]).is_ok());
+    assert!(s.wait(handles[2]).is_ok());
+}
+
+/// A bounded cache stays deterministic under concurrency: eviction follows
+/// unit admission order rather than completion order, so which shapes a
+/// follow-up request replays — and its whole report — is identical across
+/// pool shapes even with many units completing in flight.
+#[test]
+fn bounded_cache_eviction_is_deterministic_under_concurrency() {
+    let networks = nets(); // 7 distinct shapes across 4 networks
+    let run = |workers: usize| {
+        let mut s = MappingService::new(
+            Architecture::example(),
+            ServiceConfig::default()
+                .with_workers(workers)
+                .with_max_active_jobs(3)
+                .with_queue_depth(16)
+                .with_cache_capacity(Some(3)),
+        );
+        let handles: Vec<_> = networks
+            .iter()
+            .enumerate()
+            .map(|(i, net)| s.submit(net, request(30 + i as u64)).unwrap())
+            .collect();
+        for h in handles {
+            s.wait(h).unwrap();
+        }
+        // Probe (youngest admissions first, so some probes land on the
+        // surviving residents): which shapes outlived the capacity bound
+        // decides each probe's hit set, evaluation spend, and provenance.
+        networks
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, net)| {
+                let h = s.submit(net, request(30 + i as u64)).unwrap();
+                let r = s.wait(h).unwrap();
+                (r.cache_hits, r.cache.evictions, r.canonical_string())
+            })
+            .collect::<Vec<_>>()
+    };
+    let base = run(1);
+    assert!(
+        base.iter().any(|(_, evictions, _)| *evictions > 0),
+        "the capacity bound must actually bite"
+    );
+    assert!(base.iter().any(|(hits, _, _)| *hits > 0));
+    assert_eq!(base, run(2), "independent of pool width");
+    assert_eq!(base, run(4));
+}
+
 /// Waiting twice on a collected handle (or on a foreign handle) is a typed
 /// error, not a hang.
 #[test]
