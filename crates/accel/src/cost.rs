@@ -7,12 +7,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::arch::Architecture;
 use crate::bound::AlgorithmicMinimum;
-use crate::reuse::{count_accesses, AccessCounts};
+use crate::reuse::{count_accesses_into, AccessCounts, LoopSpec, TiledNest};
 
 /// Full cost breakdown for one mapping, matching the "meta-statistics" output
 /// representation of Section 4.1.3: per-level, per-tensor energy plus total
 /// energy, cycles, and compute utilization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostBreakdown {
     /// Energy (pJ) spent accessing each memory level for each tensor:
     /// `energy_pj[level][tensor]` with levels ordered `[L1, L2, DRAM]`.
@@ -38,7 +38,10 @@ impl CostBreakdown {
     /// `3 * num_tensors + 3` — 12 for CNN-Layer (3 tensors), 15 for MTTKRP
     /// (4 tensors), as reported in Section 5.5.
     pub fn meta_statistics(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(self.energy_pj.len() * self.energy_pj[0].len() + 3);
+        // Capacity from the actual row lengths: indexing `energy_pj[0]` would
+        // panic on an empty breakdown and under-reserve for ragged rows.
+        let cells: usize = self.energy_pj.iter().map(Vec::len).sum();
+        let mut v = Vec::with_capacity(cells + 3);
         for level in &self.energy_pj {
             for &e in level {
                 v.push(e);
@@ -53,6 +56,155 @@ impl CostBreakdown {
     /// Delay in seconds given the architecture's clock.
     pub fn delay_s(&self, arch: &Architecture) -> f64 {
         self.cycles * arch.cycle_time_s()
+    }
+}
+
+/// Scalar cost summary of one evaluation: everything a search loop needs to
+/// rank a mapping, without the per-level/per-tensor detail (which stays in
+/// the [`EvalScratch`] that produced it). `Copy`, so the hot path moves no
+/// heap data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSummary {
+    /// Energy (pJ) spent in the MAC datapath.
+    pub compute_energy_pj: f64,
+    /// Total energy in picojoules.
+    pub total_energy_pj: f64,
+    /// Execution time in cycles (max of compute- and bandwidth-limited time).
+    pub cycles: f64,
+    /// Compute utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Energy-delay product in joule-seconds.
+    pub edp: f64,
+    /// Total accesses to the last (DRAM) level.
+    pub last_level_accesses: u128,
+}
+
+/// Reusable working memory for [`CostModel::evaluate_into`]: the lowered
+/// loop nest, access counts, and energy rows of the *most recent*
+/// evaluation. One scratch per evaluation thread; after warmup (first call
+/// per problem shape) evaluations through it perform zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    nest: TiledNest,
+    loops_above_l1: Vec<LoopSpec>,
+    counts: AccessCounts,
+    energy_pj: Vec<Vec<f64>>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access counts of the most recent [`CostModel::evaluate_into`] call.
+    pub fn accesses(&self) -> &AccessCounts {
+        &self.counts
+    }
+
+    /// Per-level, per-tensor energy (pJ) of the most recent evaluation,
+    /// levels ordered `[L1, L2, DRAM]`.
+    pub fn energy_pj(&self) -> &[Vec<f64>] {
+        &self.energy_pj
+    }
+
+    /// Assemble the full [`CostBreakdown`] of the most recent evaluation,
+    /// *moving* the detail buffers out of the scratch (they regrow on the
+    /// next evaluation). `summary` must be the value that evaluation
+    /// returned.
+    pub fn take_breakdown(&mut self, summary: CostSummary) -> CostBreakdown {
+        CostBreakdown {
+            energy_pj: std::mem::take(&mut self.energy_pj),
+            compute_energy_pj: summary.compute_energy_pj,
+            total_energy_pj: summary.total_energy_pj,
+            cycles: summary.cycles,
+            utilization: summary.utilization,
+            edp: summary.edp,
+            accesses: std::mem::take(&mut self.counts),
+        }
+    }
+}
+
+/// Structure-of-arrays cost columns for a whole proposal batch, filled by
+/// [`CostModel::evaluate_batch_into`]. Column `i` holds the cost of
+/// `mappings[i]`; values are bit-identical to per-mapping
+/// [`CostModel::evaluate`] calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchCosts {
+    /// Datapath (MAC) energy in picojoules, per mapping.
+    pub compute_energy_pj: Vec<f64>,
+    /// Total energy in picojoules, per mapping.
+    pub total_energy_pj: Vec<f64>,
+    /// Execution time in cycles, per mapping.
+    pub cycles: Vec<f64>,
+    /// Compute utilization in `[0, 1]`, per mapping.
+    pub utilization: Vec<f64>,
+    /// Energy-delay product in joule-seconds, per mapping.
+    pub edp: Vec<f64>,
+    /// Total DRAM accesses, per mapping.
+    pub last_level_accesses: Vec<u128>,
+}
+
+impl BatchCosts {
+    /// An empty column set; columns are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mappings scored.
+    pub fn len(&self) -> usize {
+        self.edp.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edp.is_empty()
+    }
+
+    /// Drop all rows, keeping column capacity.
+    pub fn clear(&mut self) {
+        self.compute_energy_pj.clear();
+        self.total_energy_pj.clear();
+        self.cycles.clear();
+        self.utilization.clear();
+        self.edp.clear();
+        self.last_level_accesses.clear();
+    }
+
+    /// Reserve room for `n` more rows in every column.
+    pub fn reserve(&mut self, n: usize) {
+        self.compute_energy_pj.reserve(n);
+        self.total_energy_pj.reserve(n);
+        self.cycles.reserve(n);
+        self.utilization.reserve(n);
+        self.edp.reserve(n);
+        self.last_level_accesses.reserve(n);
+    }
+
+    /// Append one mapping's summary as a new row.
+    pub fn push(&mut self, s: CostSummary) {
+        self.compute_energy_pj.push(s.compute_energy_pj);
+        self.total_energy_pj.push(s.total_energy_pj);
+        self.cycles.push(s.cycles);
+        self.utilization.push(s.utilization);
+        self.edp.push(s.edp);
+        self.last_level_accesses.push(s.last_level_accesses);
+    }
+
+    /// Reassemble row `i` as a [`CostSummary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn summary(&self, i: usize) -> CostSummary {
+        CostSummary {
+            compute_energy_pj: self.compute_energy_pj[i],
+            total_energy_pj: self.total_energy_pj[i],
+            cycles: self.cycles[i],
+            utilization: self.utilization[i],
+            edp: self.edp[i],
+            last_level_accesses: self.last_level_accesses[i],
+        }
     }
 }
 
@@ -101,52 +253,111 @@ impl CostModel {
     /// finite cost, which is useful for penalty-based search, but the numbers
     /// are only meaningful for valid mappings).
     pub fn evaluate(&self, mapping: &Mapping) -> CostBreakdown {
+        let mut scratch = EvalScratch::new();
+        let summary = self.evaluate_into(&mut scratch, mapping);
+        scratch.take_breakdown(summary)
+    }
+
+    /// The allocation-free hot entry point: evaluate `mapping` using the
+    /// reusable buffers in `scratch`, returning the scalar [`CostSummary`].
+    /// Per-level/per-tensor detail stays readable in `scratch` until the
+    /// next call.
+    ///
+    /// Bit-identical to [`evaluate`](Self::evaluate) (which is a thin
+    /// allocating wrapper around this): same arithmetic in the same order.
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    pub fn evaluate_into(&self, scratch: &mut EvalScratch, mapping: &Mapping) -> CostSummary {
         let p = &self.problem;
         let a = &self.arch;
         let nt = p.num_tensors();
-        let accesses = count_accesses(p, mapping);
+        scratch.nest.fill_from_mapping(p, mapping);
+        scratch
+            .nest
+            .loops_above_l1_into(&mut scratch.loops_above_l1);
+        count_accesses_into(
+            p,
+            mapping,
+            &scratch.nest,
+            &scratch.loops_above_l1,
+            &mut scratch.counts,
+        );
+        let accesses = &scratch.counts;
 
-        let mut energy_pj = vec![vec![0.0f64; nt]; 3];
+        // mm-lint: allow(hot-path): Vec::new is alloc-free; the three rows
+        // are created once per scratch and reused across calls.
+        scratch.energy_pj.resize_with(3, Vec::new);
         for level in Level::ALL {
             let epa = a.level(level).energy_per_access_pj;
-            for (t, e) in energy_pj[level.index()].iter_mut().enumerate() {
+            let row = &mut scratch.energy_pj[level.index()];
+            row.clear();
+            row.resize(nt, 0.0);
+            for (t, e) in row.iter_mut().enumerate() {
                 *e = accesses.tensor_at(level, t) as f64 * epa;
             }
         }
 
         let padded_macs = mapping.padded_macs(p) as f64;
         let compute_energy_pj = padded_macs * a.mac_energy_pj;
-        let total_energy_pj: f64 = energy_pj.iter().flatten().sum::<f64>() + compute_energy_pj;
+        let total_energy_pj: f64 =
+            scratch.energy_pj.iter().flatten().sum::<f64>() + compute_energy_pj;
 
-        // Compute-limited time.
+        // Compute-limited time. A mapping/architecture pair with no MAC
+        // throughput (zero PEs or zero-rate PEs) can never finish: it gets
+        // an explicit worst-case cost rather than a silently clamped
+        // denominator. `active_pes * rate` is a product of integers, so the
+        // guard changes nothing for any functioning configuration.
         let active_pes = (mapping.active_pes().min(a.num_pes)) as f64;
-        let compute_cycles = padded_macs / (active_pes * a.macs_per_pe_per_cycle as f64).max(1.0);
-        // Bandwidth-limited time per level.
-        let mut cycles = compute_cycles;
-        for level in Level::ALL {
-            let bw = a.level(level).bandwidth_words_per_cycle.max(1e-9);
-            let mem_cycles = accesses.total_at(level) as f64 / bw;
-            if mem_cycles > cycles {
-                cycles = mem_cycles;
+        let mac_rate = active_pes * a.macs_per_pe_per_cycle as f64;
+        let (cycles, utilization) = if mac_rate > 0.0 {
+            let mut cycles = padded_macs / mac_rate;
+            // Bandwidth-limited time per level.
+            for level in Level::ALL {
+                let bw = a.level(level).bandwidth_words_per_cycle.max(1e-9);
+                let mem_cycles = accesses.total_at(level) as f64 / bw;
+                if mem_cycles > cycles {
+                    cycles = mem_cycles;
+                }
             }
-        }
-
-        let actual_macs = p.total_macs() as f64;
-        let utilization =
-            ((actual_macs / cycles.max(1.0)) / a.peak_macs_per_cycle() as f64).clamp(0.0, 1.0);
+            let actual_macs = p.total_macs() as f64;
+            let utilization =
+                ((actual_macs / cycles) / a.peak_macs_per_cycle() as f64).clamp(0.0, 1.0);
+            (cycles, utilization)
+        } else {
+            (f64::INFINITY, 0.0)
+        };
 
         let energy_j = total_energy_pj * 1e-12;
         let delay_s = cycles * a.cycle_time_s();
         let edp = energy_j * delay_s;
 
-        CostBreakdown {
-            energy_pj,
+        CostSummary {
             compute_energy_pj,
             total_energy_pj,
             cycles,
             utilization,
             edp,
-            accesses,
+            last_level_accesses: accesses.total_at(Level::Dram),
+        }
+    }
+
+    /// Batch form of [`evaluate_into`](Self::evaluate_into): score every
+    /// mapping through one scratch, appending structure-of-arrays cost
+    /// columns to `out` (cleared first). The nest lowering, count, and
+    /// energy buffers are reused across the whole batch, so the per-mapping
+    /// steady state allocates nothing beyond the (caller-reusable) output
+    /// columns.
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    pub fn evaluate_batch_into(
+        &self,
+        scratch: &mut EvalScratch,
+        mappings: &[Mapping],
+        out: &mut BatchCosts,
+    ) {
+        out.clear();
+        out.reserve(mappings.len());
+        for mapping in mappings {
+            let summary = self.evaluate_into(scratch, mapping);
+            out.push(summary);
         }
     }
 
@@ -311,5 +522,110 @@ mod tests {
         let a = m.evaluate(&mapping);
         let b = m.evaluate(&mapping);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_into_is_bit_identical_to_evaluate() {
+        let m = model();
+        let s = space(&m);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..64 {
+            let mapping = s.random_mapping(&mut rng);
+            let baseline = m.evaluate(&mapping);
+            let summary = m.evaluate_into(&mut scratch, &mapping);
+            assert_eq!(
+                summary.total_energy_pj.to_bits(),
+                baseline.total_energy_pj.to_bits()
+            );
+            assert_eq!(summary.cycles.to_bits(), baseline.cycles.to_bits());
+            assert_eq!(
+                summary.utilization.to_bits(),
+                baseline.utilization.to_bits()
+            );
+            assert_eq!(summary.edp.to_bits(), baseline.edp.to_bits());
+            assert_eq!(
+                summary.compute_energy_pj.to_bits(),
+                baseline.compute_energy_pj.to_bits()
+            );
+            assert_eq!(
+                summary.last_level_accesses,
+                baseline.accesses.total_at(Level::Dram)
+            );
+            // The detailed view in scratch must also match.
+            let detailed = m.evaluate_into(&mut scratch, &mapping);
+            assert_eq!(scratch.energy_pj(), baseline.energy_pj.as_slice());
+            assert_eq!(scratch.accesses(), &baseline.accesses);
+            assert_eq!(detailed, summary);
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_into_matches_scalar_path() {
+        let m = model();
+        let s = space(&m);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mappings: Vec<Mapping> = (0..16).map(|_| s.random_mapping(&mut rng)).collect();
+        let mut scratch = EvalScratch::new();
+        let mut batch = BatchCosts::new();
+        m.evaluate_batch_into(&mut scratch, &mappings, &mut batch);
+        assert_eq!(batch.len(), mappings.len());
+        for (i, mapping) in mappings.iter().enumerate() {
+            let baseline = m.evaluate(mapping);
+            assert_eq!(
+                batch.total_energy_pj[i].to_bits(),
+                baseline.total_energy_pj.to_bits()
+            );
+            assert_eq!(batch.cycles[i].to_bits(), baseline.cycles.to_bits());
+            assert_eq!(
+                batch.utilization[i].to_bits(),
+                baseline.utilization.to_bits()
+            );
+            assert_eq!(batch.edp[i].to_bits(), baseline.edp.to_bits());
+            assert_eq!(
+                batch.last_level_accesses[i],
+                baseline.accesses.total_at(Level::Dram)
+            );
+        }
+        // Reusing the same BatchCosts must clear stale columns.
+        m.evaluate_batch_into(&mut scratch, &mappings[..3], &mut batch);
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn zero_throughput_architecture_gets_worst_case_cost() {
+        // An accelerator with PEs that retire zero MACs per cycle can never
+        // finish any workload: the cost model must report an explicit
+        // worst-case cost, not a silently clamped finite one.
+        let mut arch = Architecture::example();
+        arch.macs_per_pe_per_cycle = 0;
+        let m = CostModel::new(arch, ProblemSpec::conv1d(128, 7));
+        let cost = m.evaluate(&Mapping::minimal(m.problem()));
+        assert!(cost.cycles.is_infinite());
+        assert_eq!(cost.utilization, 0.0);
+        assert!(cost.edp.is_infinite());
+        // Energy accounting is still well-defined.
+        assert!(cost.total_energy_pj.is_finite() && cost.total_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn meta_statistics_handles_degenerate_breakdowns() {
+        // An empty breakdown (no levels at all) must not panic.
+        let empty = CostBreakdown::default();
+        let stats = empty.meta_statistics();
+        assert_eq!(stats.len(), 3);
+        // Ragged rows (levels with differing tensor counts) must count every
+        // cell, not assume row 0's width times the row count.
+        let ragged = CostBreakdown {
+            energy_pj: vec![vec![1.0, 2.0, 3.0], vec![4.0], vec![]],
+            compute_energy_pj: 5.0,
+            total_energy_pj: 15.0,
+            cycles: 10.0,
+            utilization: 0.5,
+            edp: 1.5e-10,
+            accesses: AccessCounts::default(),
+        };
+        let stats = ragged.meta_statistics();
+        assert_eq!(stats.len(), 4 + 3);
     }
 }

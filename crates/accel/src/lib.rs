@@ -41,7 +41,7 @@ pub mod reuse;
 
 pub use arch::{Architecture, MemLevelSpec};
 pub use bound::AlgorithmicMinimum;
-pub use cost::{CostBreakdown, CostModel};
+pub use cost::{BatchCosts, CostBreakdown, CostModel, CostSummary, EvalScratch};
 
 #[cfg(test)]
 mod tests {

@@ -29,7 +29,7 @@ pub struct LoopSpec {
 
 /// The tiled loop nest implied by a mapping, split by level.
 /// Loops within each level are ordered outermost-first.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TiledNest {
     /// Temporal loops at the DRAM level (outermost).
     pub dram_loops: Vec<LoopSpec>,
@@ -44,21 +44,28 @@ pub struct TiledNest {
 impl TiledNest {
     /// Lower a mapping into its tiled loop nest for `problem`.
     pub fn from_mapping(problem: &ProblemSpec, m: &Mapping) -> Self {
-        let build = |level: Level| -> Vec<LoopSpec> {
-            m.order(level)
-                .iter()
-                .map(|&d| LoopSpec {
-                    dim: DimId(d),
-                    trips: m.trip_count(problem, level, DimId(d)),
-                })
-                .collect()
+        let mut nest = TiledNest::default();
+        nest.fill_from_mapping(problem, m);
+        nest
+    }
+
+    /// In-place form of [`from_mapping`](Self::from_mapping): rewrite this
+    /// nest for `m`, reusing the loop vectors. The allocation-free lowering
+    /// used by `CostModel::evaluate_into`.
+    pub fn fill_from_mapping(&mut self, problem: &ProblemSpec, m: &Mapping) {
+        let fill = |out: &mut Vec<LoopSpec>, level: Level| {
+            out.clear();
+            out.extend(m.order(level).iter().map(|&d| LoopSpec {
+                dim: DimId(d),
+                trips: m.trip_count(problem, level, DimId(d)),
+            }));
         };
-        TiledNest {
-            dram_loops: build(Level::Dram),
-            l2_loops: build(Level::L2),
-            l1_loops: build(Level::L1),
-            spatial: problem.dims().map(|d| (d, m.parallelism(d))).collect(),
-        }
+        fill(&mut self.dram_loops, Level::Dram);
+        fill(&mut self.l2_loops, Level::L2);
+        fill(&mut self.l1_loops, Level::L1);
+        self.spatial.clear();
+        self.spatial
+            .extend(problem.dims().map(|d| (d, m.parallelism(d))));
     }
 
     /// All temporal loops above the L1 tile (DRAM then L2), outermost first.
@@ -66,6 +73,13 @@ impl TiledNest {
         let mut v = self.dram_loops.clone();
         v.extend(self.l2_loops.iter().copied());
         v
+    }
+
+    /// In-place form of [`loops_above_l1`](Self::loops_above_l1).
+    pub fn loops_above_l1_into(&self, out: &mut Vec<LoopSpec>) {
+        out.clear();
+        out.extend_from_slice(&self.dram_loops);
+        out.extend_from_slice(&self.l2_loops);
     }
 
     /// Total trip-count product of a slice of loops.
@@ -112,7 +126,7 @@ pub fn reuse_factors(loops: &[LoopSpec], relevant: impl Fn(DimId) -> bool) -> Re
 }
 
 /// Per-tensor, per-level word-transfer counts produced by the reuse analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AccessCounts {
     /// Words read from DRAM (per tensor).
     pub dram_reads: Vec<u128>,
@@ -147,26 +161,48 @@ impl AccessCounts {
             Level::Dram => self.dram_reads[t] + self.dram_writes[t],
         }
     }
+
+    /// Reset every per-tensor count vector to `nt` zeros, reusing capacity.
+    pub fn reset(&mut self, nt: usize) {
+        for v in [
+            &mut self.dram_reads,
+            &mut self.dram_writes,
+            &mut self.l2_reads,
+            &mut self.l2_writes,
+            &mut self.l1_reads,
+            &mut self.l1_writes,
+        ] {
+            v.clear();
+            v.resize(nt, 0);
+        }
+    }
 }
 
 /// Run the full reuse analysis for `mapping` on `problem`.
 pub fn count_accesses(problem: &ProblemSpec, mapping: &Mapping) -> AccessCounts {
     let nest = TiledNest::from_mapping(problem, mapping);
+    let loops_above_l1 = nest.loops_above_l1();
+    let mut counts = AccessCounts::default();
+    count_accesses_into(problem, mapping, &nest, &loops_above_l1, &mut counts);
+    counts
+}
+
+/// In-place form of [`count_accesses`]: run the reuse analysis with a
+/// caller-provided (already lowered) `nest` and its `loops_above_l1` slice,
+/// writing into `counts`. Allocation-free once `counts` has warmed up to the
+/// problem's tensor count.
+pub fn count_accesses_into(
+    problem: &ProblemSpec,
+    mapping: &Mapping,
+    nest: &TiledNest,
+    loops_above_l1: &[LoopSpec],
+    counts: &mut AccessCounts,
+) {
     let nt = problem.num_tensors();
     let out_idx = problem.output_tensor();
     let padded_macs = mapping.padded_macs(problem);
     let active_pes = mapping.active_pes() as u128;
-
-    let mut counts = AccessCounts {
-        dram_reads: vec![0; nt],
-        dram_writes: vec![0; nt],
-        l2_reads: vec![0; nt],
-        l2_writes: vec![0; nt],
-        l1_reads: vec![0; nt],
-        l1_writes: vec![0; nt],
-    };
-
-    let loops_above_l1 = nest.loops_above_l1();
+    counts.reset(nt);
 
     for (t, tensor) in problem.tensors.iter().enumerate() {
         let relevant = |d: DimId| tensor.is_relevant(d);
@@ -204,7 +240,7 @@ pub fn count_accesses(problem: &ProblemSpec, mapping: &Mapping) -> AccessCounts 
         }
 
         // --- L2 <-> L1 boundary: governed by all loops above L1.
-        let inner = reuse_factors(&loops_above_l1, relevant);
+        let inner = reuse_factors(loops_above_l1, relevant);
         if is_output {
             // PEs push completed/partial output tiles up into L2 …
             counts.l2_writes[t] += inner.reloads * spatial_fp;
@@ -230,8 +266,6 @@ pub fn count_accesses(problem: &ProblemSpec, mapping: &Mapping) -> AccessCounts 
             counts.l1_reads[t] += padded_macs;
         }
     }
-
-    counts
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! evaluation worker busy.
 
 use mm_mapspace::{MapSpaceView, Mapping, ProblemSpec};
-use mm_search::{ProposalSearch, SyncAction};
+use mm_search::{ProposalBuf, ProposalSearch, SyncAction};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -208,7 +208,7 @@ impl ProposalSearch for GradientProposer {
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         {
             // mm-lint: allow(panic): see step() — outside-session calls are
@@ -315,7 +315,7 @@ mod tests {
         let mut gp = GradientProposer::new(&s, problem, Phase2Config::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         gp.begin(&space, None, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         gp.propose(&space, &mut rng, 32, &mut buf);
         assert!(!buf.is_empty(), "gradient proposer always makes progress");
         assert!(buf.len() <= 32);

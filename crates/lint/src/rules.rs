@@ -17,6 +17,10 @@
 //!   tests and benches (bins are exempt).
 //! * **dup-literal** — long string literals repeated across files point at
 //!   divergent copies of what should be one shared module.
+//! * **hot-path** — no per-call heap allocation (`Vec::new`, `vec!`,
+//!   `.to_vec(`, `.collect(`) inside `// mm-lint: hot-path`-tagged regions:
+//!   the steady-state `propose → validate → evaluate` loop reuses scratch
+//!   storage, and growth-only cold paths carry an explicit allow.
 //!
 //! Suppression is per-line: `// mm-lint: allow(<rule>): <why>` on the
 //! flagged line or alone on the line above. Every allow must suppress
@@ -42,6 +46,8 @@ pub enum Rule {
     DupLiteral,
     /// A `lint.toml` identity file missing its header tag.
     IdentityTag,
+    /// (H) heap allocation in a `hot-path`-tagged region.
+    HotPath,
 }
 
 impl Rule {
@@ -55,6 +61,7 @@ impl Rule {
             Rule::UnusedAllow => "unused-allow",
             Rule::DupLiteral => "dup-literal",
             Rule::IdentityTag => "identity-tag",
+            Rule::HotPath => "hot-path",
         }
     }
 }
@@ -147,6 +154,8 @@ struct Scope {
     gated: bool,
     /// Inside an identity-tagged file, function, or `canonical_string` impl.
     identity: bool,
+    /// Inside a `hot-path`-tagged region (steady state must not allocate).
+    hot_path: bool,
     /// A lock guard bound in this scope is still live.
     lock_guard: bool,
 }
@@ -173,6 +182,8 @@ pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
         .unwrap_or(lines.len());
     let mut file_identity = false;
     let mut fn_identity_tags: Vec<usize> = Vec::new();
+    let mut file_hot_path = false;
+    let mut fn_hot_path_tags: Vec<usize> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         parse_directives(
             &mut analysis,
@@ -182,6 +193,8 @@ pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
             first_code,
             &mut file_identity,
             &mut fn_identity_tags,
+            &mut file_hot_path,
+            &mut fn_hot_path_tags,
         );
     }
     let listed_identity = config.identity_files.iter().any(|f| f == rel);
@@ -205,19 +218,25 @@ pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
 
     let mut stack = vec![Scope {
         identity: file_identity,
+        hot_path: file_hot_path,
         ..Scope::default()
     }];
     let mut header = String::new();
     let mut pending_identity = false;
+    let mut pending_hot_path = false;
 
     for (idx, line) in lines.iter().enumerate() {
         if fn_identity_tags.contains(&idx) {
             pending_identity = true;
         }
+        if fn_hot_path_tags.contains(&idx) {
+            pending_hot_path = true;
+        }
         let ctx = Scope {
             test: stack.iter().any(|s| s.test),
             gated: stack.iter().any(|s| s.gated),
             identity: stack.iter().any(|s| s.identity) || pending_identity,
+            hot_path: stack.iter().any(|s| s.hot_path) || pending_hot_path,
             lock_guard: stack.iter().any(|s| s.lock_guard),
         };
         // The statement as assembled so far (prior lines + this one): the
@@ -247,6 +266,7 @@ pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
                         identity: parent.identity
                             || std::mem::take(&mut pending_identity)
                             || header.contains("fn canonical_string"),
+                        hot_path: parent.hot_path || std::mem::take(&mut pending_hot_path),
                         lock_guard: scope_header_binds_lock_guard(&header),
                     });
                     header.clear();
@@ -276,6 +296,7 @@ pub fn analyze_source(rel: &str, text: &str, config: &Config) -> FileAnalysis {
 }
 
 /// Parse the `mm-lint:` directives in one line's comment text.
+#[allow(clippy::too_many_arguments)]
 fn parse_directives(
     analysis: &mut FileAnalysis,
     lines: &[SourceLine],
@@ -284,6 +305,8 @@ fn parse_directives(
     first_code: usize,
     file_identity: &mut bool,
     fn_identity_tags: &mut Vec<usize>,
+    file_hot_path: &mut bool,
+    fn_hot_path_tags: &mut Vec<usize>,
 ) {
     // A directive must *lead* the comment (`// mm-lint: ...`); prose that
     // merely mentions `mm-lint:` mid-sentence is not one. Doc-comment
@@ -298,6 +321,14 @@ fn parse_directives(
             *file_identity = true;
         } else {
             fn_identity_tags.push(idx);
+        }
+        return;
+    }
+    if body == "hot-path" || body.starts_with("hot-path ") || body.starts_with("hot-path:") {
+        if idx < first_code {
+            *file_hot_path = true;
+        } else {
+            fn_hot_path_tags.push(idx);
         }
         return;
     }
@@ -339,7 +370,7 @@ fn parse_directives(
     );
 }
 
-const KNOWN_RULES: [&str; 7] = [
+const KNOWN_RULES: [&str; 8] = [
     "determinism",
     "telemetry-gate",
     "atomics",
@@ -347,6 +378,7 @@ const KNOWN_RULES: [&str; 7] = [
     "unused-allow",
     "dup-literal",
     "identity-tag",
+    "hot-path",
 ];
 
 fn bad_directive(analysis: &mut FileAnalysis, idx: usize, what: &str) {
@@ -356,8 +388,8 @@ fn bad_directive(analysis: &mut FileAnalysis, idx: usize, what: &str) {
         rule: Rule::UnusedAllow,
         message: what.to_string(),
         hint: format!(
-            "directives are `// mm-lint: identity` or `// mm-lint: allow(<rule>): <why>` \
-             with <rule> one of {KNOWN_RULES:?}"
+            "directives are `// mm-lint: identity`, `// mm-lint: hot-path`, or \
+             `// mm-lint: allow(<rule>): <why>` with <rule> one of {KNOWN_RULES:?}"
         ),
     });
 }
@@ -493,6 +525,12 @@ const TELEMETRY_RAW_OPS: [&str; 4] = [
 /// line that touches telemetry (eager formatting, clock reads, snapshots).
 const TELEMETRY_TOUCH_OPS: [&str; 4] = ["format!", "Instant::now", ".elapsed(", ".snapshot()"];
 
+/// Tokens that heap-allocate per call. Inside a `hot-path`-tagged region
+/// (the steady-state `propose → validate → evaluate` loop) storage must be
+/// reused — growth-only cold paths need an explicit allow documenting why
+/// the steady state never hits them.
+const HOT_PATH_TOKENS: [&str; 4] = ["Vec::new", "vec!", ".to_vec(", ".collect("];
+
 const PANIC_TOKENS: [&str; 6] = [
     ".unwrap()",
     ".expect(",
@@ -531,6 +569,36 @@ fn check_line(
                     Rule::Determinism,
                     format!("`{token}` in an identity-tagged region"),
                     hint.to_string(),
+                );
+            }
+        }
+    }
+
+    // (H) hot-path — allocation tokens in tagged regions, in any non-test
+    // code.
+    if ctx.hot_path && !ctx.test {
+        for token in HOT_PATH_TOKENS {
+            let found = if token.chars().next().is_some_and(|c| c == '.') {
+                code.contains(token)
+            } else {
+                has_token(code, token)
+            };
+            if found {
+                let shown = if token.ends_with('(') {
+                    format!("{token}..)")
+                } else {
+                    token.to_string()
+                };
+                flag(
+                    analysis,
+                    rel,
+                    idx,
+                    Rule::HotPath,
+                    format!("`{shown}` allocates in a hot-path-tagged region"),
+                    "reuse caller-provided scratch storage (EvalScratch / ProposalBuf slots) \
+                     instead of allocating per call, or document a cold growth path via \
+                     `// mm-lint: allow(hot-path): <why>`"
+                        .to_string(),
                 );
             }
         }

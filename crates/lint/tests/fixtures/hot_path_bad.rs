@@ -1,0 +1,41 @@
+//! Fixture: allocation tokens inside `hot-path`-tagged regions must fire;
+//! the same tokens in untagged or test code must not.
+
+pub struct Proposals {
+    slots: Vec<u64>,
+}
+
+// mm-lint: hot-path — the steady-state loop must not allocate.
+pub fn propose_into(out: &mut Proposals, n: usize) {
+    // BAD: fresh vector per call.
+    let staging = Vec::new();
+    out.slots = staging;
+    // BAD: vec! macro allocates per call.
+    let seeds = vec![0u64; n];
+    // BAD: to_vec clones into a fresh allocation.
+    out.slots = seeds.to_vec();
+    // BAD: collect allocates the result.
+    out.slots = (0..n as u64).collect();
+}
+
+// mm-lint: hot-path — growth-only cold path documented below.
+pub fn grow(out: &mut Proposals) {
+    // mm-lint: allow(hot-path): first-use growth; steady state reuses slots.
+    let spare = Vec::new();
+    out.slots = spare;
+}
+
+pub fn untagged_allocates_freely(n: usize) -> Vec<u64> {
+    // Fine: no hot-path tag on this function.
+    (0..n as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // mm-lint: hot-path — even tagged, test code is exempt.
+    #[test]
+    fn scratch() {
+        let v: Vec<u64> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

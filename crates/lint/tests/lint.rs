@@ -107,6 +107,24 @@ fn unused_allow_fixture_fails() {
 }
 
 #[test]
+fn hot_path_fixture_fails_only_in_tagged_regions() {
+    let violations = lint_fixture("hot_path_bad.rs", &Config::default());
+    // Vec::new, vec!, .to_vec(, .collect( — all inside the tagged fn; the
+    // untagged fn's collect and the test-module allocations stay quiet, and
+    // the documented growth path's allow suppresses (no unused-allow).
+    assert_eq!(
+        count(&violations, Rule::HotPath),
+        4,
+        "expected 4 hot-path violations, got: {violations:?}"
+    );
+    assert_eq!(
+        count(&violations, Rule::UnusedAllow),
+        0,
+        "the growth-path allow must be consumed: {violations:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes() {
     let violations = lint_fixture("clean.rs", &Config::default());
     assert!(
@@ -142,6 +160,7 @@ fn fixture_directory_fails_through_the_cli_entry_point() {
         Rule::PanicHygiene,
         Rule::UnusedAllow,
         Rule::DupLiteral,
+        Rule::HotPath,
     ] {
         assert!(
             count(&violations, rule) > 0,

@@ -19,7 +19,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use mm_mapspace::{MapSpaceView, Mapping};
-use mm_search::{Budget, Objective, ProposalSearch, SearchTrace, Searcher};
+use mm_search::{Budget, Objective, ProposalBuf, ProposalSearch, SearchTrace, Searcher};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -150,7 +150,7 @@ impl ProposalSearch for BridgedSearcher {
         _space: &dyn MapSpaceView,
         _rng: &mut StdRng,
         _max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         // mm-lint: allow(panic): proposing outside a begin() session is a
         // driver bug, not a recoverable state.
@@ -225,7 +225,7 @@ mod tests {
         bridged.begin(&space, Some(40), &mut rng);
         let mut best = f64::INFINITY;
         let mut evals = 0u64;
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         loop {
             buf.clear();
             bridged.propose(&space, &mut rng, 1, &mut buf);
@@ -249,7 +249,7 @@ mod tests {
             BridgedSearcher::new("SA", Box::new(|| Box::new(SimulatedAnnealing::default())));
         let mut rng = StdRng::seed_from_u64(1);
         bridged.begin(&space, None, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         bridged.propose(&space, &mut rng, 1, &mut buf);
         assert_eq!(buf.len(), 1);
         // Drop with a proposal outstanding: must not hang or leak.
@@ -282,7 +282,7 @@ mod tests {
         });
         bridged.begin(&space, Some(50), &mut driver_rng);
         let mut bridged_best = f64::INFINITY;
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         loop {
             buf.clear();
             bridged.propose(&space, &mut driver_rng, 1, &mut buf);

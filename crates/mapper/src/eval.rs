@@ -8,16 +8,26 @@
 //! pytimeloop — returning results tagged with job ids so callers can
 //! pipeline submissions ahead of completions.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use mm_accel::CostModel;
+use mm_accel::{BatchCosts, CostModel, EvalScratch};
 use mm_mapspace::Mapping;
 use mm_search::Objective;
 
 use crate::metrics::{Evaluation, OptMetric};
+
+thread_local! {
+    /// Per-thread eval scratch shared by every [`ModelEvaluator`] on this
+    /// thread: pool workers evaluate thousands of mappings each, and the
+    /// scratch makes all but the first allocation-free.
+    static SCRATCH: RefCell<(EvalScratch, BatchCosts)> =
+        RefCell::new((EvalScratch::new(), BatchCosts::new()));
+}
 
 /// A thread-safe mapping cost function producing prioritized metrics.
 pub trait CostEvaluator: Send + Sync {
@@ -75,34 +85,41 @@ impl ModelEvaluator {
 
 impl CostEvaluator for ModelEvaluator {
     fn evaluate(&self, mapping: &Mapping) -> Evaluation {
-        let cost = self.model.evaluate(mapping);
         let arch = self.model.arch();
-        Evaluation {
-            metrics: self
-                .metrics
-                .iter()
-                .map(|m| m.resolve(&cost, arch))
-                .collect(),
-        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut().0;
+            let cost = self.model.evaluate_into(scratch, mapping);
+            Evaluation {
+                metrics: self
+                    .metrics
+                    .iter()
+                    .map(|m| m.resolve_summary(&cost, arch))
+                    .collect(),
+            }
+        })
     }
 
     fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<Evaluation> {
-        // One pass over the batch with the arch borrow and the metric list
-        // hoisted out of the per-mapping loop.
+        // The SoA batch kernel: one scratch arena reused across the whole
+        // batch, with the arch borrow and the metric list hoisted out of the
+        // per-mapping loop.
         let arch = self.model.arch();
-        mappings
-            .iter()
-            .map(|mapping| {
-                let cost = self.model.evaluate(mapping);
-                Evaluation {
-                    metrics: self
-                        .metrics
-                        .iter()
-                        .map(|m| m.resolve(&cost, arch))
-                        .collect(),
-                }
-            })
-            .collect()
+        SCRATCH.with(|cell| {
+            let (scratch, costs) = &mut *cell.borrow_mut();
+            self.model.evaluate_batch_into(scratch, mappings, costs);
+            (0..costs.len())
+                .map(|i| {
+                    let cost = costs.summary(i);
+                    Evaluation {
+                        metrics: self
+                            .metrics
+                            .iter()
+                            .map(|m| m.resolve_summary(&cost, arch))
+                            .collect(),
+                    }
+                })
+                .collect()
+        })
     }
 
     fn metrics(&self) -> &[OptMetric] {
@@ -156,13 +173,33 @@ impl Objective for EvaluatorObjective {
     }
 }
 
+/// The mappings of one job: either owned outright, or a sub-range of a
+/// shared batch ([`EvalPool::submit_shared`] fans one `Arc`'d proposal
+/// batch out to every worker without cloning a single mapping).
+enum JobMappings {
+    Owned(Vec<Mapping>),
+    Shared {
+        batch: Arc<Vec<Mapping>>,
+        range: Range<usize>,
+    },
+}
+
+impl JobMappings {
+    fn as_slice(&self) -> &[Mapping] {
+        match self {
+            JobMappings::Owned(v) => v,
+            JobMappings::Shared { batch, range } => &batch[range.clone()],
+        }
+    }
+}
+
 /// One unit of work for the pool: a batch of mappings occupying the
 /// contiguous id range `base_id .. base_id + mappings.len()`, evaluated by
 /// `evaluator` (or the pool's default when `None`) in a single
 /// [`CostEvaluator::evaluate_batch`] call on one worker.
 struct Job {
     base_id: u64,
-    mappings: Vec<Mapping>,
+    mappings: JobMappings,
     evaluator: Option<Arc<dyn CostEvaluator>>,
     /// Enqueue time, captured only when telemetry timing is on so the off
     /// level never reads a clock (the queue-latency histogram is fed from
@@ -187,20 +224,21 @@ struct Job {
 /// whole-network mapping service.
 pub struct EvalPool {
     job_tx: Option<Sender<Job>>,
-    result_rx: Receiver<(u64, Result<Evaluation, String>)>,
+    result_rx: Receiver<(u64, Result<Evaluation, Arc<str>>)>,
     workers: Vec<JoinHandle<()>>,
     next_id: u64,
     in_flight: u64,
 }
 
-/// Human-readable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Human-readable message from a caught panic payload, shared so a failing
+/// batch clones one `Arc` per member instead of one `String` per member.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Arc<str> {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
+        Arc::from(*s)
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        Arc::from(s.as_str())
     } else {
-        "non-string panic payload".to_string()
+        Arc::from("non-string panic payload")
     }
 }
 
@@ -230,7 +268,7 @@ impl EvalPool {
     fn spawn(default_evaluator: Option<Arc<dyn CostEvaluator>>, workers: usize) -> Self {
         assert!(workers > 0, "EvalPool needs at least one worker");
         let (job_tx, job_rx) = channel::<Job>();
-        let (result_tx, result_rx) = channel::<(u64, Result<Evaluation, String>)>();
+        let (result_tx, result_rx) = channel::<(u64, Result<Evaluation, Arc<str>>)>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let handles = (0..workers)
             .map(|w| {
@@ -254,7 +292,8 @@ impl EvalPool {
                     };
                     match job {
                         Ok(job) => {
-                            let n = job.mappings.len() as u64;
+                            let mappings = job.mappings.as_slice();
+                            let n = mappings.len() as u64;
                             tele_evals.bump(n);
                             if let Some(queued_at) = job.queued_at {
                                 tele_latency.record(
@@ -264,12 +303,11 @@ impl EvalPool {
                             }
                             let evaluator = job.evaluator.as_ref().or(default_evaluator.as_ref());
                             let Some(evaluator) = evaluator else {
+                                let msg: Arc<str> =
+                                    Arc::from("pool has no default evaluator; use submit_for");
                                 for i in 0..n {
-                                    let _ = result_tx.send((
-                                        job.base_id + i,
-                                        Err("pool has no default evaluator; use submit_for"
-                                            .to_string()),
-                                    ));
+                                    let _ =
+                                        result_tx.send((job.base_id + i, Err(Arc::clone(&msg))));
                                 }
                                 continue;
                             };
@@ -280,11 +318,11 @@ impl EvalPool {
                             let batch_span = tele_track.span_n("eval_pool.batch", n);
                             let evals =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    evaluator.evaluate_batch(&job.mappings)
+                                    evaluator.evaluate_batch(mappings)
                                 }));
                             drop(batch_span);
                             match evals {
-                                Ok(evals) if evals.len() == job.mappings.len() => {
+                                Ok(evals) if evals.len() == mappings.len() => {
                                     for (i, eval) in evals.into_iter().enumerate() {
                                         if result_tx
                                             .send((job.base_id + i as u64, Ok(eval)))
@@ -295,13 +333,17 @@ impl EvalPool {
                                     }
                                 }
                                 Ok(evals) => {
-                                    let msg = format!(
-                                        "evaluate_batch returned {} results for {} mappings",
-                                        evals.len(),
-                                        job.mappings.len()
+                                    let msg: Arc<str> = Arc::from(
+                                        format!(
+                                            "evaluate_batch returned {} results for {} mappings",
+                                            evals.len(),
+                                            mappings.len()
+                                        )
+                                        .as_str(),
                                     );
                                     for i in 0..n {
-                                        let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
+                                        let _ = result_tx
+                                            .send((job.base_id + i, Err(Arc::clone(&msg))));
                                     }
                                     // Keep serving: one broken evaluator must
                                     // not shrink the shared pool for every
@@ -310,7 +352,8 @@ impl EvalPool {
                                 Err(payload) => {
                                     let msg = panic_message(payload);
                                     for i in 0..n {
-                                        let _ = result_tx.send((job.base_id + i, Err(msg.clone())));
+                                        let _ = result_tx
+                                            .send((job.base_id + i, Err(Arc::clone(&msg))));
                                     }
                                     // The worker survives the caught panic:
                                     // the failure travels to the submitting
@@ -390,7 +433,7 @@ impl EvalPool {
             .expect("pool not shut down")
             .send(Job {
                 base_id,
-                mappings,
+                mappings: JobMappings::Owned(mappings),
                 evaluator,
                 queued_at: mm_telemetry::timing_enabled().then(std::time::Instant::now),
             })
@@ -420,6 +463,59 @@ impl EvalPool {
             self.submit_batch_for(evaluator.clone(), c.to_vec());
         }
         base_id..base_id + mappings.len() as u64
+    }
+
+    /// Zero-copy variant of [`submit_chunked`](Self::submit_chunked): fan the
+    /// first `count` mappings of an `Arc`-shared batch out as one contiguous
+    /// chunk job per worker, without cloning a single mapping. Chunk sizes,
+    /// id assignment, and telemetry match `submit_chunked` exactly.
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    pub fn submit_shared(
+        &mut self,
+        evaluator: Option<Arc<dyn CostEvaluator>>,
+        batch: &Arc<Vec<Mapping>>,
+        count: usize,
+    ) -> Range<u64> {
+        let base_id = self.next_id;
+        let count = count.min(batch.len());
+        if count == 0 {
+            return base_id..base_id;
+        }
+        let chunk = count.div_ceil(self.workers()).max(1);
+        let mut start = 0usize;
+        while start < count {
+            let end = (start + chunk).min(count);
+            let n = (end - start) as u64;
+            self.next_id += n;
+            self.in_flight += n;
+            {
+                static BATCH_SIZES: std::sync::OnceLock<Arc<mm_telemetry::Histogram>> =
+                    std::sync::OnceLock::new();
+                BATCH_SIZES
+                    .get_or_init(|| mm_telemetry::histogram("eval_pool.batch_size"))
+                    .record(n);
+            }
+            self.job_tx
+                .as_ref()
+                // mm-lint: allow(panic): submitting after shutdown() is a
+                // driver bug, not a recoverable state.
+                .expect("pool not shut down")
+                .send(Job {
+                    base_id: base_id + start as u64,
+                    mappings: JobMappings::Shared {
+                        batch: Arc::clone(batch),
+                        range: start..end,
+                    },
+                    evaluator: evaluator.clone(),
+                    queued_at: mm_telemetry::timing_enabled().then(std::time::Instant::now),
+                })
+                // mm-lint: allow(panic): workers only exit after the job
+                // channel closes, so a send failure means the pool was torn
+                // down early.
+                .expect("evaluation workers alive");
+            start = end;
+        }
+        base_id..base_id + count as u64
     }
 
     /// Block until the next result is ready.
@@ -457,7 +553,7 @@ impl EvalPool {
     /// # Panics
     ///
     /// Panics if nothing is in flight.
-    pub fn recv_result(&mut self) -> (u64, Result<Evaluation, String>) {
+    pub fn recv_result(&mut self) -> (u64, Result<Evaluation, Arc<str>>) {
         assert!(self.in_flight > 0, "recv_result with no jobs in flight");
         let (id, result) = self
             .result_rx

@@ -53,8 +53,8 @@ use std::time::Instant;
 
 use mm_mapspace::{MapSpace, MapSpaceView, Mapping, ShardAxisKind};
 use mm_search::{
-    merge_shard_convergence, ConvergenceTrace, ProposalSearch, SearchTrace, SyncAction, SyncPolicy,
-    SyncState,
+    merge_shard_convergence, ConvergenceTrace, ProposalBuf, ProposalSearch, SearchTrace,
+    SyncAction, SyncPolicy, SyncState,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -848,7 +848,7 @@ impl<'a> ShardRun<'a> {
         let policy = &config.termination;
         // One span per drive call: the shard occupying a worker.
         let _drive_span = self.track.as_ref().and_then(|t| t.span("shard.drive"));
-        let mut buf: Vec<Mapping> = Vec::new();
+        let mut buf = ProposalBuf::new();
         // Evaluations this shard may still perform without consulting its
         // budget source again.
         let mut granted: u64 = match budget {
@@ -904,8 +904,11 @@ impl<'a> ShardRun<'a> {
                 .track
                 .as_ref()
                 .and_then(|t| t.span_n("cost.evaluate", buf.len() as u64));
-            for mapping in &buf {
-                let eval = evaluator.evaluate(mapping);
+            // Whole-batch evaluation (bit-identical to per-mapping calls)
+            // amortizes the evaluator's batched fast path; reports still
+            // flow back per mapping, in proposal order.
+            let evals = evaluator.evaluate_batch(&buf);
+            for (mapping, eval) in buf.iter().zip(evals) {
                 self.evaluations += 1;
                 granted = granted.saturating_sub(1);
                 if let BudgetSource::Ledger(ledger) = budget {
@@ -1179,7 +1182,7 @@ mod tests {
             space: &dyn MapSpaceView,
             rng: &mut StdRng,
             max: usize,
-            out: &mut Vec<Mapping>,
+            out: &mut ProposalBuf,
         ) {
             let room = self.limit.saturating_sub(self.proposed).min(max as u64) as usize;
             if room == 0 {
@@ -1366,7 +1369,7 @@ mod tests {
             space: &dyn MapSpaceView,
             rng: &mut StdRng,
             max: usize,
-            out: &mut Vec<Mapping>,
+            out: &mut ProposalBuf,
         ) {
             self.inner.propose(space, rng, max, out);
         }

@@ -12,7 +12,7 @@
 //! * [`OptMetric::LastLevelAccesses`] — total DRAM accesses, a proxy for
 //!   off-chip bandwidth pressure.
 
-use mm_accel::{Architecture, CostBreakdown};
+use mm_accel::{Architecture, CostBreakdown, CostSummary};
 use mm_mapspace::mapping::Level;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +66,18 @@ impl OptMetric {
             OptMetric::Delay => cost.delay_s(arch),
             OptMetric::Edp => cost.edp,
             OptMetric::LastLevelAccesses => cost.accesses.total_at(Level::Dram) as f64,
+        }
+    }
+
+    /// Resolve this metric from the scalar [`CostSummary`] produced by the
+    /// allocation-free eval path. Identical values (bit-for-bit) to
+    /// [`resolve`](Self::resolve) on the corresponding [`CostBreakdown`].
+    pub fn resolve_summary(&self, cost: &CostSummary, arch: &Architecture) -> f64 {
+        match self {
+            OptMetric::Energy => cost.total_energy_pj,
+            OptMetric::Delay => cost.cycles * arch.cycle_time_s(),
+            OptMetric::Edp => cost.edp,
+            OptMetric::LastLevelAccesses => cost.last_level_accesses as f64,
         }
     }
 }

@@ -14,14 +14,30 @@
 //! order before being reported, preserving the `ProposalSearch` contract.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mm_mapspace::{MapSpaceView, Mapping};
-use mm_search::{Budget, ProposalSearch, SearchTrace};
+use mm_search::{Budget, ProposalBuf, ProposalSearch, SearchTrace};
 use rand::rngs::StdRng;
 
 use crate::eval::EvalPool;
 use crate::metrics::Evaluation;
+
+/// One submitted proposal batch awaiting reports. The mappings live in an
+/// `Arc` shared with the pool's chunk jobs ([`EvalPool::submit_shared`]), so
+/// submission clones no mapping; once every member is reported the storage
+/// is reclaimed for the next proposal round.
+struct InFlightBatch {
+    /// Pool id of the batch's first mapping (ids are contiguous).
+    base_id: u64,
+    /// Live mappings in the batch (`mappings[..count]`).
+    count: usize,
+    /// Members reported back to the searcher so far.
+    reported: usize,
+    /// The shared batch storage (may hold spare slots beyond `count`).
+    mappings: Arc<Vec<Mapping>>,
+}
 
 /// Minimum in-flight proposal depth of pipelined drivers (when the searcher
 /// tolerates it): deep enough that per-worker chunk jobs carry meaningful
@@ -57,8 +73,13 @@ pub fn run_pipelined(
     let horizon = (budget.max_queries < u64::MAX).then_some(budget.max_queries);
     search.begin(space, horizon, rng);
 
-    // Proposals submitted to the pool, in proposal order (front = oldest).
-    let mut pending: VecDeque<(u64, Mapping)> = VecDeque::new();
+    // Proposal batches submitted to the pool, in proposal order (front =
+    // oldest). No per-proposal clone: each batch's storage is `Arc`-shared
+    // with the pool's chunk jobs.
+    let mut pending: VecDeque<InFlightBatch> = VecDeque::new();
+    // Reclaimed batch storage, reused by later proposal rounds so the steady
+    // state allocates nothing.
+    let mut free: Vec<Vec<Mapping>> = Vec::new();
     // Results that arrived out of order, keyed by job id.
     let mut arrived: BTreeMap<u64, Evaluation> = BTreeMap::new();
     let mut submitted = 0u64;
@@ -71,37 +92,52 @@ pub fn run_pipelined(
             .max(1),
     );
 
-    let mut buf: Vec<Mapping> = Vec::new();
+    let mut buf = ProposalBuf::new();
     loop {
         let exhausted = budget.exhausted(completed, start.elapsed());
         // Fill the pipeline while the budget allows new submissions.
         if !exhausted && submitted < budget.max_queries {
-            let room = max_in_flight.saturating_sub(pending.len());
+            let room = max_in_flight.saturating_sub((submitted - completed) as usize);
             let remaining = budget.max_queries - submitted;
             let max = (room as u64).min(remaining) as usize;
             if max > 0 {
+                if buf.is_empty() {
+                    if let Some(slots) = free.pop() {
+                        buf.restore(slots);
+                    }
+                }
                 buf.clear();
                 {
                     let _span = track.as_ref().and_then(|t| t.span("searcher.propose"));
                     search.propose(space, rng, max, &mut buf);
                 }
                 // Submit the whole proposal batch as one chunk job per
-                // worker (not one job per mapping): batched evaluators get
-                // their amortized fast path, and per-job channel traffic
-                // drops by the chunk size.
-                let ids = pool.submit_chunked(None, &buf);
-                for (off, mapping) in buf.iter().enumerate() {
-                    pending.push_back((ids.start + off as u64, mapping.clone()));
-                    submitted += 1;
+                // worker (not one job per mapping), sharing the batch
+                // storage with the jobs instead of cloning any mapping:
+                // batched evaluators get their amortized fast path, and
+                // per-job channel traffic drops by the chunk size.
+                if !buf.is_empty() {
+                    let (slots, count) = buf.take();
+                    let batch = Arc::new(slots);
+                    let ids = pool.submit_shared(None, &batch, count);
+                    debug_assert_eq!(ids.end - ids.start, count as u64);
+                    pending.push_back(InFlightBatch {
+                        base_id: ids.start,
+                        count,
+                        reported: 0,
+                        mappings: batch,
+                    });
+                    submitted += count as u64;
                 }
             }
         }
         // Wait for the oldest outstanding proposal's result, reporting every
         // completion in proposal order. An empty queue means nothing is in
         // flight and nothing was proposed: done.
-        let Some(&(oldest_id, _)) = pending.front() else {
+        let Some(front) = pending.front() else {
             break;
         };
+        let oldest_id = front.base_id + front.reported as u64;
         if !arrived.contains_key(&oldest_id) {
             let _span = track.as_ref().and_then(|t| t.span("pipeline.wait"));
             while !arrived.contains_key(&oldest_id) {
@@ -109,15 +145,29 @@ pub fn run_pipelined(
                 arrived.insert(id, eval);
             }
         }
-        while let Some((id, mapping)) = pending.front() {
-            let Some(eval) = arrived.remove(id) else {
+        while let Some(front) = pending.front_mut() {
+            let id = front.base_id + front.reported as u64;
+            let Some(eval) = arrived.remove(&id) else {
                 break;
             };
+            let mapping = &front.mappings[front.reported];
             let cost = eval.primary();
             trace.record(cost, mapping, start.elapsed());
             search.report(mapping, cost, rng);
+            front.reported += 1;
             completed += 1;
-            pending.pop_front();
+            if front.reported == front.count {
+                // mm-lint: allow(panic): the loop condition proved front
+                // exists.
+                let batch = pending.pop_front().expect("front exists");
+                // All chunk jobs are done, so ours is normally the last Arc
+                // reference; reclaim the storage for the next round. (A
+                // failed unwrap just means a worker still holds a clone for
+                // a moment longer — the storage is dropped, not leaked.)
+                if let Ok(slots) = Arc::try_unwrap(batch.mappings) {
+                    free.push(slots);
+                }
+            }
         }
 
         if budget.exhausted(completed, start.elapsed()) && pending.is_empty() {
@@ -128,13 +178,18 @@ pub fn run_pipelined(
             while !pending.is_empty() {
                 let (id, eval) = pool.recv();
                 arrived.insert(id, eval);
-                while let Some((front_id, mapping)) = pending.front() {
-                    let Some(eval) = arrived.remove(front_id) else {
+                while let Some(front) = pending.front_mut() {
+                    let front_id = front.base_id + front.reported as u64;
+                    let Some(eval) = arrived.remove(&front_id) else {
                         break;
                     };
+                    let mapping = &front.mappings[front.reported];
                     trace.record(eval.primary(), mapping, start.elapsed());
                     search.report(mapping, eval.primary(), rng);
-                    pending.pop_front();
+                    front.reported += 1;
+                    if front.reported == front.count {
+                        pending.pop_front();
+                    }
                 }
             }
             break;

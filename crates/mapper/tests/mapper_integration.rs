@@ -413,7 +413,7 @@ fn work_stealing_is_same_or_better_on_conv1d_and_table1() {
             space: &dyn mm_mapspace::MapSpaceView,
             rng: &mut rand::rngs::StdRng,
             max: usize,
-            out: &mut Vec<mm_mapspace::Mapping>,
+            out: &mut mm_search::ProposalBuf,
         ) {
             let room = self.limit.saturating_sub(self.proposed).min(max as u64);
             for _ in 0..room {

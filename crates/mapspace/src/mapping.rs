@@ -67,7 +67,7 @@ impl std::fmt::Display for Level {
 /// * `buffer_alloc[level]` entries are in `(0, 1]` and sum to at most 1;
 /// * the per-level tensor footprints fit in the buffer capacity allocated to
 ///   them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Mapping {
     /// Tile sizes per on-chip level: `tiles[0]` = L1 (per-PE) tile extents,
     /// `tiles[1]` = L2 (shared buffer) tile extents, indexed by dimension.
@@ -80,6 +80,27 @@ pub struct Mapping {
     /// Fraction of each on-chip level's capacity allocated to each tensor:
     /// `buffer_alloc[level][tensor] ∈ (0, 1]`, summing to ≤ 1 per level.
     pub buffer_alloc: Vec<Vec<f64>>,
+}
+
+/// Hand-written so `clone_from` reuses the destination's nested allocations
+/// (the derived impl would fall back to `*self = source.clone()`), which is
+/// what lets proposal buffers and eval pipelines recycle mapping storage.
+impl Clone for Mapping {
+    fn clone(&self) -> Self {
+        Mapping {
+            tiles: self.tiles.clone(),
+            parallel: self.parallel.clone(),
+            loop_orders: self.loop_orders.clone(),
+            buffer_alloc: self.buffer_alloc.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.tiles.clone_from(&source.tiles);
+        self.parallel.clone_from(&source.parallel);
+        self.loop_orders.clone_from(&source.loop_orders);
+        self.buffer_alloc.clone_from(&source.buffer_alloc);
+    }
 }
 
 impl Mapping {
@@ -96,6 +117,30 @@ impl Mapping {
             parallel: vec![1; d],
             loop_orders: vec![(0..d).collect(); ORDER_LEVELS],
             buffer_alloc: vec![vec![1.0 / t as f64; t]; ONCHIP_LEVELS],
+        }
+    }
+
+    /// Rewrite `self` in place to equal [`Mapping::minimal`] for `problem`,
+    /// reusing the existing nested allocations when shapes already match.
+    pub fn reset_minimal(&mut self, problem: &ProblemSpec) {
+        let d = problem.num_dims();
+        let t = problem.num_tensors();
+        self.tiles.resize_with(ONCHIP_LEVELS, Vec::new);
+        for row in &mut self.tiles {
+            row.clear();
+            row.resize(d, 1);
+        }
+        self.parallel.clear();
+        self.parallel.resize(d, 1);
+        self.loop_orders.resize_with(ORDER_LEVELS, Vec::new);
+        for order in &mut self.loop_orders {
+            order.clear();
+            order.extend(0..d);
+        }
+        self.buffer_alloc.resize_with(ONCHIP_LEVELS, Vec::new);
+        for row in &mut self.buffer_alloc {
+            row.clear();
+            row.resize(t, 1.0 / t as f64);
         }
     }
 
@@ -268,6 +313,23 @@ mod tests {
         let mut m = Mapping::minimal(&p);
         m.parallel = vec![4, 2];
         assert_eq!(m.active_pes(), 8);
+    }
+
+    #[test]
+    fn reset_minimal_matches_minimal() {
+        let p = conv();
+        let mut m = Mapping::minimal(&p);
+        m.tiles[0] = vec![8, 3];
+        m.parallel = vec![4, 2];
+        m.loop_orders[1] = vec![1, 0];
+        m.buffer_alloc[0] = vec![0.9, 0.05, 0.05];
+        m.reset_minimal(&p);
+        assert_eq!(m, Mapping::minimal(&p));
+
+        // Starting from empty (Default) also works.
+        let mut e = Mapping::default();
+        e.reset_minimal(&p);
+        assert_eq!(e, Mapping::minimal(&p));
     }
 
     #[test]

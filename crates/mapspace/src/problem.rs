@@ -60,6 +60,15 @@ impl TensorDim {
         }
     }
 
+    /// Whether this coordinate references problem dimension `d`
+    /// (allocation-free form of `referenced().contains(&d)`).
+    pub fn references(&self, d: DimId) -> bool {
+        match *self {
+            TensorDim::Single(a) => a == d,
+            TensorDim::Compound(a, b) => a == d || b == d,
+        }
+    }
+
     /// Extent of this coordinate when each problem dimension `d` has tile size
     /// `tile(d)`.
     pub fn extent(&self, tile: impl Fn(DimId) -> u64) -> u64 {
@@ -105,9 +114,37 @@ impl TensorSpec {
         out
     }
 
+    /// Allocation-free form of [`relevant_dims`](Self::relevant_dims): write
+    /// the deduplicated dimensions (same order) into `buf` and return how many
+    /// were written. `buf` must have room for every distinct dimension the
+    /// tensor references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is too small to hold the distinct referenced dims.
+    pub fn relevant_dims_into(&self, buf: &mut [DimId]) -> usize {
+        let mut n = 0;
+        for td in &self.dims {
+            let (a, b) = match *td {
+                TensorDim::Single(a) => (a, None),
+                TensorDim::Compound(a, b) => (a, Some(b)),
+            };
+            for d in std::iter::once(a).chain(b) {
+                if !buf[..n].contains(&d) {
+                    buf[n] = d;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     /// Whether the tensor's contents depend on problem dimension `d`.
+    ///
+    /// Allocation-free: this sits on the innermost loops of the reuse
+    /// analysis (called per temporal loop per tensor per evaluation).
     pub fn is_relevant(&self, d: DimId) -> bool {
-        self.dims.iter().any(|td| td.referenced().contains(&d))
+        self.dims.iter().any(|td| td.references(d))
     }
 
     /// Number of elements of this tensor covered by a tile with per-dimension
@@ -322,6 +359,16 @@ mod tests {
         assert!(!filt.is_relevant(DimId(0)));
         assert_eq!(p.output_tensor(), 2);
         assert_eq!(p.reduction_dims(), vec![DimId(1)]);
+    }
+
+    #[test]
+    fn relevant_dims_into_matches_allocating_form() {
+        let p = conv();
+        for t in &p.tensors {
+            let mut buf = [DimId(0); 8];
+            let n = t.relevant_dims_into(&mut buf);
+            assert_eq!(&buf[..n], t.relevant_dims().as_slice());
+        }
     }
 
     #[test]

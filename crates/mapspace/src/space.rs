@@ -73,6 +73,11 @@ impl Default for MappingConstraints {
 /// through the `f32` mapping encoding.
 const ALLOC_EPS_WORDS: f64 = 0.0625;
 
+/// Stack capacity for per-tensor relevant-dimension scratch in
+/// [`MapSpace::repair`]; problems with more dimensions fall back to a heap
+/// allocation (none of the paper's workloads come close).
+const DIM_STACK: usize = 64;
+
 /// The map space `M_{a,p}` (Definition 2.2): all valid mappings of problem
 /// `p` onto the accelerator described by [`MappingConstraints`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,12 +184,24 @@ impl MapSpace {
         }
 
         for lv in 0..ORDER_LEVELS {
-            let mut seen = vec![false; d];
-            for &i in &m.loop_orders[lv] {
-                if i >= d || seen[i] {
-                    return Err(format!("loop order at level {lv} is not a permutation"));
+            if d <= 128 {
+                // Bitmask permutation check: keeps the hot validate path
+                // allocation-free for every realistic problem.
+                let mut seen: u128 = 0;
+                for &i in &m.loop_orders[lv] {
+                    if i >= d || seen & (1u128 << i) != 0 {
+                        return Err(format!("loop order at level {lv} is not a permutation"));
+                    }
+                    seen |= 1u128 << i;
                 }
-                seen[i] = true;
+            } else {
+                let mut seen = vec![false; d];
+                for &i in &m.loop_orders[lv] {
+                    if i >= d || seen[i] {
+                        return Err(format!("loop order at level {lv} is not a permutation"));
+                    }
+                    seen[i] = true;
+                }
             }
         }
 
@@ -233,11 +250,24 @@ impl MapSpace {
     /// followed by a deterministic capacity repair, so every call returns a
     /// valid mapping.
     pub fn random_mapping<R: Rng + ?Sized>(&self, rng: &mut R) -> Mapping {
+        let mut m = Mapping::minimal(&self.problem);
+        self.sample_into(&mut m, rng);
+        m
+    }
+
+    /// In-place form of [`random_mapping`](Self::random_mapping): rewrites
+    /// `out` to a fresh random valid mapping, reusing its allocations. Draws
+    /// the same RNG stream and produces the same mapping as `random_mapping`.
+    pub fn random_mapping_into<R: Rng + ?Sized>(&self, out: &mut Mapping, rng: &mut R) {
+        out.reset_minimal(&self.problem);
+        self.sample_into(out, rng);
+    }
+
+    /// Shared sampling body: `m` must be in the [`Mapping::minimal`] state.
+    fn sample_into<R: Rng + ?Sized>(&self, m: &mut Mapping, rng: &mut R) {
         let p = &self.problem;
         let d = p.num_dims();
         let t = p.num_tensors();
-
-        let mut m = Mapping::minimal(p);
 
         // Parallelism: repeatedly assign a random factor to a random dim
         // while staying under the PE budget.
@@ -269,24 +299,34 @@ impl MapSpace {
             m.tiles[1][dim.0] = t2.max(spatial).max(t1);
         }
 
-        // Loop orders: independent random permutations per level.
+        // Loop orders: independent random permutations per level. The shuffle
+        // draws depend only on the length, so rebuilding the identity
+        // permutation in place keeps the RNG stream identical to the old
+        // collect-then-shuffle form.
         for lv in 0..ORDER_LEVELS {
-            let mut order: Vec<usize> = (0..d).collect();
+            let order = &mut m.loop_orders[lv];
+            order.clear();
+            order.extend(0..d);
             order.shuffle(rng);
-            m.loop_orders[lv] = order;
         }
 
         // Buffer allocation: random positive fractions normalized to sum <= 1.
         for lv in 0..ONCHIP_LEVELS {
-            let raw: Vec<f64> = (0..t).map(|_| rng.gen_range(0.05..1.0)).collect();
-            let total: f64 = raw.iter().sum();
+            let row = &mut m.buffer_alloc[lv];
+            row.clear();
+            row.resize(t, 0.0);
+            for r in row.iter_mut() {
+                *r = rng.gen_range(0.05..1.0);
+            }
+            let total: f64 = row.iter().sum();
             let scale = rng.gen_range(0.85..1.0) / total;
-            m.buffer_alloc[lv] = raw.iter().map(|r| (r * scale).clamp(1e-3, 1.0)).collect();
+            for r in row.iter_mut() {
+                *r = (*r * scale).clamp(1e-3, 1.0);
+            }
         }
 
-        self.repair(&mut m);
-        debug_assert!(self.is_member(&m), "{:?}", self.validate(&m));
-        m
+        self.repair(m);
+        debug_assert!(self.is_member(m), "{:?}", self.validate(m));
     }
 
     /// Deterministically repair a structurally well-formed mapping so that it
@@ -356,28 +396,42 @@ impl MapSpace {
             let Some(cap) = self.constraints.capacity_words(level) else {
                 continue; // only on-chip levels carry a capacity bound
             };
+            // Footprints are recomputed on demand instead of collected into a
+            // Vec: `footprint` is a short fold and this loop sits on the
+            // proposal hot path, which must stay allocation-free.
+            let fp_of = |m: &Mapping, ti: usize| match level {
+                Level::L1 => m.l1_footprint(p, ti),
+                Level::L2 => m.l2_footprint(p, ti),
+                // mm-lint: allow(panic): the enclosing loop iterates
+                // on-chip levels only.
+                Level::Dram => unreachable!(),
+            };
             for _iter in 0..256 {
-                let footprints: Vec<u64> = (0..t)
-                    .map(|ti| match level {
-                        Level::L1 => m.l1_footprint(p, ti),
-                        Level::L2 => m.l2_footprint(p, ti),
-                        // mm-lint: allow(panic): the enclosing loop iterates
-                        // on-chip levels only.
-                        Level::Dram => unreachable!(),
-                    })
-                    .collect();
-                let total_fp: u64 = footprints.iter().sum();
+                // One pass: total footprint plus the largest tensor, keeping
+                // `max_by_key`'s last-max tie-breaking (`>=`).
+                let mut total_fp: u64 = 0;
+                let mut worst: Option<usize> = None;
+                let mut worst_fp: u64 = 0;
+                for ti in 0..t {
+                    let f = fp_of(m, ti);
+                    total_fp += f;
+                    if worst.is_none() || f >= worst_fp {
+                        worst = Some(ti);
+                        worst_fp = f;
+                    }
+                }
                 // Feasible when the combined working set fits in the level.
                 if total_fp <= cap {
                     let insufficient = (0..t).any(|ti| {
                         (m.buffer_alloc[lv][ti] * cap as f64 + ALLOC_EPS_WORDS).floor()
-                            < footprints[ti] as f64
+                            < fp_of(m, ti) as f64
                     });
                     if insufficient {
                         // Redistribute: each tensor gets exactly what it needs
                         // plus a proportional share of the remaining capacity.
                         let slack = (cap - total_fp) as f64;
-                        for (ti, &fp) in footprints.iter().enumerate().take(t) {
+                        for ti in 0..t {
+                            let fp = fp_of(m, ti);
                             let share = if total_fp > 0 {
                                 slack * fp as f64 / total_fp as f64
                             } else {
@@ -391,10 +445,19 @@ impl MapSpace {
                 }
                 // Does not fit at all: shrink the tile dimension contributing
                 // the most to the largest tensor.
-                let Some(worst_tensor) = (0..t).max_by_key(|&ti| footprints[ti]) else {
+                let Some(worst_tensor) = worst else {
                     break; // no tensors: nothing occupies the buffer
                 };
-                let dims = p.tensors[worst_tensor].relevant_dims();
+                let mut dims_stack = [DimId(0); DIM_STACK];
+                let dims_overflow;
+                let dims: &[DimId] = if d <= DIM_STACK {
+                    let n = p.tensors[worst_tensor].relevant_dims_into(&mut dims_stack);
+                    &dims_stack[..n]
+                } else {
+                    // Cold fallback for pathological dimension counts.
+                    dims_overflow = p.tensors[worst_tensor].relevant_dims();
+                    &dims_overflow
+                };
                 let target_dim = dims
                     .iter()
                     .copied()
@@ -413,7 +476,7 @@ impl MapSpace {
                         } else {
                             // Shrink some other dim of this tensor.
                             let mut shrunk = false;
-                            for &dd in &dims {
+                            for &dd in dims {
                                 if m.tiles[0][dd.0] > 1 {
                                     m.tiles[0][dd.0] /= 2;
                                     shrunk = true;
@@ -460,7 +523,7 @@ impl MapSpace {
                             m.parallel[target_dim.0] /= 2;
                         } else {
                             let mut shrunk = false;
-                            for &dd in &dims {
+                            for &dd in dims {
                                 if m.tiles[0][dd.0] > 1 {
                                     m.tiles[0][dd.0] /= 2;
                                     shrunk = true;
@@ -496,6 +559,20 @@ impl MapSpace {
         self.mutate_in_place(&mut out, rng);
         self.repair(&mut out);
         out
+    }
+
+    /// In-place form of [`neighbor`](Self::neighbor): rewrites `out` to a
+    /// valid neighbour of `current`, reusing `out`'s allocations. Draws the
+    /// same RNG stream and produces the same mapping as `neighbor`.
+    pub fn neighbor_into<R: Rng + ?Sized>(
+        &self,
+        current: &Mapping,
+        out: &mut Mapping,
+        rng: &mut R,
+    ) {
+        out.clone_from(current);
+        self.mutate_in_place(out, rng);
+        self.repair(out);
     }
 
     /// Mutate one attribute in place (may leave the mapping invalid until
@@ -576,6 +653,47 @@ impl MapSpace {
         }
         self.repair(&mut child);
         child
+    }
+
+    /// In-place form of [`crossover`](Self::crossover): writes the child into
+    /// `out`, reusing its existing allocations. Draws from `rng` in exactly
+    /// the same order, so with equal RNG state the child is identical.
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    pub fn crossover_into<R: Rng + ?Sized>(
+        &self,
+        a: &Mapping,
+        b: &Mapping,
+        out: &mut Mapping,
+        rng: &mut R,
+    ) {
+        let p = &self.problem;
+        let d = p.num_dims();
+        let t = p.num_tensors();
+        out.clone_from(a);
+        for dim in 0..d {
+            if rng.gen_bool(0.5) {
+                out.tiles[0][dim] = b.tiles[0][dim];
+            }
+            if rng.gen_bool(0.5) {
+                out.tiles[1][dim] = b.tiles[1][dim];
+            }
+            if rng.gen_bool(0.5) {
+                out.parallel[dim] = b.parallel[dim];
+            }
+        }
+        for lv in 0..ORDER_LEVELS {
+            if rng.gen_bool(0.5) {
+                out.loop_orders[lv].clone_from(&b.loop_orders[lv]);
+            }
+        }
+        for lv in 0..ONCHIP_LEVELS {
+            for ti in 0..t {
+                if rng.gen_bool(0.5) {
+                    out.buffer_alloc[lv][ti] = b.buffer_alloc[lv][ti];
+                }
+            }
+        }
+        self.repair(out);
     }
 
     /// Order-of-magnitude estimate of `log10 |M|`, the size of the mapping
@@ -682,6 +800,27 @@ mod tests {
         for _ in 0..50 {
             let c = s.crossover(&a, &b, &mut rng);
             assert!(s.is_member(&c), "{:?}", s.validate(&c));
+        }
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let s = space();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut sample_buf = Mapping::default();
+        let mut neigh_buf = Mapping::default();
+        for _ in 0..50 {
+            let a = s.random_mapping(&mut rng_a);
+            s.random_mapping_into(&mut sample_buf, &mut rng_b);
+            assert_eq!(a, sample_buf, "random_mapping_into diverged");
+            let n = s.neighbor(&a, &mut rng_a);
+            s.neighbor_into(&a, &mut neigh_buf, &mut rng_b);
+            assert_eq!(n, neigh_buf, "neighbor_into diverged");
+            let c = s.crossover(&a, &n, &mut rng_a);
+            let mut cross_buf = Mapping::default();
+            s.crossover_into(&a, &n, &mut cross_buf, &mut rng_b);
+            assert_eq!(c, cross_buf, "crossover_into diverged");
         }
     }
 

@@ -88,8 +88,25 @@ pub trait MapSpaceView: Send + Sync {
     /// Draw a random *valid* mapping belonging to this view.
     fn random_mapping(&self, rng: &mut dyn RngCore) -> Mapping;
 
+    /// In-place form of [`random_mapping`](Self::random_mapping): rewrite
+    /// `out` to a fresh random valid mapping, reusing its allocations.
+    /// Draws the same RNG stream and produces the same mapping.
+    ///
+    /// The default forwards to the allocating form; concrete views override
+    /// it with a genuinely allocation-free implementation.
+    fn random_mapping_into(&self, out: &mut Mapping, rng: &mut dyn RngCore) {
+        *out = self.random_mapping(rng);
+    }
+
     /// A valid neighbouring mapping of `m` within this view.
     fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping;
+
+    /// In-place form of [`neighbor`](Self::neighbor): rewrite `out` to a
+    /// valid neighbour of `current`, reusing `out`'s allocations. Draws the
+    /// same RNG stream and produces the same mapping.
+    fn neighbor_into(&self, current: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        *out = self.neighbor(current, rng);
+    }
 
     /// Mutate one attribute in place (may leave the mapping invalid until
     /// [`repair`](Self::repair) is called).
@@ -97,6 +114,13 @@ pub trait MapSpaceView: Send + Sync {
 
     /// Uniform crossover of two parents; the child is valid and in-view.
     fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping;
+
+    /// In-place form of [`crossover`](Self::crossover): write the child into
+    /// `out`, reusing its allocations. Draws the same RNG stream and
+    /// produces the same child.
+    fn crossover_into(&self, a: &Mapping, b: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        *out = self.crossover(a, b, rng);
+    }
 
     /// Deterministically repair `m` to validity *within this view*.
     fn repair(&self, m: &mut Mapping);
@@ -161,8 +185,16 @@ impl MapSpaceView for MapSpace {
         MapSpace::random_mapping(self, rng)
     }
 
+    fn random_mapping_into(&self, out: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::random_mapping_into(self, out, rng);
+    }
+
     fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping {
         MapSpace::neighbor(self, m, rng)
+    }
+
+    fn neighbor_into(&self, current: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::neighbor_into(self, current, out, rng);
     }
 
     fn mutate_in_place(&self, m: &mut Mapping, rng: &mut dyn RngCore) {
@@ -171,6 +203,10 @@ impl MapSpaceView for MapSpace {
 
     fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping {
         MapSpace::crossover(self, a, b, rng)
+    }
+
+    fn crossover_into(&self, a: &Mapping, b: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::crossover_into(self, a, b, out, rng);
     }
 
     fn repair(&self, m: &mut Mapping) {
@@ -969,11 +1005,32 @@ impl MapSpaceView for ShardedMapSpace {
         m
     }
 
+    fn random_mapping_into(&self, out: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::random_mapping_into(&self.base, out, rng);
+        let touched = self.sample_in_interval(out, rng);
+        self.pin_and_fix_impl(out, touched);
+        debug_assert!(
+            self.is_member(out),
+            "{:?}\naxes={:?} lo={} hi={}\nmapping={:?}",
+            self.validate(out),
+            self.axes,
+            self.lo,
+            self.hi,
+            out
+        );
+    }
+
     fn neighbor(&self, m: &Mapping, rng: &mut dyn RngCore) -> Mapping {
         let mut out = m.clone();
         MapSpace::mutate_in_place(&self.base, &mut out, rng);
         self.repair(&mut out);
         out
+    }
+
+    fn neighbor_into(&self, current: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        out.clone_from(current);
+        MapSpace::mutate_in_place(&self.base, out, rng);
+        self.repair(out);
     }
 
     fn mutate_in_place(&self, m: &mut Mapping, rng: &mut dyn RngCore) {
@@ -985,6 +1042,12 @@ impl MapSpaceView for ShardedMapSpace {
         self.pin_and_fix(&mut child);
         debug_assert!(self.is_member(&child), "{:?}", self.validate(&child));
         child
+    }
+
+    fn crossover_into(&self, a: &Mapping, b: &Mapping, out: &mut Mapping, rng: &mut dyn RngCore) {
+        MapSpace::crossover_into(&self.base, a, b, out, rng);
+        self.pin_and_fix(out);
+        debug_assert!(self.is_member(out), "{:?}", self.validate(out));
     }
 
     fn repair(&self, m: &mut Mapping) {
@@ -1048,6 +1111,26 @@ mod tests {
 
     fn space() -> MapSpace {
         MapSpace::new(ProblemSpec::conv1d(128, 7), MappingConstraints::example())
+    }
+
+    #[test]
+    fn sharded_into_forms_match_allocating_forms() {
+        let s = space();
+        for i in 0..4 {
+            let sh = s.shard(i, 4);
+            let mut rng_a = StdRng::seed_from_u64(23 + i as u64);
+            let mut rng_b = StdRng::seed_from_u64(23 + i as u64);
+            let mut sample_buf = Mapping::default();
+            let mut neigh_buf = Mapping::default();
+            for _ in 0..20 {
+                let a = MapSpaceView::random_mapping(&sh, &mut rng_a);
+                sh.random_mapping_into(&mut sample_buf, &mut rng_b);
+                assert_eq!(a, sample_buf, "sharded random_mapping_into diverged");
+                let n = MapSpaceView::neighbor(&sh, &a, &mut rng_a);
+                sh.neighbor_into(&a, &mut neigh_buf, &mut rng_b);
+                assert_eq!(n, neigh_buf, "sharded neighbor_into diverged");
+            }
+        }
     }
 
     #[test]

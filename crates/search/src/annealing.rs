@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::proposal::ProposalSearch;
+use crate::proposal::{ProposalBuf, ProposalSearch};
 use crate::sync::SyncAction;
 
 /// Simulated Annealing hyper-parameters.
@@ -144,12 +144,13 @@ impl ProposalSearch for SimulatedAnnealing {
         });
     }
 
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
     fn propose(
         &mut self,
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         _max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         // mm-lint: allow(panic): calling the strategy outside a begin()
         // session is a driver bug, not a recoverable state.
@@ -157,12 +158,11 @@ impl ProposalSearch for SimulatedAnnealing {
         if state.outstanding {
             return;
         }
-        let proposal = match &state.current {
-            None => space.random_mapping(rng),
-            Some((current, _)) => space.neighbor(current, rng),
-        };
+        match &state.current {
+            None => space.random_mapping_into(out.next_slot(), rng),
+            Some((current, _)) => space.neighbor_into(current, out.next_slot(), rng),
+        }
         state.outstanding = true;
-        out.push(proposal);
         static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
             std::sync::OnceLock::new();
         crate::tele_counter(&PROPOSED, "search.sa.proposed").bump(1);
@@ -339,7 +339,7 @@ mod tests {
             ..AnnealingConfig::default()
         });
         sa.begin(&space, Some(50), &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         // Burn some moves so the temperature decays below t0.
         for _ in 0..10 {
             buf.clear();
@@ -378,7 +378,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut sa = SimulatedAnnealing::default();
         sa.begin(&space, Some(100), &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         sa.propose(&space, &mut rng, 16, &mut buf);
         assert_eq!(buf.len(), 1, "SA is strictly sequential");
         let pending = buf[0].clone();

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::proposal::ProposalSearch;
+use crate::proposal::{ProposalBuf, ProposalSearch};
 use crate::sync::SyncAction;
 
 /// Genetic Algorithm hyper-parameters (paper defaults from Appendix A).
@@ -119,27 +119,28 @@ impl GeneticAlgorithm {
         best
     }
 
-    /// Breed one child from the current population.
-    fn breed(&mut self, space: &dyn MapSpaceView, rng: &mut StdRng) -> Mapping {
+    /// Breed one child from the current population into `out` (reusing its
+    /// allocations).
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    fn breed_into(&mut self, space: &dyn MapSpaceView, rng: &mut StdRng, out: &mut Mapping) {
         let pa = self.tournament(rng);
         let pb = self.tournament(rng);
         let pop = &self.state.population;
-        let mut child = if rng.gen_bool(self.config.crossover_probability) {
-            space.crossover(&pop[pa].mapping, &pop[pb].mapping, rng)
+        if rng.gen_bool(self.config.crossover_probability) {
+            space.crossover_into(&pop[pa].mapping, &pop[pb].mapping, out, rng);
         } else {
-            pop[pa].mapping.clone()
-        };
+            out.clone_from(&pop[pa].mapping);
+        }
         // Per-attribute mutation: apply the map space's mutation kernel with
         // the configured probability, several times to approximate "each
         // attribute mutates independently".
         let attributes = space.problem().num_dims() * 3 + space.problem().num_tensors();
         for _ in 0..attributes {
             if rng.gen_bool(self.config.mutation_probability) {
-                space.mutate_in_place(&mut child, rng);
+                space.mutate_in_place(out, rng);
             }
         }
-        space.repair(&mut child);
-        child
+        space.repair(out);
     }
 }
 
@@ -164,12 +165,13 @@ impl ProposalSearch for GeneticAlgorithm {
         self.popsize()
     }
 
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
     fn propose(
         &mut self,
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         let popsize = self.popsize();
         // Starting a fresh (non-initial) generation: sort the completed one
@@ -184,6 +186,9 @@ impl ProposalSearch for GeneticAlgorithm {
                 .sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
             // A restart can shrink the population below the elite count.
             let elites = self.elites().min(self.state.population.len());
+            // mm-lint: allow(hot-path): once per generation, not per
+            // proposal — the elite snapshot is amortized over `population`
+            // proposals.
             let seed: Vec<Individual> = self.state.population[..elites].to_vec();
             self.state.incoming = seed;
         }
@@ -191,13 +196,12 @@ impl ProposalSearch for GeneticAlgorithm {
             if self.state.incoming.len() + self.state.outstanding >= popsize {
                 break; // generation fully proposed; wait for reports
             }
-            let child = if self.state.population.is_empty() {
-                space.random_mapping(rng) // initial generation
+            if self.state.population.is_empty() {
+                space.random_mapping_into(out.next_slot(), rng); // initial generation
             } else {
-                self.breed(space, rng)
-            };
+                self.breed_into(space, rng, out.next_slot());
+            }
             self.state.outstanding += 1;
-            out.push(child);
             static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
                 std::sync::OnceLock::new();
             crate::tele_counter(&PROPOSED, "search.ga.proposed").bump(1);
@@ -328,7 +332,7 @@ mod tests {
             ..GeneticConfig::default()
         });
         ga.begin(&space, None, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         ga.propose(&space, &mut rng, 16, &mut buf);
         let gen0 = std::mem::take(&mut buf);
         for (i, m) in gen0.iter().enumerate() {
@@ -361,7 +365,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut ga = GeneticAlgorithm::default(); // population 100
         ga.begin(&space, Some(20), &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         ga.propose(&space, &mut rng, 256, &mut buf);
         assert_eq!(
             buf.len(),
@@ -390,7 +394,7 @@ mod tests {
             ..GeneticConfig::default()
         });
         ga.begin(&space, None, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         ga.propose(&space, &mut rng, 64, &mut buf);
         assert_eq!(buf.len(), 8, "initial generation batches fully");
         let pending = std::mem::take(&mut buf);

@@ -41,7 +41,7 @@ pub mod trace;
 pub use annealing::{AnnealingConfig, SimulatedAnnealing};
 pub use genetic::{GeneticAlgorithm, GeneticConfig};
 pub use objective::{split_evenly, Budget, FnObjective, Objective, Searcher};
-pub use proposal::{drive, ProposalSearch};
+pub use proposal::{drive, ProposalBuf, ProposalSearch};
 pub use random::RandomSearch;
 pub use rl::{DdpgAgent, DdpgConfig};
 pub use sync::{SyncAction, SyncPolicy, SyncState};

@@ -24,6 +24,7 @@
 //! call sites (`Box<dyn Searcher>`, the Figure 5/6 comparison harness, the
 //! examples) keep working unchanged.
 
+use std::ops::Deref;
 use std::time::Instant;
 
 use mm_mapspace::{MapSpaceView, Mapping};
@@ -32,6 +33,94 @@ use rand::rngs::StdRng;
 use crate::objective::{Budget, Objective, Searcher};
 use crate::sync::SyncAction;
 use crate::trace::SearchTrace;
+
+/// A slot-reusing proposal buffer: the write half of the zero-allocation
+/// proposal hot path.
+///
+/// Works like `Vec<Mapping>` from the reader's side (it derefs to
+/// `[Mapping]` of the *logical* length), but keeps cleared mappings as
+/// spare slots so a steady-state `clear()` → `next_slot()` → fill cycle
+/// reuses their nested allocations instead of reallocating every proposal.
+#[derive(Debug, Default)]
+pub struct ProposalBuf {
+    /// Slot storage; `slots[len..]` are cleared-but-allocated spares.
+    slots: Vec<Mapping>,
+    /// Logical number of live proposals.
+    len: usize,
+}
+
+impl ProposalBuf {
+    /// An empty buffer with no slots.
+    pub fn new() -> Self {
+        ProposalBuf::default()
+    }
+
+    /// Logical number of live proposals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no live proposals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all live proposals, keeping their slots (and allocations) as
+    /// spares for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Hand out the next writable slot (reusing a spare when available) and
+    /// count it as live. The slot holds whatever mapping occupied it last —
+    /// callers overwrite it with an `*_into` operation.
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
+    pub fn next_slot(&mut self) -> &mut Mapping {
+        if self.len == self.slots.len() {
+            self.slots.push(Mapping::default());
+        }
+        let slot = &mut self.slots[self.len];
+        self.len += 1;
+        slot
+    }
+
+    /// Append an owned mapping, overwriting a spare slot when available
+    /// (its allocations are replaced, not reused).
+    pub fn push(&mut self, mapping: Mapping) {
+        if self.len == self.slots.len() {
+            self.slots.push(mapping);
+        } else {
+            self.slots[self.len] = mapping;
+        }
+        self.len += 1;
+    }
+
+    /// Take the slot storage out of the buffer (for handoff to an owner
+    /// that needs `Vec<Mapping>`), returning `(slots, live_len)`. The
+    /// buffer is left empty; give the storage back with
+    /// [`restore`](Self::restore) to keep reusing its allocations.
+    pub fn take(&mut self) -> (Vec<Mapping>, usize) {
+        let len = self.len;
+        self.len = 0;
+        (std::mem::take(&mut self.slots), len)
+    }
+
+    /// Return slot storage previously removed with [`take`](Self::take).
+    /// The buffer must be empty (storage is not merged).
+    pub fn restore(&mut self, slots: Vec<Mapping>) {
+        debug_assert!(self.slots.is_empty() && self.len == 0);
+        self.slots = slots;
+        self.len = 0;
+    }
+}
+
+impl Deref for ProposalBuf {
+    type Target = [Mapping];
+
+    fn deref(&self) -> &[Mapping] {
+        &self.slots[..self.len]
+    }
+}
 
 /// A search method driven from outside: it proposes mappings and is told
 /// their cost, while someone else owns the evaluation loop.
@@ -61,12 +150,16 @@ pub trait ProposalSearch: Send {
     }
 
     /// Append up to `max` new candidate mappings to `out`.
+    ///
+    /// Implementations fill slots from [`ProposalBuf::next_slot`] with the
+    /// map space's `*_into` operations so the steady state reuses the
+    /// buffer's allocations.
     fn propose(
         &mut self,
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     );
 
     /// Report the evaluated cost of a previously proposed mapping.
@@ -121,7 +214,7 @@ pub fn drive(
     let horizon = (budget.max_queries < u64::MAX).then_some(budget.max_queries);
     search.begin(space, horizon, rng);
 
-    let mut buf: Vec<Mapping> = Vec::new();
+    let mut buf = ProposalBuf::new();
     while !budget.exhausted(objective.queries(), start.elapsed()) {
         let remaining = budget.max_queries.saturating_sub(objective.queries());
         let max = search
@@ -135,7 +228,7 @@ pub fn drive(
             // No proposals with none outstanding: the searcher is done.
             break;
         }
-        for mapping in &buf {
+        for mapping in buf.iter() {
             if budget.exhausted(objective.queries(), start.elapsed()) {
                 return trace;
             }

@@ -15,7 +15,7 @@
 use mm_mapspace::{MapSpaceView, Mapping};
 use rand::rngs::StdRng;
 
-use crate::proposal::ProposalSearch;
+use crate::proposal::{ProposalBuf, ProposalSearch};
 use crate::sync::SyncAction;
 
 /// Uniform random search (anchored near the global best once one is
@@ -50,22 +50,24 @@ impl ProposalSearch for RandomSearch {
         usize::MAX
     }
 
+    // mm-lint: hot-path — the steady-state eval loop must not allocate.
     fn propose(
         &mut self,
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         for _ in 0..max.max(1) {
             self.proposed += 1;
-            let mapping = match &self.anchor {
+            match &self.anchor {
                 // Alternate: exploit the anchor's neighbourhood on even
                 // proposals, keep sampling uniformly on odd ones.
-                Some(anchor) if self.proposed.is_multiple_of(2) => space.neighbor(anchor, rng),
-                _ => space.random_mapping(rng),
-            };
-            out.push(mapping);
+                Some(anchor) if self.proposed.is_multiple_of(2) => {
+                    space.neighbor_into(anchor, out.next_slot(), rng);
+                }
+                _ => space.random_mapping_into(out.next_slot(), rng),
+            }
         }
         static PROPOSED: std::sync::OnceLock<std::sync::Arc<mm_telemetry::Counter>> =
             std::sync::OnceLock::new();
@@ -124,7 +126,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut rs = RandomSearch::new();
         rs.begin(&space, None, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         rs.propose(&space, &mut rng, 32, &mut buf);
         assert_eq!(buf.len(), 32);
         assert!(buf.iter().all(|m| space.is_member(m)));
@@ -140,7 +142,7 @@ mod tests {
         rs.begin(&space, None, &mut rng);
         let anchor = space.random_mapping(&mut rng);
         rs.observe_global_best(&space, &anchor, 1.0, SyncAction::Adopt, &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         rs.propose(&space, &mut rng, 64, &mut buf);
         assert_eq!(buf.len(), 64);
         assert!(buf.iter().all(|m| space.is_member(m)));

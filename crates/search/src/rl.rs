@@ -31,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::proposal::ProposalSearch;
+use crate::proposal::{ProposalBuf, ProposalSearch};
 use crate::sync::SyncAction;
 
 /// DDPG hyper-parameters.
@@ -338,7 +338,7 @@ impl ProposalSearch for DdpgAgent {
         space: &dyn MapSpaceView,
         rng: &mut StdRng,
         _max: usize,
-        out: &mut Vec<Mapping>,
+        out: &mut ProposalBuf,
     ) {
         let cfg = self.config;
         // mm-lint: allow(panic): calling the strategy outside a begin()
@@ -510,7 +510,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut agent = DdpgAgent::default();
         agent.begin(&space, Some(100), &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         agent.propose(&space, &mut rng, 16, &mut buf);
         assert_eq!(buf.len(), 1, "DDPG is strictly sequential");
         let pending = buf[0].clone();
@@ -533,7 +533,7 @@ mod tests {
             ..DdpgConfig::default()
         });
         agent.begin(&space, Some(100), &mut rng);
-        let mut buf = Vec::new();
+        let mut buf = ProposalBuf::new();
         for _ in 0..9 {
             buf.clear();
             agent.propose(&space, &mut rng, 1, &mut buf);

@@ -57,7 +57,7 @@ use std::time::Instant;
 
 use mm_mapper::{pipeline_depth, CostEvaluator, EvalPool, Evaluation, OptMetric};
 use mm_mapspace::{MapSpaceView, Mapping};
-use mm_search::{ConvergenceTrace, ProposalSearch, SyncPolicy, SyncState};
+use mm_search::{ConvergenceTrace, ProposalBuf, ProposalSearch, SyncPolicy, SyncState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -239,7 +239,7 @@ impl ActiveJob {
         &mut self,
         pool: &mut EvalPool,
         id_to_job: &mut HashMap<u64, u64>,
-        buf: &mut Vec<Mapping>,
+        buf: &mut ProposalBuf,
     ) {
         if self.doomed() || self.exhausted || self.submitted >= self.budget {
             return;
@@ -289,7 +289,7 @@ impl ActiveJob {
     /// Record one arrived result (or the panic that replaced it). Doomed
     /// jobs only shed the proposal from their in-flight set; healthy jobs
     /// flush completions in proposal order.
-    fn route(&mut self, id: u64, result: Result<Evaluation, String>) {
+    fn route(&mut self, id: u64, result: Result<Evaluation, Arc<str>>) {
         if self.doomed() {
             self.pending.retain(|(pid, _)| *pid != id);
             self.arrived.remove(&id);
@@ -305,7 +305,9 @@ impl ActiveJob {
                 mm_telemetry::event("serve.job.fail", || {
                     format!("job={} request={}", self.job_id, self.request)
                 });
-                self.failed = Some(message);
+                // One String per failed job (not per batch member): the
+                // pool shares the panic message as an `Arc<str>`.
+                self.failed = Some(message.to_string());
                 // Results buffered out of order were already consumed from
                 // the pool and will never arrive again: drop their pending
                 // entries with the errored one, or `done()` waits forever
@@ -441,7 +443,7 @@ pub(crate) struct Scheduler {
     active: Vec<ActiveJob>,
     /// Pool id → job id of every proposal in flight.
     id_to_job: HashMap<u64, u64>,
-    buf: Vec<Mapping>,
+    buf: ProposalBuf,
     track: Option<Arc<mm_telemetry::Track>>,
 }
 
@@ -453,7 +455,7 @@ impl Scheduler {
             requests: BTreeMap::new(),
             active: Vec::new(),
             id_to_job: HashMap::new(),
-            buf: Vec::new(),
+            buf: ProposalBuf::new(),
             track: mm_telemetry::span_enabled().then(|| mm_telemetry::track("serve.scheduler")),
         }
     }
@@ -766,7 +768,7 @@ mod tests {
             space: &dyn mm_mapspace::MapSpaceView,
             rng: &mut StdRng,
             max: usize,
-            out: &mut Vec<Mapping>,
+            out: &mut ProposalBuf,
         ) {
             self.inner.propose(space, rng, max, out);
         }
@@ -861,7 +863,7 @@ mod tests {
         // the pool; if their pending entries survived the failure the job
         // could never drain, and the whole service would hang.
         let mut job = ActiveJob::start(0, spec(0, 96, 3, 16));
-        let mut proposals = Vec::new();
+        let mut proposals = ProposalBuf::new();
         job.search
             .propose(&*job.space, &mut job.rng, 3, &mut proposals);
         assert_eq!(proposals.len(), 3);
@@ -919,7 +921,7 @@ mod tests {
         let mut search = RandomSearch::new();
         let mut rng = StdRng::seed_from_u64(seed);
         search.begin(&*probe.space, Some(probe.budget), &mut rng);
-        let mut first = Vec::new();
+        let mut first = ProposalBuf::new();
         search.propose(&*probe.space, &mut rng, 1, &mut first);
         let mut doomed_spec = spec(0, 128, seed, 64);
         doomed_spec.evaluator = Arc::new(SlowPoison {

@@ -36,7 +36,9 @@ pub use mm_workloads as workloads;
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
-    pub use mm_accel::{Architecture, CostBreakdown, CostModel};
+    pub use mm_accel::{
+        Architecture, BatchCosts, CostBreakdown, CostModel, CostSummary, EvalScratch,
+    };
     pub use mm_core::{
         CostModelObjective, GradientProposer, MindMappings, Phase1Config, Phase2Config, Surrogate,
     };
